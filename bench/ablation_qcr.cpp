@@ -1,0 +1,157 @@
+// Ablations on the design choices DESIGN.md calls out:
+//   1. reaction scale  — the Property-2 free constant: equilibrium is
+//      scale-invariant, but large scales thrash the cache (convergence
+//      speed vs steady-state noise);
+//   2. sticky replicas — without the immortal seed copy, items can be
+//      absorbed out of the system entirely;
+//   3. passive vs path vs QCR reaction — the replication-rule family:
+//      constant psi ~ PROP, linear psi ~ SQRT, Table-1 psi ~ optimal.
+#include <iostream>
+#include <numeric>
+
+#include "common.hpp"
+#include "impatience/utility/families.hpp"
+
+using namespace impatience;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const trace::NodeId nodes =
+      static_cast<trace::NodeId>(flags.get_int("nodes", 50));
+  const trace::Slot slots = flags.get_long("slots", 5000);
+  const double mu = flags.get_double("mu", 0.05);
+  const int rho = flags.get_int("rho", 5);
+  const int trials = flags.get_int("trials", 3);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_long("seed", 99));
+
+  bench::banner("ablation", "QCR design choices (power alpha=0)");
+
+  util::Rng rng(seed);
+  auto trace = trace::generate_poisson({nodes, slots, mu}, rng);
+  auto scenario = core::make_scenario(
+      std::move(trace),
+      core::Catalog::pareto(static_cast<core::ItemId>(nodes), 1.0, 1.0),
+      rho);
+  utility::PowerUtility u(0.0);
+
+  // Reference OPT utility.
+  double u_opt = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    util::Rng pr = rng.split();
+    const auto set =
+        core::build_competitors(scenario, u, core::OptMode::kHomogeneous, pr);
+    util::Rng rr = rng.split();
+    u_opt += core::run_fixed(scenario, u, "OPT", set[0].placement,
+                             core::SimOptions{}, rr)
+                 .observed_utility();
+  }
+  u_opt /= trials;
+
+  // 1. Reaction-scale sweep.
+  {
+    std::cout << "Ablation 1: reaction scale (target replicas per "
+                 "fulfilment at uniform allocation)\n";
+    util::TablePrinter table(
+        {"target", "observed U", "loss vs OPT %", "replicas written"});
+    table.set_precision(4);
+    for (double target : {0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+      double total = 0.0;
+      long written = 0;
+      for (int t = 0; t < trials; ++t) {
+        core::QcrOptions q;
+        q.target_replicas_per_fulfillment = target;
+        util::Rng r = rng.split();
+        const auto res = core::run_qcr(scenario, u, q, core::SimOptions{}, r);
+        total += res.observed_utility();
+        written += res.replicas_written;
+      }
+      total /= trials;
+      table.row(target, total, core::normalized_loss_percent(total, u_opt),
+                written / trials);
+    }
+    table.print(std::cout);
+  }
+
+  // 2. Sticky replicas on/off: count items absorbed to zero copies.
+  {
+    std::cout << "Ablation 2: sticky seed replicas\n";
+    util::TablePrinter table(
+        {"sticky", "observed U", "loss vs OPT %", "items lost (end)"});
+    table.set_precision(4);
+    for (bool sticky : {true, false}) {
+      double total = 0.0;
+      double lost = 0.0;
+      for (int t = 0; t < trials; ++t) {
+        core::SimOptions options;
+        options.sticky_replicas = sticky;
+        util::Rng r = rng.split();
+        // run_qcr forces sticky on; call simulate directly for the off arm.
+        utility::ReactionFunction reaction(u, scenario.mu,
+                                           static_cast<double>(nodes), 0.1);
+        core::QcrPolicy policy("QCR",
+                               [reaction](double y) { return reaction(y); },
+                               core::QcrPolicy::MandateRouting::kOn);
+        options.cache_capacity = rho;
+        const auto res =
+            core::simulate(scenario.trace, scenario.catalog, u, policy,
+                           options, r);
+        total += res.observed_utility();
+        for (int c : res.final_counts) {
+          if (c == 0) lost += 1.0;
+        }
+      }
+      total /= trials;
+      lost /= trials;
+      table.row(sticky ? "on" : "off", total,
+                core::normalized_loss_percent(total, u_opt), lost);
+    }
+    table.print(std::cout);
+  }
+
+  // 3. Reaction-rule family.
+  {
+    std::cout << "Ablation 3: replication rule (reaction function family)\n";
+    util::TablePrinter table({"rule", "observed U", "loss vs OPT %"});
+    table.set_precision(4);
+    struct Rule {
+      const char* name;
+      std::function<std::unique_ptr<core::QcrPolicy>()> make;
+    };
+    utility::ReactionFunction tuned(u, scenario.mu,
+                                    static_cast<double>(nodes), 0.1);
+    std::vector<Rule> rules;
+    rules.push_back({"PASSIVE (psi = const, -> PROP)", [] {
+                       return core::make_passive_policy(0.5);
+                     }});
+    rules.push_back({"PATH (psi ~ y, -> SQRT)", [&] {
+                       return core::make_path_replication_policy(
+                           0.5 / (static_cast<double>(nodes) /
+                                  static_cast<double>(rho)));
+                     }});
+    rules.push_back({"QCR (psi from Table 1)", [&] {
+                       return std::make_unique<core::QcrPolicy>(
+                           "QCR",
+                           [tuned](double y) { return tuned(y); },
+                           core::QcrPolicy::MandateRouting::kOn);
+                     }});
+    for (const auto& rule : rules) {
+      double total = 0.0;
+      for (int t = 0; t < trials; ++t) {
+        auto policy = rule.make();
+        core::SimOptions options;
+        options.cache_capacity = rho;
+        util::Rng r = rng.split();
+        total += core::simulate(scenario.trace, scenario.catalog, u, *policy,
+                                options, r)
+                     .observed_utility();
+      }
+      total /= trials;
+      table.row(rule.name, total,
+                core::normalized_loss_percent(total, u_opt));
+    }
+    table.print(std::cout);
+  }
+  std::cout << "U(OPT) reference: " << u_opt << '\n';
+  return 0;
+}

@@ -1,0 +1,180 @@
+// Shared plumbing for the figure-reproduction harness: run the paper's
+// competitor set plus QCR on a scenario, aggregate trials, and print the
+// normalized-loss rows the evaluation section reports.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "impatience/core/experiment.hpp"
+#include "impatience/stats/trials.hpp"
+#include "impatience/util/csv.hpp"
+#include "impatience/util/flags.hpp"
+#include "impatience/util/table.hpp"
+#include "impatience/utility/factory.hpp"
+
+namespace impatience::bench {
+
+/// Algorithms in the paper's plotting order.
+inline const std::vector<std::string>& algorithm_order() {
+  static const std::vector<std::string> order{"QCR", "SQRT", "PROP", "UNI",
+                                              "DOM"};
+  return order;
+}
+
+struct ComparisonPoint {
+  double x = 0.0;               ///< swept parameter value
+  double opt_utility = 0.0;     ///< mean observed utility of OPT
+  /// algorithm -> mean observed utility across trials
+  std::map<std::string, double> utility;
+  /// algorithm -> normalized loss vs OPT in percent (the figures' y-axis)
+  std::map<std::string, double> loss_percent;
+};
+
+struct ComparisonConfig {
+  int trials = 5;
+  core::OptMode opt_mode = core::OptMode::kHomogeneous;
+  bool include_qcr = true;
+  core::QcrOptions qcr{};
+  core::SimOptions sim{};
+};
+
+/// Runs OPT + UNI/SQRT/PROP/DOM + QCR on the scenario, `trials` times
+/// each, and reports mean observed utilities and normalized losses.
+ComparisonPoint run_comparison(const core::Scenario& scenario,
+                               const utility::DelayUtility& u, double x,
+                               const ComparisonConfig& config,
+                               util::Rng& rng);
+
+/// Prints a figure table: one row per swept value, one column per
+/// algorithm (normalized loss vs OPT in percent), plus the OPT utility.
+void print_loss_table(const std::string& title,
+                      const std::string& param_name,
+                      const std::vector<ComparisonPoint>& points,
+                      std::ostream& out = std::cout);
+
+/// Writes the same data as CSV when --csv-dir is given.
+void maybe_write_csv(const util::Flags& flags, const std::string& filename,
+                     const std::string& param_name,
+                     const std::vector<ComparisonPoint>& points);
+
+/// Standard banner so harness output is self-describing.
+void banner(const std::string& id, const std::string& what,
+            std::ostream& out = std::cout);
+
+// ------------------------------------------------------------------ impl
+
+inline ComparisonPoint run_comparison(const core::Scenario& scenario,
+                                      const utility::DelayUtility& u,
+                                      double x,
+                                      const ComparisonConfig& config,
+                                      util::Rng& rng) {
+  ComparisonPoint point;
+  point.x = x;
+  std::map<std::string, double> totals;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    util::Rng placement_rng = rng.split();
+    const auto competitors =
+        core::build_competitors(scenario, u, config.opt_mode, placement_rng);
+    for (const auto& [name, placement] : competitors) {
+      util::Rng trial_rng = rng.split();
+      totals[name] += core::run_fixed(scenario, u, name, placement,
+                                      config.sim, trial_rng)
+                          .observed_utility();
+    }
+    if (config.include_qcr) {
+      util::Rng trial_rng = rng.split();
+      auto result =
+          core::run_qcr(scenario, u, config.qcr, config.sim, trial_rng);
+      totals[result.policy] += result.observed_utility();
+    }
+  }
+  for (auto& [name, total] : totals) {
+    total /= config.trials;
+  }
+  point.opt_utility = totals.at("OPT");
+  for (const auto& [name, mean] : totals) {
+    if (name == "OPT") continue;
+    point.utility[name] = mean;
+    point.loss_percent[name] =
+        core::normalized_loss_percent(mean, point.opt_utility);
+  }
+  return point;
+}
+
+inline void print_loss_table(const std::string& title,
+                             const std::string& param_name,
+                             const std::vector<ComparisonPoint>& points,
+                             std::ostream& out) {
+  out << title << '\n';
+  std::vector<std::string> header{param_name, "U(OPT)"};
+  std::vector<std::string> algorithms;
+  for (const auto& name : algorithm_order()) {
+    if (!points.empty() && points.front().loss_percent.count(name)) {
+      algorithms.push_back(name);
+      header.push_back(name + " loss%");
+    }
+  }
+  util::TablePrinter table(header);
+  table.set_precision(4);
+  for (const auto& p : points) {
+    std::vector<std::string> cells;
+    {
+      std::ostringstream os;
+      os.precision(5);
+      os << p.x;
+      cells.push_back(os.str());
+    }
+    {
+      std::ostringstream os;
+      os.precision(5);
+      os << p.opt_utility;
+      cells.push_back(os.str());
+    }
+    for (const auto& name : algorithms) {
+      std::ostringstream os;
+      os.precision(4);
+      os << p.loss_percent.at(name);
+      cells.push_back(os.str());
+    }
+    table.add_row(cells);
+  }
+  table.print(out);
+}
+
+inline void maybe_write_csv(const util::Flags& flags,
+                            const std::string& filename,
+                            const std::string& param_name,
+                            const std::vector<ComparisonPoint>& points) {
+  if (!flags.has("csv-dir")) return;
+  const std::string path =
+      flags.get_string("csv-dir", ".") + "/" + filename;
+  util::CsvWriter csv(path);
+  std::vector<std::string> header{param_name, "opt_utility"};
+  for (const auto& name : algorithm_order()) header.push_back(name);
+  csv.header(header);
+  for (const auto& p : points) {
+    std::vector<std::string> cells;
+    cells.push_back(std::to_string(p.x));
+    cells.push_back(std::to_string(p.opt_utility));
+    for (const auto& name : algorithm_order()) {
+      const auto it = p.loss_percent.find(name);
+      cells.push_back(it == p.loss_percent.end() ? ""
+                                                 : std::to_string(it->second));
+    }
+    csv.row_strings(cells);
+  }
+  std::cout << "[csv] wrote " << path << '\n';
+}
+
+inline void banner(const std::string& id, const std::string& what,
+                   std::ostream& out) {
+  out << "\n=== " << id << ": " << what << " ===\n";
+}
+
+}  // namespace impatience::bench

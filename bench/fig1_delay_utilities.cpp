@@ -1,0 +1,97 @@
+// Figure 1: the delay-utility families used for advertising revenue
+// (left), time-critical information (middle) and waiting cost (right).
+// Prints h(t) for each curve on the paper's t in [0, 5] range.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common.hpp"
+#include "impatience/utility/families.hpp"
+
+using namespace impatience;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int samples = flags.get_int("samples", 26);
+  const double t_max = flags.get_double("tmax", 5.0);
+
+  struct Panel {
+    const char* title;
+    std::vector<std::pair<std::string, std::unique_ptr<utility::DelayUtility>>>
+        curves;
+  };
+  std::vector<Panel> panels;
+  {
+    Panel p;
+    p.title = "Figure 1(a): advertising revenue";
+    p.curves.emplace_back("step tau=1", utility::make_utility("step:tau=1"));
+    p.curves.emplace_back("exp nu=0.1", utility::make_utility("exp:nu=0.1"));
+    p.curves.emplace_back("exp nu=1", utility::make_utility("exp:nu=1"));
+    panels.push_back(std::move(p));
+  }
+  {
+    Panel p;
+    p.title = "Figure 1(b): time-critical information";
+    p.curves.emplace_back("power a=2 (limit)",
+                          utility::make_utility("power:alpha=1.99"));
+    p.curves.emplace_back("power a=1.5",
+                          utility::make_utility("power:alpha=1.5"));
+    p.curves.emplace_back("neglog (a=1)", utility::make_utility("neglog"));
+    panels.push_back(std::move(p));
+  }
+  {
+    Panel p;
+    p.title = "Figure 1(c): waiting cost";
+    p.curves.emplace_back("power a=0.5",
+                          utility::make_utility("power:alpha=0.5"));
+    p.curves.emplace_back("power a=0",
+                          utility::make_utility("power:alpha=0"));
+    p.curves.emplace_back("power a=-1",
+                          utility::make_utility("power:alpha=-1"));
+    panels.push_back(std::move(p));
+  }
+
+  bench::banner("fig1", "delay-utility function shapes, h(t) on [0, 5]");
+  for (const auto& panel : panels) {
+    std::vector<std::string> header{"t"};
+    for (const auto& [name, _] : panel.curves) header.push_back(name);
+    util::TablePrinter table(header);
+    table.set_precision(4);
+    for (int k = 0; k < samples; ++k) {
+      const double t =
+          std::max(1e-3, t_max * static_cast<double>(k) / (samples - 1));
+      std::vector<std::string> cells;
+      {
+        std::ostringstream os;
+        os.precision(3);
+        os << t;
+        cells.push_back(os.str());
+      }
+      for (const auto& [_, u] : panel.curves) {
+        std::ostringstream os;
+        os.precision(4);
+        os << u->value(t);
+        cells.push_back(os.str());
+      }
+      table.add_row(cells);
+    }
+    std::cout << panel.title << '\n';
+    table.print(std::cout);
+  }
+
+  // Sanity summary: all curves monotone non-increasing.
+  bool monotone = true;
+  for (const auto& panel : panels) {
+    for (const auto& [name, u] : panel.curves) {
+      double prev = u->value(1e-3);
+      for (double t = 0.05; t <= t_max; t += 0.05) {
+        const double v = u->value(t);
+        if (v > prev + 1e-12) monotone = false;
+        prev = v;
+      }
+    }
+  }
+  std::cout << "monotone non-increasing: " << (monotone ? "yes" : "NO")
+            << '\n';
+  return monotone ? 0 : 1;
+}

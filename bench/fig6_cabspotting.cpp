@@ -1,0 +1,104 @@
+// Figure 6: vehicular scenario (Cabspotting-like trace).
+//   (a) loss vs OPT sweeping alpha (power utility)
+//   (b) loss vs OPT sweeping tau (step utility)
+//   (c) loss vs OPT sweeping nu (exponential utility)
+// The real taxi GPS trace is not redistributable; simulated random-
+// waypoint taxis with hotspot attraction reproduce the heavy-tailed
+// vehicular contact statistics (see DESIGN.md). A real GPS log can be
+// supplied with --trace <file> ("id time x y" rows, 200 m range).
+#include <iostream>
+
+#include "common.hpp"
+#include "impatience/trace/parsers.hpp"
+#include "impatience/utility/families.hpp"
+
+using namespace impatience;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const int trials = flags.get_int("trials", 5);
+  const int rho = flags.get_int("rho", 5);
+  const double total_demand = flags.get_double("demand", 1.0);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_long("seed", 415));
+
+  bench::banner("fig6", "Cabspotting-like vehicular trace");
+
+  util::Rng rng(seed);
+  trace::ContactTrace contact_trace = [&]() {
+    if (flags.has("trace")) {
+      trace::GpsOptions opt;
+      return trace::parse_gps_file(flags.get_string("trace", ""), opt);
+    }
+    trace::CabspottingLikeParams params;
+    params.mobility.num_nodes =
+        static_cast<trace::NodeId>(flags.get_int("nodes", 50));
+    params.duration = flags.get_long("slots", 1440);  // one day, 1-min slots
+    util::Rng gen_rng = rng.split();
+    return trace::generate_cabspotting_like(params, gen_rng);
+  }();
+  std::cout << "trace: " << contact_trace.num_nodes() << " taxis, "
+            << contact_trace.duration() << " slots, "
+            << contact_trace.size() << " contacts, inter-contact CV "
+            << trace::inter_contact_cv(contact_trace) << '\n';
+
+  const auto catalog = core::Catalog::pareto(
+      static_cast<core::ItemId>(flags.get_int("items", 50)), 1.0,
+      total_demand);
+  auto scenario =
+      core::make_scenario(std::move(contact_trace), catalog, rho);
+
+  bench::ComparisonConfig config;
+  config.trials = trials;
+  config.opt_mode = core::OptMode::kEstimated;
+
+  // Panel (a): power utility, alpha sweep.
+  {
+    std::vector<bench::ComparisonPoint> points;
+    for (double alpha : {-2.0, -1.0, -0.5, 0.0, 0.5, 0.9}) {
+      utility::PowerUtility u(alpha);
+      util::Rng run_rng = rng.split();
+      points.push_back(
+          bench::run_comparison(scenario, u, alpha, config, run_rng));
+    }
+    bench::print_loss_table(
+        "Figure 6(a): power delay-utility, loss vs OPT (%) by alpha",
+        "alpha", points);
+    bench::maybe_write_csv(flags, "fig6_power.csv", "alpha", points);
+  }
+
+  // Panel (b): step utility, tau sweep.
+  {
+    std::vector<bench::ComparisonPoint> points;
+    for (double tau : {1.0, 10.0, 30.0, 100.0, 300.0, 1000.0}) {
+      utility::StepUtility u(tau);
+      util::Rng run_rng = rng.split();
+      points.push_back(
+          bench::run_comparison(scenario, u, tau, config, run_rng));
+    }
+    bench::print_loss_table(
+        "Figure 6(b): step delay-utility, loss vs OPT (%) by tau", "tau",
+        points);
+    bench::maybe_write_csv(flags, "fig6_step.csv", "tau", points);
+  }
+
+  // Panel (c): exponential utility, nu sweep.
+  {
+    std::vector<bench::ComparisonPoint> points;
+    for (double nu : {0.0001, 0.001, 0.01, 0.1, 1.0}) {
+      utility::ExponentialUtility u(nu);
+      util::Rng run_rng = rng.split();
+      points.push_back(
+          bench::run_comparison(scenario, u, nu, config, run_rng));
+    }
+    bench::print_loss_table(
+        "Figure 6(c): exponential delay-utility, loss vs OPT (%) by nu",
+        "nu", points);
+    bench::maybe_write_csv(flags, "fig6_exp.csv", "nu", points);
+  }
+
+  std::cout << "expected shape (paper): SQRT degraded vs homogeneous; DOM "
+               "improves under\nburstiness; QCR (the only local-information "
+               "scheme) remains competitive.\n";
+  return 0;
+}

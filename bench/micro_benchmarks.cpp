@@ -1,0 +1,200 @@
+// Engine micro-benchmarks (google-benchmark): transform evaluation,
+// solvers, trace generation and simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include "impatience/alloc/heuristics.hpp"
+#include "impatience/alloc/rounding.hpp"
+#include "impatience/alloc/solvers.hpp"
+#include "impatience/core/experiment.hpp"
+#include "impatience/trace/generators.hpp"
+#include "impatience/util/math.hpp"
+#include "impatience/utility/discrete.hpp"
+#include "impatience/utility/families.hpp"
+#include "impatience/utility/fit.hpp"
+#include "impatience/utility/reaction.hpp"
+
+using namespace impatience;
+
+namespace {
+
+std::vector<double> pareto_demand(std::size_t n) {
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) d[i] = 1.0 / static_cast<double>(i + 1);
+  return d;
+}
+
+void BM_RngUniform(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform());
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngPoisson(benchmark::State& state) {
+  util::Rng rng(2);
+  const double lambda = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.poisson(lambda));
+  }
+}
+BENCHMARK(BM_RngPoisson)->Arg(1)->Arg(50);
+
+void BM_QuadratureLossTransform(benchmark::State& state) {
+  // The numeric fallback path (tabulated utilities use closed forms; this
+  // measures integrate_to_inf on a smooth integrand).
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::integrate_to_inf(
+        [](double t) { return std::exp(-0.5 * t) * 0.3 * std::exp(-0.3 * t); }));
+  }
+}
+BENCHMARK(BM_QuadratureLossTransform);
+
+void BM_WelfareHomogeneous(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto demand = pareto_demand(n);
+  alloc::ItemCounts x;
+  x.x.assign(n, 5.0);
+  utility::StepUtility u(10.0);
+  alloc::HomogeneousModel m{0.05, 50, 50, alloc::SystemMode::kPureP2P};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::welfare_homogeneous(x, demand, u, m));
+  }
+}
+BENCHMARK(BM_WelfareHomogeneous)->Arg(50)->Arg(500);
+
+void BM_HomogeneousGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto demand = pareto_demand(n);
+  utility::StepUtility u(10.0);
+  alloc::HomogeneousModel m{0.05, 50, 50, alloc::SystemMode::kPureP2P};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alloc::homogeneous_greedy(demand, u, m, 250));
+  }
+}
+BENCHMARK(BM_HomogeneousGreedy)->Arg(50)->Arg(500);
+
+void BM_RelaxedOptimum(benchmark::State& state) {
+  const auto demand = pareto_demand(50);
+  utility::PowerUtility u(0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alloc::relaxed_optimum(demand, u, 0.05, 50.0, 250.0));
+  }
+}
+BENCHMARK(BM_RelaxedOptimum);
+
+void BM_LazyGreedyPlacement(benchmark::State& state) {
+  const auto n = static_cast<trace::NodeId>(state.range(0));
+  util::Rng rng(3);
+  const auto trace = trace::generate_poisson({n, 500, 0.05}, rng);
+  const auto rates = trace::estimate_rates(trace);
+  const auto demand = pareto_demand(n);
+  utility::StepUtility u(10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alloc::lazy_greedy_pure_p2p(rates, demand, u, n, 5));
+  }
+}
+BENCHMARK(BM_LazyGreedyPlacement)->Arg(25)->Arg(50);
+
+void BM_PoissonTraceGeneration(benchmark::State& state) {
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace::generate_poisson({50, 1000, 0.05}, rng));
+  }
+}
+BENCHMARK(BM_PoissonTraceGeneration);
+
+void BM_MobilityTraceGeneration(benchmark::State& state) {
+  util::Rng rng(5);
+  trace::RandomWaypointParams params;
+  params.num_nodes = 50;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trace::generate_mobility_trace(params, 200, 200.0, rng));
+  }
+}
+BENCHMARK(BM_MobilityTraceGeneration);
+
+void BM_SimulatorQcr(benchmark::State& state) {
+  const auto slots = state.range(0);
+  util::Rng rng(6);
+  auto trace = trace::generate_poisson({50, slots, 0.05}, rng);
+  auto scenario = core::make_scenario(
+      std::move(trace), core::Catalog::pareto(50, 1.0, 1.0), 5);
+  utility::StepUtility u(10.0);
+  for (auto _ : state) {
+    util::Rng r = rng.split();
+    benchmark::DoNotOptimize(
+        core::run_qcr(scenario, u, core::QcrOptions{}, core::SimOptions{},
+                      r));
+  }
+  state.SetItemsProcessed(state.iterations() * slots);
+}
+BENCHMARK(BM_SimulatorQcr)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_PhiClosedForm(benchmark::State& state) {
+  utility::PowerUtility u(0.5);
+  double x = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(utility::phi(u, 0.05, x));
+    x = x < 50.0 ? x + 1.0 : 1.0;
+  }
+}
+BENCHMARK(BM_PhiClosedForm);
+
+void BM_PsiReaction(benchmark::State& state) {
+  utility::StepUtility u(10.0);
+  utility::ReactionFunction reaction(u, 0.05, 50.0, 0.25);
+  double y = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reaction(y));
+    y = y < 50.0 ? y + 1.0 : 1.0;
+  }
+}
+BENCHMARK(BM_PsiReaction);
+
+void BM_DiscreteExpectedGain(benchmark::State& state) {
+  utility::ExponentialUtility u(0.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(utility::discrete_expected_gain(u, 0.05));
+  }
+}
+BENCHMARK(BM_DiscreteExpectedGain);
+
+void BM_FitDelayUtility(benchmark::State& state) {
+  util::Rng rng(11);
+  std::vector<utility::FeedbackSample> samples;
+  for (int k = 0; k < 10000; ++k) {
+    const double d = rng.uniform(0.5, 100.0);
+    samples.push_back({d, rng.bernoulli(std::exp(-0.05 * d)) ? 1.0 : 0.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(utility::fit_delay_utility(samples));
+  }
+}
+BENCHMARK(BM_FitDelayUtility);
+
+void BM_SimulatorStatic(benchmark::State& state) {
+  util::Rng rng(7);
+  auto trace = trace::generate_poisson({50, 2000, 0.05}, rng);
+  auto scenario = core::make_scenario(
+      std::move(trace), core::Catalog::pareto(50, 1.0, 1.0), 5);
+  utility::StepUtility u(10.0);
+  util::Rng pr = rng.split();
+  const auto set =
+      core::build_competitors(scenario, u, core::OptMode::kHomogeneous, pr);
+  for (auto _ : state) {
+    util::Rng r = rng.split();
+    benchmark::DoNotOptimize(core::run_fixed(
+        scenario, u, "OPT", set[0].placement, core::SimOptions{}, r));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_SimulatorStatic)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

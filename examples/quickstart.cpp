@@ -1,0 +1,60 @@
+// Quickstart: the library in ~60 lines.
+//
+// 1. Pick a delay-utility (how impatient are your users?).
+// 2. Generate (or load) a contact trace.
+// 3. Compute the optimal allocation centrally (Theorem 2) ...
+// 4. ... or just run QCR, which converges to it with local knowledge only.
+#include <iostream>
+
+#include "impatience/core/experiment.hpp"
+#include "impatience/utility/families.hpp"
+
+using namespace impatience;
+
+int main() {
+  // Users lose interest after 10 minutes.
+  utility::StepUtility utility(10.0);
+
+  // 30 phones, homogeneous opportunistic contacts, 2000 one-minute slots.
+  util::Rng rng(2009);
+  auto contacts = trace::generate_poisson({30, 2000, 0.05}, rng);
+
+  // 30 content items with Pareto popularity; each phone caches 4 items.
+  auto scenario = core::make_scenario(std::move(contacts),
+                                      core::Catalog::pareto(30, 1.0, 1.0),
+                                      /*capacity=*/4);
+
+  // --- centralized optimum (needs global knowledge) --------------------
+  alloc::HomogeneousModel model{scenario.mu, 30, 30,
+                                alloc::SystemMode::kPureP2P};
+  const auto opt_counts = alloc::homogeneous_greedy(
+      scenario.catalog.demands(), utility, model, 4 * 30);
+  std::cout << "optimal replica counts (top 5 items):";
+  for (int i = 0; i < 5; ++i) std::cout << ' ' << opt_counts.x[i];
+  const double opt_welfare = alloc::welfare_homogeneous(
+      opt_counts, scenario.catalog.demands(), utility, model);
+  std::cout << "\nanalytic optimal welfare: " << opt_welfare << "\n";
+
+  // Simulate the frozen optimal allocation.
+  util::Rng run_rng = rng.split();
+  const auto placement =
+      alloc::place_counts(opt_counts, 30, 4, run_rng);
+  const auto opt_run = core::run_fixed(scenario, utility, "OPT", placement,
+                                       core::SimOptions{}, run_rng);
+  std::cout << "simulated OPT utility:    " << opt_run.observed_utility()
+            << "  (" << opt_run.fulfillments << " fulfilments, mean delay "
+            << opt_run.mean_delay << " min)\n";
+
+  // --- QCR: same thing with purely local decisions ---------------------
+  util::Rng qcr_rng = rng.split();
+  const auto qcr_run = core::run_qcr(scenario, utility, core::QcrOptions{},
+                                     core::SimOptions{}, qcr_rng);
+  std::cout << "simulated QCR utility:    " << qcr_run.observed_utility()
+            << "  (" << qcr_run.replicas_written
+            << " replicas written, no control channel)\n";
+  std::cout << "QCR vs OPT: "
+            << core::normalized_loss_percent(qcr_run.observed_utility(),
+                                             opt_run.observed_utility())
+            << "%\n";
+  return 0;
+}

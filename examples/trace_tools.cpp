@@ -1,0 +1,139 @@
+// Contact-trace utility CLI: generate synthetic traces, convert external
+// formats to the native one, and print descriptive statistics.
+//
+//   trace_tools generate --kind poisson|infocom|cabspotting --out t.trace
+//   trace_tools convert  --crawdad in.dat --out t.trace [--slot-seconds 60]
+//   trace_tools convert  --gps in.log --out t.trace [--range 200]
+//   trace_tools stats    t.trace
+#include <iostream>
+
+#include "impatience/stats/percentile.hpp"
+#include "impatience/trace/generators.hpp"
+#include "impatience/trace/parsers.hpp"
+#include "impatience/util/flags.hpp"
+#include "impatience/util/table.hpp"
+
+using namespace impatience;
+
+namespace {
+
+int cmd_generate(const util::Flags& flags) {
+  const std::string kind = flags.get_string("kind", "poisson");
+  const std::string out = flags.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "generate: --out <file> is required\n";
+    return 2;
+  }
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_long("seed", 1)));
+  trace::ContactTrace result = [&]() {
+    if (kind == "poisson") {
+      trace::PoissonTraceParams p;
+      p.num_nodes = static_cast<trace::NodeId>(flags.get_int("nodes", 50));
+      p.duration = flags.get_long("slots", 5000);
+      p.mu = flags.get_double("mu", 0.05);
+      return trace::generate_poisson(p, rng);
+    }
+    if (kind == "infocom") {
+      trace::InfocomLikeParams p;
+      p.num_nodes = static_cast<trace::NodeId>(flags.get_int("nodes", 50));
+      p.days = flags.get_int("days", 3);
+      return trace::generate_infocom_like(p, rng);
+    }
+    if (kind == "cabspotting") {
+      trace::CabspottingLikeParams p;
+      p.mobility.num_nodes =
+          static_cast<trace::NodeId>(flags.get_int("nodes", 50));
+      p.duration = flags.get_long("slots", 1440);
+      return trace::generate_cabspotting_like(p, rng);
+    }
+    throw std::invalid_argument("unknown --kind: " + kind);
+  }();
+  trace::write_native_file(result, out);
+  std::cout << "wrote " << result.size() << " contacts (" << kind << ") to "
+            << out << '\n';
+  return 0;
+}
+
+int cmd_convert(const util::Flags& flags) {
+  const std::string out = flags.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "convert: --out <file> is required\n";
+    return 2;
+  }
+  trace::ContactTrace result = [&]() {
+    if (flags.has("crawdad")) {
+      trace::CrawdadOptions opt;
+      opt.slot_seconds = flags.get_double("slot-seconds", 60.0);
+      return trace::parse_crawdad_file(flags.get_string("crawdad", ""), opt);
+    }
+    if (flags.has("gps")) {
+      trace::GpsOptions opt;
+      opt.slot_seconds = flags.get_double("slot-seconds", 60.0);
+      opt.contact_range = flags.get_double("range", 200.0);
+      opt.coordinates_are_latlon = flags.get_bool("latlon", false);
+      return trace::parse_gps_file(flags.get_string("gps", ""), opt);
+    }
+    if (flags.has("one")) {
+      trace::OneOptions opt;
+      opt.slot_seconds = flags.get_double("slot-seconds", 60.0);
+      return trace::parse_one_events_file(flags.get_string("one", ""), opt);
+    }
+    throw std::invalid_argument(
+        "convert: need --crawdad, --gps or --one input");
+  }();
+  trace::write_native_file(result, out);
+  std::cout << "wrote " << result.size() << " contacts to " << out << '\n';
+  return 0;
+}
+
+int cmd_stats(const util::Flags& flags) {
+  if (flags.positional().size() < 2) {
+    std::cerr << "stats: need a trace file\n";
+    return 2;
+  }
+  const auto t = trace::read_native_file(flags.positional()[1]);
+  util::TablePrinter table({"metric", "value"});
+  table.set_precision(5);
+  table.row("nodes", static_cast<long>(t.num_nodes()));
+  table.row("duration (slots)", static_cast<long>(t.duration()));
+  table.row("contacts", static_cast<long>(t.size()));
+  const auto rates = trace::estimate_rates(t);
+  table.row("mean pair rate", rates.mean_rate());
+  table.row("inter-contact CV", trace::inter_contact_cv(t));
+  auto gaps = trace::inter_contact_times(t);
+  if (!gaps.empty()) {
+    const auto qs = stats::percentiles(gaps, {0.5, 0.9, 0.99});
+    table.row("inter-contact p50", qs[0]);
+    table.row("inter-contact p90", qs[1]);
+    table.row("inter-contact p99", qs[2]);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  if (flags.positional().empty()) {
+    std::cout
+        << "usage:\n"
+           "  trace_tools generate --kind poisson|infocom|cabspotting "
+           "--out t.trace [--nodes N] [--slots S] [--seed X]\n"
+           "  trace_tools convert (--crawdad f | --gps f | --one f) --out "
+           "t.trace\n"
+           "  trace_tools stats t.trace\n";
+    return 0;
+  }
+  try {
+    const std::string& cmd = flags.positional()[0];
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "convert") return cmd_convert(flags);
+    if (cmd == "stats") return cmd_stats(flags);
+    std::cerr << "unknown command: " << cmd << '\n';
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,117 @@
+// The paper's motivating scenario (Section 1): the imaginary startup
+// VideoForU distributes episodes with embedded ads over opportunistic
+// contacts between subscribers' phones. Revenue accrues when a user
+// actually watches a delivered episode — the probability of which decays
+// with waiting time (exponential delay-utility e^{-nu t}).
+//
+// The example runs the same deployment under a *patient* and an
+// *impatient* user population and shows the paper's headline effect: the
+// right replication rule depends on impatience. Passive one-copy
+// replication is fine when users wait; once they don't, the tuned QCR
+// reaction recovers a chunk of the oracle's ad revenue with local
+// knowledge only.
+#include <iostream>
+
+#include "impatience/core/experiment.hpp"
+#include "impatience/util/flags.hpp"
+#include "impatience/util/table.hpp"
+#include "impatience/utility/families.hpp"
+
+using namespace impatience;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  // Scaled-down deployment: the paper imagines 5000 users x 500 episodes;
+  // we default to 60 subscribers x 80 episodes so the example runs in
+  // seconds. Scale up with --nodes/--items.
+  const auto nodes = static_cast<trace::NodeId>(flags.get_int("nodes", 60));
+  const auto items = static_cast<core::ItemId>(flags.get_int("items", 80));
+  const int cache_slots = flags.get_int("cache", 3);  // 3-episode cache
+  const int days = flags.get_int("days", 3);
+
+  std::cout << "VideoForU: " << nodes << " subscribers, " << items
+            << " episodes, " << cache_slots << "-episode caches, " << days
+            << " simulated days\n";
+
+  util::Rng rng(5000);
+  trace::InfocomLikeParams mobility;  // commuters: diurnal + bursty
+  mobility.num_nodes = nodes;
+  mobility.days = days;
+  auto contacts = trace::generate_infocom_like(mobility, rng);
+  auto scenario = core::make_scenario(
+      std::move(contacts), core::Catalog::pareto(items, 1.0, 1.0),
+      cache_slots);
+
+  struct Population {
+    const char* label;
+    double nu;  // per-minute interest decay
+  };
+  const Population populations[] = {
+      {"patient users (interest half-life ~8h)", 0.0014},
+      {"impatient users (interest half-life ~14min)", 0.05},
+  };
+
+  for (const auto& pop : populations) {
+    utility::ExponentialUtility impatience(
+        flags.has("nu") ? flags.get_double("nu", pop.nu) : pop.nu);
+    std::cout << "\n-- " << pop.label << " (nu=" << impatience.nu()
+              << ") --\n";
+
+    struct Run {
+      std::string name;
+      double utility;
+      double impressions_per_day;
+    };
+    std::vector<Run> runs;
+    auto record = [&](const std::string& name,
+                      const core::SimulationResult& r) {
+      // total_gain = expected watched episodes (ad impressions) overall.
+      runs.push_back({name, r.observed_utility(),
+                      r.total_gain / static_cast<double>(days)});
+    };
+
+    // Passive replication (one replica per fulfilment; what a naive
+    // podcast-style system does).
+    {
+      auto policy = core::make_passive_policy(0.5);
+      core::SimOptions options;
+      options.cache_capacity = cache_slots;
+      util::Rng r = rng.split();
+      record("PASSIVE", core::simulate(scenario.trace, scenario.catalog,
+                                       impatience, *policy, options, r));
+    }
+    // Impatience-tuned QCR.
+    {
+      util::Rng r = rng.split();
+      record("QCR", core::run_qcr(scenario, impatience, core::QcrOptions{},
+                                  core::SimOptions{}, r));
+    }
+    // The control-channel optimum, as an upper reference.
+    {
+      util::Rng pr = rng.split();
+      const auto set = core::build_competitors(
+          scenario, impatience, core::OptMode::kEstimated, pr);
+      util::Rng r = rng.split();
+      record("OPT (oracle)",
+             core::run_fixed(scenario, impatience, "OPT", set[0].placement,
+                             core::SimOptions{}, r));
+    }
+
+    util::TablePrinter table({"scheme", "utility (gain/min)",
+                              "ad impressions/day", "vs oracle %"});
+    table.set_precision(4);
+    const double oracle = runs.back().utility;
+    for (const auto& run : runs) {
+      table.row(run.name, run.utility, run.impressions_per_day,
+                core::normalized_loss_percent(run.utility, oracle));
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nTakeaway: with patient users passive replication is "
+               "already near-optimal;\nimpatient users change the optimal "
+               "allocation, and the Table-1-tuned QCR reaction\nrecovers "
+               "the difference without any infrastructure or global "
+               "state.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Global-cache allocation representations: per-item replica counts (the
+// x_i of the paper's homogeneous analysis) and the explicit item-by-server
+// placement matrix (the x_{i,m} of the general model).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "impatience/trace/contact.hpp"
+
+namespace impatience::alloc {
+
+using ItemId = std::uint32_t;
+using trace::NodeId;
+
+/// Real- or integer-valued replica counts per item.
+struct ItemCounts {
+  std::vector<double> x;
+
+  double total() const noexcept;
+  std::size_t num_items() const noexcept { return x.size(); }
+};
+
+/// Binary placement matrix x_{i,m}: which server holds which item.
+/// Capacity bookkeeping only; protocol-level caches live in core::Cache.
+class Placement {
+ public:
+  Placement(ItemId num_items, NodeId num_servers, int capacity_per_server);
+
+  ItemId num_items() const noexcept { return num_items_; }
+  NodeId num_servers() const noexcept { return num_servers_; }
+  int capacity_per_server() const noexcept { return capacity_; }
+
+  bool has(ItemId item, NodeId server) const;
+  /// Adds a replica. Throws std::logic_error if already present or the
+  /// server is full.
+  void add(ItemId item, NodeId server);
+  /// Removes a replica. Throws std::logic_error if absent.
+  void remove(ItemId item, NodeId server);
+
+  int server_load(NodeId server) const;
+  bool server_full(NodeId server) const {
+    return server_load(server) >= capacity_;
+  }
+
+  /// Number of replicas of one item.
+  int count(ItemId item) const;
+  /// All per-item replica counts.
+  ItemCounts counts() const;
+
+  /// Servers currently holding the item.
+  std::vector<NodeId> holders(ItemId item) const;
+
+ private:
+  std::size_t index(ItemId item, NodeId server) const {
+    return static_cast<std::size_t>(item) * num_servers_ + server;
+  }
+
+  ItemId num_items_;
+  NodeId num_servers_;
+  int capacity_;
+  std::vector<std::uint8_t> has_;
+  std::vector<int> load_;
+  std::vector<int> count_;
+};
+
+}  // namespace impatience::alloc

@@ -1,0 +1,36 @@
+// The fixed-allocation competitors of Section 6.1: UNI, SQRT, PROP, DOM.
+// (OPT lives in solvers.hpp.) All return real-valued ItemCounts with total
+// capacity * |S| replicas; round_counts() turns them into integers.
+#pragma once
+
+#include <vector>
+
+#include "impatience/alloc/allocation.hpp"
+
+namespace impatience::alloc {
+
+/// x_i proportional to weights[i], scaled so the total is `capacity`,
+/// with each x_i clamped to [0, cap_per_item]; the clamped surplus is
+/// redistributed over the unclamped items (water-filling).
+ItemCounts proportional_with_cap(const std::vector<double>& weights,
+                                 double capacity, double cap_per_item);
+
+/// UNI: memory evenly allocated among all items.
+ItemCounts uniform_allocation(std::size_t num_items, double capacity,
+                              double cap_per_item);
+
+/// SQRT: allocation proportional to the square root of demand.
+ItemCounts sqrt_allocation(const std::vector<double>& demand, double capacity,
+                           double cap_per_item);
+
+/// PROP: allocation proportional to demand (the equilibrium of passive
+/// one-replica-per-fulfilment replication).
+ItemCounts prop_allocation(const std::vector<double>& demand, double capacity,
+                           double cap_per_item);
+
+/// DOM: every node caches the rho most popular items, i.e. the top-rho
+/// items by demand get |S| replicas each and everything else gets none.
+ItemCounts dom_allocation(const std::vector<double>& demand, int rho,
+                          double num_servers);
+
+}  // namespace impatience::alloc

@@ -1,0 +1,21 @@
+// Turning real-valued allocations into feasible integer placements.
+#pragma once
+
+#include "impatience/alloc/allocation.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::alloc {
+
+/// Largest-remainder rounding: integer counts with the same total as the
+/// input (rounded to the nearest integer), each in [0, cap_per_item].
+/// Throws std::invalid_argument if the input is infeasible.
+ItemCounts round_counts(const ItemCounts& real_counts, int cap_per_item);
+
+/// Materializes integer counts as a concrete placement: item copies go to
+/// distinct servers, most-loaded-last (longest-processing-time style), so
+/// per-server capacity rho is met whenever sum x_i <= rho |S| and
+/// x_i <= |S|. Server choice among equals is randomized via rng.
+Placement place_counts(const ItemCounts& int_counts, NodeId num_servers,
+                       int capacity_per_server, util::Rng& rng);
+
+}  // namespace impatience::alloc

@@ -1,0 +1,99 @@
+// Optimal-allocation solvers.
+//
+//  * homogeneous_greedy — Theorem 2: exact integer optimum under
+//    homogeneous contacts (welfare is concave in the replica counts).
+//  * relaxed_optimum    — Property 1: real-valued optimum via the balance
+//    condition d_i phi(x_i) = lambda, solved by dual bisection.
+//  * lazy_greedy_placement — Theorem 1: greedy placement for heterogeneous
+//    rate matrices (submodular welfare; the paper's OPT competitor).
+#pragma once
+
+#include <vector>
+
+#include "impatience/alloc/welfare.hpp"
+
+namespace impatience::alloc {
+
+/// Exact integer optimum under homogeneous contacts: maximizes
+/// welfare_homogeneous subject to sum_i x_i <= capacity and
+/// 0 <= x_i <= |S|. Runs the greedy of Theorem 2 with a max-heap
+/// (O(capacity log I)); exact by concavity / diminishing returns.
+/// Infinite first-copy marginals (cost-type utilities) are ordered by
+/// demand, which preserves optimality within the infinite tier.
+ItemCounts homogeneous_greedy(const std::vector<double>& demand,
+                              const utility::DelayUtility& u,
+                              const HomogeneousModel& model, int capacity);
+
+/// Per-item delay-utilities h_i.
+ItemCounts homogeneous_greedy(const std::vector<double>& demand,
+                              const utility::UtilitySet& utilities,
+                              const HomogeneousModel& model, int capacity);
+
+/// Relaxed optimum (Property 1): real-valued x maximizing the dedicated-
+/// node welfare with sum x_i = capacity, 0 <= x_i <= |S|. Solved by
+/// bisection on the Lagrange multiplier of the capacity constraint; each
+/// inner solve inverts the strictly decreasing d_i * phi(x).
+ItemCounts relaxed_optimum(const std::vector<double>& demand,
+                           const utility::DelayUtility& u, double mu,
+                           double num_servers, double capacity);
+
+/// Per-item delay-utilities: the balance condition becomes
+/// d_i phi_i(x_i) = lambda with each item's own phi_i.
+ItemCounts relaxed_optimum(const std::vector<double>& demand,
+                           const utility::UtilitySet& utilities, double mu,
+                           double num_servers, double capacity);
+
+struct GradientOptions {
+  int max_iterations = 5000;
+  double step = 0.5;        ///< initial step size (backtracked)
+  double tolerance = 1e-9;  ///< stop when the projected step is this small
+};
+
+/// The gradient-descent solver Theorem 2 mentions for the relaxed
+/// problem: projected gradient ascent of the dedicated-node welfare on
+/// the simplex-with-box {0 <= x_i <= |S|, sum x_i = capacity}, using
+/// dU/dx_i = d_i * phi_i(x_i) and Euclidean projection. Converges to the
+/// same point as relaxed_optimum (the objective is concave); exposed both
+/// as a cross-check and because it generalizes to constraints the dual
+/// bisection cannot handle.
+ItemCounts relaxed_gradient(const std::vector<double>& demand,
+                            const utility::DelayUtility& u, double mu,
+                            double num_servers, double capacity,
+                            const GradientOptions& options = {});
+
+ItemCounts relaxed_gradient(const std::vector<double>& demand,
+                            const utility::UtilitySet& utilities, double mu,
+                            double num_servers, double capacity,
+                            const GradientOptions& options = {});
+
+/// Greedy placement maximizing the heterogeneous welfare of Lemma 1
+/// under per-server capacity rho (a partition-matroid constraint).
+/// Uses lazy marginal evaluation (valid by submodularity, Theorem 1).
+/// This is the paper's OPT competitor on contact traces: exactly optimal
+/// in the homogeneous case, approximately so otherwise.
+Placement lazy_greedy_placement(const trace::RateMatrix& rates,
+                                const std::vector<double>& demand,
+                                const utility::DelayUtility& u,
+                                const std::vector<NodeId>& servers,
+                                const std::vector<NodeId>& clients,
+                                ItemId num_items, int capacity_per_server,
+                                const std::optional<PopularityProfile>&
+                                    popularity = std::nullopt);
+
+/// Per-item delay-utilities h_i (Theorem 1 covers this case).
+Placement lazy_greedy_placement(const trace::RateMatrix& rates,
+                                const std::vector<double>& demand,
+                                const utility::UtilitySet& utilities,
+                                const std::vector<NodeId>& servers,
+                                const std::vector<NodeId>& clients,
+                                ItemId num_items, int capacity_per_server,
+                                const std::optional<PopularityProfile>&
+                                    popularity = std::nullopt);
+
+/// Convenience: pure-P2P lazy greedy over all nodes of the rate matrix.
+Placement lazy_greedy_pure_p2p(const trace::RateMatrix& rates,
+                               const std::vector<double>& demand,
+                               const utility::DelayUtility& u,
+                               ItemId num_items, int capacity_per_server);
+
+}  // namespace impatience::alloc

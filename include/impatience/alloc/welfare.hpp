@@ -1,0 +1,110 @@
+// Social-welfare evaluation (Eq. 1 and Lemma 1 of the paper).
+//
+// Homogeneous contacts: closed forms Eqs. (2)-(5); welfare depends on the
+// allocation only through the per-item replica counts x_i.
+//
+// Heterogeneous contacts: the general Lemma 1 expression over an explicit
+// placement and a per-pair rate matrix (the memoryless approximation the
+// paper's OPT competitor is computed from).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "impatience/alloc/allocation.hpp"
+#include "impatience/trace/stats.hpp"
+#include "impatience/utility/delay_utility.hpp"
+#include "impatience/utility/utility_set.hpp"
+
+namespace impatience::alloc {
+
+/// Dedicated nodes: C and S disjoint. Pure P2P: every node is both.
+enum class SystemMode { kDedicated, kPureP2P };
+
+/// Parameters of the homogeneous-contact closed forms.
+struct HomogeneousModel {
+  double mu = 0.05;        ///< per-pair meeting rate
+  NodeId num_servers = 50; ///< |S|
+  NodeId num_clients = 50; ///< N = |C|
+  SystemMode mode = SystemMode::kPureP2P;
+};
+
+/// Expected gain of one request for an item with x replicas (continuous-
+/// time contact model):
+///   dedicated : E[h(Y)],   Y ~ Exp(mu * x)
+///   pure P2P  : h(0+) - (1 - x/N) L(mu * x)
+/// x <= 0 returns h(inf) (the request is never fulfilled). Pure P2P with
+/// an unbounded-at-zero utility throws std::domain_error (the paper
+/// restricts those to the dedicated case).
+double item_gain(const utility::DelayUtility& u, const HomogeneousModel& m,
+                 double x);
+
+/// Social welfare U(x) = sum_i d_i * item_gain(x_i) (Eqs. 2-5).
+double welfare_homogeneous(const ItemCounts& counts,
+                           const std::vector<double>& demand,
+                           const utility::DelayUtility& u,
+                           const HomogeneousModel& m);
+
+/// Per-item delay-utilities h_i (the paper's general model).
+double welfare_homogeneous(const ItemCounts& counts,
+                           const std::vector<double>& demand,
+                           const utility::UtilitySet& utilities,
+                           const HomogeneousModel& m);
+
+/// Per-item demand-popularity profile pi_{i,n} over clients; uniform
+/// (pi = 1/|C|) when not supplied.
+struct PopularityProfile {
+  /// pi[i][n] with n indexing the `clients` vector; rows must sum to 1.
+  std::vector<std::vector<double>> pi;
+};
+
+/// Heterogeneous-contact welfare (Lemma 1, continuous time):
+///   U = sum_i d_i sum_n pi_{i,n} [ h(0+) - (1 - x_{i,n}) L(M_{i,n}) ]
+/// with M_{i,n} = sum_m x_{i,m} mu_{m,n}.
+///
+/// `servers[s]` / `clients[n]` map placement/client indices to node ids in
+/// `rates`. For pure P2P pass the same node list for both. If a client
+/// node is also a server holding the item, the request fulfils
+/// immediately (the (1 - x_{i,n}) factor).
+double welfare_heterogeneous(
+    const Placement& placement, const trace::RateMatrix& rates,
+    const std::vector<double>& demand, const utility::DelayUtility& u,
+    const std::vector<NodeId>& servers, const std::vector<NodeId>& clients,
+    const std::optional<PopularityProfile>& popularity = std::nullopt);
+
+/// Per-item delay-utilities h_i; Theorem 1 (submodularity) still holds.
+double welfare_heterogeneous(
+    const Placement& placement, const trace::RateMatrix& rates,
+    const std::vector<double>& demand, const utility::UtilitySet& utilities,
+    const std::vector<NodeId>& servers, const std::vector<NodeId>& clients,
+    const std::optional<PopularityProfile>& popularity = std::nullopt);
+
+/// Convenience: pure P2P over all nodes of the rate matrix.
+double welfare_pure_p2p(const Placement& placement,
+                        const trace::RateMatrix& rates,
+                        const std::vector<double>& demand,
+                        const utility::DelayUtility& u);
+
+/// Marginal welfare of adding a replica of `item` at `server` (used by the
+/// lazy greedy solver; must match welfare_heterogeneous differences).
+double marginal_gain(const Placement& placement,
+                     const trace::RateMatrix& rates,
+                     const std::vector<double>& demand,
+                     const utility::DelayUtility& u,
+                     const std::vector<NodeId>& servers,
+                     const std::vector<NodeId>& clients, ItemId item,
+                     NodeId server,
+                     const std::optional<PopularityProfile>& popularity =
+                         std::nullopt);
+
+double marginal_gain(const Placement& placement,
+                     const trace::RateMatrix& rates,
+                     const std::vector<double>& demand,
+                     const utility::UtilitySet& utilities,
+                     const std::vector<NodeId>& servers,
+                     const std::vector<NodeId>& clients, ItemId item,
+                     NodeId server,
+                     const std::optional<PopularityProfile>& popularity =
+                         std::nullopt);
+
+}  // namespace impatience::alloc

@@ -1,0 +1,54 @@
+// A server node's local cache: rho equal-size item slots, random
+// replacement, and optionally one immortal "sticky" replica (Section 6.1:
+// the initial seeder keeps its copy so no item can be lost to stochastic
+// eviction).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "impatience/core/catalog.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::core {
+
+class Cache {
+ public:
+  explicit Cache(int capacity);
+
+  int capacity() const noexcept { return capacity_; }
+  int size() const noexcept { return static_cast<int>(items_.size()); }
+  bool full() const noexcept { return size() >= capacity_; }
+  bool contains(ItemId item) const noexcept;
+  const std::vector<ItemId>& items() const noexcept { return items_; }
+
+  /// Pins `item` as this cache's sticky replica (inserting it if absent).
+  /// Throws std::logic_error if a different sticky item is already pinned
+  /// or the cache is full of other sticky content.
+  void pin_sticky(ItemId item);
+  std::optional<ItemId> sticky() const noexcept { return sticky_; }
+
+  /// True if an insert can succeed: a free slot exists or some cached
+  /// item is evictable (non-sticky).
+  bool can_insert() const noexcept {
+    return !full() || size() > (sticky_ ? 1 : 0);
+  }
+
+  /// Inserts a replica. If the cache is full, overwrites a uniformly
+  /// random non-sticky slot and returns the evicted item. Returns
+  /// std::nullopt when no eviction happened. Throws std::logic_error if
+  /// the item is already present, or if the cache is full and every slot
+  /// is sticky.
+  std::optional<ItemId> insert_random_replace(ItemId item, util::Rng& rng);
+
+  /// Removes a (non-sticky) replica; throws std::logic_error if absent or
+  /// sticky.
+  void erase(ItemId item);
+
+ private:
+  int capacity_;
+  std::vector<ItemId> items_;
+  std::optional<ItemId> sticky_;
+};
+
+}  // namespace impatience::core

@@ -1,0 +1,37 @@
+// The content catalog: items and their demand rates d_i (Section 3.3).
+#pragma once
+
+#include <vector>
+
+#include "impatience/alloc/allocation.hpp"
+
+namespace impatience::core {
+
+using alloc::ItemId;
+
+class Catalog {
+ public:
+  /// demand[i] = d_i, the system-wide request rate for item i per slot.
+  explicit Catalog(std::vector<double> demand);
+
+  /// Pareto popularity (the paper's simulations use omega = 1):
+  /// d_i proportional to (i+1)^{-omega}, scaled so the rates sum to
+  /// total_rate requests per slot.
+  static Catalog pareto(ItemId num_items, double omega, double total_rate);
+
+  ItemId num_items() const noexcept {
+    return static_cast<ItemId>(demand_.size());
+  }
+  double demand(ItemId item) const;
+  const std::vector<double>& demands() const noexcept { return demand_; }
+  double total_demand() const noexcept { return total_; }
+
+  /// Items sorted by decreasing demand (ties by id).
+  std::vector<ItemId> by_popularity() const;
+
+ private:
+  std::vector<double> demand_;
+  double total_;
+};
+
+}  // namespace impatience::core

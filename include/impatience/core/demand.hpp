@@ -1,0 +1,47 @@
+// The client request process: node n creates requests for item i at rate
+// d_i * pi_{i,n} per slot (Section 3.3). The default profile is uniform,
+// pi_{i,n} = 1/|C|.
+#pragma once
+
+#include <vector>
+
+#include "impatience/core/catalog.hpp"
+#include "impatience/trace/contact.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::core {
+
+using trace::NodeId;
+using trace::Slot;
+
+/// A request freshly created in a slot.
+struct NewRequest {
+  ItemId item;
+  NodeId node;
+};
+
+class DemandProcess {
+ public:
+  /// Uniform popularity profile across the given clients.
+  DemandProcess(const Catalog& catalog, std::vector<NodeId> clients);
+
+  /// Per-item node-weight profile: weight w[i][n] (indexing the clients
+  /// vector) proportional to pi_{i,n}. Rows are normalized internally.
+  DemandProcess(const Catalog& catalog, std::vector<NodeId> clients,
+                std::vector<std::vector<double>> weights);
+
+  /// Samples the requests created during one slot: their count is
+  /// Poisson(total demand), each is an independent (item, node) draw.
+  std::vector<NewRequest> sample_slot(util::Rng& rng) const;
+
+  double total_rate() const noexcept { return total_rate_; }
+  const std::vector<NodeId>& clients() const noexcept { return clients_; }
+
+ private:
+  std::vector<NodeId> clients_;
+  std::vector<double> item_weights_;  // d_i
+  std::vector<std::vector<double>> node_weights_;  // per item, or empty
+  double total_rate_;
+};
+
+}  // namespace impatience::core

@@ -1,0 +1,127 @@
+// High-level experiment drivers shared by the benchmark harness and the
+// examples: build the Section-6.1 competitor set (OPT / UNI / SQRT / PROP
+// / DOM), run QCR, and compare in the paper's normalized-loss units.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "impatience/alloc/heuristics.hpp"
+#include "impatience/alloc/rounding.hpp"
+#include "impatience/alloc/solvers.hpp"
+#include "impatience/core/simulator.hpp"
+#include "impatience/trace/generators.hpp"
+#include "impatience/utility/reaction.hpp"
+
+namespace impatience::core {
+
+/// A fully-specified evaluation setting: contact trace + catalog + cache
+/// capacity. `mu` is the homogeneous-equivalent mean pair rate used to
+/// tune QCR's reaction function and the homogeneous OPT.
+struct Scenario {
+  trace::ContactTrace trace;
+  Catalog catalog;
+  int capacity = 5;  ///< rho
+  double mu = 0.05;  ///< mean per-pair contact rate (per slot)
+
+  NodeId num_nodes() const { return trace.num_nodes(); }
+};
+
+/// Builds a pure-P2P scenario from a trace, measuring mu from it.
+Scenario make_scenario(trace::ContactTrace trace, Catalog catalog,
+                       int capacity);
+
+/// How the OPT competitor is computed.
+enum class OptMode {
+  kHomogeneous,  ///< Theorem-2 greedy with the scenario's mu (exact there)
+  kEstimated,    ///< Lemma-1 lazy greedy on trace-estimated pair rates
+};
+
+/// A named fixed allocation (competitor).
+struct NamedPlacement {
+  std::string name;
+  alloc::Placement placement;
+};
+
+/// The paper's competitor set, in order: OPT, UNI, SQRT, PROP, DOM.
+/// All receive the perfect control channel: exact cache presets.
+std::vector<NamedPlacement> build_competitors(
+    const Scenario& scenario, const utility::DelayUtility& utility,
+    OptMode opt_mode, util::Rng& rng);
+
+/// Per-item delay-utilities h_i (only OPT depends on the utility).
+std::vector<NamedPlacement> build_competitors(
+    const Scenario& scenario, const utility::UtilitySet& utilities,
+    OptMode opt_mode, util::Rng& rng);
+
+/// Runs a frozen-cache (STATIC) trial of the given placement.
+SimulationResult run_fixed(const Scenario& scenario,
+                           const utility::DelayUtility& utility,
+                           const std::string& name,
+                           const alloc::Placement& placement,
+                           const SimOptions& base_options, util::Rng& rng);
+
+SimulationResult run_fixed(const Scenario& scenario,
+                           const utility::UtilitySet& utilities,
+                           const std::string& name,
+                           const alloc::Placement& placement,
+                           const SimOptions& base_options, util::Rng& rng);
+
+struct QcrOptions {
+  bool mandate_routing = true;
+  /// Section 5.1's "replication with rewriting": meeting a node that
+  /// already holds the item consumes a mandate without copying. Off by
+  /// default (the paper's simulation choice).
+  bool rewriting = false;
+  /// Multiplier on the (auto-normalized) reaction function.
+  double reaction_scale = 1.0;
+  /// Property 2 fixes psi only up to a positive constant; the raw Table-1
+  /// forms can emit tens of replicas per fulfilment, which thrashes a
+  /// small global cache (the mean-field analysis assumes gentle flows).
+  /// When true (default), psi is rescaled so that a fulfilment at the
+  /// *uniform* allocation creates about `target_replicas_per_fulfillment`
+  /// replicas; the fixed point is scale-invariant, so this only affects
+  /// convergence speed vs steady-state noise.
+  bool auto_normalize_scale = true;
+  double target_replicas_per_fulfillment = 0.25;
+  /// Upper bound on replicas created by one fulfilment (0 = auto, the
+  /// per-node cache size rho). Steep reactions (power alpha << 0 have
+  /// psi ~ y^{1-alpha}) otherwise emit cache-sized bursts whenever an
+  /// item's counter spikes, which destabilizes small systems; the cap
+  /// binds only during such excursions, so the fixed point (Property 2)
+  /// is unchanged.
+  double max_replicas_per_fulfillment = 0.0;
+  /// Clamp the query counter fed to psi at |S|: with sticky seed copies
+  /// every item has x >= 1, so counter values beyond |S| carry no extra
+  /// information about the allocation (the implied estimate S/y would be
+  /// below the guaranteed floor of one replica).
+  bool clamp_counter_at_servers = true;
+};
+
+/// Runs a QCR trial (random initial fill + sticky seeds, reaction tuned
+/// to the scenario's utility/mu per Table 1).
+SimulationResult run_qcr(const Scenario& scenario,
+                         const utility::DelayUtility& utility,
+                         const QcrOptions& qcr_options,
+                         const SimOptions& base_options, util::Rng& rng);
+
+/// Per-item delay-utilities: each item gets its own Table-1 reaction.
+SimulationResult run_qcr(const Scenario& scenario,
+                         const utility::UtilitySet& utilities,
+                         const QcrOptions& qcr_options,
+                         const SimOptions& base_options, util::Rng& rng);
+
+/// The paper's comparison metric: 100 * (U - U_opt) / |U_opt|, in percent
+/// (<= 0 when OPT wins; can be positive on real traces, Section 6.3).
+double normalized_loss_percent(double utility_value, double opt_value);
+
+/// Expected-welfare probe for SimOptions::expected_welfare under
+/// homogeneous contacts (Fig. 3a): evaluates Eq. (4)/(5) on live counts.
+std::function<double(std::span<const int>)> homogeneous_welfare_probe(
+    Catalog catalog, const utility::DelayUtility& utility,
+    alloc::HomogeneousModel model);
+
+}  // namespace impatience::core

@@ -1,0 +1,66 @@
+// The full-knowledge hill climber sketched in Section 4.1: "starting from
+// a cache allocation, a hill climbing algorithm with full knowledge can
+// reach the optimal cache allocation only from local manipulation of
+// cache between nodes that are currently meeting." At every meeting each
+// of the two nodes may replace one cached replica by a replica of another
+// item whenever the swap increases the closed-form homogeneous welfare of
+// the global allocation; by concavity (Theorem 2), such local
+// improvements converge to the optimum.
+//
+// This is an oracle baseline (it knows the demand vector, the utility and
+// the global replica counts), positioned between the frozen OPT preset
+// and the purely local QCR.
+#pragma once
+
+#include <vector>
+
+#include "impatience/alloc/welfare.hpp"
+#include "impatience/core/policy.hpp"
+
+namespace impatience::core {
+
+class HillClimbPolicy final : public ReplicationPolicy {
+ public:
+  /// @param demand d_i per item
+  /// @param utility shared delay-utility (per-item sets work through the
+  ///        UtilitySet constructor)
+  /// @param model homogeneous closed-form parameters used for welfare
+  HillClimbPolicy(std::vector<double> demand,
+                  const utility::DelayUtility& utility,
+                  alloc::HomogeneousModel model);
+  HillClimbPolicy(std::vector<double> demand,
+                  utility::UtilitySet utilities,
+                  alloc::HomogeneousModel model);
+
+  std::string name() const override { return "HILL"; }
+
+  void on_initialized(std::span<const int> item_counts) override;
+  void on_fulfillment(Node&, Node&, ItemId, long, util::Rng&) override {}
+  void on_meeting_complete(Node& a, Node& b, util::Rng& rng) override;
+
+  /// Number of replica swaps performed so far.
+  long swaps() const noexcept { return swaps_; }
+
+  /// Welfare of the currently tracked global allocation.
+  double tracked_welfare() const;
+
+ private:
+  /// Applies the single best improving swap at this node, if any.
+  /// Returns true if a swap happened.
+  bool improve_node(Node& node, util::Rng& rng);
+
+  /// Welfare change of adding one replica of `item` to the tracked
+  /// allocation (demand-weighted marginal).
+  double add_delta(ItemId item) const;
+  /// Welfare change of removing one replica of `item`.
+  double remove_delta(ItemId item) const;
+
+  std::vector<double> demand_;
+  utility::UtilitySet utilities_;
+  alloc::HomogeneousModel model_;
+  std::vector<int> counts_;
+  bool initialized_ = false;
+  long swaps_ = 0;
+};
+
+}  // namespace impatience::core

@@ -1,0 +1,35 @@
+// Replication mandates (Section 5.3): lightweight "make one more replica
+// of item i" instructions that wait at nodes for an execution opportunity
+// and are routed towards replica holders to avoid the divergence
+// pathology described in the paper.
+#pragma once
+
+#include <vector>
+
+#include "impatience/core/catalog.hpp"
+
+namespace impatience::core {
+
+/// A multiset of mandates per item, stored densely (the item universe is
+/// known and small relative to node count).
+class MandateBag {
+ public:
+  explicit MandateBag(ItemId num_items);
+
+  long count(ItemId item) const;
+  long total() const noexcept { return total_; }
+  bool empty() const noexcept { return total_ == 0; }
+
+  void add(ItemId item, long n);
+  /// Removes up to n mandates for the item; returns how many were taken.
+  long take(ItemId item, long n);
+
+  /// Items with at least one mandate.
+  std::vector<ItemId> active_items() const;
+
+ private:
+  std::vector<long> count_;
+  long total_ = 0;
+};
+
+}  // namespace impatience::core

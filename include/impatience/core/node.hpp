@@ -1,0 +1,66 @@
+// A participant in the P2P caching system. Depending on the scenario a
+// node is a server (carries a cache), a client (creates requests), or
+// both (the pure P2P case, Section 3.1). Every node can carry replication
+// mandates regardless of role.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "impatience/core/cache.hpp"
+#include "impatience/core/mandate.hpp"
+#include "impatience/trace/contact.hpp"
+
+namespace impatience::core {
+
+using trace::NodeId;
+using trace::Slot;
+
+/// An outstanding request with its query counter (Section 5.1): the
+/// counter increments on every meeting while the request is unfulfilled,
+/// including the meeting that fulfils it, so its expectation is |S|/x_i.
+struct PendingRequest {
+  ItemId item;
+  Slot created;
+  long queries = 0;
+};
+
+class Node {
+ public:
+  /// cache_capacity is ignored unless is_server.
+  Node(NodeId id, ItemId num_items, int cache_capacity, bool is_server,
+       bool is_client);
+
+  NodeId id() const noexcept { return id_; }
+  bool is_server() const noexcept { return cache_.has_value(); }
+  bool is_client() const noexcept { return is_client_; }
+
+  /// Server cache; throws std::logic_error for non-servers.
+  Cache& cache();
+  const Cache& cache() const;
+
+  MandateBag& mandates() noexcept { return mandates_; }
+  const MandateBag& mandates() const noexcept { return mandates_; }
+
+  std::vector<PendingRequest>& pending() noexcept { return pending_; }
+  const std::vector<PendingRequest>& pending() const noexcept {
+    return pending_;
+  }
+
+  /// Registers a new request. Throws std::logic_error for non-clients.
+  void create_request(ItemId item, Slot now);
+
+  /// True if this node holds a replica of the item (servers only).
+  bool holds(ItemId item) const noexcept {
+    return cache_ && cache_->contains(item);
+  }
+
+ private:
+  NodeId id_;
+  bool is_client_;
+  std::optional<Cache> cache_;
+  MandateBag mandates_;
+  std::vector<PendingRequest> pending_;
+};
+
+}  // namespace impatience::core

@@ -1,0 +1,98 @@
+// The discrete-time, discrete-event simulator of Section 6.1: given any
+// contact trace, it drives demand arrival, request fulfilment at node
+// meetings, and the replication policy, recording observed gains.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+
+#include "impatience/alloc/allocation.hpp"
+#include "impatience/alloc/welfare.hpp"
+#include "impatience/core/demand.hpp"
+#include "impatience/core/metrics.hpp"
+#include "impatience/core/policy.hpp"
+#include "impatience/trace/contact.hpp"
+#include "impatience/utility/delay_utility.hpp"
+#include "impatience/utility/utility_set.hpp"
+
+namespace impatience::core {
+
+/// Node roles. Defaults to pure P2P: every trace node is both server and
+/// client. For the dedicated case pass disjoint server/client lists.
+struct Population {
+  std::vector<NodeId> servers;
+  std::vector<NodeId> clients;
+
+  static Population pure_p2p(NodeId num_nodes);
+  static Population dedicated(NodeId num_servers, NodeId num_clients);
+};
+
+struct SimOptions {
+  int cache_capacity = 5;  ///< rho
+  /// Pin one immortal replica of item i on server (i mod |S|) — the
+  /// paper's anti-absorption measure, used by replication policies.
+  bool sticky_replicas = true;
+  /// Initial cache contents (server index -> items). Items beyond the
+  /// placement (e.g. the sticky pins) are inserted on top. When absent,
+  /// caches are filled with distinct uniformly random items.
+  std::optional<alloc::Placement> initial_placement;
+  MetricsConfig metrics{};
+  /// Evaluated on sampled per-item replica counts to produce the
+  /// expected-welfare series (Fig. 3a); leave empty to skip.
+  std::function<double(std::span<const int>)> expected_welfare;
+  /// Requests still pending when the trace ends contribute h(final age)
+  /// to total_gain ("censoring"); without this, allocations that starve
+  /// an item (e.g. DOM under a cost utility) would look spuriously good.
+  bool censor_pending_at_end = true;
+  /// Mid-run popularity changes (the dynamic-demand setting of the
+  /// paper's Section 7): at each listed slot the demand process switches
+  /// to the given catalog. Catalogs must have the same item count as the
+  /// main one; entries must be sorted by slot. Reactive policies adapt on
+  /// the fly; fixed allocations do not.
+  std::vector<std::pair<Slot, Catalog>> demand_schedule;
+  /// Per-item node-popularity profile pi_{i,n} (Section 3.3): pi[i][n]
+  /// weighs client index n's share of item i's demand (rows normalized
+  /// internally). Absent = uniform, pi_{i,n} = 1/|C|. Applies across
+  /// demand_schedule changes.
+  std::optional<alloc::PopularityProfile> popularity;
+  /// Invoked on every fulfilment with (item, client, delay in slots,
+  /// recorded gain); immediate own-cache hits report delay 0. This is
+  /// the hook the Section-7 feedback loop hangs off (see
+  /// utility::fit_delay_utility and examples/learn_impatience).
+  std::function<void(ItemId, NodeId, double, double)> on_fulfillment;
+};
+
+/// Runs one simulation trial with per-item delay-utilities h_i. The delay
+/// fed to the utility is (fulfilment slot - creation slot + 1): the
+/// discrete-time contact model charges at least one slot per
+/// meeting-based fulfilment (Lemma 1). Immediate own-cache hits at
+/// request creation gain h_i(0+).
+SimulationResult simulate(const trace::ContactTrace& trace,
+                          const Catalog& catalog,
+                          const utility::UtilitySet& utilities,
+                          ReplicationPolicy& policy,
+                          const Population& population,
+                          const SimOptions& options, util::Rng& rng);
+
+/// Single shared delay-utility for all items.
+SimulationResult simulate(const trace::ContactTrace& trace,
+                          const Catalog& catalog,
+                          const utility::DelayUtility& utility,
+                          ReplicationPolicy& policy,
+                          const Population& population,
+                          const SimOptions& options, util::Rng& rng);
+
+/// Pure-P2P convenience overloads covering all trace nodes.
+SimulationResult simulate(const trace::ContactTrace& trace,
+                          const Catalog& catalog,
+                          const utility::UtilitySet& utilities,
+                          ReplicationPolicy& policy,
+                          const SimOptions& options, util::Rng& rng);
+SimulationResult simulate(const trace::ContactTrace& trace,
+                          const Catalog& catalog,
+                          const utility::DelayUtility& utility,
+                          ReplicationPolicy& policy,
+                          const SimOptions& options, util::Rng& rng);
+
+}  // namespace impatience::core

@@ -1,0 +1,24 @@
+// Percentiles and empirical CDF helpers.
+#pragma once
+
+#include <vector>
+
+namespace impatience::stats {
+
+/// p-th percentile (p in [0,1]) of the samples, linear interpolation
+/// between order statistics. Throws std::invalid_argument on empty input
+/// or p outside [0,1]. Does not modify the input.
+double percentile(std::vector<double> samples, double p);
+
+/// Several percentiles in one sort pass.
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& ps);
+
+/// Empirical CDF evaluated at the given points: fraction of samples <= x.
+std::vector<double> empirical_cdf(std::vector<double> samples,
+                                  const std::vector<double>& at);
+
+/// Median absolute deviation (robust spread).
+double median_abs_deviation(std::vector<double> samples);
+
+}  // namespace impatience::stats

@@ -1,0 +1,38 @@
+// Streaming summary statistics (Welford).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace impatience::stats {
+
+/// Accumulates count / mean / variance / min / max in one pass.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another summary into this one (parallel Welford).
+  void merge(const Summary& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderr_mean() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace impatience::stats

@@ -1,0 +1,46 @@
+// Time-series accumulation: (time, value) events binned into fixed-width
+// windows, e.g. hourly-averaged observed utility as in the paper's Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace impatience::stats {
+
+/// One output point of a binned series.
+struct SeriesPoint {
+  double time;   ///< bin midpoint
+  double value;  ///< bin aggregate
+};
+
+/// Accumulates point events (gains at timestamps) and reports either the
+/// per-bin sum-rate (sum of values / bin width) or the per-bin mean.
+class BinnedSeries {
+ public:
+  /// @param bin_width width of each bin in time units (> 0)
+  /// @param horizon   total duration covered (events beyond it are clamped
+  ///                  into the last bin)
+  BinnedSeries(double bin_width, double horizon);
+
+  void add(double time, double value) noexcept;
+
+  std::size_t bin_count() const noexcept { return sums_.size(); }
+  double bin_width() const noexcept { return bin_width_; }
+
+  /// Sum of values per bin divided by bin width (a rate: utility/time).
+  std::vector<SeriesPoint> rate_series() const;
+
+  /// Mean of values per bin (empty bins report 0).
+  std::vector<SeriesPoint> mean_series() const;
+
+  /// Total of all accumulated values.
+  double total() const noexcept { return total_; }
+
+ private:
+  double bin_width_;
+  std::vector<double> sums_;
+  std::vector<std::uint64_t> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace impatience::stats

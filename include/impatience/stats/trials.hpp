@@ -1,0 +1,38 @@
+// Aggregation across independent simulation trials: mean plus the 5%/95%
+// percentile band the paper uses for its confidence intervals (Section 6.1).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace impatience::stats {
+
+/// Mean and percentile band of one metric across trials.
+struct TrialBand {
+  double mean = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+  std::size_t trials = 0;
+};
+
+/// Collects per-trial scalar outcomes keyed by (series, x) and reports
+/// mean with 5%/95% bands — matching the paper's plotting convention.
+class TrialAggregator {
+ public:
+  void add(const std::string& series, double x, double value);
+
+  /// Band for a given (series, x); throws std::out_of_range if absent.
+  TrialBand band(const std::string& series, double x) const;
+
+  /// Sorted x values seen for a series.
+  std::vector<double> xs(const std::string& series) const;
+
+  /// All series names in insertion-independent (sorted) order.
+  std::vector<std::string> series_names() const;
+
+ private:
+  std::map<std::string, std::map<double, std::vector<double>>> data_;
+};
+
+}  // namespace impatience::stats

@@ -1,0 +1,82 @@
+// Synthetic contact-trace generators: the homogeneous Poisson setting of
+// the paper's Section 6.2, a heterogeneous rate-matrix generator, and the
+// Infocom'06- and Cabspotting-like stand-ins for the real traces of
+// Section 6.3 (see DESIGN.md "Substitutions").
+#pragma once
+
+#include "impatience/trace/contact.hpp"
+#include "impatience/trace/mobility.hpp"
+#include "impatience/trace/stats.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::trace {
+
+/// Homogeneous discrete-time contacts: every pair meets independently in
+/// every slot with probability mu (the paper uses mu = 0.05, 50 nodes).
+struct PoissonTraceParams {
+  NodeId num_nodes = 50;
+  Slot duration = 5000;
+  double mu = 0.05;  ///< per-pair contact probability per slot, in [0,1]
+};
+ContactTrace generate_poisson(const PoissonTraceParams& params,
+                              util::Rng& rng);
+
+/// Heterogeneous memoryless contacts: pair (a,b) meets in each slot with
+/// probability min(rates.at(a,b), 1).
+ContactTrace generate_heterogeneous(const RateMatrix& rates, Slot duration,
+                                    util::Rng& rng);
+
+/// Conference-style trace: heterogeneous lognormal pair rates, a diurnal
+/// activity envelope (day / evening / night) and per-pair ON/OFF burst
+/// modulation. Contacts happen only while a pair's burst state is ON, with
+/// probability scaled so the pair's *mean* rate stays rate * envelope —
+/// i.e. burstiness is added without changing average contact volume.
+struct InfocomLikeParams {
+  NodeId num_nodes = 50;
+  int days = 3;
+  Slot slots_per_day = 1440;          ///< 1-minute slots
+  double mean_pair_rate = 0.006;      ///< daytime mean contacts/slot/pair
+  double rate_lognormal_sigma = 1.0;  ///< pair-rate heterogeneity
+  double day_activity = 1.0;          ///< envelope, 08:00-18:00
+  double evening_activity = 0.3;      ///< envelope, 18:00-24:00
+  double night_activity = 0.03;       ///< envelope, 00:00-08:00
+  double burst_on_prob = 0.01;        ///< P(OFF -> ON) per slot
+  double burst_off_prob = 0.12;       ///< P(ON -> OFF) per slot
+};
+ContactTrace generate_infocom_like(const InfocomLikeParams& params,
+                                   util::Rng& rng);
+
+/// Vehicular trace: random-waypoint taxis with hotspot attraction on a
+/// square city, contacts at 200 m range (paper Section 6.3). One simulated
+/// day of 1-minute slots by default.
+struct CabspottingLikeParams {
+  RandomWaypointParams mobility{};  ///< defaults: 50 nodes, 10 km box
+  Slot duration = 1440;
+  double contact_range = 200.0;
+};
+ContactTrace generate_cabspotting_like(const CabspottingLikeParams& params,
+                                       util::Rng& rng);
+
+/// The paper's Fig. 5(c) construction: a synthetic trace with the same
+/// per-pair mean rates as `original` but memoryless (Poisson) timing.
+ContactTrace memoryless_equivalent(const ContactTrace& original,
+                                   util::Rng& rng);
+
+/// Community-structured contacts (the paper's Section 7 points to
+/// clustered peers as the next systematic study): nodes are split into
+/// `num_communities` round-robin groups; intra-community pairs meet at
+/// `intra_rate`, inter-community pairs at `inter_rate` per slot.
+struct CommunityTraceParams {
+  NodeId num_nodes = 50;
+  Slot duration = 5000;
+  int num_communities = 5;
+  double intra_rate = 0.2;    ///< contacts/slot within a community
+  double inter_rate = 0.005;  ///< contacts/slot across communities
+};
+ContactTrace generate_community_trace(const CommunityTraceParams& params,
+                                      util::Rng& rng);
+
+/// Community id of a node under the round-robin split above.
+int community_of(NodeId node, int num_communities);
+
+}  // namespace impatience::trace

@@ -1,0 +1,70 @@
+// Random-waypoint mobility with optional hotspot attraction, used to
+// synthesize a Cabspotting-like vehicular contact trace (see DESIGN.md:
+// the real GPS trace is not redistributable; simulated mobility reproduces
+// the heavy-tailed contact statistics the paper's Section 6.3 relies on).
+#pragma once
+
+#include <vector>
+
+#include "impatience/trace/contact.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::trace {
+
+struct Position {
+  double x;
+  double y;
+};
+
+struct RandomWaypointParams {
+  NodeId num_nodes = 50;
+  double area_size = 10000.0;    ///< square side, meters
+  double speed_min = 5.0;        ///< m/s
+  double speed_max = 15.0;       ///< m/s
+  double pause_mean_s = 120.0;   ///< mean pause at each waypoint
+  double slot_seconds = 60.0;    ///< simulated seconds per slot
+  int num_hotspots = 5;          ///< 0 disables hotspot attraction
+  double hotspot_prob = 0.7;     ///< probability a waypoint is a hotspot
+  double hotspot_sigma = 300.0;  ///< spread around a hotspot, meters
+  /// Duty cycle: vehicles alternate on-duty (moving, contactable) and
+  /// off-duty (parked, no contacts) periods with these exponential mean
+  /// durations. Off-duty gaps lengthen the inter-contact tail the way
+  /// real taxi shifts do. Default off (duty_off_mean_s = 0: always on):
+  /// long parked periods shift delays into a regime no cache allocation
+  /// can influence, which mostly measures censoring, not replication.
+  double duty_on_mean_s = 6.0 * 3600.0;
+  double duty_off_mean_s = 0.0;
+};
+
+/// Steps node positions one slot at a time.
+class RandomWaypointModel {
+ public:
+  RandomWaypointModel(const RandomWaypointParams& params, util::Rng& rng);
+
+  /// Advances all nodes by one slot.
+  void step();
+
+  const std::vector<Position>& positions() const noexcept {
+    return positions_;
+  }
+  const std::vector<Position>& hotspots() const noexcept { return hotspots_; }
+
+ private:
+  void pick_waypoint(std::size_t node);
+
+  RandomWaypointParams params_;
+  util::Rng* rng_;
+  std::vector<Position> positions_;
+  std::vector<Position> waypoints_;
+  std::vector<double> speeds_;        // m/s towards waypoint
+  std::vector<double> pause_left_s_;  // remaining pause at waypoint
+  std::vector<Position> hotspots_;
+};
+
+/// Runs the mobility model for `duration` slots and extracts contacts at
+/// the given range (contact-onset events, as in the paper's model).
+ContactTrace generate_mobility_trace(const RandomWaypointParams& params,
+                                     Slot duration, double contact_range,
+                                     util::Rng& rng);
+
+}  // namespace impatience::trace

@@ -1,0 +1,85 @@
+// Parsers for external contact/mobility data, plus the library's native
+// trace format. Real traces (Infocom'06 via CRAWDAD, Cabspotting) are not
+// redistributable with this repository; these parsers let them drop in,
+// while the generators in generators.hpp provide statistically comparable
+// synthetic stand-ins (see DESIGN.md, "Substitutions").
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "impatience/trace/contact.hpp"
+
+namespace impatience::trace {
+
+/// How a contact interval [start, end] maps onto discrete meeting slots.
+enum class ContactExpansion {
+  kOnsetOnly,      ///< one meeting event at the start slot (paper model)
+  kEverySlot,      ///< one event in every slot the contact spans
+};
+
+struct CrawdadOptions {
+  /// Real seconds per simulation slot (the paper uses 60 = one minute).
+  double slot_seconds = 60.0;
+  ContactExpansion expansion = ContactExpansion::kOnsetOnly;
+};
+
+/// Parses CRAWDAD-style pairwise contact records. Accepted line formats
+/// (whitespace separated, '#' starts a comment):
+///   node_a node_b start_seconds end_seconds    (4 columns)
+///   time_seconds node_a node_b                 (3 columns)
+/// Node ids may be arbitrary non-negative integers; they are remapped to a
+/// dense [0, N) range in first-appearance order. Throws
+/// std::runtime_error on malformed input.
+ContactTrace parse_crawdad(std::istream& in, const CrawdadOptions& options);
+ContactTrace parse_crawdad_file(const std::string& path,
+                                const CrawdadOptions& options);
+
+struct GpsOptions {
+  double slot_seconds = 60.0;
+  /// Contact radius in the same distance unit as the coordinates (the
+  /// paper uses 200 m for Cabspotting).
+  double contact_range = 200.0;
+  /// Position fixes further apart than this are not interpolated across
+  /// (the vehicle was off-duty); no contacts are produced in the gap.
+  double max_gap_seconds = 600.0;
+  /// Treat coordinates as (latitude, longitude) degrees and project them
+  /// to meters (equirectangular around the data centroid).
+  bool coordinates_are_latlon = false;
+  ContactExpansion expansion = ContactExpansion::kOnsetOnly;
+};
+
+/// Parses GPS position logs ("node_id time_seconds x y" per line, '#'
+/// comments) and derives a contact trace: nodes are in contact in a slot
+/// when their interpolated positions are within contact_range.
+ContactTrace parse_gps(std::istream& in, const GpsOptions& options);
+ContactTrace parse_gps_file(const std::string& path,
+                            const GpsOptions& options);
+
+struct OneOptions {
+  /// Real seconds per simulation slot.
+  double slot_seconds = 60.0;
+  ContactExpansion expansion = ContactExpansion::kOnsetOnly;
+};
+
+/// Parses the ONE simulator's StandardEventsReader connection logs:
+///   <time> CONN <node_a> <node_b> up
+///   <time> CONN <node_a> <node_b> down
+/// Other event types (M/C/S/DE/...) are ignored. Connections still "up"
+/// at the end of the log are closed at the last timestamp. Node ids may
+/// be arbitrary non-negative integers (dense-remapped in first-appearance
+/// order). Throws std::runtime_error on malformed input.
+ContactTrace parse_one_events(std::istream& in, const OneOptions& options);
+ContactTrace parse_one_events_file(const std::string& path,
+                                   const OneOptions& options);
+
+/// Native trace format:
+///   # impatience-trace v1
+///   nodes <N> duration <D>
+///   <slot> <a> <b>        (one event per line)
+void write_native(const ContactTrace& trace, std::ostream& out);
+void write_native_file(const ContactTrace& trace, const std::string& path);
+ContactTrace read_native(std::istream& in);
+ContactTrace read_native_file(const std::string& path);
+
+}  // namespace impatience::trace

@@ -1,0 +1,59 @@
+// Descriptive statistics of contact traces: the empirical per-pair rate
+// matrix (the memoryless approximation OPT is computed from), inter-contact
+// time samples, and activity series.
+#pragma once
+
+#include <vector>
+
+#include "impatience/trace/contact.hpp"
+
+namespace impatience::trace {
+
+/// Symmetric per-pair contact-rate matrix (contacts per slot).
+class RateMatrix {
+ public:
+  explicit RateMatrix(NodeId num_nodes, double fill = 0.0);
+
+  NodeId num_nodes() const noexcept { return n_; }
+
+  double at(NodeId a, NodeId b) const;
+  void set(NodeId a, NodeId b, double rate);
+
+  /// Sum of rates towards `node` from every other node.
+  double node_rate(NodeId node) const;
+
+  /// Mean off-diagonal rate.
+  double mean_rate() const;
+
+  /// A homogeneous matrix with every off-diagonal entry = mu.
+  static RateMatrix homogeneous(NodeId num_nodes, double mu);
+
+ private:
+  NodeId n_;
+  std::vector<double> rates_;  // row-major n*n, symmetric, zero diagonal
+};
+
+/// Empirical rate matrix: pair contact counts divided by trace duration.
+RateMatrix estimate_rates(const ContactTrace& trace);
+
+/// Inter-contact time samples (in slots) pooled over all pairs that meet
+/// at least twice.
+std::vector<double> inter_contact_times(const ContactTrace& trace);
+
+/// Coefficient of variation (stddev/mean) of the pooled inter-contact
+/// times; ~1 for memoryless contacts, > 1 for bursty traces.
+/// Returns 0 if there are fewer than two samples.
+double inter_contact_cv(const ContactTrace& trace);
+
+/// Number of contacts in each slot.
+std::vector<std::size_t> contacts_per_slot(const ContactTrace& trace);
+
+/// The paper's Infocom preprocessing (Section 6.3): keep only the k
+/// best-connected nodes ("to remove bias from poorly connected nodes")
+/// and remap them to dense ids in order of decreasing contact count.
+/// Contacts involving dropped nodes are discarded. Requires
+/// 2 <= k <= num_nodes.
+ContactTrace select_most_active_nodes(const ContactTrace& trace,
+                                      NodeId k);
+
+}  // namespace impatience::trace

@@ -1,0 +1,56 @@
+// Minimal CSV emission for experiment outputs.
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace impatience::util {
+
+/// Streams rows of a CSV table. Values containing separators/quotes/newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to an existing stream (not owned).
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Opens (and owns) a file stream. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void header(const std::vector<std::string>& names) { row_strings(names); }
+
+  /// Writes one row; accepts any streamable value types.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    row_strings(cells);
+  }
+
+  void row_strings(const std::vector<std::string>& cells);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return v;
+    } else if constexpr (std::is_convertible_v<T, const char*>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os.precision(12);
+      os << v;
+      return os.str();
+    }
+  }
+
+  static std::string escape(const std::string& s);
+
+  std::ofstream owned_;
+  std::ostream* out_;
+};
+
+}  // namespace impatience::util

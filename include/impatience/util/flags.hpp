@@ -1,0 +1,42 @@
+// Tiny command-line flag parser for benches and examples.
+//
+//   Flags flags(argc, argv);
+//   int trials = flags.get_int("trials", 5);
+//   double mu  = flags.get_double("mu", 0.05);
+//   bool fast  = flags.get_bool("fast", false);
+//
+// Accepts --key=value, --key value, and bare --key (boolean true).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace impatience::util {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  long get_long(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Non-flag positional arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace impatience::util

@@ -1,0 +1,47 @@
+// Leveled logging to stderr. Default level is Warn so library code is
+// silent in tests and benches unless something is wrong; experiments can
+// raise verbosity with set_level(Level::Info).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace impatience::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a single log line (thread-safe at line granularity).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Ts>
+void log_fmt(LogLevel level, const Ts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  log_line(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  detail::log_fmt(LogLevel::Debug, parts...);
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  detail::log_fmt(LogLevel::Info, parts...);
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  detail::log_fmt(LogLevel::Warn, parts...);
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  detail::log_fmt(LogLevel::Error, parts...);
+}
+
+}  // namespace impatience::util

@@ -1,0 +1,39 @@
+// Numerical helpers: quadrature on [a,b] and [0,inf), root finding,
+// and small conveniences used by the delay-utility transforms.
+#pragma once
+
+#include <functional>
+
+namespace impatience::util {
+
+/// Adaptive Simpson quadrature of f over [a, b] to absolute tolerance tol.
+/// The integrand must be finite on (a, b); endpoint singularities should be
+/// handled by the caller (substitution).
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-10, int max_depth = 48);
+
+/// Integral of f over [0, inf) via the substitution t = u / (1 - u).
+/// Suitable for integrands decaying at infinity (e.g., e^{-Mt} * c(t)).
+double integrate_to_inf(const std::function<double(double)>& f,
+                        double tol = 1e-10);
+
+/// Bisection root finding: returns x in [lo, hi] with f(x) ~= 0.
+/// Requires sign(f(lo)) != sign(f(hi)). Tolerance is on the interval width.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double xtol = 1e-12, int max_iter = 200);
+
+/// Find x such that g(x) = target for strictly decreasing g on [lo, hi],
+/// clamping to the interval if target is outside g's range there.
+double invert_decreasing(const std::function<double(double)>& g, double target,
+                         double lo, double hi, double xtol = 1e-12);
+
+/// Gamma function Gamma(x) for x > 0 (thin wrapper; asserts the domain).
+double gamma_fn(double x);
+
+/// True if |a - b| <= tol * max(1, |a|, |b|).
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+/// Euler-Mascheroni constant.
+inline constexpr double kEulerGamma = 0.57721566490153286060651209;
+
+}  // namespace impatience::util

@@ -1,0 +1,53 @@
+// Fixed-width console table printing for bench/experiment output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace impatience::util {
+
+/// Accumulates rows of strings and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; accepts streamable values, formatted with `precision`
+  /// significant digits for floating-point types.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(format_cell(values)), ...);
+    add_row(std::move(cells));
+  }
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of significant digits used for floating-point cells (default 5).
+  void set_precision(int digits) { precision_ = digits; }
+
+  void print(std::ostream& out) const;
+
+ private:
+  template <typename T>
+  std::string format_cell(const T& v) const {
+    if constexpr (std::is_floating_point_v<T>) {
+      return format_double(static_cast<double>(v), precision_);
+    } else if constexpr (std::is_same_v<T, std::string>) {
+      return v;
+    } else if constexpr (std::is_convertible_v<T, const char*>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  static std::string format_double(double v, int precision);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 5;
+};
+
+}  // namespace impatience::util

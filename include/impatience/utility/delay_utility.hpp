@@ -1,0 +1,79 @@
+// Delay-utility functions h(t) (Section 3.2 of the paper) and the two
+// Laplace-type transforms of the differential c(t) = -h'(t) that the whole
+// theory runs on:
+//
+//   L(M) = \int_0^inf e^{-M t} c(t) dt      "loss transform"
+//   T(M) = \int_0^inf t e^{-M t} c(t) dt    "time-weighted transform"
+//
+// With fulfilment time Y ~ Exp(M) (continuous-time contact model, M =
+// sum of holder meeting rates), the expected gain of a request is
+//
+//   E[h(Y)] = h(0+) - L(M)                          (Lemma 1)
+//
+// and the balance function of Property 1 is phi(x) = mu * T(mu x), while
+// the QCR reaction function of Property 2 is psi(y) = (S/y) * phi(S/y).
+//
+// Families with closed forms (Table 1) override the transforms; any other
+// monotone-decreasing utility gets numerically-integrated defaults, which
+// is the executable version of the paper's "for any delay-utility
+// function" claim.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace impatience::utility {
+
+class DelayUtility {
+ public:
+  virtual ~DelayUtility() = default;
+
+  /// h(t) for t > 0. Must be monotonically non-increasing.
+  virtual double value(double t) const = 0;
+
+  /// h(0+). May be +infinity (inverse-power, neg-log families); such
+  /// utilities are restricted to the dedicated-node case in the paper.
+  virtual double value_at_zero() const = 0;
+
+  /// Limit of h(t) as t -> infinity. May be -infinity (cost families).
+  virtual double value_at_inf() const = 0;
+
+  /// Density part of c(t) = -h'(t) at t > 0. For utilities whose
+  /// derivative has atoms (the step function's Dirac at tau) this returns
+  /// only the absolutely-continuous part; such families must override the
+  /// transforms, which the built-in ones do.
+  virtual double differential(double t) const = 0;
+
+  /// L(M) = int_0^inf e^{-Mt} c(t) dt for M > 0.
+  /// Default: numeric quadrature of differential().
+  virtual double loss_transform(double M) const;
+
+  /// T(M) = int_0^inf t e^{-Mt} c(t) dt for M > 0 (equals -L'(M)).
+  /// Default: numeric quadrature of differential().
+  virtual double time_weighted_transform(double M) const;
+
+  /// E[h(Y)] for Y ~ Exp(M), M > 0. Default: value_at_zero() - L(M);
+  /// families with h(0+) = +inf override with the direct closed form.
+  virtual double expected_gain(double M) const;
+
+  /// True if h(0+) is finite (the paper's standing assumption outside the
+  /// dedicated-node case).
+  bool bounded_at_zero() const;
+
+  /// Short machine-readable identifier, e.g. "step(tau=1)".
+  virtual std::string name() const = 0;
+
+  virtual std::unique_ptr<DelayUtility> clone() const = 0;
+};
+
+/// phi(x) of Property 1: phi(x) = mu * T(mu * x); strictly decreasing in x.
+/// The relaxed optimum satisfies d_i * phi(x_i) = const across items.
+double phi(const DelayUtility& u, double mu, double x);
+
+/// psi(y) of Property 2 (up to the free positive constant): the number of
+/// replicas QCR creates when a request is fulfilled with query-counter
+/// value y, given |S| servers and homogeneous meeting rate mu:
+/// psi(y) = (S/y) * phi(S/y).
+double psi(const DelayUtility& u, double mu, double num_servers, double y);
+
+}  // namespace impatience::utility

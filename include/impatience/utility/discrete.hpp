@@ -1,0 +1,34 @@
+// The discrete-time contact model of Section 3.4 / Lemma 1: time advances
+// in slots of length delta and a pending request is fulfilled in each slot
+// independently with probability p, so the fulfilment delay is
+// delta * Geometric(p). The paper states (and its simulations rely on)
+// the discrete model approaching the continuous one as delta -> 0 with
+// p = M * delta; these helpers make that statement executable.
+#pragma once
+
+#include "impatience/utility/delay_utility.hpp"
+
+namespace impatience::utility {
+
+/// E[h(delta * K)] with K ~ Geometric(p) on {1, 2, ...}:
+///   sum_{k >= 1} p (1-p)^{k-1} h(k delta)
+/// (the discrete Lemma 1 via Abel summation). Requires 0 < p <= 1.
+/// The series is summed until both the remaining probability mass and its
+/// utility-weighted bound fall below `tol`; utilities unbounded below
+/// (cost families) converge because (1-p)^k decays geometrically while
+/// |h| grows polynomially.
+double discrete_expected_gain(const DelayUtility& u, double p,
+                              double delta = 1.0, double tol = 1e-12);
+
+/// The discrete differential delay-utility of Section 3.5:
+///   dc(k delta) = h(k delta) - h((k+1) delta)
+double discrete_differential(const DelayUtility& u, long k,
+                             double delta = 1.0);
+
+/// Discrete analogue of the loss transform: the expected total loss
+///   sum_{k >= 1} (1-p)^k dc(k delta)
+/// so that discrete_expected_gain == h(delta) - discrete_loss (Lemma 1).
+double discrete_loss(const DelayUtility& u, double p, double delta = 1.0,
+                     double tol = 1e-12);
+
+}  // namespace impatience::utility

@@ -1,0 +1,23 @@
+// Construction of delay utilities from spec strings, e.g. for CLI flags:
+//   "step:tau=1"  "exp:nu=0.1"  "power:alpha=0"  "neglog"
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "impatience/utility/delay_utility.hpp"
+
+namespace impatience::utility {
+
+/// Parses a utility spec string. Grammar:
+///   spec   := family [":" param ("," param)*]
+///   param  := key "=" number
+/// Families and parameters:
+///   step    tau (default 1)
+///   exp     nu  (default 1)
+///   power   alpha (default 0)
+///   neglog  (no parameters)
+/// Throws std::invalid_argument on unknown family/parameter or bad number.
+std::unique_ptr<DelayUtility> make_utility(const std::string& spec);
+
+}  // namespace impatience::utility

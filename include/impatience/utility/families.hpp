@@ -1,0 +1,153 @@
+// The delay-utility families of Table 1, with closed-form transforms.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "impatience/utility/delay_utility.hpp"
+
+namespace impatience::utility {
+
+/// Step function h(t) = 1{t <= tau} ("advertising revenue", all users give
+/// up after the same deadline). c is a Dirac at tau, so the transforms are
+/// overridden: L(M) = e^{-M tau}, T(M) = tau e^{-M tau}.
+class StepUtility final : public DelayUtility {
+ public:
+  explicit StepUtility(double tau);
+
+  double value(double t) const override;
+  double value_at_zero() const override { return 1.0; }
+  double value_at_inf() const override { return 0.0; }
+  double differential(double) const override { return 0.0; }
+  double loss_transform(double M) const override;
+  double time_weighted_transform(double M) const override;
+  std::string name() const override;
+  std::unique_ptr<DelayUtility> clone() const override;
+
+  double tau() const noexcept { return tau_; }
+
+ private:
+  double tau_;
+};
+
+/// Exponential decay h(t) = e^{-nu t} (a constant fraction of users loses
+/// interest per unit time). L(M) = nu/(nu+M), T(M) = nu/(nu+M)^2.
+class ExponentialUtility final : public DelayUtility {
+ public:
+  explicit ExponentialUtility(double nu);
+
+  double value(double t) const override;
+  double value_at_zero() const override { return 1.0; }
+  double value_at_inf() const override { return 0.0; }
+  double differential(double t) const override;
+  double loss_transform(double M) const override;
+  double time_weighted_transform(double M) const override;
+  std::string name() const override;
+  std::unique_ptr<DelayUtility> clone() const override;
+
+  double nu() const noexcept { return nu_; }
+
+ private:
+  double nu_;
+};
+
+/// Power family h(t) = t^{1-alpha} / (alpha - 1), alpha < 2, alpha != 1.
+///   1 < alpha < 2 : inverse power, time-critical information, h(0+) = inf
+///   alpha < 1     : negative power, waiting cost, h(0+) = 0, h -> -inf
+/// c(t) = t^{-alpha};  T(M) = Gamma(2-alpha) M^{alpha-2};
+/// E[h(Y)] = Gamma(2-alpha)/(alpha-1) * M^{alpha-1} (both regimes).
+class PowerUtility final : public DelayUtility {
+ public:
+  explicit PowerUtility(double alpha);
+
+  double value(double t) const override;
+  double value_at_zero() const override;
+  double value_at_inf() const override;
+  double differential(double t) const override;
+  double loss_transform(double M) const override;
+  double time_weighted_transform(double M) const override;
+  double expected_gain(double M) const override;
+  std::string name() const override;
+  std::unique_ptr<DelayUtility> clone() const override;
+
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+/// Negative logarithm h(t) = -ln t, the alpha -> 1 limit of the power
+/// family. c(t) = 1/t, T(M) = 1/M (so phi(x) = 1/x and the optimal
+/// allocation is proportional to demand), E[h(Y)] = ln M + gamma.
+class NegLogUtility final : public DelayUtility {
+ public:
+  NegLogUtility() = default;
+
+  double value(double t) const override;
+  double value_at_zero() const override;
+  double value_at_inf() const override;
+  double differential(double t) const override;
+  double loss_transform(double M) const override;
+  double time_weighted_transform(double M) const override;
+  double expected_gain(double M) const override;
+  std::string name() const override;
+  std::unique_ptr<DelayUtility> clone() const override;
+};
+
+/// Piecewise-linear utility interpolating user-supplied (t, h) samples —
+/// e.g. an impatience curve measured from user feedback (the paper's §7
+/// future work). Beyond the last sample h stays constant. Transforms use
+/// the exact per-segment closed form (c is piecewise constant).
+class TabulatedUtility final : public DelayUtility {
+ public:
+  struct Sample {
+    double t;
+    double h;
+  };
+
+  /// Requires at least two samples, strictly increasing t >= 0 and
+  /// non-increasing h. Throws std::invalid_argument otherwise.
+  explicit TabulatedUtility(std::vector<Sample> samples);
+
+  double value(double t) const override;
+  double value_at_zero() const override;
+  double value_at_inf() const override;
+  double differential(double t) const override;
+  double loss_transform(double M) const override;
+  double time_weighted_transform(double M) const override;
+  std::string name() const override;
+  std::unique_ptr<DelayUtility> clone() const override;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Convex combination sum_k w_k h_k(t) of utilities (w_k > 0): models a
+/// user population mixing several impatience behaviours. Transforms are
+/// the same weighted sums.
+class MixtureUtility final : public DelayUtility {
+ public:
+  struct Component {
+    double weight;
+    std::unique_ptr<DelayUtility> utility;
+  };
+
+  /// Requires a non-empty component list with positive weights.
+  explicit MixtureUtility(std::vector<Component> components);
+  MixtureUtility(const MixtureUtility& other);
+
+  double value(double t) const override;
+  double value_at_zero() const override;
+  double value_at_inf() const override;
+  double differential(double t) const override;
+  double loss_transform(double M) const override;
+  double time_weighted_transform(double M) const override;
+  double expected_gain(double M) const override;
+  std::string name() const override;
+  std::unique_ptr<DelayUtility> clone() const override;
+
+ private:
+  std::vector<Component> components_;
+};
+
+}  // namespace impatience::utility

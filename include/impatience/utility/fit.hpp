@@ -1,0 +1,41 @@
+// Estimating the delay-utility from user feedback — the paper's Section 7
+// closes with: "how to estimate the delay-utility function implicitly
+// from user feedback, instead of assuming that it is known."
+//
+// Feedback arrives as (delay, realized gain) pairs, e.g. gain = 1 when a
+// user watched the episode delivered after `delay` minutes and 0 when she
+// had lost interest. The fit bins the delays, averages the gains, and
+// enforces the model's monotonicity with isotonic regression (pool
+// adjacent violators), yielding a TabulatedUtility whose closed-form
+// transforms plug straight into the optimizers and QCR's reaction.
+#pragma once
+
+#include <vector>
+
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+
+struct FeedbackSample {
+  double delay;  ///< waiting time until fulfilment, > 0
+  double gain;   ///< realized utility (e.g. 1 = consumed, 0 = discarded)
+};
+
+struct FitOptions {
+  /// Number of equal-count delay bins (clamped to the sample count).
+  int bins = 12;
+};
+
+/// Fits a monotone non-increasing delay-utility to feedback samples.
+/// Requires at least two samples with distinct delays; throws
+/// std::invalid_argument otherwise.
+TabulatedUtility fit_delay_utility(std::vector<FeedbackSample> samples,
+                                   const FitOptions& options = {});
+
+/// Isotonic regression (non-increasing) by pool-adjacent-violators:
+/// returns the least-squares monotone fit of `values` with the given
+/// positive weights. Exposed for testing and reuse.
+std::vector<double> isotonic_decreasing(const std::vector<double>& values,
+                                        const std::vector<double>& weights);
+
+}  // namespace impatience::utility

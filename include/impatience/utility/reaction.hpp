@@ -1,0 +1,46 @@
+// The QCR reaction function psi (Property 2): how many replicas to create
+// when a request is fulfilled after its query counter reached y.
+#pragma once
+
+#include <memory>
+
+#include "impatience/util/rng.hpp"
+#include "impatience/utility/delay_utility.hpp"
+
+namespace impatience::utility {
+
+/// Wraps psi(y) = scale * (S/y) * phi(S/y) for a fixed utility, meeting
+/// rate mu and server count |S|. Property 2 determines psi only up to a
+/// positive constant (the equilibrium is scale-invariant), exposed here as
+/// `scale`: larger values converge faster at the price of more replication
+/// churn.
+class ReactionFunction {
+ public:
+  ReactionFunction(const DelayUtility& utility, double mu, double num_servers,
+                   double scale = 1.0);
+
+  ReactionFunction(const ReactionFunction& other);
+  ReactionFunction& operator=(const ReactionFunction& other);
+  ReactionFunction(ReactionFunction&&) noexcept = default;
+  ReactionFunction& operator=(ReactionFunction&&) noexcept = default;
+
+  /// psi evaluated at a (real-valued) query count y >= 1.
+  double operator()(double y) const;
+
+  /// Integer replica count: psi(y) rounded stochastically so that the
+  /// expectation is exact.
+  std::int64_t replicas(double y, util::Rng& rng) const;
+
+  double mu() const noexcept { return mu_; }
+  double num_servers() const noexcept { return num_servers_; }
+  double scale() const noexcept { return scale_; }
+  const DelayUtility& utility() const noexcept { return *utility_; }
+
+ private:
+  std::unique_ptr<DelayUtility> utility_;
+  double mu_;
+  double num_servers_;
+  double scale_;
+};
+
+}  // namespace impatience::utility

@@ -1,0 +1,43 @@
+// Per-item delay-utilities: the paper's model gives every content item i
+// its own h_i (Section 3.2) — different content types have different
+// impatience profiles (ads vs emergency bulletins vs software patches).
+// A UtilitySet maps item index -> DelayUtility; the welfare evaluators,
+// solvers, simulator and QCR all accept one (Theorem 1 holds for
+// non-homogeneous delay-utilities).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "impatience/utility/delay_utility.hpp"
+
+namespace impatience::utility {
+
+class UtilitySet {
+ public:
+  /// One utility per item; all entries must be non-null.
+  explicit UtilitySet(std::vector<std::unique_ptr<DelayUtility>> utilities);
+
+  /// Every item shares clones of the same utility.
+  UtilitySet(const DelayUtility& utility, std::size_t num_items);
+
+  UtilitySet(const UtilitySet& other);
+  UtilitySet& operator=(const UtilitySet& other);
+  UtilitySet(UtilitySet&&) noexcept = default;
+  UtilitySet& operator=(UtilitySet&&) noexcept = default;
+
+  std::size_t size() const noexcept { return utilities_.size(); }
+
+  const DelayUtility& at(std::size_t item) const;
+  const DelayUtility& operator[](std::size_t item) const {
+    return *utilities_[item];
+  }
+
+  /// True if every item's utility has finite h(0+).
+  bool all_bounded_at_zero() const;
+
+ private:
+  std::vector<std::unique_ptr<DelayUtility>> utilities_;
+};
+
+}  // namespace impatience::utility

@@ -1,0 +1,84 @@
+#include <numeric>
+#include <stdexcept>
+
+#include "impatience/alloc/allocation.hpp"
+
+namespace impatience::alloc {
+
+double ItemCounts::total() const noexcept {
+  return std::accumulate(x.begin(), x.end(), 0.0);
+}
+
+Placement::Placement(ItemId num_items, NodeId num_servers,
+                     int capacity_per_server)
+    : num_items_(num_items),
+      num_servers_(num_servers),
+      capacity_(capacity_per_server) {
+  if (num_items == 0 || num_servers == 0 || capacity_per_server <= 0) {
+    throw std::invalid_argument("Placement: bad dimensions");
+  }
+  has_.assign(static_cast<std::size_t>(num_items) * num_servers, 0);
+  load_.assign(num_servers, 0);
+  count_.assign(num_items, 0);
+}
+
+bool Placement::has(ItemId item, NodeId server) const {
+  if (item >= num_items_ || server >= num_servers_) {
+    throw std::out_of_range("Placement::has: index out of range");
+  }
+  return has_[index(item, server)] != 0;
+}
+
+void Placement::add(ItemId item, NodeId server) {
+  if (has(item, server)) {
+    throw std::logic_error("Placement::add: replica already present");
+  }
+  if (server_full(server)) {
+    throw std::logic_error("Placement::add: server is full");
+  }
+  has_[index(item, server)] = 1;
+  ++load_[server];
+  ++count_[item];
+}
+
+void Placement::remove(ItemId item, NodeId server) {
+  if (!has(item, server)) {
+    throw std::logic_error("Placement::remove: replica absent");
+  }
+  has_[index(item, server)] = 0;
+  --load_[server];
+  --count_[item];
+}
+
+int Placement::server_load(NodeId server) const {
+  if (server >= num_servers_) {
+    throw std::out_of_range("Placement::server_load: bad server");
+  }
+  return load_[server];
+}
+
+int Placement::count(ItemId item) const {
+  if (item >= num_items_) {
+    throw std::out_of_range("Placement::count: bad item");
+  }
+  return count_[item];
+}
+
+ItemCounts Placement::counts() const {
+  ItemCounts out;
+  out.x.reserve(num_items_);
+  for (ItemId i = 0; i < num_items_; ++i) {
+    out.x.push_back(static_cast<double>(count_[i]));
+  }
+  return out;
+}
+
+std::vector<NodeId> Placement::holders(ItemId item) const {
+  std::vector<NodeId> out;
+  for (NodeId s = 0; s < num_servers_; ++s) {
+    if (has_[index(item, s)]) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace impatience::alloc

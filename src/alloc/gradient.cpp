@@ -1,0 +1,150 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "impatience/alloc/solvers.hpp"
+#include "impatience/util/math.hpp"
+
+namespace impatience::alloc {
+
+namespace {
+
+/// Euclidean projection onto {0 <= x_i <= hi, sum x_i = total}: shift all
+/// coordinates by a common tau and clamp; tau found by bisection (the
+/// clamped sum is decreasing in tau).
+void project(std::vector<double>& x, double hi, double total) {
+  double lo_tau = -hi, hi_tau = 0.0;
+  for (double v : x) {
+    lo_tau = std::min(lo_tau, v - hi);
+    hi_tau = std::max(hi_tau, v);
+  }
+  auto clamped_sum = [&](double tau) {
+    double s = 0.0;
+    for (double v : x) s += std::clamp(v - tau, 0.0, hi);
+    return s;
+  };
+  // Widen until the bracket covers `total`.
+  while (clamped_sum(lo_tau) < total) lo_tau -= hi + 1.0;
+  while (clamped_sum(hi_tau) > total) hi_tau += hi + 1.0;
+  for (int it = 0; it < 200 && hi_tau - lo_tau > 1e-13 * (1.0 + hi); ++it) {
+    const double mid = 0.5 * (lo_tau + hi_tau);
+    if (clamped_sum(mid) > total) {
+      lo_tau = mid;
+    } else {
+      hi_tau = mid;
+    }
+  }
+  const double tau = 0.5 * (lo_tau + hi_tau);
+  for (double& v : x) v = std::clamp(v - tau, 0.0, hi);
+}
+
+template <typename UtilityOf>
+ItemCounts gradient_impl(const std::vector<double>& demand,
+                         UtilityOf&& utility_of, double mu,
+                         double num_servers, double capacity,
+                         const GradientOptions& options) {
+  if (!(mu > 0.0) || !(num_servers > 0.0) || !(capacity > 0.0)) {
+    throw std::invalid_argument("relaxed_gradient: bad parameters");
+  }
+  const auto n = demand.size();
+  if (n == 0) {
+    throw std::invalid_argument("relaxed_gradient: no items");
+  }
+  if (capacity > num_servers * static_cast<double>(n)) {
+    throw std::invalid_argument("relaxed_gradient: infeasible capacity");
+  }
+  constexpr double kXMin = 1e-9;
+  constexpr double kGradCap = 1e9;
+
+  auto welfare = [&](const std::vector<double>& x) {
+    double total = 0.0;
+    HomogeneousModel m{mu, static_cast<NodeId>(num_servers),
+                       static_cast<NodeId>(num_servers),
+                       SystemMode::kDedicated};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (demand[i] == 0.0) continue;
+      total += demand[i] * item_gain(utility_of(static_cast<ItemId>(i)), m,
+                                     std::max(x[i], kXMin));
+    }
+    return total;
+  };
+
+  // Uniform feasible start.
+  std::vector<double> x(n, capacity / static_cast<double>(n));
+  project(x, num_servers, capacity);
+  std::vector<double> best = x;
+  double best_welfare = welfare(x);
+
+  std::vector<double> grad(n, 0.0);
+  for (int t = 0; t < options.max_iterations; ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (demand[i] == 0.0) {
+        grad[i] = 0.0;
+        continue;
+      }
+      const double g = demand[i] * utility::phi(utility_of(
+                                                    static_cast<ItemId>(i)),
+                                                mu, std::max(x[i], kXMin));
+      grad[i] = std::min(g, kGradCap);
+    }
+    // Normalize the gradient so the step size is scale-free.
+    double norm = 0.0;
+    for (double g : grad) norm += g * g;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;
+    // Diminishing step on the normalized gradient: scale-free and
+    // convergent for concave objectives.
+    const double eta =
+        options.step * capacity / std::sqrt(1.0 + static_cast<double>(t));
+
+    std::vector<double> next = x;
+    for (std::size_t i = 0; i < n; ++i) next[i] += eta * grad[i] / norm;
+    project(next, num_servers, capacity);
+
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      delta = std::max(delta, std::abs(next[i] - x[i]));
+    }
+    x = std::move(next);
+    const double w = welfare(x);
+    if (w > best_welfare) {
+      best_welfare = w;
+      best = x;
+    }
+    if (delta < options.tolerance) break;
+  }
+  ItemCounts out;
+  out.x = std::move(best);
+  return out;
+}
+
+}  // namespace
+
+ItemCounts relaxed_gradient(const std::vector<double>& demand,
+                            const utility::DelayUtility& u, double mu,
+                            double num_servers, double capacity,
+                            const GradientOptions& options) {
+  return gradient_impl(
+      demand,
+      [&u](ItemId) -> const utility::DelayUtility& { return u; }, mu,
+      num_servers, capacity, options);
+}
+
+ItemCounts relaxed_gradient(const std::vector<double>& demand,
+                            const utility::UtilitySet& utilities, double mu,
+                            double num_servers, double capacity,
+                            const GradientOptions& options) {
+  if (utilities.size() != demand.size()) {
+    throw std::invalid_argument(
+        "relaxed_gradient: utility set size != item count");
+  }
+  return gradient_impl(
+      demand,
+      [&utilities](ItemId i) -> const utility::DelayUtility& {
+        return utilities[i];
+      },
+      mu, num_servers, capacity, options);
+}
+
+}  // namespace impatience::alloc

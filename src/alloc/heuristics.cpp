@@ -1,0 +1,100 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "impatience/alloc/heuristics.hpp"
+
+namespace impatience::alloc {
+
+ItemCounts proportional_with_cap(const std::vector<double>& weights,
+                                 double capacity, double cap_per_item) {
+  if (weights.empty() || !(capacity >= 0.0) || !(cap_per_item > 0.0)) {
+    throw std::invalid_argument("proportional_with_cap: bad parameters");
+  }
+  if (capacity > cap_per_item * static_cast<double>(weights.size()) + 1e-9) {
+    throw std::invalid_argument(
+        "proportional_with_cap: capacity exceeds item-cap bound");
+  }
+  ItemCounts out;
+  out.x.assign(weights.size(), 0.0);
+  std::vector<char> capped(weights.size(), 0);
+  double remaining = capacity;
+  for (int round = 0; round < static_cast<int>(weights.size()) + 1; ++round) {
+    double weight_sum = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (!capped[i]) {
+        if (weights[i] < 0.0) {
+          throw std::invalid_argument(
+              "proportional_with_cap: negative weight");
+        }
+        weight_sum += weights[i];
+      }
+    }
+    if (weight_sum <= 0.0 || remaining <= 1e-12) break;
+    bool newly_capped = false;
+    double used = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (capped[i]) continue;
+      const double share = remaining * weights[i] / weight_sum;
+      const double target = out.x[i] + share;
+      if (target >= cap_per_item) {
+        used += cap_per_item - out.x[i];
+        out.x[i] = cap_per_item;
+        capped[i] = 1;
+        newly_capped = true;
+      } else {
+        out.x[i] = target;
+        used += share;
+      }
+    }
+    remaining -= used;
+    if (!newly_capped) break;
+  }
+  return out;
+}
+
+ItemCounts uniform_allocation(std::size_t num_items, double capacity,
+                              double cap_per_item) {
+  return proportional_with_cap(std::vector<double>(num_items, 1.0), capacity,
+                               cap_per_item);
+}
+
+ItemCounts sqrt_allocation(const std::vector<double>& demand, double capacity,
+                           double cap_per_item) {
+  std::vector<double> weights;
+  weights.reserve(demand.size());
+  for (double d : demand) {
+    if (d < 0.0) throw std::invalid_argument("sqrt_allocation: bad demand");
+    weights.push_back(std::sqrt(d));
+  }
+  return proportional_with_cap(weights, capacity, cap_per_item);
+}
+
+ItemCounts prop_allocation(const std::vector<double>& demand, double capacity,
+                           double cap_per_item) {
+  return proportional_with_cap(demand, capacity, cap_per_item);
+}
+
+ItemCounts dom_allocation(const std::vector<double>& demand, int rho,
+                          double num_servers) {
+  if (rho <= 0 || !(num_servers > 0.0)) {
+    throw std::invalid_argument("dom_allocation: bad parameters");
+  }
+  if (static_cast<std::size_t>(rho) > demand.size()) {
+    throw std::invalid_argument("dom_allocation: rho exceeds item count");
+  }
+  std::vector<std::size_t> order(demand.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return demand[a] > demand[b];
+  });
+  ItemCounts out;
+  out.x.assign(demand.size(), 0.0);
+  for (int k = 0; k < rho; ++k) out.x[order[static_cast<std::size_t>(k)]] =
+      num_servers;
+  return out;
+}
+
+}  // namespace impatience::alloc

@@ -1,0 +1,105 @@
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "impatience/alloc/solvers.hpp"
+
+namespace impatience::alloc {
+
+namespace {
+
+/// Marginal welfare of the (x+1)-th copy of an item with demand d.
+/// Infinite marginals (first copy under a cost-type utility, where
+/// item_gain(0) = -inf) are mapped to a huge finite value ordered by
+/// demand so the greedy still prefers popular items inside that tier.
+double marginal(const utility::DelayUtility& u, const HomogeneousModel& m,
+                double d, int x) {
+  const double before = item_gain(u, m, static_cast<double>(x));
+  const double after = item_gain(u, m, static_cast<double>(x + 1));
+  const double delta = d * (after - before);
+  if (std::isfinite(delta)) return delta;
+  if (delta > 0.0) return 1e280 * (1.0 + d);
+  return -1e280;
+}
+
+/// UtilityOf: const DelayUtility& (ItemId)
+template <typename UtilityOf>
+ItemCounts greedy_impl(const std::vector<double>& demand,
+                       UtilityOf&& utility_of, const HomogeneousModel& model,
+                       int capacity) {
+  if (capacity < 0) {
+    throw std::invalid_argument("homogeneous_greedy: negative capacity");
+  }
+  const auto num_items = demand.size();
+  if (num_items == 0) {
+    throw std::invalid_argument("homogeneous_greedy: no items");
+  }
+  ItemCounts counts;
+  counts.x.assign(num_items, 0.0);
+
+  struct Candidate {
+    double delta;
+    std::size_t item;
+    int next_copy;  // the copy index this delta corresponds to
+    bool operator<(const Candidate& other) const {
+      return delta < other.delta;
+    }
+  };
+  std::priority_queue<Candidate> heap;
+  for (std::size_t i = 0; i < num_items; ++i) {
+    if (model.num_servers >= 1) {
+      heap.push({marginal(utility_of(static_cast<ItemId>(i)), model,
+                          demand[i], 0),
+                 i, 1});
+    }
+  }
+
+  int placed = 0;
+  std::vector<int> current(num_items, 0);
+  while (placed < capacity && !heap.empty()) {
+    const Candidate top = heap.top();
+    heap.pop();
+    if (top.next_copy != current[top.item] + 1) {
+      continue;  // stale entry; a fresh one is already queued
+    }
+    if (top.delta <= 0.0) {
+      break;  // adding more copies can only reduce welfare
+    }
+    current[top.item] = top.next_copy;
+    counts.x[top.item] = top.next_copy;
+    ++placed;
+    if (top.next_copy < static_cast<int>(model.num_servers)) {
+      heap.push({marginal(utility_of(static_cast<ItemId>(top.item)), model,
+                          demand[top.item], top.next_copy),
+                 top.item, top.next_copy + 1});
+    }
+  }
+  return counts;
+}
+
+}  // namespace
+
+ItemCounts homogeneous_greedy(const std::vector<double>& demand,
+                              const utility::DelayUtility& u,
+                              const HomogeneousModel& model, int capacity) {
+  return greedy_impl(
+      demand, [&u](ItemId) -> const utility::DelayUtility& { return u; },
+      model, capacity);
+}
+
+ItemCounts homogeneous_greedy(const std::vector<double>& demand,
+                              const utility::UtilitySet& utilities,
+                              const HomogeneousModel& model, int capacity) {
+  if (utilities.size() != demand.size()) {
+    throw std::invalid_argument(
+        "homogeneous_greedy: utility set size != item count");
+  }
+  return greedy_impl(
+      demand,
+      [&utilities](ItemId i) -> const utility::DelayUtility& {
+        return utilities[i];
+      },
+      model, capacity);
+}
+
+}  // namespace impatience::alloc

@@ -1,0 +1,127 @@
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "impatience/alloc/solvers.hpp"
+
+namespace impatience::alloc {
+
+namespace {
+
+/// Map +inf marginals (first copy under a cost-type utility) to a huge
+/// finite value ordered by demand so heap ordering stays total.
+double ordered(double delta, double demand) {
+  if (std::isfinite(delta)) return delta;
+  return delta > 0.0 ? 1e280 * (1.0 + demand) : -1e280;
+}
+
+/// Core lazy greedy over a marginal oracle.
+/// Eval: double (const Placement&, ItemId, NodeId) — marginal welfare of
+/// adding (item, server) to the current placement.
+template <typename Eval>
+Placement lazy_greedy_impl(const std::vector<double>& demand,
+                           Eval&& eval_marginal, NodeId num_servers,
+                           ItemId num_items, int capacity_per_server) {
+  Placement placement(num_items, num_servers, capacity_per_server);
+
+  struct Candidate {
+    double bound;  // upper bound on the marginal (stale-tolerant)
+    ItemId item;
+    NodeId server;
+    bool operator<(const Candidate& o) const { return bound < o.bound; }
+  };
+  std::priority_queue<Candidate> heap;
+  auto eval = [&](ItemId i, NodeId s) {
+    return ordered(eval_marginal(placement, i, s), demand[i]);
+  };
+  for (ItemId i = 0; i < num_items; ++i) {
+    for (NodeId s = 0; s < num_servers; ++s) {
+      heap.push({eval(i, s), i, s});
+    }
+  }
+
+  const long capacity_total =
+      static_cast<long>(capacity_per_server) * static_cast<long>(num_servers);
+  long placed = 0;
+  while (placed < capacity_total && !heap.empty()) {
+    Candidate top = heap.top();
+    heap.pop();
+    if (placement.server_full(top.server) ||
+        placement.has(top.item, top.server)) {
+      continue;
+    }
+    // Lazy re-evaluation: by submodularity the stored bound only
+    // overestimates; if it still dominates the next-best bound the move
+    // is provably the argmax.
+    const double fresh = eval(top.item, top.server);
+    if (!heap.empty() && fresh < heap.top().bound) {
+      heap.push({fresh, top.item, top.server});
+      continue;
+    }
+    if (fresh <= 0.0) break;  // no remaining move improves welfare
+    placement.add(top.item, top.server);
+    ++placed;
+  }
+  return placement;
+}
+
+void validate(const std::vector<double>& demand,
+              const std::vector<NodeId>& servers, ItemId num_items,
+              int capacity_per_server) {
+  if (num_items == 0 || servers.empty() || capacity_per_server <= 0) {
+    throw std::invalid_argument("lazy_greedy_placement: bad parameters");
+  }
+  if (demand.size() != num_items) {
+    throw std::invalid_argument("lazy_greedy_placement: demand size");
+  }
+}
+
+}  // namespace
+
+Placement lazy_greedy_placement(
+    const trace::RateMatrix& rates, const std::vector<double>& demand,
+    const utility::DelayUtility& u, const std::vector<NodeId>& servers,
+    const std::vector<NodeId>& clients, ItemId num_items,
+    int capacity_per_server,
+    const std::optional<PopularityProfile>& popularity) {
+  validate(demand, servers, num_items, capacity_per_server);
+  return lazy_greedy_impl(
+      demand,
+      [&](const Placement& p, ItemId i, NodeId s) {
+        return marginal_gain(p, rates, demand, u, servers, clients, i, s,
+                             popularity);
+      },
+      static_cast<NodeId>(servers.size()), num_items, capacity_per_server);
+}
+
+Placement lazy_greedy_placement(
+    const trace::RateMatrix& rates, const std::vector<double>& demand,
+    const utility::UtilitySet& utilities, const std::vector<NodeId>& servers,
+    const std::vector<NodeId>& clients, ItemId num_items,
+    int capacity_per_server,
+    const std::optional<PopularityProfile>& popularity) {
+  validate(demand, servers, num_items, capacity_per_server);
+  if (utilities.size() != num_items) {
+    throw std::invalid_argument(
+        "lazy_greedy_placement: utility set size != item count");
+  }
+  return lazy_greedy_impl(
+      demand,
+      [&](const Placement& p, ItemId i, NodeId s) {
+        return marginal_gain(p, rates, demand, utilities, servers, clients,
+                             i, s, popularity);
+      },
+      static_cast<NodeId>(servers.size()), num_items, capacity_per_server);
+}
+
+Placement lazy_greedy_pure_p2p(const trace::RateMatrix& rates,
+                               const std::vector<double>& demand,
+                               const utility::DelayUtility& u,
+                               ItemId num_items, int capacity_per_server) {
+  std::vector<NodeId> nodes(rates.num_nodes());
+  for (NodeId n = 0; n < rates.num_nodes(); ++n) nodes[n] = n;
+  return lazy_greedy_placement(rates, demand, u, nodes, nodes, num_items,
+                               capacity_per_server);
+}
+
+}  // namespace impatience::alloc

@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "impatience/alloc/solvers.hpp"
+#include "impatience/util/math.hpp"
+
+namespace impatience::alloc {
+
+namespace {
+
+/// UtilityOf: const DelayUtility& (ItemId)
+template <typename UtilityOf>
+ItemCounts relaxed_impl(const std::vector<double>& demand,
+                        UtilityOf&& utility_of, double mu,
+                        double num_servers, double capacity) {
+  if (!(mu > 0.0) || !(num_servers > 0.0) || !(capacity > 0.0)) {
+    throw std::invalid_argument("relaxed_optimum: bad parameters");
+  }
+  const auto num_items = demand.size();
+  if (num_items == 0) {
+    throw std::invalid_argument("relaxed_optimum: no items");
+  }
+  if (capacity > num_servers * static_cast<double>(num_items)) {
+    throw std::invalid_argument(
+        "relaxed_optimum: capacity exceeds I * |S| (infeasible bound)");
+  }
+
+  // x small enough to act as "0 copies" without leaving phi's domain.
+  constexpr double kXMin = 1e-9;
+
+  // Per-item allocation at multiplier lambda: d_i phi_i(x_i) = lambda,
+  // clamped to [0, |S|].
+  auto x_of_lambda = [&](std::size_t i, double lambda) {
+    const double d = demand[i];
+    if (d <= 0.0) return 0.0;
+    const utility::DelayUtility& u = utility_of(static_cast<ItemId>(i));
+    if (lambda >= d * utility::phi(u, mu, kXMin)) return 0.0;
+    if (lambda <= d * utility::phi(u, mu, num_servers)) return num_servers;
+    return util::invert_decreasing(
+        [&](double xx) { return d * utility::phi(u, mu, xx); }, lambda,
+        kXMin, num_servers);
+  };
+  auto total_of_lambda = [&](double lambda) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < num_items; ++i) {
+      total += x_of_lambda(i, lambda);
+    }
+    return total;
+  };
+
+  double lambda_hi = 0.0;     // drives every x to 0
+  double lambda_lo = std::numeric_limits<double>::infinity();
+  bool any_positive = false;
+  for (std::size_t i = 0; i < num_items; ++i) {
+    if (demand[i] <= 0.0) continue;
+    any_positive = true;
+    const utility::DelayUtility& u = utility_of(static_cast<ItemId>(i));
+    lambda_hi =
+        std::max(lambda_hi, demand[i] * utility::phi(u, mu, kXMin) * 2.0);
+    lambda_lo = std::min(
+        lambda_lo, demand[i] * utility::phi(u, mu, num_servers) * 0.5);
+  }
+  if (!any_positive) {
+    throw std::invalid_argument("relaxed_optimum: all demands are zero");
+  }
+
+  if (total_of_lambda(lambda_lo) < capacity) {
+    // Even the most generous multiplier cannot reach the capacity; the
+    // boundary clamp x_i = |S| binds for every item (Property 1's "or"
+    // branches). Return the clamped solution.
+    ItemCounts out;
+    out.x.assign(num_items, 0.0);
+    for (std::size_t i = 0; i < num_items; ++i) {
+      out.x[i] = demand[i] > 0.0 ? num_servers : 0.0;
+    }
+    return out;
+  }
+
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lambda_lo + lambda_hi);
+    const double total = total_of_lambda(mid);
+    if (std::abs(total - capacity) <= 1e-9 * capacity) {
+      lambda_lo = lambda_hi = mid;
+      break;
+    }
+    if (total > capacity) {
+      lambda_lo = mid;
+    } else {
+      lambda_hi = mid;
+    }
+  }
+  const double lambda = 0.5 * (lambda_lo + lambda_hi);
+
+  ItemCounts out;
+  out.x.reserve(num_items);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    out.x.push_back(x_of_lambda(i, lambda));
+  }
+  return out;
+}
+
+}  // namespace
+
+ItemCounts relaxed_optimum(const std::vector<double>& demand,
+                           const utility::DelayUtility& u, double mu,
+                           double num_servers, double capacity) {
+  return relaxed_impl(
+      demand, [&u](ItemId) -> const utility::DelayUtility& { return u; },
+      mu, num_servers, capacity);
+}
+
+ItemCounts relaxed_optimum(const std::vector<double>& demand,
+                           const utility::UtilitySet& utilities, double mu,
+                           double num_servers, double capacity) {
+  if (utilities.size() != demand.size()) {
+    throw std::invalid_argument(
+        "relaxed_optimum: utility set size != item count");
+  }
+  return relaxed_impl(
+      demand,
+      [&utilities](ItemId i) -> const utility::DelayUtility& {
+        return utilities[i];
+      },
+      mu, num_servers, capacity);
+}
+
+}  // namespace impatience::alloc

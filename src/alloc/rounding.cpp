@@ -1,0 +1,111 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "impatience/alloc/rounding.hpp"
+
+namespace impatience::alloc {
+
+ItemCounts round_counts(const ItemCounts& real_counts, int cap_per_item) {
+  if (cap_per_item <= 0) {
+    throw std::invalid_argument("round_counts: cap must be > 0");
+  }
+  const auto n = real_counts.x.size();
+  ItemCounts out;
+  out.x.assign(n, 0.0);
+  std::vector<double> frac(n, 0.0);
+  long floor_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = real_counts.x[i];
+    if (!(v >= 0.0) || v > static_cast<double>(cap_per_item) + 1e-9) {
+      throw std::invalid_argument("round_counts: count out of [0, cap]");
+    }
+    const double f = std::floor(std::min(v, double(cap_per_item)));
+    out.x[i] = f;
+    frac[i] = v - f;
+    floor_total += static_cast<long>(f);
+  }
+  const long target = std::lround(real_counts.total());
+  long remainder = target - floor_total;
+  if (remainder < 0) {
+    throw std::logic_error("round_counts: negative remainder");
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return frac[a] > frac[b];
+                   });
+  for (std::size_t k = 0; k < order.size() && remainder > 0; ++k) {
+    const std::size_t i = order[k];
+    if (out.x[i] + 1.0 <= static_cast<double>(cap_per_item)) {
+      out.x[i] += 1.0;
+      --remainder;
+    }
+  }
+  if (remainder > 0) {
+    // Fractional mass sat on capped items; spread it anywhere with room.
+    for (std::size_t i = 0; i < n && remainder > 0; ++i) {
+      while (out.x[i] + 1.0 <= static_cast<double>(cap_per_item) &&
+             remainder > 0) {
+        out.x[i] += 1.0;
+        --remainder;
+      }
+    }
+  }
+  if (remainder > 0) {
+    throw std::invalid_argument("round_counts: total exceeds I * cap");
+  }
+  return out;
+}
+
+Placement place_counts(const ItemCounts& int_counts, NodeId num_servers,
+                       int capacity_per_server, util::Rng& rng) {
+  const auto num_items = static_cast<ItemId>(int_counts.x.size());
+  Placement placement(num_items, num_servers, capacity_per_server);
+
+  // Items in descending replica count; each takes the servers with the
+  // most remaining capacity (ties shuffled) — feasible whenever
+  // sum x_i <= rho |S| and x_i <= |S|.
+  std::vector<ItemId> items(num_items);
+  std::iota(items.begin(), items.end(), 0);
+  std::stable_sort(items.begin(), items.end(), [&](ItemId a, ItemId b) {
+    return int_counts.x[a] > int_counts.x[b];
+  });
+
+  std::vector<NodeId> servers(num_servers);
+  std::iota(servers.begin(), servers.end(), 0);
+
+  for (ItemId item : items) {
+    const double want = int_counts.x[item];
+    if (want != std::floor(want) || want < 0.0 ||
+        want > static_cast<double>(num_servers)) {
+      throw std::invalid_argument(
+          "place_counts: counts must be integers in [0, |S|]");
+    }
+    const int copies = static_cast<int>(want);
+    if (copies == 0) continue;
+    rng.shuffle(servers);
+    std::stable_sort(servers.begin(), servers.end(),
+                     [&](NodeId a, NodeId b) {
+                       return placement.server_load(a) <
+                              placement.server_load(b);
+                     });
+    int placed = 0;
+    for (NodeId s : servers) {
+      if (placed == copies) break;
+      if (!placement.server_full(s)) {
+        placement.add(item, s);
+        ++placed;
+      }
+    }
+    if (placed != copies) {
+      throw std::invalid_argument(
+          "place_counts: infeasible counts (total exceeds rho * |S|)");
+    }
+  }
+  return placement;
+}
+
+}  // namespace impatience::alloc

@@ -1,0 +1,277 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/alloc/welfare.hpp"
+
+namespace impatience::alloc {
+
+namespace {
+
+using utility::DelayUtility;
+
+void check_demand(std::size_t num_items, const std::vector<double>& demand) {
+  if (demand.size() != num_items) {
+    throw std::invalid_argument("welfare: demand size != item count");
+  }
+  for (double d : demand) {
+    if (!(d >= 0.0)) {
+      throw std::invalid_argument("welfare: demand must be non-negative");
+    }
+  }
+}
+
+/// Expected gain of a single request given fulfilment rate M and whether
+/// the client itself already holds the item.
+double request_gain(const DelayUtility& u, double M, bool client_holds) {
+  if (u.bounded_at_zero()) {
+    const double h0 = u.value_at_zero();
+    if (client_holds) return h0;
+    if (M <= 0.0) return u.value_at_inf();
+    return h0 - u.loss_transform(M);
+  }
+  if (client_holds) {
+    throw std::domain_error(
+        "welfare: unbounded-at-zero utility with client-held replica "
+        "(immediate fulfilment); the paper restricts these utilities to "
+        "the dedicated-node case");
+  }
+  if (M <= 0.0) return u.value_at_inf();
+  return u.expected_gain(M);
+}
+
+struct HeterogeneousContext {
+  const Placement& placement;
+  const trace::RateMatrix& rates;
+  const std::vector<NodeId>& servers;
+  const std::vector<NodeId>& clients;
+};
+
+HeterogeneousContext make_context(const Placement& placement,
+                                  const trace::RateMatrix& rates,
+                                  const std::vector<NodeId>& servers,
+                                  const std::vector<NodeId>& clients) {
+  if (servers.size() != placement.num_servers()) {
+    throw std::invalid_argument(
+        "welfare: server list size != placement server count");
+  }
+  if (clients.empty()) {
+    throw std::invalid_argument("welfare: empty client list");
+  }
+  for (NodeId s : servers) {
+    if (s >= rates.num_nodes()) {
+      throw std::invalid_argument("welfare: server node id out of range");
+    }
+  }
+  for (NodeId c : clients) {
+    if (c >= rates.num_nodes()) {
+      throw std::invalid_argument("welfare: client node id out of range");
+    }
+  }
+  return HeterogeneousContext{placement, rates, servers, clients};
+}
+
+/// Gain of a request for an item issued at client index n, given the
+/// item's holder list.
+double client_gain(const HeterogeneousContext& ctx, const DelayUtility& u,
+                   const std::vector<NodeId>& holders, std::size_t n) {
+  const NodeId client_node = ctx.clients[n];
+  double M = 0.0;
+  bool client_holds = false;
+  for (NodeId s : holders) {
+    const NodeId holder_node = ctx.servers[s];
+    if (holder_node == client_node) {
+      client_holds = true;
+    } else {
+      M += ctx.rates.at(holder_node, client_node);
+    }
+  }
+  return request_gain(u, M, client_holds);
+}
+
+/// UtilityOf: const DelayUtility& (ItemId)
+template <typename UtilityOf>
+double welfare_homogeneous_impl(const ItemCounts& counts,
+                                const std::vector<double>& demand,
+                                UtilityOf&& utility_of,
+                                const HomogeneousModel& m) {
+  check_demand(counts.num_items(), demand);
+  double total = 0.0;
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    if (demand[i] == 0.0) continue;
+    total += demand[i] *
+             item_gain(utility_of(static_cast<ItemId>(i)), m, counts.x[i]);
+  }
+  return total;
+}
+
+template <typename UtilityOf>
+double welfare_heterogeneous_impl(
+    const Placement& placement, const trace::RateMatrix& rates,
+    const std::vector<double>& demand, UtilityOf&& utility_of,
+    const std::vector<NodeId>& servers, const std::vector<NodeId>& clients,
+    const std::optional<PopularityProfile>& popularity) {
+  check_demand(placement.num_items(), demand);
+  const auto ctx = make_context(placement, rates, servers, clients);
+  const double uniform_pi = 1.0 / static_cast<double>(clients.size());
+  if (popularity && popularity->pi.size() != placement.num_items()) {
+    throw std::invalid_argument("welfare: popularity profile size mismatch");
+  }
+  double total = 0.0;
+  for (ItemId i = 0; i < placement.num_items(); ++i) {
+    if (demand[i] == 0.0) continue;
+    const DelayUtility& u = utility_of(i);
+    const auto holders = placement.holders(i);
+    double item_total = 0.0;
+    for (std::size_t n = 0; n < clients.size(); ++n) {
+      const double pi = popularity ? popularity->pi[i][n] : uniform_pi;
+      if (pi == 0.0) continue;
+      item_total += pi * client_gain(ctx, u, holders, n);
+    }
+    total += demand[i] * item_total;
+  }
+  return total;
+}
+
+template <typename UtilityOf>
+double marginal_gain_impl(const Placement& placement,
+                          const trace::RateMatrix& rates,
+                          const std::vector<double>& demand,
+                          UtilityOf&& utility_of,
+                          const std::vector<NodeId>& servers,
+                          const std::vector<NodeId>& clients, ItemId item,
+                          NodeId server,
+                          const std::optional<PopularityProfile>& popularity) {
+  check_demand(placement.num_items(), demand);
+  const auto ctx = make_context(placement, rates, servers, clients);
+  if (placement.has(item, server)) {
+    throw std::logic_error("marginal_gain: replica already present");
+  }
+  if (popularity && popularity->pi.size() != placement.num_items()) {
+    throw std::invalid_argument(
+        "marginal_gain: popularity profile size mismatch");
+  }
+  const DelayUtility& u = utility_of(item);
+  auto holders = placement.holders(item);
+  const double uniform_pi = 1.0 / static_cast<double>(clients.size());
+  double delta = 0.0;
+  for (std::size_t n = 0; n < clients.size(); ++n) {
+    const double pi = popularity ? popularity->pi[item][n] : uniform_pi;
+    if (pi == 0.0) continue;
+    const double before = client_gain(ctx, u, holders, n);
+    holders.push_back(server);
+    const double after = client_gain(ctx, u, holders, n);
+    holders.pop_back();
+    delta += pi * (after - before);
+  }
+  return demand[item] * delta;
+}
+
+void check_set_size(const utility::UtilitySet& utilities,
+                    std::size_t num_items) {
+  if (utilities.size() != num_items) {
+    throw std::invalid_argument("welfare: utility set size != item count");
+  }
+}
+
+}  // namespace
+
+double item_gain(const DelayUtility& u, const HomogeneousModel& m, double x) {
+  if (!(m.mu > 0.0) || m.num_servers == 0) {
+    throw std::invalid_argument("item_gain: bad model");
+  }
+  if (x <= 0.0) return u.value_at_inf();
+  if (m.mode == SystemMode::kDedicated) {
+    return u.expected_gain(m.mu * x);
+  }
+  // Pure P2P, Eq. (5): h(0+) - (1 - x/N) L(mu x).
+  if (!u.bounded_at_zero()) {
+    throw std::domain_error(
+        "item_gain: unbounded-at-zero utilities require the dedicated-node "
+        "case (paper Section 3.2)");
+  }
+  const double n = static_cast<double>(m.num_clients);
+  const double self = std::min(x / n, 1.0);
+  return u.value_at_zero() - (1.0 - self) * u.loss_transform(m.mu * x);
+}
+
+double welfare_homogeneous(const ItemCounts& counts,
+                           const std::vector<double>& demand,
+                           const utility::DelayUtility& u,
+                           const HomogeneousModel& m) {
+  return welfare_homogeneous_impl(
+      counts, demand, [&u](ItemId) -> const DelayUtility& { return u; }, m);
+}
+
+double welfare_homogeneous(const ItemCounts& counts,
+                           const std::vector<double>& demand,
+                           const utility::UtilitySet& utilities,
+                           const HomogeneousModel& m) {
+  check_set_size(utilities, counts.num_items());
+  return welfare_homogeneous_impl(
+      counts, demand,
+      [&utilities](ItemId i) -> const DelayUtility& { return utilities[i]; },
+      m);
+}
+
+double welfare_heterogeneous(
+    const Placement& placement, const trace::RateMatrix& rates,
+    const std::vector<double>& demand, const utility::DelayUtility& u,
+    const std::vector<NodeId>& servers, const std::vector<NodeId>& clients,
+    const std::optional<PopularityProfile>& popularity) {
+  return welfare_heterogeneous_impl(
+      placement, rates, demand,
+      [&u](ItemId) -> const DelayUtility& { return u; }, servers, clients,
+      popularity);
+}
+
+double welfare_heterogeneous(
+    const Placement& placement, const trace::RateMatrix& rates,
+    const std::vector<double>& demand, const utility::UtilitySet& utilities,
+    const std::vector<NodeId>& servers, const std::vector<NodeId>& clients,
+    const std::optional<PopularityProfile>& popularity) {
+  check_set_size(utilities, placement.num_items());
+  return welfare_heterogeneous_impl(
+      placement, rates, demand,
+      [&utilities](ItemId i) -> const DelayUtility& { return utilities[i]; },
+      servers, clients, popularity);
+}
+
+double welfare_pure_p2p(const Placement& placement,
+                        const trace::RateMatrix& rates,
+                        const std::vector<double>& demand,
+                        const utility::DelayUtility& u) {
+  std::vector<NodeId> nodes(rates.num_nodes());
+  for (NodeId n = 0; n < rates.num_nodes(); ++n) nodes[n] = n;
+  return welfare_heterogeneous(placement, rates, demand, u, nodes, nodes);
+}
+
+double marginal_gain(const Placement& placement,
+                     const trace::RateMatrix& rates,
+                     const std::vector<double>& demand,
+                     const utility::DelayUtility& u,
+                     const std::vector<NodeId>& servers,
+                     const std::vector<NodeId>& clients, ItemId item,
+                     NodeId server,
+                     const std::optional<PopularityProfile>& popularity) {
+  return marginal_gain_impl(
+      placement, rates, demand,
+      [&u](ItemId) -> const DelayUtility& { return u; }, servers, clients,
+      item, server, popularity);
+}
+
+double marginal_gain(const Placement& placement,
+                     const trace::RateMatrix& rates,
+                     const std::vector<double>& demand,
+                     const utility::UtilitySet& utilities,
+                     const std::vector<NodeId>& servers,
+                     const std::vector<NodeId>& clients, ItemId item,
+                     NodeId server,
+                     const std::optional<PopularityProfile>& popularity) {
+  check_set_size(utilities, placement.num_items());
+  return marginal_gain_impl(
+      placement, rates, demand,
+      [&utilities](ItemId i) -> const DelayUtility& { return utilities[i]; },
+      servers, clients, item, server, popularity);
+}
+
+}  // namespace impatience::alloc

@@ -1,0 +1,67 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "impatience/core/cache.hpp"
+
+namespace impatience::core {
+
+Cache::Cache(int capacity) : capacity_(capacity) {
+  if (capacity <= 0) {
+    throw std::invalid_argument("Cache: capacity must be > 0");
+  }
+  items_.reserve(static_cast<std::size_t>(capacity));
+}
+
+bool Cache::contains(ItemId item) const noexcept {
+  return std::find(items_.begin(), items_.end(), item) != items_.end();
+}
+
+void Cache::pin_sticky(ItemId item) {
+  if (sticky_ && *sticky_ != item) {
+    throw std::logic_error("Cache: a different sticky item is pinned");
+  }
+  if (!contains(item)) {
+    if (full()) {
+      throw std::logic_error("Cache: full, cannot pin sticky item");
+    }
+    items_.push_back(item);
+  }
+  sticky_ = item;
+}
+
+std::optional<ItemId> Cache::insert_random_replace(ItemId item,
+                                                   util::Rng& rng) {
+  if (contains(item)) {
+    throw std::logic_error("Cache: item already present");
+  }
+  if (!full()) {
+    items_.push_back(item);
+    return std::nullopt;
+  }
+  // Choose a uniformly random victim among non-sticky slots.
+  std::vector<std::size_t> victims;
+  victims.reserve(items_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (!sticky_ || items_[i] != *sticky_) victims.push_back(i);
+  }
+  if (victims.empty()) {
+    throw std::logic_error("Cache: full of sticky content");
+  }
+  const std::size_t slot = victims[rng.uniform_index(victims.size())];
+  const ItemId evicted = items_[slot];
+  items_[slot] = item;
+  return evicted;
+}
+
+void Cache::erase(ItemId item) {
+  if (sticky_ && *sticky_ == item) {
+    throw std::logic_error("Cache: cannot erase the sticky replica");
+  }
+  auto it = std::find(items_.begin(), items_.end(), item);
+  if (it == items_.end()) {
+    throw std::logic_error("Cache: erase of absent item");
+  }
+  items_.erase(it);
+}
+
+}  // namespace impatience::core

@@ -1,0 +1,56 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "impatience/core/catalog.hpp"
+
+namespace impatience::core {
+
+Catalog::Catalog(std::vector<double> demand) : demand_(std::move(demand)) {
+  if (demand_.empty()) {
+    throw std::invalid_argument("Catalog: need at least one item");
+  }
+  total_ = 0.0;
+  for (double d : demand_) {
+    if (!(d >= 0.0)) {
+      throw std::invalid_argument("Catalog: demand must be non-negative");
+    }
+    total_ += d;
+  }
+  if (!(total_ > 0.0)) {
+    throw std::invalid_argument("Catalog: total demand must be positive");
+  }
+}
+
+Catalog Catalog::pareto(ItemId num_items, double omega, double total_rate) {
+  if (num_items == 0 || !(total_rate > 0.0)) {
+    throw std::invalid_argument("Catalog::pareto: bad parameters");
+  }
+  std::vector<double> demand(num_items);
+  double sum = 0.0;
+  for (ItemId i = 0; i < num_items; ++i) {
+    demand[i] = std::pow(static_cast<double>(i) + 1.0, -omega);
+    sum += demand[i];
+  }
+  for (double& d : demand) d *= total_rate / sum;
+  return Catalog(std::move(demand));
+}
+
+double Catalog::demand(ItemId item) const {
+  if (item >= num_items()) {
+    throw std::out_of_range("Catalog::demand: bad item id");
+  }
+  return demand_[item];
+}
+
+std::vector<ItemId> Catalog::by_popularity() const {
+  std::vector<ItemId> order(num_items());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](ItemId a, ItemId b) {
+    return demand_[a] > demand_[b];
+  });
+  return order;
+}
+
+}  // namespace impatience::core

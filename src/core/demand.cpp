@@ -1,0 +1,49 @@
+#include <stdexcept>
+
+#include "impatience/core/demand.hpp"
+
+namespace impatience::core {
+
+DemandProcess::DemandProcess(const Catalog& catalog,
+                             std::vector<NodeId> clients)
+    : clients_(std::move(clients)),
+      item_weights_(catalog.demands()),
+      total_rate_(catalog.total_demand()) {
+  if (clients_.empty()) {
+    throw std::invalid_argument("DemandProcess: empty client set");
+  }
+}
+
+DemandProcess::DemandProcess(const Catalog& catalog,
+                             std::vector<NodeId> clients,
+                             std::vector<std::vector<double>> weights)
+    : DemandProcess(catalog, std::move(clients)) {
+  if (weights.size() != item_weights_.size()) {
+    throw std::invalid_argument("DemandProcess: weights rows != items");
+  }
+  for (const auto& row : weights) {
+    if (row.size() != clients_.size()) {
+      throw std::invalid_argument("DemandProcess: weights cols != clients");
+    }
+  }
+  node_weights_ = std::move(weights);
+}
+
+std::vector<NewRequest> DemandProcess::sample_slot(util::Rng& rng) const {
+  std::vector<NewRequest> out;
+  const auto count = rng.poisson(total_rate_);
+  out.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const auto item = static_cast<ItemId>(rng.weighted_index(item_weights_));
+    NodeId node;
+    if (node_weights_.empty()) {
+      node = clients_[rng.uniform_index(clients_.size())];
+    } else {
+      node = clients_[rng.weighted_index(node_weights_[item])];
+    }
+    out.push_back({item, node});
+  }
+  return out;
+}
+
+}  // namespace impatience::core

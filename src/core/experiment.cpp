@@ -1,0 +1,219 @@
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "impatience/core/experiment.hpp"
+
+namespace impatience::core {
+
+namespace {
+
+/// U is either DelayUtility or UtilitySet; the alloc layer has matching
+/// overloads for both.
+template <typename U>
+std::vector<NamedPlacement> build_competitors_impl(const Scenario& scenario,
+                                                   const U& utility,
+                                                   OptMode opt_mode,
+                                                   util::Rng& rng) {
+  const auto& demand = scenario.catalog.demands();
+  const auto num_items = scenario.catalog.num_items();
+  const auto num_servers = scenario.num_nodes();
+  const double servers = static_cast<double>(num_servers);
+  const double capacity_total = servers * scenario.capacity;
+
+  std::vector<NamedPlacement> out;
+  out.reserve(5);
+
+  // OPT.
+  if (opt_mode == OptMode::kHomogeneous) {
+    alloc::HomogeneousModel model{scenario.mu, num_servers, num_servers,
+                                  alloc::SystemMode::kPureP2P};
+    const auto counts = alloc::homogeneous_greedy(
+        demand, utility, model,
+        scenario.capacity * static_cast<int>(num_servers));
+    out.push_back({"OPT", alloc::place_counts(counts, num_servers,
+                                              scenario.capacity, rng)});
+  } else {
+    const auto rates = trace::estimate_rates(scenario.trace);
+    std::vector<NodeId> nodes(num_servers);
+    for (NodeId n = 0; n < num_servers; ++n) nodes[n] = n;
+    out.push_back({"OPT", alloc::lazy_greedy_placement(
+                              rates, demand, utility, nodes, nodes,
+                              num_items, scenario.capacity)});
+  }
+
+  auto place = [&](const char* name, const alloc::ItemCounts& real) {
+    const auto ints = alloc::round_counts(real, static_cast<int>(servers));
+    out.push_back({name, alloc::place_counts(ints, num_servers,
+                                             scenario.capacity, rng)});
+  };
+  place("UNI", alloc::uniform_allocation(num_items, capacity_total, servers));
+  place("SQRT", alloc::sqrt_allocation(demand, capacity_total, servers));
+  place("PROP", alloc::prop_allocation(demand, capacity_total, servers));
+  out.push_back(
+      {"DOM", alloc::place_counts(
+                  alloc::dom_allocation(demand, scenario.capacity, servers),
+                  num_servers, scenario.capacity, rng)});
+  return out;
+}
+
+/// One tuned-and-capped reaction function per item (Property 2 + the
+/// stabilizers documented on QcrOptions).
+std::vector<utility::ReactionFunction> build_reactions(
+    const Scenario& scenario, const utility::UtilitySet& utilities,
+    const QcrOptions& qcr_options) {
+  const double servers = static_cast<double>(scenario.num_nodes());
+  const double x_uniform =
+      std::max(1.0, scenario.capacity * servers /
+                        static_cast<double>(scenario.catalog.num_items()));
+  std::vector<utility::ReactionFunction> reactions;
+  reactions.reserve(utilities.size());
+  for (std::size_t i = 0; i < utilities.size(); ++i) {
+    double scale = qcr_options.reaction_scale;
+    if (qcr_options.auto_normalize_scale) {
+      const double psi_uniform = utility::psi(utilities[i], scenario.mu,
+                                              servers, servers / x_uniform);
+      if (psi_uniform > 0.0) {
+        scale *= qcr_options.target_replicas_per_fulfillment / psi_uniform;
+      }
+    }
+    reactions.emplace_back(utilities[i], scenario.mu, servers, scale);
+  }
+  return reactions;
+}
+
+SimulationResult run_qcr_impl(const Scenario& scenario,
+                              const utility::UtilitySet& utilities,
+                              const QcrOptions& qcr_options,
+                              const SimOptions& base_options,
+                              util::Rng& rng) {
+  SimOptions options = base_options;
+  options.cache_capacity = scenario.capacity;
+  options.sticky_replicas = true;
+  options.initial_placement.reset();
+
+  const double servers = static_cast<double>(scenario.num_nodes());
+  const double burst_cap =
+      qcr_options.max_replicas_per_fulfillment > 0.0
+          ? qcr_options.max_replicas_per_fulfillment
+          : static_cast<double>(scenario.capacity);
+  const double counter_cap =
+      qcr_options.clamp_counter_at_servers
+          ? servers
+          : std::numeric_limits<double>::infinity();
+  const long mandate_cap =
+      static_cast<long>(scenario.capacity) * scenario.num_nodes();
+
+  auto reactions = std::make_shared<std::vector<utility::ReactionFunction>>(
+      build_reactions(scenario, utilities, qcr_options));
+  QcrPolicy policy(
+      qcr_options.mandate_routing ? "QCR" : "QCR-noMR",
+      QcrPolicy::ItemReaction(
+          [reactions, burst_cap, counter_cap](ItemId item, double y) {
+            return std::min((*reactions)[item](std::min(y, counter_cap)),
+                            burst_cap);
+          }),
+      qcr_options.mandate_routing ? QcrPolicy::MandateRouting::kOn
+                                  : QcrPolicy::MandateRouting::kOff,
+      mandate_cap,
+      qcr_options.rewriting ? QcrPolicy::Rewriting::kAllowed
+                            : QcrPolicy::Rewriting::kDisallowed);
+  return simulate(scenario.trace, scenario.catalog, utilities, policy,
+                  options, rng);
+}
+
+}  // namespace
+
+Scenario make_scenario(trace::ContactTrace trace, Catalog catalog,
+                       int capacity) {
+  const double mu = trace::estimate_rates(trace).mean_rate();
+  if (!(mu > 0.0)) {
+    throw std::invalid_argument("make_scenario: trace has no contacts");
+  }
+  return Scenario{std::move(trace), std::move(catalog), capacity, mu};
+}
+
+std::vector<NamedPlacement> build_competitors(
+    const Scenario& scenario, const utility::DelayUtility& utility,
+    OptMode opt_mode, util::Rng& rng) {
+  return build_competitors_impl(scenario, utility, opt_mode, rng);
+}
+
+std::vector<NamedPlacement> build_competitors(
+    const Scenario& scenario, const utility::UtilitySet& utilities,
+    OptMode opt_mode, util::Rng& rng) {
+  if (utilities.size() != scenario.catalog.num_items()) {
+    throw std::invalid_argument(
+        "build_competitors: utility set size != item count");
+  }
+  return build_competitors_impl(scenario, utilities, opt_mode, rng);
+}
+
+SimulationResult run_fixed(const Scenario& scenario,
+                           const utility::DelayUtility& utility,
+                           const std::string& name,
+                           const alloc::Placement& placement,
+                           const SimOptions& base_options, util::Rng& rng) {
+  const utility::UtilitySet utilities(utility,
+                                      scenario.catalog.num_items());
+  return run_fixed(scenario, utilities, name, placement, base_options, rng);
+}
+
+SimulationResult run_fixed(const Scenario& scenario,
+                           const utility::UtilitySet& utilities,
+                           const std::string& name,
+                           const alloc::Placement& placement,
+                           const SimOptions& base_options, util::Rng& rng) {
+  SimOptions options = base_options;
+  options.cache_capacity = scenario.capacity;
+  options.sticky_replicas = false;  // frozen caches cannot lose items
+  options.initial_placement = placement;
+  StaticPolicy policy;
+  auto result = simulate(scenario.trace, scenario.catalog, utilities, policy,
+                         options, rng);
+  result.policy = name;
+  return result;
+}
+
+SimulationResult run_qcr(const Scenario& scenario,
+                         const utility::DelayUtility& utility,
+                         const QcrOptions& qcr_options,
+                         const SimOptions& base_options, util::Rng& rng) {
+  const utility::UtilitySet utilities(utility,
+                                      scenario.catalog.num_items());
+  return run_qcr_impl(scenario, utilities, qcr_options, base_options, rng);
+}
+
+SimulationResult run_qcr(const Scenario& scenario,
+                         const utility::UtilitySet& utilities,
+                         const QcrOptions& qcr_options,
+                         const SimOptions& base_options, util::Rng& rng) {
+  if (utilities.size() != scenario.catalog.num_items()) {
+    throw std::invalid_argument("run_qcr: utility set size != item count");
+  }
+  return run_qcr_impl(scenario, utilities, qcr_options, base_options, rng);
+}
+
+double normalized_loss_percent(double utility_value, double opt_value) {
+  const double denom = std::abs(opt_value);
+  if (denom == 0.0) {
+    throw std::invalid_argument("normalized_loss_percent: |U_opt| == 0");
+  }
+  return 100.0 * (utility_value - opt_value) / denom;
+}
+
+std::function<double(std::span<const int>)> homogeneous_welfare_probe(
+    Catalog catalog, const utility::DelayUtility& utility,
+    alloc::HomogeneousModel model) {
+  // The probe outlives the caller's utility reference; keep a clone.
+  std::shared_ptr<const utility::DelayUtility> u = utility.clone();
+  auto cat = std::make_shared<Catalog>(std::move(catalog));
+  return [u, cat, model](std::span<const int> counts) {
+    alloc::ItemCounts x;
+    x.x.assign(counts.begin(), counts.end());
+    return alloc::welfare_homogeneous(x, cat->demands(), *u, model);
+  };
+}
+
+}  // namespace impatience::core

@@ -1,0 +1,124 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/core/hill_climb_policy.hpp"
+
+namespace impatience::core {
+
+namespace {
+
+/// Infinite deltas (first/last copy of a cost-type utility) ordered by a
+/// huge finite stand-in, as in the greedy solvers.
+double bounded(double delta) {
+  if (std::isfinite(delta)) return delta;
+  return delta > 0.0 ? 1e280 : -1e280;
+}
+
+}  // namespace
+
+HillClimbPolicy::HillClimbPolicy(std::vector<double> demand,
+                                 const utility::DelayUtility& utility,
+                                 alloc::HomogeneousModel model)
+    : HillClimbPolicy(demand,
+                      utility::UtilitySet(utility, demand.size()), model) {}
+
+HillClimbPolicy::HillClimbPolicy(std::vector<double> demand,
+                                 utility::UtilitySet utilities,
+                                 alloc::HomogeneousModel model)
+    : demand_(std::move(demand)), utilities_(std::move(utilities)),
+      model_(model) {
+  if (demand_.empty() || utilities_.size() != demand_.size()) {
+    throw std::invalid_argument(
+        "HillClimbPolicy: demand/utility size mismatch");
+  }
+}
+
+void HillClimbPolicy::on_initialized(std::span<const int> item_counts) {
+  if (item_counts.size() != demand_.size()) {
+    throw std::invalid_argument("HillClimbPolicy: item count size mismatch");
+  }
+  counts_.assign(item_counts.begin(), item_counts.end());
+  initialized_ = true;
+}
+
+double HillClimbPolicy::add_delta(ItemId item) const {
+  const double x = counts_[item];
+  if (x >= static_cast<double>(model_.num_servers)) {
+    return -1e300;  // cannot exceed one copy per server
+  }
+  return bounded(demand_[item] *
+                 (alloc::item_gain(utilities_[item], model_, x + 1.0) -
+                  alloc::item_gain(utilities_[item], model_, x)));
+}
+
+double HillClimbPolicy::remove_delta(ItemId item) const {
+  const double x = counts_[item];
+  return bounded(demand_[item] *
+                 (alloc::item_gain(utilities_[item], model_, x - 1.0) -
+                  alloc::item_gain(utilities_[item], model_, x)));
+}
+
+bool HillClimbPolicy::improve_node(Node& node, util::Rng& rng) {
+  if (!node.is_server()) return false;
+  Cache& cache = node.cache();
+
+  // Best item to gain a replica (not already cached here).
+  ItemId best_add = 0;
+  double best_add_delta = -1e301;
+  for (ItemId j = 0; j < demand_.size(); ++j) {
+    if (cache.contains(j)) continue;
+    const double delta = add_delta(j);
+    if (delta > best_add_delta) {
+      best_add_delta = delta;
+      best_add = j;
+    }
+  }
+  // Cheapest cached victim (sticky replicas are immovable).
+  bool have_victim = false;
+  ItemId best_victim = 0;
+  double best_victim_delta = -1e301;  // remove_delta is <= 0; want max
+  for (ItemId i : cache.items()) {
+    if (cache.sticky() && *cache.sticky() == i) continue;
+    const double delta = remove_delta(i);
+    if (!have_victim || delta > best_victim_delta) {
+      best_victim_delta = delta;
+      best_victim = i;
+      have_victim = true;
+    }
+  }
+  if (!have_victim) return false;
+  const double total = best_add_delta + best_victim_delta;
+  if (total <= 1e-12) return false;
+
+  cache.erase(best_victim);
+  // The cache now has a free slot; insertion cannot evict.
+  cache.insert_random_replace(best_add, rng);
+  --counts_[best_victim];
+  ++counts_[best_add];
+  ++swaps_;
+  return true;
+}
+
+void HillClimbPolicy::on_meeting_complete(Node& a, Node& b, util::Rng& rng) {
+  if (!initialized_) {
+    throw std::logic_error(
+        "HillClimbPolicy: on_initialized was never invoked (run through "
+        "core::simulate)");
+  }
+  // Alternate improvements between the two nodes until neither can move.
+  bool moved = true;
+  int guard = 0;
+  while (moved && guard++ < 64) {
+    moved = false;
+    if (improve_node(a, rng)) moved = true;
+    if (improve_node(b, rng)) moved = true;
+  }
+}
+
+double HillClimbPolicy::tracked_welfare() const {
+  alloc::ItemCounts x;
+  x.x.assign(counts_.begin(), counts_.end());
+  return alloc::welfare_homogeneous(x, demand_, utilities_, model_);
+}
+
+}  // namespace impatience::core

@@ -1,0 +1,54 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "impatience/core/mandate.hpp"
+
+namespace impatience::core {
+
+MandateBag::MandateBag(ItemId num_items) {
+  if (num_items == 0) {
+    throw std::invalid_argument("MandateBag: need at least one item");
+  }
+  count_.assign(num_items, 0);
+}
+
+long MandateBag::count(ItemId item) const {
+  if (item >= count_.size()) {
+    throw std::out_of_range("MandateBag::count: bad item");
+  }
+  return count_[item];
+}
+
+void MandateBag::add(ItemId item, long n) {
+  if (item >= count_.size()) {
+    throw std::out_of_range("MandateBag::add: bad item");
+  }
+  if (n < 0) {
+    throw std::invalid_argument("MandateBag::add: negative count");
+  }
+  count_[item] += n;
+  total_ += n;
+}
+
+long MandateBag::take(ItemId item, long n) {
+  if (item >= count_.size()) {
+    throw std::out_of_range("MandateBag::take: bad item");
+  }
+  if (n < 0) {
+    throw std::invalid_argument("MandateBag::take: negative count");
+  }
+  const long taken = std::min(n, count_[item]);
+  count_[item] -= taken;
+  total_ -= taken;
+  return taken;
+}
+
+std::vector<ItemId> MandateBag::active_items() const {
+  std::vector<ItemId> out;
+  for (ItemId i = 0; i < count_.size(); ++i) {
+    if (count_[i] > 0) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace impatience::core

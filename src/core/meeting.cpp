@@ -1,0 +1,53 @@
+#include <algorithm>
+
+#include "sim_internal.hpp"
+
+namespace impatience::core::detail {
+
+namespace {
+
+/// Queries the partner (query-counter increments), then fulfils every
+/// pending request the partner can serve. Returns the gains recorded.
+void fulfil_from(SimState& state, Node& requester, Node& provider) {
+  if (!requester.is_client() || requester.pending().empty()) return;
+
+  auto& pending = requester.pending();
+  // Every pending request queries the met node if it is a server; the
+  // counter includes the fulfilling meeting, so E[counter] = |S| / x_i.
+  if (provider.is_server()) {
+    for (auto& req : pending) ++req.queries;
+  }
+
+  std::size_t kept = 0;
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    PendingRequest& req = pending[k];
+    if (provider.is_server() && provider.holds(req.item)) {
+      const double delay =
+          static_cast<double>(state.now - req.created) + 1.0;
+      const double gain = (*state.utilities)[req.item].value(delay);
+      state.total_gain += gain;
+      state.observed->add(static_cast<double>(state.now), gain);
+      if (state.on_fulfillment && *state.on_fulfillment) {
+        (*state.on_fulfillment)(req.item, requester.id(), delay, gain);
+      }
+      ++state.fulfillments;
+      state.delay_sum += delay;
+      state.query_sum += static_cast<double>(req.queries);
+      state.policy->on_fulfillment(requester, provider, req.item,
+                                   req.queries, *state.rng);
+    } else {
+      pending[kept++] = req;
+    }
+  }
+  pending.resize(kept);
+}
+
+}  // namespace
+
+void process_meeting(SimState& state, Node& a, Node& b) {
+  fulfil_from(state, a, b);
+  fulfil_from(state, b, a);
+  state.policy->on_meeting_complete(a, b, *state.rng);
+}
+
+}  // namespace impatience::core::detail

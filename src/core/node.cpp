@@ -1,0 +1,38 @@
+#include <stdexcept>
+
+#include "impatience/core/node.hpp"
+
+namespace impatience::core {
+
+Node::Node(NodeId id, ItemId num_items, int cache_capacity, bool is_server,
+           bool is_client)
+    : id_(id), is_client_(is_client), mandates_(num_items) {
+  if (is_server) {
+    cache_.emplace(cache_capacity);
+  }
+  // A node that is neither server nor client still participates as a
+  // mandate relay.
+}
+
+Cache& Node::cache() {
+  if (!cache_) {
+    throw std::logic_error("Node::cache: node is not a server");
+  }
+  return *cache_;
+}
+
+const Cache& Node::cache() const {
+  if (!cache_) {
+    throw std::logic_error("Node::cache: node is not a server");
+  }
+  return *cache_;
+}
+
+void Node::create_request(ItemId item, Slot now) {
+  if (!is_client_) {
+    throw std::logic_error("Node::create_request: node is not a client");
+  }
+  pending_.push_back({item, now, 0});
+}
+
+}  // namespace impatience::core

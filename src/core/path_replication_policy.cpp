@@ -1,0 +1,27 @@
+#include <stdexcept>
+
+#include "impatience/core/policy.hpp"
+
+namespace impatience::core {
+
+std::unique_ptr<QcrPolicy> make_passive_policy(
+    double replicas_per_fulfillment, QcrPolicy::MandateRouting routing) {
+  if (!(replicas_per_fulfillment > 0.0)) {
+    throw std::invalid_argument("make_passive_policy: rate must be > 0");
+  }
+  return std::make_unique<QcrPolicy>(
+      "PASSIVE",
+      [replicas_per_fulfillment](double) { return replicas_per_fulfillment; },
+      routing);
+}
+
+std::unique_ptr<QcrPolicy> make_path_replication_policy(
+    double scale, QcrPolicy::MandateRouting routing) {
+  if (!(scale > 0.0)) {
+    throw std::invalid_argument("make_path_replication_policy: scale > 0");
+  }
+  return std::make_unique<QcrPolicy>(
+      "PATH", [scale](double y) { return scale * y; }, routing);
+}
+
+}  // namespace impatience::core

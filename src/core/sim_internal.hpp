@@ -1,0 +1,36 @@
+// Internal simulator state shared between simulator.cpp and meeting.cpp.
+// Not part of the public API.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "impatience/core/node.hpp"
+#include "impatience/core/policy.hpp"
+#include "impatience/stats/timeseries.hpp"
+#include "impatience/utility/utility_set.hpp"
+
+namespace impatience::core::detail {
+
+struct SimState {
+  std::vector<Node> nodes;  // indexed by trace NodeId
+  const utility::UtilitySet* utilities = nullptr;
+  ReplicationPolicy* policy = nullptr;
+  util::Rng* rng = nullptr;
+  Slot now = 0;
+
+  double total_gain = 0.0;
+  stats::BinnedSeries* observed = nullptr;
+  const std::function<void(ItemId, NodeId, double, double)>* on_fulfillment =
+      nullptr;
+  std::uint64_t fulfillments = 0;
+  double delay_sum = 0.0;
+  double query_sum = 0.0;
+};
+
+/// Full meeting protocol of Section 6.1: metadata exchange (query-counter
+/// increments), request fulfilment with gain recording, then the policy's
+/// mandate execution/routing step.
+void process_meeting(SimState& state, Node& a, Node& b);
+
+}  // namespace impatience::core::detail

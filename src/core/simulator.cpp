@@ -1,0 +1,305 @@
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "impatience/core/simulator.hpp"
+#include "sim_internal.hpp"
+
+namespace impatience::core {
+
+Population Population::pure_p2p(NodeId num_nodes) {
+  Population p;
+  p.servers.resize(num_nodes);
+  std::iota(p.servers.begin(), p.servers.end(), 0);
+  p.clients = p.servers;
+  return p;
+}
+
+Population Population::dedicated(NodeId num_servers, NodeId num_clients) {
+  Population p;
+  p.servers.resize(num_servers);
+  std::iota(p.servers.begin(), p.servers.end(), 0);
+  p.clients.resize(num_clients);
+  std::iota(p.clients.begin(), p.clients.end(), num_servers);
+  return p;
+}
+
+namespace {
+
+/// Pins `item` as the cache's sticky replica, evicting a random
+/// non-sticky item if the cache is full and lacks it.
+void force_pin_sticky(Cache& cache, ItemId item, util::Rng& rng) {
+  if (!cache.contains(item) && cache.full()) {
+    // Evict a uniformly random victim to make room (none is sticky yet).
+    const auto& items = cache.items();
+    cache.erase(items[rng.uniform_index(items.size())]);
+  }
+  cache.pin_sticky(item);
+}
+
+void fill_random(Cache& cache, ItemId num_items, util::Rng& rng) {
+  // Distinct uniformly random items into the remaining slots.
+  while (!cache.full() && cache.size() < static_cast<int>(num_items)) {
+    const auto item = static_cast<ItemId>(rng.uniform_index(num_items));
+    if (!cache.contains(item)) {
+      cache.insert_random_replace(item, rng);
+    }
+  }
+}
+
+}  // namespace
+
+SimulationResult simulate(const trace::ContactTrace& trace,
+                          const Catalog& catalog,
+                          const utility::UtilitySet& utilities,
+                          ReplicationPolicy& policy,
+                          const Population& population,
+                          const SimOptions& options, util::Rng& rng) {
+  if (utilities.size() != catalog.num_items()) {
+    throw std::invalid_argument("simulate: utility set size != item count");
+  }
+  if (options.cache_capacity <= 0) {
+    throw std::invalid_argument("simulate: cache capacity must be > 0");
+  }
+  const auto num_items = catalog.num_items();
+  const auto num_servers = static_cast<NodeId>(population.servers.size());
+  if (num_servers == 0 || population.clients.empty()) {
+    throw std::invalid_argument("simulate: empty population");
+  }
+  for (NodeId n : population.servers) {
+    if (n >= trace.num_nodes()) {
+      throw std::invalid_argument("simulate: server id outside trace");
+    }
+  }
+  for (NodeId n : population.clients) {
+    if (n >= trace.num_nodes()) {
+      throw std::invalid_argument("simulate: client id outside trace");
+    }
+  }
+
+  // Build nodes.
+  std::vector<char> is_server(trace.num_nodes(), 0);
+  std::vector<char> is_client(trace.num_nodes(), 0);
+  for (NodeId n : population.servers) is_server[n] = 1;
+  for (NodeId n : population.clients) is_client[n] = 1;
+
+  detail::SimState state;
+  state.nodes.reserve(trace.num_nodes());
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+    state.nodes.emplace_back(n, num_items, options.cache_capacity,
+                             is_server[n] != 0, is_client[n] != 0);
+  }
+
+  // Initial cache contents.
+  if (options.initial_placement) {
+    const alloc::Placement& p = *options.initial_placement;
+    if (p.num_servers() != num_servers || p.num_items() != num_items ||
+        p.capacity_per_server() > options.cache_capacity) {
+      throw std::invalid_argument(
+          "simulate: initial placement incompatible with scenario");
+    }
+    for (NodeId s = 0; s < num_servers; ++s) {
+      Cache& cache = state.nodes[population.servers[s]].cache();
+      for (ItemId i = 0; i < num_items; ++i) {
+        if (p.has(i, s)) cache.insert_random_replace(i, rng);
+      }
+    }
+  }
+  if (options.sticky_replicas) {
+    // Item i is seeded at server index (i mod |S|); at most one sticky
+    // per node, so with more items than servers the surplus items go
+    // unseeded (the paper's scenario has |I| = |S|).
+    for (ItemId i = 0; i < num_items; ++i) {
+      const NodeId seeder = population.servers[i % num_servers];
+      Cache& cache = state.nodes[seeder].cache();
+      if (cache.sticky()) continue;
+      force_pin_sticky(cache, i, rng);
+    }
+  }
+  if (!options.initial_placement) {
+    for (NodeId s : population.servers) {
+      fill_random(state.nodes[s].cache(), num_items, rng);
+    }
+  }
+
+  // Demand and measurement plumbing.
+  auto make_demand = [&](const Catalog& cat) {
+    if (options.popularity) {
+      return DemandProcess(cat, population.clients,
+                           options.popularity->pi);
+    }
+    return DemandProcess(cat, population.clients);
+  };
+  DemandProcess demand = make_demand(catalog);
+  for (std::size_t k = 0; k < options.demand_schedule.size(); ++k) {
+    const auto& [at, cat] = options.demand_schedule[k];
+    if (cat.num_items() != num_items) {
+      throw std::invalid_argument(
+          "simulate: demand_schedule catalog item count mismatch");
+    }
+    if (at < 0 || (k > 0 && at < options.demand_schedule[k - 1].first)) {
+      throw std::invalid_argument(
+          "simulate: demand_schedule must be sorted by slot");
+    }
+  }
+  std::size_t next_demand_change = 0;
+  stats::BinnedSeries observed(options.metrics.bin_width,
+                               static_cast<double>(trace.duration()));
+  stats::BinnedSeries* observed_ptr = &observed;
+
+  state.utilities = &utilities;
+  state.policy = &policy;
+  state.rng = &rng;
+  state.observed = observed_ptr;
+  state.on_fulfillment = &options.on_fulfillment;
+
+  SimulationResult result;
+  result.policy = policy.name();
+  result.duration = trace.duration();
+  result.replica_series.resize(options.metrics.tracked_items.size());
+
+  auto* qcr = dynamic_cast<QcrPolicy*>(&policy);
+  const long mandates_before = qcr ? qcr->mandates_created() : 0;
+  const long written_before = qcr ? qcr->replicas_written() : 0;
+
+  auto count_replicas = [&](std::vector<int>& counts) {
+    counts.assign(num_items, 0);
+    for (NodeId s : population.servers) {
+      for (ItemId i : state.nodes[s].cache().items()) ++counts[i];
+    }
+  };
+  std::vector<int> counts;
+
+  // Policies that track global state seed themselves from the initial
+  // allocation (e.g. HillClimbPolicy).
+  count_replicas(counts);
+  policy.on_initialized(std::span<const int>(counts));
+
+  for (Slot slot = 0; slot < trace.duration(); ++slot) {
+    state.now = slot;
+
+    // Scheduled popularity changes.
+    while (next_demand_change < options.demand_schedule.size() &&
+           options.demand_schedule[next_demand_change].first <= slot) {
+      demand =
+          make_demand(options.demand_schedule[next_demand_change].second);
+      ++next_demand_change;
+    }
+
+    // New demand.
+    for (const NewRequest& req : demand.sample_slot(rng)) {
+      ++result.requests_created;
+      Node& node = state.nodes[req.node];
+      if (node.holds(req.item)) {
+        // Immediate own-cache hit.
+        if (!utilities[req.item].bounded_at_zero()) {
+          throw std::logic_error(
+              "simulate: immediate fulfilment with unbounded h(0+); use "
+              "the dedicated-node population for this utility");
+        }
+        const double gain = utilities[req.item].value_at_zero();
+        state.total_gain += gain;
+        observed.add(static_cast<double>(slot), gain);
+        if (options.on_fulfillment) {
+          options.on_fulfillment(req.item, req.node, 0.0, gain);
+        }
+        ++result.immediate_fulfillments;
+      } else {
+        node.create_request(req.item, slot);
+      }
+    }
+
+    // Meetings.
+    for (const trace::ContactEvent& e : trace.slot_events(slot)) {
+      detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
+    }
+
+    // Periodic sampling.
+    if (slot % options.metrics.sample_every == 0) {
+      if (options.expected_welfare || !options.metrics.tracked_items.empty()) {
+        count_replicas(counts);
+        if (options.expected_welfare) {
+          result.expected_series.push_back(
+              {static_cast<double>(slot),
+               options.expected_welfare(std::span<const int>(counts))});
+        }
+        for (std::size_t k = 0; k < options.metrics.tracked_items.size();
+             ++k) {
+          const ItemId item = options.metrics.tracked_items[k];
+          result.replica_series[k].push_back(
+              {static_cast<double>(slot), static_cast<double>(counts[item])});
+        }
+      }
+    }
+  }
+
+  // Censor still-pending requests at the horizon.
+  if (options.censor_pending_at_end) {
+    for (const Node& node : state.nodes) {
+      for (const PendingRequest& req : node.pending()) {
+        const double age =
+            static_cast<double>(trace.duration() - req.created) + 1.0;
+        state.total_gain += utilities[req.item].value(age);
+        ++result.censored_requests;
+      }
+    }
+  } else {
+    for (const Node& node : state.nodes) {
+      result.censored_requests += node.pending().size();
+    }
+  }
+
+  // Final bookkeeping.
+  count_replicas(counts);
+  result.final_counts = counts;
+  result.total_gain = state.total_gain;
+  result.observed_series = observed.rate_series();
+  result.fulfillments = state.fulfillments;
+  result.mean_delay = state.fulfillments
+                          ? state.delay_sum /
+                                static_cast<double>(state.fulfillments)
+                          : 0.0;
+  result.mean_query_count =
+      state.fulfillments
+          ? state.query_sum / static_cast<double>(state.fulfillments)
+          : 0.0;
+  for (const Node& node : state.nodes) {
+    result.outstanding_mandates += node.mandates().total();
+  }
+  if (qcr) {
+    result.mandates_created = qcr->mandates_created() - mandates_before;
+    result.replicas_written = qcr->replicas_written() - written_before;
+  }
+  return result;
+}
+
+SimulationResult simulate(const trace::ContactTrace& trace,
+                          const Catalog& catalog,
+                          const utility::DelayUtility& utility,
+                          ReplicationPolicy& policy,
+                          const Population& population,
+                          const SimOptions& options, util::Rng& rng) {
+  const utility::UtilitySet utilities(utility, catalog.num_items());
+  return simulate(trace, catalog, utilities, policy, population, options,
+                  rng);
+}
+
+SimulationResult simulate(const trace::ContactTrace& trace,
+                          const Catalog& catalog,
+                          const utility::UtilitySet& utilities,
+                          ReplicationPolicy& policy,
+                          const SimOptions& options, util::Rng& rng) {
+  return simulate(trace, catalog, utilities, policy,
+                  Population::pure_p2p(trace.num_nodes()), options, rng);
+}
+
+SimulationResult simulate(const trace::ContactTrace& trace,
+                          const Catalog& catalog,
+                          const utility::DelayUtility& utility,
+                          ReplicationPolicy& policy,
+                          const SimOptions& options, util::Rng& rng) {
+  return simulate(trace, catalog, utility, policy,
+                  Population::pure_p2p(trace.num_nodes()), options, rng);
+}
+
+}  // namespace impatience::core

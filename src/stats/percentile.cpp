@@ -1,0 +1,60 @@
+#include "impatience/stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace impatience::stats {
+
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("percentile: empty sample set");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("percentile: p must be in [0,1]");
+  }
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(idx));
+  const auto hi = static_cast<std::size_t>(std::ceil(idx));
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
+}
+
+std::vector<double> percentiles(std::vector<double> samples,
+                                const std::vector<double>& ps) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(percentile_sorted(samples, p));
+  return out;
+}
+
+std::vector<double> empirical_cdf(std::vector<double> samples,
+                                  const std::vector<double>& at) {
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> out;
+  out.reserve(at.size());
+  for (double x : at) {
+    const auto it = std::upper_bound(samples.begin(), samples.end(), x);
+    out.push_back(static_cast<double>(it - samples.begin()) /
+                  static_cast<double>(samples.empty() ? 1 : samples.size()));
+  }
+  return out;
+}
+
+double median_abs_deviation(std::vector<double> samples) {
+  const double med = percentile(samples, 0.5);
+  for (auto& s : samples) s = std::abs(s - med);
+  return percentile(std::move(samples), 0.5);
+}
+
+}  // namespace impatience::stats

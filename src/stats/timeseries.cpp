@@ -1,0 +1,50 @@
+#include "impatience/stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace impatience::stats {
+
+BinnedSeries::BinnedSeries(double bin_width, double horizon)
+    : bin_width_(bin_width) {
+  if (bin_width <= 0.0 || horizon <= 0.0) {
+    throw std::invalid_argument("BinnedSeries: width and horizon must be > 0");
+  }
+  const auto bins =
+      static_cast<std::size_t>(std::ceil(horizon / bin_width));
+  sums_.assign(std::max<std::size_t>(bins, 1), 0.0);
+  counts_.assign(sums_.size(), 0);
+}
+
+void BinnedSeries::add(double time, double value) noexcept {
+  auto idx = static_cast<std::size_t>(
+      std::max(0.0, std::floor(time / bin_width_)));
+  if (idx >= sums_.size()) idx = sums_.size() - 1;
+  sums_[idx] += value;
+  ++counts_[idx];
+  total_ += value;
+}
+
+std::vector<SeriesPoint> BinnedSeries::rate_series() const {
+  std::vector<SeriesPoint> out;
+  out.reserve(sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    out.push_back({(static_cast<double>(i) + 0.5) * bin_width_,
+                   sums_[i] / bin_width_});
+  }
+  return out;
+}
+
+std::vector<SeriesPoint> BinnedSeries::mean_series() const {
+  std::vector<SeriesPoint> out;
+  out.reserve(sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    const double mean =
+        counts_[i] ? sums_[i] / static_cast<double>(counts_[i]) : 0.0;
+    out.push_back({(static_cast<double>(i) + 0.5) * bin_width_, mean});
+  }
+  return out;
+}
+
+}  // namespace impatience::stats

@@ -1,0 +1,46 @@
+#include "impatience/stats/trials.hpp"
+
+#include <stdexcept>
+
+#include "impatience/stats/percentile.hpp"
+#include "impatience/stats/summary.hpp"
+
+namespace impatience::stats {
+
+void TrialAggregator::add(const std::string& series, double x, double value) {
+  data_[series][x].push_back(value);
+}
+
+TrialBand TrialAggregator::band(const std::string& series, double x) const {
+  const auto sit = data_.find(series);
+  if (sit == data_.end()) {
+    throw std::out_of_range("TrialAggregator: unknown series " + series);
+  }
+  const auto xit = sit->second.find(x);
+  if (xit == sit->second.end()) {
+    throw std::out_of_range("TrialAggregator: unknown x for " + series);
+  }
+  const std::vector<double>& vals = xit->second;
+  Summary s;
+  for (double v : vals) s.add(v);
+  const auto band = percentiles(vals, {0.05, 0.95});
+  return TrialBand{s.mean(), band[0], band[1], vals.size()};
+}
+
+std::vector<double> TrialAggregator::xs(const std::string& series) const {
+  std::vector<double> out;
+  const auto sit = data_.find(series);
+  if (sit == data_.end()) return out;
+  out.reserve(sit->second.size());
+  for (const auto& [x, _] : sit->second) out.push_back(x);
+  return out;
+}
+
+std::vector<std::string> TrialAggregator::series_names() const {
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [name, _] : data_) out.push_back(name);
+  return out;
+}
+
+}  // namespace impatience::stats

@@ -1,0 +1,11 @@
+#include "impatience/trace/generators.hpp"
+
+namespace impatience::trace {
+
+ContactTrace generate_cabspotting_like(const CabspottingLikeParams& params,
+                                       util::Rng& rng) {
+  return generate_mobility_trace(params.mobility, params.duration,
+                                 params.contact_range, rng);
+}
+
+}  // namespace impatience::trace

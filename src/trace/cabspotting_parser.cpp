@@ -1,0 +1,155 @@
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "impatience/trace/parsers.hpp"
+
+namespace impatience::trace {
+
+namespace {
+
+struct Fix {
+  double time;
+  double x;
+  double y;
+};
+
+constexpr double kEarthRadiusM = 6371000.0;
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+ContactTrace parse_gps(std::istream& in, const GpsOptions& options) {
+  if (!(options.slot_seconds > 0.0) || !(options.contact_range > 0.0)) {
+    throw std::runtime_error("gps parser: bad options");
+  }
+  std::map<long, std::vector<Fix>> fixes;
+  std::string line;
+  double t0 = std::numeric_limits<double>::infinity();
+  double t1 = -std::numeric_limits<double>::infinity();
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream is(line);
+    long id;
+    double t, x, y;
+    if (!(is >> id >> t >> x >> y)) {
+      throw std::runtime_error("gps parser: expected 'id time x y': " + line);
+    }
+    fixes[id].push_back({t, x, y});
+    t0 = std::min(t0, t);
+    t1 = std::max(t1, t);
+  }
+  if (fixes.empty()) {
+    throw std::runtime_error("gps parser: no position fixes found");
+  }
+
+  if (options.coordinates_are_latlon) {
+    // Equirectangular projection about the data centroid.
+    double lat_sum = 0.0;
+    std::size_t count = 0;
+    for (const auto& [_, fs] : fixes) {
+      for (const auto& f : fs) {
+        lat_sum += f.x;
+        ++count;
+      }
+    }
+    const double lat0 = lat_sum / static_cast<double>(count) * kPi / 180.0;
+    for (auto& [_, fs] : fixes) {
+      for (auto& f : fs) {
+        const double lat = f.x * kPi / 180.0;
+        const double lon = f.y * kPi / 180.0;
+        f.x = kEarthRadiusM * lon * std::cos(lat0);
+        f.y = kEarthRadiusM * lat;
+      }
+    }
+  }
+
+  for (auto& [_, fs] : fixes) {
+    std::sort(fs.begin(), fs.end(),
+              [](const Fix& a, const Fix& b) { return a.time < b.time; });
+  }
+
+  const double slot_s = options.slot_seconds;
+  const Slot duration =
+      std::max<Slot>(1, static_cast<Slot>(std::floor((t1 - t0) / slot_s)) + 1);
+  const auto n = static_cast<NodeId>(fixes.size());
+
+  // Interpolated positions per node per slot; NaN when the node has no
+  // usable fix pair (off duty / gap too large).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::vector<double>> px(n), py(n);
+  {
+    NodeId node = 0;
+    for (const auto& [_, fs] : fixes) {
+      auto& xs = px[node];
+      auto& ys = py[node];
+      xs.assign(static_cast<std::size_t>(duration), nan);
+      ys.assign(static_cast<std::size_t>(duration), nan);
+      for (std::size_t k = 0; k + 1 < fs.size(); ++k) {
+        const Fix& a = fs[k];
+        const Fix& b = fs[k + 1];
+        if (b.time - a.time > options.max_gap_seconds) continue;
+        const auto s_first =
+            static_cast<Slot>(std::ceil((a.time - t0) / slot_s));
+        const auto s_last =
+            static_cast<Slot>(std::floor((b.time - t0) / slot_s));
+        for (Slot s = std::max<Slot>(0, s_first);
+             s <= s_last && s < duration; ++s) {
+          const double ts = t0 + static_cast<double>(s) * slot_s;
+          const double w =
+              b.time == a.time ? 0.0 : (ts - a.time) / (b.time - a.time);
+          xs[static_cast<std::size_t>(s)] = a.x + w * (b.x - a.x);
+          ys[static_cast<std::size_t>(s)] = a.y + w * (b.y - a.y);
+        }
+      }
+      ++node;
+    }
+  }
+
+  // Contact extraction.
+  const double range2 = options.contact_range * options.contact_range;
+  std::vector<ContactEvent> events;
+  std::vector<char> in_contact(static_cast<std::size_t>(n) * n, 0);
+  for (Slot s = 0; s < duration; ++s) {
+    for (NodeId a = 0; a < n; ++a) {
+      const double ax = px[a][static_cast<std::size_t>(s)];
+      if (std::isnan(ax)) continue;
+      const double ay = py[a][static_cast<std::size_t>(s)];
+      for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+        const double bx = px[b][static_cast<std::size_t>(s)];
+        if (std::isnan(bx)) continue;
+        const double by = py[b][static_cast<std::size_t>(s)];
+        const double dx = ax - bx;
+        const double dy = ay - by;
+        const bool close = dx * dx + dy * dy <= range2;
+        char& state = in_contact[static_cast<std::size_t>(a) * n + b];
+        if (close) {
+          if (options.expansion == ContactExpansion::kEverySlot || !state) {
+            events.push_back({s, a, b});
+          }
+          state = 1;
+        } else {
+          state = 0;
+        }
+      }
+    }
+  }
+  return ContactTrace(n, duration, std::move(events));
+}
+
+ContactTrace parse_gps_file(const std::string& path,
+                            const GpsOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("gps parser: cannot open " + path);
+  }
+  return parse_gps(in, options);
+}
+
+}  // namespace impatience::trace

@@ -1,0 +1,31 @@
+#include <stdexcept>
+
+#include "impatience/trace/generators.hpp"
+
+namespace impatience::trace {
+
+int community_of(NodeId node, int num_communities) {
+  if (num_communities <= 0) {
+    throw std::invalid_argument("community_of: need >= 1 community");
+  }
+  return static_cast<int>(node % static_cast<NodeId>(num_communities));
+}
+
+ContactTrace generate_community_trace(const CommunityTraceParams& params,
+                                      util::Rng& rng) {
+  if (params.num_nodes < 2 || params.num_communities <= 0 ||
+      params.intra_rate < 0.0 || params.inter_rate < 0.0) {
+    throw std::invalid_argument("generate_community_trace: bad parameters");
+  }
+  RateMatrix rates(params.num_nodes);
+  for (NodeId a = 0; a < params.num_nodes; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < params.num_nodes; ++b) {
+      const bool same = community_of(a, params.num_communities) ==
+                        community_of(b, params.num_communities);
+      rates.set(a, b, same ? params.intra_rate : params.inter_rate);
+    }
+  }
+  return generate_heterogeneous(rates, params.duration, rng);
+}
+
+}  // namespace impatience::trace

@@ -1,0 +1,74 @@
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "impatience/trace/contact.hpp"
+
+namespace impatience::trace {
+
+ContactTrace::ContactTrace(NodeId num_nodes, Slot duration,
+                           std::vector<ContactEvent> events)
+    : num_nodes_(num_nodes), duration_(duration), events_(std::move(events)) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("ContactTrace: need at least one node");
+  }
+  if (duration <= 0) {
+    throw std::invalid_argument("ContactTrace: duration must be > 0");
+  }
+  for (auto& e : events_) {
+    if (e.a > e.b) std::swap(e.a, e.b);
+    if (e.slot < 0 || e.slot >= duration_) {
+      throw std::invalid_argument("ContactTrace: event slot out of range");
+    }
+    if (e.b >= num_nodes_) {
+      throw std::invalid_argument("ContactTrace: node id out of range");
+    }
+  }
+  // Drop self-contacts.
+  std::erase_if(events_, [](const ContactEvent& e) { return e.a == e.b; });
+  std::sort(events_.begin(), events_.end(),
+            [](const ContactEvent& x, const ContactEvent& y) {
+              return std::tie(x.slot, x.a, x.b) < std::tie(y.slot, y.a, y.b);
+            });
+  events_.erase(std::unique(events_.begin(), events_.end()), events_.end());
+
+  slot_begin_.assign(static_cast<std::size_t>(duration_) + 1, 0);
+  std::size_t idx = 0;
+  for (Slot s = 0; s <= duration_; ++s) {
+    while (idx < events_.size() && events_[idx].slot < s) ++idx;
+    slot_begin_[static_cast<std::size_t>(s)] = idx;
+  }
+  slot_begin_.back() = events_.size();
+}
+
+std::span<const ContactEvent> ContactTrace::slot_events(Slot slot) const {
+  if (slot < 0 || slot >= duration_) return {};
+  const std::size_t begin = slot_begin_[static_cast<std::size_t>(slot)];
+  const std::size_t end = slot_begin_[static_cast<std::size_t>(slot) + 1];
+  return {events_.data() + begin, end - begin};
+}
+
+ContactTrace ContactTrace::slice(Slot from, Slot to) const {
+  if (from < 0 || to > duration_ || from >= to) {
+    throw std::invalid_argument("ContactTrace::slice: bad range");
+  }
+  std::vector<ContactEvent> sub;
+  for (const auto& e : events_) {
+    if (e.slot >= from && e.slot < to) {
+      sub.push_back({e.slot - from, e.a, e.b});
+    }
+  }
+  return ContactTrace(num_nodes_, to - from, std::move(sub));
+}
+
+std::size_t ContactTrace::pair_count(NodeId a, NodeId b) const {
+  if (a > b) std::swap(a, b);
+  std::size_t count = 0;
+  for (const auto& e : events_) {
+    if (e.a == a && e.b == b) ++count;
+  }
+  return count;
+}
+
+}  // namespace impatience::trace

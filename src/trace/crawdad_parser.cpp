@@ -1,0 +1,115 @@
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "impatience/trace/parsers.hpp"
+
+namespace impatience::trace {
+
+namespace {
+
+struct RawContact {
+  long node_a;
+  long node_b;
+  double start;
+  double end;
+};
+
+std::vector<double> parse_numbers(const std::string& line) {
+  std::vector<double> out;
+  std::istringstream is(line);
+  double v;
+  while (is >> v) out.push_back(v);
+  if (!is.eof()) {
+    throw std::runtime_error("crawdad parser: non-numeric token in line: " +
+                             line);
+  }
+  return out;
+}
+
+}  // namespace
+
+ContactTrace parse_crawdad(std::istream& in, const CrawdadOptions& options) {
+  if (!(options.slot_seconds > 0.0)) {
+    throw std::runtime_error("crawdad parser: slot_seconds must be > 0");
+  }
+  std::vector<RawContact> raw;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const auto nums = parse_numbers(line);
+    if (nums.size() == 4) {
+      raw.push_back({static_cast<long>(nums[0]), static_cast<long>(nums[1]),
+                     nums[2], nums[3]});
+    } else if (nums.size() == 3) {
+      raw.push_back({static_cast<long>(nums[1]), static_cast<long>(nums[2]),
+                     nums[0], nums[0]});
+    } else {
+      throw std::runtime_error("crawdad parser: expected 3 or 4 columns: " +
+                               line);
+    }
+  }
+  if (raw.empty()) {
+    throw std::runtime_error("crawdad parser: no contact records found");
+  }
+
+  // Dense node-id remapping in first-appearance order.
+  std::map<long, NodeId> ids;
+  for (const auto& r : raw) {
+    if (r.node_a < 0 || r.node_b < 0) {
+      throw std::runtime_error("crawdad parser: negative node id");
+    }
+    ids.try_emplace(r.node_a, static_cast<NodeId>(ids.size()));
+    ids.try_emplace(r.node_b, static_cast<NodeId>(ids.size()));
+  }
+
+  double t0 = raw.front().start;
+  double t1 = raw.front().end;
+  for (const auto& r : raw) {
+    if (r.end < r.start) {
+      throw std::runtime_error("crawdad parser: contact ends before start");
+    }
+    t0 = std::min(t0, r.start);
+    t1 = std::max(t1, r.end);
+  }
+
+  const double slot_s = options.slot_seconds;
+  const Slot duration =
+      std::max<Slot>(1, static_cast<Slot>(std::floor((t1 - t0) / slot_s)) + 1);
+
+  std::vector<ContactEvent> events;
+  events.reserve(raw.size());
+  for (const auto& r : raw) {
+    const auto a = ids.at(r.node_a);
+    const auto b = ids.at(r.node_b);
+    if (a == b) continue;
+    const auto first = static_cast<Slot>(std::floor((r.start - t0) / slot_s));
+    if (options.expansion == ContactExpansion::kOnsetOnly) {
+      events.push_back({first, a, b});
+    } else {
+      const auto last = static_cast<Slot>(std::floor((r.end - t0) / slot_s));
+      for (Slot s = first; s <= last && s < duration; ++s) {
+        events.push_back({s, a, b});
+      }
+    }
+  }
+  return ContactTrace(static_cast<NodeId>(ids.size()), duration,
+                      std::move(events));
+}
+
+ContactTrace parse_crawdad_file(const std::string& path,
+                                const CrawdadOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("crawdad parser: cannot open " + path);
+  }
+  return parse_crawdad(in, options);
+}
+
+}  // namespace impatience::trace

@@ -1,0 +1,36 @@
+#include <algorithm>
+#include <stdexcept>
+
+#include "impatience/trace/generators.hpp"
+
+namespace impatience::trace {
+
+ContactTrace generate_heterogeneous(const RateMatrix& rates, Slot duration,
+                                    util::Rng& rng) {
+  if (duration <= 0) {
+    throw std::invalid_argument("generate_heterogeneous: duration must be > 0");
+  }
+  const NodeId n = rates.num_nodes();
+  // Flatten the upper triangle once; skip zero-rate pairs in the slot loop.
+  struct Pair {
+    NodeId a, b;
+    double p;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+      const double p = std::min(rates.at(a, b), 1.0);
+      if (p > 0.0) pairs.push_back({a, b, p});
+    }
+  }
+  std::vector<ContactEvent> events;
+  for (Slot s = 0; s < duration; ++s) {
+    for (const auto& pr : pairs) {
+      if (rng.bernoulli(pr.p)) events.push_back({s, pr.a, pr.b});
+    }
+  }
+  return ContactTrace(n, duration, std::move(events));
+}
+
+}  // namespace impatience::trace

@@ -1,0 +1,67 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/trace/generators.hpp"
+
+namespace impatience::trace {
+
+ContactTrace generate_infocom_like(const InfocomLikeParams& params,
+                                   util::Rng& rng) {
+  if (params.num_nodes < 2 || params.days <= 0 || params.slots_per_day <= 0 ||
+      !(params.mean_pair_rate > 0.0) || !(params.burst_on_prob > 0.0) ||
+      !(params.burst_off_prob > 0.0)) {
+    throw std::invalid_argument("generate_infocom_like: bad parameters");
+  }
+  const NodeId n = params.num_nodes;
+  const Slot duration = static_cast<Slot>(params.days) * params.slots_per_day;
+
+  // Heterogeneous mean rates: lognormal with the requested mean.
+  const double sigma = params.rate_lognormal_sigma;
+  const double mu_ln = std::log(params.mean_pair_rate) - 0.5 * sigma * sigma;
+  struct PairState {
+    NodeId a, b;
+    double rate;  // daytime mean contacts per slot
+    bool on;
+  };
+  std::vector<PairState> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  // Stationary ON probability of the burst chain; contacts happen only
+  // while ON, scaled by 1/pi_on so the mean rate is unchanged.
+  const double pi_on = params.burst_on_prob /
+                       (params.burst_on_prob + params.burst_off_prob);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+      const double rate = rng.lognormal(mu_ln, sigma);
+      pairs.push_back({a, b, rate, rng.bernoulli(pi_on)});
+    }
+  }
+
+  auto envelope = [&params](Slot slot) {
+    const Slot in_day = slot % params.slots_per_day;
+    const double day_frac =
+        static_cast<double>(in_day) / static_cast<double>(params.slots_per_day);
+    if (day_frac < 8.0 / 24.0) return params.night_activity;
+    if (day_frac < 18.0 / 24.0) return params.day_activity;
+    return params.evening_activity;
+  };
+
+  std::vector<ContactEvent> events;
+  for (Slot s = 0; s < duration; ++s) {
+    const double env = envelope(s);
+    for (auto& pr : pairs) {
+      // Burst chain step.
+      if (pr.on) {
+        if (rng.bernoulli(params.burst_off_prob)) pr.on = false;
+      } else {
+        if (rng.bernoulli(params.burst_on_prob)) pr.on = true;
+      }
+      if (!pr.on || env <= 0.0) continue;
+      const double p = std::min(pr.rate * env / pi_on, 0.95);
+      if (rng.bernoulli(p)) events.push_back({s, pr.a, pr.b});
+    }
+  }
+  return ContactTrace(n, duration, std::move(events));
+}
+
+}  // namespace impatience::trace

@@ -1,0 +1,11 @@
+#include "impatience/trace/generators.hpp"
+
+namespace impatience::trace {
+
+ContactTrace memoryless_equivalent(const ContactTrace& original,
+                                   util::Rng& rng) {
+  const RateMatrix rates = estimate_rates(original);
+  return generate_heterogeneous(rates, original.duration(), rng);
+}
+
+}  // namespace impatience::trace

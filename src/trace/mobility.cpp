@@ -1,0 +1,142 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/trace/mobility.hpp"
+
+namespace impatience::trace {
+
+RandomWaypointModel::RandomWaypointModel(const RandomWaypointParams& params,
+                                         util::Rng& rng)
+    : params_(params), rng_(&rng) {
+  if (params.num_nodes == 0 || !(params.area_size > 0.0) ||
+      !(params.speed_min > 0.0) || params.speed_max < params.speed_min ||
+      !(params.slot_seconds > 0.0)) {
+    throw std::invalid_argument("RandomWaypointModel: bad parameters");
+  }
+  hotspots_.reserve(static_cast<std::size_t>(std::max(0, params.num_hotspots)));
+  for (int h = 0; h < params.num_hotspots; ++h) {
+    hotspots_.push_back({rng.uniform(0.0, params.area_size),
+                         rng.uniform(0.0, params.area_size)});
+  }
+  positions_.resize(params.num_nodes);
+  waypoints_.resize(params.num_nodes);
+  speeds_.assign(params.num_nodes, 0.0);
+  pause_left_s_.assign(params.num_nodes, 0.0);
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    positions_[i] = {rng.uniform(0.0, params.area_size),
+                     rng.uniform(0.0, params.area_size)};
+    pick_waypoint(i);
+  }
+}
+
+void RandomWaypointModel::pick_waypoint(std::size_t node) {
+  Position wp;
+  if (!hotspots_.empty() && rng_->bernoulli(params_.hotspot_prob)) {
+    const auto h = rng_->uniform_index(hotspots_.size());
+    wp.x = hotspots_[h].x + rng_->normal(0.0, params_.hotspot_sigma);
+    wp.y = hotspots_[h].y + rng_->normal(0.0, params_.hotspot_sigma);
+    wp.x = std::clamp(wp.x, 0.0, params_.area_size);
+    wp.y = std::clamp(wp.y, 0.0, params_.area_size);
+  } else {
+    wp = {rng_->uniform(0.0, params_.area_size),
+          rng_->uniform(0.0, params_.area_size)};
+  }
+  waypoints_[node] = wp;
+  speeds_[node] = rng_->uniform(params_.speed_min, params_.speed_max);
+}
+
+void RandomWaypointModel::step() {
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    double budget_s = params_.slot_seconds;
+    while (budget_s > 0.0) {
+      if (pause_left_s_[i] > 0.0) {
+        const double pause = std::min(pause_left_s_[i], budget_s);
+        pause_left_s_[i] -= pause;
+        budget_s -= pause;
+        continue;
+      }
+      const double dx = waypoints_[i].x - positions_[i].x;
+      const double dy = waypoints_[i].y - positions_[i].y;
+      const double dist = std::hypot(dx, dy);
+      const double reach = speeds_[i] * budget_s;
+      if (reach >= dist) {
+        // Arrive at the waypoint, pause, then pick the next one.
+        positions_[i] = waypoints_[i];
+        budget_s -= (speeds_[i] > 0.0 ? dist / speeds_[i] : budget_s);
+        pause_left_s_[i] =
+            params_.pause_mean_s > 0.0
+                ? rng_->exponential(1.0 / params_.pause_mean_s)
+                : 0.0;
+        pick_waypoint(i);
+      } else {
+        positions_[i].x += dx / dist * reach;
+        positions_[i].y += dy / dist * reach;
+        budget_s = 0.0;
+      }
+    }
+  }
+}
+
+ContactTrace generate_mobility_trace(const RandomWaypointParams& params,
+                                     Slot duration, double contact_range,
+                                     util::Rng& rng) {
+  if (duration <= 0 || !(contact_range > 0.0)) {
+    throw std::invalid_argument("generate_mobility_trace: bad parameters");
+  }
+  RandomWaypointModel model(params, rng);
+  const NodeId n = params.num_nodes;
+  const double range2 = contact_range * contact_range;
+  std::vector<char> in_contact(static_cast<std::size_t>(n) * n, 0);
+
+  // Duty cycle: per-node on/off alternation with exponential durations.
+  const bool has_duty_cycle =
+      params.duty_off_mean_s > 0.0 && params.duty_on_mean_s > 0.0;
+  std::vector<char> on_duty(n, 1);
+  std::vector<double> duty_left_s(n, 0.0);
+  if (has_duty_cycle) {
+    for (NodeId i = 0; i < n; ++i) {
+      // Start in the stationary mix of the on/off alternation.
+      const double p_on = params.duty_on_mean_s /
+                          (params.duty_on_mean_s + params.duty_off_mean_s);
+      on_duty[i] = rng.bernoulli(p_on) ? 1 : 0;
+      duty_left_s[i] = rng.exponential(
+          1.0 / (on_duty[i] ? params.duty_on_mean_s
+                            : params.duty_off_mean_s));
+    }
+  }
+
+  std::vector<ContactEvent> events;
+  for (Slot s = 0; s < duration; ++s) {
+    model.step();
+    if (has_duty_cycle) {
+      for (NodeId i = 0; i < n; ++i) {
+        duty_left_s[i] -= params.slot_seconds;
+        if (duty_left_s[i] <= 0.0) {
+          on_duty[i] = on_duty[i] ? 0 : 1;
+          duty_left_s[i] = rng.exponential(
+              1.0 / (on_duty[i] ? params.duty_on_mean_s
+                                : params.duty_off_mean_s));
+        }
+      }
+    }
+    const auto& pos = model.positions();
+    for (NodeId a = 0; a < n; ++a) {
+      for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+        char& state = in_contact[static_cast<std::size_t>(a) * n + b];
+        if (!on_duty[a] || !on_duty[b]) {
+          state = 0;  // parked vehicles make no contacts
+          continue;
+        }
+        const double dx = pos[a].x - pos[b].x;
+        const double dy = pos[a].y - pos[b].y;
+        const bool close = dx * dx + dy * dy <= range2;
+        if (close && !state) events.push_back({s, a, b});
+        state = close ? 1 : 0;
+      }
+    }
+  }
+  return ContactTrace(n, duration, std::move(events));
+}
+
+}  // namespace impatience::trace

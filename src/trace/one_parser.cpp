@@ -1,0 +1,97 @@
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "impatience/trace/parsers.hpp"
+
+namespace impatience::trace {
+
+namespace {
+
+struct Connection {
+  long a;
+  long b;
+  double start;
+  double end;
+};
+
+}  // namespace
+
+ContactTrace parse_one_events(std::istream& in, const OneOptions& options) {
+  if (!(options.slot_seconds > 0.0)) {
+    throw std::runtime_error("ONE parser: slot_seconds must be > 0");
+  }
+  std::map<std::pair<long, long>, double> open;  // pair -> start time
+  std::vector<Connection> connections;
+  double last_time = 0.0;
+  bool any = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream is(line);
+    double time;
+    std::string kind;
+    if (!(is >> time >> kind)) {
+      throw std::runtime_error("ONE parser: bad line: " + line);
+    }
+    last_time = std::max(last_time, time);
+    any = true;
+    if (kind != "CONN") continue;  // other ONE event types are ignored
+    long a, b;
+    std::string state;
+    if (!(is >> a >> b >> state) || a < 0 || b < 0) {
+      throw std::runtime_error("ONE parser: bad CONN line: " + line);
+    }
+    auto key = std::minmax(a, b);
+    if (state == "up") {
+      open.emplace(key, time);  // duplicate "up" keeps the first start
+    } else if (state == "down") {
+      const auto it = open.find(key);
+      if (it != open.end()) {
+        connections.push_back({key.first, key.second, it->second, time});
+        open.erase(it);
+      }
+    } else {
+      throw std::runtime_error("ONE parser: CONN state must be up/down: " +
+                               line);
+    }
+  }
+  if (!any) {
+    throw std::runtime_error("ONE parser: no events found");
+  }
+  // Close connections that never went down.
+  for (const auto& [key, start] : open) {
+    connections.push_back({key.first, key.second, start, last_time});
+  }
+  if (connections.empty()) {
+    throw std::runtime_error("ONE parser: no CONN events found");
+  }
+
+  // Reuse the CRAWDAD pipeline by serializing to its 4-column format.
+  std::ostringstream crawdad;
+  for (const auto& c : connections) {
+    crawdad << c.a << ' ' << c.b << ' ' << c.start << ' ' << c.end << '\n';
+  }
+  std::istringstream replay(crawdad.str());
+  CrawdadOptions crawdad_options;
+  crawdad_options.slot_seconds = options.slot_seconds;
+  crawdad_options.expansion = options.expansion;
+  return parse_crawdad(replay, crawdad_options);
+}
+
+ContactTrace parse_one_events_file(const std::string& path,
+                                   const OneOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ONE parser: cannot open " + path);
+  }
+  return parse_one_events(in, options);
+}
+
+}  // namespace impatience::trace

@@ -1,0 +1,16 @@
+#include <stdexcept>
+
+#include "impatience/trace/generators.hpp"
+
+namespace impatience::trace {
+
+ContactTrace generate_poisson(const PoissonTraceParams& params,
+                              util::Rng& rng) {
+  if (params.mu < 0.0 || params.mu > 1.0) {
+    throw std::invalid_argument("generate_poisson: mu must be in [0,1]");
+  }
+  RateMatrix rates = RateMatrix::homogeneous(params.num_nodes, params.mu);
+  return generate_heterogeneous(rates, params.duration, rng);
+}
+
+}  // namespace impatience::trace

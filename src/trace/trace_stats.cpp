@@ -1,0 +1,143 @@
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "impatience/stats/summary.hpp"
+#include "impatience/trace/stats.hpp"
+
+namespace impatience::trace {
+
+RateMatrix::RateMatrix(NodeId num_nodes, double fill) : n_(num_nodes) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("RateMatrix: need at least one node");
+  }
+  rates_.assign(static_cast<std::size_t>(n_) * n_, fill);
+  for (NodeId i = 0; i < n_; ++i) {
+    rates_[static_cast<std::size_t>(i) * n_ + i] = 0.0;
+  }
+}
+
+double RateMatrix::at(NodeId a, NodeId b) const {
+  if (a >= n_ || b >= n_) {
+    throw std::out_of_range("RateMatrix::at: node id out of range");
+  }
+  return rates_[static_cast<std::size_t>(a) * n_ + b];
+}
+
+void RateMatrix::set(NodeId a, NodeId b, double rate) {
+  if (a >= n_ || b >= n_) {
+    throw std::out_of_range("RateMatrix::set: node id out of range");
+  }
+  if (a == b) return;  // diagonal stays zero
+  if (rate < 0.0) {
+    throw std::invalid_argument("RateMatrix::set: negative rate");
+  }
+  rates_[static_cast<std::size_t>(a) * n_ + b] = rate;
+  rates_[static_cast<std::size_t>(b) * n_ + a] = rate;
+}
+
+double RateMatrix::node_rate(NodeId node) const {
+  double total = 0.0;
+  for (NodeId other = 0; other < n_; ++other) total += at(node, other);
+  return total;
+}
+
+double RateMatrix::mean_rate() const {
+  if (n_ < 2) return 0.0;
+  double total = 0.0;
+  for (NodeId i = 0; i < n_; ++i) {
+    for (NodeId j = static_cast<NodeId>(i + 1); j < n_; ++j) {
+      total += at(i, j);
+    }
+  }
+  const double pairs = 0.5 * static_cast<double>(n_) * (n_ - 1);
+  return total / pairs;
+}
+
+RateMatrix RateMatrix::homogeneous(NodeId num_nodes, double mu) {
+  RateMatrix m(num_nodes, mu);
+  return m;
+}
+
+RateMatrix estimate_rates(const ContactTrace& trace) {
+  RateMatrix m(trace.num_nodes());
+  std::vector<std::size_t> counts(
+      static_cast<std::size_t>(trace.num_nodes()) * trace.num_nodes(), 0);
+  for (const auto& e : trace.events()) {
+    ++counts[static_cast<std::size_t>(e.a) * trace.num_nodes() + e.b];
+  }
+  const auto duration = static_cast<double>(trace.duration());
+  for (NodeId a = 0; a < trace.num_nodes(); ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < trace.num_nodes(); ++b) {
+      const auto c =
+          counts[static_cast<std::size_t>(a) * trace.num_nodes() + b];
+      if (c) m.set(a, b, static_cast<double>(c) / duration);
+    }
+  }
+  return m;
+}
+
+std::vector<double> inter_contact_times(const ContactTrace& trace) {
+  std::map<std::pair<NodeId, NodeId>, Slot> last;
+  std::vector<double> gaps;
+  for (const auto& e : trace.events()) {
+    const auto key = std::make_pair(e.a, e.b);
+    auto it = last.find(key);
+    if (it != last.end()) {
+      gaps.push_back(static_cast<double>(e.slot - it->second));
+      it->second = e.slot;
+    } else {
+      last.emplace(key, e.slot);
+    }
+  }
+  return gaps;
+}
+
+double inter_contact_cv(const ContactTrace& trace) {
+  stats::Summary s;
+  for (double g : inter_contact_times(trace)) s.add(g);
+  if (s.count() < 2 || s.mean() == 0.0) return 0.0;
+  return s.stddev() / s.mean();
+}
+
+std::vector<std::size_t> contacts_per_slot(const ContactTrace& trace) {
+  std::vector<std::size_t> out(static_cast<std::size_t>(trace.duration()), 0);
+  for (const auto& e : trace.events()) {
+    ++out[static_cast<std::size_t>(e.slot)];
+  }
+  return out;
+}
+
+ContactTrace select_most_active_nodes(const ContactTrace& trace, NodeId k) {
+  if (k < 2 || k > trace.num_nodes()) {
+    throw std::invalid_argument(
+        "select_most_active_nodes: k must be in [2, num_nodes]");
+  }
+  std::vector<std::size_t> contact_count(trace.num_nodes(), 0);
+  for (const auto& e : trace.events()) {
+    ++contact_count[e.a];
+    ++contact_count[e.b];
+  }
+  std::vector<NodeId> order(trace.num_nodes());
+  for (NodeId n = 0; n < trace.num_nodes(); ++n) order[n] = n;
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return contact_count[a] > contact_count[b];
+  });
+  // Dense remap: i-th most active node -> id i.
+  const NodeId kInvalid = trace.num_nodes();
+  std::vector<NodeId> remap(trace.num_nodes(), kInvalid);
+  for (NodeId i = 0; i < k; ++i) remap[order[i]] = i;
+
+  std::vector<ContactEvent> kept;
+  for (const auto& e : trace.events()) {
+    const NodeId a = remap[e.a];
+    const NodeId b = remap[e.b];
+    if (a != kInvalid && b != kInvalid) {
+      kept.push_back({e.slot, a, b});
+    }
+  }
+  return ContactTrace(k, trace.duration(), std::move(kept));
+}
+
+}  // namespace impatience::trace

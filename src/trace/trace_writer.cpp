@@ -1,0 +1,71 @@
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "impatience/trace/parsers.hpp"
+
+namespace impatience::trace {
+
+void write_native(const ContactTrace& trace, std::ostream& out) {
+  out << "# impatience-trace v1\n";
+  out << "nodes " << trace.num_nodes() << " duration " << trace.duration()
+      << "\n";
+  for (const auto& e : trace.events()) {
+    out << e.slot << ' ' << e.a << ' ' << e.b << '\n';
+  }
+}
+
+void write_native_file(const ContactTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_native: cannot open " + path);
+  }
+  write_native(trace, out);
+}
+
+ContactTrace read_native(std::istream& in) {
+  std::string line;
+  NodeId nodes = 0;
+  Slot duration = 0;
+  bool have_header = false;
+  std::vector<ContactEvent> events;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream is(line);
+    if (!have_header) {
+      std::string kw1, kw2;
+      long n, d;
+      if (!(is >> kw1 >> n >> kw2 >> d) || kw1 != "nodes" ||
+          kw2 != "duration" || n <= 0 || d <= 0) {
+        throw std::runtime_error(
+            "read_native: expected 'nodes <N> duration <D>' header");
+      }
+      nodes = static_cast<NodeId>(n);
+      duration = d;
+      have_header = true;
+      continue;
+    }
+    long slot, a, b;
+    if (!(is >> slot >> a >> b) || a < 0 || b < 0) {
+      throw std::runtime_error("read_native: bad event line: " + line);
+    }
+    events.push_back(
+        {slot, static_cast<NodeId>(a), static_cast<NodeId>(b)});
+  }
+  if (!have_header) {
+    throw std::runtime_error("read_native: missing header");
+  }
+  return ContactTrace(nodes, duration, std::move(events));
+}
+
+ContactTrace read_native_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_native: cannot open " + path);
+  }
+  return read_native(in);
+}
+
+}  // namespace impatience::trace

@@ -1,0 +1,34 @@
+#include "impatience/util/csv.hpp"
+
+#include <stdexcept>
+
+namespace impatience::util {
+
+CsvWriter::CsvWriter(const std::string& path) : owned_(path), out_(&owned_) {
+  if (!owned_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  const bool needs_quote =
+      s.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+}  // namespace impatience::util

@@ -1,0 +1,100 @@
+#include "impatience/util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace impatience::util {
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  assert(n > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double lambda) noexcept {
+  assert(lambda > 0.0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+std::uint64_t Rng::poisson(double lambda) noexcept {
+  assert(lambda >= 0.0);
+  if (lambda <= 0.0) return 0;
+  // Knuth multiplication in chunks keeps exp() in range for large lambda.
+  std::uint64_t total = 0;
+  while (lambda > 30.0) {
+    // Split off a Poisson(30) component.
+    const double chunk = 30.0;
+    const double l = std::exp(-chunk);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    total += k - 1;
+    lambda -= chunk;
+  }
+  const double l = std::exp(-lambda);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > l);
+  return total + k - 1;
+}
+
+double Rng::normal() noexcept {
+  if (has_normal_spare_) {
+    has_normal_spare_ = false;
+    return normal_spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  normal_spare_ = v * factor;
+  has_normal_spare_ = true;
+  return u * factor;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  assert(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  // Floating-point slack: return the last positive-weight index.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return 0;
+}
+
+std::int64_t Rng::stochastic_round(double x) noexcept {
+  const double f = std::floor(x);
+  const double frac = x - f;
+  auto base = static_cast<std::int64_t>(f);
+  return base + (bernoulli(frac) ? 1 : 0);
+}
+
+}  // namespace impatience::util

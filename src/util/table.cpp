@@ -1,0 +1,59 @@
+#include "impatience/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace impatience::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::format_double(double v, int precision) {
+  std::ostringstream os;
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    os.precision(precision + 3);
+  } else {
+    os.precision(precision);
+  }
+  os << v;
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  auto line = [&](char fill, char sep) {
+    out << sep;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      out << std::string(width[c] + 2, fill) << sep;
+    }
+    out << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& r) {
+    out << '|';
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string();
+      out << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ')
+          << '|';
+    }
+    out << '\n';
+  };
+  line('-', '+');
+  print_row(header_);
+  line('-', '+');
+  for (const auto& r : rows_) print_row(r);
+  line('-', '+');
+}
+
+}  // namespace impatience::util

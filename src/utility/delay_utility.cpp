@@ -1,0 +1,61 @@
+#include "impatience/utility/delay_utility.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/util/math.hpp"
+
+namespace impatience::utility {
+
+namespace {
+void require_positive_rate(double M) {
+  if (!(M > 0.0)) {
+    throw std::domain_error("delay-utility transform: requires M > 0");
+  }
+}
+}  // namespace
+
+double DelayUtility::loss_transform(double M) const {
+  require_positive_rate(M);
+  return util::integrate_to_inf(
+      [this, M](double t) { return std::exp(-M * t) * differential(t); });
+}
+
+double DelayUtility::time_weighted_transform(double M) const {
+  require_positive_rate(M);
+  return util::integrate_to_inf(
+      [this, M](double t) { return t * std::exp(-M * t) * differential(t); });
+}
+
+double DelayUtility::expected_gain(double M) const {
+  require_positive_rate(M);
+  const double h0 = value_at_zero();
+  if (!std::isfinite(h0)) {
+    // Families with unbounded h(0+) must provide the direct closed form.
+    throw std::logic_error(
+        "expected_gain: unbounded h(0+) requires an override (" + name() +
+        ")");
+  }
+  return h0 - loss_transform(M);
+}
+
+bool DelayUtility::bounded_at_zero() const {
+  return std::isfinite(value_at_zero());
+}
+
+double phi(const DelayUtility& u, double mu, double x) {
+  if (!(mu > 0.0) || !(x > 0.0)) {
+    throw std::domain_error("phi: requires mu > 0 and x > 0");
+  }
+  return mu * u.time_weighted_transform(mu * x);
+}
+
+double psi(const DelayUtility& u, double mu, double num_servers, double y) {
+  if (!(num_servers > 0.0) || !(y > 0.0)) {
+    throw std::domain_error("psi: requires |S| > 0 and y > 0");
+  }
+  const double x = num_servers / y;
+  return x * phi(u, mu, x);
+}
+
+}  // namespace impatience::utility

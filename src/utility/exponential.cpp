@@ -1,0 +1,40 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+
+ExponentialUtility::ExponentialUtility(double nu) : nu_(nu) {
+  if (!(nu > 0.0)) {
+    throw std::invalid_argument("ExponentialUtility: nu must be > 0");
+  }
+}
+
+double ExponentialUtility::value(double t) const {
+  return std::exp(-nu_ * t);
+}
+
+double ExponentialUtility::differential(double t) const {
+  return nu_ * std::exp(-nu_ * t);
+}
+
+double ExponentialUtility::loss_transform(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("ExponentialUtility: M > 0");
+  return nu_ / (nu_ + M);
+}
+
+double ExponentialUtility::time_weighted_transform(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("ExponentialUtility: M > 0");
+  return nu_ / ((nu_ + M) * (nu_ + M));
+}
+
+std::string ExponentialUtility::name() const {
+  return "exp(nu=" + std::to_string(nu_) + ")";
+}
+
+std::unique_ptr<DelayUtility> ExponentialUtility::clone() const {
+  return std::make_unique<ExponentialUtility>(*this);
+}
+
+}  // namespace impatience::utility

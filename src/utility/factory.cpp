@@ -1,0 +1,86 @@
+#include "impatience/utility/factory.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+
+namespace {
+
+std::map<std::string, double> parse_params(const std::string& body) {
+  std::map<std::string, double> out;
+  std::stringstream ss(body);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("utility spec: expected key=value in '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    try {
+      std::size_t used = 0;
+      const double num = std::stod(val, &used);
+      if (used != val.size()) throw std::invalid_argument(val);
+      out[key] = num;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("utility spec: bad number '" + val + "'");
+    }
+  }
+  return out;
+}
+
+double take(std::map<std::string, double>& params, const std::string& key,
+            double fallback) {
+  auto it = params.find(key);
+  if (it == params.end()) return fallback;
+  const double v = it->second;
+  params.erase(it);
+  return v;
+}
+
+void expect_empty(const std::map<std::string, double>& params,
+                  const std::string& family) {
+  if (!params.empty()) {
+    throw std::invalid_argument("utility spec: unknown parameter '" +
+                                params.begin()->first + "' for " + family);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<DelayUtility> make_utility(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string family = spec.substr(0, colon);
+  auto params = colon == std::string::npos
+                    ? std::map<std::string, double>{}
+                    : parse_params(spec.substr(colon + 1));
+
+  if (family == "step") {
+    const double tau = take(params, "tau", 1.0);
+    expect_empty(params, family);
+    return std::make_unique<StepUtility>(tau);
+  }
+  if (family == "exp") {
+    const double nu = take(params, "nu", 1.0);
+    expect_empty(params, family);
+    return std::make_unique<ExponentialUtility>(nu);
+  }
+  if (family == "power") {
+    const double alpha = take(params, "alpha", 0.0);
+    expect_empty(params, family);
+    return std::make_unique<PowerUtility>(alpha);
+  }
+  if (family == "neglog") {
+    expect_empty(params, family);
+    return std::make_unique<NegLogUtility>();
+  }
+  throw std::invalid_argument("utility spec: unknown family '" + family +
+                              "'");
+}
+
+}  // namespace impatience::utility

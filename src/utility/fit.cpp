@@ -1,0 +1,103 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/utility/fit.hpp"
+
+namespace impatience::utility {
+
+std::vector<double> isotonic_decreasing(const std::vector<double>& values,
+                                        const std::vector<double>& weights) {
+  if (values.size() != weights.size()) {
+    throw std::invalid_argument("isotonic_decreasing: size mismatch");
+  }
+  // Pool adjacent violators for a NON-INCREASING fit: maintain a stack of
+  // blocks with their weighted means; merge while a later block's mean
+  // exceeds an earlier one's.
+  struct Block {
+    double mean;
+    double weight;
+    std::size_t count;
+  };
+  std::vector<Block> blocks;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!(weights[i] > 0.0)) {
+      throw std::invalid_argument("isotonic_decreasing: weights must be > 0");
+    }
+    Block block{values[i], weights[i], 1};
+    while (!blocks.empty() && blocks.back().mean < block.mean) {
+      const Block& prev = blocks.back();
+      const double w = prev.weight + block.weight;
+      block = Block{(prev.mean * prev.weight + block.mean * block.weight) / w,
+                    w, prev.count + block.count};
+      blocks.pop_back();
+    }
+    blocks.push_back(block);
+  }
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const Block& b : blocks) {
+    out.insert(out.end(), b.count, b.mean);
+  }
+  return out;
+}
+
+TabulatedUtility fit_delay_utility(std::vector<FeedbackSample> samples,
+                                   const FitOptions& options) {
+  std::erase_if(samples,
+                [](const FeedbackSample& s) { return !(s.delay > 0.0); });
+  if (samples.size() < 2) {
+    throw std::invalid_argument("fit_delay_utility: need >= 2 samples");
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const FeedbackSample& a, const FeedbackSample& b) {
+              return a.delay < b.delay;
+            });
+  if (samples.front().delay == samples.back().delay) {
+    throw std::invalid_argument(
+        "fit_delay_utility: need at least two distinct delays");
+  }
+
+  const int bins = std::clamp<int>(options.bins, 2,
+                                   static_cast<int>(samples.size()));
+  const std::size_t per_bin =
+      (samples.size() + static_cast<std::size_t>(bins) - 1) /
+      static_cast<std::size_t>(bins);
+
+  std::vector<double> bin_delay, bin_gain, bin_weight;
+  for (std::size_t start = 0; start < samples.size(); start += per_bin) {
+    const std::size_t end = std::min(start + per_bin, samples.size());
+    double d = 0.0, g = 0.0;
+    for (std::size_t k = start; k < end; ++k) {
+      d += samples[k].delay;
+      g += samples[k].gain;
+    }
+    const auto n = static_cast<double>(end - start);
+    // Merge into the previous bin if the mean delay did not advance
+    // (duplicated delays), keeping the abscissae strictly increasing.
+    const double mean_delay = d / n;
+    if (!bin_delay.empty() && mean_delay <= bin_delay.back()) {
+      const double w = bin_weight.back() + n;
+      bin_gain.back() = (bin_gain.back() * bin_weight.back() + g) / w;
+      bin_weight.back() = w;
+    } else {
+      bin_delay.push_back(mean_delay);
+      bin_gain.push_back(g / n);
+      bin_weight.push_back(n);
+    }
+  }
+  if (bin_delay.size() < 2) {
+    throw std::invalid_argument(
+        "fit_delay_utility: delays collapse into a single bin");
+  }
+
+  const auto monotone = isotonic_decreasing(bin_gain, bin_weight);
+  std::vector<TabulatedUtility::Sample> points;
+  points.reserve(monotone.size());
+  for (std::size_t i = 0; i < monotone.size(); ++i) {
+    points.push_back({bin_delay[i], monotone[i]});
+  }
+  return TabulatedUtility(std::move(points));
+}
+
+}  // namespace impatience::utility

@@ -1,0 +1,96 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+
+MixtureUtility::MixtureUtility(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("MixtureUtility: empty component list");
+  }
+  for (const auto& c : components_) {
+    if (!(c.weight > 0.0) || !c.utility) {
+      throw std::invalid_argument(
+          "MixtureUtility: weights must be > 0 and utilities non-null");
+    }
+  }
+}
+
+MixtureUtility::MixtureUtility(const MixtureUtility& other) {
+  components_.reserve(other.components_.size());
+  for (const auto& c : other.components_) {
+    components_.push_back({c.weight, c.utility->clone()});
+  }
+}
+
+double MixtureUtility::value(double t) const {
+  double total = 0.0;
+  for (const auto& c : components_) total += c.weight * c.utility->value(t);
+  return total;
+}
+
+double MixtureUtility::value_at_zero() const {
+  double total = 0.0;
+  for (const auto& c : components_) {
+    total += c.weight * c.utility->value_at_zero();
+  }
+  return total;
+}
+
+double MixtureUtility::value_at_inf() const {
+  double total = 0.0;
+  for (const auto& c : components_) {
+    total += c.weight * c.utility->value_at_inf();
+  }
+  return total;
+}
+
+double MixtureUtility::differential(double t) const {
+  double total = 0.0;
+  for (const auto& c : components_) {
+    total += c.weight * c.utility->differential(t);
+  }
+  return total;
+}
+
+double MixtureUtility::loss_transform(double M) const {
+  double total = 0.0;
+  for (const auto& c : components_) {
+    total += c.weight * c.utility->loss_transform(M);
+  }
+  return total;
+}
+
+double MixtureUtility::time_weighted_transform(double M) const {
+  double total = 0.0;
+  for (const auto& c : components_) {
+    total += c.weight * c.utility->time_weighted_transform(M);
+  }
+  return total;
+}
+
+double MixtureUtility::expected_gain(double M) const {
+  double total = 0.0;
+  for (const auto& c : components_) {
+    total += c.weight * c.utility->expected_gain(M);
+  }
+  return total;
+}
+
+std::string MixtureUtility::name() const {
+  std::string out = "mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i) out += '+';
+    out += std::to_string(components_[i].weight) + "*" +
+           components_[i].utility->name();
+  }
+  return out + ")";
+}
+
+std::unique_ptr<DelayUtility> MixtureUtility::clone() const {
+  return std::make_unique<MixtureUtility>(*this);
+}
+
+}  // namespace impatience::utility

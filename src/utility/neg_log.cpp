@@ -1,0 +1,45 @@
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "impatience/util/math.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+
+double NegLogUtility::value(double t) const { return -std::log(t); }
+
+double NegLogUtility::value_at_zero() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+double NegLogUtility::value_at_inf() const {
+  return -std::numeric_limits<double>::infinity();
+}
+
+double NegLogUtility::differential(double t) const { return 1.0 / t; }
+
+double NegLogUtility::loss_transform(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("NegLogUtility: M > 0");
+  // int e^{-Mt}/t dt diverges at 0; gains use expected_gain().
+  return std::numeric_limits<double>::infinity();
+}
+
+double NegLogUtility::time_weighted_transform(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("NegLogUtility: M > 0");
+  return 1.0 / M;
+}
+
+double NegLogUtility::expected_gain(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("NegLogUtility: M > 0");
+  // E[-ln Y] for Y ~ Exp(M) is ln M + EulerGamma.
+  return std::log(M) + util::kEulerGamma;
+}
+
+std::string NegLogUtility::name() const { return "neglog"; }
+
+std::unique_ptr<DelayUtility> NegLogUtility::clone() const {
+  return std::make_unique<NegLogUtility>(*this);
+}
+
+}  // namespace impatience::utility

@@ -1,0 +1,68 @@
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "impatience/util/math.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+
+PowerUtility::PowerUtility(double alpha) : alpha_(alpha) {
+  if (!(alpha < 2.0)) {
+    throw std::invalid_argument(
+        "PowerUtility: requires alpha < 2 (T(M) diverges otherwise)");
+  }
+  if (alpha == 1.0) {
+    throw std::invalid_argument(
+        "PowerUtility: alpha = 1 is the NegLogUtility limit; use that class");
+  }
+}
+
+double PowerUtility::value(double t) const {
+  return std::pow(t, 1.0 - alpha_) / (alpha_ - 1.0);
+}
+
+double PowerUtility::value_at_zero() const {
+  // 1 < alpha < 2: t^{1-alpha} -> inf; alpha < 1: -> 0.
+  return alpha_ > 1.0 ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+double PowerUtility::value_at_inf() const {
+  return alpha_ > 1.0 ? 0.0 : -std::numeric_limits<double>::infinity();
+}
+
+double PowerUtility::differential(double t) const {
+  return std::pow(t, -alpha_);
+}
+
+double PowerUtility::loss_transform(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("PowerUtility: M > 0");
+  if (alpha_ >= 1.0) {
+    // int e^{-Mt} t^{-alpha} dt diverges at 0; gains use expected_gain().
+    return std::numeric_limits<double>::infinity();
+  }
+  return util::gamma_fn(1.0 - alpha_) * std::pow(M, alpha_ - 1.0);
+}
+
+double PowerUtility::time_weighted_transform(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("PowerUtility: M > 0");
+  return util::gamma_fn(2.0 - alpha_) * std::pow(M, alpha_ - 2.0);
+}
+
+double PowerUtility::expected_gain(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("PowerUtility: M > 0");
+  // E[h(Y)] = Gamma(2-alpha)/(alpha-1) * M^{alpha-1}; valid in both
+  // regimes (negative for alpha < 1, positive for 1 < alpha < 2).
+  return util::gamma_fn(2.0 - alpha_) / (alpha_ - 1.0) *
+         std::pow(M, alpha_ - 1.0);
+}
+
+std::string PowerUtility::name() const {
+  return "power(alpha=" + std::to_string(alpha_) + ")";
+}
+
+std::unique_ptr<DelayUtility> PowerUtility::clone() const {
+  return std::make_unique<PowerUtility>(*this);
+}
+
+}  // namespace impatience::utility

@@ -1,0 +1,48 @@
+#include "impatience/utility/reaction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace impatience::utility {
+
+ReactionFunction::ReactionFunction(const DelayUtility& utility, double mu,
+                                   double num_servers, double scale)
+    : utility_(utility.clone()),
+      mu_(mu),
+      num_servers_(num_servers),
+      scale_(scale) {
+  if (!(mu > 0.0) || !(num_servers > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument(
+        "ReactionFunction: mu, |S| and scale must be > 0");
+  }
+}
+
+ReactionFunction::ReactionFunction(const ReactionFunction& other)
+    : utility_(other.utility_->clone()),
+      mu_(other.mu_),
+      num_servers_(other.num_servers_),
+      scale_(other.scale_) {}
+
+ReactionFunction& ReactionFunction::operator=(const ReactionFunction& other) {
+  if (this != &other) {
+    utility_ = other.utility_->clone();
+    mu_ = other.mu_;
+    num_servers_ = other.num_servers_;
+    scale_ = other.scale_;
+  }
+  return *this;
+}
+
+double ReactionFunction::operator()(double y) const {
+  if (!(y > 0.0)) {
+    throw std::domain_error("ReactionFunction: query count must be > 0");
+  }
+  return scale_ * psi(*utility_, mu_, num_servers_, y);
+}
+
+std::int64_t ReactionFunction::replicas(double y, util::Rng& rng) const {
+  const double v = (*this)(y);
+  return std::max<std::int64_t>(0, rng.stochastic_round(v));
+}
+
+}  // namespace impatience::utility

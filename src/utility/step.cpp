@@ -1,0 +1,34 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+
+StepUtility::StepUtility(double tau) : tau_(tau) {
+  if (!(tau > 0.0)) {
+    throw std::invalid_argument("StepUtility: tau must be > 0");
+  }
+}
+
+double StepUtility::value(double t) const { return t <= tau_ ? 1.0 : 0.0; }
+
+double StepUtility::loss_transform(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("StepUtility: requires M > 0");
+  return std::exp(-M * tau_);
+}
+
+double StepUtility::time_weighted_transform(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("StepUtility: requires M > 0");
+  return tau_ * std::exp(-M * tau_);
+}
+
+std::string StepUtility::name() const {
+  return "step(tau=" + std::to_string(tau_) + ")";
+}
+
+std::unique_ptr<DelayUtility> StepUtility::clone() const {
+  return std::make_unique<StepUtility>(*this);
+}
+
+}  // namespace impatience::utility

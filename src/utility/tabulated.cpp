@@ -1,0 +1,97 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+
+TabulatedUtility::TabulatedUtility(std::vector<Sample> samples)
+    : samples_(std::move(samples)) {
+  if (samples_.size() < 2) {
+    throw std::invalid_argument("TabulatedUtility: need at least 2 samples");
+  }
+  if (samples_.front().t < 0.0) {
+    throw std::invalid_argument("TabulatedUtility: sample times must be >= 0");
+  }
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (!(samples_[i].t > samples_[i - 1].t)) {
+      throw std::invalid_argument(
+          "TabulatedUtility: sample times must be strictly increasing");
+    }
+    if (samples_[i].h > samples_[i - 1].h) {
+      throw std::invalid_argument(
+          "TabulatedUtility: h must be non-increasing");
+    }
+  }
+}
+
+double TabulatedUtility::value(double t) const {
+  if (t <= samples_.front().t) return samples_.front().h;
+  if (t >= samples_.back().t) return samples_.back().h;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (t <= samples_[i].t) {
+      const Sample& a = samples_[i - 1];
+      const Sample& b = samples_[i];
+      const double w = (t - a.t) / (b.t - a.t);
+      return a.h + w * (b.h - a.h);
+    }
+  }
+  return samples_.back().h;
+}
+
+double TabulatedUtility::value_at_zero() const { return samples_.front().h; }
+
+double TabulatedUtility::value_at_inf() const { return samples_.back().h; }
+
+double TabulatedUtility::differential(double t) const {
+  if (t <= samples_.front().t || t >= samples_.back().t) return 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (t <= samples_[i].t) {
+      const Sample& a = samples_[i - 1];
+      const Sample& b = samples_[i];
+      return (a.h - b.h) / (b.t - a.t);
+    }
+  }
+  return 0.0;
+}
+
+double TabulatedUtility::loss_transform(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("TabulatedUtility: M > 0");
+  // c is piecewise constant; integrate e^{-Mt} exactly per segment.
+  double total = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const Sample& a = samples_[i - 1];
+    const Sample& b = samples_[i];
+    const double c = (a.h - b.h) / (b.t - a.t);
+    if (c == 0.0) continue;
+    total += c * (std::exp(-M * a.t) - std::exp(-M * b.t)) / M;
+  }
+  return total;
+}
+
+double TabulatedUtility::time_weighted_transform(double M) const {
+  if (!(M > 0.0)) throw std::domain_error("TabulatedUtility: M > 0");
+  // int_a^b t e^{-Mt} dt = (a/M + 1/M^2) e^{-Ma} - (b/M + 1/M^2) e^{-Mb}
+  double total = 0.0;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    const Sample& a = samples_[i - 1];
+    const Sample& b = samples_[i];
+    const double c = (a.h - b.h) / (b.t - a.t);
+    if (c == 0.0) continue;
+    const double ea = std::exp(-M * a.t);
+    const double eb = std::exp(-M * b.t);
+    total += c * ((a.t / M + 1.0 / (M * M)) * ea -
+                  (b.t / M + 1.0 / (M * M)) * eb);
+  }
+  return total;
+}
+
+std::string TabulatedUtility::name() const {
+  return "tabulated(" + std::to_string(samples_.size()) + " pts)";
+}
+
+std::unique_ptr<DelayUtility> TabulatedUtility::clone() const {
+  return std::make_unique<TabulatedUtility>(*this);
+}
+
+}  // namespace impatience::utility

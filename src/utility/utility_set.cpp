@@ -1,0 +1,58 @@
+#include <stdexcept>
+
+#include "impatience/utility/utility_set.hpp"
+
+namespace impatience::utility {
+
+UtilitySet::UtilitySet(std::vector<std::unique_ptr<DelayUtility>> utilities)
+    : utilities_(std::move(utilities)) {
+  if (utilities_.empty()) {
+    throw std::invalid_argument("UtilitySet: need at least one item");
+  }
+  for (const auto& u : utilities_) {
+    if (!u) {
+      throw std::invalid_argument("UtilitySet: null utility");
+    }
+  }
+}
+
+UtilitySet::UtilitySet(const DelayUtility& utility, std::size_t num_items) {
+  if (num_items == 0) {
+    throw std::invalid_argument("UtilitySet: need at least one item");
+  }
+  utilities_.reserve(num_items);
+  for (std::size_t i = 0; i < num_items; ++i) {
+    utilities_.push_back(utility.clone());
+  }
+}
+
+UtilitySet::UtilitySet(const UtilitySet& other) {
+  utilities_.reserve(other.utilities_.size());
+  for (const auto& u : other.utilities_) {
+    utilities_.push_back(u->clone());
+  }
+}
+
+UtilitySet& UtilitySet::operator=(const UtilitySet& other) {
+  if (this != &other) {
+    UtilitySet copy(other);
+    utilities_ = std::move(copy.utilities_);
+  }
+  return *this;
+}
+
+const DelayUtility& UtilitySet::at(std::size_t item) const {
+  if (item >= utilities_.size()) {
+    throw std::out_of_range("UtilitySet::at: item out of range");
+  }
+  return *utilities_[item];
+}
+
+bool UtilitySet::all_bounded_at_zero() const {
+  for (const auto& u : utilities_) {
+    if (!u->bounded_at_zero()) return false;
+  }
+  return true;
+}
+
+}  // namespace impatience::utility

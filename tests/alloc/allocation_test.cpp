@@ -1,0 +1,76 @@
+#include "impatience/alloc/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::alloc {
+namespace {
+
+TEST(ItemCounts, Total) {
+  ItemCounts c{{1.0, 2.5, 0.0}};
+  EXPECT_DOUBLE_EQ(c.total(), 3.5);
+  EXPECT_EQ(c.num_items(), 3u);
+}
+
+TEST(Placement, AddRemoveQuery) {
+  Placement p(3, 4, 2);
+  EXPECT_FALSE(p.has(0, 1));
+  p.add(0, 1);
+  EXPECT_TRUE(p.has(0, 1));
+  EXPECT_EQ(p.count(0), 1);
+  EXPECT_EQ(p.server_load(1), 1);
+  p.remove(0, 1);
+  EXPECT_FALSE(p.has(0, 1));
+  EXPECT_EQ(p.count(0), 0);
+  EXPECT_EQ(p.server_load(1), 0);
+}
+
+TEST(Placement, CapacityEnforced) {
+  Placement p(5, 2, 2);
+  p.add(0, 0);
+  p.add(1, 0);
+  EXPECT_TRUE(p.server_full(0));
+  EXPECT_THROW(p.add(2, 0), std::logic_error);
+}
+
+TEST(Placement, DuplicateReplicaRejected) {
+  Placement p(2, 2, 3);
+  p.add(1, 1);
+  EXPECT_THROW(p.add(1, 1), std::logic_error);
+}
+
+TEST(Placement, RemoveAbsentRejected) {
+  Placement p(2, 2, 3);
+  EXPECT_THROW(p.remove(0, 0), std::logic_error);
+}
+
+TEST(Placement, CountsAndHolders) {
+  Placement p(3, 3, 2);
+  p.add(2, 0);
+  p.add(2, 2);
+  p.add(0, 1);
+  const auto counts = p.counts();
+  EXPECT_DOUBLE_EQ(counts.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(counts.x[1], 0.0);
+  EXPECT_DOUBLE_EQ(counts.x[2], 2.0);
+  const auto holders = p.holders(2);
+  ASSERT_EQ(holders.size(), 2u);
+  EXPECT_EQ(holders[0], 0u);
+  EXPECT_EQ(holders[1], 2u);
+}
+
+TEST(Placement, BoundsChecked) {
+  Placement p(2, 2, 1);
+  EXPECT_THROW(p.has(2, 0), std::out_of_range);
+  EXPECT_THROW(p.has(0, 2), std::out_of_range);
+  EXPECT_THROW(p.count(5), std::out_of_range);
+  EXPECT_THROW(p.server_load(5), std::out_of_range);
+}
+
+TEST(Placement, Validation) {
+  EXPECT_THROW(Placement(0, 2, 1), std::invalid_argument);
+  EXPECT_THROW(Placement(2, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Placement(2, 2, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::alloc

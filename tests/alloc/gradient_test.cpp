@@ -1,0 +1,104 @@
+// The projected-gradient relaxed solver against the dual-bisection one
+// (Theorem 2 mentions both; the objective is concave so they must agree).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impatience/alloc/solvers.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::alloc {
+namespace {
+
+using utility::ExponentialUtility;
+using utility::PowerUtility;
+using utility::StepUtility;
+
+constexpr double kMu = 0.05;
+
+std::vector<double> pareto_demand(std::size_t n) {
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  return d;
+}
+
+double dedicated_welfare(const ItemCounts& x,
+                         const std::vector<double>& demand,
+                         const utility::DelayUtility& u,
+                         double num_servers) {
+  HomogeneousModel m{kMu, static_cast<trace::NodeId>(num_servers),
+                     static_cast<trace::NodeId>(num_servers),
+                     SystemMode::kDedicated};
+  ItemCounts clamped = x;
+  for (double& v : clamped.x) v = std::max(v, 1e-9);
+  return welfare_homogeneous(clamped, demand, u, m);
+}
+
+class GradientAgreementTest : public ::testing::TestWithParam<int> {};
+
+std::unique_ptr<utility::DelayUtility> utility_case(int which) {
+  switch (which) {
+    case 0: return std::make_unique<StepUtility>(5.0);
+    case 1: return std::make_unique<ExponentialUtility>(0.3);
+    case 2: return std::make_unique<PowerUtility>(0.0);
+    case 3: return std::make_unique<PowerUtility>(1.5);
+    default: return nullptr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilities, GradientAgreementTest,
+                         ::testing::Range(0, 4));
+
+TEST_P(GradientAgreementTest, MatchesDualBisectionWelfare) {
+  const auto u = utility_case(GetParam());
+  const auto demand = pareto_demand(20);
+  const double servers = 40.0, capacity = 100.0;
+  const auto dual = relaxed_optimum(demand, *u, kMu, servers, capacity);
+  const auto grad = relaxed_gradient(demand, *u, kMu, servers, capacity);
+  EXPECT_NEAR(grad.total(), capacity, 1e-6 * capacity);
+  const double w_dual = dedicated_welfare(dual, demand, *u, servers);
+  const double w_grad = dedicated_welfare(grad, demand, *u, servers);
+  // Concave objective: the two solvers must land on the same value.
+  EXPECT_NEAR(w_grad, w_dual, 2e-3 * std::abs(w_dual)) << u->name();
+}
+
+TEST(RelaxedGradient, RespectsBoxConstraints) {
+  const std::vector<double> demand{100.0, 1.0, 1.0};
+  StepUtility u(10.0);
+  const auto x = relaxed_gradient(demand, u, kMu, 5.0, 12.0);
+  for (double v : x.x) {
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 5.0 + 1e-9);
+  }
+  EXPECT_NEAR(x.total(), 12.0, 1e-6);
+}
+
+TEST(RelaxedGradient, PerItemUtilitySet) {
+  std::vector<std::unique_ptr<utility::DelayUtility>> us;
+  us.push_back(std::make_unique<StepUtility>(1.0));
+  us.push_back(std::make_unique<StepUtility>(100.0));
+  utility::UtilitySet set(std::move(us));
+  const std::vector<double> demand{1.0, 1.0};
+  const auto dual = relaxed_optimum(demand, set, kMu, 30.0, 20.0);
+  const auto grad = relaxed_gradient(demand, set, kMu, 30.0, 20.0);
+  EXPECT_NEAR(grad.x[0], dual.x[0], 0.3);
+  EXPECT_NEAR(grad.x[1], dual.x[1], 0.3);
+}
+
+TEST(RelaxedGradient, Validation) {
+  StepUtility u(1.0);
+  EXPECT_THROW(relaxed_gradient({}, u, kMu, 10.0, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(relaxed_gradient({1.0}, u, 0.0, 10.0, 5.0),
+               std::invalid_argument);
+  EXPECT_THROW(relaxed_gradient({1.0}, u, kMu, 10.0, 50.0),
+               std::invalid_argument);
+  utility::UtilitySet set(u, 2);
+  EXPECT_THROW(relaxed_gradient({1.0}, set, kMu, 10.0, 5.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::alloc

@@ -1,0 +1,94 @@
+#include "impatience/alloc/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace impatience::alloc {
+namespace {
+
+TEST(ProportionalWithCap, BasicProportions) {
+  const auto x = proportional_with_cap({1.0, 3.0}, 8.0, 100.0);
+  EXPECT_NEAR(x.x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x.x[1], 6.0, 1e-12);
+}
+
+TEST(ProportionalWithCap, CapRedistributes) {
+  // Proportional shares {8, 2} but cap 5: surplus flows to the other item.
+  const auto x = proportional_with_cap({4.0, 1.0}, 10.0, 5.0);
+  EXPECT_NEAR(x.x[0], 5.0, 1e-12);
+  EXPECT_NEAR(x.x[1], 5.0, 1e-12);
+}
+
+TEST(ProportionalWithCap, CascadingCaps) {
+  const auto x = proportional_with_cap({100.0, 10.0, 1.0}, 12.0, 5.0);
+  EXPECT_NEAR(x.x[0], 5.0, 1e-9);
+  EXPECT_NEAR(x.x[1], 5.0, 1e-9);
+  EXPECT_NEAR(x.x[2], 2.0, 1e-9);
+}
+
+TEST(ProportionalWithCap, TotalPreserved) {
+  const auto x = proportional_with_cap({5.0, 4.0, 3.0, 2.0, 1.0}, 20.0, 8.0);
+  EXPECT_NEAR(x.total(), 20.0, 1e-9);
+}
+
+TEST(ProportionalWithCap, ZeroWeightGetsNothing) {
+  const auto x = proportional_with_cap({1.0, 0.0, 1.0}, 4.0, 10.0);
+  EXPECT_DOUBLE_EQ(x.x[1], 0.0);
+  EXPECT_NEAR(x.x[0], 2.0, 1e-12);
+}
+
+TEST(ProportionalWithCap, Validation) {
+  EXPECT_THROW(proportional_with_cap({}, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(proportional_with_cap({1.0}, 5.0, 2.0),
+               std::invalid_argument);  // capacity > n * cap
+  EXPECT_THROW(proportional_with_cap({-1.0, 2.0}, 1.0, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Uniform, EqualShares) {
+  const auto x = uniform_allocation(5, 25.0, 50.0);
+  for (double v : x.x) EXPECT_NEAR(v, 5.0, 1e-12);
+}
+
+TEST(Sqrt, SquareRootProportions) {
+  const auto x = sqrt_allocation({16.0, 4.0}, 6.0, 50.0);
+  EXPECT_NEAR(x.x[0] / x.x[1], 2.0, 1e-9);  // sqrt(16)/sqrt(4)
+  EXPECT_NEAR(x.total(), 6.0, 1e-9);
+}
+
+TEST(Prop, DemandProportions) {
+  const auto x = prop_allocation({9.0, 3.0}, 8.0, 50.0);
+  EXPECT_NEAR(x.x[0] / x.x[1], 3.0, 1e-9);
+}
+
+TEST(Sqrt, FlatterThanProp) {
+  // SQRT must allocate relatively more to unpopular items than PROP.
+  std::vector<double> demand{16.0, 1.0};
+  const auto sq = sqrt_allocation(demand, 10.0, 100.0);
+  const auto pr = prop_allocation(demand, 10.0, 100.0);
+  EXPECT_LT(sq.x[0] / sq.x[1], pr.x[0] / pr.x[1]);
+}
+
+TEST(Dom, TopRhoItemsGetEverything) {
+  const std::vector<double> demand{1.0, 5.0, 3.0, 0.5};
+  const auto x = dom_allocation(demand, 2, 50.0);
+  EXPECT_DOUBLE_EQ(x.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x.x[1], 50.0);
+  EXPECT_DOUBLE_EQ(x.x[2], 50.0);
+  EXPECT_DOUBLE_EQ(x.x[3], 0.0);
+}
+
+TEST(Dom, TotalIsRhoTimesServers) {
+  const std::vector<double> demand{4.0, 3.0, 2.0, 1.0};
+  const auto x = dom_allocation(demand, 3, 10.0);
+  EXPECT_DOUBLE_EQ(x.total(), 30.0);
+}
+
+TEST(Dom, Validation) {
+  EXPECT_THROW(dom_allocation({1.0}, 0, 10.0), std::invalid_argument);
+  EXPECT_THROW(dom_allocation({1.0}, 2, 10.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::alloc

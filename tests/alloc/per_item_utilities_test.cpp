@@ -1,0 +1,144 @@
+// Per-item delay-utilities through the allocation layer: the UtilitySet
+// overloads must agree with the single-utility paths when all items share
+// one utility, and must make per-item trade-offs when they differ.
+#include <gtest/gtest.h>
+
+#include "impatience/alloc/solvers.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::alloc {
+namespace {
+
+using utility::DelayUtility;
+using utility::ExponentialUtility;
+using utility::PowerUtility;
+using utility::StepUtility;
+using utility::UtilitySet;
+
+constexpr double kMu = 0.05;
+
+TEST(PerItemWelfare, UniformSetMatchesSingleUtility) {
+  StepUtility u(1.0);
+  UtilitySet set(u, 3);
+  HomogeneousModel m{kMu, 20, 20, SystemMode::kPureP2P};
+  const ItemCounts counts{{5.0, 3.0, 1.0}};
+  const std::vector<double> demand{3.0, 2.0, 1.0};
+  EXPECT_NEAR(welfare_homogeneous(counts, demand, set, m),
+              welfare_homogeneous(counts, demand, u, m), 1e-12);
+}
+
+TEST(PerItemWelfare, MixedSetSumsPerItemGains) {
+  std::vector<std::unique_ptr<DelayUtility>> us;
+  us.push_back(std::make_unique<StepUtility>(1.0));
+  us.push_back(std::make_unique<ExponentialUtility>(0.5));
+  UtilitySet set(std::move(us));
+  HomogeneousModel m{kMu, 20, 20, SystemMode::kDedicated};
+  const ItemCounts counts{{4.0, 2.0}};
+  const std::vector<double> demand{2.0, 1.0};
+  const double expected = 2.0 * item_gain(set[0], m, 4.0) +
+                          1.0 * item_gain(set[1], m, 2.0);
+  EXPECT_NEAR(welfare_homogeneous(counts, demand, set, m), expected, 1e-12);
+}
+
+TEST(PerItemWelfare, HeterogeneousUniformSetMatches) {
+  ExponentialUtility u(0.3);
+  UtilitySet set(u, 2);
+  const auto rates = trace::RateMatrix::homogeneous(5, kMu);
+  std::vector<trace::NodeId> nodes{0, 1, 2, 3, 4};
+  Placement p(2, 5, 2);
+  p.add(0, 0);
+  p.add(1, 2);
+  p.add(1, 3);
+  const std::vector<double> demand{2.0, 1.0};
+  EXPECT_NEAR(
+      welfare_heterogeneous(p, rates, demand, set, nodes, nodes),
+      welfare_heterogeneous(p, rates, demand, u, nodes, nodes), 1e-12);
+}
+
+TEST(PerItemWelfare, SizeMismatchThrows) {
+  StepUtility u(1.0);
+  UtilitySet set(u, 2);
+  HomogeneousModel m{kMu, 20, 20, SystemMode::kPureP2P};
+  EXPECT_THROW(
+      welfare_homogeneous(ItemCounts{{1.0, 2.0, 3.0}}, {1.0, 1.0, 1.0}, set,
+                          m),
+      std::invalid_argument);
+}
+
+TEST(PerItemGreedy, UniformSetMatchesSingleUtility) {
+  StepUtility u(2.0);
+  UtilitySet set(u, 4);
+  HomogeneousModel m{kMu, 10, 10, SystemMode::kPureP2P};
+  const std::vector<double> demand{4.0, 3.0, 2.0, 1.0};
+  const auto a = homogeneous_greedy(demand, u, m, 12);
+  const auto b = homogeneous_greedy(demand, set, m, 12);
+  EXPECT_EQ(a.x, b.x);
+}
+
+TEST(PerItemGreedy, ImpatientItemsGetMoreReplicas) {
+  // Same demand everywhere; one item has a much tighter deadline, so the
+  // optimum gives it more replicas.
+  std::vector<std::unique_ptr<DelayUtility>> us;
+  us.push_back(std::make_unique<StepUtility>(1.0));    // urgent
+  us.push_back(std::make_unique<StepUtility>(500.0));  // relaxed
+  UtilitySet set(std::move(us));
+  HomogeneousModel m{kMu, 20, 20, SystemMode::kDedicated};
+  const std::vector<double> demand{1.0, 1.0};
+  const auto counts = homogeneous_greedy(demand, set, m, 10);
+  EXPECT_GT(counts.x[0], counts.x[1]);
+}
+
+TEST(PerItemRelaxed, BalanceUsesPerItemPhi) {
+  // d_i phi_i(x_i) must be equalized across interior items even when the
+  // items have different utility families.
+  std::vector<std::unique_ptr<DelayUtility>> us;
+  us.push_back(std::make_unique<ExponentialUtility>(0.2));
+  us.push_back(std::make_unique<ExponentialUtility>(2.0));
+  us.push_back(std::make_unique<StepUtility>(5.0));
+  UtilitySet set(std::move(us));
+  const std::vector<double> demand{1.0, 1.0, 1.0};
+  const auto x = relaxed_optimum(demand, set, kMu, 40.0, 30.0);
+  EXPECT_NEAR(x.total(), 30.0, 1e-4);
+  const double l0 = demand[0] * utility::phi(set[0], kMu, x.x[0]);
+  const double l1 = demand[1] * utility::phi(set[1], kMu, x.x[1]);
+  const double l2 = demand[2] * utility::phi(set[2], kMu, x.x[2]);
+  EXPECT_NEAR(l0, l1, 1e-5 * l0);
+  EXPECT_NEAR(l0, l2, 1e-5 * l0);
+}
+
+TEST(PerItemRelaxed, UniformSetMatchesSingleUtility) {
+  PowerUtility u(0.0);
+  UtilitySet set(u, 5);
+  const std::vector<double> demand{5.0, 4.0, 3.0, 2.0, 1.0};
+  const auto a = relaxed_optimum(demand, u, kMu, 30.0, 25.0);
+  const auto b = relaxed_optimum(demand, set, kMu, 30.0, 25.0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(a.x[i], b.x[i], 1e-6);
+  }
+}
+
+TEST(PerItemLazyGreedy, UniformSetMatchesSingleUtility) {
+  const auto rates = trace::RateMatrix::homogeneous(6, kMu);
+  const std::vector<double> demand{4.0, 2.0, 1.0};
+  StepUtility u(2.0);
+  UtilitySet set(u, 3);
+  std::vector<trace::NodeId> nodes{0, 1, 2, 3, 4, 5};
+  const auto a =
+      lazy_greedy_placement(rates, demand, u, nodes, nodes, 3, 2);
+  const auto b =
+      lazy_greedy_placement(rates, demand, set, nodes, nodes, 3, 2);
+  EXPECT_EQ(a.counts().x, b.counts().x);
+}
+
+TEST(PerItemLazyGreedy, SizeMismatchThrows) {
+  const auto rates = trace::RateMatrix::homogeneous(3, kMu);
+  StepUtility u(1.0);
+  UtilitySet set(u, 2);
+  std::vector<trace::NodeId> nodes{0, 1, 2};
+  EXPECT_THROW(
+      lazy_greedy_placement(rates, {1.0, 1.0, 1.0}, set, nodes, nodes, 3, 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::alloc

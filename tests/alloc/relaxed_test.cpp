@@ -1,0 +1,149 @@
+// The relaxed optimum of Property 1: balance condition, capacity, and the
+// closed-form power-law exponent of Fig. 2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impatience/alloc/solvers.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::alloc {
+namespace {
+
+using utility::ExponentialUtility;
+using utility::NegLogUtility;
+using utility::PowerUtility;
+using utility::StepUtility;
+
+constexpr double kMu = 0.05;
+constexpr double kServers = 50.0;
+
+std::vector<double> pareto_demand(std::size_t n, double omega) {
+  std::vector<double> d(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = std::pow(static_cast<double>(i + 1), -omega);
+  }
+  return d;
+}
+
+TEST(RelaxedOptimum, CapacityIsMet) {
+  const auto demand = pareto_demand(50, 1.0);
+  StepUtility u(1.0);
+  const auto x = relaxed_optimum(demand, u, kMu, kServers, 250.0);
+  EXPECT_NEAR(x.total(), 250.0, 1e-4);
+  for (double v : x.x) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, kServers + 1e-9);
+  }
+}
+
+TEST(RelaxedOptimum, BalanceConditionHolds) {
+  // d_i phi(x_i) equal across interior items (Property 1).
+  const auto demand = pareto_demand(20, 1.0);
+  ExponentialUtility u(0.5);
+  const auto x = relaxed_optimum(demand, u, kMu, kServers, 100.0);
+  double lambda = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    if (x.x[i] <= 1e-6 || x.x[i] >= kServers - 1e-6) continue;
+    const double v = demand[i] * utility::phi(u, kMu, x.x[i]);
+    if (first) {
+      lambda = v;
+      first = false;
+    } else {
+      EXPECT_NEAR(v, lambda, 1e-5 * lambda) << "item " << i;
+    }
+  }
+  ASSERT_FALSE(first) << "no interior items to check";
+}
+
+class PowerLawExponentTest : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Alphas, PowerLawExponentTest,
+                         ::testing::Values(-2.0, -1.0, 0.0, 0.5, 1.5));
+
+TEST_P(PowerLawExponentTest, AllocationFollowsD1Over2MinusAlpha) {
+  // Fig. 2: x_i proportional to d_i^{1/(2-alpha)} away from the bounds.
+  const double alpha = GetParam();
+  const auto demand = pareto_demand(30, 1.0);
+  PowerUtility u(alpha);
+  const auto x = relaxed_optimum(demand, u, kMu, kServers, 120.0);
+  const double expo = 1.0 / (2.0 - alpha);
+  // Compare ratios against the closed form for interior items.
+  double ref_ratio = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    if (x.x[i] <= 1e-4 || x.x[i] >= kServers - 1e-4) continue;
+    const double ratio = x.x[i] / std::pow(demand[i], expo);
+    if (first) {
+      ref_ratio = ratio;
+      first = false;
+    } else {
+      EXPECT_NEAR(ratio, ref_ratio, 1e-3 * ref_ratio)
+          << "alpha=" << alpha << " item=" << i;
+    }
+  }
+  ASSERT_FALSE(first);
+}
+
+TEST(RelaxedOptimum, NegLogGivesProportionalAllocation) {
+  const auto demand = pareto_demand(10, 1.0);
+  NegLogUtility u;
+  const auto x = relaxed_optimum(demand, u, kMu, kServers, 40.0);
+  const double ratio0 = x.x[0] / demand[0];
+  for (std::size_t i = 1; i < demand.size(); ++i) {
+    EXPECT_NEAR(x.x[i] / demand[i], ratio0, 1e-4 * ratio0);
+  }
+}
+
+TEST(RelaxedOptimum, MoreImpatientMeansMoreSkew) {
+  // Increasing alpha concentrates the allocation on popular items.
+  const auto demand = pareto_demand(20, 1.0);
+  PowerUtility patient(-1.0);
+  PowerUtility impatient(1.5);
+  const auto xp = relaxed_optimum(demand, patient, kMu, kServers, 100.0);
+  const auto xi = relaxed_optimum(demand, impatient, kMu, kServers, 100.0);
+  EXPECT_GT(xi.x[0], xp.x[0]);
+  EXPECT_LT(xi.x.back(), xp.x.back());
+}
+
+TEST(RelaxedOptimum, BoundaryClampAtNumServers) {
+  // A single overwhelmingly popular item saturates at |S|.
+  std::vector<double> demand{1000.0, 1.0, 1.0, 1.0};
+  StepUtility u(5.0);
+  const auto x = relaxed_optimum(demand, u, kMu, 10.0, 25.0);
+  EXPECT_NEAR(x.x[0], 10.0, 1e-6);
+  EXPECT_NEAR(x.total(), 25.0, 1e-4);
+}
+
+TEST(RelaxedOptimum, ZeroDemandItemsGetNothing) {
+  std::vector<double> demand{1.0, 0.0, 2.0};
+  ExponentialUtility u(1.0);
+  const auto x = relaxed_optimum(demand, u, kMu, kServers, 10.0);
+  EXPECT_DOUBLE_EQ(x.x[1], 0.0);
+}
+
+TEST(RelaxedOptimum, ImprovesOnUniformWelfare) {
+  const auto demand = pareto_demand(25, 1.0);
+  StepUtility u(1.0);
+  const auto x = relaxed_optimum(demand, u, kMu, kServers, 125.0);
+  HomogeneousModel m{kMu, 50, 50, SystemMode::kDedicated};
+  ItemCounts uniform{std::vector<double>(25, 5.0)};
+  EXPECT_GE(welfare_homogeneous(x, demand, u, m),
+            welfare_homogeneous(uniform, demand, u, m) - 1e-9);
+}
+
+TEST(RelaxedOptimum, Validation) {
+  StepUtility u(1.0);
+  EXPECT_THROW(relaxed_optimum({}, u, kMu, 50.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(relaxed_optimum({1.0}, u, 0.0, 50.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(relaxed_optimum({1.0}, u, kMu, 50.0, 100.0),
+               std::invalid_argument);  // capacity > I * |S|
+  EXPECT_THROW(relaxed_optimum({0.0, 0.0}, u, kMu, 50.0, 10.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::alloc

@@ -1,0 +1,106 @@
+#include "impatience/alloc/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace impatience::alloc {
+namespace {
+
+TEST(RoundCounts, PreservesIntegerInput) {
+  const auto r = round_counts(ItemCounts{{3.0, 1.0, 0.0}}, 10);
+  EXPECT_DOUBLE_EQ(r.x[0], 3.0);
+  EXPECT_DOUBLE_EQ(r.x[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.x[2], 0.0);
+}
+
+TEST(RoundCounts, LargestRemainderWins) {
+  // total = 4; fractional parts 0.9 and 0.1: the 0.9 one rounds up.
+  const auto r = round_counts(ItemCounts{{1.9, 2.1}}, 10);
+  EXPECT_DOUBLE_EQ(r.x[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.x[1], 2.0);
+}
+
+TEST(RoundCounts, TotalMatchesRoundedInputTotal) {
+  const ItemCounts input{{1.3, 2.3, 0.4, 5.0}};  // total 9.0
+  const auto r = round_counts(input, 10);
+  EXPECT_DOUBLE_EQ(r.total(), 9.0);
+}
+
+TEST(RoundCounts, RespectsItemCap) {
+  const auto r = round_counts(ItemCounts{{5.0, 4.6}}, 5);
+  EXPECT_LE(r.x[0], 5.0);
+  EXPECT_LE(r.x[1], 5.0);
+  EXPECT_DOUBLE_EQ(r.total(), 10.0);
+}
+
+TEST(RoundCounts, Validation) {
+  EXPECT_THROW(round_counts(ItemCounts{{-1.0}}, 5), std::invalid_argument);
+  EXPECT_THROW(round_counts(ItemCounts{{6.0}}, 5), std::invalid_argument);
+  EXPECT_THROW(round_counts(ItemCounts{{1.0}}, 0), std::invalid_argument);
+}
+
+TEST(PlaceCounts, ExactCountsAndCapacity) {
+  util::Rng rng(1);
+  const ItemCounts counts{{3.0, 2.0, 2.0, 1.0}};  // total 8 = 4 servers x 2
+  const auto p = place_counts(counts, 4, 2, rng);
+  for (ItemId i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.count(i), static_cast<int>(counts.x[i]));
+  }
+  for (trace::NodeId s = 0; s < 4; ++s) {
+    EXPECT_LE(p.server_load(s), 2);
+  }
+}
+
+TEST(PlaceCounts, DistinctServersPerItem) {
+  util::Rng rng(2);
+  const auto p = place_counts(ItemCounts{{4.0}}, 4, 2, rng);
+  // 4 copies over 4 servers: every server holds exactly one.
+  for (trace::NodeId s = 0; s < 4; ++s) {
+    EXPECT_TRUE(p.has(0, s));
+  }
+}
+
+TEST(PlaceCounts, TightFeasibleInstance) {
+  util::Rng rng(3);
+  // Full capacity: 3 servers x 2 slots, items {2, 2, 1, 1}.
+  const auto p = place_counts(ItemCounts{{2.0, 2.0, 1.0, 1.0}}, 3, 2, rng);
+  int total = 0;
+  for (ItemId i = 0; i < 4; ++i) total += p.count(i);
+  EXPECT_EQ(total, 6);
+}
+
+TEST(PlaceCounts, DomStylePlacement) {
+  util::Rng rng(4);
+  // Every server holds the same rho items (the DOM allocation).
+  const auto p = place_counts(ItemCounts{{5.0, 5.0, 0.0}}, 5, 2, rng);
+  for (trace::NodeId s = 0; s < 5; ++s) {
+    EXPECT_TRUE(p.has(0, s));
+    EXPECT_TRUE(p.has(1, s));
+    EXPECT_FALSE(p.has(2, s));
+  }
+}
+
+TEST(PlaceCounts, RandomizedButValidAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    util::Rng rng(seed);
+    const ItemCounts counts{{3.0, 3.0, 2.0, 2.0, 2.0}};  // total 12 = 6x2
+    const auto p = place_counts(counts, 6, 2, rng);
+    for (ItemId i = 0; i < 5; ++i) {
+      EXPECT_EQ(p.count(i), static_cast<int>(counts.x[i]));
+    }
+  }
+}
+
+TEST(PlaceCounts, Validation) {
+  util::Rng rng(5);
+  EXPECT_THROW(place_counts(ItemCounts{{1.5}}, 3, 1, rng),
+               std::invalid_argument);  // non-integer
+  EXPECT_THROW(place_counts(ItemCounts{{4.0}}, 3, 2, rng),
+               std::invalid_argument);  // count > |S|
+  EXPECT_THROW(place_counts(ItemCounts{{2.0, 2.0}}, 3, 1, rng),
+               std::invalid_argument);  // total > rho |S|
+}
+
+}  // namespace
+}  // namespace impatience::alloc

@@ -1,0 +1,117 @@
+#include "impatience/core/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::core {
+namespace {
+
+TEST(Cache, InsertUntilFull) {
+  Cache c(3);
+  util::Rng rng(1);
+  EXPECT_FALSE(c.full());
+  EXPECT_EQ(c.insert_random_replace(1, rng), std::nullopt);
+  EXPECT_EQ(c.insert_random_replace(2, rng), std::nullopt);
+  EXPECT_EQ(c.insert_random_replace(3, rng), std::nullopt);
+  EXPECT_TRUE(c.full());
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_FALSE(c.contains(9));
+}
+
+TEST(Cache, RandomReplacementEvicts) {
+  Cache c(2);
+  util::Rng rng(2);
+  c.insert_random_replace(1, rng);
+  c.insert_random_replace(2, rng);
+  const auto evicted = c.insert_random_replace(3, rng);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_TRUE(*evicted == 1 || *evicted == 2);
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_EQ(c.size(), 2);
+}
+
+TEST(Cache, EvictionIsUniformOverNonSticky) {
+  // With capacity 3 and sticky item 0, items 1 and 2 must each be the
+  // victim about half the time.
+  int evicted1 = 0, evicted2 = 0;
+  util::Rng rng(3);
+  for (int trial = 0; trial < 4000; ++trial) {
+    Cache c(3);
+    c.pin_sticky(0);
+    c.insert_random_replace(1, rng);
+    c.insert_random_replace(2, rng);
+    const auto victim = c.insert_random_replace(3, rng);
+    ASSERT_TRUE(victim.has_value());
+    ASSERT_NE(*victim, 0u);
+    (*victim == 1 ? evicted1 : evicted2)++;
+  }
+  EXPECT_NEAR(evicted1 / 4000.0, 0.5, 0.05);
+  EXPECT_NEAR(evicted2 / 4000.0, 0.5, 0.05);
+}
+
+TEST(Cache, StickyNeverEvicted) {
+  Cache c(2);
+  util::Rng rng(4);
+  c.pin_sticky(7);
+  c.insert_random_replace(1, rng);
+  for (ItemId i = 10; i < 100; ++i) {
+    c.insert_random_replace(i, rng);
+    EXPECT_TRUE(c.contains(7));
+  }
+}
+
+TEST(Cache, PinStickyInsertsIfAbsent) {
+  Cache c(2);
+  c.pin_sticky(5);
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_EQ(c.sticky(), std::optional<ItemId>(5));
+}
+
+TEST(Cache, PinStickyOnExistingItem) {
+  Cache c(2);
+  util::Rng rng(5);
+  c.insert_random_replace(5, rng);
+  c.pin_sticky(5);
+  EXPECT_EQ(c.size(), 1);
+  EXPECT_EQ(c.sticky(), std::optional<ItemId>(5));
+}
+
+TEST(Cache, PinDifferentStickyRejected) {
+  Cache c(3);
+  c.pin_sticky(1);
+  EXPECT_THROW(c.pin_sticky(2), std::logic_error);
+  c.pin_sticky(1);  // re-pinning the same item is fine
+}
+
+TEST(Cache, DuplicateInsertRejected) {
+  Cache c(3);
+  util::Rng rng(6);
+  c.insert_random_replace(1, rng);
+  EXPECT_THROW(c.insert_random_replace(1, rng), std::logic_error);
+}
+
+TEST(Cache, EraseRules) {
+  Cache c(3);
+  util::Rng rng(7);
+  c.pin_sticky(1);
+  c.insert_random_replace(2, rng);
+  EXPECT_THROW(c.erase(1), std::logic_error);   // sticky
+  EXPECT_THROW(c.erase(9), std::logic_error);   // absent
+  c.erase(2);
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_EQ(c.size(), 1);
+}
+
+TEST(Cache, FullOfStickyRejectsInsert) {
+  Cache c(1);
+  util::Rng rng(8);
+  c.pin_sticky(1);
+  EXPECT_THROW(c.insert_random_replace(2, rng), std::logic_error);
+}
+
+TEST(Cache, Validation) {
+  EXPECT_THROW(Cache(0), std::invalid_argument);
+  EXPECT_THROW(Cache(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::core

@@ -1,0 +1,67 @@
+#include "impatience/core/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace impatience::core {
+namespace {
+
+TEST(Catalog, BasicAccess) {
+  Catalog c({2.0, 1.0, 0.5});
+  EXPECT_EQ(c.num_items(), 3u);
+  EXPECT_DOUBLE_EQ(c.demand(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.total_demand(), 3.5);
+}
+
+TEST(Catalog, ParetoShape) {
+  const auto c = Catalog::pareto(4, 1.0, 1.0);
+  // d_i proportional to 1/(i+1).
+  EXPECT_NEAR(c.demand(0) / c.demand(1), 2.0, 1e-12);
+  EXPECT_NEAR(c.demand(0) / c.demand(3), 4.0, 1e-12);
+  EXPECT_NEAR(c.total_demand(), 1.0, 1e-12);
+}
+
+TEST(Catalog, ParetoOmegaZeroIsUniform) {
+  const auto c = Catalog::pareto(5, 0.0, 10.0);
+  for (ItemId i = 0; i < 5; ++i) {
+    EXPECT_NEAR(c.demand(i), 2.0, 1e-12);
+  }
+}
+
+TEST(Catalog, ParetoHigherOmegaMoreSkewed) {
+  const auto flat = Catalog::pareto(10, 0.5, 1.0);
+  const auto steep = Catalog::pareto(10, 2.0, 1.0);
+  EXPECT_GT(steep.demand(0) / steep.demand(9),
+            flat.demand(0) / flat.demand(9));
+}
+
+TEST(Catalog, ByPopularityOrder) {
+  Catalog c({1.0, 5.0, 3.0});
+  const auto order = c.by_popularity();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(Catalog, ParetoIsSortedByConstruction) {
+  const auto c = Catalog::pareto(20, 1.0, 1.0);
+  const auto order = c.by_popularity();
+  for (ItemId i = 0; i < 20; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Catalog, Validation) {
+  EXPECT_THROW(Catalog({}), std::invalid_argument);
+  EXPECT_THROW(Catalog({-1.0}), std::invalid_argument);
+  EXPECT_THROW(Catalog({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Catalog::pareto(0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Catalog::pareto(5, 1.0, 0.0), std::invalid_argument);
+  Catalog c({1.0});
+  EXPECT_THROW(c.demand(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace impatience::core

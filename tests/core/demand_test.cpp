@@ -1,0 +1,77 @@
+#include "impatience/core/demand.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::core {
+namespace {
+
+TEST(DemandProcess, MeanRequestRate) {
+  const auto catalog = Catalog::pareto(10, 1.0, 2.0);
+  DemandProcess demand(catalog, {0, 1, 2, 3});
+  util::Rng rng(1);
+  std::size_t total = 0;
+  const int slots = 20000;
+  for (int s = 0; s < slots; ++s) total += demand.sample_slot(rng).size();
+  EXPECT_NEAR(static_cast<double>(total) / slots, 2.0, 0.05);
+}
+
+TEST(DemandProcess, ItemPopularityFollowsCatalog) {
+  Catalog catalog({3.0, 1.0});
+  DemandProcess demand(catalog, {0});
+  util::Rng rng(2);
+  std::size_t hits0 = 0, total = 0;
+  for (int s = 0; s < 20000; ++s) {
+    for (const auto& r : demand.sample_slot(rng)) {
+      ++total;
+      if (r.item == 0) ++hits0;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_NEAR(static_cast<double>(hits0) / static_cast<double>(total), 0.75,
+              0.02);
+}
+
+TEST(DemandProcess, UniformNodeAssignment) {
+  Catalog catalog({1.0});
+  DemandProcess demand(catalog, {5, 6, 7});
+  util::Rng rng(3);
+  std::vector<std::size_t> hits(10, 0);
+  std::size_t total = 0;
+  for (int s = 0; s < 30000; ++s) {
+    for (const auto& r : demand.sample_slot(rng)) {
+      ++hits[r.node];
+      ++total;
+    }
+  }
+  EXPECT_EQ(hits[0], 0u);  // only listed clients get requests
+  for (NodeId n = 5; n <= 7; ++n) {
+    EXPECT_NEAR(static_cast<double>(hits[n]) / static_cast<double>(total),
+                1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(DemandProcess, WeightedNodeProfile) {
+  Catalog catalog({1.0});
+  DemandProcess demand(catalog, {0, 1}, {{3.0, 1.0}});
+  util::Rng rng(4);
+  std::size_t hits0 = 0, total = 0;
+  for (int s = 0; s < 30000; ++s) {
+    for (const auto& r : demand.sample_slot(rng)) {
+      ++total;
+      if (r.node == 0) ++hits0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits0) / static_cast<double>(total), 0.75,
+              0.02);
+}
+
+TEST(DemandProcess, Validation) {
+  Catalog catalog({1.0, 1.0});
+  EXPECT_THROW(DemandProcess(catalog, {}), std::invalid_argument);
+  EXPECT_THROW(DemandProcess(catalog, {0}, {{1.0}}), std::invalid_argument);
+  EXPECT_THROW(DemandProcess(catalog, {0}, {{1.0}, {1.0, 2.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::core

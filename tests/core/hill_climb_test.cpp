@@ -1,0 +1,138 @@
+// The Section-4.1 hill climber: local cache swaps with full knowledge
+// must climb monotonically to the optimal homogeneous allocation.
+#include "impatience/core/hill_climb_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "impatience/alloc/solvers.hpp"
+#include "impatience/core/experiment.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::core {
+namespace {
+
+using utility::StepUtility;
+
+TEST(HillClimb, RequiresInitialization) {
+  StepUtility u(5.0);
+  alloc::HomogeneousModel model{0.05, 10, 10, alloc::SystemMode::kPureP2P};
+  HillClimbPolicy policy({1.0, 1.0}, u, model);
+  Node a(0, 2, 3, true, true);
+  Node b(1, 2, 3, true, true);
+  util::Rng rng(1);
+  EXPECT_THROW(policy.on_meeting_complete(a, b, rng), std::logic_error);
+}
+
+TEST(HillClimb, SizeMismatchRejected) {
+  StepUtility u(5.0);
+  alloc::HomogeneousModel model{0.05, 10, 10, alloc::SystemMode::kPureP2P};
+  EXPECT_THROW(
+      HillClimbPolicy({1.0, 2.0}, utility::UtilitySet(u, 3), model),
+      std::invalid_argument);
+  HillClimbPolicy policy({1.0, 2.0}, u, model);
+  const std::vector<int> wrong{1, 2, 3};
+  EXPECT_THROW(policy.on_initialized(std::span<const int>(wrong)),
+               std::invalid_argument);
+}
+
+TEST(HillClimb, SwapImprovesTrackedWelfare) {
+  StepUtility u(5.0);
+  alloc::HomogeneousModel model{0.1, 2, 2, alloc::SystemMode::kPureP2P};
+  const std::vector<double> demand{10.0, 0.1, 0.1};
+  HillClimbPolicy policy(demand, u, model);
+
+  // Both nodes carry the unpopular items; the popular one has 0 copies.
+  Node a(0, 3, 1, true, true);
+  Node b(1, 3, 1, true, true);
+  util::Rng rng(2);
+  a.cache().insert_random_replace(1, rng);
+  b.cache().insert_random_replace(2, rng);
+  const std::vector<int> counts{0, 1, 1};
+  policy.on_initialized(std::span<const int>(counts));
+  const double before = policy.tracked_welfare();
+  policy.on_meeting_complete(a, b, rng);
+  EXPECT_GT(policy.swaps(), 0);
+  EXPECT_GT(policy.tracked_welfare(), before);
+  // The popular item must now be cached somewhere.
+  EXPECT_TRUE(a.holds(0) || b.holds(0));
+}
+
+TEST(HillClimb, StickyReplicasAreImmovable) {
+  StepUtility u(5.0);
+  alloc::HomogeneousModel model{0.1, 2, 2, alloc::SystemMode::kPureP2P};
+  const std::vector<double> demand{10.0, 0.001};
+  HillClimbPolicy policy(demand, u, model);
+  Node a(0, 2, 1, true, true);
+  Node b(1, 2, 1, true, true);
+  a.cache().pin_sticky(1);  // unpopular but pinned
+  b.cache().pin_sticky(1);
+  const std::vector<int> counts{0, 2};
+  policy.on_initialized(std::span<const int>(counts));
+  util::Rng rng(3);
+  policy.on_meeting_complete(a, b, rng);
+  EXPECT_EQ(policy.swaps(), 0);
+  EXPECT_TRUE(a.holds(1));
+  EXPECT_TRUE(b.holds(1));
+}
+
+TEST(HillClimb, ConvergesToGreedyOptimum) {
+  // Full simulation: starting from a random allocation, hill climbing
+  // must reach the Theorem-2 greedy optimum's welfare.
+  util::Rng rng(4);
+  const trace::NodeId n = 20;
+  auto trace = trace::generate_poisson({n, 1500, 0.06}, rng);
+  auto scenario = make_scenario(std::move(trace),
+                                Catalog::pareto(20, 1.0, 0.5), 3);
+  StepUtility u(8.0);
+  alloc::HomogeneousModel model{scenario.mu, n, n,
+                                alloc::SystemMode::kPureP2P};
+
+  HillClimbPolicy policy(scenario.catalog.demands(), u, model);
+  SimOptions options;
+  options.cache_capacity = 3;
+  options.sticky_replicas = false;
+  util::Rng run_rng(5);
+  const auto result = simulate(scenario.trace, scenario.catalog, u, policy,
+                               options, run_rng);
+
+  const auto opt_counts = alloc::homogeneous_greedy(
+      scenario.catalog.demands(), u, model, 3 * static_cast<int>(n));
+  const double opt_welfare = alloc::welfare_homogeneous(
+      opt_counts, scenario.catalog.demands(), u, model);
+  alloc::ItemCounts final_x;
+  final_x.x.assign(result.final_counts.begin(), result.final_counts.end());
+  const double hill_welfare = alloc::welfare_homogeneous(
+      final_x, scenario.catalog.demands(), u, model);
+  EXPECT_GT(policy.swaps(), 0);
+  EXPECT_GT(hill_welfare, 0.98 * opt_welfare);
+  EXPECT_NEAR(policy.tracked_welfare(), hill_welfare, 1e-9);
+}
+
+TEST(HillClimb, TrackedCountsStayConsistentWithCaches) {
+  util::Rng rng(6);
+  auto trace = trace::generate_poisson({10, 500, 0.1}, rng);
+  auto scenario = make_scenario(std::move(trace),
+                                Catalog::pareto(8, 1.0, 0.5), 2);
+  StepUtility u(5.0);
+  alloc::HomogeneousModel model{scenario.mu, 10, 10,
+                                alloc::SystemMode::kPureP2P};
+  HillClimbPolicy policy(scenario.catalog.demands(), u, model);
+  SimOptions options;
+  options.cache_capacity = 2;
+  options.sticky_replicas = false;
+  util::Rng run_rng(7);
+  const auto result = simulate(scenario.trace, scenario.catalog, u, policy,
+                               options, run_rng);
+  alloc::ItemCounts final_x;
+  final_x.x.assign(result.final_counts.begin(), result.final_counts.end());
+  EXPECT_NEAR(policy.tracked_welfare(),
+              alloc::welfare_homogeneous(final_x,
+                                         scenario.catalog.demands(), u,
+                                         model),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace impatience::core

@@ -1,0 +1,194 @@
+// End-to-end behaviour of the full stack: QCR must drive the global cache
+// near the optimal allocation (Fig. 3/4), mandate routing must matter, and
+// the observed utility must track the analytic expectation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "impatience/core/experiment.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::core {
+namespace {
+
+using utility::PowerUtility;
+using utility::StepUtility;
+
+Scenario medium_scenario(std::uint64_t seed, trace::NodeId n = 25,
+                         Slot duration = 2500, double mu = 0.05,
+                         ItemId items = 25) {
+  util::Rng rng(seed);
+  auto trace = trace::generate_poisson({n, duration, mu}, rng);
+  return make_scenario(std::move(trace), Catalog::pareto(items, 1.0, 0.5),
+                       3);
+}
+
+double mean_observed(const Scenario& s, const utility::DelayUtility& u,
+                     const std::string& which, int trials,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  double total = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    util::Rng trial_rng = rng.split();
+    if (which == "QCR") {
+      total += run_qcr(s, u, QcrOptions{}, SimOptions{}, trial_rng)
+                   .observed_utility();
+    } else if (which == "QCR-noMR") {
+      QcrOptions opts;
+      opts.mandate_routing = false;
+      total += run_qcr(s, u, opts, SimOptions{}, trial_rng)
+                   .observed_utility();
+    } else {
+      util::Rng place_rng = rng.split();
+      const auto set =
+          build_competitors(s, u, OptMode::kHomogeneous, place_rng);
+      for (const auto& [name, placement] : set) {
+        if (name == which) {
+          total += run_fixed(s, u, name, placement, SimOptions{}, trial_rng)
+                       .observed_utility();
+          break;
+        }
+      }
+    }
+  }
+  return total / trials;
+}
+
+TEST(Integration, QcrApproachesOptimalStepUtility) {
+  const auto s = medium_scenario(1);
+  StepUtility u(10.0);
+  const double u_opt = mean_observed(s, u, "OPT", 3, 100);
+  const double u_qcr = mean_observed(s, u, "QCR", 3, 200);
+  const double u_uni = mean_observed(s, u, "UNI", 3, 300);
+  ASSERT_GT(u_opt, 0.0);
+  // QCR within 20% of OPT (paper: within a few % for step utilities).
+  EXPECT_GT(u_qcr, 0.8 * u_opt);
+  // ... and it must not be beaten badly by the naive baseline.
+  EXPECT_GT(u_qcr, 0.9 * u_uni);
+}
+
+TEST(Integration, QcrNearOptimalForCostUtility) {
+  const auto s = medium_scenario(2);
+  PowerUtility u(0.0);  // h(t) = -t, the Fig. 3 setting
+  const double u_opt = mean_observed(s, u, "OPT", 3, 400);
+  const double u_qcr = mean_observed(s, u, "QCR", 3, 500);
+  const double u_dom = mean_observed(s, u, "DOM", 3, 600);
+  ASSERT_LT(u_opt, 0.0);
+  // Normalized loss (more negative = worse). QCR close to OPT; DOM far.
+  const double qcr_loss = normalized_loss_percent(u_qcr, u_opt);
+  const double dom_loss = normalized_loss_percent(u_dom, u_opt);
+  EXPECT_GT(qcr_loss, -60.0);
+  EXPECT_LT(dom_loss, -100.0);
+  EXPECT_GT(qcr_loss, dom_loss);
+}
+
+TEST(Integration, MandateRoutingPreventsDivergence) {
+  // Fig. 3: without mandate routing the allocation drifts and utility
+  // degrades substantially for cost-type utilities.
+  const auto s = medium_scenario(3, 25, 4000);
+  PowerUtility u(0.0);
+  const double with_mr = mean_observed(s, u, "QCR", 3, 700);
+  const double without_mr = mean_observed(s, u, "QCR-noMR", 3, 800);
+  EXPECT_GT(with_mr, without_mr);
+}
+
+TEST(Integration, QcrReplicaCountsTrackRelaxedOptimum) {
+  const auto s = medium_scenario(4, 25, 4000);
+  StepUtility u(10.0);
+  util::Rng rng(900);
+  const auto result = run_qcr(s, u, QcrOptions{}, SimOptions{}, rng);
+
+  const auto target = alloc::relaxed_optimum(
+      s.catalog.demands(), u, s.mu, 25.0, 3.0 * 25.0);
+  // Popular items should hold more replicas, and the most popular item's
+  // count should be in the right ballpark of the relaxed optimum.
+  EXPECT_GT(result.final_counts[0], result.final_counts[20]);
+  EXPECT_NEAR(static_cast<double>(result.final_counts[0]), target.x[0],
+              0.5 * target.x[0] + 3.0);
+}
+
+TEST(Integration, ObservedUtilityTracksAnalyticWelfareForOpt) {
+  // For a frozen OPT allocation under homogeneous contacts, the realized
+  // gain rate must approach the closed-form welfare U(x).
+  const auto s = medium_scenario(5, 25, 4000);
+  StepUtility u(10.0);
+  util::Rng rng(1000);
+  const auto set = build_competitors(s, u, OptMode::kHomogeneous, rng);
+  alloc::HomogeneousModel model{s.mu, 25, 25, alloc::SystemMode::kPureP2P};
+  const double analytic = alloc::welfare_homogeneous(
+      set[0].placement.counts(), s.catalog.demands(), u, model);
+  double observed = 0.0;
+  const int trials = 3;
+  for (int t = 0; t < trials; ++t) {
+    util::Rng trial_rng = rng.split();
+    observed += run_fixed(s, u, "OPT", set[0].placement, SimOptions{},
+                          trial_rng)
+                    .observed_utility();
+  }
+  observed /= trials;
+  EXPECT_NEAR(observed, analytic, 0.15 * std::abs(analytic));
+}
+
+TEST(Integration, QcrCompetitiveOnBurstyTrace) {
+  // The Section 6.3 claim in miniature: on a diurnal, bursty,
+  // heterogeneous trace, QCR (local information only) stays within a
+  // moderate factor of the memoryless-approximate OPT.
+  util::Rng rng(2200);
+  trace::InfocomLikeParams params;
+  params.num_nodes = 25;
+  params.days = 2;
+  auto trace = trace::generate_infocom_like(params, rng);
+  auto s = make_scenario(std::move(trace), Catalog::pareto(20, 1.0, 0.5), 3);
+  StepUtility u(120.0);
+
+  double u_opt = 0.0, u_qcr = 0.0;
+  const int trials = 3;
+  for (int t = 0; t < trials; ++t) {
+    util::Rng pr = rng.split();
+    const auto set = build_competitors(s, u, OptMode::kEstimated, pr);
+    util::Rng r1 = rng.split(), r2 = rng.split();
+    u_opt += run_fixed(s, u, "OPT", set[0].placement, SimOptions{}, r1)
+                 .observed_utility();
+    u_qcr += run_qcr(s, u, QcrOptions{}, SimOptions{}, r2)
+                 .observed_utility();
+  }
+  u_opt /= trials;
+  u_qcr /= trials;
+  ASSERT_GT(u_opt, 0.0);
+  // Paper: QCR "generally lying within 15% of OPT" on Infocom; allow
+  // slack for the small instance and short horizon.
+  EXPECT_GT(u_qcr, 0.6 * u_opt);
+}
+
+TEST(Integration, HeterogeneousOptBeatsHomogeneousOptOnSkewedTrace) {
+  // On a strongly heterogeneous trace, placing replicas on well-connected
+  // nodes (Lemma-1 greedy) should not lose to the rate-blind placement.
+  util::Rng rng(1100);
+  trace::InfocomLikeParams params;
+  params.num_nodes = 20;
+  params.days = 2;
+  auto trace = trace::generate_infocom_like(params, rng);
+  auto s = make_scenario(std::move(trace), Catalog::pareto(15, 1.0, 0.5), 3);
+  StepUtility u(30.0);
+
+  util::Rng build_rng(1200);
+  const auto hom = build_competitors(s, u, OptMode::kHomogeneous, build_rng);
+  const auto het = build_competitors(s, u, OptMode::kEstimated, build_rng);
+
+  double u_hom = 0.0, u_het = 0.0;
+  const int trials = 3;
+  for (int t = 0; t < trials; ++t) {
+    util::Rng r1 = build_rng.split();
+    util::Rng r2 = build_rng.split();
+    u_hom += run_fixed(s, u, "OPT", hom[0].placement, SimOptions{}, r1)
+                 .observed_utility();
+    u_het += run_fixed(s, u, "OPT", het[0].placement, SimOptions{}, r2)
+                 .observed_utility();
+  }
+  // Allow statistical slack but the heterogeneous OPT must be at least
+  // competitive.
+  EXPECT_GT(u_het, 0.85 * u_hom);
+}
+
+}  // namespace
+}  // namespace impatience::core

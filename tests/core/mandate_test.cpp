@@ -1,0 +1,94 @@
+#include "impatience/core/mandate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "impatience/core/node.hpp"
+
+namespace impatience::core {
+namespace {
+
+TEST(MandateBag, AddTakeCount) {
+  MandateBag bag(4);
+  EXPECT_TRUE(bag.empty());
+  bag.add(2, 5);
+  EXPECT_EQ(bag.count(2), 5);
+  EXPECT_EQ(bag.total(), 5);
+  EXPECT_EQ(bag.take(2, 3), 3);
+  EXPECT_EQ(bag.count(2), 2);
+  EXPECT_EQ(bag.total(), 2);
+}
+
+TEST(MandateBag, TakeMoreThanAvailable) {
+  MandateBag bag(2);
+  bag.add(0, 2);
+  EXPECT_EQ(bag.take(0, 10), 2);
+  EXPECT_EQ(bag.count(0), 0);
+  EXPECT_TRUE(bag.empty());
+}
+
+TEST(MandateBag, TakeFromEmptyItem) {
+  MandateBag bag(2);
+  EXPECT_EQ(bag.take(1, 5), 0);
+}
+
+TEST(MandateBag, AddZeroIsNoop) {
+  MandateBag bag(2);
+  bag.add(0, 0);
+  EXPECT_TRUE(bag.empty());
+}
+
+TEST(MandateBag, ActiveItems) {
+  MandateBag bag(5);
+  bag.add(1, 1);
+  bag.add(4, 2);
+  const auto items = bag.active_items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0], 1u);
+  EXPECT_EQ(items[1], 4u);
+}
+
+TEST(MandateBag, Validation) {
+  EXPECT_THROW(MandateBag(0), std::invalid_argument);
+  MandateBag bag(2);
+  EXPECT_THROW(bag.add(2, 1), std::out_of_range);
+  EXPECT_THROW(bag.take(2, 1), std::out_of_range);
+  EXPECT_THROW(bag.count(2), std::out_of_range);
+  EXPECT_THROW(bag.add(0, -1), std::invalid_argument);
+  EXPECT_THROW(bag.take(0, -1), std::invalid_argument);
+}
+
+TEST(Node, RolesAndAccess) {
+  Node server(0, 3, 5, true, false);
+  EXPECT_TRUE(server.is_server());
+  EXPECT_FALSE(server.is_client());
+  EXPECT_NO_THROW(server.cache());
+  EXPECT_THROW(server.create_request(0, 1), std::logic_error);
+
+  Node client(1, 3, 5, false, true);
+  EXPECT_FALSE(client.is_server());
+  EXPECT_THROW(client.cache(), std::logic_error);
+  client.create_request(2, 7);
+  ASSERT_EQ(client.pending().size(), 1u);
+  EXPECT_EQ(client.pending()[0].item, 2u);
+  EXPECT_EQ(client.pending()[0].created, 7);
+  EXPECT_EQ(client.pending()[0].queries, 0);
+}
+
+TEST(Node, HoldsChecksCache) {
+  Node n(0, 3, 2, true, true);
+  util::Rng rng(1);
+  EXPECT_FALSE(n.holds(1));
+  n.cache().insert_random_replace(1, rng);
+  EXPECT_TRUE(n.holds(1));
+  Node client(1, 3, 2, false, true);
+  EXPECT_FALSE(client.holds(1));
+}
+
+TEST(Node, RelayNodeCarriesMandates) {
+  Node relay(0, 3, 2, false, false);
+  relay.mandates().add(1, 2);
+  EXPECT_EQ(relay.mandates().total(), 2);
+}
+
+}  // namespace
+}  // namespace impatience::core

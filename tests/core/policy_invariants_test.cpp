@@ -1,0 +1,187 @@
+// Cross-policy invariant sweep: for every replication policy and several
+// seeds, a full simulation must preserve the structural invariants of the
+// protocol (replica conservation, capacity, sticky immortality, request
+// accounting, mandate sanity).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "impatience/core/experiment.hpp"
+#include "impatience/core/hill_climb_policy.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::core {
+namespace {
+
+using utility::StepUtility;
+
+struct Sweep {
+  int policy_kind;  // 0 QCR, 1 QCR-noMR, 2 QCR-rewriting, 3 passive,
+                    // 4 path, 5 static, 6 hill
+  std::uint64_t seed;
+};
+
+class PolicyInvariantsTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(AllPoliciesAndSeeds, PolicyInvariantsTest,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Values(1, 2, 3)));
+
+const char* policy_name(int kind) {
+  switch (kind) {
+    case 0: return "QCR";
+    case 1: return "QCR-noMR";
+    case 2: return "QCR-rewriting";
+    case 3: return "PASSIVE";
+    case 4: return "PATH";
+    case 5: return "STATIC";
+    case 6: return "HILL";
+  }
+  return "?";
+}
+
+TEST_P(PolicyInvariantsTest, StructuralInvariantsHold) {
+  const auto [kind, seed_idx] = GetParam();
+  const auto seed = static_cast<std::uint64_t>(seed_idx) * 7919;
+
+  util::Rng rng(seed);
+  const trace::NodeId n = 15;
+  const core::ItemId items = 12;
+  const int rho = 3;
+  auto trace = trace::generate_poisson({n, 1000, 0.08}, rng);
+  auto scenario =
+      make_scenario(std::move(trace), Catalog::pareto(items, 1.0, 0.5), rho);
+  StepUtility u(8.0);
+
+  alloc::HomogeneousModel model{scenario.mu, n, n,
+                                alloc::SystemMode::kPureP2P};
+  utility::ReactionFunction reaction(u, scenario.mu,
+                                     static_cast<double>(n), 0.1);
+  auto reaction_fn = [reaction](double y) { return reaction(y); };
+
+  std::unique_ptr<ReplicationPolicy> policy;
+  switch (kind) {
+    case 0:
+      policy = std::make_unique<QcrPolicy>(
+          "QCR", reaction_fn, QcrPolicy::MandateRouting::kOn);
+      break;
+    case 1:
+      policy = std::make_unique<QcrPolicy>(
+          "QCR-noMR", reaction_fn, QcrPolicy::MandateRouting::kOff);
+      break;
+    case 2:
+      policy = std::make_unique<QcrPolicy>(
+          "QCR-rw", reaction_fn, QcrPolicy::MandateRouting::kOn,
+          QcrPolicy::kDefaultMandateCap, QcrPolicy::Rewriting::kAllowed);
+      break;
+    case 3: policy = make_passive_policy(0.5); break;
+    case 4: policy = make_path_replication_policy(0.05); break;
+    case 5: policy = std::make_unique<StaticPolicy>(); break;
+    case 6:
+      policy = std::make_unique<HillClimbPolicy>(
+          scenario.catalog.demands(), u, model);
+      break;
+  }
+
+  SimOptions options;
+  options.cache_capacity = rho;
+  // Hill climbing manages its own counts; sticky pins are compatible but
+  // keep the default on except for STATIC-style runs.
+  util::Rng run_rng(seed + 1);
+  const auto result = simulate(scenario.trace, scenario.catalog, u, *policy,
+                               options, run_rng);
+
+  SCOPED_TRACE(policy_name(kind));
+
+  // 1. Replica conservation: caches start full and stay full.
+  const int total = std::accumulate(result.final_counts.begin(),
+                                    result.final_counts.end(), 0);
+  EXPECT_EQ(total, rho * static_cast<int>(n));
+
+  // 2. Per-item counts within [sticky floor, |S|].
+  for (core::ItemId i = 0; i < items; ++i) {
+    EXPECT_GE(result.final_counts[i], 1) << "item " << i;  // sticky seeds
+    EXPECT_LE(result.final_counts[i], static_cast<int>(n));
+  }
+
+  // 3. Request accounting balances.
+  EXPECT_EQ(result.requests_created,
+            result.fulfillments + result.immediate_fulfillments +
+                result.censored_requests);
+
+  // 4. Mandates: created >= executed, outstanding non-negative and
+  //    conserved (created = written + rewritten + outstanding) for QCR
+  //    family policies.
+  if (auto* qcr = dynamic_cast<QcrPolicy*>(policy.get())) {
+    EXPECT_GE(qcr->mandates_created(), qcr->replicas_written());
+    EXPECT_EQ(qcr->mandates_created(),
+              qcr->replicas_written() + qcr->mandates_rewritten() +
+                  result.outstanding_mandates);
+  } else {
+    EXPECT_EQ(result.mandates_created, 0);
+  }
+
+  // 5. Gains bounded by the step utility's range.
+  EXPECT_LE(result.total_gain,
+            static_cast<double>(result.requests_created) + 1e-9);
+  EXPECT_GE(result.total_gain, 0.0);
+
+  // 6. Delay and counter sanity.
+  if (result.fulfillments > 0) {
+    EXPECT_GE(result.mean_delay, 1.0);
+    EXPECT_GE(result.mean_query_count, 1.0);
+  }
+}
+
+TEST_P(PolicyInvariantsTest, DeterministicAcrossReruns) {
+  const auto [kind, seed_idx] = GetParam();
+  const auto seed = static_cast<std::uint64_t>(seed_idx) * 104729;
+  auto run_once = [&]() {
+    util::Rng rng(seed);
+    auto trace = trace::generate_poisson({10, 400, 0.1}, rng);
+    auto scenario =
+        make_scenario(std::move(trace), Catalog::pareto(8, 1.0, 0.5), 2);
+    StepUtility u(5.0);
+    alloc::HomogeneousModel model{scenario.mu, 10, 10,
+                                  alloc::SystemMode::kPureP2P};
+    utility::ReactionFunction reaction(u, scenario.mu, 10.0, 0.1);
+    auto reaction_fn = [reaction](double y) { return reaction(y); };
+    std::unique_ptr<ReplicationPolicy> policy;
+    switch (kind) {
+      case 0:
+        policy = std::make_unique<QcrPolicy>(
+            "QCR", reaction_fn, QcrPolicy::MandateRouting::kOn);
+        break;
+      case 1:
+        policy = std::make_unique<QcrPolicy>(
+            "QCR-noMR", reaction_fn, QcrPolicy::MandateRouting::kOff);
+        break;
+      case 2:
+        policy = std::make_unique<QcrPolicy>(
+            "QCR-rw", reaction_fn, QcrPolicy::MandateRouting::kOn,
+            QcrPolicy::kDefaultMandateCap, QcrPolicy::Rewriting::kAllowed);
+        break;
+      case 3: policy = make_passive_policy(0.5); break;
+      case 4: policy = make_path_replication_policy(0.05); break;
+      case 5: policy = std::make_unique<StaticPolicy>(); break;
+      case 6:
+        policy = std::make_unique<HillClimbPolicy>(
+            scenario.catalog.demands(), u, model);
+        break;
+    }
+    SimOptions options;
+    options.cache_capacity = 2;
+    util::Rng run_rng(seed + 1);
+    return simulate(scenario.trace, scenario.catalog, u, *policy, options,
+                    run_rng);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.total_gain, b.total_gain);
+  EXPECT_EQ(a.final_counts, b.final_counts);
+  EXPECT_EQ(a.fulfillments, b.fulfillments);
+}
+
+}  // namespace
+}  // namespace impatience::core

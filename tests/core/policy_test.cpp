@@ -1,0 +1,301 @@
+// QCR protocol mechanics: mandate creation, no-rewriting execution,
+// routing rules and the sticky-seeder preference (Sections 5.1-5.3, 6.1).
+#include "impatience/core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::core {
+namespace {
+
+Node make_server(NodeId id, std::initializer_list<ItemId> items,
+                 int capacity = 5) {
+  Node n(id, 10, capacity, true, true);
+  util::Rng rng(id + 100);
+  for (ItemId i : items) n.cache().insert_random_replace(i, rng);
+  return n;
+}
+
+TEST(QcrPolicy, FulfillmentCreatesReactionMandates) {
+  QcrPolicy policy("QCR", [](double y) { return y; },
+                   QcrPolicy::MandateRouting::kOn);
+  Node a = make_server(0, {});
+  Node b = make_server(1, {3});
+  util::Rng rng(1);
+  policy.on_fulfillment(a, b, 3, 4, rng);
+  EXPECT_EQ(a.mandates().count(3), 4);
+  EXPECT_EQ(policy.mandates_created(), 4);
+}
+
+TEST(QcrPolicy, StochasticRoundingOfFractionalReaction) {
+  QcrPolicy policy("QCR", [](double) { return 0.5; },
+                   QcrPolicy::MandateRouting::kOn);
+  util::Rng rng(2);
+  long total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    Node a = make_server(0, {});
+    Node b = make_server(1, {3});
+    policy.on_fulfillment(a, b, 3, 1, rng);
+    total += a.mandates().count(3);
+  }
+  EXPECT_NEAR(static_cast<double>(total) / n, 0.5, 0.02);
+}
+
+TEST(QcrPolicy, ZeroQueryCountCreatesNothing) {
+  // Immediate self-fulfilment involves no meeting: no mandates.
+  QcrPolicy policy("QCR", [](double) { return 5.0; },
+                   QcrPolicy::MandateRouting::kOn);
+  Node a = make_server(0, {});
+  Node b = make_server(1, {3});
+  util::Rng rng(3);
+  policy.on_fulfillment(a, b, 3, 0, rng);
+  EXPECT_EQ(a.mandates().total(), 0);
+}
+
+TEST(QcrPolicy, ExecutionCopiesToLackingNode) {
+  QcrPolicy policy("QCR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOn);
+  Node holder = make_server(0, {3});
+  Node lacking = make_server(1, {});
+  holder.mandates().add(3, 1);
+  util::Rng rng(4);
+  policy.on_meeting_complete(holder, lacking, rng);
+  EXPECT_TRUE(lacking.holds(3));
+  EXPECT_EQ(holder.mandates().count(3) + lacking.mandates().count(3), 0);
+  EXPECT_EQ(policy.replicas_written(), 1);
+}
+
+TEST(QcrPolicy, NoRewritingWhenBothHold) {
+  QcrPolicy policy("QCR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOn);
+  Node a = make_server(0, {3});
+  Node b = make_server(1, {3});
+  a.mandates().add(3, 2);
+  util::Rng rng(5);
+  policy.on_meeting_complete(a, b, rng);
+  // Mandates retained (split between the two holders), no execution.
+  EXPECT_EQ(policy.replicas_written(), 0);
+  EXPECT_EQ(a.mandates().count(3) + b.mandates().count(3), 2);
+  EXPECT_EQ(a.mandates().count(3), 1);
+}
+
+TEST(QcrPolicy, NoExecutionWhenNeitherHolds) {
+  QcrPolicy policy("QCR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOn);
+  Node a = make_server(0, {});
+  Node b = make_server(1, {});
+  a.mandates().add(3, 3);
+  util::Rng rng(6);
+  policy.on_meeting_complete(a, b, rng);
+  EXPECT_EQ(policy.replicas_written(), 0);
+  // Even split when neither holds the item.
+  EXPECT_EQ(a.mandates().count(3) + b.mandates().count(3), 3);
+  EXPECT_GE(a.mandates().count(3), 1);
+  EXPECT_GE(b.mandates().count(3), 1);
+}
+
+TEST(QcrPolicy, AtMostOneExecutionPerItemPerMeeting) {
+  QcrPolicy policy("QCR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOn);
+  Node holder = make_server(0, {3});
+  Node lacking = make_server(1, {});
+  holder.mandates().add(3, 5);
+  util::Rng rng(7);
+  policy.on_meeting_complete(holder, lacking, rng);
+  EXPECT_EQ(policy.replicas_written(), 1);
+  // Remaining 4 mandates split between two holders.
+  EXPECT_EQ(holder.mandates().count(3) + lacking.mandates().count(3), 4);
+}
+
+TEST(QcrPolicy, MandateAtNonHolderCannotExecute) {
+  // A mandate replicates the holder's copy; sitting at a node without the
+  // replica it is inert — this is the stall mandate routing repairs.
+  QcrPolicy policy("QCR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOff);
+  Node holder = make_server(0, {4});
+  Node carrier = make_server(1, {});
+  carrier.mandates().add(4, 4);
+  util::Rng rng(8);
+  policy.on_meeting_complete(holder, carrier, rng);
+  EXPECT_EQ(policy.replicas_written(), 0);
+  EXPECT_FALSE(carrier.holds(4));
+  EXPECT_EQ(carrier.mandates().count(4), 4);  // no routing: stays put
+}
+
+TEST(QcrPolicy, RoutingMovesMandatesToHolder) {
+  QcrPolicy policy("QCR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOn);
+  Node holder = make_server(0, {4});
+  Node carrier = make_server(1, {});
+  carrier.mandates().add(4, 4);
+  util::Rng rng(8);
+  policy.on_meeting_complete(holder, carrier, rng);
+  // Nothing executes this meeting (the holder had no mandates at
+  // execution time), but all mandates are routed to the holder so the
+  // next meeting can execute them.
+  EXPECT_EQ(policy.replicas_written(), 0);
+  EXPECT_EQ(holder.mandates().count(4), 4);
+  EXPECT_EQ(carrier.mandates().count(4), 0);
+
+  // Second meeting with a lacking node: now it executes.
+  Node other = make_server(2, {});
+  policy.on_meeting_complete(holder, other, rng);
+  EXPECT_EQ(policy.replicas_written(), 1);
+  EXPECT_TRUE(other.holds(4));
+}
+
+TEST(QcrPolicy, RoutingOffLeavesMandatesInPlace) {
+  QcrPolicy policy("QCR-noMR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOff);
+  Node a = make_server(0, {});
+  Node b = make_server(1, {});
+  a.mandates().add(3, 4);
+  util::Rng rng(9);
+  policy.on_meeting_complete(a, b, rng);
+  EXPECT_EQ(a.mandates().count(3), 4);
+  EXPECT_EQ(b.mandates().count(3), 0);
+}
+
+TEST(QcrPolicy, StickySeederGetsTwoThirds) {
+  QcrPolicy policy("QCR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOn);
+  util::Rng rng(10);
+  double to_sticky = 0.0, total = 0.0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    Node seeder(0, 10, 5, true, true);
+    seeder.cache().pin_sticky(4);
+    Node other = make_server(1, {4});
+    other.mandates().add(4, 3);
+    policy.on_meeting_complete(seeder, other, rng);
+    to_sticky += static_cast<double>(seeder.mandates().count(4));
+    total += 3.0;
+  }
+  EXPECT_NEAR(to_sticky / total, 2.0 / 3.0, 0.03);
+}
+
+TEST(QcrPolicy, StickySeederGetsAllWhenPartnerLacksItem) {
+  QcrPolicy policy("QCR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOn);
+  Node seeder(0, 10, 5, true, true);
+  seeder.cache().pin_sticky(4);
+  Node other = make_server(1, {});
+  other.mandates().add(4, 3);
+  util::Rng rng(11);
+  policy.on_meeting_complete(seeder, other, rng);
+  // The mandates sat at the non-holder, so nothing executes; the sticky
+  // seeder receives all of them ("all of them if the item has been erased
+  // on this node", Section 6.1).
+  EXPECT_EQ(policy.replicas_written(), 0);
+  EXPECT_EQ(seeder.mandates().count(4), 3);
+  EXPECT_EQ(other.mandates().count(4), 0);
+}
+
+TEST(QcrPolicy, MandateConservationAcrossMeetings) {
+  QcrPolicy policy("QCR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOn);
+  Node a = make_server(0, {1, 2});
+  Node b = make_server(1, {2});
+  a.mandates().add(1, 3);
+  b.mandates().add(2, 5);
+  const long before = a.mandates().total() + b.mandates().total();
+  util::Rng rng(12);
+  policy.on_meeting_complete(a, b, rng);
+  const long after = a.mandates().total() + b.mandates().total();
+  EXPECT_EQ(before - after, policy.replicas_written());
+}
+
+TEST(QcrPolicy, ClientOnlyNodeCannotReceiveReplica) {
+  QcrPolicy policy("QCR", [](double) { return 1.0; },
+                   QcrPolicy::MandateRouting::kOn);
+  Node holder = make_server(0, {3});
+  Node client(1, 10, 5, false, true);
+  holder.mandates().add(3, 2);
+  util::Rng rng(13);
+  policy.on_meeting_complete(holder, client, rng);
+  EXPECT_EQ(policy.replicas_written(), 0);
+  // Routing still prefers the holder.
+  EXPECT_EQ(holder.mandates().count(3), 2);
+}
+
+TEST(QcrPolicy, NullReactionRejected) {
+  EXPECT_THROW(QcrPolicy("bad", std::function<double(double)>(),
+                         QcrPolicy::MandateRouting::kOn),
+               std::invalid_argument);
+  EXPECT_THROW(QcrPolicy("bad", QcrPolicy::ItemReaction(),
+                         QcrPolicy::MandateRouting::kOn),
+               std::invalid_argument);
+}
+
+TEST(QcrPolicy, PerItemReaction) {
+  // Item 1 replicates three per fulfilment, item 2 one.
+  QcrPolicy policy("QCR",
+                   QcrPolicy::ItemReaction([](ItemId item, double) {
+                     return item == 1 ? 3.0 : 1.0;
+                   }),
+                   QcrPolicy::MandateRouting::kOn);
+  Node a = make_server(0, {});
+  Node b = make_server(1, {1, 2});
+  util::Rng rng(17);
+  policy.on_fulfillment(a, b, 1, 4, rng);
+  policy.on_fulfillment(a, b, 2, 4, rng);
+  EXPECT_EQ(a.mandates().count(1), 3);
+  EXPECT_EQ(a.mandates().count(2), 1);
+}
+
+TEST(QcrPolicy, MandateCapSaturates) {
+  QcrPolicy policy("QCR", [](double) { return 100.0; },
+                   QcrPolicy::MandateRouting::kOn, /*cap=*/10);
+  Node a = make_server(0, {});
+  Node b = make_server(1, {3});
+  util::Rng rng(18);
+  policy.on_fulfillment(a, b, 3, 4, rng);
+  EXPECT_EQ(a.mandates().count(3), 10);
+  policy.on_fulfillment(a, b, 3, 4, rng);
+  EXPECT_EQ(a.mandates().count(3), 10);  // saturated, no growth
+  EXPECT_EQ(policy.mandates_created(), 10);
+}
+
+TEST(QcrPolicy, BadMandateCapRejected) {
+  EXPECT_THROW(QcrPolicy("bad", [](double) { return 1.0; },
+                         QcrPolicy::MandateRouting::kOn, 0),
+               std::invalid_argument);
+}
+
+TEST(PassivePolicy, ConstantReaction) {
+  auto policy = make_passive_policy(2.0);
+  Node a = make_server(0, {});
+  Node b = make_server(1, {3});
+  util::Rng rng(14);
+  policy->on_fulfillment(a, b, 3, 9, rng);
+  EXPECT_EQ(a.mandates().count(3), 2);  // independent of the counter
+  EXPECT_EQ(policy->name(), "PASSIVE");
+}
+
+TEST(PathReplicationPolicy, LinearReaction) {
+  auto policy = make_path_replication_policy(1.0);
+  Node a = make_server(0, {});
+  Node b = make_server(1, {3});
+  util::Rng rng(15);
+  policy->on_fulfillment(a, b, 3, 7, rng);
+  EXPECT_EQ(a.mandates().count(3), 7);
+}
+
+TEST(PolicyFactories, Validation) {
+  EXPECT_THROW(make_passive_policy(0.0), std::invalid_argument);
+  EXPECT_THROW(make_path_replication_policy(-1.0), std::invalid_argument);
+}
+
+TEST(StaticPolicy, DoesNothing) {
+  StaticPolicy policy;
+  Node a = make_server(0, {1});
+  Node b = make_server(1, {});
+  a.mandates().add(1, 2);
+  util::Rng rng(16);
+  policy.on_fulfillment(a, b, 1, 3, rng);
+  policy.on_meeting_complete(a, b, rng);
+  EXPECT_FALSE(b.holds(1));
+  EXPECT_EQ(a.mandates().count(1), 2);
+}
+
+}  // namespace
+}  // namespace impatience::core

@@ -1,0 +1,163 @@
+// Per-node popularity profiles pi_{i,n} (Section 3.3) through the demand
+// process, the simulator and the Lemma-1 greedy.
+#include <gtest/gtest.h>
+
+#include "impatience/core/experiment.hpp"
+#include "impatience/trace/generators.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::core {
+namespace {
+
+using utility::StepUtility;
+
+TEST(Popularity, SimulatorRoutesDemandToProfiledNodes) {
+  // All demand for item 0 comes from node 0; a trace where node 0 only
+  // ever meets node 1 (which holds item 0) must fulfil everything there.
+  std::vector<trace::ContactEvent> events;
+  for (trace::Slot s = 0; s < 200; s += 2) events.push_back({s, 0, 1});
+  trace::ContactTrace t(3, 200, std::move(events));
+  Catalog catalog({0.2, 0.2});
+
+  alloc::PopularityProfile profile;
+  profile.pi = {{1.0, 0.0, 0.0},   // item 0: only node 0 asks
+                {0.0, 0.0, 1.0}};  // item 1: only node 2 asks (isolated!)
+  SimOptions options;
+  options.cache_capacity = 2;
+  options.sticky_replicas = false;
+  options.censor_pending_at_end = false;
+  alloc::Placement p(2, 3, 2);
+  p.add(0, 1);  // node 1 serves item 0
+  p.add(1, 1);  // ... and would serve item 1, but node 2 never meets it
+  options.initial_placement = p;
+  options.popularity = profile;
+
+  StaticPolicy policy;
+  StepUtility u(1000.0);
+  util::Rng rng(1);
+  const auto result = simulate(t, catalog, u, policy, options, rng);
+  // Node 2's item-1 requests can never be fulfilled; node 0's item-0
+  // requests all can.
+  EXPECT_GT(result.fulfillments, 0u);
+  EXPECT_EQ(result.censored_requests + result.fulfillments +
+                result.immediate_fulfillments,
+            result.requests_created);
+  EXPECT_GT(result.censored_requests, 0u);
+}
+
+TEST(Popularity, ProfileSizeMismatchThrows) {
+  util::Rng rng(2);
+  const auto t = trace::generate_poisson({4, 100, 0.1}, rng);
+  Catalog catalog({1.0, 1.0});
+  SimOptions options;
+  options.cache_capacity = 1;
+  alloc::PopularityProfile profile;
+  profile.pi = {{1.0, 0.0, 0.0, 0.0}};  // one row, two items
+  options.popularity = profile;
+  StaticPolicy policy;
+  StepUtility u(5.0);
+  EXPECT_THROW(simulate(t, catalog, u, policy, options, rng),
+               std::invalid_argument);
+}
+
+TEST(Popularity, GreedyPlacesReplicasNearDemand) {
+  // Two communities with rare cross-contact; item 0 demanded only in
+  // community 0, item 1 only in community 1. The popularity-aware greedy
+  // must place each item's replicas inside the demanding community.
+  util::Rng rng(3);
+  trace::CommunityTraceParams params;
+  params.num_nodes = 10;
+  params.duration = 4000;
+  params.num_communities = 2;
+  params.intra_rate = 0.15;
+  params.inter_rate = 0.001;
+  const auto t = generate_community_trace(params, rng);
+  const auto rates = trace::estimate_rates(t);
+
+  std::vector<trace::NodeId> nodes(10);
+  for (trace::NodeId n = 0; n < 10; ++n) nodes[n] = n;
+  const std::vector<double> demand{1.0, 1.0};
+  alloc::PopularityProfile profile;
+  profile.pi.assign(2, std::vector<double>(10, 0.0));
+  for (trace::NodeId n = 0; n < 10; ++n) {
+    profile.pi[trace::community_of(n, 2)][n] = 0.2;  // 5 nodes x 0.2
+  }
+  StepUtility u(5.0);
+  const auto placement = alloc::lazy_greedy_placement(
+      rates, demand, u, nodes, nodes, 2, 1, profile);
+  // Count copies of each item inside each community.
+  int item0_in_c0 = 0, item1_in_c1 = 0, misplaced = 0;
+  for (trace::NodeId s = 0; s < 10; ++s) {
+    const int community = trace::community_of(s, 2);
+    if (placement.has(0, s)) {
+      (community == 0 ? item0_in_c0 : misplaced)++;
+    }
+    if (placement.has(1, s)) {
+      (community == 1 ? item1_in_c1 : misplaced)++;
+    }
+  }
+  EXPECT_GT(item0_in_c0, 0);
+  EXPECT_GT(item1_in_c1, 0);
+  EXPECT_GT(item0_in_c0 + item1_in_c1, 3 * std::max(misplaced, 1) - 3);
+  // The popularity-aware placement must beat the uniform-profile one on
+  // the profiled welfare.
+  const auto blind = alloc::lazy_greedy_placement(rates, demand, u, nodes,
+                                                  nodes, 2, 1);
+  const double aware_w = alloc::welfare_heterogeneous(
+      placement, rates, demand, u, nodes, nodes, profile);
+  const double blind_w = alloc::welfare_heterogeneous(
+      blind, rates, demand, u, nodes, nodes, profile);
+  EXPECT_GE(aware_w, blind_w - 1e-9);
+}
+
+TEST(Popularity, MarginalGainProfileMismatchThrows) {
+  const auto rates = trace::RateMatrix::homogeneous(3, 0.05);
+  std::vector<trace::NodeId> nodes{0, 1, 2};
+  alloc::Placement p(2, 3, 1);
+  StepUtility u(5.0);
+  alloc::PopularityProfile bad;
+  bad.pi = {{0.5, 0.5, 0.0}};  // one row, two items
+  EXPECT_THROW(alloc::marginal_gain(p, rates, {1.0, 1.0}, u, nodes, nodes,
+                                    0, 0, bad),
+               std::invalid_argument);
+}
+
+TEST(Popularity, QcrServesClusteredDemand) {
+  // Clustered demand + community mobility: QCR should still fulfil the
+  // bulk of requests (replicas drift into the demanding communities).
+  util::Rng rng(4);
+  trace::CommunityTraceParams params;
+  params.num_nodes = 20;
+  params.duration = 3000;
+  params.num_communities = 2;
+  params.intra_rate = 0.1;
+  params.inter_rate = 0.002;
+  auto t = generate_community_trace(params, rng);
+  auto scenario =
+      make_scenario(std::move(t), Catalog::pareto(10, 1.0, 0.5), 3);
+
+  alloc::PopularityProfile profile;
+  profile.pi.assign(10, std::vector<double>(20, 0.0));
+  for (ItemId i = 0; i < 10; ++i) {
+    // Item i demanded only by community (i % 2).
+    for (trace::NodeId n = 0; n < 20; ++n) {
+      if (trace::community_of(n, 2) == static_cast<int>(i % 2)) {
+        profile.pi[i][n] = 0.1;
+      }
+    }
+  }
+  SimOptions options;
+  options.popularity = profile;
+  StepUtility u(50.0);
+  util::Rng run_rng(5);
+  const auto result = run_qcr(scenario, u, QcrOptions{}, options, run_rng);
+  ASSERT_GT(result.requests_created, 100u);
+  const double served =
+      static_cast<double>(result.fulfillments +
+                          result.immediate_fulfillments) /
+      static_cast<double>(result.requests_created);
+  EXPECT_GT(served, 0.9);
+}
+
+}  // namespace
+}  // namespace impatience::core

@@ -1,0 +1,61 @@
+#include "impatience/stats/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::stats {
+namespace {
+
+TEST(Percentile, MedianOdd) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, MedianEvenInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.5), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.25), 7.0);
+}
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Percentile, ThrowsOnBadP) {
+  EXPECT_THROW(percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Percentiles, MultipleAtOnce) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(i);
+  const auto ps = percentiles(v, {0.05, 0.5, 0.95});
+  EXPECT_DOUBLE_EQ(ps[0], 5.0);
+  EXPECT_DOUBLE_EQ(ps[1], 50.0);
+  EXPECT_DOUBLE_EQ(ps[2], 95.0);
+}
+
+TEST(EmpiricalCdf, Fractions) {
+  const auto cdf = empirical_cdf({1.0, 2.0, 3.0, 4.0}, {0.5, 2.0, 10.0});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+TEST(MedianAbsDeviation, Constant) {
+  EXPECT_DOUBLE_EQ(median_abs_deviation({4.0, 4.0, 4.0}), 0.0);
+}
+
+TEST(MedianAbsDeviation, Known) {
+  // median = 3; |v - 3| = {2,1,0,1,2}; MAD = 1.
+  EXPECT_DOUBLE_EQ(median_abs_deviation({1.0, 2.0, 3.0, 4.0, 5.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace impatience::stats

@@ -1,0 +1,63 @@
+#include "impatience/stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::stats {
+namespace {
+
+TEST(BinnedSeries, BinCountCoversHorizon) {
+  BinnedSeries s(10.0, 100.0);
+  EXPECT_EQ(s.bin_count(), 10u);
+  BinnedSeries partial(10.0, 95.0);
+  EXPECT_EQ(partial.bin_count(), 10u);  // ceil
+}
+
+TEST(BinnedSeries, RateSeries) {
+  BinnedSeries s(10.0, 30.0);
+  s.add(1.0, 5.0);
+  s.add(2.0, 5.0);
+  s.add(15.0, 20.0);
+  const auto rates = s.rate_series();
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0].time, 5.0);
+  EXPECT_DOUBLE_EQ(rates[0].value, 1.0);   // 10 / width 10
+  EXPECT_DOUBLE_EQ(rates[1].value, 2.0);   // 20 / 10
+  EXPECT_DOUBLE_EQ(rates[2].value, 0.0);
+}
+
+TEST(BinnedSeries, MeanSeries) {
+  BinnedSeries s(10.0, 20.0);
+  s.add(0.0, 2.0);
+  s.add(5.0, 4.0);
+  const auto means = s.mean_series();
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(means[1].value, 0.0);  // empty bin reports 0
+}
+
+TEST(BinnedSeries, EventsBeyondHorizonClampToLastBin) {
+  BinnedSeries s(10.0, 20.0);
+  s.add(1000.0, 7.0);
+  EXPECT_DOUBLE_EQ(s.rate_series().back().value, 0.7);
+}
+
+TEST(BinnedSeries, NegativeTimesClampToFirstBin) {
+  BinnedSeries s(10.0, 20.0);
+  s.add(-5.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.rate_series().front().value, 0.3);
+}
+
+TEST(BinnedSeries, TotalAccumulates) {
+  BinnedSeries s(1.0, 5.0);
+  s.add(0.5, 1.0);
+  s.add(3.2, -2.0);
+  EXPECT_DOUBLE_EQ(s.total(), -1.0);
+}
+
+TEST(BinnedSeries, ThrowsOnBadParams) {
+  EXPECT_THROW(BinnedSeries(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(BinnedSeries(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::stats

@@ -1,0 +1,65 @@
+#include "impatience/stats/trials.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::stats {
+namespace {
+
+TEST(TrialAggregator, MeanAndBand) {
+  TrialAggregator agg;
+  for (int t = 0; t <= 100; ++t) {
+    agg.add("QCR", 1.0, static_cast<double>(t));
+  }
+  const auto band = agg.band("QCR", 1.0);
+  EXPECT_DOUBLE_EQ(band.mean, 50.0);
+  EXPECT_DOUBLE_EQ(band.p05, 5.0);
+  EXPECT_DOUBLE_EQ(band.p95, 95.0);
+  EXPECT_EQ(band.trials, 101u);
+}
+
+TEST(TrialAggregator, SeparatesSeriesAndX) {
+  TrialAggregator agg;
+  agg.add("A", 1.0, 10.0);
+  agg.add("A", 2.0, 20.0);
+  agg.add("B", 1.0, 30.0);
+  EXPECT_DOUBLE_EQ(agg.band("A", 1.0).mean, 10.0);
+  EXPECT_DOUBLE_EQ(agg.band("A", 2.0).mean, 20.0);
+  EXPECT_DOUBLE_EQ(agg.band("B", 1.0).mean, 30.0);
+}
+
+TEST(TrialAggregator, XsSorted) {
+  TrialAggregator agg;
+  agg.add("A", 3.0, 1.0);
+  agg.add("A", 1.0, 1.0);
+  agg.add("A", 2.0, 1.0);
+  const auto xs = agg.xs("A");
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[0], 1.0);
+  EXPECT_DOUBLE_EQ(xs[1], 2.0);
+  EXPECT_DOUBLE_EQ(xs[2], 3.0);
+}
+
+TEST(TrialAggregator, XsOfUnknownSeriesIsEmpty) {
+  TrialAggregator agg;
+  EXPECT_TRUE(agg.xs("nope").empty());
+}
+
+TEST(TrialAggregator, UnknownLookupsThrow) {
+  TrialAggregator agg;
+  agg.add("A", 1.0, 1.0);
+  EXPECT_THROW(agg.band("B", 1.0), std::out_of_range);
+  EXPECT_THROW(agg.band("A", 9.0), std::out_of_range);
+}
+
+TEST(TrialAggregator, SeriesNames) {
+  TrialAggregator agg;
+  agg.add("zeta", 1.0, 1.0);
+  agg.add("alpha", 1.0, 1.0);
+  const auto names = agg.series_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace impatience::stats

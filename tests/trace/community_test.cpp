@@ -1,0 +1,90 @@
+// Community-structured traces and the Infocom node-selection
+// preprocessing (Section 6.3).
+#include <gtest/gtest.h>
+
+#include "impatience/trace/generators.hpp"
+
+namespace impatience::trace {
+namespace {
+
+TEST(CommunityTrace, IntraRatesDominate) {
+  util::Rng rng(1);
+  CommunityTraceParams params;
+  params.num_nodes = 20;
+  params.duration = 3000;
+  params.num_communities = 4;
+  params.intra_rate = 0.2;
+  params.inter_rate = 0.004;
+  const auto t = generate_community_trace(params, rng);
+  const auto rates = estimate_rates(t);
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = a + 1; b < 20; ++b) {
+      if (community_of(a, 4) == community_of(b, 4)) {
+        intra += rates.at(a, b);
+        ++n_intra;
+      } else {
+        inter += rates.at(a, b);
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_NEAR(intra / n_intra, 0.2, 0.02);
+  EXPECT_NEAR(inter / n_inter, 0.004, 0.002);
+}
+
+TEST(CommunityTrace, CommunityAssignmentRoundRobin) {
+  EXPECT_EQ(community_of(0, 3), 0);
+  EXPECT_EQ(community_of(1, 3), 1);
+  EXPECT_EQ(community_of(2, 3), 2);
+  EXPECT_EQ(community_of(3, 3), 0);
+  EXPECT_THROW(community_of(0, 0), std::invalid_argument);
+}
+
+TEST(CommunityTrace, Validation) {
+  util::Rng rng(2);
+  CommunityTraceParams bad;
+  bad.num_communities = 0;
+  EXPECT_THROW(generate_community_trace(bad, rng), std::invalid_argument);
+  CommunityTraceParams neg;
+  neg.intra_rate = -0.1;
+  EXPECT_THROW(generate_community_trace(neg, rng), std::invalid_argument);
+}
+
+TEST(SelectMostActive, KeepsBestConnectedAndRemaps) {
+  // Node 3 and 1 are busy; node 0 meets once; node 2 never.
+  ContactTrace t(4, 100,
+                 {{0, 1, 3}, {10, 1, 3}, {20, 1, 3}, {30, 0, 3}, {40, 0, 1}});
+  const auto sub = select_most_active_nodes(t, 2);
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  EXPECT_EQ(sub.duration(), 100);
+  // Nodes {1, 3} kept (counts 4 and 4); their mutual contacts survive.
+  EXPECT_EQ(sub.size(), 3u);
+  for (const auto& e : sub.events()) {
+    EXPECT_LT(e.b, 2u);
+  }
+}
+
+TEST(SelectMostActive, DropsCrossContacts) {
+  ContactTrace t(3, 50, {{0, 0, 1}, {1, 0, 1}, {2, 0, 2}});
+  const auto sub = select_most_active_nodes(t, 2);
+  // Kept nodes: 0 (3 contacts) and 1 (2 contacts); the 0-2 contact drops.
+  EXPECT_EQ(sub.size(), 2u);
+}
+
+TEST(SelectMostActive, FullSelectionPreservesEventCount) {
+  util::Rng rng(3);
+  const auto t = generate_poisson({10, 500, 0.05}, rng);
+  const auto sub = select_most_active_nodes(t, 10);
+  EXPECT_EQ(sub.size(), t.size());
+}
+
+TEST(SelectMostActive, Validation) {
+  ContactTrace t(3, 10, {{0, 0, 1}});
+  EXPECT_THROW(select_most_active_nodes(t, 1), std::invalid_argument);
+  EXPECT_THROW(select_most_active_nodes(t, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::trace

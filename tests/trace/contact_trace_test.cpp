@@ -1,0 +1,75 @@
+#include "impatience/trace/contact.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::trace {
+namespace {
+
+TEST(ContactTrace, SortsAndCanonicalizes) {
+  ContactTrace t(5, 10, {{3, 4, 1}, {1, 0, 2}, {1, 2, 0}});
+  ASSERT_EQ(t.size(), 2u);  // duplicate (1,0,2)/(1,2,0) collapses
+  EXPECT_EQ(t.events()[0], (ContactEvent{1, 0, 2}));
+  EXPECT_EQ(t.events()[1], (ContactEvent{3, 1, 4}));
+}
+
+TEST(ContactTrace, DropsSelfContacts) {
+  ContactTrace t(3, 5, {{0, 1, 1}, {1, 0, 2}});
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(ContactTrace, SlotEvents) {
+  ContactTrace t(4, 6, {{0, 0, 1}, {2, 1, 2}, {2, 0, 3}, {5, 2, 3}});
+  EXPECT_EQ(t.slot_events(0).size(), 1u);
+  EXPECT_EQ(t.slot_events(1).size(), 0u);
+  EXPECT_EQ(t.slot_events(2).size(), 2u);
+  EXPECT_EQ(t.slot_events(5).size(), 1u);
+  EXPECT_EQ(t.slot_events(-1).size(), 0u);
+  EXPECT_EQ(t.slot_events(6).size(), 0u);
+}
+
+TEST(ContactTrace, SlotEventsCoverWholeTrace) {
+  ContactTrace t(4, 10, {{0, 0, 1}, {3, 1, 2}, {3, 0, 2}, {9, 2, 3}});
+  std::size_t total = 0;
+  for (Slot s = 0; s < t.duration(); ++s) total += t.slot_events(s).size();
+  EXPECT_EQ(total, t.size());
+}
+
+TEST(ContactTrace, SliceRebases) {
+  ContactTrace t(4, 10, {{1, 0, 1}, {4, 1, 2}, {8, 2, 3}});
+  const auto sub = t.slice(3, 9);
+  EXPECT_EQ(sub.duration(), 6);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.events()[0], (ContactEvent{1, 1, 2}));
+  EXPECT_EQ(sub.events()[1], (ContactEvent{5, 2, 3}));
+}
+
+TEST(ContactTrace, SliceValidation) {
+  ContactTrace t(2, 10, {});
+  EXPECT_THROW(t.slice(-1, 5), std::invalid_argument);
+  EXPECT_THROW(t.slice(0, 11), std::invalid_argument);
+  EXPECT_THROW(t.slice(5, 5), std::invalid_argument);
+}
+
+TEST(ContactTrace, PairCountIsUnordered) {
+  ContactTrace t(3, 10, {{0, 0, 1}, {2, 1, 0}, {4, 1, 2}});
+  EXPECT_EQ(t.pair_count(0, 1), 2u);
+  EXPECT_EQ(t.pair_count(1, 0), 2u);
+  EXPECT_EQ(t.pair_count(0, 2), 0u);
+}
+
+TEST(ContactTrace, RejectsBadInputs) {
+  EXPECT_THROW(ContactTrace(0, 10, {}), std::invalid_argument);
+  EXPECT_THROW(ContactTrace(2, 0, {}), std::invalid_argument);
+  EXPECT_THROW(ContactTrace(2, 10, {{10, 0, 1}}), std::invalid_argument);
+  EXPECT_THROW(ContactTrace(2, 10, {{-1, 0, 1}}), std::invalid_argument);
+  EXPECT_THROW(ContactTrace(2, 10, {{0, 0, 2}}), std::invalid_argument);
+}
+
+TEST(ContactTrace, EmptyTraceIsFine) {
+  ContactTrace t(3, 100, {});
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.slot_events(50).size(), 0u);
+}
+
+}  // namespace
+}  // namespace impatience::trace

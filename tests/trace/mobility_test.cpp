@@ -1,0 +1,154 @@
+#include "impatience/trace/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace impatience::trace {
+namespace {
+
+RandomWaypointParams small_params() {
+  RandomWaypointParams p;
+  p.num_nodes = 10;
+  p.area_size = 2000.0;
+  p.slot_seconds = 60.0;
+  return p;
+}
+
+TEST(RandomWaypoint, PositionsStayInArea) {
+  util::Rng rng(1);
+  auto params = small_params();
+  RandomWaypointModel model(params, rng);
+  for (int s = 0; s < 200; ++s) {
+    model.step();
+    for (const auto& pos : model.positions()) {
+      EXPECT_GE(pos.x, 0.0);
+      EXPECT_LE(pos.x, params.area_size);
+      EXPECT_GE(pos.y, 0.0);
+      EXPECT_LE(pos.y, params.area_size);
+    }
+  }
+}
+
+TEST(RandomWaypoint, NodesActuallyMove) {
+  util::Rng rng(2);
+  auto params = small_params();
+  params.pause_mean_s = 0.0;
+  RandomWaypointModel model(params, rng);
+  const auto before = model.positions();
+  model.step();
+  const auto& after = model.positions();
+  double moved = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    moved += std::hypot(after[i].x - before[i].x, after[i].y - before[i].y);
+  }
+  EXPECT_GT(moved, 0.0);
+}
+
+TEST(RandomWaypoint, SpeedBoundsRespected) {
+  util::Rng rng(3);
+  auto params = small_params();
+  params.pause_mean_s = 0.0;
+  params.speed_min = 10.0;
+  params.speed_max = 10.0;  // fixed speed
+  params.area_size = 100000.0;  // effectively no waypoint arrivals
+  RandomWaypointModel model(params, rng);
+  auto before = model.positions();
+  model.step();
+  const auto& after = model.positions();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const double d =
+        std::hypot(after[i].x - before[i].x, after[i].y - before[i].y);
+    // At most speed * slot_seconds (less if a waypoint was reached).
+    EXPECT_LE(d, 10.0 * 60.0 + 1e-6);
+  }
+}
+
+TEST(RandomWaypoint, HotspotCountRespected) {
+  util::Rng rng(4);
+  auto params = small_params();
+  params.num_hotspots = 3;
+  RandomWaypointModel model(params, rng);
+  EXPECT_EQ(model.hotspots().size(), 3u);
+  params.num_hotspots = 0;
+  RandomWaypointModel flat(params, rng);
+  EXPECT_TRUE(flat.hotspots().empty());
+}
+
+TEST(RandomWaypoint, Validation) {
+  util::Rng rng(5);
+  auto params = small_params();
+  params.num_nodes = 0;
+  EXPECT_THROW(RandomWaypointModel(params, rng), std::invalid_argument);
+  params = small_params();
+  params.speed_max = params.speed_min - 1.0;
+  EXPECT_THROW(RandomWaypointModel(params, rng), std::invalid_argument);
+}
+
+TEST(MobilityTrace, OnsetSemantics) {
+  util::Rng rng(6);
+  auto params = small_params();
+  params.num_nodes = 15;
+  params.area_size = 1500.0;  // dense: frequent contacts
+  const auto t = generate_mobility_trace(params, 500, 200.0, rng);
+  EXPECT_EQ(t.num_nodes(), 15u);
+  EXPECT_GT(t.size(), 0u);
+  // Onset-only extraction: a pair cannot have two events in consecutive
+  // slots (they would be one ongoing contact).
+  const auto& ev = t.events();
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    for (std::size_t j = i + 1; j < ev.size(); ++j) {
+      if (ev[j].a == ev[i].a && ev[j].b == ev[i].b) {
+        EXPECT_NE(ev[j].slot, ev[i].slot + 1)
+            << "onset events in consecutive slots for the same pair";
+        break;
+      }
+    }
+  }
+}
+
+TEST(MobilityTrace, HotspotsIncreaseContactRate) {
+  auto params = small_params();
+  params.num_nodes = 20;
+  params.area_size = 8000.0;
+  params.num_hotspots = 2;
+  params.hotspot_prob = 0.9;
+  util::Rng rng1(7), rng2(7);
+  const auto clustered = generate_mobility_trace(params, 1000, 200.0, rng1);
+  params.num_hotspots = 0;
+  const auto flat = generate_mobility_trace(params, 1000, 200.0, rng2);
+  EXPECT_GT(clustered.size(), flat.size());
+}
+
+TEST(MobilityTrace, DutyCycleSuppressesContacts) {
+  auto params = small_params();
+  params.num_nodes = 20;
+  params.area_size = 1500.0;
+  params.duty_on_mean_s = 4.0 * 3600.0;
+  params.duty_off_mean_s = 4.0 * 3600.0;  // half the fleet parked
+  util::Rng rng1(9), rng2(9);
+  const auto cycled = generate_mobility_trace(params, 800, 200.0, rng1);
+  params.duty_off_mean_s = 0.0;  // always on
+  const auto always_on = generate_mobility_trace(params, 800, 200.0, rng2);
+  EXPECT_LT(cycled.size(), always_on.size());
+  EXPECT_GT(cycled.size(), 0u);
+}
+
+TEST(MobilityTrace, ZeroOffDutyMatchesAlwaysOnSemantics) {
+  auto params = small_params();
+  params.duty_off_mean_s = 0.0;
+  util::Rng rng(10);
+  const auto t = generate_mobility_trace(params, 300, 250.0, rng);
+  EXPECT_GT(t.size(), 0u);
+}
+
+TEST(MobilityTrace, Validation) {
+  util::Rng rng(8);
+  EXPECT_THROW(generate_mobility_trace(small_params(), 0, 200.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(generate_mobility_trace(small_params(), 100, 0.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::trace

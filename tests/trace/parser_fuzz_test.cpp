@@ -1,0 +1,101 @@
+// Robustness sweep: random garbage fed to every parser must either throw
+// a std::runtime_error or produce a structurally valid trace — never
+// crash, hang, or return out-of-range events.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "impatience/trace/parsers.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::trace {
+namespace {
+
+std::string random_garbage(util::Rng& rng, bool numeric_bias) {
+  static const char* tokens[] = {"CONN", "up",   "down", "-5",  "1e300",
+                                 "nan",  "#",    "x9",   "\t",  "0.5",
+                                 "12",   "3 4",  "..",   "inf", ""};
+  std::ostringstream out;
+  const int lines = static_cast<int>(rng.uniform_index(12));
+  for (int l = 0; l < lines; ++l) {
+    const int cols = static_cast<int>(rng.uniform_index(7));
+    for (int c = 0; c < cols; ++c) {
+      if (numeric_bias && rng.bernoulli(0.7)) {
+        out << rng.uniform_int(-10, 1000);
+      } else {
+        out << tokens[rng.uniform_index(std::size(tokens))];
+      }
+      out << ' ';
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+void check_valid(const ContactTrace& t) {
+  ASSERT_GT(t.num_nodes(), 0u);
+  ASSERT_GT(t.duration(), 0);
+  for (const auto& e : t.events()) {
+    ASSERT_LT(e.a, e.b);
+    ASSERT_LT(e.b, t.num_nodes());
+    ASSERT_GE(e.slot, 0);
+    ASSERT_LT(e.slot, t.duration());
+  }
+}
+
+TEST(ParserFuzz, CrawdadNeverCrashes) {
+  util::Rng rng(0xFEED);
+  for (int round = 0; round < 300; ++round) {
+    std::istringstream in(random_garbage(rng, true));
+    try {
+      check_valid(parse_crawdad(in, CrawdadOptions{}));
+    } catch (const std::runtime_error&) {
+      // acceptable outcome
+    } catch (const std::invalid_argument&) {
+      // trace-level validation is also acceptable
+    }
+  }
+}
+
+TEST(ParserFuzz, OneEventsNeverCrashes) {
+  util::Rng rng(0xBEEF);
+  for (int round = 0; round < 300; ++round) {
+    std::istringstream in(random_garbage(rng, false));
+    try {
+      check_valid(parse_one_events(in, OneOptions{}));
+    } catch (const std::runtime_error&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, GpsNeverCrashes) {
+  util::Rng rng(0xCAFE);
+  for (int round = 0; round < 300; ++round) {
+    std::istringstream in(random_garbage(rng, true));
+    try {
+      check_valid(parse_gps(in, GpsOptions{}));
+    } catch (const std::runtime_error&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, NativeNeverCrashes) {
+  util::Rng rng(0xD00D);
+  for (int round = 0; round < 300; ++round) {
+    std::string body = random_garbage(rng, true);
+    if (rng.bernoulli(0.5)) {
+      body = "nodes 4 duration 50\n" + body;  // sometimes a valid header
+    }
+    std::istringstream in(body);
+    try {
+      check_valid(read_native(in));
+    } catch (const std::runtime_error&) {
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impatience::trace

@@ -1,0 +1,248 @@
+#include "impatience/trace/parsers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace impatience::trace {
+namespace {
+
+TEST(CrawdadParser, FourColumnOnset) {
+  std::istringstream in(
+      "# comment line\n"
+      "10 20 0 120\n"
+      "10 30 60 100\n"
+      "20 30 300 400\n");
+  CrawdadOptions opt;
+  opt.slot_seconds = 60.0;
+  const auto t = parse_crawdad(in, opt);
+  EXPECT_EQ(t.num_nodes(), 3u);  // dense remap of {10, 20, 30}
+  ASSERT_EQ(t.size(), 3u);
+  // First contact starts at t=0 -> slot 0; third starts at 300s -> slot 5.
+  EXPECT_EQ(t.events()[0].slot, 0);
+  EXPECT_EQ(t.events()[1].slot, 1);
+  EXPECT_EQ(t.events()[2].slot, 5);
+}
+
+TEST(CrawdadParser, EverySlotExpansion) {
+  std::istringstream in("1 2 0 180\n");
+  CrawdadOptions opt;
+  opt.slot_seconds = 60.0;
+  opt.expansion = ContactExpansion::kEverySlot;
+  const auto t = parse_crawdad(in, opt);
+  // Contact [0, 180] spans slots 0..3.
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(CrawdadParser, ThreeColumnFormat) {
+  std::istringstream in(
+      "0 5 6\n"
+      "120 5 7\n");
+  const auto t = parse_crawdad(in, CrawdadOptions{});
+  EXPECT_EQ(t.num_nodes(), 3u);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.events()[1].slot, 2);
+}
+
+TEST(CrawdadParser, TimeRebasing) {
+  // Start times far from zero are rebased to slot 0.
+  std::istringstream in("1 2 100000 100060\n1 3 100120 100130\n");
+  const auto t = parse_crawdad(in, CrawdadOptions{});
+  EXPECT_EQ(t.events()[0].slot, 0);
+  EXPECT_EQ(t.events()[1].slot, 2);
+}
+
+TEST(CrawdadParser, Malformed) {
+  std::istringstream bad_cols("1 2\n");
+  EXPECT_THROW(parse_crawdad(bad_cols, CrawdadOptions{}), std::runtime_error);
+  std::istringstream non_numeric("a b c d\n");
+  EXPECT_THROW(parse_crawdad(non_numeric, CrawdadOptions{}),
+               std::runtime_error);
+  std::istringstream empty("# nothing\n");
+  EXPECT_THROW(parse_crawdad(empty, CrawdadOptions{}), std::runtime_error);
+  std::istringstream reversed("1 2 100 50\n");
+  EXPECT_THROW(parse_crawdad(reversed, CrawdadOptions{}), std::runtime_error);
+}
+
+TEST(CrawdadParser, MissingFileThrows) {
+  EXPECT_THROW(parse_crawdad_file("/no/such/file", CrawdadOptions{}),
+               std::runtime_error);
+}
+
+TEST(NativeFormat, RoundTrip) {
+  ContactTrace original(4, 100, {{0, 0, 1}, {5, 2, 3}, {99, 0, 3}});
+  std::stringstream buffer;
+  write_native(original, buffer);
+  const auto parsed = read_native(buffer);
+  EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+  EXPECT_EQ(parsed.duration(), original.duration());
+  EXPECT_EQ(parsed.events(), original.events());
+}
+
+TEST(NativeFormat, FileRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/impatience_native_roundtrip.trace";
+  ContactTrace original(5, 60, {{1, 0, 4}, {7, 2, 3}, {59, 1, 2}});
+  write_native_file(original, path);
+  const auto parsed = read_native_file(path);
+  EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+  EXPECT_EQ(parsed.duration(), original.duration());
+  EXPECT_EQ(parsed.events(), original.events());
+  EXPECT_THROW(read_native_file("/no/such/dir/x.trace"),
+               std::runtime_error);
+  EXPECT_THROW(write_native_file(original, "/no/such/dir/x.trace"),
+               std::runtime_error);
+}
+
+TEST(NativeFormat, HeaderValidation) {
+  std::istringstream missing("0 1 2\n");
+  EXPECT_THROW(read_native(missing), std::runtime_error);
+  std::istringstream bad("nodes -3 duration 10\n");
+  EXPECT_THROW(read_native(bad), std::runtime_error);
+}
+
+TEST(GpsParser, StationaryNodesInRange) {
+  // Two nodes 100 m apart for 10 minutes: one onset contact.
+  std::ostringstream data;
+  for (int k = 0; k <= 10; ++k) {
+    data << "1 " << k * 60 << " 0 0\n";
+    data << "2 " << k * 60 << " 100 0\n";
+  }
+  std::istringstream in(data.str());
+  GpsOptions opt;
+  const auto t = parse_gps(in, opt);
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_EQ(t.size(), 1u);  // onset only
+}
+
+TEST(GpsParser, EverySlotExpansion) {
+  std::ostringstream data;
+  for (int k = 0; k <= 5; ++k) {
+    data << "1 " << k * 60 << " 0 0\n"
+         << "2 " << k * 60 << " 50 0\n";
+  }
+  std::istringstream in(data.str());
+  GpsOptions opt;
+  opt.expansion = ContactExpansion::kEverySlot;
+  const auto t = parse_gps(in, opt);
+  EXPECT_EQ(t.size(), 6u);
+}
+
+TEST(GpsParser, OutOfRangeNoContact) {
+  std::ostringstream data;
+  for (int k = 0; k <= 5; ++k) {
+    data << "1 " << k * 60 << " 0 0\n"
+         << "2 " << k * 60 << " 500 0\n";
+  }
+  std::istringstream in(data.str());
+  const auto t = parse_gps(in, GpsOptions{});
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(GpsParser, GapSuppressesInterpolation) {
+  // Fixes 2 hours apart with max_gap 10 min: no positions in between, so
+  // the nodes can never be in contact mid-gap.
+  std::istringstream in(
+      "1 0 0 0\n1 7200 0 0\n"
+      "2 0 50 0\n2 7200 5000 0\n");
+  GpsOptions opt;
+  opt.max_gap_seconds = 600.0;
+  const auto t = parse_gps(in, opt);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(GpsParser, ReMeetingAfterSeparation) {
+  // In range, out of range, back in range: two onset events.
+  std::ostringstream data;
+  const double xs[] = {0, 0, 1000, 1000, 0, 0};
+  for (int k = 0; k < 6; ++k) {
+    data << "1 " << k * 60 << " 0 0\n"
+         << "2 " << k * 60 << " " << xs[k] << " 0\n";
+  }
+  std::istringstream in(data.str());
+  const auto t = parse_gps(in, GpsOptions{});
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(GpsParser, LatLonProjection) {
+  // ~111 m per 0.001 degree latitude: in range at 200 m.
+  std::ostringstream data;
+  for (int k = 0; k <= 3; ++k) {
+    data << "1 " << k * 60 << " 37.7750 -122.4190\n"
+         << "2 " << k * 60 << " 37.7760 -122.4190\n";
+  }
+  std::istringstream in(data.str());
+  GpsOptions opt;
+  opt.coordinates_are_latlon = true;
+  const auto t = parse_gps(in, opt);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(GpsParser, Malformed) {
+  std::istringstream bad("1 0 0\n");
+  EXPECT_THROW(parse_gps(bad, GpsOptions{}), std::runtime_error);
+  std::istringstream empty("");
+  EXPECT_THROW(parse_gps(empty, GpsOptions{}), std::runtime_error);
+}
+
+TEST(OneParser, ConnUpDownPairs) {
+  std::istringstream in(
+      "# ONE StandardEventsReader\n"
+      "10.0 CONN 3 7 up\n"
+      "130.0 CONN 3 7 down\n"
+      "200.0 CONN 7 9 up\n"
+      "260.0 CONN 9 7 down\n");
+  const auto t = parse_one_events(in, OneOptions{});
+  EXPECT_EQ(t.num_nodes(), 3u);  // {3, 7, 9} remapped
+  ASSERT_EQ(t.size(), 2u);       // onset-only
+  EXPECT_EQ(t.events()[0].slot, 0);
+  // Second contact starts 190 s after the first: slot 3 at 60 s/slot.
+  EXPECT_EQ(t.events()[1].slot, 3);
+}
+
+TEST(OneParser, IgnoresOtherEventTypes) {
+  std::istringstream in(
+      "0 CONN 1 2 up\n"
+      "30 C 1 M14\n"
+      "45 S 2 M14\n"
+      "60 CONN 1 2 down\n");
+  const auto t = parse_one_events(in, OneOptions{});
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(OneParser, UnclosedConnectionsEndAtLastTimestamp) {
+  std::istringstream in(
+      "0 CONN 1 2 up\n"
+      "600 CONN 3 4 up\n"
+      "900 CONN 3 4 down\n");
+  OneOptions opt;
+  opt.expansion = ContactExpansion::kEverySlot;
+  const auto t = parse_one_events(in, opt);
+  // Pair (1,2) spans [0, 900] -> slots 0..15 (16 events);
+  // pair (3,4) spans [600, 900] -> slots 10..15 (6 events).
+  EXPECT_EQ(t.size(), 22u);
+}
+
+TEST(OneParser, DownWithoutUpIsIgnored) {
+  std::istringstream in(
+      "0 CONN 1 2 down\n"
+      "10 CONN 1 2 up\n"
+      "70 CONN 1 2 down\n");
+  const auto t = parse_one_events(in, OneOptions{});
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(OneParser, Malformed) {
+  std::istringstream bad_state("0 CONN 1 2 sideways\n");
+  EXPECT_THROW(parse_one_events(bad_state, OneOptions{}),
+               std::runtime_error);
+  std::istringstream no_conn("5 M14 created\n");
+  EXPECT_THROW(parse_one_events(no_conn, OneOptions{}), std::runtime_error);
+  std::istringstream empty("# header only\n");
+  EXPECT_THROW(parse_one_events(empty, OneOptions{}), std::runtime_error);
+  EXPECT_THROW(parse_one_events_file("/no/such/file", OneOptions{}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace impatience::trace

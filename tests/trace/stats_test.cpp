@@ -1,0 +1,95 @@
+#include "impatience/trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::trace {
+namespace {
+
+TEST(RateMatrix, SymmetricSetGet) {
+  RateMatrix m(4);
+  m.set(1, 3, 0.25);
+  EXPECT_DOUBLE_EQ(m.at(1, 3), 0.25);
+  EXPECT_DOUBLE_EQ(m.at(3, 1), 0.25);
+  EXPECT_DOUBLE_EQ(m.at(0, 2), 0.0);
+}
+
+TEST(RateMatrix, DiagonalStaysZero) {
+  RateMatrix m(3, 0.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  m.set(2, 2, 0.9);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+}
+
+TEST(RateMatrix, NodeRate) {
+  RateMatrix m(3);
+  m.set(0, 1, 0.1);
+  m.set(0, 2, 0.3);
+  EXPECT_NEAR(m.node_rate(0), 0.4, 1e-15);
+  EXPECT_NEAR(m.node_rate(1), 0.1, 1e-15);
+}
+
+TEST(RateMatrix, MeanRate) {
+  RateMatrix m(3);
+  m.set(0, 1, 0.3);
+  m.set(0, 2, 0.0);
+  m.set(1, 2, 0.6);
+  EXPECT_NEAR(m.mean_rate(), 0.3, 1e-15);
+}
+
+TEST(RateMatrix, HomogeneousFactory) {
+  const auto m = RateMatrix::homogeneous(5, 0.05);
+  EXPECT_DOUBLE_EQ(m.at(0, 4), 0.05);
+  EXPECT_DOUBLE_EQ(m.at(2, 2), 0.0);
+  EXPECT_NEAR(m.mean_rate(), 0.05, 1e-15);
+}
+
+TEST(RateMatrix, Validation) {
+  EXPECT_THROW(RateMatrix(0), std::invalid_argument);
+  RateMatrix m(2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.set(0, 2, 0.1), std::out_of_range);
+  EXPECT_THROW(m.set(0, 1, -0.1), std::invalid_argument);
+}
+
+TEST(EstimateRates, CountsOverDuration) {
+  ContactTrace t(3, 10, {{0, 0, 1}, {5, 0, 1}, {7, 1, 2}});
+  const auto m = estimate_rates(t);
+  EXPECT_NEAR(m.at(0, 1), 0.2, 1e-15);
+  EXPECT_NEAR(m.at(1, 2), 0.1, 1e-15);
+  EXPECT_NEAR(m.at(0, 2), 0.0, 1e-15);
+}
+
+TEST(InterContactTimes, PooledGaps) {
+  ContactTrace t(3, 20, {{0, 0, 1}, {4, 0, 1}, {10, 0, 1}, {3, 1, 2}});
+  auto gaps = inter_contact_times(t);
+  ASSERT_EQ(gaps.size(), 2u);  // pair (1,2) meets only once: no gap
+  EXPECT_DOUBLE_EQ(gaps[0], 4.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 6.0);
+}
+
+TEST(InterContactCv, DegenerateCases) {
+  ContactTrace none(3, 10, {});
+  EXPECT_DOUBLE_EQ(inter_contact_cv(none), 0.0);
+  ContactTrace one_gap(2, 10, {{0, 0, 1}, {5, 0, 1}});
+  EXPECT_DOUBLE_EQ(inter_contact_cv(one_gap), 0.0);  // single sample
+}
+
+TEST(InterContactCv, RegularContactsHaveLowCv) {
+  std::vector<ContactEvent> events;
+  for (Slot s = 0; s < 100; s += 10) events.push_back({s, 0, 1});
+  ContactTrace t(2, 100, std::move(events));
+  EXPECT_NEAR(inter_contact_cv(t), 0.0, 1e-12);
+}
+
+TEST(ContactsPerSlot, Counts) {
+  ContactTrace t(3, 4, {{0, 0, 1}, {0, 1, 2}, {2, 0, 2}});
+  const auto series = contacts_per_slot(t);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0], 2u);
+  EXPECT_EQ(series[1], 0u);
+  EXPECT_EQ(series[2], 1u);
+  EXPECT_EQ(series[3], 0u);
+}
+
+}  // namespace
+}  // namespace impatience::trace

@@ -1,0 +1,58 @@
+#include "impatience/util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace impatience::util {
+namespace {
+
+TEST(CsvWriter, SimpleRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.header({"a", "b", "c"});
+  csv.row(1, 2.5, "x");
+  EXPECT_EQ(os.str(), "a,b,c\n1,2.5,x\n");
+}
+
+TEST(CsvWriter, QuotesCommas) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row(std::string("hello, world"), 1);
+  EXPECT_EQ(os.str(), "\"hello, world\",1\n");
+}
+
+TEST(CsvWriter, EscapesQuotes) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row(std::string("say \"hi\""));
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row(std::string("two\nlines"));
+  EXPECT_EQ(os.str(), "\"two\nlines\"\n");
+}
+
+TEST(CsvWriter, HighPrecisionDoubles) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row(0.123456789012);
+  EXPECT_EQ(os.str(), "0.123456789012\n");
+}
+
+TEST(CsvWriter, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x/y.csv"), std::runtime_error);
+}
+
+TEST(CsvWriter, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row_strings({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace impatience::util

@@ -1,0 +1,76 @@
+#include "impatience/util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::util {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  auto f = make({"--trials=7", "--mu=0.25"});
+  EXPECT_EQ(f.get_int("trials", 0), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("mu", 0.0), 0.25);
+}
+
+TEST(Flags, SpaceForm) {
+  auto f = make({"--trials", "9"});
+  EXPECT_EQ(f.get_int("trials", 0), 9);
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  auto f = make({"--fast"});
+  EXPECT_TRUE(f.get_bool("fast", false));
+}
+
+TEST(Flags, MissingUsesFallback) {
+  auto f = make({});
+  EXPECT_EQ(f.get_int("absent", 42), 42);
+  EXPECT_EQ(f.get_string("absent", "d"), "d");
+  EXPECT_FALSE(f.get_bool("absent", false));
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=on"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=no"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=off"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+}
+
+TEST(Flags, BadBooleanThrows) {
+  EXPECT_THROW(make({"--x=maybe"}).get_bool("x", false),
+               std::invalid_argument);
+}
+
+TEST(Flags, PositionalArguments) {
+  auto f = make({"input.txt", "--n=3", "output.txt"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "output.txt");
+}
+
+TEST(Flags, HasDetectsPresence) {
+  auto f = make({"--a=1"});
+  EXPECT_TRUE(f.has("a"));
+  EXPECT_FALSE(f.has("b"));
+}
+
+TEST(Flags, NegativeNumberAsValue) {
+  auto f = make({"--alpha", "-1.5"});
+  // "-1.5" does not look like a --flag, so it is consumed as the value.
+  EXPECT_DOUBLE_EQ(f.get_double("alpha", 0.0), -1.5);
+}
+
+TEST(Flags, ProgramName) {
+  auto f = make({});
+  EXPECT_EQ(f.program(), "prog");
+}
+
+}  // namespace
+}  // namespace impatience::util

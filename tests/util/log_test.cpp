@@ -1,0 +1,64 @@
+#include "impatience/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace impatience::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, DefaultLevelIsWarn) {
+  // The library must stay quiet in tests and benches by default.
+  LogLevelGuard guard;
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST(Log, BelowThresholdMessagesAreCheap) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Off);
+  // Must not crash or emit; mostly exercises the formatting template.
+  log_debug("value=", 42, " pi=", 3.14);
+  log_info("several ", "parts");
+  log_warn("warn");
+  log_error("error");
+}
+
+TEST(Log, EmitsAtOrAboveThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  log_warn("should not appear");
+  log_error("should appear: ", 7);
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("should not appear"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] should appear: 7"), std::string::npos);
+}
+
+TEST(Log, LevelTagsInOutput) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::Debug);
+  testing::internal::CaptureStderr();
+  log_debug("d");
+  log_info("i");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[DEBUG] d"), std::string::npos);
+  EXPECT_NE(out.find("[INFO] i"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace impatience::util

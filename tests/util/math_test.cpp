@@ -1,0 +1,115 @@
+#include "impatience/util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace impatience::util {
+namespace {
+
+TEST(Integrate, Polynomial) {
+  // int_0^2 (3x^2 + 1) dx = 8 + 2 = 10.
+  const double v =
+      integrate([](double x) { return 3.0 * x * x + 1.0; }, 0.0, 2.0);
+  EXPECT_NEAR(v, 10.0, 1e-9);
+}
+
+TEST(Integrate, ReversedBoundsNegate) {
+  const double fwd = integrate([](double x) { return x; }, 0.0, 1.0);
+  const double bwd = integrate([](double x) { return x; }, 1.0, 0.0);
+  EXPECT_NEAR(fwd, -bwd, 1e-12);
+}
+
+TEST(Integrate, EmptyIntervalIsZero) {
+  EXPECT_EQ(integrate([](double x) { return x * x; }, 2.0, 2.0), 0.0);
+}
+
+TEST(Integrate, OscillatoryFunction) {
+  // int_0^pi sin(x) dx = 2.
+  const double v =
+      integrate([](double x) { return std::sin(x); }, 0.0, M_PI);
+  EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(IntegrateToInf, ExponentialDecay) {
+  // int_0^inf e^{-3t} dt = 1/3.
+  const double v =
+      integrate_to_inf([](double t) { return std::exp(-3.0 * t); });
+  EXPECT_NEAR(v, 1.0 / 3.0, 1e-8);
+}
+
+TEST(IntegrateToInf, GammaIntegrand) {
+  // int_0^inf t e^{-t} dt = 1.
+  const double v =
+      integrate_to_inf([](double t) { return t * std::exp(-t); });
+  EXPECT_NEAR(v, 1.0, 1e-8);
+}
+
+TEST(IntegrateToInf, ScaledGamma) {
+  // int_0^inf t^2 e^{-2t} dt = Gamma(3)/8 = 0.25.
+  const double v = integrate_to_inf(
+      [](double t) { return t * t * std::exp(-2.0 * t); });
+  EXPECT_NEAR(v, 0.25, 1e-8);
+}
+
+TEST(Bisect, FindsRoot) {
+  const double r =
+      bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(r, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, RootAtBoundary) {
+  EXPECT_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(Bisect, ThrowsOnSameSign) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Bisect, DecreasingFunction) {
+  const double r = bisect([](double x) { return 1.0 - x; }, 0.0, 3.0);
+  EXPECT_NEAR(r, 1.0, 1e-10);
+}
+
+TEST(InvertDecreasing, Interior) {
+  // g(x) = 1/x; g(x) = 0.25 at x = 4.
+  const double x = invert_decreasing([](double v) { return 1.0 / v; }, 0.25,
+                                     0.01, 100.0);
+  EXPECT_NEAR(x, 4.0, 1e-8);
+}
+
+TEST(InvertDecreasing, ClampsLow) {
+  // target above g(lo) -> lo.
+  const double x = invert_decreasing([](double v) { return 1.0 / v; }, 1000.0,
+                                     0.5, 100.0);
+  EXPECT_EQ(x, 0.5);
+}
+
+TEST(InvertDecreasing, ClampsHigh) {
+  const double x = invert_decreasing([](double v) { return 1.0 / v; }, 1e-9,
+                                     0.5, 100.0);
+  EXPECT_EQ(x, 100.0);
+}
+
+TEST(GammaFn, KnownValues) {
+  EXPECT_NEAR(gamma_fn(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(gamma_fn(2.0), 1.0, 1e-12);
+  EXPECT_NEAR(gamma_fn(5.0), 24.0, 1e-9);
+  EXPECT_NEAR(gamma_fn(0.5), std::sqrt(M_PI), 1e-10);
+}
+
+TEST(GammaFn, ThrowsOnNonPositive) {
+  EXPECT_THROW(gamma_fn(0.0), std::domain_error);
+  EXPECT_THROW(gamma_fn(-1.5), std::domain_error);
+}
+
+TEST(ApproxEqual, Basics) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 * (1 + 1e-10)));
+  EXPECT_TRUE(approx_equal(0.0, 1e-10));
+}
+
+}  // namespace
+}  // namespace impatience::util

@@ -1,0 +1,242 @@
+#include "impatience/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace impatience::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 100; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a(), first[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 2.5);
+    ASSERT_GE(u, -3.5);
+    ASSERT_LT(u, 2.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(6);
+  std::vector<int> hits(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hits[rng.uniform_index(10)];
+  for (int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h), n / 10.0, 500.0);
+  }
+}
+
+TEST(Rng, UniformIndexOfOneIsZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_index(1), 0u);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(2.0);
+    ASSERT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(0.7));
+  EXPECT_NEAR(sum / n, 0.7, 0.02);
+}
+
+TEST(Rng, PoissonLargeMeanUsesChunking) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = static_cast<double>(rng.poisson(95.0));
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 95.0, 0.5);
+  EXPECT_NEAR(var, 95.0, 5.0);  // Poisson: variance == mean
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(15);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(16);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMean) {
+  // E[exp(N(mu, sigma))] = exp(mu + sigma^2/2).
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(0.0, 0.5);
+  EXPECT_NEAR(sum / n, std::exp(0.125), 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(18);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(19);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+  Rng rng(20);
+  const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> hits(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hits[rng.weighted_index(w)];
+  EXPECT_EQ(hits[2], 0);
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(hits[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, StochasticRoundExactOnIntegers) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.stochastic_round(3.0), 3);
+    EXPECT_EQ(rng.stochastic_round(-2.0), -2);
+    EXPECT_EQ(rng.stochastic_round(0.0), 0);
+  }
+}
+
+TEST(Rng, StochasticRoundUnbiased) {
+  Rng rng(22);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const auto r = rng.stochastic_round(2.3);
+    ASSERT_TRUE(r == 2 || r == 3);
+    sum += static_cast<double>(r);
+  }
+  EXPECT_NEAR(sum / n, 2.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+}  // namespace
+}  // namespace impatience::util

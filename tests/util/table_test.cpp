@@ -1,0 +1,56 @@
+#include "impatience/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace impatience::util {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.row("alpha", 1);
+  t.row("b", 22);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Every line has the same length.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TablePrinter, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"x"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("x"), std::string::npos);
+}
+
+TEST(TablePrinter, FloatingPointPrecision) {
+  TablePrinter t({"v"});
+  t.set_precision(3);
+  t.row(1.23456);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_EQ(os.str().find("1.2346"), std::string::npos);
+}
+
+TEST(TablePrinter, IntegralDoublesKeepAllDigits) {
+  TablePrinter t({"v"});
+  t.row(123456.0);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("123456"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace impatience::util

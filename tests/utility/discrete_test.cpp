@@ -1,0 +1,114 @@
+// The discrete-time contact model (Section 3.4): geometric fulfilment
+// delays, the discrete differential delay-utility, and convergence to the
+// continuous model as the slot length shrinks — the match the paper's
+// simulations rely on.
+#include "impatience/utility/discrete.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impatience/util/rng.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+namespace {
+
+TEST(DiscreteGain, StepClosedForm) {
+  // h = 1{t <= tau}: E[h(K)] = P(K <= tau) = 1 - (1-p)^floor(tau).
+  StepUtility u(5.0);
+  const double p = 0.2;
+  EXPECT_NEAR(discrete_expected_gain(u, p),
+              1.0 - std::pow(1.0 - p, 5.0), 1e-10);
+}
+
+TEST(DiscreteGain, CertainFulfillment) {
+  ExponentialUtility u(0.3);
+  EXPECT_NEAR(discrete_expected_gain(u, 1.0, 2.0), u.value(2.0), 1e-12);
+}
+
+TEST(DiscreteGain, GeometricExpectation) {
+  // h(t) = -t (power alpha = 0): E[-delta K] = -delta / p.
+  PowerUtility u(0.0);
+  for (double p : {0.05, 0.3, 0.9}) {
+    EXPECT_NEAR(discrete_expected_gain(u, p), -1.0 / p, 1e-8) << p;
+  }
+}
+
+TEST(DiscreteGain, MatchesMonteCarlo) {
+  ExponentialUtility u(0.1);
+  util::Rng rng(5);
+  const double p = 0.07;
+  double total = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    long k = 1;
+    while (!rng.bernoulli(p)) ++k;
+    total += u.value(static_cast<double>(k));
+  }
+  EXPECT_NEAR(discrete_expected_gain(u, p), total / n, 5e-3);
+}
+
+TEST(DiscreteGain, ConvergesToContinuousModel) {
+  // With p = M * delta and delta -> 0, the discrete gain approaches the
+  // continuous E[h(Y)], Y ~ Exp(M) (the paper's Section 3.4 remark).
+  const StepUtility step(2.0);
+  const ExponentialUtility expu(0.5);
+  const PowerUtility cost(0.0);
+  const DelayUtility* utilities[] = {&step, &expu, &cost};
+  const double M = 0.4;
+  for (const DelayUtility* u : utilities) {
+    const double continuous = u->expected_gain(M);
+    double prev_err = std::numeric_limits<double>::infinity();
+    for (double delta : {0.5, 0.1, 0.02}) {
+      const double discrete =
+          discrete_expected_gain(*u, M * delta, delta);
+      const double err = std::abs(discrete - continuous);
+      // Strictly shrinking up to floating-point noise (h(t) = -t is
+      // exact at every delta).
+      EXPECT_LT(err, prev_err + 1e-12) << u->name() << " delta=" << delta;
+      prev_err = err;
+    }
+    EXPECT_LT(prev_err, 0.02 * std::max(1.0, std::abs(continuous)))
+        << u->name();
+  }
+}
+
+TEST(DiscreteDifferential, NonNegativeAndTelescopes) {
+  ExponentialUtility u(0.7);
+  double total = 0.0;
+  for (long k = 1; k <= 200; ++k) {
+    const double dc = discrete_differential(u, k);
+    EXPECT_GE(dc, 0.0);
+    total += dc;
+  }
+  // Telescoping: sum_{k=1}^{K} dc(k) = h(1) - h(K+1).
+  EXPECT_NEAR(total, u.value(1.0) - u.value(201.0), 1e-12);
+}
+
+TEST(DiscreteLoss, Lemma1Identity) {
+  // E[h(delta K)] = h(delta) - sum_{k>=1} (1-p)^k dc(k delta).
+  const StepUtility step(4.0);
+  const ExponentialUtility expu(0.2);
+  const PowerUtility cost(-0.5);
+  const DelayUtility* utilities[] = {&step, &expu, &cost};
+  for (const DelayUtility* u : utilities) {
+    for (double p : {0.05, 0.4}) {
+      EXPECT_NEAR(discrete_expected_gain(*u, p),
+                  u->value(1.0) - discrete_loss(*u, p), 1e-8)
+          << u->name() << " p=" << p;
+    }
+  }
+}
+
+TEST(Discrete, DomainErrors) {
+  StepUtility u(1.0);
+  EXPECT_THROW(discrete_expected_gain(u, 0.0), std::domain_error);
+  EXPECT_THROW(discrete_expected_gain(u, 1.5), std::domain_error);
+  EXPECT_THROW(discrete_expected_gain(u, 0.5, -1.0), std::domain_error);
+  EXPECT_THROW(discrete_differential(u, 0), std::domain_error);
+  EXPECT_THROW(discrete_loss(u, -0.1), std::domain_error);
+}
+
+}  // namespace
+}  // namespace impatience::utility

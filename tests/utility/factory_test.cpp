@@ -1,0 +1,65 @@
+#include "impatience/utility/factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+namespace {
+
+TEST(Factory, Step) {
+  auto u = make_utility("step:tau=2.5");
+  auto* step = dynamic_cast<StepUtility*>(u.get());
+  ASSERT_NE(step, nullptr);
+  EXPECT_DOUBLE_EQ(step->tau(), 2.5);
+}
+
+TEST(Factory, StepDefaultTau) {
+  auto u = make_utility("step");
+  auto* step = dynamic_cast<StepUtility*>(u.get());
+  ASSERT_NE(step, nullptr);
+  EXPECT_DOUBLE_EQ(step->tau(), 1.0);
+}
+
+TEST(Factory, Exponential) {
+  auto u = make_utility("exp:nu=0.1");
+  auto* e = dynamic_cast<ExponentialUtility*>(u.get());
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->nu(), 0.1);
+}
+
+TEST(Factory, PowerNegativeAlpha) {
+  auto u = make_utility("power:alpha=-1.5");
+  auto* p = dynamic_cast<PowerUtility*>(u.get());
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->alpha(), -1.5);
+}
+
+TEST(Factory, NegLog) {
+  auto u = make_utility("neglog");
+  EXPECT_NE(dynamic_cast<NegLogUtility*>(u.get()), nullptr);
+}
+
+TEST(Factory, UnknownFamilyThrows) {
+  EXPECT_THROW(make_utility("linear"), std::invalid_argument);
+  EXPECT_THROW(make_utility(""), std::invalid_argument);
+}
+
+TEST(Factory, UnknownParameterThrows) {
+  EXPECT_THROW(make_utility("step:gamma=1"), std::invalid_argument);
+  EXPECT_THROW(make_utility("neglog:nu=1"), std::invalid_argument);
+}
+
+TEST(Factory, BadNumberThrows) {
+  EXPECT_THROW(make_utility("step:tau=abc"), std::invalid_argument);
+  EXPECT_THROW(make_utility("step:tau=1.5x"), std::invalid_argument);
+  EXPECT_THROW(make_utility("step:tau"), std::invalid_argument);
+}
+
+TEST(Factory, InvalidParameterValuePropagates) {
+  EXPECT_THROW(make_utility("step:tau=-1"), std::invalid_argument);
+  EXPECT_THROW(make_utility("power:alpha=2"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::utility

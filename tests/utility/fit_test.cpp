@@ -1,0 +1,121 @@
+// Delay-utility estimation from feedback (Section 7 future work).
+#include "impatience/utility/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impatience/util/rng.hpp"
+
+namespace impatience::utility {
+namespace {
+
+TEST(Isotonic, AlreadyMonotoneIsUnchanged) {
+  const std::vector<double> v{5.0, 4.0, 4.0, 1.0};
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(isotonic_decreasing(v, w), v);
+}
+
+TEST(Isotonic, PoolsViolators) {
+  // {1, 3} violates decreasing; pooled mean 2.
+  const auto out = isotonic_decreasing({1.0, 3.0}, {1.0, 1.0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(Isotonic, WeightedPooling) {
+  // Weights 3 and 1: pooled mean (1*3 + 5*1)/4 = 2.
+  const auto out = isotonic_decreasing({1.0, 5.0}, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+}
+
+TEST(Isotonic, ResultIsNonIncreasing) {
+  util::Rng rng(1);
+  std::vector<double> v, w;
+  for (int i = 0; i < 200; ++i) {
+    v.push_back(rng.uniform(-5.0, 5.0));
+    w.push_back(rng.uniform(0.1, 2.0));
+  }
+  const auto out = isotonic_decreasing(v, w);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i], out[i - 1] + 1e-12);
+  }
+  // Weighted mean is preserved by PAV.
+  double mv = 0.0, mo = 0.0, wsum = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    mv += v[i] * w[i];
+    mo += out[i] * w[i];
+    wsum += w[i];
+  }
+  EXPECT_NEAR(mv / wsum, mo / wsum, 1e-9);
+}
+
+TEST(Isotonic, Validation) {
+  EXPECT_THROW(isotonic_decreasing({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(isotonic_decreasing({1.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(FitDelayUtility, RecoversStepFunction) {
+  // True impatience: users watch iff delay <= 30. Noiseless feedback.
+  std::vector<FeedbackSample> samples;
+  for (int d = 1; d <= 100; ++d) {
+    samples.push_back({static_cast<double>(d), d <= 30 ? 1.0 : 0.0});
+  }
+  const auto fitted = fit_delay_utility(samples, {.bins = 20});
+  EXPECT_GT(fitted.value(10.0), 0.9);
+  EXPECT_LT(fitted.value(80.0), 0.1);
+}
+
+TEST(FitDelayUtility, RecoversExponentialFromBernoulliFeedback) {
+  // gain ~ Bernoulli(e^{-nu d}): the binned isotonic fit must track the
+  // true curve.
+  const double nu = 0.05;
+  ExponentialUtility truth(nu);
+  util::Rng rng(7);
+  std::vector<FeedbackSample> samples;
+  for (int k = 0; k < 20000; ++k) {
+    const double d = rng.uniform(0.5, 80.0);
+    samples.push_back({d, rng.bernoulli(truth.value(d)) ? 1.0 : 0.0});
+  }
+  const auto fitted = fit_delay_utility(samples, {.bins = 16});
+  for (double t : {5.0, 20.0, 40.0, 70.0}) {
+    EXPECT_NEAR(fitted.value(t), truth.value(t), 0.06) << t;
+  }
+  // Transforms of the fitted utility are usable downstream.
+  EXPECT_GT(fitted.time_weighted_transform(0.25), 0.0);
+}
+
+TEST(FitDelayUtility, FittedPhiTracksTruePhi) {
+  // The quantity QCR actually needs is phi; the fit must get it roughly
+  // right even with noisy feedback.
+  const double nu = 0.1;
+  ExponentialUtility truth(nu);
+  util::Rng rng(9);
+  std::vector<FeedbackSample> samples;
+  for (int k = 0; k < 40000; ++k) {
+    const double d = rng.exponential(0.04);  // delays roughly Exp(0.04)
+    samples.push_back({d, rng.bernoulli(truth.value(d)) ? 1.0 : 0.0});
+  }
+  const auto fitted = fit_delay_utility(samples, {.bins = 24});
+  for (double x : {2.0, 5.0, 10.0}) {
+    const double pt = phi(truth, 0.05, x);
+    const double pf = phi(fitted, 0.05, x);
+    EXPECT_NEAR(pf, pt, 0.35 * pt) << "x=" << x;
+  }
+}
+
+TEST(FitDelayUtility, Validation) {
+  EXPECT_THROW(fit_delay_utility({}), std::invalid_argument);
+  EXPECT_THROW(fit_delay_utility({{1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(fit_delay_utility({{2.0, 1.0}, {2.0, 0.5}}),
+               std::invalid_argument);
+  // Non-positive delays are dropped; the remainder must still suffice.
+  EXPECT_THROW(fit_delay_utility({{-1.0, 1.0}, {0.0, 1.0}, {2.0, 0.5}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::utility

@@ -1,0 +1,73 @@
+#include "impatience/utility/reaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+namespace {
+
+TEST(ReactionFunction, MatchesPsi) {
+  ExponentialUtility u(0.5);
+  ReactionFunction r(u, 0.05, 50.0);
+  for (double y : {1.0, 7.0, 50.0}) {
+    EXPECT_NEAR(r(y), psi(u, 0.05, 50.0, y), 1e-14);
+  }
+}
+
+TEST(ReactionFunction, ScaleMultiplies) {
+  StepUtility u(1.0);
+  ReactionFunction r1(u, 0.05, 50.0, 1.0);
+  ReactionFunction r3(u, 0.05, 50.0, 3.0);
+  EXPECT_NEAR(r3(5.0), 3.0 * r1(5.0), 1e-14);
+}
+
+TEST(ReactionFunction, ReplicasAreUnbiased) {
+  PowerUtility u(0.0);  // psi(y) = y / (mu |S|)
+  ReactionFunction r(u, 0.05, 50.0);
+  util::Rng rng(99);
+  const double y = 4.0;
+  const double target = r(y);  // 4 / 2.5 = 1.6
+  EXPECT_NEAR(target, 1.6, 1e-12);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(r.replicas(y, rng));
+  }
+  EXPECT_NEAR(sum / n, target, 0.01);
+}
+
+TEST(ReactionFunction, ReplicasNeverNegative) {
+  StepUtility u(1.0);
+  ReactionFunction r(u, 0.05, 50.0);
+  util::Rng rng(7);
+  for (double y : {1.0, 2.0, 100.0, 10000.0}) {
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_GE(r.replicas(y, rng), 0);
+    }
+  }
+}
+
+TEST(ReactionFunction, CopySemantics) {
+  ExponentialUtility u(1.0);
+  ReactionFunction a(u, 0.05, 50.0, 2.0);
+  ReactionFunction b = a;  // copy ctor clones the utility
+  EXPECT_NEAR(a(3.0), b(3.0), 1e-15);
+  StepUtility s(1.0);
+  ReactionFunction c(s, 0.1, 20.0);
+  c = a;  // copy assignment
+  EXPECT_NEAR(c(3.0), a(3.0), 1e-15);
+  EXPECT_DOUBLE_EQ(c.scale(), 2.0);
+}
+
+TEST(ReactionFunction, Validation) {
+  StepUtility u(1.0);
+  EXPECT_THROW(ReactionFunction(u, 0.0, 50.0), std::invalid_argument);
+  EXPECT_THROW(ReactionFunction(u, 0.05, 0.0), std::invalid_argument);
+  EXPECT_THROW(ReactionFunction(u, 0.05, 50.0, 0.0), std::invalid_argument);
+  ReactionFunction r(u, 0.05, 50.0);
+  EXPECT_THROW(r(0.0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace impatience::utility

@@ -1,0 +1,180 @@
+// Line-by-line verification of the paper's Table 1: for each delay-utility
+// family, the equilibrium condition function phi and the reaction function
+// psi must match the printed closed forms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impatience/util/math.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+namespace {
+
+constexpr double kMu = 0.05;
+constexpr double kS = 50.0;
+
+TEST(Table1, StepPhi) {
+  // phi(x) = mu * tau * e^{-mu tau x}.
+  const double tau = 2.0;
+  StepUtility u(tau);
+  for (double x : {1.0, 5.0, 30.0}) {
+    EXPECT_NEAR(phi(u, kMu, x), kMu * tau * std::exp(-kMu * tau * x), 1e-14);
+  }
+}
+
+TEST(Table1, StepPsi) {
+  // psi(y) = (mu tau |S| / y) e^{-mu tau |S| / y}.
+  const double tau = 2.0;
+  StepUtility u(tau);
+  for (double y : {1.0, 10.0, 50.0}) {
+    const double a = kMu * tau * kS / y;
+    EXPECT_NEAR(psi(u, kMu, kS, y), a * std::exp(-a), 1e-14);
+  }
+}
+
+TEST(Table1, StepGain) {
+  // U-contribution per unit demand: 1 - e^{-mu tau x}.
+  const double tau = 1.0;
+  StepUtility u(tau);
+  for (double x : {1.0, 10.0}) {
+    EXPECT_NEAR(u.expected_gain(kMu * x), 1.0 - std::exp(-kMu * tau * x),
+                1e-14);
+  }
+}
+
+TEST(Table1, ExponentialGain) {
+  // 1 - 1 / (1 + (mu/nu) x).
+  const double nu = 0.3;
+  ExponentialUtility u(nu);
+  for (double x : {1.0, 4.0, 25.0}) {
+    EXPECT_NEAR(u.expected_gain(kMu * x),
+                1.0 - 1.0 / (1.0 + (kMu / nu) * x), 1e-12);
+  }
+}
+
+TEST(Table1, ExponentialPhi) {
+  // phi(x) = (mu/nu) (1 + (mu/nu) x)^{-2}.
+  const double nu = 0.3;
+  ExponentialUtility u(nu);
+  for (double x : {1.0, 4.0, 25.0}) {
+    const double r = kMu / nu;
+    EXPECT_NEAR(phi(u, kMu, x), r * std::pow(1.0 + r * x, -2.0), 1e-12);
+  }
+}
+
+TEST(Table1, ExponentialPsi) {
+  // psi(y) = a * y / (y + a)^2 with a = mu |S| / nu  (equivalently
+  // (S/y) phi(S/y); Table 1's printed form rearranges the same thing).
+  const double nu = 0.3;
+  ExponentialUtility u(nu);
+  const double a = kMu * kS / nu;
+  for (double y : {1.0, 10.0, 50.0}) {
+    EXPECT_NEAR(psi(u, kMu, kS, y), a * y / ((y + a) * (y + a)), 1e-12);
+  }
+}
+
+TEST(Table1, PowerGain) {
+  // U per unit demand: Gamma(2-a)/(a-1) * (mu x)^{a-1}, both regimes.
+  for (double alpha : {-1.0, 0.0, 0.5, 1.5}) {
+    PowerUtility u(alpha);
+    for (double x : {1.0, 8.0}) {
+      const double expected = util::gamma_fn(2.0 - alpha) / (alpha - 1.0) *
+                              std::pow(kMu * x, alpha - 1.0);
+      EXPECT_NEAR(u.expected_gain(kMu * x), expected,
+                  1e-10 * std::abs(expected))
+          << "alpha=" << alpha << " x=" << x;
+    }
+  }
+}
+
+TEST(Table1, PowerPhi) {
+  // phi(x) = mu^{alpha-1} Gamma(2-alpha) x^{alpha-2}.
+  for (double alpha : {-1.0, 0.0, 0.5, 1.5}) {
+    PowerUtility u(alpha);
+    for (double x : {1.0, 8.0, 40.0}) {
+      const double expected = std::pow(kMu, alpha - 1.0) *
+                              util::gamma_fn(2.0 - alpha) *
+                              std::pow(x, alpha - 2.0);
+      EXPECT_NEAR(phi(u, kMu, x), expected, 1e-10 * expected)
+          << "alpha=" << alpha;
+    }
+  }
+}
+
+TEST(Table1, PowerPsi) {
+  // psi(y) = y^{1-alpha} mu^{alpha-1} |S|^{alpha-1} Gamma(2-alpha).
+  for (double alpha : {-1.0, 0.0, 0.5, 1.5}) {
+    PowerUtility u(alpha);
+    for (double y : {1.0, 10.0, 50.0}) {
+      const double expected = std::pow(y, 1.0 - alpha) *
+                              std::pow(kMu, alpha - 1.0) *
+                              std::pow(kS, alpha - 1.0) *
+                              util::gamma_fn(2.0 - alpha);
+      EXPECT_NEAR(psi(u, kMu, kS, y), expected, 1e-10 * expected)
+          << "alpha=" << alpha;
+    }
+  }
+}
+
+TEST(Table1, NegLogGain) {
+  // U per unit demand: ln(x) + cst  (we carry cst = ln(mu) + gamma).
+  NegLogUtility u;
+  const double diff = u.expected_gain(kMu * 10.0) - u.expected_gain(kMu * 2.0);
+  EXPECT_NEAR(diff, std::log(10.0 / 2.0), 1e-12);
+}
+
+TEST(Table1, NegLogPhi) {
+  // phi(x) = 1/x exactly (independent of mu).
+  NegLogUtility u;
+  for (double x : {1.0, 7.0, 50.0}) {
+    EXPECT_NEAR(phi(u, kMu, x), 1.0 / x, 1e-14);
+    EXPECT_NEAR(phi(u, 0.5, x), 1.0 / x, 1e-14);
+  }
+}
+
+TEST(Table1, NegLogPsiIsLinear) {
+  // psi(y) = (S/y) phi(S/y) = y * (1/S) * ... = 1 for all y? No:
+  // (S/y) * (y/S) = 1. The neg-log reaction is constant: one replica per
+  // fulfilment regardless of the counter (pure proportional replication).
+  NegLogUtility u;
+  for (double y : {1.0, 3.0, 42.0}) {
+    EXPECT_NEAR(psi(u, kMu, kS, y), 1.0, 1e-13);
+  }
+}
+
+TEST(Table1, BalanceConditionGivesPowerLawAllocation) {
+  // Property 1 for the power family: d_i phi(x_i) = const implies
+  // x_i proportional to d_i^{1/(2-alpha)} (Fig. 2).
+  for (double alpha : {-1.0, 0.0, 0.5, 1.5}) {
+    PowerUtility u(alpha);
+    const double d1 = 1.0, d2 = 4.0;
+    // Solve d * phi(x) = lambda for both demands at a common lambda.
+    const double lambda = 0.02;
+    const double x1 = util::invert_decreasing(
+        [&](double x) { return d1 * phi(u, kMu, x); }, lambda, 1e-6, 1e9);
+    const double x2 = util::invert_decreasing(
+        [&](double x) { return d2 * phi(u, kMu, x); }, lambda, 1e-6, 1e9);
+    EXPECT_NEAR(x2 / x1, std::pow(d2 / d1, 1.0 / (2.0 - alpha)), 1e-5)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(Table1, QcrFixedPointSatisfiesBalanceCondition) {
+  // Property 2: with psi(y) = (S/y) phi(S/y), the stationarity condition
+  // d_i (1/x) psi(S/x) equalized across items is exactly d_i phi(x_i)
+  // equalized. Verify the identity (1/x) psi(S/x) = phi(x) pointwise.
+  const StepUtility step(1.0);
+  const ExponentialUtility expu(0.4);
+  const PowerUtility pow0(0.0);
+  const DelayUtility* utilities[] = {&step, &expu, &pow0};
+  for (const DelayUtility* u : utilities) {
+    for (double x : {0.5, 2.0, 10.0, 49.0}) {
+      const double lhs = (1.0 / x) * psi(*u, kMu, kS, kS / x);
+      EXPECT_NEAR(lhs, phi(*u, kMu, x), 1e-12 * std::abs(lhs)) << u->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace impatience::utility

@@ -1,0 +1,173 @@
+// Cross-validation of the closed-form transforms against (a) the numeric
+// quadrature defaults of the base class and (b) Monte Carlo estimates of
+// E[h(Y)] with Y ~ Exp(M). This is the executable form of Lemma 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impatience/util/math.hpp"
+#include "impatience/util/rng.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+namespace {
+
+/// Exposes the numeric base-class quadrature for a wrapped utility.
+class NumericShim final : public DelayUtility {
+ public:
+  explicit NumericShim(const DelayUtility& inner) : inner_(inner.clone()) {}
+  double value(double t) const override { return inner_->value(t); }
+  double value_at_zero() const override { return inner_->value_at_zero(); }
+  double value_at_inf() const override { return inner_->value_at_inf(); }
+  double differential(double t) const override {
+    return inner_->differential(t);
+  }
+  // No overrides for the transforms: base-class quadrature applies.
+  std::string name() const override { return "numeric(" + inner_->name() + ")"; }
+  std::unique_ptr<DelayUtility> clone() const override {
+    return std::make_unique<NumericShim>(*inner_);
+  }
+
+ private:
+  std::unique_ptr<DelayUtility> inner_;
+};
+
+TEST(Transforms, ExponentialClosedFormMatchesQuadrature) {
+  ExponentialUtility u(0.8);
+  NumericShim numeric(u);
+  for (double M : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(u.loss_transform(M), numeric.loss_transform(M), 1e-7)
+        << "M=" << M;
+    EXPECT_NEAR(u.time_weighted_transform(M),
+                numeric.time_weighted_transform(M), 1e-7)
+        << "M=" << M;
+  }
+}
+
+TEST(Transforms, PowerCostClosedFormMatchesQuadrature) {
+  // alpha = 0.5: c(t) = t^{-1/2} is integrable at 0 and the quadrature
+  // handles the mild singularity.
+  PowerUtility u(0.5);
+  NumericShim numeric(u);
+  for (double M : {0.5, 1.0, 4.0}) {
+    EXPECT_NEAR(u.time_weighted_transform(M),
+                numeric.time_weighted_transform(M),
+                1e-4 * u.time_weighted_transform(M))
+        << "M=" << M;
+  }
+}
+
+TEST(Transforms, TabulatedClosedFormMatchesQuadrature) {
+  TabulatedUtility u({{0.0, 1.0}, {0.5, 0.9}, {2.0, 0.3}, {5.0, 0.0}});
+  NumericShim numeric(u);
+  for (double M : {0.2, 1.0, 5.0}) {
+    EXPECT_NEAR(u.loss_transform(M), numeric.loss_transform(M), 1e-7);
+    EXPECT_NEAR(u.time_weighted_transform(M),
+                numeric.time_weighted_transform(M), 1e-7);
+  }
+}
+
+TEST(Transforms, TimeWeightedIsNegativeDerivativeOfLoss) {
+  // T(M) = -dL/dM, checked by central finite difference.
+  ExponentialUtility exp_u(1.3);
+  TabulatedUtility tab_u({{0.0, 1.0}, {1.0, 0.4}, {3.0, 0.0}});
+  const DelayUtility* utilities[] = {&exp_u, &tab_u};
+  for (const DelayUtility* u : utilities) {
+    for (double M : {0.5, 1.0, 2.0}) {
+      const double h = 1e-5 * M;
+      const double dL =
+          (u->loss_transform(M + h) - u->loss_transform(M - h)) / (2.0 * h);
+      EXPECT_NEAR(u->time_weighted_transform(M), -dL, 1e-6) << u->name();
+    }
+  }
+}
+
+struct MonteCarloCase {
+  const char* label;
+  std::unique_ptr<DelayUtility> utility;
+};
+
+class MonteCarloGainTest : public ::testing::TestWithParam<int> {};
+
+std::unique_ptr<DelayUtility> make_case(int which) {
+  switch (which) {
+    case 0: return std::make_unique<StepUtility>(1.5);
+    case 1: return std::make_unique<ExponentialUtility>(0.6);
+    case 2: return std::make_unique<PowerUtility>(0.0);
+    case 3: return std::make_unique<PowerUtility>(-1.0);
+    case 4: return std::make_unique<PowerUtility>(1.5);
+    case 5: return std::make_unique<NegLogUtility>();
+    default: return nullptr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, MonteCarloGainTest,
+                         ::testing::Range(0, 6));
+
+TEST_P(MonteCarloGainTest, ExpectedGainMatchesSampledMean) {
+  const auto u = make_case(GetParam());
+  util::Rng rng(1234 + static_cast<std::uint64_t>(GetParam()));
+  for (double M : {0.5, 2.0}) {
+    const int n = 400000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      sum += u->value(rng.exponential(M));
+    }
+    const double mc = sum / n;
+    const double analytic = u->expected_gain(M);
+    const double tol = 0.02 * std::max(1.0, std::abs(analytic));
+    EXPECT_NEAR(mc, analytic, tol) << u->name() << " M=" << M;
+  }
+}
+
+TEST(Transforms, PhiIsMuTimesTimeWeighted) {
+  ExponentialUtility u(1.0);
+  const double mu = 0.05;
+  for (double x : {1.0, 5.0, 20.0}) {
+    EXPECT_NEAR(phi(u, mu, x), mu * u.time_weighted_transform(mu * x),
+                1e-15);
+  }
+}
+
+TEST(Transforms, PhiIsStrictlyDecreasingInX) {
+  const StepUtility step(1.0);
+  const PowerUtility power(0.5);
+  const DelayUtility* utilities[] = {&step, &power};
+  for (const DelayUtility* u : utilities) {
+    double prev = phi(*u, 0.05, 0.5);
+    for (double x = 1.0; x < 60.0; x *= 1.5) {
+      const double v = phi(*u, 0.05, x);
+      EXPECT_LT(v, prev) << u->name();
+      prev = v;
+    }
+  }
+}
+
+TEST(Transforms, PsiDefinition) {
+  // psi(y) = (S/y) * phi(S/y).
+  ExponentialUtility u(0.3);
+  const double mu = 0.05, S = 50.0;
+  for (double y : {1.0, 5.0, 50.0}) {
+    const double x = S / y;
+    EXPECT_NEAR(psi(u, mu, S, y), x * phi(u, mu, x), 1e-13);
+  }
+}
+
+TEST(Transforms, DomainErrors) {
+  ExponentialUtility u(1.0);
+  EXPECT_THROW(phi(u, 0.0, 1.0), std::domain_error);
+  EXPECT_THROW(phi(u, 1.0, 0.0), std::domain_error);
+  EXPECT_THROW(psi(u, 1.0, 50.0, 0.0), std::domain_error);
+  EXPECT_THROW(u.expected_gain(0.0), std::domain_error);
+}
+
+TEST(Transforms, UnboundedUtilitiesRejectDefaultExpectedGainPath) {
+  // NumericShim has no expected_gain override, so unbounded h(0+) must
+  // raise instead of returning inf - inf.
+  NegLogUtility inner;
+  NumericShim shim(inner);
+  EXPECT_THROW(shim.expected_gain(1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace impatience::utility

@@ -1,0 +1,77 @@
+#include "impatience/utility/utility_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "impatience/utility/families.hpp"
+
+namespace impatience::utility {
+namespace {
+
+UtilitySet mixed_set() {
+  std::vector<std::unique_ptr<DelayUtility>> us;
+  us.push_back(std::make_unique<StepUtility>(2.0));
+  us.push_back(std::make_unique<ExponentialUtility>(0.5));
+  us.push_back(std::make_unique<PowerUtility>(0.0));
+  return UtilitySet(std::move(us));
+}
+
+TEST(UtilitySet, IndexedAccess) {
+  const auto set = mixed_set();
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_DOUBLE_EQ(set[0].value(1.0), 1.0);
+  EXPECT_NEAR(set[1].value(2.0), std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(set[2].value(3.0), -3.0);
+}
+
+TEST(UtilitySet, AtBoundsChecked) {
+  const auto set = mixed_set();
+  EXPECT_NO_THROW(set.at(2));
+  EXPECT_THROW(set.at(3), std::out_of_range);
+}
+
+TEST(UtilitySet, UniformConstructorClones) {
+  StepUtility u(1.5);
+  UtilitySet set(u, 4);
+  EXPECT_EQ(set.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(set[i].value(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(set[i].value(2.0), 0.0);
+    EXPECT_NE(&set[i], static_cast<const DelayUtility*>(&u));
+  }
+}
+
+TEST(UtilitySet, CopyIsDeep) {
+  auto a = mixed_set();
+  UtilitySet b = a;
+  EXPECT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NE(&a[i], &b[i]);
+    EXPECT_DOUBLE_EQ(a[i].value(1.3), b[i].value(1.3));
+  }
+  UtilitySet c(StepUtility(1.0), 1);
+  c = a;
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(UtilitySet, AllBoundedAtZero) {
+  EXPECT_TRUE(mixed_set().all_bounded_at_zero());
+  std::vector<std::unique_ptr<DelayUtility>> us;
+  us.push_back(std::make_unique<StepUtility>(1.0));
+  us.push_back(std::make_unique<PowerUtility>(1.5));  // h(0+) = inf
+  UtilitySet set(std::move(us));
+  EXPECT_FALSE(set.all_bounded_at_zero());
+}
+
+TEST(UtilitySet, Validation) {
+  EXPECT_THROW(UtilitySet({}), std::invalid_argument);
+  std::vector<std::unique_ptr<DelayUtility>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(UtilitySet(std::move(with_null)), std::invalid_argument);
+  StepUtility u(1.0);
+  EXPECT_THROW(UtilitySet(u, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace impatience::utility
