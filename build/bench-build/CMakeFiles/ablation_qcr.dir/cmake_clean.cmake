@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_qcr"
+  "../bench/ablation_qcr.pdb"
+  "CMakeFiles/ablation_qcr.dir/ablation_qcr.cpp.o"
+  "CMakeFiles/ablation_qcr.dir/ablation_qcr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

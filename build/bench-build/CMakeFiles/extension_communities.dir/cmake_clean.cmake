@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_communities"
+  "../bench/extension_communities.pdb"
+  "CMakeFiles/extension_communities.dir/extension_communities.cpp.o"
+  "CMakeFiles/extension_communities.dir/extension_communities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

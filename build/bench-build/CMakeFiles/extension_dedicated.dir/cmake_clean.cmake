@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_dedicated"
+  "../bench/extension_dedicated.pdb"
+  "CMakeFiles/extension_dedicated.dir/extension_dedicated.cpp.o"
+  "CMakeFiles/extension_dedicated.dir/extension_dedicated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

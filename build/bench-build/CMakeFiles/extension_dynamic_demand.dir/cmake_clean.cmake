@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_dynamic_demand"
+  "../bench/extension_dynamic_demand.pdb"
+  "CMakeFiles/extension_dynamic_demand.dir/extension_dynamic_demand.cpp.o"
+  "CMakeFiles/extension_dynamic_demand.dir/extension_dynamic_demand.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_dynamic_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

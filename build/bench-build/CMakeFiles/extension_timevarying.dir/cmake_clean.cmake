@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_timevarying"
+  "../bench/extension_timevarying.pdb"
+  "CMakeFiles/extension_timevarying.dir/extension_timevarying.cpp.o"
+  "CMakeFiles/extension_timevarying.dir/extension_timevarying.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_timevarying.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_delay_utilities"
+  "../bench/fig1_delay_utilities.pdb"
+  "CMakeFiles/fig1_delay_utilities.dir/fig1_delay_utilities.cpp.o"
+  "CMakeFiles/fig1_delay_utilities.dir/fig1_delay_utilities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_delay_utilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_alloc_exponent"
+  "../bench/fig2_alloc_exponent.pdb"
+  "CMakeFiles/fig2_alloc_exponent.dir/fig2_alloc_exponent.cpp.o"
+  "CMakeFiles/fig2_alloc_exponent.dir/fig2_alloc_exponent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_alloc_exponent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_mandate_routing"
+  "../bench/fig3_mandate_routing.pdb"
+  "CMakeFiles/fig3_mandate_routing.dir/fig3_mandate_routing.cpp.o"
+  "CMakeFiles/fig3_mandate_routing.dir/fig3_mandate_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mandate_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_homogeneous"
+  "../bench/fig4_homogeneous.pdb"
+  "CMakeFiles/fig4_homogeneous.dir/fig4_homogeneous.cpp.o"
+  "CMakeFiles/fig4_homogeneous.dir/fig4_homogeneous.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_infocom"
+  "../bench/fig5_infocom.pdb"
+  "CMakeFiles/fig5_infocom.dir/fig5_infocom.cpp.o"
+  "CMakeFiles/fig5_infocom.dir/fig5_infocom.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_infocom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cabspotting"
+  "../bench/fig6_cabspotting.pdb"
+  "CMakeFiles/fig6_cabspotting.dir/fig6_cabspotting.cpp.o"
+  "CMakeFiles/fig6_cabspotting.dir/fig6_cabspotting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cabspotting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

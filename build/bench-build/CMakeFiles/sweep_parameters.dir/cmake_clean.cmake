@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_parameters"
+  "../bench/sweep_parameters.pdb"
+  "CMakeFiles/sweep_parameters.dir/sweep_parameters.cpp.o"
+  "CMakeFiles/sweep_parameters.dir/sweep_parameters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig1_selfcheck "/root/repo/build/bench/fig1_delay_utilities" "--samples" "6")
+set_tests_properties(bench_fig1_selfcheck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig2_selfcheck "/root/repo/build/bench/fig2_alloc_exponent" "--items" "20" "--servers" "100" "--capacity" "120")
+set_tests_properties(bench_fig2_selfcheck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;31;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_table1_selfcheck "/root/repo/build/bench/table1_functions")
+set_tests_properties(bench_table1_selfcheck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;33;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig3_smoke "/root/repo/build/bench/fig3_mandate_routing" "--nodes" "15" "--slots" "400")
+set_tests_properties(bench_fig3_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig4_smoke "/root/repo/build/bench/fig4_homogeneous" "--nodes" "15" "--slots" "300" "--trials" "1")
+set_tests_properties(bench_fig4_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig5_smoke "/root/repo/build/bench/fig5_infocom" "--nodes" "15" "--items" "15" "--days" "1" "--trials" "1")
+set_tests_properties(bench_fig5_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig6_smoke "/root/repo/build/bench/fig6_cabspotting" "--nodes" "15" "--items" "15" "--slots" "300" "--trials" "1")
+set_tests_properties(bench_fig6_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;43;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_ablation_smoke "/root/repo/build/bench/ablation_qcr" "--nodes" "15" "--slots" "400" "--trials" "1")
+set_tests_properties(bench_ablation_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_sweep_smoke "/root/repo/build/bench/sweep_parameters" "--nodes" "12" "--slots" "300" "--trials" "1")
+set_tests_properties(bench_sweep_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;48;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_dedicated_smoke "/root/repo/build/bench/extension_dedicated" "--servers" "8" "--clients" "8" "--items" "8" "--slots" "400" "--trials" "1")
+set_tests_properties(bench_dedicated_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;50;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_dynamic_smoke "/root/repo/build/bench/extension_dynamic_demand" "--nodes" "15" "--slots" "600")
+set_tests_properties(bench_dynamic_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;53;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_communities_smoke "/root/repo/build/bench/extension_communities" "--nodes" "12" "--items" "12" "--slots" "500" "--trials" "1")
+set_tests_properties(bench_communities_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;55;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_timevarying_smoke "/root/repo/build/bench/extension_timevarying" "--nodes" "15" "--items" "15" "--days" "1" "--trials" "1")
+set_tests_properties(bench_timevarying_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;58;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emergency_dissemination.dir/emergency_dissemination.cpp.o"
+  "CMakeFiles/emergency_dissemination.dir/emergency_dissemination.cpp.o.d"
+  "emergency_dissemination"
+  "emergency_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergency_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

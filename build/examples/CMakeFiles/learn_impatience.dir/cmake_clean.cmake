@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learn_impatience.dir/learn_impatience.cpp.o"
+  "CMakeFiles/learn_impatience.dir/learn_impatience.cpp.o.d"
+  "learn_impatience"
+  "learn_impatience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learn_impatience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

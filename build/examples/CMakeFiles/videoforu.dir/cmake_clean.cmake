@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/videoforu.dir/videoforu.cpp.o"
+  "CMakeFiles/videoforu.dir/videoforu.cpp.o.d"
+  "videoforu"
+  "videoforu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/videoforu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "impatience::impatience_core" for configuration "RelWithDebInfo"
+set_property(TARGET impatience::impatience_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(impatience::impatience_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libimpatience_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets impatience::impatience_core )
+list(APPEND _cmake_import_check_files_for_impatience::impatience_core "${_IMPORT_PREFIX}/lib/libimpatience_core.a" )
+
+# Import target "impatience::impatience_alloc" for configuration "RelWithDebInfo"
+set_property(TARGET impatience::impatience_alloc APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(impatience::impatience_alloc PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libimpatience_alloc.a"
+  )
+
+list(APPEND _cmake_import_check_targets impatience::impatience_alloc )
+list(APPEND _cmake_import_check_files_for_impatience::impatience_alloc "${_IMPORT_PREFIX}/lib/libimpatience_alloc.a" )
+
+# Import target "impatience::impatience_trace" for configuration "RelWithDebInfo"
+set_property(TARGET impatience::impatience_trace APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(impatience::impatience_trace PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libimpatience_trace.a"
+  )
+
+list(APPEND _cmake_import_check_targets impatience::impatience_trace )
+list(APPEND _cmake_import_check_files_for_impatience::impatience_trace "${_IMPORT_PREFIX}/lib/libimpatience_trace.a" )
+
+# Import target "impatience::impatience_utility" for configuration "RelWithDebInfo"
+set_property(TARGET impatience::impatience_utility APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(impatience::impatience_utility PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libimpatience_utility.a"
+  )
+
+list(APPEND _cmake_import_check_targets impatience::impatience_utility )
+list(APPEND _cmake_import_check_files_for_impatience::impatience_utility "${_IMPORT_PREFIX}/lib/libimpatience_utility.a" )
+
+# Import target "impatience::impatience_stats" for configuration "RelWithDebInfo"
+set_property(TARGET impatience::impatience_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(impatience::impatience_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libimpatience_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets impatience::impatience_stats )
+list(APPEND _cmake_import_check_files_for_impatience::impatience_stats "${_IMPORT_PREFIX}/lib/libimpatience_stats.a" )
+
+# Import target "impatience::impatience_util" for configuration "RelWithDebInfo"
+set_property(TARGET impatience::impatience_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(impatience::impatience_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libimpatience_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets impatience::impatience_util )
+list(APPEND _cmake_import_check_files_for_impatience::impatience_util "${_IMPORT_PREFIX}/lib/libimpatience_util.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

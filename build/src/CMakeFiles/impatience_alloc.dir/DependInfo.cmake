@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocation.cpp" "src/CMakeFiles/impatience_alloc.dir/alloc/allocation.cpp.o" "gcc" "src/CMakeFiles/impatience_alloc.dir/alloc/allocation.cpp.o.d"
+  "/root/repo/src/alloc/gradient.cpp" "src/CMakeFiles/impatience_alloc.dir/alloc/gradient.cpp.o" "gcc" "src/CMakeFiles/impatience_alloc.dir/alloc/gradient.cpp.o.d"
+  "/root/repo/src/alloc/heuristics.cpp" "src/CMakeFiles/impatience_alloc.dir/alloc/heuristics.cpp.o" "gcc" "src/CMakeFiles/impatience_alloc.dir/alloc/heuristics.cpp.o.d"
+  "/root/repo/src/alloc/homogeneous_greedy.cpp" "src/CMakeFiles/impatience_alloc.dir/alloc/homogeneous_greedy.cpp.o" "gcc" "src/CMakeFiles/impatience_alloc.dir/alloc/homogeneous_greedy.cpp.o.d"
+  "/root/repo/src/alloc/lazy_greedy.cpp" "src/CMakeFiles/impatience_alloc.dir/alloc/lazy_greedy.cpp.o" "gcc" "src/CMakeFiles/impatience_alloc.dir/alloc/lazy_greedy.cpp.o.d"
+  "/root/repo/src/alloc/relaxed.cpp" "src/CMakeFiles/impatience_alloc.dir/alloc/relaxed.cpp.o" "gcc" "src/CMakeFiles/impatience_alloc.dir/alloc/relaxed.cpp.o.d"
+  "/root/repo/src/alloc/rounding.cpp" "src/CMakeFiles/impatience_alloc.dir/alloc/rounding.cpp.o" "gcc" "src/CMakeFiles/impatience_alloc.dir/alloc/rounding.cpp.o.d"
+  "/root/repo/src/alloc/welfare.cpp" "src/CMakeFiles/impatience_alloc.dir/alloc/welfare.cpp.o" "gcc" "src/CMakeFiles/impatience_alloc.dir/alloc/welfare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impatience_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impatience_alloc.dir/alloc/allocation.cpp.o"
+  "CMakeFiles/impatience_alloc.dir/alloc/allocation.cpp.o.d"
+  "CMakeFiles/impatience_alloc.dir/alloc/gradient.cpp.o"
+  "CMakeFiles/impatience_alloc.dir/alloc/gradient.cpp.o.d"
+  "CMakeFiles/impatience_alloc.dir/alloc/heuristics.cpp.o"
+  "CMakeFiles/impatience_alloc.dir/alloc/heuristics.cpp.o.d"
+  "CMakeFiles/impatience_alloc.dir/alloc/homogeneous_greedy.cpp.o"
+  "CMakeFiles/impatience_alloc.dir/alloc/homogeneous_greedy.cpp.o.d"
+  "CMakeFiles/impatience_alloc.dir/alloc/lazy_greedy.cpp.o"
+  "CMakeFiles/impatience_alloc.dir/alloc/lazy_greedy.cpp.o.d"
+  "CMakeFiles/impatience_alloc.dir/alloc/relaxed.cpp.o"
+  "CMakeFiles/impatience_alloc.dir/alloc/relaxed.cpp.o.d"
+  "CMakeFiles/impatience_alloc.dir/alloc/rounding.cpp.o"
+  "CMakeFiles/impatience_alloc.dir/alloc/rounding.cpp.o.d"
+  "CMakeFiles/impatience_alloc.dir/alloc/welfare.cpp.o"
+  "CMakeFiles/impatience_alloc.dir/alloc/welfare.cpp.o.d"
+  "libimpatience_alloc.a"
+  "libimpatience_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impatience_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

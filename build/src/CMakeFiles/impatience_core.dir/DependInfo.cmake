@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cpp" "src/CMakeFiles/impatience_core.dir/core/cache.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/cache.cpp.o.d"
+  "/root/repo/src/core/catalog.cpp" "src/CMakeFiles/impatience_core.dir/core/catalog.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/catalog.cpp.o.d"
+  "/root/repo/src/core/demand.cpp" "src/CMakeFiles/impatience_core.dir/core/demand.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/demand.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/impatience_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/hill_climb_policy.cpp" "src/CMakeFiles/impatience_core.dir/core/hill_climb_policy.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/hill_climb_policy.cpp.o.d"
+  "/root/repo/src/core/mandate.cpp" "src/CMakeFiles/impatience_core.dir/core/mandate.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/mandate.cpp.o.d"
+  "/root/repo/src/core/meeting.cpp" "src/CMakeFiles/impatience_core.dir/core/meeting.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/meeting.cpp.o.d"
+  "/root/repo/src/core/node.cpp" "src/CMakeFiles/impatience_core.dir/core/node.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/node.cpp.o.d"
+  "/root/repo/src/core/path_replication_policy.cpp" "src/CMakeFiles/impatience_core.dir/core/path_replication_policy.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/path_replication_policy.cpp.o.d"
+  "/root/repo/src/core/qcr_policy.cpp" "src/CMakeFiles/impatience_core.dir/core/qcr_policy.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/qcr_policy.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/impatience_core.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/impatience_core.dir/core/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impatience_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impatience_core.dir/core/cache.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/cache.cpp.o.d"
+  "CMakeFiles/impatience_core.dir/core/catalog.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/catalog.cpp.o.d"
+  "CMakeFiles/impatience_core.dir/core/demand.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/demand.cpp.o.d"
+  "CMakeFiles/impatience_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/impatience_core.dir/core/hill_climb_policy.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/hill_climb_policy.cpp.o.d"
+  "CMakeFiles/impatience_core.dir/core/mandate.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/mandate.cpp.o.d"
+  "CMakeFiles/impatience_core.dir/core/meeting.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/meeting.cpp.o.d"
+  "CMakeFiles/impatience_core.dir/core/node.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/node.cpp.o.d"
+  "CMakeFiles/impatience_core.dir/core/path_replication_policy.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/path_replication_policy.cpp.o.d"
+  "CMakeFiles/impatience_core.dir/core/qcr_policy.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/qcr_policy.cpp.o.d"
+  "CMakeFiles/impatience_core.dir/core/simulator.cpp.o"
+  "CMakeFiles/impatience_core.dir/core/simulator.cpp.o.d"
+  "libimpatience_core.a"
+  "libimpatience_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impatience_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

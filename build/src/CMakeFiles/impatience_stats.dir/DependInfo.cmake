@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/percentile.cpp" "src/CMakeFiles/impatience_stats.dir/stats/percentile.cpp.o" "gcc" "src/CMakeFiles/impatience_stats.dir/stats/percentile.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/impatience_stats.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/impatience_stats.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/CMakeFiles/impatience_stats.dir/stats/timeseries.cpp.o" "gcc" "src/CMakeFiles/impatience_stats.dir/stats/timeseries.cpp.o.d"
+  "/root/repo/src/stats/trials.cpp" "src/CMakeFiles/impatience_stats.dir/stats/trials.cpp.o" "gcc" "src/CMakeFiles/impatience_stats.dir/stats/trials.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impatience_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

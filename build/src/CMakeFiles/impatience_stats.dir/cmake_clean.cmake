@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impatience_stats.dir/stats/percentile.cpp.o"
+  "CMakeFiles/impatience_stats.dir/stats/percentile.cpp.o.d"
+  "CMakeFiles/impatience_stats.dir/stats/summary.cpp.o"
+  "CMakeFiles/impatience_stats.dir/stats/summary.cpp.o.d"
+  "CMakeFiles/impatience_stats.dir/stats/timeseries.cpp.o"
+  "CMakeFiles/impatience_stats.dir/stats/timeseries.cpp.o.d"
+  "CMakeFiles/impatience_stats.dir/stats/trials.cpp.o"
+  "CMakeFiles/impatience_stats.dir/stats/trials.cpp.o.d"
+  "libimpatience_stats.a"
+  "libimpatience_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impatience_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

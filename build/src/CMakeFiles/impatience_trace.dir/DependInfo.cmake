@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/cabspotting_like_generator.cpp" "src/CMakeFiles/impatience_trace.dir/trace/cabspotting_like_generator.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/cabspotting_like_generator.cpp.o.d"
+  "/root/repo/src/trace/cabspotting_parser.cpp" "src/CMakeFiles/impatience_trace.dir/trace/cabspotting_parser.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/cabspotting_parser.cpp.o.d"
+  "/root/repo/src/trace/community_generator.cpp" "src/CMakeFiles/impatience_trace.dir/trace/community_generator.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/community_generator.cpp.o.d"
+  "/root/repo/src/trace/contact_trace.cpp" "src/CMakeFiles/impatience_trace.dir/trace/contact_trace.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/contact_trace.cpp.o.d"
+  "/root/repo/src/trace/crawdad_parser.cpp" "src/CMakeFiles/impatience_trace.dir/trace/crawdad_parser.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/crawdad_parser.cpp.o.d"
+  "/root/repo/src/trace/heterogeneous_generator.cpp" "src/CMakeFiles/impatience_trace.dir/trace/heterogeneous_generator.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/heterogeneous_generator.cpp.o.d"
+  "/root/repo/src/trace/infocom_like_generator.cpp" "src/CMakeFiles/impatience_trace.dir/trace/infocom_like_generator.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/infocom_like_generator.cpp.o.d"
+  "/root/repo/src/trace/memoryless.cpp" "src/CMakeFiles/impatience_trace.dir/trace/memoryless.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/memoryless.cpp.o.d"
+  "/root/repo/src/trace/mobility.cpp" "src/CMakeFiles/impatience_trace.dir/trace/mobility.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/mobility.cpp.o.d"
+  "/root/repo/src/trace/one_parser.cpp" "src/CMakeFiles/impatience_trace.dir/trace/one_parser.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/one_parser.cpp.o.d"
+  "/root/repo/src/trace/poisson_generator.cpp" "src/CMakeFiles/impatience_trace.dir/trace/poisson_generator.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/poisson_generator.cpp.o.d"
+  "/root/repo/src/trace/trace_stats.cpp" "src/CMakeFiles/impatience_trace.dir/trace/trace_stats.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/trace_stats.cpp.o.d"
+  "/root/repo/src/trace/trace_writer.cpp" "src/CMakeFiles/impatience_trace.dir/trace/trace_writer.cpp.o" "gcc" "src/CMakeFiles/impatience_trace.dir/trace/trace_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impatience_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

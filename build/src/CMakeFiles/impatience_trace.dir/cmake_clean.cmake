@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impatience_trace.dir/trace/cabspotting_like_generator.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/cabspotting_like_generator.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/cabspotting_parser.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/cabspotting_parser.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/community_generator.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/community_generator.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/contact_trace.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/contact_trace.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/crawdad_parser.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/crawdad_parser.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/heterogeneous_generator.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/heterogeneous_generator.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/infocom_like_generator.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/infocom_like_generator.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/memoryless.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/memoryless.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/mobility.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/mobility.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/one_parser.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/one_parser.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/poisson_generator.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/poisson_generator.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/trace_stats.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/trace_stats.cpp.o.d"
+  "CMakeFiles/impatience_trace.dir/trace/trace_writer.cpp.o"
+  "CMakeFiles/impatience_trace.dir/trace/trace_writer.cpp.o.d"
+  "libimpatience_trace.a"
+  "libimpatience_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impatience_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impatience_util.dir/util/csv.cpp.o"
+  "CMakeFiles/impatience_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/impatience_util.dir/util/flags.cpp.o"
+  "CMakeFiles/impatience_util.dir/util/flags.cpp.o.d"
+  "CMakeFiles/impatience_util.dir/util/log.cpp.o"
+  "CMakeFiles/impatience_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/impatience_util.dir/util/math.cpp.o"
+  "CMakeFiles/impatience_util.dir/util/math.cpp.o.d"
+  "CMakeFiles/impatience_util.dir/util/rng.cpp.o"
+  "CMakeFiles/impatience_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/impatience_util.dir/util/table.cpp.o"
+  "CMakeFiles/impatience_util.dir/util/table.cpp.o.d"
+  "libimpatience_util.a"
+  "libimpatience_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impatience_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/utility/delay_utility.cpp" "src/CMakeFiles/impatience_utility.dir/utility/delay_utility.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/delay_utility.cpp.o.d"
+  "/root/repo/src/utility/discrete.cpp" "src/CMakeFiles/impatience_utility.dir/utility/discrete.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/discrete.cpp.o.d"
+  "/root/repo/src/utility/exponential.cpp" "src/CMakeFiles/impatience_utility.dir/utility/exponential.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/exponential.cpp.o.d"
+  "/root/repo/src/utility/factory.cpp" "src/CMakeFiles/impatience_utility.dir/utility/factory.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/factory.cpp.o.d"
+  "/root/repo/src/utility/fit.cpp" "src/CMakeFiles/impatience_utility.dir/utility/fit.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/fit.cpp.o.d"
+  "/root/repo/src/utility/mixture.cpp" "src/CMakeFiles/impatience_utility.dir/utility/mixture.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/mixture.cpp.o.d"
+  "/root/repo/src/utility/neg_log.cpp" "src/CMakeFiles/impatience_utility.dir/utility/neg_log.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/neg_log.cpp.o.d"
+  "/root/repo/src/utility/power.cpp" "src/CMakeFiles/impatience_utility.dir/utility/power.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/power.cpp.o.d"
+  "/root/repo/src/utility/reaction.cpp" "src/CMakeFiles/impatience_utility.dir/utility/reaction.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/reaction.cpp.o.d"
+  "/root/repo/src/utility/step.cpp" "src/CMakeFiles/impatience_utility.dir/utility/step.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/step.cpp.o.d"
+  "/root/repo/src/utility/tabulated.cpp" "src/CMakeFiles/impatience_utility.dir/utility/tabulated.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/tabulated.cpp.o.d"
+  "/root/repo/src/utility/utility_set.cpp" "src/CMakeFiles/impatience_utility.dir/utility/utility_set.cpp.o" "gcc" "src/CMakeFiles/impatience_utility.dir/utility/utility_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impatience_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impatience_utility.dir/utility/delay_utility.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/delay_utility.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/discrete.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/discrete.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/exponential.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/exponential.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/factory.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/factory.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/fit.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/fit.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/mixture.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/mixture.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/neg_log.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/neg_log.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/power.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/power.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/reaction.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/reaction.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/step.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/step.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/tabulated.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/tabulated.cpp.o.d"
+  "CMakeFiles/impatience_utility.dir/utility/utility_set.cpp.o"
+  "CMakeFiles/impatience_utility.dir/utility/utility_set.cpp.o.d"
+  "libimpatience_utility.a"
+  "libimpatience_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impatience_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libimpatience_utility.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_allocation_test.dir/alloc/allocation_test.cpp.o"
+  "CMakeFiles/alloc_allocation_test.dir/alloc/allocation_test.cpp.o.d"
+  "alloc_allocation_test"
+  "alloc_allocation_test.pdb"
+  "alloc_allocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_gradient_test.dir/alloc/gradient_test.cpp.o"
+  "CMakeFiles/alloc_gradient_test.dir/alloc/gradient_test.cpp.o.d"
+  "alloc_gradient_test"
+  "alloc_gradient_test.pdb"
+  "alloc_gradient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

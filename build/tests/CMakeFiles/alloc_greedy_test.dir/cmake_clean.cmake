@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_greedy_test.dir/alloc/greedy_test.cpp.o"
+  "CMakeFiles/alloc_greedy_test.dir/alloc/greedy_test.cpp.o.d"
+  "alloc_greedy_test"
+  "alloc_greedy_test.pdb"
+  "alloc_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_heuristics_test.dir/alloc/heuristics_test.cpp.o"
+  "CMakeFiles/alloc_heuristics_test.dir/alloc/heuristics_test.cpp.o.d"
+  "alloc_heuristics_test"
+  "alloc_heuristics_test.pdb"
+  "alloc_heuristics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_per_item_test.dir/alloc/per_item_utilities_test.cpp.o"
+  "CMakeFiles/alloc_per_item_test.dir/alloc/per_item_utilities_test.cpp.o.d"
+  "alloc_per_item_test"
+  "alloc_per_item_test.pdb"
+  "alloc_per_item_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_per_item_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_relaxed_test.dir/alloc/relaxed_test.cpp.o"
+  "CMakeFiles/alloc_relaxed_test.dir/alloc/relaxed_test.cpp.o.d"
+  "alloc_relaxed_test"
+  "alloc_relaxed_test.pdb"
+  "alloc_relaxed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_relaxed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

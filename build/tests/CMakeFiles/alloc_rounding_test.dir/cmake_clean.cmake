@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_rounding_test.dir/alloc/rounding_test.cpp.o"
+  "CMakeFiles/alloc_rounding_test.dir/alloc/rounding_test.cpp.o.d"
+  "alloc_rounding_test"
+  "alloc_rounding_test.pdb"
+  "alloc_rounding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_rounding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

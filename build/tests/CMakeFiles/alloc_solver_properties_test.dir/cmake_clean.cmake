@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_solver_properties_test.dir/alloc/solver_properties_test.cpp.o"
+  "CMakeFiles/alloc_solver_properties_test.dir/alloc/solver_properties_test.cpp.o.d"
+  "alloc_solver_properties_test"
+  "alloc_solver_properties_test.pdb"
+  "alloc_solver_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_solver_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_welfare_test.dir/alloc/welfare_test.cpp.o"
+  "CMakeFiles/alloc_welfare_test.dir/alloc/welfare_test.cpp.o.d"
+  "alloc_welfare_test"
+  "alloc_welfare_test.pdb"
+  "alloc_welfare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_welfare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cache_test.cpp" "tests/CMakeFiles/core_cache_test.dir/core/cache_test.cpp.o" "gcc" "tests/CMakeFiles/core_cache_test.dir/core/cache_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/impatience_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_utility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/impatience_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

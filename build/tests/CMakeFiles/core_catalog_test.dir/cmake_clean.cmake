@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_catalog_test.dir/core/catalog_test.cpp.o"
+  "CMakeFiles/core_catalog_test.dir/core/catalog_test.cpp.o.d"
+  "core_catalog_test"
+  "core_catalog_test.pdb"
+  "core_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_demand_test.dir/core/demand_test.cpp.o"
+  "CMakeFiles/core_demand_test.dir/core/demand_test.cpp.o.d"
+  "core_demand_test"
+  "core_demand_test.pdb"
+  "core_demand_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_demand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

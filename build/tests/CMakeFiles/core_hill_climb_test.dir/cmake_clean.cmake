@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hill_climb_test.dir/core/hill_climb_test.cpp.o"
+  "CMakeFiles/core_hill_climb_test.dir/core/hill_climb_test.cpp.o.d"
+  "core_hill_climb_test"
+  "core_hill_climb_test.pdb"
+  "core_hill_climb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hill_climb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

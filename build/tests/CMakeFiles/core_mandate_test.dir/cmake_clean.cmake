@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mandate_test.dir/core/mandate_test.cpp.o"
+  "CMakeFiles/core_mandate_test.dir/core/mandate_test.cpp.o.d"
+  "core_mandate_test"
+  "core_mandate_test.pdb"
+  "core_mandate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mandate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

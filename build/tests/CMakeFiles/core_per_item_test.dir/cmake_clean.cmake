@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_per_item_test.dir/core/per_item_simulation_test.cpp.o"
+  "CMakeFiles/core_per_item_test.dir/core/per_item_simulation_test.cpp.o.d"
+  "core_per_item_test"
+  "core_per_item_test.pdb"
+  "core_per_item_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_per_item_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_popularity_test.dir/core/popularity_test.cpp.o"
+  "CMakeFiles/core_popularity_test.dir/core/popularity_test.cpp.o.d"
+  "core_popularity_test"
+  "core_popularity_test.pdb"
+  "core_popularity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_popularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

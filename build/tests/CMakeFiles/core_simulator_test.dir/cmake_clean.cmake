@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_simulator_test.dir/core/simulator_test.cpp.o"
+  "CMakeFiles/core_simulator_test.dir/core/simulator_test.cpp.o.d"
+  "core_simulator_test"
+  "core_simulator_test.pdb"
+  "core_simulator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

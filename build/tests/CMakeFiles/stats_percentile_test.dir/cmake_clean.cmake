@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_percentile_test.dir/stats/percentile_test.cpp.o"
+  "CMakeFiles/stats_percentile_test.dir/stats/percentile_test.cpp.o.d"
+  "stats_percentile_test"
+  "stats_percentile_test.pdb"
+  "stats_percentile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_percentile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

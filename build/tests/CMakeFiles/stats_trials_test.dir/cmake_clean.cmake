@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_trials_test.dir/stats/trials_test.cpp.o"
+  "CMakeFiles/stats_trials_test.dir/stats/trials_test.cpp.o.d"
+  "stats_trials_test"
+  "stats_trials_test.pdb"
+  "stats_trials_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_trials_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_community_test.dir/trace/community_test.cpp.o"
+  "CMakeFiles/trace_community_test.dir/trace/community_test.cpp.o.d"
+  "trace_community_test"
+  "trace_community_test.pdb"
+  "trace_community_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_community_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

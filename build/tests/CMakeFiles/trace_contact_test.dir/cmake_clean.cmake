@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_contact_test.dir/trace/contact_trace_test.cpp.o"
+  "CMakeFiles/trace_contact_test.dir/trace/contact_trace_test.cpp.o.d"
+  "trace_contact_test"
+  "trace_contact_test.pdb"
+  "trace_contact_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_contact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_generators_test.dir/trace/generators_test.cpp.o"
+  "CMakeFiles/trace_generators_test.dir/trace/generators_test.cpp.o.d"
+  "trace_generators_test"
+  "trace_generators_test.pdb"
+  "trace_generators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

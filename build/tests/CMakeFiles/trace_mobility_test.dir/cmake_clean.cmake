@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_mobility_test.dir/trace/mobility_test.cpp.o"
+  "CMakeFiles/trace_mobility_test.dir/trace/mobility_test.cpp.o.d"
+  "trace_mobility_test"
+  "trace_mobility_test.pdb"
+  "trace_mobility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_parsers_test.dir/trace/parsers_test.cpp.o"
+  "CMakeFiles/trace_parsers_test.dir/trace/parsers_test.cpp.o.d"
+  "trace_parsers_test"
+  "trace_parsers_test.pdb"
+  "trace_parsers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_parsers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

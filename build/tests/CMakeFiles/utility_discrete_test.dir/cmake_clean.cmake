@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_discrete_test.dir/utility/discrete_test.cpp.o"
+  "CMakeFiles/utility_discrete_test.dir/utility/discrete_test.cpp.o.d"
+  "utility_discrete_test"
+  "utility_discrete_test.pdb"
+  "utility_discrete_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_discrete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

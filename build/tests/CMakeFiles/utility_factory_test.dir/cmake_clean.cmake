@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_factory_test.dir/utility/factory_test.cpp.o"
+  "CMakeFiles/utility_factory_test.dir/utility/factory_test.cpp.o.d"
+  "utility_factory_test"
+  "utility_factory_test.pdb"
+  "utility_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_families_test.dir/utility/families_test.cpp.o"
+  "CMakeFiles/utility_families_test.dir/utility/families_test.cpp.o.d"
+  "utility_families_test"
+  "utility_families_test.pdb"
+  "utility_families_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_families_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

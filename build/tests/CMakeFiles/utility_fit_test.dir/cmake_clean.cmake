@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_fit_test.dir/utility/fit_test.cpp.o"
+  "CMakeFiles/utility_fit_test.dir/utility/fit_test.cpp.o.d"
+  "utility_fit_test"
+  "utility_fit_test.pdb"
+  "utility_fit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_fit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

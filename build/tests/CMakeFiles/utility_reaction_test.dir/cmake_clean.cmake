@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_reaction_test.dir/utility/reaction_test.cpp.o"
+  "CMakeFiles/utility_reaction_test.dir/utility/reaction_test.cpp.o.d"
+  "utility_reaction_test"
+  "utility_reaction_test.pdb"
+  "utility_reaction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_reaction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_set_test.dir/utility/utility_set_test.cpp.o"
+  "CMakeFiles/utility_set_test.dir/utility/utility_set_test.cpp.o.d"
+  "utility_set_test"
+  "utility_set_test.pdb"
+  "utility_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

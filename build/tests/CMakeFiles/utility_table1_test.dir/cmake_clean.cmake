@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_table1_test.dir/utility/table1_test.cpp.o"
+  "CMakeFiles/utility_table1_test.dir/utility/table1_test.cpp.o.d"
+  "utility_table1_test"
+  "utility_table1_test.pdb"
+  "utility_table1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_table1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

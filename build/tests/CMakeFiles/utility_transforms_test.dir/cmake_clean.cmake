@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_transforms_test.dir/utility/transforms_test.cpp.o"
+  "CMakeFiles/utility_transforms_test.dir/utility/transforms_test.cpp.o.d"
+  "utility_transforms_test"
+  "utility_transforms_test.pdb"
+  "utility_transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
