@@ -3,15 +3,22 @@
 // normalized-loss rows the evaluation section reports.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "impatience/core/experiment.hpp"
+#include "impatience/engine/artifacts.hpp"
+#include "impatience/engine/runner.hpp"
+#include "impatience/engine/seeding.hpp"
+#include "impatience/engine/thread_pool.hpp"
 #include "impatience/stats/trials.hpp"
 #include "impatience/util/csv.hpp"
 #include "impatience/util/flags.hpp"
@@ -42,14 +49,24 @@ struct ComparisonConfig {
   bool include_qcr = true;
   core::QcrOptions qcr{};
   core::SimOptions sim{};
+  int threads = 0;       ///< engine workers; <1 = hardware concurrency
+  bool progress = false; ///< runner progress/ETA on stderr
+  std::string label = "comparison";  ///< scenario label in jobs/manifest
 };
 
 /// Runs OPT + UNI/SQRT/PROP/DOM + QCR on the scenario, `trials` times
-/// each, and reports mean observed utilities and normalized losses.
+/// each, through the parallel experiment engine, and reports mean
+/// observed utilities and normalized losses. Every (algorithm, trial)
+/// simulation draws from its own child stream of `root_seed`
+/// (engine::child_seed), so results do not depend on thread count,
+/// scheduling, or which other competitors run. When `accumulate` is
+/// given, the point's job records and samples are merged into it (for a
+/// sweep-wide manifest).
 ComparisonPoint run_comparison(const core::Scenario& scenario,
                                const utility::DelayUtility& u, double x,
                                const ComparisonConfig& config,
-                               util::Rng& rng);
+                               std::uint64_t root_seed,
+                               engine::RunReport* accumulate = nullptr);
 
 /// Prints a figure table: one row per swept value, one column per
 /// algorithm (normalized loss vs OPT in percent), plus the OPT utility.
@@ -63,6 +80,18 @@ void maybe_write_csv(const util::Flags& flags, const std::string& filename,
                      const std::string& param_name,
                      const std::vector<ComparisonPoint>& points);
 
+/// Writes the engine's JSON run manifest when --manifest-dir is given.
+/// `config` is serialized verbatim as the manifest's config block.
+void maybe_write_manifest(
+    const util::Flags& flags, const std::string& filename,
+    const engine::RunReport& report,
+    std::vector<std::pair<std::string, std::string>> config = {});
+
+/// Reads the standard engine flags (--threads, --progress) into a
+/// ComparisonConfig and announces the engine setup on stderr.
+void apply_engine_flags(const util::Flags& flags, ComparisonConfig& config,
+                        std::uint64_t root_seed);
+
 /// Standard banner so harness output is self-describing.
 void banner(const std::string& id, const std::string& what,
             std::ostream& out = std::cout);
@@ -73,37 +102,79 @@ inline ComparisonPoint run_comparison(const core::Scenario& scenario,
                                       const utility::DelayUtility& u,
                                       double x,
                                       const ComparisonConfig& config,
-                                      util::Rng& rng) {
-  ComparisonPoint point;
-  point.x = x;
-  std::map<std::string, double> totals;
+                                      std::uint64_t root_seed,
+                                      engine::RunReport* accumulate) {
+  // Placements first (serial, cheap): one child stream per trial so the
+  // competitor set is identical for every thread count.
+  std::vector<std::vector<core::NamedPlacement>> placements;
+  placements.reserve(static_cast<std::size_t>(config.trials));
   for (int trial = 0; trial < config.trials; ++trial) {
-    util::Rng placement_rng = rng.split();
-    const auto competitors =
-        core::build_competitors(scenario, u, config.opt_mode, placement_rng);
-    for (const auto& [name, placement] : competitors) {
-      util::Rng trial_rng = rng.split();
-      totals[name] += core::run_fixed(scenario, u, name, placement,
-                                      config.sim, trial_rng)
-                          .observed_utility();
+    util::Rng placement_rng(engine::child_seed(
+        root_seed, "placement", static_cast<std::uint64_t>(trial)));
+    placements.push_back(
+        core::build_competitors(scenario, u, config.opt_mode, placement_rng));
+  }
+
+  // One job per (algorithm, trial), each with its own child stream keyed
+  // by the algorithm name — adding or removing a competitor leaves the
+  // others' streams untouched.
+  std::vector<engine::JobSpec> jobs;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    for (const auto& competitor : placements[static_cast<std::size_t>(trial)]) {
+      engine::JobSpec job;
+      job.scenario = config.label;
+      job.policy = competitor.name;
+      job.trial = trial;
+      job.x = x;
+      job.seed = engine::child_seed(root_seed, competitor.name,
+                                    static_cast<std::uint64_t>(trial));
+      job.run = [&scenario, &u, &config, &competitor](util::Rng& rng) {
+        return core::run_fixed(scenario, u, competitor.name,
+                               competitor.placement, config.sim, rng)
+            .observed_utility();
+      };
+      jobs.push_back(std::move(job));
     }
     if (config.include_qcr) {
-      util::Rng trial_rng = rng.split();
-      auto result =
-          core::run_qcr(scenario, u, config.qcr, config.sim, trial_rng);
-      totals[result.policy] += result.observed_utility();
+      engine::JobSpec job;
+      job.scenario = config.label;
+      job.policy = config.qcr.mandate_routing ? "QCR" : "QCR-noMR";
+      job.trial = trial;
+      job.x = x;
+      job.seed = engine::child_seed(root_seed, job.policy,
+                                    static_cast<std::uint64_t>(trial));
+      job.run = [&scenario, &u, &config](util::Rng& rng) {
+        return core::run_qcr(scenario, u, config.qcr, config.sim, rng)
+            .observed_utility();
+      };
+      jobs.push_back(std::move(job));
     }
   }
-  for (auto& [name, total] : totals) {
-    total /= config.trials;
+
+  engine::Runner runner({config.threads, config.progress});
+  engine::RunReport report = runner.run(std::move(jobs), root_seed);
+
+  ComparisonPoint point;
+  point.x = x;
+  const auto series = report.aggregate.series_names();
+  bool have_opt = false;
+  for (const auto& name : series) {
+    if (name == "OPT") {
+      point.opt_utility = report.aggregate.band(name, x).mean;
+      have_opt = true;
+    }
   }
-  point.opt_utility = totals.at("OPT");
-  for (const auto& [name, mean] : totals) {
+  if (!have_opt) {
+    throw std::runtime_error("run_comparison: every OPT trial failed");
+  }
+  for (const auto& name : series) {
     if (name == "OPT") continue;
+    const double mean = report.aggregate.band(name, x).mean;
     point.utility[name] = mean;
     point.loss_percent[name] =
         core::normalized_loss_percent(mean, point.opt_utility);
   }
+  if (accumulate) accumulate->merge(std::move(report));
   return point;
 }
 
@@ -170,6 +241,37 @@ inline void maybe_write_csv(const util::Flags& flags,
     csv.row_strings(cells);
   }
   std::cout << "[csv] wrote " << path << '\n';
+}
+
+inline void maybe_write_manifest(
+    const util::Flags& flags, const std::string& filename,
+    const engine::RunReport& report,
+    std::vector<std::pair<std::string, std::string>> config) {
+  if (!flags.has("manifest-dir")) return;
+  const std::string path =
+      flags.get_string("manifest-dir", ".") + "/" + filename;
+  engine::ManifestInfo info;
+  info.generator = flags.program();
+  info.config = std::move(config);
+  // The manifest is auxiliary: a write failure must not abort and take
+  // the (buffered, already-computed) result tables down with it.
+  try {
+    engine::write_manifest_file(path, report, info);
+    std::cout << "[manifest] wrote " << path << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "[manifest] WARNING: " << e.what() << '\n';
+  }
+}
+
+inline void apply_engine_flags(const util::Flags& flags,
+                               ComparisonConfig& config,
+                               std::uint64_t root_seed) {
+  config.threads = flags.get_int("threads", 0);
+  config.progress = flags.get_bool("progress", false);
+  // stderr, so tables on stdout stay byte-identical across thread counts.
+  std::cerr << "[engine] threads="
+            << engine::ThreadPool::resolve_threads(config.threads)
+            << " root-seed=" << root_seed << '\n';
 }
 
 inline void banner(const std::string& id, const std::string& what,

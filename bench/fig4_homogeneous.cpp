@@ -24,11 +24,15 @@ int main(int argc, char** argv) {
 
   bench::banner("fig4", "QCR vs fixed allocations, homogeneous contacts");
 
-  util::Rng rng(seed);
   bench::ComparisonConfig config;
   config.trials = trials;
   config.opt_mode = core::OptMode::kHomogeneous;
+  bench::apply_engine_flags(flags, config, seed);
+  engine::RunReport manifest;
 
+  // Scenario traces come from per-panel child streams; every simulation
+  // below draws from its own per-(algorithm, trial) stream, so the whole
+  // figure is bit-identical for any --threads value.
   auto make_scenario = [&](util::Rng& r) {
     auto trace = trace::generate_poisson({nodes, slots, mu}, r);
     return core::make_scenario(
@@ -40,14 +44,17 @@ int main(int argc, char** argv) {
 
   // Left panel: power utility, alpha sweep.
   {
+    config.label = "fig4-power";
     std::vector<bench::ComparisonPoint> points;
+    std::uint64_t index = 0;
     for (double alpha : {-2.0, -1.5, -1.0, -0.5, 0.0, 0.5, 0.9}) {
       utility::PowerUtility u(alpha);
-      util::Rng scenario_rng = rng.split();
+      const std::uint64_t point_seed =
+          engine::child_seed(seed, "fig4-power", index++);
+      util::Rng scenario_rng(engine::child_seed(point_seed, "scenario"));
       const auto scenario = make_scenario(scenario_rng);
-      util::Rng run_rng = rng.split();
-      points.push_back(
-          bench::run_comparison(scenario, u, alpha, config, run_rng));
+      points.push_back(bench::run_comparison(scenario, u, alpha, config,
+                                             point_seed, &manifest));
     }
     bench::print_loss_table(
         "Figure 4 (left): power delay-utility, loss vs OPT (%) by alpha",
@@ -57,20 +64,34 @@ int main(int argc, char** argv) {
 
   // Right panel: step utility, tau sweep.
   {
+    config.label = "fig4-step";
     std::vector<bench::ComparisonPoint> points;
+    std::uint64_t index = 0;
     for (double tau : {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0}) {
       utility::StepUtility u(tau);
-      util::Rng scenario_rng = rng.split();
+      const std::uint64_t point_seed =
+          engine::child_seed(seed, "fig4-step", index++);
+      util::Rng scenario_rng(engine::child_seed(point_seed, "scenario"));
       const auto scenario = make_scenario(scenario_rng);
-      util::Rng run_rng = rng.split();
-      points.push_back(
-          bench::run_comparison(scenario, u, tau, config, run_rng));
+      points.push_back(bench::run_comparison(scenario, u, tau, config,
+                                             point_seed, &manifest));
     }
     bench::print_loss_table(
         "Figure 4 (right): step delay-utility, loss vs OPT (%) by tau",
         "tau", points);
     bench::maybe_write_csv(flags, "fig4_step.csv", "tau", points);
   }
+
+  manifest.root_seed = seed;
+  bench::maybe_write_manifest(
+      flags, "fig4_manifest.json", manifest,
+      {{"nodes", std::to_string(nodes)},
+       {"slots", std::to_string(slots)},
+       {"mu", std::to_string(mu)},
+       {"rho", std::to_string(rho)},
+       {"trials", std::to_string(trials)},
+       {"demand", std::to_string(total_demand)},
+       {"seed", std::to_string(seed)}});
 
   std::cout << "expected shape (paper): UNI and DOM fail at the extremes; "
                "SQRT strong;\nPROP weak for power utilities; QCR tracks "

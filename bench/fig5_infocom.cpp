@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
   bench::ComparisonConfig config;
   config.trials = trials;
   config.opt_mode = core::OptMode::kEstimated;
+  bench::apply_engine_flags(flags, config, seed);
+  engine::RunReport manifest;
 
   // Panel (a): utility over time for tau = panel_a_tau.
   {
@@ -115,11 +117,15 @@ int main(int argc, char** argv) {
                                  1000.0};
   for (int panel = 0; panel < 2; ++panel) {
     const auto& s = panel == 0 ? scenario : scenario_synth;
+    config.label = panel == 0 ? "fig5-actual" : "fig5-synth";
     std::vector<bench::ComparisonPoint> points;
+    std::uint64_t index = 0;
     for (double tau : taus) {
       utility::StepUtility u(tau);
-      util::Rng run_rng = rng.split();
-      points.push_back(bench::run_comparison(s, u, tau, config, run_rng));
+      const std::uint64_t point_seed =
+          engine::child_seed(seed, config.label, index++);
+      points.push_back(
+          bench::run_comparison(s, u, tau, config, point_seed, &manifest));
     }
     const std::string title =
         panel == 0
@@ -130,6 +136,13 @@ int main(int argc, char** argv) {
         flags, panel == 0 ? "fig5_actual.csv" : "fig5_synth.csv", "tau",
         points);
   }
+
+  manifest.root_seed = seed;
+  bench::maybe_write_manifest(flags, "fig5_manifest.json", manifest,
+                              {{"trials", std::to_string(trials)},
+                               {"rho", std::to_string(rho)},
+                               {"demand", std::to_string(total_demand)},
+                               {"seed", std::to_string(seed)}});
 
   std::cout << "expected shape (paper): DOM and PROP gain strength vs the\n"
                "homogeneous case; SQRT no longer the clear winner; QCR stays "

@@ -15,13 +15,16 @@ int main(int argc, char** argv) {
   const trace::Slot slots = flags.get_long("slots", 4000);
   const double mu = flags.get_double("mu", 0.05);
   const int trials = flags.get_int("trials", 3);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_long("seed", 271828));
 
   bench::banner("sweep", "cache size rho and popularity skew omega");
 
-  util::Rng rng(271828);
   bench::ComparisonConfig config;
   config.trials = trials;
   config.opt_mode = core::OptMode::kHomogeneous;
+  bench::apply_engine_flags(flags, config, seed);
+  engine::RunReport manifest;
 
   auto scenario_for = [&](int rho, double omega, util::Rng& r) {
     auto trace = trace::generate_poisson({nodes, slots, mu}, r);
@@ -39,14 +42,18 @@ int main(int argc, char** argv) {
 
     // rho sweep at omega = 1.
     {
+      config.label = std::string("sweep-rho-") + which;
       std::vector<bench::ComparisonPoint> points;
+      std::uint64_t index = 0;
       for (int rho : {1, 2, 5, 10}) {
-        util::Rng sr = rng.split();
+        const std::uint64_t point_seed =
+            engine::child_seed(seed, config.label, index++);
+        util::Rng sr(engine::child_seed(point_seed, "scenario"));
         const auto scenario = scenario_for(rho, 1.0, sr);
-        util::Rng rr = rng.split();
         points.push_back(bench::run_comparison(scenario, *u,
                                                static_cast<double>(rho),
-                                               config, rr));
+                                               config, point_seed,
+                                               &manifest));
       }
       bench::print_loss_table(std::string("rho sweep (omega=1, ") +
                                   u->name() + "), loss vs OPT (%)",
@@ -54,19 +61,31 @@ int main(int argc, char** argv) {
     }
     // omega sweep at rho = 5.
     {
+      config.label = std::string("sweep-omega-") + which;
       std::vector<bench::ComparisonPoint> points;
+      std::uint64_t index = 0;
       for (double omega : {0.0, 0.5, 1.0, 2.0}) {
-        util::Rng sr = rng.split();
+        const std::uint64_t point_seed =
+            engine::child_seed(seed, config.label, index++);
+        util::Rng sr(engine::child_seed(point_seed, "scenario"));
         const auto scenario = scenario_for(5, omega, sr);
-        util::Rng rr = rng.split();
-        points.push_back(
-            bench::run_comparison(scenario, *u, omega, config, rr));
+        points.push_back(bench::run_comparison(scenario, *u, omega, config,
+                                               point_seed, &manifest));
       }
       bench::print_loss_table(std::string("omega sweep (rho=5, ") +
                                   u->name() + "), loss vs OPT (%)",
                               "omega", points);
     }
   }
+
+  manifest.root_seed = seed;
+  bench::maybe_write_manifest(
+      flags, "sweep_manifest.json", manifest,
+      {{"nodes", std::to_string(nodes)},
+       {"slots", std::to_string(slots)},
+       {"mu", std::to_string(mu)},
+       {"trials", std::to_string(trials)},
+       {"seed", std::to_string(seed)}});
   std::cout << "expected shape: heuristic gaps shrink as rho grows (more "
                "room forgives\nmisallocation) and widen with omega (skew "
                "raises the stakes); QCR tracks OPT\nthroughout.\n";

@@ -1,0 +1,43 @@
+// Machine-readable run manifests: one JSON document per sweep capturing
+// the root seed, the exact configuration, per-job outcomes and wall
+// times, wall-time percentiles, and per-(policy, x) utility bands — so a
+// run can be re-derived, audited, and its throughput tracked over time.
+// Schema: docs/engine.md ("impatience.run_manifest/1").
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "impatience/engine/runner.hpp"
+
+namespace impatience::engine {
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters; non-ASCII bytes pass through).
+std::string json_escape(std::string_view s);
+
+/// Formats a double as a JSON number (round-trip precision); non-finite
+/// values become null, which JSON cannot represent as numbers.
+std::string json_number(double v);
+
+/// Run-level metadata the report itself does not know.
+struct ManifestInfo {
+  std::string generator;  ///< producing program, e.g. argv[0]
+  /// Flag/value pairs describing the configuration (git-describable:
+  /// enough to re-run the sweep), serialized in the given order.
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+/// Writes the manifest JSON for a (possibly merged) report.
+void write_manifest(std::ostream& out, const RunReport& report,
+                    const ManifestInfo& info);
+
+/// File variant; throws std::runtime_error when the file cannot be
+/// written.
+void write_manifest_file(const std::string& path, const RunReport& report,
+                         const ManifestInfo& info);
+
+}  // namespace impatience::engine

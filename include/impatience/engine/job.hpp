@@ -1,0 +1,47 @@
+// The engine's unit of work: one (scenario, policy, trial) simulation.
+//
+// A job owns everything it needs to run — a derived child seed and a
+// closure mapping an Rng to a scalar outcome — so the runner can execute
+// jobs in any order on any thread without changing results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "impatience/util/rng.hpp"
+
+namespace impatience::engine {
+
+/// One schedulable unit of work.
+struct JobSpec {
+  std::string scenario;  ///< sweep/scenario label, e.g. "fig4-power"
+  std::string policy;    ///< series the outcome belongs to, e.g. "QCR"
+  int trial = 0;         ///< trial index within (scenario, policy, x)
+  double x = 0.0;        ///< swept-parameter coordinate of the point
+  std::uint64_t seed = 0;  ///< child seed (engine::child_seed) for the Rng
+  /// The work itself. Receives an Rng freshly seeded with `seed`; returns
+  /// the scalar outcome (typically an observed utility). May throw — the
+  /// runner records the failure without killing the sweep.
+  std::function<double(util::Rng&)> run;
+};
+
+/// Outcome of one executed job.
+struct JobResult {
+  bool ok = false;
+  double value = 0.0;        ///< the closure's return value when ok
+  double wall_seconds = 0.0; ///< wall time of this job alone
+  std::string error;         ///< exception message when !ok
+};
+
+/// Spec coordinates plus result, in submission order (no closure).
+struct JobRecord {
+  std::string scenario;
+  std::string policy;
+  int trial = 0;
+  double x = 0.0;
+  std::uint64_t seed = 0;
+  JobResult result;
+};
+
+}  // namespace impatience::engine

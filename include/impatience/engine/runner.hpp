@@ -1,0 +1,64 @@
+// The experiment runner: fans a batch of jobs out over a thread pool,
+// isolates per-job failures, and merges outcomes deterministically.
+//
+// Determinism contract: each job's RNG is seeded from JobSpec::seed alone,
+// results land in a pre-sized slot per job (no shared mutable state while
+// running), and aggregation happens after the join, in submission order.
+// Hence the report — including the TrialAggregator contents — is
+// bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "impatience/engine/job.hpp"
+#include "impatience/stats/trials.hpp"
+
+namespace impatience::engine {
+
+struct RunnerOptions {
+  /// Worker threads; values < 1 mean hardware concurrency.
+  int threads = 0;
+  /// Progress + ETA lines on stderr while jobs run.
+  bool progress = false;
+  /// Seconds between progress updates.
+  double progress_interval_seconds = 1.0;
+};
+
+/// Everything a batch produced: per-job records in submission order plus
+/// the (policy, x) -> outcome samples aggregate. Mergeable across batches
+/// so a multi-point sweep can accumulate one report for its manifest.
+struct RunReport {
+  std::uint64_t root_seed = 0;  ///< as passed to Runner::run
+  int threads = 1;              ///< resolved worker count
+  double wall_seconds = 0.0;    ///< wall time of the whole batch
+  std::size_t failed = 0;       ///< jobs that threw
+  std::vector<JobRecord> jobs;  ///< submission order
+  /// Successful outcomes keyed by (policy, x); failed jobs are excluded.
+  stats::TrialAggregator aggregate;
+
+  /// Appends another batch (jobs, failures, samples, wall time). An
+  /// empty report adopts other's root seed and thread count; afterwards
+  /// they stick — callers merge batches of one sweep, which share both.
+  void merge(RunReport&& other);
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {});
+
+  /// Executes every job and returns the merged report. A job that throws
+  /// is recorded as failed (with the exception message) while its
+  /// siblings complete. `root_seed` is carried into the report/manifest
+  /// only — job seeds must already be derived (engine::child_seed).
+  RunReport run(std::vector<JobSpec> jobs, std::uint64_t root_seed = 0) const;
+
+  int threads() const noexcept { return static_cast<int>(threads_); }
+
+ private:
+  RunnerOptions options_;
+  unsigned threads_;
+};
+
+}  // namespace impatience::engine

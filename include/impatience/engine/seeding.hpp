@@ -1,0 +1,38 @@
+// Deterministic child-seed derivation for parallel experiments.
+//
+// Every job in a sweep draws from its own RNG stream whose seed is a pure
+// function of (root seed, stream tag, indices) — never of execution order,
+// thread count, or which other jobs exist. Adding or removing a competitor
+// therefore cannot perturb the streams of the remaining ones, and a sweep
+// is bit-identical whether it runs on 1 thread or 64.
+//
+// The scheme chains SplitMix64 finalization rounds over the components,
+// folding string tags in via FNV-1a. Both primitives are fixed published
+// constants, so seeds are stable across platforms and releases.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace impatience::engine {
+
+/// 64-bit FNV-1a over bytes. Stable across platforms; used to fold string
+/// stream tags (e.g. an algorithm name) into a seed chain.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// SplitMix64 finalizer: a fixed bijective mixing round. Good avalanche,
+/// so consecutive indices yield statistically independent outputs.
+inline std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Child seed for stream `tag` with up to two integer coordinates
+/// (e.g. tag = algorithm name, a = trial, b = sweep-point index).
+/// Pure function of its arguments; collisions are ~2^-64 per pair.
+std::uint64_t child_seed(std::uint64_t root, std::string_view tag,
+                         std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
+}  // namespace impatience::engine

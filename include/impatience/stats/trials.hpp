@@ -31,6 +31,15 @@ class TrialAggregator {
   /// All series names in insertion-independent (sorted) order.
   std::vector<std::string> series_names() const;
 
+  /// Raw per-trial samples for (series, x), in insertion order; throws
+  /// std::out_of_range if absent.
+  const std::vector<double>& samples(const std::string& series,
+                                     double x) const;
+
+  /// Appends every sample of `other` (series/x-wise). Deterministic:
+  /// other's samples keep their insertion order and land after ours.
+  void merge(const TrialAggregator& other);
+
  private:
   std::map<std::string, std::map<double, std::vector<double>>> data_;
 };

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the engine's concurrency tests under ThreadSanitizer and runs
+# them (`ctest -L engine`). Part of the verify routine for any change
+# that touches src/engine/ or the simulator's thread-safety assumptions.
+#
+# Equivalent presets flow (CMake >= 3.21):
+#   cmake --preset tsan && cmake --build --preset tsan -j \
+#     && ctest --preset engine-tsan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+cmake -B "$BUILD_DIR" -S . \
+  -DIMPATIENCE_SANITIZE=thread \
+  -DIMPATIENCE_BUILD_BENCH=OFF \
+  -DIMPATIENCE_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
+  engine_seeding_test engine_thread_pool_test engine_runner_test \
+  engine_artifacts_test engine_sim_parallel_test
+ctest --test-dir "$BUILD_DIR" -L engine --output-on-failure -j"$(nproc)"
+echo "engine tests clean under ThreadSanitizer"

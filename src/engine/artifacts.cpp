@@ -1,0 +1,159 @@
+#include "impatience/engine/artifacts.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "impatience/stats/percentile.hpp"
+
+namespace impatience::engine {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+namespace {
+
+std::string quoted(std::string_view s) {
+  return '"' + json_escape(s) + '"';
+}
+
+/// Wall-time percentile block (satellite: runner-throughput trajectories).
+void write_wall_time_block(std::ostream& out, const RunReport& report) {
+  std::vector<double> times;
+  times.reserve(report.jobs.size());
+  double max_t = 0.0;
+  for (const auto& job : report.jobs) {
+    times.push_back(job.result.wall_seconds);
+    if (job.result.wall_seconds > max_t) max_t = job.result.wall_seconds;
+  }
+  out << "  \"job_wall_seconds\": ";
+  if (times.empty()) {
+    out << "null";
+    return;
+  }
+  const auto ps = stats::percentiles(times, {0.50, 0.90, 0.99});
+  out << "{\"p50\": " << json_number(ps[0]) << ", \"p90\": "
+      << json_number(ps[1]) << ", \"p99\": " << json_number(ps[2])
+      << ", \"max\": " << json_number(max_t) << "}";
+}
+
+}  // namespace
+
+void write_manifest(std::ostream& out, const RunReport& report,
+                    const ManifestInfo& info) {
+  out << "{\n";
+  out << "  \"schema\": \"impatience.run_manifest/1\",\n";
+  out << "  \"generator\": " << quoted(info.generator) << ",\n";
+  out << "  \"root_seed\": " << report.root_seed << ",\n";
+  out << "  \"threads\": " << report.threads << ",\n";
+  out << "  \"wall_seconds\": " << json_number(report.wall_seconds) << ",\n";
+  out << "  \"jobs_total\": " << report.jobs.size() << ",\n";
+  out << "  \"jobs_failed\": " << report.failed << ",\n";
+
+  out << "  \"config\": {";
+  bool first = true;
+  for (const auto& [key, value] : info.config) {
+    if (!first) out << ", ";
+    first = false;
+    out << quoted(key) << ": " << quoted(value);
+  }
+  out << "},\n";
+
+  // Per-(scenario, policy, x) outcome bands — the figures' mean + 5%/95%
+  // envelope. Recomputed from the job records rather than the report's
+  // aggregate: a merged multi-sweep report can repeat an x value in
+  // different scenarios, which the (policy, x)-keyed aggregate conflates.
+  std::map<std::tuple<std::string, std::string, double>, std::vector<double>>
+      by_point;
+  for (const auto& job : report.jobs) {
+    if (job.result.ok) {
+      by_point[{job.scenario, job.policy, job.x}].push_back(job.result.value);
+    }
+  }
+  out << "  \"series\": [";
+  first = true;
+  for (const auto& [key, values] : by_point) {
+    const auto& [scenario, policy, x] = key;
+    double sum = 0.0;
+    for (double v : values) sum += v;
+    const auto band = stats::percentiles(values, {0.05, 0.95});
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"scenario\": " << quoted(scenario)
+        << ", \"policy\": " << quoted(policy)
+        << ", \"x\": " << json_number(x) << ", \"mean\": "
+        << json_number(sum / static_cast<double>(values.size()))
+        << ", \"p05\": " << json_number(band[0])
+        << ", \"p95\": " << json_number(band[1])
+        << ", \"trials\": " << values.size() << "}";
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+
+  out << "  \"jobs\": [";
+  first = true;
+  for (const auto& job : report.jobs) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"scenario\": " << quoted(job.scenario)
+        << ", \"policy\": " << quoted(job.policy)
+        << ", \"trial\": " << job.trial << ", \"x\": " << json_number(job.x)
+        << ", \"seed\": " << job.seed
+        << ", \"ok\": " << (job.result.ok ? "true" : "false")
+        << ", \"value\": " << json_number(job.result.value)
+        << ", \"wall_seconds\": " << json_number(job.result.wall_seconds);
+    if (!job.result.ok) out << ", \"error\": " << quoted(job.result.error);
+    out << "}";
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+
+  write_wall_time_block(out, report);
+  out << "\n}\n";
+}
+
+void write_manifest_file(const std::string& path, const RunReport& report,
+                         const ManifestInfo& info) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_manifest_file: cannot open " + path);
+  }
+  write_manifest(out, report, info);
+  if (!out.good()) {
+    throw std::runtime_error("write_manifest_file: write failed: " + path);
+  }
+}
+
+}  // namespace impatience::engine

@@ -1,0 +1,122 @@
+#include "impatience/engine/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "impatience/engine/thread_pool.hpp"
+
+namespace impatience::engine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+JobResult execute(const JobSpec& spec) {
+  JobResult result;
+  const auto start = Clock::now();
+  try {
+    util::Rng rng(spec.seed);
+    result.value = spec.run(rng);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown exception";
+  }
+  result.wall_seconds = seconds_since(start);
+  return result;
+}
+
+}  // namespace
+
+void RunReport::merge(RunReport&& other) {
+  if (jobs.empty()) {
+    root_seed = other.root_seed;
+    threads = other.threads;
+  }
+  wall_seconds += other.wall_seconds;
+  failed += other.failed;
+  jobs.insert(jobs.end(), std::make_move_iterator(other.jobs.begin()),
+              std::make_move_iterator(other.jobs.end()));
+  aggregate.merge(other.aggregate);
+}
+
+Runner::Runner(RunnerOptions options)
+    : options_(options),
+      threads_(ThreadPool::resolve_threads(options.threads)) {}
+
+RunReport Runner::run(std::vector<JobSpec> jobs,
+                      std::uint64_t root_seed) const {
+  RunReport report;
+  report.root_seed = root_seed;
+  report.threads = static_cast<int>(threads_);
+
+  const std::size_t n = jobs.size();
+  std::vector<JobResult> results(n);
+  std::atomic<std::size_t> done{0};
+  const auto start = Clock::now();
+
+  {
+    ThreadPool pool(threads_);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&, i] {
+        results[i] = execute(jobs[i]);
+        done.fetch_add(1, std::memory_order_release);
+      });
+    }
+    if (options_.progress) {
+      const auto interval = std::chrono::milliseconds(static_cast<long>(
+          options_.progress_interval_seconds > 0.0
+              ? options_.progress_interval_seconds * 1000.0
+              : 1000.0));
+      while (!pool.wait_idle_for(interval)) {
+        const std::size_t d = done.load(std::memory_order_acquire);
+        const double elapsed = seconds_since(start);
+        const double eta =
+            d > 0 ? elapsed * static_cast<double>(n - d) /
+                        static_cast<double>(d)
+                  : 0.0;
+        std::fprintf(stderr,
+                     "[engine] %zu/%zu jobs done, elapsed %.1fs, eta %.1fs\n",
+                     d, n, elapsed, eta);
+      }
+    }
+    pool.wait_idle();
+  }  // pool joins here; every result slot is written
+
+  report.wall_seconds = seconds_since(start);
+
+  // Merge-on-join: single-threaded from here, in submission order, so the
+  // aggregate (and therefore every band) is independent of scheduling.
+  report.jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    JobSpec& spec = jobs[i];
+    JobResult& result = results[i];
+    if (result.ok) {
+      report.aggregate.add(spec.policy, spec.x, result.value);
+    } else {
+      ++report.failed;
+      std::fprintf(stderr, "[engine] job failed: %s/%s trial %d (x=%g): %s\n",
+                   spec.scenario.c_str(), spec.policy.c_str(), spec.trial,
+                   spec.x, result.error.c_str());
+    }
+    report.jobs.push_back(JobRecord{std::move(spec.scenario),
+                                    std::move(spec.policy), spec.trial,
+                                    spec.x, spec.seed, std::move(result)});
+  }
+  if (options_.progress) {
+    std::fprintf(stderr,
+                 "[engine] %zu jobs (%zu failed) on %u threads in %.2fs\n", n,
+                 report.failed, threads_, report.wall_seconds);
+  }
+  return report;
+}
+
+}  // namespace impatience::engine

@@ -1,0 +1,27 @@
+#include "impatience/engine/seeding.hpp"
+
+namespace impatience::engine {
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t child_seed(std::uint64_t root, std::string_view tag,
+                         std::uint64_t a, std::uint64_t b) noexcept {
+  // Chain one mixing round per component. The odd constant separates the
+  // root from a plain mix64 chain started at 0, and each round's output
+  // feeds the next, so (tag, a, b) and (tag', a', b') collide only if the
+  // whole 64-bit chain state collides.
+  std::uint64_t h = mix64(root ^ 0x8f1bbcdcbfa53e0bULL);
+  h = mix64(h ^ fnv1a64(tag));
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  return h;
+}
+
+}  // namespace impatience::engine

@@ -36,6 +36,28 @@ std::vector<double> TrialAggregator::xs(const std::string& series) const {
   return out;
 }
 
+const std::vector<double>& TrialAggregator::samples(const std::string& series,
+                                                    double x) const {
+  const auto sit = data_.find(series);
+  if (sit == data_.end()) {
+    throw std::out_of_range("TrialAggregator: unknown series " + series);
+  }
+  const auto xit = sit->second.find(x);
+  if (xit == sit->second.end()) {
+    throw std::out_of_range("TrialAggregator: unknown x for " + series);
+  }
+  return xit->second;
+}
+
+void TrialAggregator::merge(const TrialAggregator& other) {
+  for (const auto& [series, by_x] : other.data_) {
+    for (const auto& [x, vals] : by_x) {
+      auto& dst = data_[series][x];
+      dst.insert(dst.end(), vals.begin(), vals.end());
+    }
+  }
+}
+
 std::vector<std::string> TrialAggregator::series_names() const {
   std::vector<std::string> out;
   out.reserve(data_.size());

@@ -1,0 +1,83 @@
+#include "impatience/engine/artifacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "impatience/engine/seeding.hpp"
+
+namespace impatience::engine {
+namespace {
+
+TEST(Artifacts, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(Artifacts, JsonNumber) {
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(INFINITY), "null");
+  // Round-trip precision: 0.1 must not be truncated to fewer digits.
+  EXPECT_EQ(std::stod(json_number(0.1)), 0.1);
+}
+
+RunReport sample_report() {
+  std::vector<JobSpec> jobs;
+  for (int t = 0; t < 4; ++t) {
+    JobSpec job;
+    job.scenario = "unit";
+    job.policy = t < 2 ? "QCR" : "OPT";
+    job.trial = t % 2;
+    job.x = 0.5;
+    job.seed = child_seed(9, job.policy, static_cast<std::uint64_t>(t));
+    job.run = [t](util::Rng&) {
+      if (t == 3) throw std::runtime_error("bad \"quote\" job");
+      return static_cast<double>(t);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return Runner({.threads = 2}).run(std::move(jobs), 9);
+}
+
+TEST(Artifacts, ManifestContainsSchemaSeriesJobsAndPercentiles) {
+  const RunReport report = sample_report();
+  std::ostringstream out;
+  write_manifest(out, report, {"unit_test", {{"trials", "2"}}});
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"schema\": \"impatience.run_manifest/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"generator\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"root_seed\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"trials\": \"2\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_failed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"policy\": \"QCR\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // The failing job's message survives, escaped.
+  EXPECT_NE(json.find("bad \\\"quote\\\" job"), std::string::npos);
+
+  // Structural smoke check: braces and brackets balance.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Artifacts, WriteFileThrowsOnBadPath) {
+  EXPECT_THROW(write_manifest_file("/nonexistent-dir/x.json",
+                                   sample_report(), {"t", {}}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace impatience::engine

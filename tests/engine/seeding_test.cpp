@@ -1,0 +1,72 @@
+#include "impatience/engine/seeding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "impatience/util/rng.hpp"
+
+namespace impatience::engine {
+namespace {
+
+TEST(Seeding, Fnv1a64KnownVectors) {
+  // Published FNV-1a test vectors: stability across platforms/releases.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Seeding, ChildSeedIsPureFunction) {
+  EXPECT_EQ(child_seed(42, "QCR", 3), child_seed(42, "QCR", 3));
+  EXPECT_EQ(child_seed(7, "placement", 0, 5),
+            child_seed(7, "placement", 0, 5));
+}
+
+TEST(Seeding, ChildSeedSeparatesEveryComponent) {
+  const std::uint64_t base = child_seed(42, "QCR", 3, 1);
+  EXPECT_NE(base, child_seed(43, "QCR", 3, 1));   // root
+  EXPECT_NE(base, child_seed(42, "OPT", 3, 1));   // tag
+  EXPECT_NE(base, child_seed(42, "QCR", 4, 1));   // a
+  EXPECT_NE(base, child_seed(42, "QCR", 3, 2));   // b
+}
+
+TEST(Seeding, NoDuplicatesAcross10kJobs) {
+  // The sweep shape the benches use: policies x trials x points.
+  const std::vector<std::string> policies{"OPT", "UNI", "SQRT", "PROP",
+                                          "DOM", "QCR", "placement", "rule"};
+  std::set<std::uint64_t> seeds;
+  std::size_t jobs = 0;
+  for (const auto& policy : policies) {
+    for (std::uint64_t trial = 0; trial < 25; ++trial) {
+      for (std::uint64_t point = 0; point < 50; ++point) {
+        seeds.insert(child_seed(2009, policy, trial, point));
+        ++jobs;
+      }
+    }
+  }
+  EXPECT_EQ(jobs, 10000u);
+  EXPECT_EQ(seeds.size(), jobs);
+}
+
+TEST(Seeding, SiblingStreamsAreStatisticallyIndependent) {
+  // Consecutive trial indices must not produce correlated Rng streams.
+  util::Rng a(child_seed(123, "QCR", 0));
+  util::Rng b(child_seed(123, "QCR", 1));
+  int equal = 0;
+  double corr_sum = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double ua = a.uniform();
+    const double ub = b.uniform();
+    if (ua == ub) ++equal;
+    corr_sum += (ua - 0.5) * (ub - 0.5);
+  }
+  EXPECT_LT(equal, 3);
+  // Sample covariance of independent U(0,1) ~ N(0, (1/12)/sqrt(n)).
+  EXPECT_LT(std::abs(corr_sum / n), 0.01);
+}
+
+}  // namespace
+}  // namespace impatience::engine

@@ -1,0 +1,91 @@
+#include "impatience/engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace impatience::engine {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAfterWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, WaitIdleForTimesOutWhileBusy) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  EXPECT_FALSE(pool.wait_idle_for(std::chrono::milliseconds(20)));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_one();
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, WorkersActuallyRunConcurrently) {
+  // Two tasks that each wait for the other can only finish when two
+  // workers execute them at the same time.
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  auto rendezvous = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++arrived;
+    cv.notify_all();
+    cv.wait(lock, [&] { return arrived >= 2; });
+  };
+  pool.submit(rendezvous);
+  pool.submit(rendezvous);
+  pool.wait_idle();
+  EXPECT_EQ(arrived, 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after draining
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ResolveThreads) {
+  EXPECT_EQ(ThreadPool::resolve_threads(3), 3u);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), 1u);
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_GE(ThreadPool::resolve_threads(-2), 1u);
+}
+
+}  // namespace
+}  // namespace impatience::engine

@@ -61,5 +61,30 @@ TEST(TrialAggregator, SeriesNames) {
   EXPECT_EQ(names[1], "zeta");
 }
 
+TEST(TrialAggregator, SamplesKeepInsertionOrder) {
+  TrialAggregator agg;
+  agg.add("A", 1.0, 3.0);
+  agg.add("A", 1.0, 1.0);
+  agg.add("A", 1.0, 2.0);
+  const std::vector<double> expected{3.0, 1.0, 2.0};
+  EXPECT_EQ(agg.samples("A", 1.0), expected);
+  EXPECT_THROW(agg.samples("B", 1.0), std::out_of_range);
+  EXPECT_THROW(agg.samples("A", 9.0), std::out_of_range);
+}
+
+TEST(TrialAggregator, MergeAppendsOtherSamples) {
+  TrialAggregator a;
+  a.add("S", 1.0, 1.0);
+  TrialAggregator b;
+  b.add("S", 1.0, 2.0);
+  b.add("S", 2.0, 3.0);
+  b.add("T", 1.0, 4.0);
+  a.merge(b);
+  const std::vector<double> merged{1.0, 2.0};
+  EXPECT_EQ(a.samples("S", 1.0), merged);
+  EXPECT_DOUBLE_EQ(a.band("S", 2.0).mean, 3.0);
+  EXPECT_DOUBLE_EQ(a.band("T", 1.0).mean, 4.0);
+}
+
 }  // namespace
 }  // namespace impatience::stats
