@@ -1,0 +1,143 @@
+// Incremental marginal-gain oracle for the heterogeneous welfare of
+// Lemma 1 — the hot path of the paper's GREEDY (Theorem 1).
+//
+// The naive alloc::marginal_gain revalidates the whole context, rescans
+// the item's holder list per client and re-evaluates both utility
+// transforms on every call. The oracle validates once at construction
+// and maintains, per (item, client),
+//
+//   M[i][n]     = sum over holders m of item i of mu_{m,n}   (self excluded)
+//   holds[i][n] = number of holders of i co-located with client n
+//
+// updated in O(|holders| * |clients|) on each add/remove — placements are
+// rare next to marginal evaluations, which become two utility lookups per
+// client with no holder loop. The "before" gain per (item, client) is
+// cached and refreshed lazily on the first evaluation after the item's
+// holder set changes, and transform evaluations are memoized exactly
+// (keyed on the bit pattern of M, shared across items with identical
+// utilities), in the spirit of CELF-style lazy submodular maximization
+// (Leskovec et al., see PAPERS.md).
+//
+// Bit-identity: M rows are refreshed by folding holder rates in ascending
+// server order — the exact summation order of Placement::holders() — and
+// the gain kernel is shared with welfare.cpp, so marginal() returns the
+// same bits as alloc::marginal_gain and welfare() the same bits as
+// welfare_heterogeneous on the tracked placement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "impatience/alloc/welfare.hpp"
+
+namespace impatience::alloc {
+
+class MarginalOracle {
+ public:
+  /// Every item shares one delay-utility. The referenced rate matrix,
+  /// demand vector, utility and popularity profile must outlive the
+  /// oracle (node lists are only read during construction).
+  MarginalOracle(const trace::RateMatrix& rates,
+                 const std::vector<double>& demand,
+                 const utility::DelayUtility& u,
+                 const std::vector<NodeId>& servers,
+                 const std::vector<NodeId>& clients, ItemId num_items,
+                 const std::optional<PopularityProfile>& popularity =
+                     std::nullopt);
+
+  /// Per-item delay-utilities; item count is utilities.size(). Items with
+  /// behaviourally identical utilities (UtilitySet::duplicate_of) share
+  /// one transform memo.
+  MarginalOracle(const trace::RateMatrix& rates,
+                 const std::vector<double>& demand,
+                 const utility::UtilitySet& utilities,
+                 const std::vector<NodeId>& servers,
+                 const std::vector<NodeId>& clients,
+                 const std::optional<PopularityProfile>& popularity =
+                     std::nullopt);
+
+  ItemId num_items() const noexcept { return num_items_; }
+  NodeId num_servers() const noexcept { return num_servers_; }
+  std::size_t num_clients() const noexcept { return num_clients_; }
+
+  /// True if (item, server) is in the tracked placement.
+  bool has(ItemId item, NodeId server) const;
+
+  /// Marginal welfare of adding (item, server); bit-identical to
+  /// alloc::marginal_gain on the tracked placement. Throws
+  /// std::logic_error if the replica is already present.
+  double marginal(ItemId item, NodeId server) const;
+
+  /// Registers / removes a replica (O(|holders| * |clients|) exact row
+  /// refresh). Throws std::logic_error on duplicate add / absent remove.
+  void add(ItemId item, NodeId server);
+  void remove(ItemId item, NodeId server);
+
+  /// Re-seeds the tracked placement from an explicit one (same item and
+  /// server counts required).
+  void reset(const Placement& placement);
+
+  /// Welfare of the tracked placement; bit-identical to
+  /// welfare_heterogeneous.
+  double welfare() const;
+
+ private:
+  void validate_and_index(const trace::RateMatrix& rates,
+                          const std::vector<NodeId>& servers,
+                          const std::vector<NodeId>& clients,
+                          const std::optional<PopularityProfile>& popularity);
+  void check_ids(ItemId item, NodeId server) const;
+  void refresh_item(ItemId item);
+  void refresh_gain0(ItemId item) const;
+  double memoized_gain(std::size_t memo, const utility::DelayUtility& u,
+                       double M) const;
+  const double* pi_row(ItemId item) const {
+    return pi_.empty() ? nullptr : pi_.data() + static_cast<std::size_t>(item) *
+                                                    num_clients_;
+  }
+
+  ItemId num_items_ = 0;
+  NodeId num_servers_ = 0;
+  std::size_t num_clients_ = 0;
+
+  const std::vector<double>* demand_ = nullptr;
+  std::vector<const utility::DelayUtility*> utility_;  // per item
+  std::vector<std::size_t> memo_index_;                // item -> memo slot
+
+  // Dense server-by-client submatrix of the rate matrix, plus a
+  // co-location flag (servers[s] == clients[n]).
+  std::vector<double> rate_;        // [s * C + n]
+  std::vector<std::uint8_t> self_;  // [s * C + n]
+
+  // Popularity pi[i][n]; empty means uniform 1/|C|.
+  std::vector<double> pi_;
+  double uniform_pi_ = 0.0;
+
+  // Tracked placement state.
+  std::vector<std::vector<NodeId>> holders_;  // per item, ascending
+  std::vector<double> M_;                     // [i * C + n]
+  std::vector<std::uint16_t> holds_;          // [i * C + n]
+
+  // Cached "before" gains, refreshed lazily per item (mutable: marginal()
+  // is logically const).
+  mutable std::vector<double> gain0_;        // [i * C + n]
+  mutable std::vector<std::uint8_t> gain0_dirty_;  // per item
+
+  // Exact transform memo: bit pattern of M -> request gain (holds=false).
+  mutable std::vector<std::unordered_map<std::uint64_t, double>> memos_;
+
+  // Fast path for items with no replicas under uniform popularity: the
+  // client sum of marginal() then depends on the item only through its
+  // memo slot, so the per-server delta (bit-identical to the generic
+  // loop) is cached once per (memo slot, server). Depends only on the
+  // rate submatrix and the utility, never invalidated by add/remove.
+  double empty_delta(std::size_t memo, const utility::DelayUtility& u,
+                     NodeId server) const;
+  mutable std::vector<std::vector<double>> empty_delta_;
+  mutable std::vector<std::vector<std::uint8_t>> empty_delta_valid_;
+};
+
+}  // namespace impatience::alloc

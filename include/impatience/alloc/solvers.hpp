@@ -90,6 +90,31 @@ Placement lazy_greedy_placement(const trace::RateMatrix& rates,
                                 const std::optional<PopularityProfile>&
                                     popularity = std::nullopt);
 
+/// Reference implementation of lazy_greedy_placement evaluating every
+/// marginal through the naive alloc::marginal_gain (full revalidation +
+/// holder rescan per call). Returns a bit-identical placement; kept for
+/// the oracle-equivalence tests and the micro-benchmarks that measure
+/// the incremental oracle's speedup. Do not use in experiment drivers.
+Placement lazy_greedy_placement_naive(const trace::RateMatrix& rates,
+                                      const std::vector<double>& demand,
+                                      const utility::DelayUtility& u,
+                                      const std::vector<NodeId>& servers,
+                                      const std::vector<NodeId>& clients,
+                                      ItemId num_items,
+                                      int capacity_per_server,
+                                      const std::optional<PopularityProfile>&
+                                          popularity = std::nullopt);
+
+Placement lazy_greedy_placement_naive(const trace::RateMatrix& rates,
+                                      const std::vector<double>& demand,
+                                      const utility::UtilitySet& utilities,
+                                      const std::vector<NodeId>& servers,
+                                      const std::vector<NodeId>& clients,
+                                      ItemId num_items,
+                                      int capacity_per_server,
+                                      const std::optional<PopularityProfile>&
+                                          popularity = std::nullopt);
+
 /// Convenience: pure-P2P lazy greedy over all nodes of the rate matrix.
 Placement lazy_greedy_pure_p2p(const trace::RateMatrix& rates,
                                const std::vector<double>& demand,

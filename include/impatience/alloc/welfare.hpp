@@ -85,8 +85,11 @@ double welfare_pure_p2p(const Placement& placement,
                         const std::vector<double>& demand,
                         const utility::DelayUtility& u);
 
-/// Marginal welfare of adding a replica of `item` at `server` (used by the
-/// lazy greedy solver; must match welfare_heterogeneous differences).
+/// Marginal welfare of adding a replica of `item` at `server` (must match
+/// welfare_heterogeneous differences). This is the naive reference
+/// implementation — it revalidates the context and rescans the holder
+/// list per call; the solvers evaluate marginals through the incremental
+/// alloc::MarginalOracle (oracle.hpp), which returns identical bits.
 double marginal_gain(const Placement& placement,
                      const trace::RateMatrix& rates,
                      const std::vector<double>& demand,

@@ -4,6 +4,7 @@
 // eviction).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -45,10 +46,25 @@ class Cache {
   /// sticky.
   void erase(ItemId item);
 
+  /// Called with (item, +1) after every successful insert (including the
+  /// pin_sticky insert path) and (item, -1) after every erase/eviction.
+  /// Lets the simulator maintain global replica counts incrementally
+  /// instead of rescanning every cache per sample. At most one listener;
+  /// it must not re-enter the cache.
+  using ChangeListener = std::function<void(ItemId, int)>;
+  void set_change_listener(ChangeListener listener) {
+    listener_ = std::move(listener);
+  }
+
  private:
+  void notify(ItemId item, int delta) const {
+    if (listener_) listener_(item, delta);
+  }
+
   int capacity_;
   std::vector<ItemId> items_;
   std::optional<ItemId> sticky_;
+  ChangeListener listener_;
 };
 
 }  // namespace impatience::core

@@ -34,6 +34,11 @@ class DemandProcess {
   /// Poisson(total demand), each is an independent (item, node) draw.
   std::vector<NewRequest> sample_slot(util::Rng& rng) const;
 
+  /// Same draw into a caller-owned buffer (cleared first). The simulator
+  /// reuses one buffer across slots so the per-slot allocation of the
+  /// returning overload disappears from the hot loop.
+  void sample_slot(util::Rng& rng, std::vector<NewRequest>& out) const;
+
   double total_rate() const noexcept { return total_rate_; }
   const std::vector<NodeId>& clients() const noexcept { return clients_; }
 

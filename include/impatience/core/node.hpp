@@ -4,6 +4,7 @@
 // mandates regardless of role.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -50,6 +51,18 @@ class Node {
   /// Registers a new request. Throws std::logic_error for non-clients.
   void create_request(ItemId item, Slot now);
 
+  /// True if at least one pending request targets `item`. O(1) via a
+  /// per-item counter maintained by create_request/note_fulfilled; lets
+  /// the meeting protocol skip the fulfilment scan when the provider's
+  /// cache holds nothing this node is waiting for.
+  bool has_pending(ItemId item) const noexcept {
+    return pending_count_[item] != 0;
+  }
+
+  /// Records that one pending request for `item` left the pending list
+  /// (fulfilled). Must be called once per removed request.
+  void note_fulfilled(ItemId item) noexcept { --pending_count_[item]; }
+
   /// True if this node holds a replica of the item (servers only).
   bool holds(ItemId item) const noexcept {
     return cache_ && cache_->contains(item);
@@ -61,6 +74,7 @@ class Node {
   std::optional<Cache> cache_;
   MandateBag mandates_;
   std::vector<PendingRequest> pending_;
+  std::vector<std::uint32_t> pending_count_;  // outstanding requests per item
 };
 
 }  // namespace impatience::core

@@ -24,6 +24,15 @@ struct ContactEvent {
   friend bool operator==(const ContactEvent&, const ContactEvent&) = default;
 };
 
+/// Aggregate contact total of one unordered node pair (canonical a < b).
+struct PairContacts {
+  NodeId a;
+  NodeId b;
+  std::size_t count;
+
+  friend bool operator==(const PairContacts&, const PairContacts&) = default;
+};
+
 /// An immutable, slot-sorted contact trace over nodes [0, num_nodes).
 class ContactTrace {
  public:
@@ -48,7 +57,15 @@ class ContactTrace {
   /// Sub-trace covering slots [from, to) re-based to start at slot 0.
   ContactTrace slice(Slot from, Slot to) const;
 
-  /// Total contacts between the given (unordered) pair.
+  /// Per-pair contact totals, sorted by (a, b); pairs that never meet are
+  /// absent. Built in a single pass at construction, so rate estimation
+  /// and pair queries need not rescan the event list.
+  const std::vector<PairContacts>& pair_counts() const noexcept {
+    return pair_counts_;
+  }
+
+  /// Total contacts between the given (unordered) pair. O(log P) lookup
+  /// in the pair_counts() index.
   std::size_t pair_count(NodeId a, NodeId b) const;
 
  private:
@@ -57,6 +74,7 @@ class ContactTrace {
   std::vector<ContactEvent> events_;
   /// slot_begin_[s] = index of the first event with slot >= s.
   std::vector<std::size_t> slot_begin_;
+  std::vector<PairContacts> pair_counts_;
 };
 
 }  // namespace impatience::trace

@@ -2,9 +2,63 @@
 // and small conveniences used by the delay-utility transforms.
 #pragma once
 
+#include <cmath>
 #include <functional>
+#include <type_traits>
 
 namespace impatience::util {
+
+namespace detail {
+
+inline double simpson_rule(double fa, double fm, double fb, double a,
+                           double b) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+template <typename F>
+double simpson_adaptive(F& f, double a, double b, double fa, double fm,
+                        double fb, double whole, double tol, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson_rule(fa, flm, fm, a, m);
+  const double right = simpson_rule(fm, frm, fb, m, b);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return simpson_adaptive(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         simpson_adaptive(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+template <typename F>
+double integrate_impl(F& f, double a, double b, double tol, int max_depth) {
+  if (a == b) return 0.0;
+  if (a > b) return -integrate_impl(f, b, a, tol, max_depth);
+  const double m = 0.5 * (a + b);
+  const double fa = f(a);
+  const double fm = f(m);
+  const double fb = f(b);
+  const double whole = simpson_rule(fa, fm, fb, a, b);
+  return simpson_adaptive(f, a, b, fa, fm, fb, whole, tol, max_depth);
+}
+
+template <typename F>
+double integrate_to_inf_impl(F& f, double tol) {
+  // t = u/(1-u), dt = du/(1-u)^2, u in (0,1). Sample strictly inside to
+  // avoid the endpoint singularities of the substitution.
+  auto g = [&f](double u) {
+    const double one_minus = 1.0 - u;
+    const double t = u / one_minus;
+    return f(t) / (one_minus * one_minus);
+  };
+  constexpr double kEps = 1e-12;
+  return integrate_impl(g, kEps, 1.0 - kEps, tol, 48);
+}
+
+}  // namespace detail
 
 /// Adaptive Simpson quadrature of f over [a, b] to absolute tolerance tol.
 /// The integrand must be finite on (a, b); endpoint singularities should be
@@ -12,10 +66,29 @@ namespace impatience::util {
 double integrate(const std::function<double(double)>& f, double a, double b,
                  double tol = 1e-10, int max_depth = 48);
 
+/// Templated overload: quadrature without std::function dispatch. Inner
+/// loops (the delay-utility transform defaults, the CachedTransform table
+/// builder) call this with a concrete lambda so the integrand inlines.
+template <typename F,
+          typename = std::enable_if_t<!std::is_same_v<
+              std::remove_cvref_t<F>, std::function<double(double)>>>>
+double integrate(F&& f, double a, double b, double tol = 1e-10,
+                 int max_depth = 48) {
+  return detail::integrate_impl(f, a, b, tol, max_depth);
+}
+
 /// Integral of f over [0, inf) via the substitution t = u / (1 - u).
 /// Suitable for integrands decaying at infinity (e.g., e^{-Mt} * c(t)).
 double integrate_to_inf(const std::function<double(double)>& f,
                         double tol = 1e-10);
+
+/// Templated overload, same contract without std::function dispatch.
+template <typename F,
+          typename = std::enable_if_t<!std::is_same_v<
+              std::remove_cvref_t<F>, std::function<double(double)>>>>
+double integrate_to_inf(F&& f, double tol = 1e-10) {
+  return detail::integrate_to_inf_impl(f, tol);
+}
 
 /// Bisection root finding: returns x in [lo, hi] with f(x) ~= 0.
 /// Requires sign(f(lo)) != sign(f(hi)). Tolerance is on the interval width.

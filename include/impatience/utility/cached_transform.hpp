@@ -1,0 +1,83 @@
+// Transform memoization: a DelayUtility wrapper that tabulates the
+// Laplace-type transforms L(M), T(M) and the expected gain E[h(Y)] on a
+// log-spaced, error-refined grid of M and answers queries by monotone
+// piecewise-linear interpolation in log M.
+//
+// The transforms are the single hot kernel of the heterogeneous welfare
+// machinery: every marginal-gain evaluation costs two of them, and for
+// families without closed forms (tabulated impatience curves, mixtures,
+// anything user-defined via differential()) each call is an adaptive
+// Simpson quadrature. Tabulating trades a one-off build for O(log P)
+// lookups with a configurable absolute-error bound.
+//
+// Outside the grid range — M below m_min, above m_max, non-finite — the
+// wrapper falls back to the base utility's exact (Simpson or closed-form)
+// transform, so accuracy never degrades silently at the extremes. A
+// column whose exact evaluation throws or produces non-finite values
+// anywhere on the grid (e.g. the divergent L(M) of unbounded-at-zero
+// power utilities) is not cached at all and always delegates.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "impatience/utility/delay_utility.hpp"
+#include "impatience/utility/utility_set.hpp"
+
+namespace impatience::utility {
+
+namespace detail {
+struct TransformTable;
+}
+
+struct CachedTransformOptions {
+  double m_min = 1e-6;     ///< lower edge of the cached M range
+  double m_max = 1e6;      ///< upper edge of the cached M range
+  double abs_error = 1e-9; ///< max absolute interpolation error on the range
+  int initial_points = 65; ///< log-spaced seed grid per column (>= 2)
+  int max_refine_depth = 24; ///< per-interval bisection cap
+};
+
+/// Decorates a DelayUtility with tabulated transforms. Point evaluations
+/// (value, value_at_zero, differential, ...) delegate unchanged; only the
+/// integral transforms are memoized. clone() and the copy constructor
+/// share the immutable table, so a UtilitySet of clones costs one build.
+class CachedTransform final : public DelayUtility {
+ public:
+  explicit CachedTransform(const DelayUtility& base,
+                           const CachedTransformOptions& options = {});
+  CachedTransform(const CachedTransform& other);
+  ~CachedTransform() override;
+
+  double value(double t) const override;
+  double value_at_zero() const override;
+  double value_at_inf() const override;
+  double differential(double t) const override;
+
+  double loss_transform(double M) const override;
+  double time_weighted_transform(double M) const override;
+  double expected_gain(double M) const override;
+
+  /// "cached(<base name>)" — distinct bases stay distinct under
+  /// UtilitySet::duplicate_of, so wrapped sets dedup like unwrapped ones.
+  std::string name() const override;
+  std::unique_ptr<DelayUtility> clone() const override;
+
+  const DelayUtility& base() const noexcept { return *base_; }
+
+  /// Total tabulated points across the cached columns (diagnostics).
+  std::size_t table_points() const noexcept;
+
+ private:
+  std::unique_ptr<DelayUtility> base_;
+  std::shared_ptr<const detail::TransformTable> table_;
+};
+
+/// Wrap every item of a UtilitySet in a CachedTransform, building one
+/// table per *distinct* utility (UtilitySet::duplicate_of, keyed on
+/// name()) and sharing it across duplicates — a 1000-item catalog with
+/// one impatience profile builds a single table.
+UtilitySet make_cached(const UtilitySet& utilities,
+                       const CachedTransformOptions& options = {});
+
+}  // namespace impatience::utility

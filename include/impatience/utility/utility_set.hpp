@@ -36,6 +36,14 @@ class UtilitySet {
   /// True if every item's utility has finite h(0+).
   bool all_bounded_at_zero() const;
 
+  /// duplicate_of()[i] is the index of the first item whose utility is
+  /// behaviourally identical to item i's, keyed on name() — the built-in
+  /// families encode every parameter in their name. Items mapping to the
+  /// same index can share transform caches (MarginalOracle memos, the
+  /// CachedTransform tables of make_cached), so a large catalog with one
+  /// shared impatience profile builds one table.
+  std::vector<std::size_t> duplicate_of() const;
+
  private:
   std::vector<std::unique_ptr<DelayUtility>> utilities_;
 };

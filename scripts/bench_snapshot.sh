@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Perf snapshot for the greedy/simulator hot paths (see docs/perf.md).
+#
+# Runs the oracle-vs-naive micro-benchmarks — marginal-gain evaluation,
+# the fig5-like end-to-end greedy (98 nodes, 500 items) and the transform
+# memo — and writes the google-benchmark JSON to BENCH_PR2.json so the
+# perf trajectory is tracked in-repo. The naive benches ARE the "before"
+# numbers: they run the pre-oracle evaluation paths on the same instance.
+#
+# Usage:
+#   scripts/bench_snapshot.sh                 # full snapshot -> BENCH_PR2.json
+#   scripts/bench_snapshot.sh --check         # ~2 s smoke, no JSON written
+#   scripts/bench_snapshot.sh --bin PATH      # use an existing binary
+#   scripts/bench_snapshot.sh --out FILE      # JSON destination
+#
+# Without --bin the script configures and builds a Release tree in
+# build-bench/ (benchmarks from unoptimized trees are not comparable).
+set -euo pipefail
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BIN=""
+OUT="$ROOT/BENCH_PR2.json"
+CHECK=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --check) CHECK=1 ;;
+    --bin) BIN="$2"; shift ;;
+    --out) OUT="$2"; shift ;;
+    *) echo "bench_snapshot.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ -z "$BIN" ]]; then
+  cmake -S "$ROOT" -B "$ROOT/build-bench" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$ROOT/build-bench" --target micro_benchmarks -j
+  BIN="$ROOT/build-bench/bench/micro_benchmarks"
+fi
+
+FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached)$'
+
+if [[ "$CHECK" == 1 ]]; then
+  # Smoke subset: skip the end-to-end greedy benches (the naive baseline
+  # alone takes ~1 s per iteration) and cap the per-bench time so the
+  # whole run stays around two seconds. Exercises the shared fig5
+  # instance setup, both marginal paths and the placement identity check
+  # is covered by ctest -L perf instead.
+  exec "$BIN" \
+    --benchmark_filter='BM_(MarginalGainNaive|MarginalOracle|LossTransformTabulated|LossTransformCached)$' \
+    --benchmark_min_time=0.05
+fi
+
+"$BIN" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true
+echo "wrote $OUT"

@@ -1,0 +1,35 @@
+// Internal: the per-request gain kernel shared by the naive welfare
+// evaluators (welfare.cpp) and the incremental MarginalOracle
+// (oracle.cpp). Keeping a single definition is what makes the oracle's
+// marginals bit-identical to alloc::marginal_gain — both paths execute
+// the same floating-point operations on the same inputs.
+#pragma once
+
+#include <stdexcept>
+
+#include "impatience/utility/delay_utility.hpp"
+
+namespace impatience::alloc::detail {
+
+/// Expected gain of a single request given aggregate fulfilment rate M
+/// (sum of holder meeting rates towards the client) and whether the
+/// client itself already holds the item.
+inline double request_gain(const utility::DelayUtility& u, double M,
+                           bool client_holds) {
+  if (u.bounded_at_zero()) {
+    const double h0 = u.value_at_zero();
+    if (client_holds) return h0;
+    if (M <= 0.0) return u.value_at_inf();
+    return h0 - u.loss_transform(M);
+  }
+  if (client_holds) {
+    throw std::domain_error(
+        "welfare: unbounded-at-zero utility with client-held replica "
+        "(immediate fulfilment); the paper restricts these utilities to "
+        "the dedicated-node case");
+  }
+  if (M <= 0.0) return u.value_at_inf();
+  return u.expected_gain(M);
+}
+
+}  // namespace impatience::alloc::detail

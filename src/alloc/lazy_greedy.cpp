@@ -1,7 +1,9 @@
 #include <cmath>
+#include <cstdint>
 #include <queue>
 #include <stdexcept>
 
+#include "impatience/alloc/oracle.hpp"
 #include "impatience/alloc/solvers.hpp"
 
 namespace impatience::alloc {
@@ -15,17 +17,76 @@ double ordered(double delta, double demand) {
   return delta > 0.0 ? 1e280 * (1.0 + demand) : -1e280;
 }
 
-/// Core lazy greedy over a marginal oracle.
-/// Eval: double (const Placement&, ItemId, NodeId) — marginal welfare of
-/// adding (item, server) to the current placement.
-template <typename Eval>
-Placement lazy_greedy_impl(const std::vector<double>& demand,
-                           Eval&& eval_marginal, NodeId num_servers,
-                           ItemId num_items, int capacity_per_server) {
+/// Lazy greedy over the incremental oracle. A candidate's marginal
+/// depends on the placement only through its item's holder set, so each
+/// heap entry records the item's revision at evaluation time: on pop, an
+/// unchanged revision means a recomputation would return the same bits —
+/// the stored bound IS fresh — and the re-evaluation is skipped. This
+/// yields the exact heap-operation sequence (hence placement) of the
+/// naive implementation, minus the redundant oracle calls.
+Placement lazy_greedy_core(MarginalOracle& oracle,
+                           const std::vector<double>& demand,
+                           NodeId num_servers, ItemId num_items,
+                           int capacity_per_server) {
   Placement placement(num_items, num_servers, capacity_per_server);
 
   struct Candidate {
     double bound;  // upper bound on the marginal (stale-tolerant)
+    std::uint32_t revision;
+    ItemId item;
+    NodeId server;
+    bool operator<(const Candidate& o) const { return bound < o.bound; }
+  };
+  std::vector<std::uint32_t> revision(num_items, 0);
+  std::priority_queue<Candidate> heap;
+  auto eval = [&](ItemId i, NodeId s) {
+    return ordered(oracle.marginal(i, s), demand[i]);
+  };
+  for (ItemId i = 0; i < num_items; ++i) {
+    for (NodeId s = 0; s < num_servers; ++s) {
+      heap.push({eval(i, s), 0, i, s});
+    }
+  }
+
+  const long capacity_total =
+      static_cast<long>(capacity_per_server) * static_cast<long>(num_servers);
+  long placed = 0;
+  while (placed < capacity_total && !heap.empty()) {
+    Candidate top = heap.top();
+    heap.pop();
+    if (placement.server_full(top.server) ||
+        placement.has(top.item, top.server)) {
+      continue;
+    }
+    // Lazy re-evaluation: by submodularity the stored bound only
+    // overestimates; if it still dominates the next-best bound the move
+    // is provably the argmax. Unchanged item revision = bound is exact.
+    const double fresh = revision[top.item] == top.revision
+                             ? top.bound
+                             : eval(top.item, top.server);
+    if (!heap.empty() && fresh < heap.top().bound) {
+      heap.push({fresh, revision[top.item], top.item, top.server});
+      continue;
+    }
+    if (fresh <= 0.0) break;  // no remaining move improves welfare
+    placement.add(top.item, top.server);
+    oracle.add(top.item, top.server);
+    ++revision[top.item];
+    ++placed;
+  }
+  return placement;
+}
+
+/// Reference lazy greedy over a naive marginal oracle.
+/// Eval: double (const Placement&, ItemId, NodeId).
+template <typename Eval>
+Placement lazy_greedy_naive_impl(const std::vector<double>& demand,
+                                 Eval&& eval_marginal, NodeId num_servers,
+                                 ItemId num_items, int capacity_per_server) {
+  Placement placement(num_items, num_servers, capacity_per_server);
+
+  struct Candidate {
+    double bound;
     ItemId item;
     NodeId server;
     bool operator<(const Candidate& o) const { return bound < o.bound; }
@@ -50,15 +111,12 @@ Placement lazy_greedy_impl(const std::vector<double>& demand,
         placement.has(top.item, top.server)) {
       continue;
     }
-    // Lazy re-evaluation: by submodularity the stored bound only
-    // overestimates; if it still dominates the next-best bound the move
-    // is provably the argmax.
     const double fresh = eval(top.item, top.server);
     if (!heap.empty() && fresh < heap.top().bound) {
       heap.push({fresh, top.item, top.server});
       continue;
     }
-    if (fresh <= 0.0) break;  // no remaining move improves welfare
+    if (fresh <= 0.0) break;
     placement.add(top.item, top.server);
     ++placed;
   }
@@ -85,13 +143,11 @@ Placement lazy_greedy_placement(
     int capacity_per_server,
     const std::optional<PopularityProfile>& popularity) {
   validate(demand, servers, num_items, capacity_per_server);
-  return lazy_greedy_impl(
-      demand,
-      [&](const Placement& p, ItemId i, NodeId s) {
-        return marginal_gain(p, rates, demand, u, servers, clients, i, s,
-                             popularity);
-      },
-      static_cast<NodeId>(servers.size()), num_items, capacity_per_server);
+  MarginalOracle oracle(rates, demand, u, servers, clients, num_items,
+                        popularity);
+  return lazy_greedy_core(oracle, demand,
+                          static_cast<NodeId>(servers.size()), num_items,
+                          capacity_per_server);
 }
 
 Placement lazy_greedy_placement(
@@ -105,7 +161,41 @@ Placement lazy_greedy_placement(
     throw std::invalid_argument(
         "lazy_greedy_placement: utility set size != item count");
   }
-  return lazy_greedy_impl(
+  MarginalOracle oracle(rates, demand, utilities, servers, clients,
+                        popularity);
+  return lazy_greedy_core(oracle, demand,
+                          static_cast<NodeId>(servers.size()), num_items,
+                          capacity_per_server);
+}
+
+Placement lazy_greedy_placement_naive(
+    const trace::RateMatrix& rates, const std::vector<double>& demand,
+    const utility::DelayUtility& u, const std::vector<NodeId>& servers,
+    const std::vector<NodeId>& clients, ItemId num_items,
+    int capacity_per_server,
+    const std::optional<PopularityProfile>& popularity) {
+  validate(demand, servers, num_items, capacity_per_server);
+  return lazy_greedy_naive_impl(
+      demand,
+      [&](const Placement& p, ItemId i, NodeId s) {
+        return marginal_gain(p, rates, demand, u, servers, clients, i, s,
+                             popularity);
+      },
+      static_cast<NodeId>(servers.size()), num_items, capacity_per_server);
+}
+
+Placement lazy_greedy_placement_naive(
+    const trace::RateMatrix& rates, const std::vector<double>& demand,
+    const utility::UtilitySet& utilities, const std::vector<NodeId>& servers,
+    const std::vector<NodeId>& clients, ItemId num_items,
+    int capacity_per_server,
+    const std::optional<PopularityProfile>& popularity) {
+  validate(demand, servers, num_items, capacity_per_server);
+  if (utilities.size() != num_items) {
+    throw std::invalid_argument(
+        "lazy_greedy_placement: utility set size != item count");
+  }
+  return lazy_greedy_naive_impl(
       demand,
       [&](const Placement& p, ItemId i, NodeId s) {
         return marginal_gain(p, rates, demand, utilities, servers, clients,

@@ -1,0 +1,319 @@
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "gain_internal.hpp"
+#include "impatience/alloc/oracle.hpp"
+#include "impatience/utility/utility_set.hpp"
+
+namespace impatience::alloc {
+
+namespace {
+
+void check_demand(std::size_t num_items, const std::vector<double>& demand) {
+  if (demand.size() != num_items) {
+    throw std::invalid_argument("MarginalOracle: demand size != item count");
+  }
+  for (double d : demand) {
+    if (!(d >= 0.0)) {
+      throw std::invalid_argument("MarginalOracle: demand must be non-negative");
+    }
+  }
+}
+
+}  // namespace
+
+MarginalOracle::MarginalOracle(
+    const trace::RateMatrix& rates, const std::vector<double>& demand,
+    const utility::DelayUtility& u, const std::vector<NodeId>& servers,
+    const std::vector<NodeId>& clients, ItemId num_items,
+    const std::optional<PopularityProfile>& popularity)
+    : num_items_(num_items),
+      num_servers_(static_cast<NodeId>(servers.size())),
+      num_clients_(clients.size()),
+      demand_(&demand) {
+  if (num_items_ == 0) {
+    throw std::invalid_argument("MarginalOracle: need at least one item");
+  }
+  check_demand(num_items_, demand);
+  utility_.assign(num_items_, &u);
+  memo_index_.assign(num_items_, 0);
+  memos_.resize(1);
+  empty_delta_.resize(1);
+  empty_delta_valid_.resize(1);
+  validate_and_index(rates, servers, clients, popularity);
+}
+
+MarginalOracle::MarginalOracle(
+    const trace::RateMatrix& rates, const std::vector<double>& demand,
+    const utility::UtilitySet& utilities, const std::vector<NodeId>& servers,
+    const std::vector<NodeId>& clients,
+    const std::optional<PopularityProfile>& popularity)
+    : num_items_(static_cast<ItemId>(utilities.size())),
+      num_servers_(static_cast<NodeId>(servers.size())),
+      num_clients_(clients.size()),
+      demand_(&demand) {
+  check_demand(num_items_, demand);
+  // Behaviourally identical utilities share one transform memo.
+  const auto canonical = utilities.duplicate_of();
+  utility_.resize(num_items_);
+  memo_index_.resize(num_items_);
+  std::vector<std::size_t> slot_of(num_items_, SIZE_MAX);
+  std::size_t slots = 0;
+  for (ItemId i = 0; i < num_items_; ++i) {
+    utility_[i] = &utilities[i];
+    const std::size_t canon = canonical[i];
+    if (slot_of[canon] == SIZE_MAX) slot_of[canon] = slots++;
+    memo_index_[i] = slot_of[canon];
+  }
+  memos_.resize(slots);
+  empty_delta_.resize(slots);
+  empty_delta_valid_.resize(slots);
+  validate_and_index(rates, servers, clients, popularity);
+}
+
+void MarginalOracle::validate_and_index(
+    const trace::RateMatrix& rates, const std::vector<NodeId>& servers,
+    const std::vector<NodeId>& clients,
+    const std::optional<PopularityProfile>& popularity) {
+  if (servers.empty()) {
+    throw std::invalid_argument("MarginalOracle: empty server list");
+  }
+  if (clients.empty()) {
+    throw std::invalid_argument("MarginalOracle: empty client list");
+  }
+  for (NodeId s : servers) {
+    if (s >= rates.num_nodes()) {
+      throw std::invalid_argument("MarginalOracle: server node id out of range");
+    }
+  }
+  for (NodeId c : clients) {
+    if (c >= rates.num_nodes()) {
+      throw std::invalid_argument("MarginalOracle: client node id out of range");
+    }
+  }
+  const std::size_t S = servers.size();
+  const std::size_t C = num_clients_;
+  rate_.resize(S * C);
+  self_.resize(S * C);
+  for (std::size_t s = 0; s < S; ++s) {
+    for (std::size_t n = 0; n < C; ++n) {
+      rate_[s * C + n] = rates.at(servers[s], clients[n]);
+      self_[s * C + n] = servers[s] == clients[n] ? 1 : 0;
+    }
+  }
+  uniform_pi_ = 1.0 / static_cast<double>(C);
+  if (popularity) {
+    if (popularity->pi.size() != num_items_) {
+      throw std::invalid_argument(
+          "MarginalOracle: popularity profile size mismatch");
+    }
+    pi_.resize(static_cast<std::size_t>(num_items_) * C);
+    for (ItemId i = 0; i < num_items_; ++i) {
+      if (popularity->pi[i].size() != C) {
+        throw std::invalid_argument(
+            "MarginalOracle: popularity row size != client count");
+      }
+      std::copy(popularity->pi[i].begin(), popularity->pi[i].end(),
+                pi_.begin() + static_cast<std::size_t>(i) * C);
+    }
+  }
+  holders_.resize(num_items_);
+  M_.assign(static_cast<std::size_t>(num_items_) * C, 0.0);
+  holds_.assign(static_cast<std::size_t>(num_items_) * C, 0);
+  gain0_.assign(static_cast<std::size_t>(num_items_) * C, 0.0);
+  gain0_dirty_.assign(num_items_, 1);
+}
+
+void MarginalOracle::check_ids(ItemId item, NodeId server) const {
+  if (item >= num_items_) {
+    throw std::out_of_range("MarginalOracle: item out of range");
+  }
+  if (server >= num_servers_) {
+    throw std::out_of_range("MarginalOracle: server out of range");
+  }
+}
+
+bool MarginalOracle::has(ItemId item, NodeId server) const {
+  check_ids(item, server);
+  const auto& h = holders_[item];
+  return std::binary_search(h.begin(), h.end(), server);
+}
+
+void MarginalOracle::refresh_item(ItemId item) {
+  // Fold holder rates in ascending server order — the exact summation
+  // order of the naive client_gain over Placement::holders() — so M is
+  // bit-identical to what the naive evaluators compute.
+  const std::size_t C = num_clients_;
+  double* M = M_.data() + static_cast<std::size_t>(item) * C;
+  std::uint16_t* holds = holds_.data() + static_cast<std::size_t>(item) * C;
+  for (std::size_t n = 0; n < C; ++n) {
+    double m = 0.0;
+    std::uint16_t h = 0;
+    for (NodeId s : holders_[item]) {
+      const std::size_t idx = static_cast<std::size_t>(s) * C + n;
+      if (self_[idx]) {
+        ++h;
+      } else {
+        m += rate_[idx];
+      }
+    }
+    M[n] = m;
+    holds[n] = h;
+  }
+  gain0_dirty_[item] = 1;
+}
+
+void MarginalOracle::refresh_gain0(ItemId item) const {
+  const std::size_t C = num_clients_;
+  const std::size_t base = static_cast<std::size_t>(item) * C;
+  const utility::DelayUtility& u = *utility_[item];
+  const std::size_t memo = memo_index_[item];
+  const double* pi = pi_row(item);
+  for (std::size_t n = 0; n < C; ++n) {
+    // Clients the item is never requested from are skipped by every
+    // evaluator (and must be: their gain may be undefined/throwing).
+    if (pi && pi[n] == 0.0) continue;
+    if (holds_[base + n] > 0) {
+      gain0_[base + n] = detail::request_gain(u, M_[base + n], true);
+    } else {
+      gain0_[base + n] = memoized_gain(memo, u, M_[base + n]);
+    }
+  }
+  gain0_dirty_[item] = 0;
+}
+
+double MarginalOracle::memoized_gain(std::size_t memo,
+                                     const utility::DelayUtility& u,
+                                     double M) const {
+  const std::uint64_t key = std::bit_cast<std::uint64_t>(M);
+  auto& map = memos_[memo];
+  const auto it = map.find(key);
+  if (it != map.end()) return it->second;
+  // Compute before inserting so a throwing transform (unbounded utility)
+  // never leaves a bogus cached value behind.
+  const double gain = detail::request_gain(u, M, false);
+  return map.emplace(key, gain).first->second;
+}
+
+double MarginalOracle::empty_delta(std::size_t memo,
+                                   const utility::DelayUtility& u,
+                                   NodeId server) const {
+  auto& cache = empty_delta_[memo];
+  auto& valid = empty_delta_valid_[memo];
+  if (cache.empty()) {
+    cache.assign(num_servers_, 0.0);
+    valid.assign(num_servers_, 0);
+  }
+  if (!valid[server]) {
+    // Same terms in the same client order as the generic marginal() loop
+    // with M = 0 and holds = 0 everywhere, so the cached delta is
+    // bit-identical to what that loop would return.
+    const std::size_t C = num_clients_;
+    const double* rate = rate_.data() + static_cast<std::size_t>(server) * C;
+    const std::uint8_t* self =
+        self_.data() + static_cast<std::size_t>(server) * C;
+    double delta = 0.0;
+    for (std::size_t n = 0; n < C; ++n) {
+      const double gain0 = memoized_gain(memo, u, 0.0);
+      const double after = self[n] ? detail::request_gain(u, 0.0, true)
+                                   : memoized_gain(memo, u, rate[n]);
+      delta += uniform_pi_ * (after - gain0);
+    }
+    cache[server] = delta;
+    valid[server] = 1;
+  }
+  return cache[server];
+}
+
+double MarginalOracle::marginal(ItemId item, NodeId server) const {
+  if (has(item, server)) {
+    throw std::logic_error("MarginalOracle::marginal: replica already present");
+  }
+  if (holders_[item].empty() && pi_.empty()) {
+    return (*demand_)[item] *
+           empty_delta(memo_index_[item], *utility_[item], server);
+  }
+  if (gain0_dirty_[item]) refresh_gain0(item);
+  const std::size_t C = num_clients_;
+  const utility::DelayUtility& u = *utility_[item];
+  const std::size_t memo = memo_index_[item];
+  const double* M = M_.data() + static_cast<std::size_t>(item) * C;
+  const std::uint16_t* holds =
+      holds_.data() + static_cast<std::size_t>(item) * C;
+  const double* gain0 = gain0_.data() + static_cast<std::size_t>(item) * C;
+  const double* rate = rate_.data() + static_cast<std::size_t>(server) * C;
+  const std::uint8_t* self =
+      self_.data() + static_cast<std::size_t>(server) * C;
+  const double* pi = pi_row(item);
+  double delta = 0.0;
+  for (std::size_t n = 0; n < C; ++n) {
+    const double p = pi ? pi[n] : uniform_pi_;
+    if (p == 0.0) continue;
+    double after;
+    if (self[n] || holds[n] > 0) {
+      after = detail::request_gain(u, M[n], true);
+    } else {
+      after = memoized_gain(memo, u, M[n] + rate[n]);
+    }
+    delta += p * (after - gain0[n]);
+  }
+  return (*demand_)[item] * delta;
+}
+
+void MarginalOracle::add(ItemId item, NodeId server) {
+  check_ids(item, server);
+  auto& h = holders_[item];
+  const auto pos = std::lower_bound(h.begin(), h.end(), server);
+  if (pos != h.end() && *pos == server) {
+    throw std::logic_error("MarginalOracle::add: replica already present");
+  }
+  h.insert(pos, server);
+  refresh_item(item);
+}
+
+void MarginalOracle::remove(ItemId item, NodeId server) {
+  check_ids(item, server);
+  auto& h = holders_[item];
+  const auto pos = std::lower_bound(h.begin(), h.end(), server);
+  if (pos == h.end() || *pos != server) {
+    throw std::logic_error("MarginalOracle::remove: replica absent");
+  }
+  h.erase(pos);
+  refresh_item(item);
+}
+
+void MarginalOracle::reset(const Placement& placement) {
+  if (placement.num_items() != num_items_ ||
+      placement.num_servers() != num_servers_) {
+    throw std::invalid_argument(
+        "MarginalOracle::reset: placement dimensions mismatch");
+  }
+  for (ItemId i = 0; i < num_items_; ++i) {
+    holders_[i] = placement.holders(i);  // ascending by construction
+    refresh_item(i);
+  }
+}
+
+double MarginalOracle::welfare() const {
+  const std::size_t C = num_clients_;
+  double total = 0.0;
+  for (ItemId i = 0; i < num_items_; ++i) {
+    const double d = (*demand_)[i];
+    if (d == 0.0) continue;
+    const utility::DelayUtility& u = *utility_[i];
+    const std::size_t base = static_cast<std::size_t>(i) * C;
+    const double* pi = pi_row(i);
+    double item_total = 0.0;
+    for (std::size_t n = 0; n < C; ++n) {
+      const double p = pi ? pi[n] : uniform_pi_;
+      if (p == 0.0) continue;
+      item_total +=
+          p * detail::request_gain(u, M_[base + n], holds_[base + n] > 0);
+    }
+    total += d * item_total;
+  }
+  return total;
+}
+
+}  // namespace impatience::alloc

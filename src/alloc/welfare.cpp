@@ -1,12 +1,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "gain_internal.hpp"
+#include "impatience/alloc/oracle.hpp"
 #include "impatience/alloc/welfare.hpp"
 
 namespace impatience::alloc {
 
 namespace {
 
+using detail::request_gain;
 using utility::DelayUtility;
 
 void check_demand(std::size_t num_items, const std::vector<double>& demand) {
@@ -18,25 +21,6 @@ void check_demand(std::size_t num_items, const std::vector<double>& demand) {
       throw std::invalid_argument("welfare: demand must be non-negative");
     }
   }
-}
-
-/// Expected gain of a single request given fulfilment rate M and whether
-/// the client itself already holds the item.
-double request_gain(const DelayUtility& u, double M, bool client_holds) {
-  if (u.bounded_at_zero()) {
-    const double h0 = u.value_at_zero();
-    if (client_holds) return h0;
-    if (M <= 0.0) return u.value_at_inf();
-    return h0 - u.loss_transform(M);
-  }
-  if (client_holds) {
-    throw std::domain_error(
-        "welfare: unbounded-at-zero utility with client-held replica "
-        "(immediate fulfilment); the paper restricts these utilities to "
-        "the dedicated-node case");
-  }
-  if (M <= 0.0) return u.value_at_inf();
-  return u.expected_gain(M);
 }
 
 struct HeterogeneousContext {
@@ -100,34 +84,6 @@ double welfare_homogeneous_impl(const ItemCounts& counts,
     if (demand[i] == 0.0) continue;
     total += demand[i] *
              item_gain(utility_of(static_cast<ItemId>(i)), m, counts.x[i]);
-  }
-  return total;
-}
-
-template <typename UtilityOf>
-double welfare_heterogeneous_impl(
-    const Placement& placement, const trace::RateMatrix& rates,
-    const std::vector<double>& demand, UtilityOf&& utility_of,
-    const std::vector<NodeId>& servers, const std::vector<NodeId>& clients,
-    const std::optional<PopularityProfile>& popularity) {
-  check_demand(placement.num_items(), demand);
-  const auto ctx = make_context(placement, rates, servers, clients);
-  const double uniform_pi = 1.0 / static_cast<double>(clients.size());
-  if (popularity && popularity->pi.size() != placement.num_items()) {
-    throw std::invalid_argument("welfare: popularity profile size mismatch");
-  }
-  double total = 0.0;
-  for (ItemId i = 0; i < placement.num_items(); ++i) {
-    if (demand[i] == 0.0) continue;
-    const DelayUtility& u = utility_of(i);
-    const auto holders = placement.holders(i);
-    double item_total = 0.0;
-    for (std::size_t n = 0; n < clients.size(); ++n) {
-      const double pi = popularity ? popularity->pi[i][n] : uniform_pi;
-      if (pi == 0.0) continue;
-      item_total += pi * client_gain(ctx, u, holders, n);
-    }
-    total += demand[i] * item_total;
   }
   return total;
 }
@@ -218,10 +174,14 @@ double welfare_heterogeneous(
     const std::vector<double>& demand, const utility::DelayUtility& u,
     const std::vector<NodeId>& servers, const std::vector<NodeId>& clients,
     const std::optional<PopularityProfile>& popularity) {
-  return welfare_heterogeneous_impl(
-      placement, rates, demand,
-      [&u](ItemId) -> const DelayUtility& { return u; }, servers, clients,
-      popularity);
+  if (servers.size() != placement.num_servers()) {
+    throw std::invalid_argument(
+        "welfare: server list size != placement server count");
+  }
+  MarginalOracle oracle(rates, demand, u, servers, clients,
+                        placement.num_items(), popularity);
+  oracle.reset(placement);
+  return oracle.welfare();
 }
 
 double welfare_heterogeneous(
@@ -230,10 +190,14 @@ double welfare_heterogeneous(
     const std::vector<NodeId>& servers, const std::vector<NodeId>& clients,
     const std::optional<PopularityProfile>& popularity) {
   check_set_size(utilities, placement.num_items());
-  return welfare_heterogeneous_impl(
-      placement, rates, demand,
-      [&utilities](ItemId i) -> const DelayUtility& { return utilities[i]; },
-      servers, clients, popularity);
+  if (servers.size() != placement.num_servers()) {
+    throw std::invalid_argument(
+        "welfare: server list size != placement server count");
+  }
+  MarginalOracle oracle(rates, demand, utilities, servers, clients,
+                        popularity);
+  oracle.reset(placement);
+  return oracle.welfare();
 }
 
 double welfare_pure_p2p(const Placement& placement,

@@ -25,6 +25,7 @@ void Cache::pin_sticky(ItemId item) {
       throw std::logic_error("Cache: full, cannot pin sticky item");
     }
     items_.push_back(item);
+    notify(item, +1);
   }
   sticky_ = item;
 }
@@ -36,6 +37,7 @@ std::optional<ItemId> Cache::insert_random_replace(ItemId item,
   }
   if (!full()) {
     items_.push_back(item);
+    notify(item, +1);
     return std::nullopt;
   }
   // Choose a uniformly random victim among non-sticky slots.
@@ -50,6 +52,8 @@ std::optional<ItemId> Cache::insert_random_replace(ItemId item,
   const std::size_t slot = victims[rng.uniform_index(victims.size())];
   const ItemId evicted = items_[slot];
   items_[slot] = item;
+  notify(evicted, -1);
+  notify(item, +1);
   return evicted;
 }
 
@@ -62,6 +66,7 @@ void Cache::erase(ItemId item) {
     throw std::logic_error("Cache: erase of absent item");
   }
   items_.erase(it);
+  notify(item, -1);
 }
 
 }  // namespace impatience::core

@@ -31,6 +31,13 @@ DemandProcess::DemandProcess(const Catalog& catalog,
 
 std::vector<NewRequest> DemandProcess::sample_slot(util::Rng& rng) const {
   std::vector<NewRequest> out;
+  sample_slot(rng, out);
+  return out;
+}
+
+void DemandProcess::sample_slot(util::Rng& rng,
+                                std::vector<NewRequest>& out) const {
+  out.clear();
   const auto count = rng.poisson(total_rate_);
   out.reserve(count);
   for (std::uint64_t k = 0; k < count; ++k) {
@@ -43,7 +50,6 @@ std::vector<NewRequest> DemandProcess::sample_slot(util::Rng& rng) const {
     }
     out.push_back({item, node});
   }
-  return out;
 }
 
 }  // namespace impatience::core

@@ -10,18 +10,30 @@ namespace {
 /// pending request the partner can serve. Returns the gains recorded.
 void fulfil_from(SimState& state, Node& requester, Node& provider) {
   if (!requester.is_client() || requester.pending().empty()) return;
+  // A non-server partner can neither be queried nor fulfil anything.
+  if (!provider.is_server()) return;
 
   auto& pending = requester.pending();
-  // Every pending request queries the met node if it is a server; the
-  // counter includes the fulfilling meeting, so E[counter] = |S| / x_i.
-  if (provider.is_server()) {
-    for (auto& req : pending) ++req.queries;
+  // Every pending request queries the met server; the counter includes
+  // the fulfilling meeting, so E[counter] = |S| / x_i.
+  for (auto& req : pending) ++req.queries;
+
+  // O(rho) prefilter: scan the provider's cache against the requester's
+  // per-item pending counters before walking the pending list. Most
+  // meetings fulfil nothing, so this skips the compaction pass entirely.
+  bool any_match = false;
+  for (ItemId item : provider.cache().items()) {
+    if (requester.has_pending(item)) {
+      any_match = true;
+      break;
+    }
   }
+  if (!any_match) return;
 
   std::size_t kept = 0;
   for (std::size_t k = 0; k < pending.size(); ++k) {
     PendingRequest& req = pending[k];
-    if (provider.is_server() && provider.holds(req.item)) {
+    if (provider.holds(req.item)) {
       const double delay =
           static_cast<double>(state.now - req.created) + 1.0;
       const double gain = (*state.utilities)[req.item].value(delay);
@@ -33,6 +45,7 @@ void fulfil_from(SimState& state, Node& requester, Node& provider) {
       ++state.fulfillments;
       state.delay_sum += delay;
       state.query_sum += static_cast<double>(req.queries);
+      requester.note_fulfilled(req.item);
       state.policy->on_fulfillment(requester, provider, req.item,
                                    req.queries, *state.rng);
     } else {

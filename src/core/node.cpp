@@ -6,7 +6,10 @@ namespace impatience::core {
 
 Node::Node(NodeId id, ItemId num_items, int cache_capacity, bool is_server,
            bool is_client)
-    : id_(id), is_client_(is_client), mandates_(num_items) {
+    : id_(id),
+      is_client_(is_client),
+      mandates_(num_items),
+      pending_count_(num_items, 0) {
   if (is_server) {
     cache_.emplace(cache_capacity);
   }
@@ -33,6 +36,7 @@ void Node::create_request(ItemId item, Slot now) {
     throw std::logic_error("Node::create_request: node is not a client");
   }
   pending_.push_back({item, now, 0});
+  ++pending_count_[item];
 }
 
 }  // namespace impatience::core

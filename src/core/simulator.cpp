@@ -90,6 +90,18 @@ SimulationResult simulate(const trace::ContactTrace& trace,
                              is_server[n] != 0, is_client[n] != 0);
   }
 
+  // Global replica counts, maintained incrementally by cache change
+  // listeners. Attached before any content is placed so the initial
+  // placement / sticky seeding / random fill are counted too; from then
+  // on every insert, eviction and erase (including the ones policies
+  // perform during meetings) updates `counts` in O(1) instead of the
+  // per-sample full rescan of all server caches.
+  std::vector<int> counts(num_items, 0);
+  for (NodeId s : population.servers) {
+    state.nodes[s].cache().set_change_listener(
+        [&counts](ItemId item, int delta) { counts[item] += delta; });
+  }
+
   // Initial cache contents.
   if (options.initial_placement) {
     const alloc::Placement& p = *options.initial_placement;
@@ -162,19 +174,11 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   const long mandates_before = qcr ? qcr->mandates_created() : 0;
   const long written_before = qcr ? qcr->replicas_written() : 0;
 
-  auto count_replicas = [&](std::vector<int>& counts) {
-    counts.assign(num_items, 0);
-    for (NodeId s : population.servers) {
-      for (ItemId i : state.nodes[s].cache().items()) ++counts[i];
-    }
-  };
-  std::vector<int> counts;
-
   // Policies that track global state seed themselves from the initial
   // allocation (e.g. HillClimbPolicy).
-  count_replicas(counts);
   policy.on_initialized(std::span<const int>(counts));
 
+  std::vector<NewRequest> new_requests;
   for (Slot slot = 0; slot < trace.duration(); ++slot) {
     state.now = slot;
 
@@ -187,7 +191,8 @@ SimulationResult simulate(const trace::ContactTrace& trace,
     }
 
     // New demand.
-    for (const NewRequest& req : demand.sample_slot(rng)) {
+    demand.sample_slot(rng, new_requests);
+    for (const NewRequest& req : new_requests) {
       ++result.requests_created;
       Node& node = state.nodes[req.node];
       if (node.holds(req.item)) {
@@ -217,7 +222,6 @@ SimulationResult simulate(const trace::ContactTrace& trace,
     // Periodic sampling.
     if (slot % options.metrics.sample_every == 0) {
       if (options.expected_welfare || !options.metrics.tracked_items.empty()) {
-        count_replicas(counts);
         if (options.expected_welfare) {
           result.expected_series.push_back(
               {static_cast<double>(slot),
@@ -250,7 +254,6 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   }
 
   // Final bookkeeping.
-  count_replicas(counts);
   result.final_counts = counts;
   result.total_gain = state.total_gain;
   result.observed_series = observed.rate_series();

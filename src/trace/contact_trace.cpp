@@ -1,6 +1,8 @@
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "impatience/trace/contact.hpp"
@@ -40,6 +42,23 @@ ContactTrace::ContactTrace(NodeId num_nodes, Slot duration,
     slot_begin_[static_cast<std::size_t>(s)] = idx;
   }
   slot_begin_.back() = events_.size();
+
+  // Per-pair totals: one hash-map pass over the events, then sorted by
+  // (a, b) so lookups can binary-search.
+  std::unordered_map<std::uint64_t, std::size_t> totals;
+  totals.reserve(events_.size());
+  for (const auto& e : events_) {
+    ++totals[(static_cast<std::uint64_t>(e.a) << 32) | e.b];
+  }
+  pair_counts_.reserve(totals.size());
+  for (const auto& [key, count] : totals) {
+    pair_counts_.push_back({static_cast<NodeId>(key >> 32),
+                            static_cast<NodeId>(key & 0xffffffffu), count});
+  }
+  std::sort(pair_counts_.begin(), pair_counts_.end(),
+            [](const PairContacts& x, const PairContacts& y) {
+              return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+            });
 }
 
 std::span<const ContactEvent> ContactTrace::slot_events(Slot slot) const {
@@ -53,22 +72,27 @@ ContactTrace ContactTrace::slice(Slot from, Slot to) const {
   if (from < 0 || to > duration_ || from >= to) {
     throw std::invalid_argument("ContactTrace::slice: bad range");
   }
+  // The events are slot-sorted, so the slice is the contiguous run
+  // [slot_begin_[from], slot_begin_[to]) — no full scan.
+  const std::size_t begin = slot_begin_[static_cast<std::size_t>(from)];
+  const std::size_t end = slot_begin_[static_cast<std::size_t>(to)];
   std::vector<ContactEvent> sub;
-  for (const auto& e : events_) {
-    if (e.slot >= from && e.slot < to) {
-      sub.push_back({e.slot - from, e.a, e.b});
-    }
+  sub.reserve(end - begin);
+  for (std::size_t k = begin; k < end; ++k) {
+    sub.push_back({events_[k].slot - from, events_[k].a, events_[k].b});
   }
   return ContactTrace(num_nodes_, to - from, std::move(sub));
 }
 
 std::size_t ContactTrace::pair_count(NodeId a, NodeId b) const {
   if (a > b) std::swap(a, b);
-  std::size_t count = 0;
-  for (const auto& e : events_) {
-    if (e.a == a && e.b == b) ++count;
-  }
-  return count;
+  const auto it = std::lower_bound(
+      pair_counts_.begin(), pair_counts_.end(), std::make_pair(a, b),
+      [](const PairContacts& p, const std::pair<NodeId, NodeId>& key) {
+        return std::tie(p.a, p.b) < std::tie(key.first, key.second);
+      });
+  if (it == pair_counts_.end() || it->a != a || it->b != b) return 0;
+  return it->count;
 }
 
 }  // namespace impatience::trace

@@ -61,19 +61,12 @@ RateMatrix RateMatrix::homogeneous(NodeId num_nodes, double mu) {
 }
 
 RateMatrix estimate_rates(const ContactTrace& trace) {
+  // The trace's pair-count index already aggregates the events, so this
+  // is O(P) over the met pairs with no N^2 scratch matrix.
   RateMatrix m(trace.num_nodes());
-  std::vector<std::size_t> counts(
-      static_cast<std::size_t>(trace.num_nodes()) * trace.num_nodes(), 0);
-  for (const auto& e : trace.events()) {
-    ++counts[static_cast<std::size_t>(e.a) * trace.num_nodes() + e.b];
-  }
   const auto duration = static_cast<double>(trace.duration());
-  for (NodeId a = 0; a < trace.num_nodes(); ++a) {
-    for (NodeId b = static_cast<NodeId>(a + 1); b < trace.num_nodes(); ++b) {
-      const auto c =
-          counts[static_cast<std::size_t>(a) * trace.num_nodes() + b];
-      if (c) m.set(a, b, static_cast<double>(c) / duration);
-    }
+  for (const auto& pc : trace.pair_counts()) {
+    m.set(pc.a, pc.b, static_cast<double>(pc.count) / duration);
   }
   return m;
 }

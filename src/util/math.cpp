@@ -7,59 +7,13 @@
 
 namespace impatience::util {
 
-namespace {
-
-struct SimpsonEstimate {
-  double value;
-  double fa, fm, fb;  // endpoint and midpoint samples, reused by children
-};
-
-double simpson(double fa, double fm, double fb, double a, double b) {
-  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
-}
-
-double adaptive(const std::function<double(double)>& f, double a, double b,
-                double fa, double fm, double fb, double whole, double tol,
-                int depth) {
-  const double m = 0.5 * (a + b);
-  const double lm = 0.5 * (a + m);
-  const double rm = 0.5 * (m + b);
-  const double flm = f(lm);
-  const double frm = f(rm);
-  const double left = simpson(fa, flm, fm, a, m);
-  const double right = simpson(fm, frm, fb, m, b);
-  const double delta = left + right - whole;
-  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
-    return left + right + delta / 15.0;
-  }
-  return adaptive(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
-         adaptive(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
-}
-
-}  // namespace
-
 double integrate(const std::function<double(double)>& f, double a, double b,
                  double tol, int max_depth) {
-  if (a == b) return 0.0;
-  if (a > b) return -integrate(f, b, a, tol, max_depth);
-  const double m = 0.5 * (a + b);
-  const double fa = f(a);
-  const double fm = f(m);
-  const double fb = f(b);
-  const double whole = simpson(fa, fm, fb, a, b);
-  return adaptive(f, a, b, fa, fm, fb, whole, tol, max_depth);
+  return detail::integrate_impl(f, a, b, tol, max_depth);
 }
 
 double integrate_to_inf(const std::function<double(double)>& f, double tol) {
-  // t = u/(1-u), dt = du/(1-u)^2, u in (0,1). Sample strictly inside to
-  // avoid the endpoint singularities of the substitution.
-  auto g = [&f](double u) {
-    const double one_minus = 1.0 - u;
-    const double t = u / one_minus;
-    return f(t) / (one_minus * one_minus);
-  };
-  constexpr double kEps = 1e-12;
-  return integrate(g, kEps, 1.0 - kEps, tol);
+  return detail::integrate_to_inf_impl(f, tol);
 }
 
 double bisect(const std::function<double(double)>& f, double lo, double hi,

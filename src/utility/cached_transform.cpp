@@ -1,0 +1,200 @@
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "impatience/utility/cached_transform.hpp"
+
+namespace impatience::utility {
+
+namespace detail {
+
+/// One tabulated transform: sorted log-M abscissae + values. A column
+/// that failed to tabulate (threw, or hit a non-finite value) stays
+/// `cached = false` and every query delegates to the base utility.
+struct TransformColumn {
+  bool cached = false;
+  std::vector<double> logm;
+  std::vector<double> value;
+};
+
+struct TransformTable {
+  double log_min = 0.0;
+  double log_max = 0.0;
+  TransformColumn loss;
+  TransformColumn time_weighted;
+  TransformColumn gain;
+};
+
+namespace {
+
+/// Bisect [lx, rx] until linear interpolation reproduces the midpoint to
+/// `tol`, appending interior points in ascending order. Midpoints are
+/// always kept (they are already paid for), so an accepted interval's
+/// halves interpolate with roughly a quarter of the accepted deviation.
+template <typename Eval>
+bool refine(Eval& eval, double lx, double lv, double rx, double rv,
+            double tol, int depth, std::vector<double>& xs,
+            std::vector<double>& vs) {
+  const double mx = 0.5 * (lx + rx);
+  const double mv = eval(std::exp(mx));
+  if (!std::isfinite(mv)) return false;
+  const double interp = 0.5 * (lv + rv);
+  if (depth > 0 && std::abs(mv - interp) > tol) {
+    if (!refine(eval, lx, lv, mx, mv, tol, depth - 1, xs, vs)) return false;
+    xs.push_back(mx);
+    vs.push_back(mv);
+    return refine(eval, mx, mv, rx, rv, tol, depth - 1, xs, vs);
+  }
+  xs.push_back(mx);
+  vs.push_back(mv);
+  return true;
+}
+
+template <typename Eval>
+void build_column(Eval eval, const CachedTransformOptions& opts,
+                  double log_min, double log_max, TransformColumn& col) {
+  const int seeds = std::max(opts.initial_points, 2);
+  // Half the requested bound drives refinement; together with the kept
+  // midpoints the lookup error lands well inside abs_error.
+  const double tol = 0.5 * opts.abs_error;
+  std::vector<double> xs;
+  std::vector<double> vs;
+  try {
+    double lx = log_min;
+    double lv = eval(std::exp(lx));
+    if (!std::isfinite(lv)) return;
+    xs.push_back(lx);
+    vs.push_back(lv);
+    for (int i = 1; i < seeds; ++i) {
+      const double rx =
+          log_min + (log_max - log_min) * i / static_cast<double>(seeds - 1);
+      const double rv = eval(std::exp(rx));
+      if (!std::isfinite(rv)) return;
+      if (!refine(eval, lx, lv, rx, rv, tol, opts.max_refine_depth, xs, vs)) {
+        return;
+      }
+      xs.push_back(rx);
+      vs.push_back(rv);
+      lx = rx;
+      lv = rv;
+    }
+  } catch (...) {
+    return;  // transform undefined somewhere on the range: delegate
+  }
+  col.cached = true;
+  col.logm = std::move(xs);
+  col.value = std::move(vs);
+}
+
+/// Interpolate `col` at M, or fall back to the exact transform when the
+/// column is uncached or M lies outside the tabulated range.
+template <typename Exact>
+double lookup(const TransformColumn& col, const TransformTable& table,
+              double M, Exact&& exact) {
+  if (!col.cached || !(M > 0.0) || !std::isfinite(M)) return exact(M);
+  const double x = std::log(M);
+  if (x < table.log_min || x > table.log_max) return exact(M);
+  const auto it =
+      std::upper_bound(col.logm.begin(), col.logm.end(), x);
+  const std::size_t hi = std::clamp<std::size_t>(
+      static_cast<std::size_t>(it - col.logm.begin()), 1,
+      col.logm.size() - 1);
+  const double x0 = col.logm[hi - 1];
+  const double x1 = col.logm[hi];
+  const double w = (x - x0) / (x1 - x0);
+  return col.value[hi - 1] + w * (col.value[hi] - col.value[hi - 1]);
+}
+
+}  // namespace
+
+}  // namespace detail
+
+CachedTransform::CachedTransform(const DelayUtility& base,
+                                 const CachedTransformOptions& options)
+    : base_(base.clone()) {
+  if (!(options.m_min > 0.0) || !(options.m_max > options.m_min)) {
+    throw std::invalid_argument("CachedTransform: need 0 < m_min < m_max");
+  }
+  if (!(options.abs_error > 0.0)) {
+    throw std::invalid_argument("CachedTransform: abs_error must be > 0");
+  }
+  auto table = std::make_shared<detail::TransformTable>();
+  table->log_min = std::log(options.m_min);
+  table->log_max = std::log(options.m_max);
+  const DelayUtility& u = *base_;
+  detail::build_column([&u](double M) { return u.loss_transform(M); },
+                       options, table->log_min, table->log_max, table->loss);
+  detail::build_column(
+      [&u](double M) { return u.time_weighted_transform(M); }, options,
+      table->log_min, table->log_max, table->time_weighted);
+  detail::build_column([&u](double M) { return u.expected_gain(M); },
+                       options, table->log_min, table->log_max, table->gain);
+  table_ = std::move(table);
+}
+
+CachedTransform::CachedTransform(const CachedTransform& other)
+    : base_(other.base_->clone()), table_(other.table_) {}
+
+CachedTransform::~CachedTransform() = default;
+
+double CachedTransform::value(double t) const { return base_->value(t); }
+double CachedTransform::value_at_zero() const {
+  return base_->value_at_zero();
+}
+double CachedTransform::value_at_inf() const { return base_->value_at_inf(); }
+double CachedTransform::differential(double t) const {
+  return base_->differential(t);
+}
+
+double CachedTransform::loss_transform(double M) const {
+  return detail::lookup(table_->loss, *table_, M,
+                        [this](double m) { return base_->loss_transform(m); });
+}
+
+double CachedTransform::time_weighted_transform(double M) const {
+  return detail::lookup(
+      table_->time_weighted, *table_, M,
+      [this](double m) { return base_->time_weighted_transform(m); });
+}
+
+double CachedTransform::expected_gain(double M) const {
+  return detail::lookup(table_->gain, *table_, M,
+                        [this](double m) { return base_->expected_gain(m); });
+}
+
+std::string CachedTransform::name() const {
+  return "cached(" + base_->name() + ")";
+}
+
+std::unique_ptr<DelayUtility> CachedTransform::clone() const {
+  return std::unique_ptr<DelayUtility>(new CachedTransform(*this));
+}
+
+std::size_t CachedTransform::table_points() const noexcept {
+  std::size_t total = 0;
+  for (const auto* col :
+       {&table_->loss, &table_->time_weighted, &table_->gain}) {
+    if (col->cached) total += col->logm.size();
+  }
+  return total;
+}
+
+UtilitySet make_cached(const UtilitySet& utilities,
+                       const CachedTransformOptions& options) {
+  const std::vector<std::size_t> canon = utilities.duplicate_of();
+  std::vector<std::unique_ptr<DelayUtility>> canonical(utilities.size());
+  for (std::size_t i = 0; i < utilities.size(); ++i) {
+    if (canon[i] == i) {
+      canonical[i] = std::make_unique<CachedTransform>(utilities[i], options);
+    }
+  }
+  std::vector<std::unique_ptr<DelayUtility>> wrapped;
+  wrapped.reserve(utilities.size());
+  for (std::size_t i = 0; i < utilities.size(); ++i) {
+    wrapped.push_back(canonical[canon[i]]->clone());
+  }
+  return UtilitySet(std::move(wrapped));
+}
+
+}  // namespace impatience::utility

@@ -17,6 +17,8 @@ void require_positive_rate(double M) {
 
 double DelayUtility::loss_transform(double M) const {
   require_positive_rate(M);
+  // Lambda (not std::function) so the templated quadrature inlines the
+  // integrand; only the differential() call stays virtual.
   return util::integrate_to_inf(
       [this, M](double t) { return std::exp(-M * t) * differential(t); });
 }

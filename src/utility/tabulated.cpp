@@ -55,33 +55,53 @@ double TabulatedUtility::differential(double t) const {
   return 0.0;
 }
 
+namespace {
+
+/// g(x) = 1 - (1 + x) e^{-x} = int_0^x s e^{-s} ds, evaluated without the
+/// catastrophic cancellation the literal form suffers for small x (both
+/// terms ~1, result ~x^2/2). Series for small x, expm1 otherwise.
+double one_minus_one_plus_x_exp(double x) {
+  if (x < 1e-2) {
+    // g(x) = x^2/2 - x^3/3 + x^4/8 - x^5/30 + O(x^6)
+    return x * x * (0.5 + x * (-1.0 / 3.0 + x * (0.125 - x / 30.0)));
+  }
+  return -std::expm1(-x) - x * std::exp(-x);
+}
+
+}  // namespace
+
 double TabulatedUtility::loss_transform(double M) const {
   if (!(M > 0.0)) throw std::domain_error("TabulatedUtility: M > 0");
-  // c is piecewise constant; integrate e^{-Mt} exactly per segment.
+  // c is piecewise constant; integrate e^{-Mt} exactly per segment as
+  // e^{-Ma} (1 - e^{-M(b-a)}) / M, with expm1 so small M stays accurate.
   double total = 0.0;
   for (std::size_t i = 1; i < samples_.size(); ++i) {
     const Sample& a = samples_[i - 1];
     const Sample& b = samples_[i];
     const double c = (a.h - b.h) / (b.t - a.t);
     if (c == 0.0) continue;
-    total += c * (std::exp(-M * a.t) - std::exp(-M * b.t)) / M;
+    total += c * std::exp(-M * a.t) * (-std::expm1(-M * (b.t - a.t))) / M;
   }
   return total;
 }
 
 double TabulatedUtility::time_weighted_transform(double M) const {
   if (!(M > 0.0)) throw std::domain_error("TabulatedUtility: M > 0");
-  // int_a^b t e^{-Mt} dt = (a/M + 1/M^2) e^{-Ma} - (b/M + 1/M^2) e^{-Mb}
+  // Shift each segment to the origin:
+  //   int_a^b t e^{-Mt} dt
+  //     = e^{-Ma} [ a (1 - e^{-x}) / M + g(x) / M^2 ],   x = M (b - a),
+  // with g as above. The literal antiderivative difference cancels
+  // 1/M^2-magnitude terms and loses ~6 digits already at M ~ 1e-6.
   double total = 0.0;
   for (std::size_t i = 1; i < samples_.size(); ++i) {
     const Sample& a = samples_[i - 1];
     const Sample& b = samples_[i];
     const double c = (a.h - b.h) / (b.t - a.t);
     if (c == 0.0) continue;
-    const double ea = std::exp(-M * a.t);
-    const double eb = std::exp(-M * b.t);
-    total += c * ((a.t / M + 1.0 / (M * M)) * ea -
-                  (b.t / M + 1.0 / (M * M)) * eb);
+    const double x = M * (b.t - a.t);
+    total += c * std::exp(-M * a.t) *
+             (a.t * (-std::expm1(-x)) / M +
+              one_minus_one_plus_x_exp(x) / (M * M));
   }
   return total;
 }

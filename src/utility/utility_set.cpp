@@ -1,4 +1,6 @@
 #include <stdexcept>
+#include <string>
+#include <unordered_map>
 
 #include "impatience/utility/utility_set.hpp"
 
@@ -46,6 +48,18 @@ const DelayUtility& UtilitySet::at(std::size_t item) const {
     throw std::out_of_range("UtilitySet::at: item out of range");
   }
   return *utilities_[item];
+}
+
+std::vector<std::size_t> UtilitySet::duplicate_of() const {
+  std::vector<std::size_t> canonical(utilities_.size());
+  std::unordered_map<std::string, std::size_t> first_by_name;
+  first_by_name.reserve(utilities_.size());
+  for (std::size_t i = 0; i < utilities_.size(); ++i) {
+    const auto [it, inserted] =
+        first_by_name.try_emplace(utilities_[i]->name(), i);
+    canonical[i] = it->second;
+  }
+  return canonical;
 }
 
 bool UtilitySet::all_bounded_at_zero() const {

@@ -1,0 +1,349 @@
+// MarginalOracle equivalence: the incremental oracle must reproduce the
+// naive alloc::marginal_gain / welfare_heterogeneous results (Lemma 1)
+// and lazy_greedy_placement must equal its naive reference bit for bit.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "impatience/alloc/oracle.hpp"
+#include "impatience/alloc/solvers.hpp"
+#include "impatience/util/rng.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace {
+
+using impatience::alloc::ItemId;
+using impatience::alloc::MarginalOracle;
+using impatience::alloc::Placement;
+using impatience::alloc::PopularityProfile;
+using impatience::trace::NodeId;
+namespace alloc = impatience::alloc;
+namespace utility = impatience::utility;
+namespace util = impatience::util;
+namespace trace = impatience::trace;
+
+struct Instance {
+  trace::RateMatrix rates{2};
+  std::vector<double> demand;
+  std::vector<NodeId> servers;
+  std::vector<NodeId> clients;
+  ItemId num_items = 0;
+};
+
+/// Heterogeneous rates over `nodes` nodes; the client list overlaps the
+/// server list so client-held replicas occur.
+Instance random_instance(util::Rng& rng, NodeId nodes, NodeId num_servers,
+                         ItemId num_items) {
+  Instance inst;
+  inst.rates = trace::RateMatrix(nodes);
+  for (NodeId a = 0; a < nodes; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < nodes; ++b) {
+      if (rng.bernoulli(0.85)) inst.rates.set(a, b, rng.uniform(0.005, 0.3));
+    }
+  }
+  inst.num_items = num_items;
+  inst.demand.resize(num_items);
+  for (auto& d : inst.demand) d = rng.uniform(0.1, 2.0);
+  for (NodeId s = 0; s < num_servers; ++s) inst.servers.push_back(s);
+  // Clients: the back half of the servers plus every non-server node.
+  for (NodeId n = num_servers / 2; n < nodes; ++n) inst.clients.push_back(n);
+  return inst;
+}
+
+Placement random_placement(const Instance& inst, int capacity,
+                           util::Rng& rng) {
+  Placement p(inst.num_items,
+              static_cast<NodeId>(inst.servers.size()), capacity);
+  for (NodeId s = 0; s < p.num_servers(); ++s) {
+    for (int k = 0; k < capacity; ++k) {
+      const auto item = static_cast<ItemId>(rng.uniform_index(inst.num_items));
+      if (!p.has(item, s)) p.add(item, s);
+    }
+  }
+  return p;
+}
+
+PopularityProfile random_popularity(const Instance& inst, util::Rng& rng) {
+  PopularityProfile prof;
+  prof.pi.resize(inst.num_items);
+  for (auto& row : prof.pi) {
+    row.resize(inst.clients.size());
+    double sum = 0.0;
+    for (auto& w : row) {
+      w = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.1, 1.0);
+      sum += w;
+    }
+    if (sum == 0.0) {
+      row[0] = 1.0;
+      sum = 1.0;
+    }
+    for (auto& w : row) w /= sum;
+  }
+  return prof;
+}
+
+void expect_marginals_match(const Instance& inst, const Placement& placement,
+                            const MarginalOracle& oracle,
+                            const utility::DelayUtility& u,
+                            const std::optional<PopularityProfile>& pop) {
+  for (ItemId i = 0; i < inst.num_items; ++i) {
+    for (NodeId s = 0; s < placement.num_servers(); ++s) {
+      if (placement.has(i, s)) continue;
+      const double naive =
+          alloc::marginal_gain(placement, inst.rates, inst.demand, u,
+                               inst.servers, inst.clients, i, s, pop);
+      const double fast = oracle.marginal(i, s);
+      EXPECT_NEAR(fast, naive, 1e-12) << "item " << i << " server " << s;
+    }
+  }
+}
+
+TEST(MarginalOracleTest, MatchesNaiveOnRandomInstances) {
+  const utility::StepUtility step(25.0);
+  const utility::ExponentialUtility expo(0.04);
+  const utility::DelayUtility* utilities[] = {&step, &expo};
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    util::Rng rng(seed);
+    const Instance inst = random_instance(rng, 14, 8, 12);
+    const Placement placement = random_placement(inst, 3, rng);
+    for (const auto* u : utilities) {
+      MarginalOracle oracle(inst.rates, inst.demand, *u, inst.servers,
+                            inst.clients, inst.num_items);
+      oracle.reset(placement);
+      expect_marginals_match(inst, placement, oracle, *u, std::nullopt);
+    }
+  }
+}
+
+TEST(MarginalOracleTest, MatchesNaiveWithPopularityProfile) {
+  const utility::StepUtility step(40.0);
+  for (std::uint64_t seed = 10; seed < 13; ++seed) {
+    util::Rng rng(seed);
+    const Instance inst = random_instance(rng, 12, 7, 9);
+    const PopularityProfile pop = random_popularity(inst, rng);
+    const Placement placement = random_placement(inst, 2, rng);
+    MarginalOracle oracle(inst.rates, inst.demand, step, inst.servers,
+                          inst.clients, inst.num_items, pop);
+    oracle.reset(placement);
+    expect_marginals_match(inst, placement, oracle, step, pop);
+  }
+}
+
+TEST(MarginalOracleTest, MatchesNaivePerItemUtilities) {
+  util::Rng rng(99);
+  const Instance inst = random_instance(rng, 12, 6, 10);
+  std::vector<std::unique_ptr<utility::DelayUtility>> items;
+  for (ItemId i = 0; i < inst.num_items; ++i) {
+    if (i % 2 == 0) {
+      items.push_back(std::make_unique<utility::StepUtility>(15.0));
+    } else {
+      items.push_back(std::make_unique<utility::ExponentialUtility>(0.1));
+    }
+  }
+  const utility::UtilitySet set(std::move(items));
+  const Placement placement = random_placement(inst, 2, rng);
+  MarginalOracle oracle(inst.rates, inst.demand, set, inst.servers,
+                        inst.clients);
+  oracle.reset(placement);
+  for (ItemId i = 0; i < inst.num_items; ++i) {
+    for (NodeId s = 0; s < placement.num_servers(); ++s) {
+      if (placement.has(i, s)) continue;
+      const double naive =
+          alloc::marginal_gain(placement, inst.rates, inst.demand, set,
+                               inst.servers, inst.clients, i, s);
+      EXPECT_NEAR(oracle.marginal(i, s), naive, 1e-12);
+    }
+  }
+}
+
+TEST(MarginalOracleTest, IncrementalAddTracksNaive) {
+  // Interleave adds with marginal checks: after every mutation the
+  // oracle must still agree with the naive evaluator on the updated
+  // placement.
+  util::Rng rng(7);
+  const Instance inst = random_instance(rng, 10, 6, 8);
+  const utility::ExponentialUtility u(0.08);
+  Placement placement(inst.num_items, 6, 3);
+  MarginalOracle oracle(inst.rates, inst.demand, u, inst.servers,
+                        inst.clients, inst.num_items);
+  for (int step = 0; step < 10; ++step) {
+    const auto item = static_cast<ItemId>(rng.uniform_index(inst.num_items));
+    const auto server = static_cast<NodeId>(rng.uniform_index(6));
+    if (placement.has(item, server) || placement.server_full(server)) {
+      continue;
+    }
+    placement.add(item, server);
+    oracle.add(item, server);
+    expect_marginals_match(inst, placement, oracle, u, std::nullopt);
+  }
+}
+
+TEST(MarginalOracleTest, AddRemoveRoundtripRestoresMarginals) {
+  util::Rng rng(21);
+  const Instance inst = random_instance(rng, 10, 5, 6);
+  const utility::StepUtility u(20.0);
+  const Placement placement = random_placement(inst, 2, rng);
+  MarginalOracle oracle(inst.rates, inst.demand, u, inst.servers,
+                        inst.clients, inst.num_items);
+  oracle.reset(placement);
+  std::vector<double> before;
+  for (ItemId i = 0; i < inst.num_items; ++i) {
+    for (NodeId s = 0; s < 5; ++s) {
+      if (!placement.has(i, s)) before.push_back(oracle.marginal(i, s));
+    }
+  }
+  // Mutate and revert.
+  ItemId item = 0;
+  NodeId server = 0;
+  [&] {
+    for (ItemId i = 0; i < inst.num_items; ++i) {
+      for (NodeId s = 0; s < 5; ++s) {
+        if (!placement.has(i, s)) {
+          item = i;
+          server = s;
+          return;
+        }
+      }
+    }
+  }();
+  oracle.add(item, server);
+  EXPECT_TRUE(oracle.has(item, server));
+  oracle.remove(item, server);
+  std::size_t k = 0;
+  for (ItemId i = 0; i < inst.num_items; ++i) {
+    for (NodeId s = 0; s < 5; ++s) {
+      if (!placement.has(i, s)) {
+        EXPECT_EQ(oracle.marginal(i, s), before[k]) << "i=" << i << " s=" << s;
+        ++k;
+      }
+    }
+  }
+}
+
+TEST(MarginalOracleTest, WelfareMatchesMarginalTelescoping) {
+  // U(P) must equal U(empty) plus the sum of the marginals of the adds
+  // that built P — the defining property of a marginal oracle.
+  util::Rng rng(31);
+  const Instance inst = random_instance(rng, 12, 7, 9);
+  const utility::ExponentialUtility u(0.06);
+  MarginalOracle oracle(inst.rates, inst.demand, u, inst.servers,
+                        inst.clients, inst.num_items);
+  double expected = oracle.welfare();
+  for (int step = 0; step < 12; ++step) {
+    const auto item = static_cast<ItemId>(rng.uniform_index(inst.num_items));
+    const auto server = static_cast<NodeId>(rng.uniform_index(7));
+    if (oracle.has(item, server)) continue;
+    expected += oracle.marginal(item, server);
+    oracle.add(item, server);
+  }
+  EXPECT_NEAR(oracle.welfare(), expected, 1e-9);
+}
+
+TEST(MarginalOracleTest, UnboundedUtilityThrowsLikeNaiveWhenClientHolds) {
+  // Power alpha in (1, 2): h(0+) = inf. A client co-located with a holder
+  // makes the request gain undefined; both evaluators must throw.
+  util::Rng rng(5);
+  const Instance inst = random_instance(rng, 8, 6, 4);
+  const utility::PowerUtility u(1.5);
+  // inst.clients starts at node 3, so server index 3 (node 3) is also a
+  // client: placing there creates a client-held replica.
+  Placement placement(inst.num_items, 6, 2);
+  placement.add(0, 3);
+  MarginalOracle oracle(inst.rates, inst.demand, u, inst.servers,
+                        inst.clients, inst.num_items);
+  oracle.reset(placement);
+  EXPECT_THROW(alloc::marginal_gain(placement, inst.rates, inst.demand, u,
+                                    inst.servers, inst.clients, 0, 1),
+               std::domain_error);
+  EXPECT_THROW(oracle.marginal(0, 1), std::domain_error);
+}
+
+TEST(MarginalOracleTest, ErrorCases) {
+  util::Rng rng(1);
+  const Instance inst = random_instance(rng, 8, 4, 3);
+  const utility::StepUtility u(10.0);
+  MarginalOracle oracle(inst.rates, inst.demand, u, inst.servers,
+                        inst.clients, inst.num_items);
+  oracle.add(0, 0);
+  EXPECT_THROW(oracle.marginal(0, 0), std::logic_error);
+  EXPECT_THROW(oracle.add(0, 0), std::logic_error);
+  EXPECT_THROW(oracle.remove(1, 0), std::logic_error);
+  EXPECT_THROW(oracle.marginal(inst.num_items, 0), std::out_of_range);
+  EXPECT_THROW(oracle.marginal(0, 4), std::out_of_range);
+
+  std::vector<double> bad_demand(inst.num_items + 1, 1.0);
+  EXPECT_THROW(MarginalOracle(inst.rates, bad_demand, u, inst.servers,
+                              inst.clients, inst.num_items),
+               std::invalid_argument);
+  Placement wrong(inst.num_items, 2, 1);
+  EXPECT_THROW(oracle.reset(wrong), std::invalid_argument);
+}
+
+TEST(LazyGreedyEquivalenceTest, OraclePlacementIdenticalToNaive) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    util::Rng rng(seed + 40);
+    const Instance inst = random_instance(rng, 16, 9, 14);
+    const utility::StepUtility u(30.0);
+    const Placement fast = alloc::lazy_greedy_placement(
+        inst.rates, inst.demand, u, inst.servers, inst.clients,
+        inst.num_items, 3);
+    const Placement naive = alloc::lazy_greedy_placement_naive(
+        inst.rates, inst.demand, u, inst.servers, inst.clients,
+        inst.num_items, 3);
+    ASSERT_EQ(fast.num_servers(), naive.num_servers());
+    for (ItemId i = 0; i < inst.num_items; ++i) {
+      for (NodeId s = 0; s < fast.num_servers(); ++s) {
+        EXPECT_EQ(fast.has(i, s), naive.has(i, s))
+            << "seed " << seed << " item " << i << " server " << s;
+      }
+    }
+  }
+}
+
+TEST(LazyGreedyEquivalenceTest, PerItemUtilitiesIdenticalToNaive) {
+  util::Rng rng(77);
+  const Instance inst = random_instance(rng, 14, 8, 12);
+  std::vector<std::unique_ptr<utility::DelayUtility>> items;
+  for (ItemId i = 0; i < inst.num_items; ++i) {
+    if (i % 3 == 0) {
+      items.push_back(std::make_unique<utility::ExponentialUtility>(0.05));
+    } else {
+      items.push_back(std::make_unique<utility::StepUtility>(20.0));
+    }
+  }
+  const utility::UtilitySet set(std::move(items));
+  const Placement fast = alloc::lazy_greedy_placement(
+      inst.rates, inst.demand, set, inst.servers, inst.clients,
+      inst.num_items, 2);
+  const Placement naive = alloc::lazy_greedy_placement_naive(
+      inst.rates, inst.demand, set, inst.servers, inst.clients,
+      inst.num_items, 2);
+  for (ItemId i = 0; i < inst.num_items; ++i) {
+    for (NodeId s = 0; s < fast.num_servers(); ++s) {
+      EXPECT_EQ(fast.has(i, s), naive.has(i, s));
+    }
+  }
+}
+
+TEST(LazyGreedyEquivalenceTest, PopularityProfileIdenticalToNaive) {
+  util::Rng rng(55);
+  const Instance inst = random_instance(rng, 12, 7, 10);
+  const PopularityProfile pop = random_popularity(inst, rng);
+  const utility::ExponentialUtility u(0.07);
+  const Placement fast = alloc::lazy_greedy_placement(
+      inst.rates, inst.demand, u, inst.servers, inst.clients,
+      inst.num_items, 2, pop);
+  const Placement naive = alloc::lazy_greedy_placement_naive(
+      inst.rates, inst.demand, u, inst.servers, inst.clients,
+      inst.num_items, 2, pop);
+  for (ItemId i = 0; i < inst.num_items; ++i) {
+    for (NodeId s = 0; s < fast.num_servers(); ++s) {
+      EXPECT_EQ(fast.has(i, s), naive.has(i, s));
+    }
+  }
+}
+
+}  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "impatience/util/rng.hpp"
+
 namespace impatience::trace {
 namespace {
 
@@ -69,6 +71,73 @@ TEST(ContactTrace, EmptyTraceIsFine) {
   ContactTrace t(3, 100, {});
   EXPECT_TRUE(t.empty());
   EXPECT_EQ(t.slot_events(50).size(), 0u);
+  EXPECT_TRUE(t.pair_counts().empty());
+}
+
+TEST(ContactTrace, PairCountsMatchBruteForce) {
+  // The one-pass pair index must agree with a per-pair event scan on a
+  // randomized trace.
+  util::Rng rng(123);
+  const NodeId nodes = 9;
+  std::vector<ContactEvent> events;
+  for (int k = 0; k < 400; ++k) {
+    events.push_back({static_cast<Slot>(rng.uniform_index(50)),
+                      static_cast<NodeId>(rng.uniform_index(nodes)),
+                      static_cast<NodeId>(rng.uniform_index(nodes))});
+  }
+  ContactTrace t(nodes, 50, std::move(events));
+
+  std::size_t indexed_total = 0;
+  for (const auto& pc : t.pair_counts()) {
+    EXPECT_LT(pc.a, pc.b);
+    EXPECT_GT(pc.count, 0u);
+    indexed_total += pc.count;
+  }
+  EXPECT_EQ(indexed_total, t.size());
+
+  for (NodeId a = 0; a < nodes; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < nodes; ++b) {
+      std::size_t brute = 0;
+      for (const auto& e : t.events()) {
+        if (e.a == a && e.b == b) ++brute;
+      }
+      EXPECT_EQ(t.pair_count(a, b), brute) << "pair (" << a << "," << b << ")";
+      EXPECT_EQ(t.pair_count(b, a), brute);
+    }
+  }
+}
+
+TEST(ContactTrace, PairCountsAreSorted) {
+  ContactTrace t(4, 5, {{0, 2, 3}, {1, 0, 1}, {2, 2, 3}, {3, 0, 3}});
+  const auto& pc = t.pair_counts();
+  ASSERT_EQ(pc.size(), 3u);
+  EXPECT_EQ(pc[0], (PairContacts{0, 1, 1}));
+  EXPECT_EQ(pc[1], (PairContacts{0, 3, 1}));
+  EXPECT_EQ(pc[2], (PairContacts{2, 3, 2}));
+}
+
+TEST(ContactTrace, SliceMatchesEventFilter) {
+  // The slot-index slice must equal filtering the event list by slot.
+  util::Rng rng(7);
+  std::vector<ContactEvent> events;
+  for (int k = 0; k < 300; ++k) {
+    events.push_back({static_cast<Slot>(rng.uniform_index(40)),
+                      static_cast<NodeId>(rng.uniform_index(6)),
+                      static_cast<NodeId>(rng.uniform_index(6))});
+  }
+  ContactTrace t(6, 40, std::move(events));
+  for (const auto& [from, to] :
+       {std::pair<Slot, Slot>{0, 40}, {5, 12}, {39, 40}, {0, 1}, {17, 23}}) {
+    const auto sub = t.slice(from, to);
+    std::vector<ContactEvent> expected;
+    for (const auto& e : t.events()) {
+      if (e.slot >= from && e.slot < to) {
+        expected.push_back({e.slot - from, e.a, e.b});
+      }
+    }
+    EXPECT_EQ(sub.events(), expected) << "slice [" << from << "," << to << ")";
+    EXPECT_EQ(sub.duration(), to - from);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,214 @@
+// CachedTransform error-bound and fallback behaviour: interpolated
+// transforms must stay within the configured absolute error of the exact
+// (closed-form or Simpson) values across the grid range, delegate exactly
+// outside it, and leave uncacheable columns untouched.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "impatience/utility/cached_transform.hpp"
+#include "impatience/utility/families.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace {
+
+using impatience::utility::CachedTransform;
+using impatience::utility::CachedTransformOptions;
+using impatience::utility::DelayUtility;
+namespace utility = impatience::utility;
+namespace util = impatience::util;
+
+/// Max |cached - exact| over a dense log-spaced sweep plus random
+/// off-grid points of [m_min, m_max], per transform column.
+struct Deviation {
+  double loss = 0.0;
+  double time_weighted = 0.0;
+  double gain = 0.0;
+};
+
+Deviation max_deviation(const CachedTransform& cached, const DelayUtility& base,
+                        const CachedTransformOptions& opts, int sweep = 1500,
+                        int random = 1500) {
+  Deviation dev;
+  util::Rng rng(4242);
+  const double lo = std::log(opts.m_min);
+  const double hi = std::log(opts.m_max);
+  auto probe = [&](double M) {
+    dev.loss = std::max(dev.loss,
+                        std::abs(cached.loss_transform(M) -
+                                 base.loss_transform(M)));
+    dev.time_weighted =
+        std::max(dev.time_weighted, std::abs(cached.time_weighted_transform(M) -
+                                             base.time_weighted_transform(M)));
+    dev.gain = std::max(
+        dev.gain, std::abs(cached.expected_gain(M) - base.expected_gain(M)));
+  };
+  for (int k = 0; k < sweep; ++k) {
+    probe(std::exp(lo + (hi - lo) * k / static_cast<double>(sweep - 1)));
+  }
+  for (int k = 0; k < random; ++k) {
+    probe(std::exp(rng.uniform(lo, hi)));
+  }
+  return dev;
+}
+
+TEST(CachedTransformTest, StepWithinBound) {
+  const utility::StepUtility base(2.0);
+  const CachedTransformOptions opts;  // defaults: [1e-6, 1e6] at 1e-9
+  const CachedTransform cached(base, opts);
+  const Deviation dev = max_deviation(cached, base, opts);
+  EXPECT_LE(dev.loss, opts.abs_error);
+  EXPECT_LE(dev.time_weighted, opts.abs_error);
+  EXPECT_LE(dev.gain, opts.abs_error);
+  EXPECT_GT(cached.table_points(), 0u);
+}
+
+TEST(CachedTransformTest, ExponentialWithinBound) {
+  const utility::ExponentialUtility base(0.35);
+  const CachedTransformOptions opts;
+  const CachedTransform cached(base, opts);
+  const Deviation dev = max_deviation(cached, base, opts);
+  EXPECT_LE(dev.loss, opts.abs_error);
+  EXPECT_LE(dev.time_weighted, opts.abs_error);
+  EXPECT_LE(dev.gain, opts.abs_error);
+}
+
+TEST(CachedTransformTest, TabulatedWithinBound) {
+  const utility::TabulatedUtility base(
+      {{0.0, 1.0}, {1.0, 0.8}, {5.0, 0.35}, {20.0, 0.05}, {60.0, 0.0}});
+  const CachedTransformOptions opts;
+  const CachedTransform cached(base, opts);
+  const Deviation dev = max_deviation(cached, base, opts);
+  EXPECT_LE(dev.loss, opts.abs_error);
+  EXPECT_LE(dev.time_weighted, opts.abs_error);
+  EXPECT_LE(dev.gain, opts.abs_error);
+}
+
+TEST(CachedTransformTest, CostPowerWithinConfiguredBound) {
+  // alpha < 1 (waiting cost): transform values grow like M^{alpha-1}
+  // toward small M, so a narrower range and looser bound are the
+  // realistic configuration.
+  const utility::PowerUtility base(0.5);
+  CachedTransformOptions opts;
+  opts.m_min = 1e-2;
+  opts.m_max = 1e2;
+  opts.abs_error = 1e-7;
+  const CachedTransform cached(base, opts);
+  const Deviation dev = max_deviation(cached, base, opts);
+  EXPECT_LE(dev.loss, opts.abs_error);
+  EXPECT_LE(dev.time_weighted, opts.abs_error);
+  EXPECT_LE(dev.gain, opts.abs_error);
+}
+
+TEST(CachedTransformTest, SimpsonBackedUtilityWithinBound) {
+  // No transform overrides: the base falls back to adaptive Simpson, the
+  // exact path the memo grid is meant to amortize.
+  class RawExponential final : public DelayUtility {
+   public:
+    double value(double t) const override { return std::exp(-0.2 * t); }
+    double value_at_zero() const override { return 1.0; }
+    double value_at_inf() const override { return 0.0; }
+    double differential(double t) const override {
+      return 0.2 * std::exp(-0.2 * t);
+    }
+    std::string name() const override { return "raw-exp(0.2)"; }
+    std::unique_ptr<DelayUtility> clone() const override {
+      return std::make_unique<RawExponential>(*this);
+    }
+  };
+  const RawExponential base;
+  CachedTransformOptions opts;
+  opts.abs_error = 1e-8;  // keep headroom above the quadrature tolerance
+  const CachedTransform cached(base, opts);
+  const Deviation dev = max_deviation(cached, base, opts, 500, 500);
+  EXPECT_LE(dev.loss, opts.abs_error);
+  EXPECT_LE(dev.time_weighted, opts.abs_error);
+  EXPECT_LE(dev.gain, opts.abs_error);
+}
+
+TEST(CachedTransformTest, OutOfRangeDelegatesExactly) {
+  const utility::StepUtility base(3.0);
+  CachedTransformOptions opts;
+  opts.m_min = 1e-3;
+  opts.m_max = 1e3;
+  const CachedTransform cached(base, opts);
+  for (double M : {1e-5, 5e-4, 2e3, 1e7}) {
+    EXPECT_EQ(cached.loss_transform(M), base.loss_transform(M));
+    EXPECT_EQ(cached.time_weighted_transform(M),
+              base.time_weighted_transform(M));
+    EXPECT_EQ(cached.expected_gain(M), base.expected_gain(M));
+  }
+}
+
+TEST(CachedTransformTest, UnboundedLossColumnDelegates) {
+  // 1 < alpha < 2: L(M) is +inf everywhere, so the loss column cannot
+  // tabulate and must pass through; expected_gain is finite and cached.
+  const utility::PowerUtility base(1.5);
+  CachedTransformOptions opts;
+  opts.m_min = 1e-2;
+  opts.m_max = 1e2;
+  opts.abs_error = 1e-7;
+  const CachedTransform cached(base, opts);
+  EXPECT_TRUE(std::isinf(cached.loss_transform(1.0)));
+  util::Rng rng(9);
+  double dev = 0.0;
+  for (int k = 0; k < 1000; ++k) {
+    const double M = std::exp(rng.uniform(std::log(opts.m_min),
+                                          std::log(opts.m_max)));
+    dev = std::max(dev,
+                   std::abs(cached.expected_gain(M) - base.expected_gain(M)));
+  }
+  EXPECT_LE(dev, opts.abs_error);
+}
+
+TEST(CachedTransformTest, PointEvaluationsAndNameDelegate) {
+  const utility::ExponentialUtility base(0.1);
+  const CachedTransform cached(base);
+  EXPECT_EQ(cached.value(3.0), base.value(3.0));
+  EXPECT_EQ(cached.value_at_zero(), base.value_at_zero());
+  EXPECT_EQ(cached.value_at_inf(), base.value_at_inf());
+  EXPECT_EQ(cached.differential(3.0), base.differential(3.0));
+  EXPECT_EQ(cached.name(), "cached(" + base.name() + ")");
+  EXPECT_TRUE(cached.bounded_at_zero());
+}
+
+TEST(CachedTransformTest, CloneSharesTable) {
+  const utility::StepUtility base(4.0);
+  const CachedTransform cached(base);
+  const auto copy = cached.clone();
+  const auto* copy_cached = dynamic_cast<const CachedTransform*>(copy.get());
+  ASSERT_NE(copy_cached, nullptr);
+  EXPECT_EQ(copy_cached->table_points(), cached.table_points());
+  EXPECT_EQ(copy_cached->loss_transform(0.37), cached.loss_transform(0.37));
+}
+
+TEST(CachedTransformTest, MakeCachedDedupsAndMatchesBase) {
+  // 8 items, two distinct profiles: one table per profile, every item's
+  // transforms within the bound of its base.
+  std::vector<std::unique_ptr<DelayUtility>> items;
+  for (int i = 0; i < 8; ++i) {
+    if (i % 2 == 0) {
+      items.push_back(std::make_unique<utility::StepUtility>(6.0));
+    } else {
+      items.push_back(std::make_unique<utility::ExponentialUtility>(0.25));
+    }
+  }
+  const utility::UtilitySet base_set(std::move(items));
+  const utility::UtilitySet cached_set = utility::make_cached(base_set);
+  ASSERT_EQ(cached_set.size(), base_set.size());
+  const auto canon = cached_set.duplicate_of();
+  for (std::size_t i = 0; i < canon.size(); ++i) {
+    EXPECT_EQ(canon[i], i % 2);  // same grouping as the unwrapped set
+    EXPECT_EQ(cached_set[i].name(), "cached(" + base_set[i].name() + ")");
+    for (double M : {0.01, 0.3, 2.0, 40.0}) {
+      EXPECT_NEAR(cached_set[i].loss_transform(M),
+                  base_set[i].loss_transform(M), 1e-9);
+      EXPECT_NEAR(cached_set[i].expected_gain(M),
+                  base_set[i].expected_gain(M), 1e-9);
+    }
+  }
+}
+
+}  // namespace
