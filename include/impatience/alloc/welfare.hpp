@@ -66,6 +66,13 @@ struct PopularityProfile {
 /// `rates`. For pure P2P pass the same node list for both. If a client
 /// node is also a server holding the item, the request fulfils
 /// immediately (the (1 - x_{i,n}) factor).
+///
+/// Built on alloc::MarginalOracle, which shares the old direct
+/// evaluator's contract: an empty client list throws invalid_argument
+/// (as before), and empty catalogs / empty server lists cannot arise
+/// because Placement rejects zero-item and zero-server dimensions at
+/// construction. Node ids must be in range of `rates`; the oracle's
+/// validation errors carry a "MarginalOracle:" prefix.
 double welfare_heterogeneous(
     const Placement& placement, const trace::RateMatrix& rates,
     const std::vector<double>& demand, const utility::DelayUtility& u,

@@ -61,6 +61,10 @@ class CachedTransform final : public DelayUtility {
   /// "cached(<base name>)" — distinct bases stay distinct under
   /// UtilitySet::duplicate_of, so wrapped sets dedup like unwrapped ones.
   std::string name() const override;
+  /// Base fingerprint plus the table-shaping options: the grid build is
+  /// deterministic given (base, options), so equal fingerprints imply
+  /// bit-identical interpolated transforms.
+  std::string fingerprint() const override;
   std::unique_ptr<DelayUtility> clone() const override;
 
   const DelayUtility& base() const noexcept { return *base_; }
@@ -70,13 +74,14 @@ class CachedTransform final : public DelayUtility {
 
  private:
   std::unique_ptr<DelayUtility> base_;
+  CachedTransformOptions options_;
   std::shared_ptr<const detail::TransformTable> table_;
 };
 
 /// Wrap every item of a UtilitySet in a CachedTransform, building one
 /// table per *distinct* utility (UtilitySet::duplicate_of, keyed on
-/// name()) and sharing it across duplicates — a 1000-item catalog with
-/// one impatience profile builds a single table.
+/// fingerprint()) and sharing it across duplicates — a 1000-item catalog
+/// with one impatience profile builds a single table.
 UtilitySet make_cached(const UtilitySet& utilities,
                        const CachedTransformOptions& options = {});
 

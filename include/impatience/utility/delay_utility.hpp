@@ -60,11 +60,31 @@ class DelayUtility {
   /// dedicated-node case).
   bool bounded_at_zero() const;
 
-  /// Short machine-readable identifier, e.g. "step(tau=1)".
+  /// Short machine-readable identifier, e.g. "step(tau=1)". Meant for
+  /// diagnostics and labels; it need not be injective (TabulatedUtility
+  /// reports only its point count). Use fingerprint() for identity.
   virtual std::string name() const = 0;
+
+  /// Behavioural-identity key: two utilities with equal fingerprints must
+  /// compute identical values and transforms for every input, because
+  /// UtilitySet::duplicate_of() merges them into one shared transform
+  /// cache. The parametric families encode every parameter in their name
+  /// at round-trip precision, so the default returns name(); families
+  /// whose name abbreviates state (tabulated samples, mixture components)
+  /// override with a full serialization.
+  virtual std::string fingerprint() const;
 
   virtual std::unique_ptr<DelayUtility> clone() const = 0;
 };
+
+namespace detail {
+
+/// Shortest decimal string that round-trips to exactly `x` (std::to_chars),
+/// so name()/fingerprint() never merge parameters that differ below the
+/// fixed 6-decimal precision of std::to_string.
+std::string format_param(double x);
+
+}  // namespace detail
 
 /// phi(x) of Property 1: phi(x) = mu * T(mu * x); strictly decreasing in x.
 /// The relaxed optimum satisfies d_i * phi(x_i) = const across items.

@@ -116,6 +116,9 @@ class TabulatedUtility final : public DelayUtility {
   double loss_transform(double M) const override;
   double time_weighted_transform(double M) const override;
   std::string name() const override;
+  /// Full (t, h) serialization at round-trip precision — name() only
+  /// reports the point count, which is not identity.
+  std::string fingerprint() const override;
   std::unique_ptr<DelayUtility> clone() const override;
 
  private:
@@ -144,6 +147,9 @@ class MixtureUtility final : public DelayUtility {
   double time_weighted_transform(double M) const override;
   double expected_gain(double M) const override;
   std::string name() const override;
+  /// Weights plus component *fingerprints* (a component may itself have a
+  /// non-identifying name, e.g. a tabulated curve).
+  std::string fingerprint() const override;
   std::unique_ptr<DelayUtility> clone() const override;
 
  private:

@@ -37,11 +37,12 @@ class UtilitySet {
   bool all_bounded_at_zero() const;
 
   /// duplicate_of()[i] is the index of the first item whose utility is
-  /// behaviourally identical to item i's, keyed on name() — the built-in
-  /// families encode every parameter in their name. Items mapping to the
-  /// same index can share transform caches (MarginalOracle memos, the
-  /// CachedTransform tables of make_cached), so a large catalog with one
-  /// shared impatience profile builds one table.
+  /// behaviourally identical to item i's, keyed on fingerprint() — a full
+  /// round-trip serialization of the utility's state (name() alone is not
+  /// identity: e.g. tabulated curves only report their point count). Items
+  /// mapping to the same index can share transform caches (MarginalOracle
+  /// memos, the CachedTransform tables of make_cached), so a large catalog
+  /// with one shared impatience profile builds one table.
   std::vector<std::size_t> duplicate_of() const;
 
  private:

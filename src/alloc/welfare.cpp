@@ -178,6 +178,9 @@ double welfare_heterogeneous(
     throw std::invalid_argument(
         "welfare: server list size != placement server count");
   }
+  if (clients.empty()) {
+    throw std::invalid_argument("welfare: empty client list");
+  }
   MarginalOracle oracle(rates, demand, u, servers, clients,
                         placement.num_items(), popularity);
   oracle.reset(placement);
@@ -193,6 +196,9 @@ double welfare_heterogeneous(
   if (servers.size() != placement.num_servers()) {
     throw std::invalid_argument(
         "welfare: server list size != placement server count");
+  }
+  if (clients.empty()) {
+    throw std::invalid_argument("welfare: empty client list");
   }
   MarginalOracle oracle(rates, demand, utilities, servers, clients,
                         popularity);

@@ -112,7 +112,7 @@ double lookup(const TransformColumn& col, const TransformTable& table,
 
 CachedTransform::CachedTransform(const DelayUtility& base,
                                  const CachedTransformOptions& options)
-    : base_(base.clone()) {
+    : base_(base.clone()), options_(options) {
   if (!(options.m_min > 0.0) || !(options.m_max > options.m_min)) {
     throw std::invalid_argument("CachedTransform: need 0 < m_min < m_max");
   }
@@ -134,7 +134,9 @@ CachedTransform::CachedTransform(const DelayUtility& base,
 }
 
 CachedTransform::CachedTransform(const CachedTransform& other)
-    : base_(other.base_->clone()), table_(other.table_) {}
+    : base_(other.base_->clone()),
+      options_(other.options_),
+      table_(other.table_) {}
 
 CachedTransform::~CachedTransform() = default;
 
@@ -165,6 +167,15 @@ double CachedTransform::expected_gain(double M) const {
 
 std::string CachedTransform::name() const {
   return "cached(" + base_->name() + ")";
+}
+
+std::string CachedTransform::fingerprint() const {
+  return "cached(" + base_->fingerprint() + ";m=[" +
+         detail::format_param(options_.m_min) + "," +
+         detail::format_param(options_.m_max) +
+         "],err=" + detail::format_param(options_.abs_error) +
+         ",seed=" + std::to_string(options_.initial_points) +
+         ",depth=" + std::to_string(options_.max_refine_depth) + ")";
 }
 
 std::unique_ptr<DelayUtility> CachedTransform::clone() const {

@@ -1,11 +1,24 @@
 #include "impatience/utility/delay_utility.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <stdexcept>
 
 #include "impatience/util/math.hpp"
 
 namespace impatience::utility {
+
+namespace detail {
+
+std::string format_param(double x) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), x);
+  return std::string(buf, res.ptr);
+}
+
+}  // namespace detail
+
+std::string DelayUtility::fingerprint() const { return name(); }
 
 namespace {
 void require_positive_rate(double M) {

@@ -30,7 +30,7 @@ double ExponentialUtility::time_weighted_transform(double M) const {
 }
 
 std::string ExponentialUtility::name() const {
-  return "exp(nu=" + std::to_string(nu_) + ")";
+  return "exp(nu=" + detail::format_param(nu_) + ")";
 }
 
 std::unique_ptr<DelayUtility> ExponentialUtility::clone() const {

@@ -83,8 +83,18 @@ std::string MixtureUtility::name() const {
   std::string out = "mixture(";
   for (std::size_t i = 0; i < components_.size(); ++i) {
     if (i) out += '+';
-    out += std::to_string(components_[i].weight) + "*" +
+    out += detail::format_param(components_[i].weight) + "*" +
            components_[i].utility->name();
+  }
+  return out + ")";
+}
+
+std::string MixtureUtility::fingerprint() const {
+  std::string out = "mixture(";
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (i) out += '+';
+    out += detail::format_param(components_[i].weight) + "*" +
+           components_[i].utility->fingerprint();
   }
   return out + ")";
 }

@@ -58,7 +58,7 @@ double PowerUtility::expected_gain(double M) const {
 }
 
 std::string PowerUtility::name() const {
-  return "power(alpha=" + std::to_string(alpha_) + ")";
+  return "power(alpha=" + detail::format_param(alpha_) + ")";
 }
 
 std::unique_ptr<DelayUtility> PowerUtility::clone() const {

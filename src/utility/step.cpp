@@ -24,7 +24,7 @@ double StepUtility::time_weighted_transform(double M) const {
 }
 
 std::string StepUtility::name() const {
-  return "step(tau=" + std::to_string(tau_) + ")";
+  return "step(tau=" + detail::format_param(tau_) + ")";
 }
 
 std::unique_ptr<DelayUtility> StepUtility::clone() const {

@@ -110,6 +110,17 @@ std::string TabulatedUtility::name() const {
   return "tabulated(" + std::to_string(samples_.size()) + " pts)";
 }
 
+std::string TabulatedUtility::fingerprint() const {
+  std::string out = "tabulated(";
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (i) out += ',';
+    out += detail::format_param(samples_[i].t);
+    out += ':';
+    out += detail::format_param(samples_[i].h);
+  }
+  return out + ")";
+}
+
 std::unique_ptr<DelayUtility> TabulatedUtility::clone() const {
   return std::make_unique<TabulatedUtility>(*this);
 }

@@ -52,11 +52,11 @@ const DelayUtility& UtilitySet::at(std::size_t item) const {
 
 std::vector<std::size_t> UtilitySet::duplicate_of() const {
   std::vector<std::size_t> canonical(utilities_.size());
-  std::unordered_map<std::string, std::size_t> first_by_name;
-  first_by_name.reserve(utilities_.size());
+  std::unordered_map<std::string, std::size_t> first_by_fingerprint;
+  first_by_fingerprint.reserve(utilities_.size());
   for (std::size_t i = 0; i < utilities_.size(); ++i) {
     const auto [it, inserted] =
-        first_by_name.try_emplace(utilities_[i]->name(), i);
+        first_by_fingerprint.try_emplace(utilities_[i]->fingerprint(), i);
     canonical[i] = it->second;
   }
   return canonical;

@@ -159,6 +159,34 @@ TEST(MarginalOracleTest, MatchesNaivePerItemUtilities) {
   }
 }
 
+TEST(MarginalOracleTest, MatchesNaiveDistinctTabulatedCurves) {
+  // Every curve has the same point count (and so the same name()); the
+  // oracle must not share transform memos across them.
+  util::Rng rng(7);
+  const Instance inst = random_instance(rng, 10, 6, 8);
+  std::vector<std::unique_ptr<utility::DelayUtility>> items;
+  for (ItemId i = 0; i < inst.num_items; ++i) {
+    const double deadline = 5.0 + 10.0 * static_cast<double>(i % 4);
+    items.push_back(std::make_unique<utility::TabulatedUtility>(
+        std::vector<utility::TabulatedUtility::Sample>{{0.0, 1.0},
+                                                       {deadline, 0.0}}));
+  }
+  const utility::UtilitySet set(std::move(items));
+  const Placement placement = random_placement(inst, 2, rng);
+  MarginalOracle oracle(inst.rates, inst.demand, set, inst.servers,
+                        inst.clients);
+  oracle.reset(placement);
+  for (ItemId i = 0; i < inst.num_items; ++i) {
+    for (NodeId s = 0; s < placement.num_servers(); ++s) {
+      if (placement.has(i, s)) continue;
+      const double naive =
+          alloc::marginal_gain(placement, inst.rates, inst.demand, set,
+                               inst.servers, inst.clients, i, s);
+      EXPECT_NEAR(oracle.marginal(i, s), naive, 1e-12);
+    }
+  }
+}
+
 TEST(MarginalOracleTest, IncrementalAddTracksNaive) {
   // Interleave adds with marginal checks: after every mutation the
   // oracle must still agree with the naive evaluator on the updated

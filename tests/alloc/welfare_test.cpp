@@ -144,6 +144,46 @@ TEST(WelfareHeterogeneous, MatchesHomogeneousPureP2p) {
   EXPECT_NEAR(het, hom, 1e-12);
 }
 
+// Regression: tabulated curves share the name "tabulated(N pts)", so a
+// name-keyed dedup would silently evaluate every item with the first
+// item's curve. The set evaluation must match summing per-item
+// single-utility evaluations.
+TEST(WelfareHeterogeneous, DistinctTabulatedCurvesKeepTheirOwnUtility) {
+  const utility::TabulatedUtility fast({{0.0, 1.0}, {2.0, 0.0}});
+  const utility::TabulatedUtility slow({{0.0, 1.0}, {40.0, 0.0}});
+  const trace::NodeId S = 3, C = 2;
+  const auto rates = trace::RateMatrix::homogeneous(S + C, kMu);
+  std::vector<trace::NodeId> servers{0, 1, 2};
+  std::vector<trace::NodeId> clients{3, 4};
+  Placement p(2, S, 2);
+  p.add(0, 0);
+  p.add(1, 1);
+  p.add(1, 2);
+  const std::vector<double> demand{1.0, 2.0};
+
+  std::vector<std::unique_ptr<utility::DelayUtility>> us;
+  us.push_back(fast.clone());
+  us.push_back(slow.clone());
+  const utility::UtilitySet set(std::move(us));
+
+  const double combined =
+      welfare_heterogeneous(p, rates, demand, set, servers, clients);
+  const double item0 =
+      welfare_heterogeneous(p, rates, {1.0, 0.0}, fast, servers, clients);
+  const double item1 =
+      welfare_heterogeneous(p, rates, {0.0, 2.0}, slow, servers, clients);
+  EXPECT_NEAR(combined, item0 + item1, 1e-12);
+  EXPECT_NE(item0, item1);  // the curves really do differ
+}
+
+TEST(WelfareHeterogeneous, EmptyClientListThrows) {
+  StepUtility u(1.0);
+  const auto rates = trace::RateMatrix::homogeneous(3, kMu);
+  Placement p(1, 2, 1);
+  EXPECT_THROW(welfare_heterogeneous(p, rates, {1.0}, u, {0, 1}, {}),
+               std::invalid_argument);
+}
+
 TEST(WelfareHeterogeneous, FasterPairsRaiseWelfare) {
   StepUtility u(1.0);
   trace::RateMatrix slow = trace::RateMatrix::homogeneous(4, 0.01);

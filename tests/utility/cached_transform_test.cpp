@@ -211,4 +211,27 @@ TEST(CachedTransformTest, MakeCachedDedupsAndMatchesBase) {
   }
 }
 
+TEST(CachedTransformTest, MakeCachedKeepsDistinctTabulatedCurves) {
+  // Regression: both curves share the name "tabulated(2 pts)"; dedup must
+  // not replace one item's utility with the other's.
+  using Sample = utility::TabulatedUtility::Sample;
+  std::vector<std::unique_ptr<DelayUtility>> items;
+  items.push_back(std::make_unique<utility::TabulatedUtility>(
+      std::vector<Sample>{{0.0, 1.0}, {1.0, 0.0}}));
+  items.push_back(std::make_unique<utility::TabulatedUtility>(
+      std::vector<Sample>{{0.0, 1.0}, {20.0, 0.0}}));
+  const utility::UtilitySet base_set(std::move(items));
+  const utility::UtilitySet cached_set = utility::make_cached(base_set);
+  const auto canon = cached_set.duplicate_of();
+  EXPECT_EQ(canon[0], 0u);
+  EXPECT_EQ(canon[1], 1u);
+  for (std::size_t i = 0; i < cached_set.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cached_set[i].value(0.5), base_set[i].value(0.5));
+    for (double M : {0.01, 0.3, 2.0, 40.0}) {
+      EXPECT_NEAR(cached_set[i].loss_transform(M),
+                  base_set[i].loss_transform(M), 1e-9);
+    }
+  }
+}
+
 }  // namespace

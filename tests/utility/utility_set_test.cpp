@@ -64,6 +64,66 @@ TEST(UtilitySet, AllBoundedAtZero) {
   EXPECT_FALSE(set.all_bounded_at_zero());
 }
 
+TEST(UtilitySet, DuplicateOfGroupsBehaviourallyIdenticalItems) {
+  std::vector<std::unique_ptr<DelayUtility>> us;
+  us.push_back(std::make_unique<StepUtility>(2.0));
+  us.push_back(std::make_unique<ExponentialUtility>(0.5));
+  us.push_back(std::make_unique<StepUtility>(2.0));
+  us.push_back(std::make_unique<StepUtility>(3.0));
+  const UtilitySet set(std::move(us));
+  const auto canon = set.duplicate_of();
+  EXPECT_EQ(canon[0], 0u);
+  EXPECT_EQ(canon[1], 1u);
+  EXPECT_EQ(canon[2], 0u);  // same tau merges
+  EXPECT_EQ(canon[3], 3u);  // different tau stays distinct
+}
+
+TEST(UtilitySet, TabulatedCurvesWithEqualPointCountStayDistinct) {
+  // Both names are "tabulated(2 pts)": identity must come from the
+  // sample values (fingerprint), not the display name.
+  const std::vector<TabulatedUtility::Sample> fast{{0.0, 1.0}, {1.0, 0.0}};
+  const std::vector<TabulatedUtility::Sample> slow{{0.0, 1.0}, {10.0, 0.0}};
+  std::vector<std::unique_ptr<DelayUtility>> us;
+  us.push_back(std::make_unique<TabulatedUtility>(fast));
+  us.push_back(std::make_unique<TabulatedUtility>(slow));
+  us.push_back(std::make_unique<TabulatedUtility>(fast));
+  const UtilitySet set(std::move(us));
+  EXPECT_EQ(set[0].name(), set[1].name());
+  EXPECT_NE(set[0].fingerprint(), set[1].fingerprint());
+  const auto canon = set.duplicate_of();
+  EXPECT_EQ(canon[0], 0u);
+  EXPECT_EQ(canon[1], 1u);
+  EXPECT_EQ(canon[2], 0u);  // identical samples still merge
+}
+
+TEST(UtilitySet, ParametersBelowToStringPrecisionStayDistinct) {
+  // std::to_string would print both alphas as 0.000000.
+  std::vector<std::unique_ptr<DelayUtility>> us;
+  us.push_back(std::make_unique<PowerUtility>(1e-7));
+  us.push_back(std::make_unique<PowerUtility>(2e-7));
+  const UtilitySet set(std::move(us));
+  EXPECT_NE(set[0].name(), set[1].name());
+  const auto canon = set.duplicate_of();
+  EXPECT_EQ(canon[1], 1u);
+}
+
+TEST(UtilitySet, MixtureFingerprintSeesComponentSamples) {
+  // Two mixtures whose tabulated components share a name but not a curve.
+  auto make_mixture = [](double t_end) {
+    std::vector<MixtureUtility::Component> comps;
+    comps.push_back({1.0, std::make_unique<TabulatedUtility>(
+                              std::vector<TabulatedUtility::Sample>{
+                                  {0.0, 1.0}, {t_end, 0.0}})});
+    return std::make_unique<MixtureUtility>(std::move(comps));
+  };
+  std::vector<std::unique_ptr<DelayUtility>> us;
+  us.push_back(make_mixture(1.0));
+  us.push_back(make_mixture(5.0));
+  const UtilitySet set(std::move(us));
+  EXPECT_NE(set[0].fingerprint(), set[1].fingerprint());
+  EXPECT_EQ(set.duplicate_of()[1], 1u);
+}
+
 TEST(UtilitySet, Validation) {
   EXPECT_THROW(UtilitySet({}), std::invalid_argument);
   std::vector<std::unique_ptr<DelayUtility>> with_null;
