@@ -7,6 +7,7 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <memory>
 #include <stdexcept>
@@ -19,6 +20,7 @@
 #include "impatience/engine/runner.hpp"
 #include "impatience/engine/seeding.hpp"
 #include "impatience/engine/thread_pool.hpp"
+#include "impatience/fault/fault.hpp"
 #include "impatience/stats/trials.hpp"
 #include "impatience/util/csv.hpp"
 #include "impatience/util/flags.hpp"
@@ -48,9 +50,16 @@ struct ComparisonConfig {
   core::OptMode opt_mode = core::OptMode::kHomogeneous;
   bool include_qcr = true;
   core::QcrOptions qcr{};
+  /// Per-trial simulator options. When sim.faults is engaged, each job
+  /// gets its own fault stream seed derived from the root seed and the
+  /// job's (policy, trial) — thread-count invariant like the sim seeds.
   core::SimOptions sim{};
   int threads = 0;       ///< engine workers; <1 = hardware concurrency
   bool progress = false; ///< runner progress/ETA on stderr
+  double job_deadline_seconds = 0.0;  ///< per-job watchdog; <= 0 = off
+  int max_attempts = 1;               ///< attempts before quarantine
+  /// Jobs a prior manifest completed are skipped (engine resume).
+  const engine::ResumeSet* resume = nullptr;
   std::string label = "comparison";  ///< scenario label in jobs/manifest
 };
 
@@ -87,10 +96,24 @@ void maybe_write_manifest(
     const engine::RunReport& report,
     std::vector<std::pair<std::string, std::string>> config = {});
 
-/// Reads the standard engine flags (--threads, --progress) into a
-/// ComparisonConfig and announces the engine setup on stderr.
+/// Reads the standard engine flags (--threads, --progress, --job-deadline
+/// seconds, --max-attempts) into a ComparisonConfig and announces the
+/// engine setup on stderr.
 void apply_engine_flags(const util::Flags& flags, ComparisonConfig& config,
                         std::uint64_t root_seed);
+
+/// Reads --resume <manifest.json>: the completed jobs of a prior run,
+/// to be skipped by the engine (their recorded values are replayed).
+/// Returns std::nullopt when the flag is absent. Point
+/// ComparisonConfig::resume at the returned object; its lifetime must
+/// span every run_comparison call.
+std::optional<engine::ResumeSet> load_resume_flag(const util::Flags& flags);
+
+/// Reads the fault-injection flags (--fault-drop, --fault-truncate,
+/// --fault-duplicate, --fault-reorder, --fault-crash, --fault-downtime,
+/// --fault-persist, --fault-seed) into a FaultConfig. Returns true when
+/// any fault is enabled.
+bool apply_fault_flags(const util::Flags& flags, fault::FaultConfig& faults);
 
 /// Standard banner so harness output is self-describing.
 void banner(const std::string& id, const std::string& what,
@@ -118,6 +141,13 @@ inline ComparisonPoint run_comparison(const core::Scenario& scenario,
   // One job per (algorithm, trial), each with its own child stream keyed
   // by the algorithm name — adding or removing a competitor leaves the
   // others' streams untouched.
+  // The fault stream seed is keyed like the sim seed but on a disjoint
+  // tag, so engaging faults never perturbs the simulation streams.
+  auto fault_seed_for = [&](const std::string& policy, int trial) {
+    return engine::child_seed(root_seed, "fault:" + policy,
+                              static_cast<std::uint64_t>(trial));
+  };
+
   std::vector<engine::JobSpec> jobs;
   for (int trial = 0; trial < config.trials; ++trial) {
     for (const auto& competitor : placements[static_cast<std::size_t>(trial)]) {
@@ -128,9 +158,15 @@ inline ComparisonPoint run_comparison(const core::Scenario& scenario,
       job.x = x;
       job.seed = engine::child_seed(root_seed, competitor.name,
                                     static_cast<std::uint64_t>(trial));
-      job.run = [&scenario, &u, &config, &competitor](util::Rng& rng) {
+      const std::uint64_t fault_seed = fault_seed_for(competitor.name, trial);
+      job.run_cancellable = [&scenario, &u, &config, &competitor, fault_seed](
+                                util::Rng& rng,
+                                const util::CancellationToken& cancel) {
+        core::SimOptions sim = config.sim;
+        if (sim.faults.engaged()) sim.faults.seed = fault_seed;
+        sim.cancel = &cancel;
         return core::run_fixed(scenario, u, competitor.name,
-                               competitor.placement, config.sim, rng)
+                               competitor.placement, sim, rng)
             .observed_utility();
       };
       jobs.push_back(std::move(job));
@@ -143,16 +179,28 @@ inline ComparisonPoint run_comparison(const core::Scenario& scenario,
       job.x = x;
       job.seed = engine::child_seed(root_seed, job.policy,
                                     static_cast<std::uint64_t>(trial));
-      job.run = [&scenario, &u, &config](util::Rng& rng) {
-        return core::run_qcr(scenario, u, config.qcr, config.sim, rng)
+      const std::uint64_t fault_seed = fault_seed_for(job.policy, trial);
+      job.run_cancellable = [&scenario, &u, &config, fault_seed](
+                                util::Rng& rng,
+                                const util::CancellationToken& cancel) {
+        core::SimOptions sim = config.sim;
+        if (sim.faults.engaged()) sim.faults.seed = fault_seed;
+        sim.cancel = &cancel;
+        return core::run_qcr(scenario, u, config.qcr, sim, rng)
             .observed_utility();
       };
       jobs.push_back(std::move(job));
     }
   }
 
-  engine::Runner runner({config.threads, config.progress});
-  engine::RunReport report = runner.run(std::move(jobs), root_seed);
+  engine::RunnerOptions runner_options;
+  runner_options.threads = config.threads;
+  runner_options.progress = config.progress;
+  runner_options.job_deadline_seconds = config.job_deadline_seconds;
+  runner_options.max_attempts = config.max_attempts;
+  engine::Runner runner(runner_options);
+  engine::RunReport report =
+      runner.run(std::move(jobs), root_seed, config.resume);
 
   ComparisonPoint point;
   point.x = x;
@@ -268,10 +316,45 @@ inline void apply_engine_flags(const util::Flags& flags,
                                std::uint64_t root_seed) {
   config.threads = flags.get_int("threads", 0);
   config.progress = flags.get_bool("progress", false);
+  config.job_deadline_seconds = flags.get_double("job-deadline", 0.0);
+  config.max_attempts = flags.get_int("max-attempts", 1);
   // stderr, so tables on stdout stay byte-identical across thread counts.
   std::cerr << "[engine] threads="
             << engine::ThreadPool::resolve_threads(config.threads)
-            << " root-seed=" << root_seed << '\n';
+            << " root-seed=" << root_seed;
+  if (config.job_deadline_seconds > 0.0) {
+    std::cerr << " job-deadline=" << config.job_deadline_seconds << 's';
+  }
+  if (config.max_attempts > 1) {
+    std::cerr << " max-attempts=" << config.max_attempts;
+  }
+  std::cerr << '\n';
+}
+
+inline std::optional<engine::ResumeSet> load_resume_flag(
+    const util::Flags& flags) {
+  if (!flags.has("resume")) return std::nullopt;
+  const std::string path = flags.get_string("resume", "");
+  auto set = engine::load_resume_set(path);
+  std::cerr << "[engine] resume=" << path << " (" << set.size()
+            << " completed jobs skipped)\n";
+  return set;
+}
+
+inline bool apply_fault_flags(const util::Flags& flags,
+                              fault::FaultConfig& faults) {
+  faults.p_drop = flags.get_double("fault-drop", faults.p_drop);
+  faults.p_truncate = flags.get_double("fault-truncate", faults.p_truncate);
+  faults.p_duplicate = flags.get_double("fault-duplicate", faults.p_duplicate);
+  faults.p_reorder = flags.get_double("fault-reorder", faults.p_reorder);
+  faults.p_crash = flags.get_double("fault-crash", faults.p_crash);
+  faults.mean_downtime =
+      flags.get_double("fault-downtime", faults.mean_downtime);
+  faults.p_persist_cache =
+      flags.get_double("fault-persist", faults.p_persist_cache);
+  faults.seed = static_cast<std::uint64_t>(
+      flags.get_long("fault-seed", static_cast<long>(faults.seed)));
+  return faults.any();
 }
 
 inline void banner(const std::string& id, const std::string& what,

@@ -28,6 +28,9 @@ int main(int argc, char** argv) {
   config.trials = trials;
   config.opt_mode = core::OptMode::kHomogeneous;
   bench::apply_engine_flags(flags, config, seed);
+  // --resume <prior fig4_manifest.json>: re-run only the unfinished jobs.
+  const auto resume = bench::load_resume_flag(flags);
+  if (resume) config.resume = &*resume;
   engine::RunReport manifest;
 
   // Scenario traces come from per-panel child streams; every simulation

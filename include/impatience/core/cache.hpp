@@ -46,6 +46,13 @@ class Cache {
   /// sticky.
   void erase(ItemId item);
 
+  /// Fault-injection support (node crash without persisted storage):
+  /// drops every non-sticky replica, notifying the change listener per
+  /// item, and returns how many were lost. The sticky replica — the
+  /// paper's immortal origin copy — survives, so no item can go extinct
+  /// even under churn.
+  int crash_clear();
+
   /// Called with (item, +1) after every successful insert (including the
   /// pin_sticky insert path) and (item, -1) after every erase/eviction.
   /// Lets the simulator maintain global replica counts incrementally

@@ -23,6 +23,8 @@ class MandateBag {
   void add(ItemId item, long n);
   /// Removes up to n mandates for the item; returns how many were taken.
   long take(ItemId item, long n);
+  /// Drops every mandate (node crash); returns how many were lost.
+  long drain();
 
   /// Items with at least one mandate.
   std::vector<ItemId> active_items() const;

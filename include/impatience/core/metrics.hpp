@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "impatience/core/catalog.hpp"
+#include "impatience/fault/fault.hpp"
 #include "impatience/stats/timeseries.hpp"
 #include "impatience/trace/contact.hpp"
 
@@ -55,6 +56,12 @@ struct SimulationResult {
   long outstanding_mandates = 0;
   long mandates_created = 0;
   long replicas_written = 0;
+
+  /// Injected faults and their cost (all zero without a fault plan).
+  /// Mandate conservation degrades gracefully under churn:
+  ///   mandates_created == replicas_written + outstanding_mandates
+  ///                       + faults.mandates_lost
+  fault::FaultCounters faults;
 };
 
 }  // namespace impatience::core

@@ -68,6 +68,20 @@ class Node {
     return cache_ && cache_->contains(item);
   }
 
+  /// What a crash wiped out, for the fault accounting in
+  /// SimulationResult::faults.
+  struct CrashLosses {
+    std::uint64_t replicas = 0;
+    long mandates = 0;
+    std::uint64_t requests = 0;
+  };
+
+  /// Fault-injection support: the node crashes, losing its in-flight
+  /// mandates and pending requests. Unless `persist_cache`, a server's
+  /// cache (sticky pin included) is wiped too, notifying the cache's
+  /// change listener so global replica counts stay exact.
+  CrashLosses crash(bool persist_cache);
+
  private:
   NodeId id_;
   bool is_client_;

@@ -12,7 +12,9 @@
 #include "impatience/core/demand.hpp"
 #include "impatience/core/metrics.hpp"
 #include "impatience/core/policy.hpp"
+#include "impatience/fault/fault.hpp"
 #include "impatience/trace/contact.hpp"
+#include "impatience/util/errors.hpp"
 #include "impatience/utility/delay_utility.hpp"
 #include "impatience/utility/utility_set.hpp"
 
@@ -61,6 +63,16 @@ struct SimOptions {
   /// the hook the Section-7 feedback loop hangs off (see
   /// utility::fit_delay_utility and examples/learn_impatience).
   std::function<void(ItemId, NodeId, double, double)> on_fulfillment;
+  /// Deterministic fault injection (docs/robustness.md). Inert by
+  /// default. All fault decisions draw from the plan's own stream
+  /// (faults.seed), never from the simulation RNG, so an all-zero config
+  /// is bit-identical to a run with no fault plan at all, and a seeded
+  /// faulty run is bit-identical across engine thread counts.
+  fault::FaultConfig faults{};
+  /// Cooperative cancellation: checked once per slot in the event loop.
+  /// When cancelled, simulate() throws util::CancelledError — the
+  /// engine's deadline watchdog maps it to ErrorKind::timeout.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 /// Runs one simulation trial with per-item delay-utilities h_i. The delay

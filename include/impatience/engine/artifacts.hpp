@@ -5,6 +5,7 @@
 // Schema: docs/engine.md ("impatience.run_manifest/1").
 #pragma once
 
+#include <functional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -14,6 +15,13 @@
 #include "impatience/engine/runner.hpp"
 
 namespace impatience::engine {
+
+/// Crash-safe file write: streams `writer` into `path + ".tmp"`, fsyncs,
+/// then atomically renames over `path`. A crash or write failure at any
+/// point leaves the previous contents of `path` intact (the temp file is
+/// removed on failure). Throws util::IoError on any I/O failure.
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
 
 /// Escapes a string for embedding in a JSON string literal (quotes,
 /// backslashes, control characters; non-ASCII bytes pass through).
@@ -35,8 +43,10 @@ struct ManifestInfo {
 void write_manifest(std::ostream& out, const RunReport& report,
                     const ManifestInfo& info);
 
-/// File variant; throws std::runtime_error when the file cannot be
-/// written.
+/// File variant: crash-safe via atomic_write_file (temp + fsync +
+/// rename), so an interrupted run never leaves a torn manifest behind —
+/// the previous manifest, if any, survives. Throws util::IoError when
+/// the file cannot be written.
 void write_manifest_file(const std::string& path, const RunReport& report,
                          const ManifestInfo& info);
 

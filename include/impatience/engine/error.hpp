@@ -1,0 +1,31 @@
+// Typed failure taxonomy for the experiment engine. Replaces the
+// stringly-typed JobResult::error as the machine-readable channel: the
+// message stays for humans, the kind drives retry/quarantine decisions
+// and survives the manifest round trip ("error_kind").
+#pragma once
+
+#include <exception>
+#include <string_view>
+
+namespace impatience::engine {
+
+enum class ErrorKind {
+  none = 0,               ///< job succeeded
+  job_exception,          ///< the closure threw an ordinary exception
+  timeout,                ///< deadline watchdog cancelled the attempt
+  fault_budget_exceeded,  ///< fault plan blew its max_fault_events budget
+  io,                     ///< artifact/manifest filesystem failure
+};
+
+/// Stable wire name of a kind (what the manifest stores).
+const char* to_string(ErrorKind kind) noexcept;
+
+/// Inverse of to_string. Unknown names (e.g. a manifest written by a
+/// newer schema) conservatively map to job_exception.
+ErrorKind error_kind_from_string(std::string_view name) noexcept;
+
+/// Maps a caught exception to its kind via the typed errors in
+/// util/errors.hpp (the engine never sees core/fault types directly).
+ErrorKind classify_exception(const std::exception& e) noexcept;
+
+}  // namespace impatience::engine

@@ -9,6 +9,8 @@
 #include <functional>
 #include <string>
 
+#include "impatience/engine/error.hpp"
+#include "impatience/util/errors.hpp"
 #include "impatience/util/rng.hpp"
 
 namespace impatience::engine {
@@ -24,14 +26,24 @@ struct JobSpec {
   /// the scalar outcome (typically an observed utility). May throw — the
   /// runner records the failure without killing the sweep.
   std::function<double(util::Rng&)> run;
+  /// Cancellable variant, preferred by the runner when set: the token is
+  /// armed by the per-job deadline watchdog; the closure should poll it
+  /// (e.g. via SimOptions::cancel) and unwind with util::CancelledError.
+  std::function<double(util::Rng&, const util::CancellationToken&)>
+      run_cancellable;
 };
 
 /// Outcome of one executed job.
 struct JobResult {
   bool ok = false;
   double value = 0.0;        ///< the closure's return value when ok
-  double wall_seconds = 0.0; ///< wall time of this job alone
-  std::string error;         ///< exception message when !ok
+  double wall_seconds = 0.0; ///< wall time across all attempts
+  std::string error;         ///< last exception message when !ok
+  /// Typed counterpart of `error` (manifest "error_kind"); none when ok.
+  ErrorKind error_kind = ErrorKind::none;
+  int attempts = 0;          ///< attempts consumed (>= 1 once executed)
+  bool quarantined = false;  ///< failed every allowed attempt
+  bool resumed = false;      ///< value recovered from a prior manifest
 };
 
 /// Spec coordinates plus result, in submission order (no closure).

@@ -1,0 +1,42 @@
+// Manifest-based resume: a crashed or interrupted sweep re-runs with its
+// previous manifest as a skip list, executing only the jobs that never
+// completed. Completed jobs keep their recorded values (determinism makes
+// the recorded value identical to a re-execution), marked "resumed".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "impatience/engine/job.hpp"
+
+namespace impatience::engine {
+
+/// The set of jobs a prior run already completed, keyed by the full job
+/// identity (scenario, policy, trial, x bit pattern, seed) — a changed
+/// seed or sweep coordinate is a different job and re-runs.
+class ResumeSet {
+ public:
+  void add(std::string_view scenario, std::string_view policy, int trial,
+           double x, std::uint64_t seed, double value);
+
+  /// Recorded outcome of the identical job, or nullptr if it must run.
+  const double* find(const JobSpec& spec) const;
+
+  std::size_t size() const noexcept { return done_.size(); }
+  bool empty() const noexcept { return done_.empty(); }
+
+ private:
+  static std::string key(std::string_view scenario, std::string_view policy,
+                         int trial, double x, std::uint64_t seed);
+
+  std::unordered_map<std::string, double> done_;
+};
+
+/// Parses a run manifest previously written by write_manifest and returns
+/// its successfully completed jobs ("ok": true). Tolerant of additive
+/// schema fields; throws util::IoError when the file cannot be read.
+ResumeSet load_resume_set(const std::string& manifest_path);
+
+}  // namespace impatience::engine

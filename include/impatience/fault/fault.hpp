@@ -1,0 +1,145 @@
+// Deterministic fault injection for the simulator (docs/robustness.md).
+//
+// The paper's claim is that QCR + mandate routing stays near the relaxed
+// optimum in sluggish, unreliable opportunistic settings; the baseline
+// simulator models every contact as a perfect, instantaneous exchange. A
+// FaultPlan degrades that ideal channel — dropped and duplicated
+// meetings, reordered delivery, truncated exchanges, node churn — while
+// keeping every run bit-reproducible: all fault decisions draw from the
+// plan's own RNG stream (seeded from the job's SplitMix64 child seed),
+// never from the simulation RNG. Hence a plan whose probabilities are all
+// zero produces output bit-identical to a run with no plan at all, and a
+// seeded faulty run is bit-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "impatience/trace/contact.hpp"
+#include "impatience/util/errors.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::fault {
+
+using trace::Slot;
+
+/// Per-run fault probabilities and the fault stream seed. Inert by
+/// default; `simulate` engages the fault machinery iff `engaged()`.
+struct FaultConfig {
+  // -- contact-level faults -------------------------------------------
+  /// A meeting silently never happens (radio loss, missed beacon).
+  double p_drop = 0.0;
+  /// A meeting's exchange is cut off after a random prefix of the
+  /// negotiated items; the rest stay pending (partial transfer).
+  double p_truncate = 0.0;
+  /// A meeting is delivered twice in its slot (link-layer duplicate).
+  double p_duplicate = 0.0;
+  /// A slot's surviving meetings are delivered in shuffled order.
+  double p_reorder = 0.0;
+
+  // -- node-level faults ----------------------------------------------
+  /// Per-node per-slot crash hazard. A crashed node loses its in-flight
+  /// mandates and pending requests, goes down for a seeded downtime, and
+  /// loses its cache too unless the crash is a cold restart (below).
+  double p_crash = 0.0;
+  /// Mean downtime in slots after a crash (geometric-like, >= 1 slot).
+  double mean_downtime = 10.0;
+  /// Probability that a crash is a cold restart with persisted cache:
+  /// the node still loses mandates and pending requests, but its cache
+  /// (sticky pin included) survives the downtime.
+  double p_persist_cache = 0.0;
+
+  // -- plumbing ---------------------------------------------------------
+  /// Seed of the fault decision stream. Derive it per job with
+  /// engine::child_seed so 1-thread and 8-thread sweeps stay identical.
+  std::uint64_t seed = 0;
+  /// Upper bound on injected fault events (drops, duplicates, reorders,
+  /// truncations, crashes); 0 = unlimited. Exceeding it throws
+  /// util::FaultBudgetError (engine: ErrorKind::fault_budget_exceeded).
+  std::uint64_t max_fault_events = 0;
+  /// Keep the fault machinery engaged even when every probability is
+  /// zero: decisions are still drawn from the fault stream but no fault
+  /// ever fires. The determinism suite uses this to lock the zero-
+  /// probability path to the no-fault baseline bit-for-bit.
+  bool engage_when_zero = false;
+
+  /// True if any fault can actually fire.
+  bool any() const noexcept;
+  /// True if `simulate` should run the fault code path.
+  bool engaged() const noexcept { return any() || engage_when_zero; }
+  /// Throws std::invalid_argument on out-of-range probabilities.
+  void validate() const;
+};
+
+/// What the plan injected and what it cost, reported as the `faults`
+/// block of core::SimulationResult. With these, mandate conservation
+/// degrades gracefully instead of silently skewing replica counts:
+///   mandates_created == replicas_written + outstanding + mandates_lost
+/// (+ mandates_rewritten when rewriting is enabled).
+struct FaultCounters {
+  std::uint64_t meetings_dropped = 0;
+  std::uint64_t meetings_duplicated = 0;
+  std::uint64_t meetings_skipped_down = 0;  ///< partner was crashed
+  std::uint64_t slots_reordered = 0;
+  std::uint64_t exchanges_truncated = 0;
+  std::uint64_t fulfilments_deferred = 0;  ///< matches cut off by truncation
+  std::uint64_t crashes = 0;
+  std::uint64_t cold_restarts = 0;   ///< crashes that kept their cache
+  std::uint64_t replicas_lost = 0;   ///< cache entries wiped by crashes
+  long mandates_lost = 0;            ///< in-flight mandates wiped by crashes
+  std::uint64_t requests_lost = 0;   ///< pending requests wiped by crashes
+  std::uint64_t requests_suppressed = 0;  ///< demand at down nodes
+
+  /// Injected fault events, the quantity the budget bounds.
+  std::uint64_t injected_events() const noexcept {
+    return meetings_dropped + meetings_duplicated + slots_reordered +
+           exchanges_truncated + crashes;
+  }
+  bool any() const noexcept;
+};
+
+/// One run's fault decisions, in deterministic (slot, event) order. The
+/// simulator owns one plan per trial; every decision consumes only the
+/// plan's private stream, so the simulation RNG sees the exact same draw
+/// sequence as a fault-free run.
+class FaultPlan {
+ public:
+  /// Inert plan: active() == false, no decision ever fires.
+  FaultPlan() = default;
+  /// Validates the config; the plan is active iff config.engaged().
+  explicit FaultPlan(const FaultConfig& config);
+
+  bool active() const noexcept { return active_; }
+
+  // Contact-level decisions, one call per meeting/slot.
+  bool drop_meeting();
+  bool duplicate_meeting();
+  bool should_truncate();
+  /// Prefix length for a truncated exchange with `negotiated` matched
+  /// items (requires negotiated > 0): uniform in [0, negotiated).
+  long truncation_prefix(long negotiated);
+  bool reorder_slot();
+  /// Seeded shuffle of a slot's delivery order (reorder fault).
+  void shuffle_delivery(std::vector<trace::ContactEvent>& events);
+
+  // Node-level decisions, one crash check per (slot, alive node).
+  bool crash_now();
+  /// Given a crash: does the node keep its persisted cache?
+  bool crash_persists_cache();
+  /// Seeded downtime in slots, >= 1.
+  Slot downtime();
+
+  FaultCounters& counters() noexcept { return counters_; }
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+ private:
+  /// Budget check after recording an injected event.
+  void charge_budget() const;
+
+  bool active_ = false;
+  FaultConfig config_{};
+  util::Rng rng_{0};
+  FaultCounters counters_{};
+};
+
+}  // namespace impatience::fault

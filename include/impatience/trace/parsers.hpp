@@ -5,6 +5,7 @@
 // synthetic stand-ins (see DESIGN.md, "Substitutions").
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -18,10 +19,34 @@ enum class ContactExpansion {
   kEverySlot,      ///< one event in every slot the contact spans
 };
 
+/// What a lenient parse skipped (see ParseOptions::report).
+struct ParseReport {
+  /// Malformed or absurd records dropped instead of aborting the parse.
+  std::uint64_t malformed_lines = 0;
+};
+
+/// Record-level error handling, shared by all external-trace parsers.
+struct ParseOptions {
+  /// Lenient mode: a malformed record is skipped (counted, with one
+  /// summary warning) instead of aborting the parse, so one corrupt line
+  /// in a multi-GB trace capture does not kill a sweep. Records with
+  /// non-finite values or timestamps outside +/-1e7 seconds (~115 days —
+  /// far beyond any real capture) are treated as malformed too, bounding
+  /// the memory a corrupt timestamp could demand. A parse in which no
+  /// valid record survives yields a minimal inert trace (1 node, 1 slot,
+  /// no events) rather than throwing. Option-level errors (e.g. a
+  /// non-positive slot_seconds) still throw: those are caller bugs, not
+  /// data corruption.
+  bool lenient = false;
+  /// When set, receives the skip counts of a lenient parse.
+  ParseReport* report = nullptr;
+};
+
 struct CrawdadOptions {
   /// Real seconds per simulation slot (the paper uses 60 = one minute).
   double slot_seconds = 60.0;
   ContactExpansion expansion = ContactExpansion::kOnsetOnly;
+  ParseOptions parse{};
 };
 
 /// Parses CRAWDAD-style pairwise contact records. Accepted line formats
@@ -30,7 +55,7 @@ struct CrawdadOptions {
 ///   time_seconds node_a node_b                 (3 columns)
 /// Node ids may be arbitrary non-negative integers; they are remapped to a
 /// dense [0, N) range in first-appearance order. Throws
-/// std::runtime_error on malformed input.
+/// std::runtime_error on malformed input (unless ParseOptions::lenient).
 ContactTrace parse_crawdad(std::istream& in, const CrawdadOptions& options);
 ContactTrace parse_crawdad_file(const std::string& path,
                                 const CrawdadOptions& options);
@@ -47,6 +72,7 @@ struct GpsOptions {
   /// to meters (equirectangular around the data centroid).
   bool coordinates_are_latlon = false;
   ContactExpansion expansion = ContactExpansion::kOnsetOnly;
+  ParseOptions parse{};
 };
 
 /// Parses GPS position logs ("node_id time_seconds x y" per line, '#'
@@ -60,6 +86,7 @@ struct OneOptions {
   /// Real seconds per simulation slot.
   double slot_seconds = 60.0;
   ContactExpansion expansion = ContactExpansion::kOnsetOnly;
+  ParseOptions parse{};
 };
 
 /// Parses the ONE simulator's StandardEventsReader connection logs:
@@ -68,7 +95,8 @@ struct OneOptions {
 /// Other event types (M/C/S/DE/...) are ignored. Connections still "up"
 /// at the end of the log are closed at the last timestamp. Node ids may
 /// be arbitrary non-negative integers (dense-remapped in first-appearance
-/// order). Throws std::runtime_error on malformed input.
+/// order). Throws std::runtime_error on malformed input (unless
+/// ParseOptions::lenient).
 ContactTrace parse_one_events(std::istream& in, const OneOptions& options);
 ContactTrace parse_one_events_file(const std::string& path,
                                    const OneOptions& options);

@@ -1,0 +1,50 @@
+// Typed error conditions and cooperative cancellation, shared across the
+// layering: the simulator (core) throws them, the experiment engine
+// classifies them into engine::ErrorKind without depending on core, and
+// the artifact writer reports I/O failures with the right type.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace impatience::util {
+
+/// A one-way flag for cooperative cancellation. The engine's deadline
+/// watchdog sets it; long-running loops (the simulator checks once per
+/// slot) poll `cancelled()` and unwind with CancelledError. Relaxed
+/// atomics suffice — the flag carries no data, only "stop soon".
+class CancellationToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Thrown by cooperative code when its CancellationToken fires; the
+/// engine maps it to ErrorKind::timeout.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Filesystem/stream failure (manifest writes, resume reads); the engine
+/// maps it to ErrorKind::io.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A fault-injection plan exceeded its configured event budget
+/// (fault::FaultConfig::max_fault_events); the engine maps it to
+/// ErrorKind::fault_budget_exceeded.
+class FaultBudgetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace impatience::util

@@ -57,6 +57,25 @@ std::optional<ItemId> Cache::insert_random_replace(ItemId item,
   return evicted;
 }
 
+int Cache::crash_clear() {
+  // The sticky replica models the paper's immortal origin copy (its
+  // anti-absorption measure), so it survives the crash; everything else
+  // is lost. Wiping it too would let items go extinct, which no policy
+  // can recover from and the paper's model rules out.
+  int lost = 0;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < items_.size(); ++i) {
+    if (sticky_ && items_[i] == *sticky_) {
+      items_[kept++] = items_[i];
+    } else {
+      notify(items_[i], -1);
+      ++lost;
+    }
+  }
+  items_.resize(kept);
+  return lost;
+}
+
 void Cache::erase(ItemId item) {
   if (sticky_ && *sticky_ == item) {
     throw std::logic_error("Cache: cannot erase the sticky replica");

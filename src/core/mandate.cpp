@@ -43,6 +43,13 @@ long MandateBag::take(ItemId item, long n) {
   return taken;
 }
 
+long MandateBag::drain() {
+  const long lost = total_;
+  count_.assign(count_.size(), 0);
+  total_ = 0;
+  return lost;
+}
+
 std::vector<ItemId> MandateBag::active_items() const {
   std::vector<ItemId> out;
   for (ItemId i = 0; i < count_.size(); ++i) {

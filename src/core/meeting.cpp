@@ -33,7 +33,8 @@ void fulfil_from(SimState& state, Node& requester, Node& provider) {
   std::size_t kept = 0;
   for (std::size_t k = 0; k < pending.size(); ++k) {
     PendingRequest& req = pending[k];
-    if (provider.holds(req.item)) {
+    if (provider.holds(req.item) && state.transfer_budget != 0) {
+      if (state.transfer_budget > 0) --state.transfer_budget;
       const double delay =
           static_cast<double>(state.now - req.created) + 1.0;
       const double gain = (*state.utilities)[req.item].value(delay);
@@ -55,7 +56,21 @@ void fulfil_from(SimState& state, Node& requester, Node& provider) {
   pending.resize(kept);
 }
 
+/// Matched requests `requester` could fulfil from `provider`'s cache.
+long count_fulfillable_from(const Node& requester, const Node& provider) {
+  if (!requester.is_client() || !provider.is_server()) return 0;
+  long matched = 0;
+  for (const PendingRequest& req : requester.pending()) {
+    if (provider.holds(req.item)) ++matched;
+  }
+  return matched;
+}
+
 }  // namespace
+
+long count_fulfillable(const Node& a, const Node& b) {
+  return count_fulfillable_from(a, b) + count_fulfillable_from(b, a);
+}
 
 void process_meeting(SimState& state, Node& a, Node& b) {
   fulfil_from(state, a, b);

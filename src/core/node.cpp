@@ -31,6 +31,18 @@ const Cache& Node::cache() const {
   return *cache_;
 }
 
+Node::CrashLosses Node::crash(bool persist_cache) {
+  CrashLosses losses;
+  if (cache_ && !persist_cache) {
+    losses.replicas = static_cast<std::uint64_t>(cache_->crash_clear());
+  }
+  losses.mandates = mandates_.drain();
+  losses.requests = pending_.size();
+  pending_.clear();
+  pending_count_.assign(pending_count_.size(), 0);
+  return losses;
+}
+
 void Node::create_request(ItemId item, Slot now) {
   if (!is_client_) {
     throw std::logic_error("Node::create_request: node is not a client");

@@ -26,11 +26,20 @@ struct SimState {
   std::uint64_t fulfillments = 0;
   double delay_sum = 0.0;
   double query_sum = 0.0;
+
+  /// Remaining item copies the current meeting may transfer (truncated
+  /// exchange fault); -1 = unlimited. Matched requests beyond the budget
+  /// stay pending.
+  long transfer_budget = -1;
 };
 
 /// Full meeting protocol of Section 6.1: metadata exchange (query-counter
 /// increments), request fulfilment with gain recording, then the policy's
-/// mandate execution/routing step.
+/// mandate execution/routing step. Honors state.transfer_budget.
 void process_meeting(SimState& state, Node& a, Node& b);
+
+/// Matched (fulfillable) requests of this meeting across both directions
+/// — the "negotiated items" a truncated exchange cuts a prefix of.
+long count_fulfillable(const Node& a, const Node& b);
 
 }  // namespace impatience::core::detail

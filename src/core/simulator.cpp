@@ -174,6 +174,17 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   const long mandates_before = qcr ? qcr->mandates_created() : 0;
   const long written_before = qcr ? qcr->replicas_written() : 0;
 
+  // Fault injection (docs/robustness.md). The plan draws every decision
+  // from its own stream, so the fault-free path below is untouched bit
+  // for bit whenever the plan is inert.
+  fault::FaultPlan fault_plan(options.faults);
+  // down_until[n] > slot  <=>  node n is crashed during `slot`.
+  std::vector<Slot> down_until;
+  std::vector<trace::ContactEvent> delivery;
+  if (fault_plan.active()) {
+    down_until.assign(trace.num_nodes(), 0);
+  }
+
   // Policies that track global state seed themselves from the initial
   // allocation (e.g. HillClimbPolicy).
   policy.on_initialized(std::span<const int>(counts));
@@ -181,6 +192,29 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   std::vector<NewRequest> new_requests;
   for (Slot slot = 0; slot < trace.duration(); ++slot) {
     state.now = slot;
+
+    // Cooperative cancellation (the engine's deadline watchdog).
+    if (options.cancel && options.cancel->cancelled()) {
+      throw util::CancelledError("simulate: cancelled at slot " +
+                                 std::to_string(slot));
+    }
+
+    // Node churn: crash checks before demand, so a node that dies in
+    // this slot neither requests nor meets anyone until it rejoins.
+    if (fault_plan.active()) {
+      auto& counters = fault_plan.counters();
+      for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+        if (down_until[n] > slot) continue;  // still down
+        if (!fault_plan.crash_now()) continue;
+        const bool persist = fault_plan.crash_persists_cache();
+        const Node::CrashLosses losses = state.nodes[n].crash(persist);
+        if (persist) ++counters.cold_restarts;
+        counters.replicas_lost += losses.replicas;
+        counters.mandates_lost += losses.mandates;
+        counters.requests_lost += losses.requests;
+        down_until[n] = slot + 1 + fault_plan.downtime();
+      }
+    }
 
     // Scheduled popularity changes.
     while (next_demand_change < options.demand_schedule.size() &&
@@ -193,6 +227,11 @@ SimulationResult simulate(const trace::ContactTrace& trace,
     // New demand.
     demand.sample_slot(rng, new_requests);
     for (const NewRequest& req : new_requests) {
+      if (fault_plan.active() && down_until[req.node] > slot) {
+        // A crashed node generates no demand while down.
+        ++fault_plan.counters().requests_suppressed;
+        continue;
+      }
       ++result.requests_created;
       Node& node = state.nodes[req.node];
       if (node.holds(req.item)) {
@@ -215,8 +254,44 @@ SimulationResult simulate(const trace::ContactTrace& trace,
     }
 
     // Meetings.
-    for (const trace::ContactEvent& e : trace.slot_events(slot)) {
-      detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
+    if (!fault_plan.active()) {
+      for (const trace::ContactEvent& e : trace.slot_events(slot)) {
+        detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
+      }
+    } else {
+      auto& counters = fault_plan.counters();
+      // Stage the slot's surviving meetings so reordering and duplication
+      // act on the delivered sequence, not the trace.
+      delivery.clear();
+      for (const trace::ContactEvent& e : trace.slot_events(slot)) {
+        if (down_until[e.a] > slot || down_until[e.b] > slot) {
+          ++counters.meetings_skipped_down;
+          continue;
+        }
+        if (fault_plan.drop_meeting()) continue;
+        delivery.push_back(e);
+        if (fault_plan.duplicate_meeting()) delivery.push_back(e);
+      }
+      if (delivery.size() >= 2 && fault_plan.reorder_slot()) {
+        fault_plan.shuffle_delivery(delivery);
+      }
+      for (const trace::ContactEvent& e : delivery) {
+        if (fault_plan.should_truncate()) {
+          // Cut the exchange after a seeded prefix of the negotiated
+          // (fulfillable) items; the rest stay pending. The policy's
+          // mandate-execution step still runs — truncation models a
+          // cut data transfer, not a lost control channel.
+          const long negotiated = detail::count_fulfillable(
+              state.nodes[e.a], state.nodes[e.b]);
+          if (negotiated > 0) {
+            state.transfer_budget = fault_plan.truncation_prefix(negotiated);
+            counters.fulfilments_deferred += static_cast<std::uint64_t>(
+                negotiated - state.transfer_budget);
+          }
+        }
+        detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
+        state.transfer_budget = -1;
+      }
     }
 
     // Periodic sampling.
@@ -273,6 +348,7 @@ SimulationResult simulate(const trace::ContactTrace& trace,
     result.mandates_created = qcr->mandates_created() - mandates_before;
     result.replicas_written = qcr->replicas_written() - written_before;
   }
+  result.faults = fault_plan.counters();
   return result;
 }
 

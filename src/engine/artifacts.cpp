@@ -5,10 +5,15 @@
 #include <fstream>
 #include <map>
 #include <sstream>
-#include <stdexcept>
 #include <tuple>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "impatience/stats/percentile.hpp"
+#include "impatience/util/errors.hpp"
 
 namespace impatience::engine {
 
@@ -83,6 +88,8 @@ void write_manifest(std::ostream& out, const RunReport& report,
   out << "  \"wall_seconds\": " << json_number(report.wall_seconds) << ",\n";
   out << "  \"jobs_total\": " << report.jobs.size() << ",\n";
   out << "  \"jobs_failed\": " << report.failed << ",\n";
+  out << "  \"jobs_quarantined\": " << report.quarantined << ",\n";
+  out << "  \"jobs_resumed\": " << report.resumed << ",\n";
 
   out << "  \"config\": {";
   bool first = true;
@@ -135,7 +142,15 @@ void write_manifest(std::ostream& out, const RunReport& report,
         << ", \"ok\": " << (job.result.ok ? "true" : "false")
         << ", \"value\": " << json_number(job.result.value)
         << ", \"wall_seconds\": " << json_number(job.result.wall_seconds);
-    if (!job.result.ok) out << ", \"error\": " << quoted(job.result.error);
+    if (job.result.attempts > 1) {
+      out << ", \"attempts\": " << job.result.attempts;
+    }
+    if (job.result.resumed) out << ", \"resumed\": true";
+    if (!job.result.ok) {
+      out << ", \"error\": " << quoted(job.result.error)
+          << ", \"error_kind\": " << quoted(to_string(job.result.error_kind));
+      if (job.result.quarantined) out << ", \"quarantined\": true";
+    }
     out << "}";
   }
   out << (first ? "" : "\n  ") << "],\n";
@@ -144,16 +159,60 @@ void write_manifest(std::ostream& out, const RunReport& report,
   out << "\n}\n";
 }
 
+namespace {
+
+/// Flushes the temp file's contents to stable storage before the rename
+/// makes it visible; without it a power cut can publish an empty file.
+void fsync_path(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw util::IoError("atomic_write_file: cannot reopen for fsync: " +
+                        path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    throw util::IoError("atomic_write_file: fsync failed: " + path);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw util::IoError("atomic_write_file: cannot open " + tmp);
+      }
+      writer(out);
+      out.flush();
+      if (!out.good()) {
+        throw util::IoError("atomic_write_file: write failed: " + tmp);
+      }
+    }
+    fsync_path(tmp);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw util::IoError("atomic_write_file: rename failed: " + tmp +
+                          " -> " + path);
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());  // never leave the partial temp behind
+    throw;
+  }
+}
+
 void write_manifest_file(const std::string& path, const RunReport& report,
                          const ManifestInfo& info) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("write_manifest_file: cannot open " + path);
-  }
-  write_manifest(out, report, info);
-  if (!out.good()) {
-    throw std::runtime_error("write_manifest_file: write failed: " + path);
-  }
+  atomic_write_file(path, [&](std::ostream& out) {
+    write_manifest(out, report, info);
+  });
 }
 
 }  // namespace impatience::engine

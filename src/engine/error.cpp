@@ -1,0 +1,39 @@
+#include "impatience/engine/error.hpp"
+
+#include "impatience/util/errors.hpp"
+
+namespace impatience::engine {
+
+const char* to_string(ErrorKind kind) noexcept {
+  switch (kind) {
+    case ErrorKind::none: return "none";
+    case ErrorKind::job_exception: return "job_exception";
+    case ErrorKind::timeout: return "timeout";
+    case ErrorKind::fault_budget_exceeded: return "fault_budget_exceeded";
+    case ErrorKind::io: return "io";
+  }
+  return "job_exception";
+}
+
+ErrorKind error_kind_from_string(std::string_view name) noexcept {
+  if (name == "none") return ErrorKind::none;
+  if (name == "timeout") return ErrorKind::timeout;
+  if (name == "fault_budget_exceeded") return ErrorKind::fault_budget_exceeded;
+  if (name == "io") return ErrorKind::io;
+  return ErrorKind::job_exception;
+}
+
+ErrorKind classify_exception(const std::exception& e) noexcept {
+  if (dynamic_cast<const util::CancelledError*>(&e)) {
+    return ErrorKind::timeout;
+  }
+  if (dynamic_cast<const util::FaultBudgetError*>(&e)) {
+    return ErrorKind::fault_budget_exceeded;
+  }
+  if (dynamic_cast<const util::IoError*>(&e)) {
+    return ErrorKind::io;
+  }
+  return ErrorKind::job_exception;
+}
+
+}  // namespace impatience::engine

@@ -1,0 +1,134 @@
+#include "impatience/engine/resume.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "impatience/util/errors.hpp"
+
+namespace impatience::engine {
+
+namespace {
+
+/// Undoes json_escape for the simple escapes the writer emits.
+std::string json_unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        // The writer only emits \u00XX for control bytes.
+        if (i + 4 < s.size()) {
+          out += static_cast<char>(
+              std::strtoul(std::string(s.substr(i + 1, 4)).c_str(), nullptr,
+                           16));
+          i += 4;
+        }
+        break;
+      default: out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Extracts `"key": "value"` from a single manifest line.
+bool find_string_field(const std::string& line, const std::string& field,
+                       std::string& out) {
+  const std::string needle = '"' + field + "\": \"";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + needle.size();
+  std::string raw;
+  while (i < line.size()) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      raw += line[i];
+      raw += line[i + 1];
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"') break;
+    raw += line[i++];
+  }
+  if (i >= line.size()) return false;  // unterminated
+  out = json_unescape(raw);
+  return true;
+}
+
+/// Extracts the raw token after `"key": ` (number, true/false, null).
+bool find_raw_field(const std::string& line, const std::string& field,
+                    std::string& out) {
+  const std::string needle = '"' + field + "\": ";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + needle.size();
+  std::string token;
+  while (i < line.size() && line[i] != ',' && line[i] != '}') {
+    token += line[i++];
+  }
+  out = token;
+  return !token.empty();
+}
+
+}  // namespace
+
+std::string ResumeSet::key(std::string_view scenario, std::string_view policy,
+                           int trial, double x, std::uint64_t seed) {
+  std::ostringstream os;
+  // x joins by bit pattern: resume must not depend on decimal formatting.
+  os << scenario << '\x1f' << policy << '\x1f' << trial << '\x1f'
+     << std::bit_cast<std::uint64_t>(x) << '\x1f' << seed;
+  return os.str();
+}
+
+void ResumeSet::add(std::string_view scenario, std::string_view policy,
+                    int trial, double x, std::uint64_t seed, double value) {
+  done_[key(scenario, policy, trial, x, seed)] = value;
+}
+
+const double* ResumeSet::find(const JobSpec& spec) const {
+  const auto it =
+      done_.find(key(spec.scenario, spec.policy, spec.trial, spec.x,
+                     spec.seed));
+  return it == done_.end() ? nullptr : &it->second;
+}
+
+ResumeSet load_resume_set(const std::string& manifest_path) {
+  std::ifstream in(manifest_path);
+  if (!in) {
+    throw util::IoError("load_resume_set: cannot open " + manifest_path);
+  }
+  ResumeSet set;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Job records are the only lines carrying both a seed and an ok flag
+    // (the series block has neither); write_manifest emits one per line.
+    std::string scenario, policy, trial_tok, x_tok, seed_tok, ok_tok,
+        value_tok;
+    if (!find_raw_field(line, "seed", seed_tok)) continue;
+    if (!find_raw_field(line, "ok", ok_tok) || ok_tok != "true") continue;
+    if (!find_string_field(line, "scenario", scenario)) continue;
+    if (!find_string_field(line, "policy", policy)) continue;
+    if (!find_raw_field(line, "trial", trial_tok)) continue;
+    if (!find_raw_field(line, "x", x_tok)) continue;
+    if (!find_raw_field(line, "value", value_tok)) continue;
+    if (value_tok == "null") continue;  // non-finite value: re-run it
+    set.add(scenario, policy, std::atoi(trial_tok.c_str()),
+            std::strtod(x_tok.c_str(), nullptr),
+            std::strtoull(seed_tok.c_str(), nullptr, 10),
+            std::strtod(value_tok.c_str(), nullptr));
+  }
+  return set;
+}
+
+}  // namespace impatience::engine

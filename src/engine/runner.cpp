@@ -1,11 +1,19 @@
 #include "impatience/engine/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
+#include <vector>
 
+#include "impatience/engine/seeding.hpp"
 #include "impatience/engine/thread_pool.hpp"
 
 namespace impatience::engine {
@@ -18,18 +26,147 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-JobResult execute(const JobSpec& spec) {
+/// One background thread arming per-attempt deadlines: a worker arms a
+/// slot before running an attempt and disarms it after; expired slots get
+/// their CancellationToken fired. Slots are recycled, so the thread count
+/// bounds the vector size for the whole batch.
+class DeadlineWatchdog {
+ public:
+  explicit DeadlineWatchdog(double deadline_seconds)
+      : deadline_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(deadline_seconds))) {
+    thread_ = std::thread([this] { watch(); });
+  }
+
+  ~DeadlineWatchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  std::size_t arm(util::CancellationToken* token) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto expires = Clock::now() + deadline_;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].token) {
+        slots_[i] = {token, expires};
+        cv_.notify_all();
+        return i;
+      }
+    }
+    slots_.push_back({token, expires});
+    cv_.notify_all();
+    return slots_.size() - 1;
+  }
+
+  void disarm(std::size_t slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_[slot].token = nullptr;
+  }
+
+ private:
+  struct Slot {
+    util::CancellationToken* token = nullptr;
+    Clock::time_point expires{};
+  };
+
+  void watch() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      auto next = Clock::time_point::max();
+      for (Slot& slot : slots_) {
+        if (!slot.token) continue;
+        if (slot.expires <= Clock::now()) {
+          slot.token->cancel();
+          slot.token = nullptr;  // fire once; the worker still disarms
+        } else {
+          next = std::min(next, slot.expires);
+        }
+      }
+      if (next == Clock::time_point::max()) {
+        cv_.wait(lock);  // nothing armed; woken by arm() or shutdown
+      } else {
+        cv_.wait_until(lock, next);
+      }
+    }
+  }
+
+  const Clock::duration deadline_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Deterministic exponential backoff: base * 2^(attempt-1), capped, with
+/// +/-50% jitter drawn from a (job seed, attempt) stream — reproducible,
+/// yet decorrelated across the jobs of a batch.
+void backoff_sleep(const JobSpec& spec, int attempt,
+                   const RunnerOptions& options) {
+  if (options.backoff_base_seconds <= 0.0) return;
+  const double base = options.backoff_base_seconds *
+                      std::ldexp(1.0, std::min(attempt - 1, 20));
+  const double capped =
+      std::min(base, std::max(options.backoff_max_seconds, 0.0));
+  util::Rng rng(mix64(spec.seed ^ (0xB0FFULL + static_cast<std::uint64_t>(
+                                                   attempt))));
+  const double delay = capped * (0.5 + rng.uniform());
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
+JobResult execute(const JobSpec& spec, const RunnerOptions& options,
+                  DeadlineWatchdog* watchdog) {
   JobResult result;
   const auto start = Clock::now();
-  try {
-    util::Rng rng(spec.seed);
-    result.value = spec.run(rng);
-    result.ok = true;
-  } catch (const std::exception& e) {
-    result.error = e.what();
-  } catch (...) {
-    result.error = "unknown exception";
+  const int max_attempts = std::max(1, options.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) backoff_sleep(spec, attempt - 1, options);
+    result.attempts = attempt;
+
+    util::CancellationToken token;
+    std::size_t slot = 0;
+    if (watchdog) slot = watchdog->arm(&token);
+
+    bool ok = false;
+    double value = 0.0;
+    try {
+      // Reseeded per attempt: a retried success returns the exact value a
+      // first-try success would have.
+      util::Rng rng(spec.seed);
+      value = spec.run_cancellable ? spec.run_cancellable(rng, token)
+                                   : spec.run(rng);
+      ok = true;
+    } catch (const std::exception& e) {
+      result.error = e.what();
+      result.error_kind = classify_exception(e);
+    } catch (...) {
+      result.error = "unknown exception";
+      result.error_kind = ErrorKind::job_exception;
+    }
+    if (watchdog) watchdog->disarm(slot);
+
+    if (ok && token.cancelled()) {
+      // The deadline fired while the attempt limped home: honor the
+      // budget and count it as a timeout anyway.
+      ok = false;
+      result.error = "job deadline exceeded";
+      result.error_kind = ErrorKind::timeout;
+    }
+    if (ok) {
+      result.ok = true;
+      result.value = value;
+      result.error.clear();
+      result.error_kind = ErrorKind::none;
+      break;
+    }
   }
+  result.quarantined = !result.ok;
   result.wall_seconds = seconds_since(start);
   return result;
 }
@@ -43,6 +180,8 @@ void RunReport::merge(RunReport&& other) {
   }
   wall_seconds += other.wall_seconds;
   failed += other.failed;
+  quarantined += other.quarantined;
+  resumed += other.resumed;
   jobs.insert(jobs.end(), std::make_move_iterator(other.jobs.begin()),
               std::make_move_iterator(other.jobs.end()));
   aggregate.merge(other.aggregate);
@@ -52,8 +191,8 @@ Runner::Runner(RunnerOptions options)
     : options_(options),
       threads_(ThreadPool::resolve_threads(options.threads)) {}
 
-RunReport Runner::run(std::vector<JobSpec> jobs,
-                      std::uint64_t root_seed) const {
+RunReport Runner::run(std::vector<JobSpec> jobs, std::uint64_t root_seed,
+                      const ResumeSet* resume) const {
   RunReport report;
   report.root_seed = root_seed;
   report.threads = static_cast<int>(threads_);
@@ -63,11 +202,35 @@ RunReport Runner::run(std::vector<JobSpec> jobs,
   std::atomic<std::size_t> done{0};
   const auto start = Clock::now();
 
+  // Jobs a prior manifest already completed replay their recorded value
+  // without executing (determinism makes both identical).
+  std::vector<char> skip(n, 0);
+  if (resume && !resume->empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const double* value = resume->find(jobs[i])) {
+        results[i].ok = true;
+        results[i].value = *value;
+        results[i].resumed = true;
+        skip[i] = 1;
+      }
+    }
+  }
+
+  std::unique_ptr<DeadlineWatchdog> watchdog;
+  if (options_.job_deadline_seconds > 0.0) {
+    watchdog = std::make_unique<DeadlineWatchdog>(
+        options_.job_deadline_seconds);
+  }
+
   {
     ThreadPool pool(threads_);
     for (std::size_t i = 0; i < n; ++i) {
+      if (skip[i]) {
+        done.fetch_add(1, std::memory_order_release);
+        continue;
+      }
       pool.submit([&, i] {
-        results[i] = execute(jobs[i]);
+        results[i] = execute(jobs[i], options_, watchdog.get());
         done.fetch_add(1, std::memory_order_release);
       });
     }
@@ -90,6 +253,7 @@ RunReport Runner::run(std::vector<JobSpec> jobs,
     }
     pool.wait_idle();
   }  // pool joins here; every result slot is written
+  watchdog.reset();
 
   report.wall_seconds = seconds_since(start);
 
@@ -101,20 +265,29 @@ RunReport Runner::run(std::vector<JobSpec> jobs,
     JobResult& result = results[i];
     if (result.ok) {
       report.aggregate.add(spec.policy, spec.x, result.value);
+      if (result.resumed) ++report.resumed;
     } else {
       ++report.failed;
-      std::fprintf(stderr, "[engine] job failed: %s/%s trial %d (x=%g): %s\n",
-                   spec.scenario.c_str(), spec.policy.c_str(), spec.trial,
-                   spec.x, result.error.c_str());
+      if (result.quarantined) ++report.quarantined;
+      std::fprintf(
+          stderr,
+          "[engine] job failed: %s/%s trial %d (x=%g) after %d attempt%s "
+          "[%s]: %s\n",
+          spec.scenario.c_str(), spec.policy.c_str(), spec.trial, spec.x,
+          result.attempts, result.attempts == 1 ? "" : "s",
+          to_string(result.error_kind), result.error.c_str());
     }
     report.jobs.push_back(JobRecord{std::move(spec.scenario),
                                     std::move(spec.policy), spec.trial,
                                     spec.x, spec.seed, std::move(result)});
   }
   if (options_.progress) {
-    std::fprintf(stderr,
-                 "[engine] %zu jobs (%zu failed) on %u threads in %.2fs\n", n,
-                 report.failed, threads_, report.wall_seconds);
+    std::fprintf(
+        stderr,
+        "[engine] %zu jobs (%zu failed, %zu quarantined, %zu resumed) on "
+        "%u threads in %.2fs\n",
+        n, report.failed, report.quarantined, report.resumed, threads_,
+        report.wall_seconds);
   }
   return report;
 }

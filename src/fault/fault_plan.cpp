@@ -1,0 +1,112 @@
+#include <cmath>
+#include <stdexcept>
+
+#include "impatience/fault/fault.hpp"
+
+namespace impatience::fault {
+
+namespace {
+
+void check_probability(double p, const char* name) {
+  if (!(p >= 0.0) || !(p <= 1.0)) {
+    throw std::invalid_argument(std::string("FaultConfig: ") + name +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+bool FaultConfig::any() const noexcept {
+  return p_drop > 0.0 || p_truncate > 0.0 || p_duplicate > 0.0 ||
+         p_reorder > 0.0 || p_crash > 0.0;
+}
+
+void FaultConfig::validate() const {
+  check_probability(p_drop, "p_drop");
+  check_probability(p_truncate, "p_truncate");
+  check_probability(p_duplicate, "p_duplicate");
+  check_probability(p_reorder, "p_reorder");
+  check_probability(p_crash, "p_crash");
+  check_probability(p_persist_cache, "p_persist_cache");
+  if (p_crash > 0.0 && !(mean_downtime >= 0.0)) {
+    throw std::invalid_argument("FaultConfig: mean_downtime must be >= 0");
+  }
+}
+
+bool FaultCounters::any() const noexcept {
+  return injected_events() > 0 || meetings_skipped_down > 0 ||
+         fulfilments_deferred > 0 || cold_restarts > 0 || replicas_lost > 0 ||
+         mandates_lost > 0 || requests_lost > 0 || requests_suppressed > 0;
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config)
+    : active_(config.engaged()), config_(config), rng_(config.seed) {
+  config.validate();
+}
+
+void FaultPlan::charge_budget() const {
+  if (config_.max_fault_events > 0 &&
+      counters_.injected_events() > config_.max_fault_events) {
+    throw util::FaultBudgetError(
+        "FaultPlan: injected fault events exceed max_fault_events (" +
+        std::to_string(config_.max_fault_events) + ")");
+  }
+}
+
+bool FaultPlan::drop_meeting() {
+  if (!rng_.bernoulli(config_.p_drop)) return false;
+  ++counters_.meetings_dropped;
+  charge_budget();
+  return true;
+}
+
+bool FaultPlan::duplicate_meeting() {
+  if (!rng_.bernoulli(config_.p_duplicate)) return false;
+  ++counters_.meetings_duplicated;
+  charge_budget();
+  return true;
+}
+
+bool FaultPlan::should_truncate() { return rng_.bernoulli(config_.p_truncate); }
+
+long FaultPlan::truncation_prefix(long negotiated) {
+  if (negotiated <= 0) {
+    throw std::logic_error("FaultPlan::truncation_prefix: nothing negotiated");
+  }
+  ++counters_.exchanges_truncated;
+  charge_budget();
+  return static_cast<long>(
+      rng_.uniform_index(static_cast<std::uint64_t>(negotiated)));
+}
+
+bool FaultPlan::reorder_slot() {
+  if (!rng_.bernoulli(config_.p_reorder)) return false;
+  ++counters_.slots_reordered;
+  charge_budget();
+  return true;
+}
+
+void FaultPlan::shuffle_delivery(std::vector<trace::ContactEvent>& events) {
+  rng_.shuffle(events);
+}
+
+bool FaultPlan::crash_now() {
+  if (!rng_.bernoulli(config_.p_crash)) return false;
+  ++counters_.crashes;
+  charge_budget();
+  return true;
+}
+
+bool FaultPlan::crash_persists_cache() {
+  return rng_.bernoulli(config_.p_persist_cache);
+}
+
+Slot FaultPlan::downtime() {
+  if (!(config_.mean_downtime > 1.0)) return 1;
+  // Geometric-like: 1 + Exp(1 / (mean - 1)) rounded down, so the mean is
+  // about mean_downtime and every crash costs at least one slot.
+  const double extra = rng_.exponential(1.0 / (config_.mean_downtime - 1.0));
+  return 1 + static_cast<Slot>(std::floor(extra));
+}
+
+}  // namespace impatience::fault

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "impatience/trace/parsers.hpp"
+#include "lenient.hpp"
 
 namespace impatience::trace {
 
@@ -27,6 +28,7 @@ ContactTrace parse_gps(std::istream& in, const GpsOptions& options) {
   if (!(options.slot_seconds > 0.0) || !(options.contact_range > 0.0)) {
     throw std::runtime_error("gps parser: bad options");
   }
+  detail::LenientGate gate(options.parse, "gps parser");
   std::map<long, std::vector<Fix>> fixes;
   std::string line;
   double t0 = std::numeric_limits<double>::infinity();
@@ -39,15 +41,26 @@ ContactTrace parse_gps(std::istream& in, const GpsOptions& options) {
     long id;
     double t, x, y;
     if (!(is >> id >> t >> x >> y)) {
-      throw std::runtime_error("gps parser: expected 'id time x y': " + line);
+      gate.reject("expected 'id time x y'", line);
+      continue;
+    }
+    if (gate.lenient() && (!detail::plausible_time(t) ||
+                           !std::isfinite(x) || !std::isfinite(y))) {
+      gate.reject("implausible fix", line);
+      continue;
     }
     fixes[id].push_back({t, x, y});
     t0 = std::min(t0, t);
     t1 = std::max(t1, t);
   }
   if (fixes.empty()) {
+    if (gate.lenient()) {
+      gate.finish();
+      return ContactTrace(1, 1, {});
+    }
     throw std::runtime_error("gps parser: no position fixes found");
   }
+  gate.finish();
 
   if (options.coordinates_are_latlon) {
     // Equirectangular projection about the data centroid.

@@ -2,11 +2,13 @@
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "impatience/trace/parsers.hpp"
+#include "lenient.hpp"
 
 namespace impatience::trace {
 
@@ -19,15 +21,12 @@ struct RawContact {
   double end;
 };
 
-std::vector<double> parse_numbers(const std::string& line) {
+std::optional<std::vector<double>> parse_numbers(const std::string& line) {
   std::vector<double> out;
   std::istringstream is(line);
   double v;
   while (is >> v) out.push_back(v);
-  if (!is.eof()) {
-    throw std::runtime_error("crawdad parser: non-numeric token in line: " +
-                             line);
-  }
+  if (!is.eof()) return std::nullopt;
   return out;
 }
 
@@ -37,6 +36,7 @@ ContactTrace parse_crawdad(std::istream& in, const CrawdadOptions& options) {
   if (!(options.slot_seconds > 0.0)) {
     throw std::runtime_error("crawdad parser: slot_seconds must be > 0");
   }
+  detail::LenientGate gate(options.parse, "crawdad parser");
   std::vector<RawContact> raw;
   std::string line;
   while (std::getline(in, line)) {
@@ -44,27 +44,47 @@ ContactTrace parse_crawdad(std::istream& in, const CrawdadOptions& options) {
     if (hash != std::string::npos) line.resize(hash);
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     const auto nums = parse_numbers(line);
-    if (nums.size() == 4) {
-      raw.push_back({static_cast<long>(nums[0]), static_cast<long>(nums[1]),
-                     nums[2], nums[3]});
-    } else if (nums.size() == 3) {
-      raw.push_back({static_cast<long>(nums[1]), static_cast<long>(nums[2]),
-                     nums[0], nums[0]});
-    } else {
-      throw std::runtime_error("crawdad parser: expected 3 or 4 columns: " +
-                               line);
+    if (!nums) {
+      gate.reject("non-numeric token in line", line);
+      continue;
     }
+    RawContact r;
+    if (nums->size() == 4) {
+      r = {static_cast<long>((*nums)[0]), static_cast<long>((*nums)[1]),
+           (*nums)[2], (*nums)[3]};
+    } else if (nums->size() == 3) {
+      r = {static_cast<long>((*nums)[1]), static_cast<long>((*nums)[2]),
+           (*nums)[0], (*nums)[0]};
+    } else {
+      gate.reject("expected 3 or 4 columns", line);
+      continue;
+    }
+    if (gate.lenient() && (!detail::plausible_time(r.start) ||
+                           !detail::plausible_time(r.end))) {
+      gate.reject("implausible timestamp", line);
+      continue;
+    }
+    if (r.node_a < 0 || r.node_b < 0) {
+      gate.reject("negative node id", line);
+      continue;
+    }
+    if (r.end < r.start) {
+      gate.reject("contact ends before start", line);
+      continue;
+    }
+    raw.push_back(r);
   }
   if (raw.empty()) {
+    if (gate.lenient()) {
+      gate.finish();
+      return ContactTrace(1, 1, {});
+    }
     throw std::runtime_error("crawdad parser: no contact records found");
   }
 
   // Dense node-id remapping in first-appearance order.
   std::map<long, NodeId> ids;
   for (const auto& r : raw) {
-    if (r.node_a < 0 || r.node_b < 0) {
-      throw std::runtime_error("crawdad parser: negative node id");
-    }
     ids.try_emplace(r.node_a, static_cast<NodeId>(ids.size()));
     ids.try_emplace(r.node_b, static_cast<NodeId>(ids.size()));
   }
@@ -72,9 +92,6 @@ ContactTrace parse_crawdad(std::istream& in, const CrawdadOptions& options) {
   double t0 = raw.front().start;
   double t1 = raw.front().end;
   for (const auto& r : raw) {
-    if (r.end < r.start) {
-      throw std::runtime_error("crawdad parser: contact ends before start");
-    }
     t0 = std::min(t0, r.start);
     t1 = std::max(t1, r.end);
   }
@@ -99,6 +116,7 @@ ContactTrace parse_crawdad(std::istream& in, const CrawdadOptions& options) {
       }
     }
   }
+  gate.finish();
   return ContactTrace(static_cast<NodeId>(ids.size()), duration,
                       std::move(events));
 }

@@ -1,0 +1,62 @@
+// Internal helper for ParseOptions::lenient — shared by the external
+// trace parsers, not part of the public API.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "impatience/trace/parsers.hpp"
+#include "impatience/util/log.hpp"
+
+namespace impatience::trace::detail {
+
+/// Timestamp bound (seconds) a lenient parse accepts: ~115 days, far
+/// beyond any real capture, tight enough that one corrupt timestamp
+/// cannot demand an absurd slot range.
+constexpr double kMaxLenientSeconds = 1e7;
+
+inline bool plausible_time(double t) {
+  return std::isfinite(t) && t >= -kMaxLenientSeconds &&
+         t <= kMaxLenientSeconds;
+}
+
+/// Routes record-level errors: throw in strict mode, count-and-skip in
+/// lenient mode (with one summary warning from finish()).
+class LenientGate {
+ public:
+  LenientGate(const ParseOptions& options, const char* parser)
+      : options_(options), parser_(parser) {}
+
+  /// Strict: throws "<parser>: <what>[: <line>]". Lenient: counts the
+  /// skip and returns (callers `continue` past the record).
+  void reject(const std::string& what, const std::string& line) {
+    if (options_.lenient) {
+      ++skipped_;
+      return;
+    }
+    throw std::runtime_error(std::string(parser_) + ": " + what +
+                             (line.empty() ? "" : ": " + line));
+  }
+
+  bool lenient() const noexcept { return options_.lenient; }
+  std::uint64_t skipped() const noexcept { return skipped_; }
+
+  /// Publishes the skip count (report + one warning). Call on every
+  /// return path, the empty-trace fallback included.
+  void finish() const {
+    if (options_.report) options_.report->malformed_lines = skipped_;
+    if (skipped_ > 0) {
+      util::log_warn(parser_, ": lenient mode skipped ", skipped_,
+                     " malformed line(s)");
+    }
+  }
+
+ private:
+  const ParseOptions& options_;
+  const char* parser_;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace impatience::trace::detail

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "impatience/trace/parsers.hpp"
+#include "lenient.hpp"
 
 namespace impatience::trace {
 
@@ -25,6 +26,7 @@ ContactTrace parse_one_events(std::istream& in, const OneOptions& options) {
   if (!(options.slot_seconds > 0.0)) {
     throw std::runtime_error("ONE parser: slot_seconds must be > 0");
   }
+  detail::LenientGate gate(options.parse, "ONE parser");
   std::map<std::pair<long, long>, double> open;  // pair -> start time
   std::vector<Connection> connections;
   double last_time = 0.0;
@@ -38,7 +40,12 @@ ContactTrace parse_one_events(std::istream& in, const OneOptions& options) {
     double time;
     std::string kind;
     if (!(is >> time >> kind)) {
-      throw std::runtime_error("ONE parser: bad line: " + line);
+      gate.reject("bad line", line);
+      continue;
+    }
+    if (gate.lenient() && !detail::plausible_time(time)) {
+      gate.reject("implausible timestamp", line);
+      continue;
     }
     last_time = std::max(last_time, time);
     any = true;
@@ -46,7 +53,8 @@ ContactTrace parse_one_events(std::istream& in, const OneOptions& options) {
     long a, b;
     std::string state;
     if (!(is >> a >> b >> state) || a < 0 || b < 0) {
-      throw std::runtime_error("ONE parser: bad CONN line: " + line);
+      gate.reject("bad CONN line", line);
+      continue;
     }
     auto key = std::minmax(a, b);
     if (state == "up") {
@@ -58,11 +66,11 @@ ContactTrace parse_one_events(std::istream& in, const OneOptions& options) {
         open.erase(it);
       }
     } else {
-      throw std::runtime_error("ONE parser: CONN state must be up/down: " +
-                               line);
+      gate.reject("CONN state must be up/down", line);
+      continue;
     }
   }
-  if (!any) {
+  if (!any && !gate.lenient()) {
     throw std::runtime_error("ONE parser: no events found");
   }
   // Close connections that never went down.
@@ -70,8 +78,13 @@ ContactTrace parse_one_events(std::istream& in, const OneOptions& options) {
     connections.push_back({key.first, key.second, start, last_time});
   }
   if (connections.empty()) {
+    if (gate.lenient()) {
+      gate.finish();
+      return ContactTrace(1, 1, {});
+    }
     throw std::runtime_error("ONE parser: no CONN events found");
   }
+  gate.finish();
 
   // Reuse the CRAWDAD pipeline by serializing to its 4-column format.
   std::ostringstream crawdad;

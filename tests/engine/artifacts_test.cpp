@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 
 #include "impatience/engine/seeding.hpp"
+#include "impatience/util/errors.hpp"
 
 namespace impatience::engine {
 namespace {
@@ -76,7 +80,102 @@ TEST(Artifacts, ManifestContainsSchemaSeriesJobsAndPercentiles) {
 TEST(Artifacts, WriteFileThrowsOnBadPath) {
   EXPECT_THROW(write_manifest_file("/nonexistent-dir/x.json",
                                    sample_report(), {"t", {}}),
+               util::IoError);
+}
+
+TEST(Artifacts, ErrorKindRoundTripsThroughItsManifestString) {
+  for (ErrorKind kind :
+       {ErrorKind::none, ErrorKind::job_exception, ErrorKind::timeout,
+        ErrorKind::fault_budget_exceeded, ErrorKind::io}) {
+    EXPECT_EQ(error_kind_from_string(to_string(kind)), kind);
+  }
+  // Unknown strings from a future schema degrade to the generic kind.
+  EXPECT_EQ(error_kind_from_string("martian"), ErrorKind::job_exception);
+}
+
+TEST(Artifacts, ManifestRecordsErrorKindForFailedJobs) {
+  const RunReport report = sample_report();
+  std::ostringstream out;
+  write_manifest(out, report, {"unit_test", {}});
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"error_kind\": \"job_exception\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"quarantined\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_quarantined\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_resumed\": 0"), std::string::npos);
+  // Successful jobs carry no error_kind field.
+  EXPECT_EQ(json.find("\"error_kind\": \"none\""), std::string::npos);
+}
+
+// A streambuf that accepts `budget` bytes and then fails: simulates the
+// disk filling up (or the process being killed) mid-write.
+class FailingStreambuf : public std::streambuf {
+ public:
+  explicit FailingStreambuf(std::size_t budget) : budget_(budget) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (budget_ == 0) return traits_type::eof();
+    --budget_;
+    return ch;
+  }
+
+ private:
+  std::size_t budget_;
+};
+
+TEST(Artifacts, WriteDyingMidStreamSetsFailbitWithoutCrashing) {
+  const RunReport report = sample_report();
+  FailingStreambuf buf(64);  // dies long before the manifest completes
+  std::ostream out(&buf);
+  write_manifest(out, report, {"unit_test", {}});
+  EXPECT_FALSE(out.good());  // the failure is visible, not swallowed
+}
+
+TEST(Artifacts, AtomicWriteReplacesTheTargetAndLeavesNoTemp) {
+  const std::string path =
+      testing::TempDir() + "impatience_atomic_write.json";
+  std::remove(path.c_str());
+  {
+    std::ofstream prior(path);
+    prior << "previous contents";
+  }
+
+  atomic_write_file(path, [](std::ostream& out) { out << "fresh"; });
+
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "fresh");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(Artifacts, AtomicWriteFailureLeavesPreviousFileIntact) {
+  const std::string path =
+      testing::TempDir() + "impatience_atomic_fail.json";
+  std::remove(path.c_str());
+  {
+    std::ofstream prior(path);
+    prior << "previous contents";
+  }
+
+  EXPECT_THROW(atomic_write_file(path,
+                                 [](std::ostream& out) {
+                                   out << "half a mani";
+                                   throw std::runtime_error("killed");
+                                 }),
                std::runtime_error);
+
+  // The interrupted write never touched the real file, and the temp file
+  // was cleaned up.
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "previous contents");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
 }
 
 }  // namespace

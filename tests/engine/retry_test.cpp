@@ -1,0 +1,207 @@
+// Hardened-runner behavior: bounded retry with per-attempt reseeding,
+// quarantine, the deadline watchdog, typed error classification, and
+// manifest-based resume.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "impatience/engine/artifacts.hpp"
+#include "impatience/engine/resume.hpp"
+#include "impatience/engine/runner.hpp"
+#include "impatience/engine/seeding.hpp"
+#include "impatience/util/errors.hpp"
+
+namespace impatience::engine {
+namespace {
+
+JobSpec seeded_job(const std::string& policy, int trial,
+                   std::uint64_t root = 42) {
+  JobSpec job;
+  job.scenario = "retry-test";
+  job.policy = policy;
+  job.trial = trial;
+  job.seed = child_seed(root, policy, trial);
+  job.run = [](util::Rng& rng) { return rng.uniform(); };
+  return job;
+}
+
+TEST(Retry, TransientFailureSucceedsWithReseededRng) {
+  auto fails_remaining = std::make_shared<std::atomic<int>>(2);
+  JobSpec job = seeded_job("flaky", 0);
+  const std::uint64_t seed = job.seed;
+  job.run = [fails_remaining](util::Rng& rng) {
+    if (fails_remaining->fetch_sub(1) > 0) {
+      throw std::runtime_error("transient");
+    }
+    return rng.uniform();
+  };
+
+  const Runner runner({.threads = 1, .max_attempts = 3,
+                       .backoff_base_seconds = 0.0});
+  const auto report = runner.run({job});
+
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const auto& r = report.jobs[0].result;
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_FALSE(r.quarantined);
+  EXPECT_EQ(report.failed, 0u);
+  // The Rng is reseeded per attempt, so a third-try success returns the
+  // same value a first-try success would have.
+  util::Rng fresh(seed);
+  EXPECT_EQ(r.value, fresh.uniform());
+}
+
+TEST(Retry, ExhaustedAttemptsQuarantineTheJob) {
+  JobSpec job = seeded_job("doomed", 0);
+  job.run = [](util::Rng&) -> double {
+    throw std::runtime_error("permanent");
+  };
+
+  const Runner runner({.threads = 1, .max_attempts = 2,
+                       .backoff_base_seconds = 0.0});
+  const auto report = runner.run({job});
+
+  const auto& r = report.jobs[0].result;
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.quarantined);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.error_kind, ErrorKind::job_exception);
+  EXPECT_EQ(r.error, "permanent");
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.quarantined, 1u);
+}
+
+TEST(Retry, WatchdogCancelsOverrunningJob) {
+  JobSpec job = seeded_job("slow", 0);
+  job.run_cancellable = [](util::Rng&,
+                           const util::CancellationToken& cancel) -> double {
+    // Cooperative loop: the deadline watchdog fires the token.
+    for (int i = 0; i < 100000; ++i) {
+      if (cancel.cancelled()) {
+        throw util::CancelledError("slow job: cancelled");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return 0.0;
+  };
+
+  const Runner runner({.threads = 1, .job_deadline_seconds = 0.05,
+                       .backoff_base_seconds = 0.0});
+  const auto report = runner.run({job});
+
+  const auto& r = report.jobs[0].result;
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, ErrorKind::timeout);
+  EXPECT_EQ(report.failed, 1u);
+}
+
+TEST(Retry, TypedExceptionsClassifyIntoErrorKinds) {
+  JobSpec io = seeded_job("io", 0);
+  io.run = [](util::Rng&) -> double { throw util::IoError("disk gone"); };
+  JobSpec budget = seeded_job("budget", 0);
+  budget.run = [](util::Rng&) -> double {
+    throw util::FaultBudgetError("too many faults");
+  };
+
+  const Runner runner({.threads = 1, .backoff_base_seconds = 0.0});
+  const auto report = runner.run({io, budget});
+
+  EXPECT_EQ(report.jobs[0].result.error_kind, ErrorKind::io);
+  EXPECT_EQ(report.jobs[1].result.error_kind,
+            ErrorKind::fault_budget_exceeded);
+}
+
+TEST(Retry, ResumeSkipsCompletedJobsAndReplaysValues) {
+  const std::string manifest =
+      testing::TempDir() + "impatience_retry_resume_manifest.json";
+  std::remove(manifest.c_str());
+
+  // First run: three jobs succeed, one fails every attempt.
+  std::vector<JobSpec> jobs;
+  for (int t = 0; t < 3; ++t) jobs.push_back(seeded_job("stable", t));
+  JobSpec broken = seeded_job("broken", 0);
+  broken.run = [](util::Rng&) -> double { throw std::runtime_error("boom"); };
+  jobs.push_back(broken);
+
+  const Runner runner({.threads = 2, .backoff_base_seconds = 0.0});
+  const auto first = runner.run(jobs, 42);
+  EXPECT_EQ(first.failed, 1u);
+  write_manifest_file(manifest, first, {"retry_test", {}});
+
+  const ResumeSet resume = load_resume_set(manifest);
+  EXPECT_EQ(resume.size(), 3u);
+
+  // Second run: the completed jobs must not execute again.
+  auto executions = std::make_shared<std::atomic<int>>(0);
+  std::vector<JobSpec> again;
+  for (int t = 0; t < 3; ++t) {
+    JobSpec job = seeded_job("stable", t);
+    auto inner = job.run;
+    job.run = [executions, inner](util::Rng& rng) {
+      executions->fetch_add(1);
+      return inner(rng);
+    };
+    again.push_back(job);
+  }
+  JobSpec fixed = seeded_job("broken", 0);
+  auto inner = fixed.run;
+  fixed.run = [executions, inner](util::Rng& rng) {
+    executions->fetch_add(1);
+    return inner(rng);
+  };
+  again.push_back(fixed);
+
+  const auto second = runner.run(again, 42, &resume);
+  EXPECT_EQ(executions->load(), 1);  // only the previously failed job ran
+  EXPECT_EQ(second.resumed, 3u);
+  EXPECT_EQ(second.failed, 0u);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_TRUE(second.jobs[t].result.resumed);
+    // Replayed value matches the first run's record bit-for-bit.
+    EXPECT_EQ(second.jobs[t].result.value, first.jobs[t].result.value);
+  }
+  EXPECT_FALSE(second.jobs[3].result.resumed);
+  EXPECT_TRUE(second.jobs[3].result.ok);
+  std::remove(manifest.c_str());
+}
+
+TEST(Retry, ThirtyPercentTransientFailureBatchCompletes) {
+  // 10 jobs, 3 of which fail on their first attempt: with retries the
+  // whole batch completes and produces a fully resumable manifest.
+  std::vector<JobSpec> jobs;
+  std::vector<std::shared_ptr<std::atomic<int>>> gates;
+  for (int t = 0; t < 10; ++t) {
+    JobSpec job = seeded_job("mixed", t);
+    if (t % 3 == 0 && t > 0) {  // t = 3, 6, 9
+      auto gate = std::make_shared<std::atomic<int>>(1);
+      gates.push_back(gate);
+      auto inner = job.run;
+      job.run = [gate, inner](util::Rng& rng) {
+        if (gate->fetch_sub(1) > 0) throw std::runtime_error("transient");
+        return inner(rng);
+      };
+    }
+    jobs.push_back(job);
+  }
+
+  const Runner runner({.threads = 4, .max_attempts = 3,
+                       .backoff_base_seconds = 0.0});
+  const auto report = runner.run(jobs, 7);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+
+  const std::string manifest =
+      testing::TempDir() + "impatience_retry_batch_manifest.json";
+  std::remove(manifest.c_str());
+  write_manifest_file(manifest, report, {"retry_test", {}});
+  const ResumeSet resume = load_resume_set(manifest);
+  EXPECT_EQ(resume.size(), 10u);
+  std::remove(manifest.c_str());
+}
+
+}  // namespace
+}  // namespace impatience::engine

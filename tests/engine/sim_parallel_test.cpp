@@ -87,5 +87,55 @@ TEST(SimParallel, SharedScenarioTrialsAreThreadCountInvariant) {
   }
 }
 
+TEST(SimParallel, FaultyTrialsAreThreadCountInvariant) {
+  // Same contract under injected faults: each job derives its fault seed
+  // from its own identity, so 1-thread and 8-thread runs are
+  // bit-identical even while the channel drops, truncates, and crashes.
+  const std::uint64_t root = 5678;
+  const int trials = 3;
+  const auto scenario = small_scenario(root);
+  const utility::PowerUtility u(0.0);
+
+  const auto make_faulty_jobs = [&] {
+    std::vector<engine::JobSpec> jobs;
+    for (int t = 0; t < trials; ++t) {
+      engine::JobSpec qcr;
+      qcr.policy = "QCR-faulty";
+      qcr.trial = t;
+      qcr.seed = engine::child_seed(root, "QCR-faulty",
+                                    static_cast<std::uint64_t>(t));
+      const std::uint64_t fault_seed = engine::child_seed(
+          root, "fault:QCR-faulty", static_cast<std::uint64_t>(t));
+      qcr.run_cancellable = [&scenario, &u, fault_seed](
+                                util::Rng& rng,
+                                const util::CancellationToken& cancel) {
+        core::SimOptions options;
+        options.faults.p_drop = 0.1;
+        options.faults.p_truncate = 0.1;
+        options.faults.p_crash = 0.001;
+        options.faults.seed = fault_seed;
+        options.cancel = &cancel;
+        return core::run_qcr(scenario, u, core::QcrOptions{}, options, rng)
+            .observed_utility();
+      };
+      jobs.push_back(std::move(qcr));
+    }
+    return jobs;
+  };
+
+  const auto serial =
+      engine::Runner({.threads = 1}).run(make_faulty_jobs(), root);
+  const auto wide =
+      engine::Runner({.threads = 8}).run(make_faulty_jobs(), root);
+
+  ASSERT_EQ(serial.failed, 0u);
+  ASSERT_EQ(wide.failed, 0u);
+  ASSERT_EQ(serial.jobs.size(), wide.jobs.size());
+  for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+    EXPECT_EQ(serial.jobs[i].result.value, wide.jobs[i].result.value)
+        << "faulty trial " << serial.jobs[i].trial;
+  }
+}
+
 }  // namespace
 }  // namespace impatience

@@ -1,0 +1,135 @@
+#include "impatience/fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace impatience::fault {
+namespace {
+
+TEST(FaultConfig, DefaultIsInert) {
+  FaultConfig config;
+  EXPECT_FALSE(config.any());
+  EXPECT_FALSE(config.engaged());
+  config.engage_when_zero = true;
+  EXPECT_FALSE(config.any());
+  EXPECT_TRUE(config.engaged());
+}
+
+TEST(FaultConfig, ValidateRejectsOutOfRangeProbabilities) {
+  FaultConfig config;
+  config.p_drop = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.p_drop = -0.1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.p_drop = 0.5;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(FaultPlan, DefaultPlanIsInactive) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_FALSE(plan.counters().any());
+}
+
+TEST(FaultPlan, EngagedZeroProbabilityPlanNeverFires) {
+  FaultConfig config;
+  config.engage_when_zero = true;
+  config.seed = 7;
+  FaultPlan plan(config);
+  EXPECT_TRUE(plan.active());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(plan.drop_meeting());
+    EXPECT_FALSE(plan.duplicate_meeting());
+    EXPECT_FALSE(plan.should_truncate());
+    EXPECT_FALSE(plan.reorder_slot());
+    EXPECT_FALSE(plan.crash_now());
+  }
+  EXPECT_FALSE(plan.counters().any());
+}
+
+TEST(FaultPlan, SameSeedSameDecisionSequence) {
+  FaultConfig config;
+  config.p_drop = 0.3;
+  config.p_crash = 0.1;
+  config.seed = 42;
+  FaultPlan a(config);
+  FaultPlan b(config);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.drop_meeting(), b.drop_meeting());
+    EXPECT_EQ(a.crash_now(), b.crash_now());
+  }
+  EXPECT_EQ(a.counters().meetings_dropped, b.counters().meetings_dropped);
+  EXPECT_EQ(a.counters().crashes, b.counters().crashes);
+}
+
+TEST(FaultPlan, TruncationPrefixIsAProperPrefix) {
+  FaultConfig config;
+  config.p_truncate = 1.0;
+  config.seed = 3;
+  FaultPlan plan(config);
+  for (int i = 0; i < 200; ++i) {
+    const long k = plan.truncation_prefix(7);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 7);
+  }
+  EXPECT_EQ(plan.counters().exchanges_truncated, 200u);
+  EXPECT_THROW(plan.truncation_prefix(0), std::logic_error);
+}
+
+TEST(FaultPlan, DowntimeIsAtLeastOneSlot) {
+  FaultConfig config;
+  config.p_crash = 1.0;
+  config.mean_downtime = 5.0;
+  config.seed = 11;
+  FaultPlan plan(config);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto d = plan.downtime();
+    EXPECT_GE(d, 1);
+    sum += static_cast<double>(d);
+  }
+  // Seeded geometric-like (1 + floor(Exp)): the flooring biases the mean
+  // a bit below the configured value — for mean_downtime = 5 the true
+  // mean is 1 + 1/(e^(1/4) - 1) ~= 4.52.
+  EXPECT_NEAR(sum / n, 4.52, 0.5);
+}
+
+TEST(FaultPlan, BudgetExceededThrowsTypedError) {
+  FaultConfig config;
+  config.p_drop = 1.0;
+  config.max_fault_events = 3;
+  config.seed = 1;
+  FaultPlan plan(config);
+  EXPECT_TRUE(plan.drop_meeting());
+  EXPECT_TRUE(plan.drop_meeting());
+  EXPECT_TRUE(plan.drop_meeting());
+  EXPECT_THROW(plan.drop_meeting(), util::FaultBudgetError);
+}
+
+TEST(FaultPlan, ShuffleIsSeededAndCountersAccumulate) {
+  FaultConfig config;
+  config.p_reorder = 1.0;
+  config.seed = 99;
+  std::vector<trace::ContactEvent> events;
+  for (trace::NodeId i = 0; i < 8; ++i) {
+    events.push_back({0, i, static_cast<trace::NodeId>(i + 1)});
+  }
+  auto once = events;
+  auto twice = events;
+  FaultPlan a(config);
+  FaultPlan b(config);
+  EXPECT_TRUE(a.reorder_slot());
+  EXPECT_TRUE(b.reorder_slot());
+  a.shuffle_delivery(once);
+  b.shuffle_delivery(twice);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(once[i].a, twice[i].a);
+    EXPECT_EQ(once[i].b, twice[i].b);
+  }
+}
+
+}  // namespace
+}  // namespace impatience::fault

@@ -1,0 +1,152 @@
+// Simulator-level fault injection: the zero-probability regression lock
+// (faulty machinery engaged, nothing fires, output bit-identical to the
+// fault-free baseline), graceful mandate-conservation degradation under
+// churn, and the semantics of each fault class.
+#include <gtest/gtest.h>
+
+#include "impatience/core/experiment.hpp"
+#include "impatience/engine/seeding.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience {
+namespace {
+
+core::Scenario small_scenario(std::uint64_t seed) {
+  util::Rng rng(engine::child_seed(seed, "scenario"));
+  auto trace = trace::generate_poisson({12, 500, 0.05}, rng);
+  return core::make_scenario(std::move(trace),
+                             core::Catalog::pareto(12, 1.0, 1.0), 3);
+}
+
+core::SimulationResult run(const core::Scenario& scenario,
+                           const fault::FaultConfig& faults,
+                           std::uint64_t sim_seed = 77) {
+  const utility::PowerUtility u(0.0);
+  core::SimOptions options;
+  options.faults = faults;
+  util::Rng rng(sim_seed);
+  return core::run_qcr(scenario, u, core::QcrOptions{}, options, rng);
+}
+
+void expect_bit_identical(const core::SimulationResult& a,
+                          const core::SimulationResult& b) {
+  EXPECT_EQ(a.total_gain, b.total_gain);  // bit-identical, not approximate
+  EXPECT_EQ(a.requests_created, b.requests_created);
+  EXPECT_EQ(a.fulfillments, b.fulfillments);
+  EXPECT_EQ(a.immediate_fulfillments, b.immediate_fulfillments);
+  EXPECT_EQ(a.censored_requests, b.censored_requests);
+  EXPECT_EQ(a.mean_delay, b.mean_delay);
+  EXPECT_EQ(a.mean_query_count, b.mean_query_count);
+  EXPECT_EQ(a.final_counts, b.final_counts);
+  EXPECT_EQ(a.mandates_created, b.mandates_created);
+  EXPECT_EQ(a.replicas_written, b.replicas_written);
+  EXPECT_EQ(a.outstanding_mandates, b.outstanding_mandates);
+  ASSERT_EQ(a.observed_series.size(), b.observed_series.size());
+  for (std::size_t k = 0; k < a.observed_series.size(); ++k) {
+    EXPECT_EQ(a.observed_series[k].value, b.observed_series[k].value);
+  }
+}
+
+TEST(FaultSim, ZeroProbabilityFaultsBitIdenticalToBaseline) {
+  const auto scenario = small_scenario(1);
+  const auto baseline = run(scenario, fault::FaultConfig{});
+
+  // The fault machinery runs (engaged), draws from its own stream, but
+  // never fires — the regression lock on the fault-free path.
+  fault::FaultConfig zero;
+  zero.engage_when_zero = true;
+  zero.seed = 0xDEAD;
+  const auto faulty_path = run(scenario, zero);
+
+  EXPECT_FALSE(faulty_path.faults.any());
+  expect_bit_identical(baseline, faulty_path);
+}
+
+TEST(FaultSim, ChurnDegradesMandateConservationGracefully) {
+  const auto scenario = small_scenario(2);
+  fault::FaultConfig faults;
+  faults.p_crash = 0.002;
+  faults.mean_downtime = 10.0;
+  faults.seed = 5;
+  const auto result = run(scenario, faults);
+
+  EXPECT_GT(result.faults.crashes, 0u);
+  // Every created mandate is written, still outstanding, or accounted
+  // lost — conservation must not silently leak under churn.
+  EXPECT_EQ(result.mandates_created,
+            result.replicas_written + result.outstanding_mandates +
+                result.faults.mandates_lost);
+}
+
+TEST(FaultSim, DropAllMeetingsKillsMeetingFulfilments) {
+  const auto scenario = small_scenario(3);
+  fault::FaultConfig faults;
+  faults.p_drop = 1.0;
+  faults.seed = 9;
+  const auto result = run(scenario, faults);
+  EXPECT_GT(result.faults.meetings_dropped, 0u);
+  EXPECT_EQ(result.fulfillments, 0u);  // only own-cache hits remain
+}
+
+TEST(FaultSim, TruncationDefersFulfilments) {
+  const auto scenario = small_scenario(4);
+  const auto baseline = run(scenario, fault::FaultConfig{});
+
+  fault::FaultConfig faults;
+  faults.p_truncate = 1.0;
+  faults.seed = 13;
+  const auto truncated = run(scenario, faults);
+
+  EXPECT_GT(truncated.faults.exchanges_truncated, 0u);
+  EXPECT_GT(truncated.faults.fulfilments_deferred, 0u);
+  // A truncated exchange serves a strict prefix, so meeting fulfilments
+  // cannot exceed the perfect-channel run.
+  EXPECT_LT(truncated.fulfillments, baseline.fulfillments);
+}
+
+TEST(FaultSim, DuplicatedAndReorderedDeliveryIsCounted) {
+  const auto scenario = small_scenario(5);
+  fault::FaultConfig faults;
+  faults.p_duplicate = 1.0;
+  faults.p_reorder = 1.0;
+  faults.seed = 21;
+  const auto result = run(scenario, faults);
+  EXPECT_GT(result.faults.meetings_duplicated, 0u);
+  EXPECT_GT(result.faults.slots_reordered, 0u);
+}
+
+TEST(FaultSim, PersistedCacheCrashKeepsReplicas) {
+  const auto scenario = small_scenario(6);
+  fault::FaultConfig faults;
+  faults.p_crash = 0.005;
+  faults.p_persist_cache = 1.0;
+  faults.seed = 31;
+  const auto result = run(scenario, faults);
+  EXPECT_GT(result.faults.crashes, 0u);
+  EXPECT_EQ(result.faults.cold_restarts, result.faults.crashes);
+  EXPECT_EQ(result.faults.replicas_lost, 0u);  // cache survived every crash
+}
+
+TEST(FaultSim, CancellationUnwindsWithTypedError) {
+  const auto scenario = small_scenario(7);
+  const utility::PowerUtility u(0.0);
+  util::CancellationToken token;
+  token.cancel();
+  core::SimOptions options;
+  options.cancel = &token;
+  util::Rng rng(1);
+  EXPECT_THROW(core::run_qcr(scenario, u, core::QcrOptions{}, options, rng),
+               util::CancelledError);
+}
+
+TEST(FaultSim, FaultBudgetStopsTheRun) {
+  const auto scenario = small_scenario(8);
+  fault::FaultConfig faults;
+  faults.p_drop = 1.0;
+  faults.max_fault_events = 5;
+  faults.seed = 2;
+  EXPECT_THROW(run(scenario, faults), util::FaultBudgetError);
+}
+
+}  // namespace
+}  // namespace impatience

@@ -97,5 +97,70 @@ TEST(ParserFuzz, NativeNeverCrashes) {
   }
 }
 
+// Lenient mode is the stronger contract: mutated input NEVER throws —
+// malformed lines are skipped and counted, and the surviving trace is
+// still structurally valid.
+
+TEST(ParserFuzz, CrawdadLenientNeverThrows) {
+  util::Rng rng(0x1EA1);
+  for (int round = 0; round < 300; ++round) {
+    std::istringstream in(random_garbage(rng, true));
+    CrawdadOptions options;
+    ParseReport report;
+    options.parse.lenient = true;
+    options.parse.report = &report;
+    ContactTrace trace(1, 1, {});
+    EXPECT_NO_THROW(trace = parse_crawdad(in, options)) << "round " << round;
+    check_valid(trace);
+  }
+}
+
+TEST(ParserFuzz, OneEventsLenientNeverThrows) {
+  util::Rng rng(0x1EA2);
+  for (int round = 0; round < 300; ++round) {
+    std::istringstream in(random_garbage(rng, false));
+    OneOptions options;
+    ParseReport report;
+    options.parse.lenient = true;
+    options.parse.report = &report;
+    ContactTrace trace(1, 1, {});
+    EXPECT_NO_THROW(trace = parse_one_events(in, options))
+        << "round " << round;
+    check_valid(trace);
+  }
+}
+
+TEST(ParserFuzz, GpsLenientNeverThrows) {
+  util::Rng rng(0x1EA3);
+  for (int round = 0; round < 300; ++round) {
+    std::istringstream in(random_garbage(rng, true));
+    GpsOptions options;
+    ParseReport report;
+    options.parse.lenient = true;
+    options.parse.report = &report;
+    ContactTrace trace(1, 1, {});
+    EXPECT_NO_THROW(trace = parse_gps(in, options)) << "round " << round;
+    check_valid(trace);
+  }
+}
+
+TEST(ParserFuzz, LenientCountsSkippedLines) {
+  // Two good crawdad records around two malformed ones: the good pair
+  // parses, the bad pair is counted.
+  const std::string body =
+      "1 2 10 20\n"
+      "garbage line here\n"
+      "3 4 -nan oops\n"
+      "1 3 15 30\n";
+  std::istringstream in(body);
+  CrawdadOptions options;
+  ParseReport report;
+  options.parse.lenient = true;
+  options.parse.report = &report;
+  const auto trace = parse_crawdad(in, options);
+  EXPECT_EQ(report.malformed_lines, 2u);
+  EXPECT_FALSE(trace.events().empty());
+}
+
 }  // namespace
 }  // namespace impatience::trace
