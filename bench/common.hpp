@@ -97,8 +97,11 @@ void maybe_write_manifest(
     std::vector<std::pair<std::string, std::string>> config = {});
 
 /// Reads the standard engine flags (--threads, --progress, --job-deadline
-/// seconds, --max-attempts) into a ComparisonConfig and announces the
-/// engine setup on stderr.
+/// seconds, --max-attempts, --kernel slot|event) into a ComparisonConfig
+/// and announces the engine setup on stderr. `--kernel event` selects the
+/// event-driven simulation kernel for every job (fault-active jobs still
+/// fall back to the slot-stepped loop inside `simulate`); the default
+/// `slot` keeps harness stdout byte-identical to previous releases.
 void apply_engine_flags(const util::Flags& flags, ComparisonConfig& config,
                         std::uint64_t root_seed);
 
@@ -318,10 +321,20 @@ inline void apply_engine_flags(const util::Flags& flags,
   config.progress = flags.get_bool("progress", false);
   config.job_deadline_seconds = flags.get_double("job-deadline", 0.0);
   config.max_attempts = flags.get_int("max-attempts", 1);
+  const std::string kernel = flags.get_string("kernel", "slot");
+  if (kernel == "event") {
+    config.sim.kernel = core::SimKernel::event_driven;
+  } else if (kernel == "slot") {
+    config.sim.kernel = core::SimKernel::slot_stepped;
+  } else {
+    throw std::invalid_argument("--kernel must be 'slot' or 'event', got '" +
+                                kernel + "'");
+  }
   // stderr, so tables on stdout stay byte-identical across thread counts.
   std::cerr << "[engine] threads="
             << engine::ThreadPool::resolve_threads(config.threads)
-            << " root-seed=" << root_seed;
+            << " root-seed=" << root_seed
+            << " kernel=" << core::kernel_name(config.sim.kernel);
   if (config.job_deadline_seconds > 0.0) {
     std::cerr << " job-deadline=" << config.job_deadline_seconds << 's';
   }

@@ -142,7 +142,9 @@ int main(int argc, char** argv) {
                               {{"trials", std::to_string(trials)},
                                {"rho", std::to_string(rho)},
                                {"demand", std::to_string(total_demand)},
-                               {"seed", std::to_string(seed)}});
+                               {"seed", std::to_string(seed)},
+                               {"kernel",
+                                core::kernel_name(config.sim.kernel)}});
 
   std::cout << "expected shape (paper): DOM and PROP gain strength vs the\n"
                "homogeneous case; SQRT no longer the clear winner; QCR stays "

@@ -116,6 +116,8 @@ int main(int argc, char** argv) {
                               {{"trials", std::to_string(trials)},
                                {"rho", std::to_string(rho)},
                                {"demand", std::to_string(total_demand)},
-                               {"seed", std::to_string(seed)}});
+                               {"seed", std::to_string(seed)},
+                               {"kernel",
+                                core::kernel_name(config.sim.kernel)}});
   return 0;
 }

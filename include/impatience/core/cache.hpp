@@ -4,7 +4,6 @@
 // eviction).
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -56,22 +55,29 @@ class Cache {
   /// Called with (item, +1) after every successful insert (including the
   /// pin_sticky insert path) and (item, -1) after every erase/eviction.
   /// Lets the simulator maintain global replica counts incrementally
-  /// instead of rescanning every cache per sample. At most one listener;
-  /// it must not re-enter the cache.
-  using ChangeListener = std::function<void(ItemId, int)>;
-  void set_change_listener(ChangeListener listener) {
-    listener_ = std::move(listener);
+  /// instead of rescanning every cache per sample. A non-owning function
+  /// pointer + context rather than a std::function: the notify sits on
+  /// every cache mutation in the simulator hot loop, and the raw pointer
+  /// guarantees a direct call with no type-erasure dispatch or capture
+  /// allocation. At most one listener; it must not re-enter the cache,
+  /// and `context` must outlive the cache (or be reset to nullptr).
+  using ChangeListener = void (*)(void* context, ItemId item, int delta);
+  void set_change_listener(ChangeListener listener,
+                           void* context) noexcept {
+    listener_ = listener;
+    listener_context_ = context;
   }
 
  private:
   void notify(ItemId item, int delta) const {
-    if (listener_) listener_(item, delta);
+    if (listener_) listener_(listener_context_, item, delta);
   }
 
   int capacity_;
   std::vector<ItemId> items_;
   std::optional<ItemId> sticky_;
-  ChangeListener listener_;
+  ChangeListener listener_ = nullptr;
+  void* listener_context_ = nullptr;
 };
 
 }  // namespace impatience::core

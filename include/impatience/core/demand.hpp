@@ -7,6 +7,7 @@
 
 #include "impatience/core/catalog.hpp"
 #include "impatience/trace/contact.hpp"
+#include "impatience/util/alias.hpp"
 #include "impatience/util/rng.hpp"
 
 namespace impatience::core {
@@ -18,6 +19,14 @@ using trace::Slot;
 struct NewRequest {
   ItemId item;
   NodeId node;
+};
+
+/// A request created somewhere inside a batched empty gap of the
+/// event-driven kernel, tagged with its creation slot.
+struct BatchedRequest {
+  ItemId item;
+  NodeId node;
+  Slot slot;
 };
 
 class DemandProcess {
@@ -37,7 +46,32 @@ class DemandProcess {
   /// Same draw into a caller-owned buffer (cleared first). The simulator
   /// reuses one buffer across slots so the per-slot allocation of the
   /// returning overload disappears from the hot loop.
+  ///
+  /// This is the slot-stepped kernel's sampler and is bit-locked: it
+  /// draws via the linear Rng::weighted_index scan in the exact pre-alias
+  /// order (item, then node), so slot-stepped runs stay bit-identical
+  /// across releases. New callers should prefer the O(1) alias samplers.
   void sample_slot(util::Rng& rng, std::vector<NewRequest>& out) const;
+
+  /// One (item, node) draw through the Vose alias tables: O(1) per
+  /// request instead of the O(|items|) linear scan. Draw order is item,
+  /// then node. Statistically identical to sample_request_linear but a
+  /// different mapping of the RNG stream, so not bit-compatible with it.
+  NewRequest sample_request(util::Rng& rng) const;
+
+  /// The legacy linear draw (the reference the alias path is tested
+  /// against, and the one sample_slot uses).
+  NewRequest sample_request_linear(util::Rng& rng) const;
+
+  /// Batches the demand of `num_slots` consecutive slots starting at
+  /// `first_slot` for the event-driven kernel: draws
+  /// Poisson(num_slots * total_rate) arrivals, assigns each a uniform
+  /// slot in the gap and an alias-sampled (item, node), and sorts the
+  /// batch by slot (stable, so intra-slot draw order is preserved).
+  /// Distribution-identical to sampling each slot independently, by
+  /// Poisson superposition/thinning. Clears `out` first.
+  void sample_gap(util::Rng& rng, Slot first_slot, Slot num_slots,
+                  std::vector<BatchedRequest>& out) const;
 
   double total_rate() const noexcept { return total_rate_; }
   const std::vector<NodeId>& clients() const noexcept { return clients_; }
@@ -47,6 +81,10 @@ class DemandProcess {
   std::vector<double> item_weights_;  // d_i
   std::vector<std::vector<double>> node_weights_;  // per item, or empty
   double total_rate_;
+  // O(1) samplers mirroring the weight vectors above. Rebuilt whenever a
+  // demand_schedule switch constructs a fresh DemandProcess.
+  util::AliasTable item_alias_;
+  std::vector<util::AliasTable> node_alias_;  // per item, empty if uniform
 };
 
 }  // namespace impatience::core

@@ -18,12 +18,18 @@ using trace::NodeId;
 using trace::Slot;
 
 /// An outstanding request with its query counter (Section 5.1): the
-/// counter increments on every meeting while the request is unfulfilled,
-/// including the meeting that fulfils it, so its expectation is |S|/x_i.
+/// counter increments on every meeting with a server while the request
+/// is unfulfilled, including the meeting that fulfils it, so its
+/// expectation is |S|/x_i. Stored as a snapshot of the owning node's
+/// running server-meeting count at creation: the live counter value is
+/// `node.server_meetings() - queries_at_creation`, which makes the
+/// per-meeting update O(1) for the whole pending list instead of a walk
+/// (the values produced are identical, so the slot-stepped kernel stays
+/// bit-locked).
 struct PendingRequest {
   ItemId item;
   Slot created;
-  long queries = 0;
+  long queries_at_creation = 0;
 };
 
 class Node {
@@ -63,6 +69,13 @@ class Node {
   /// (fulfilled). Must be called once per removed request.
   void note_fulfilled(ItemId item) noexcept { --pending_count_[item]; }
 
+  /// Records a meeting with a server (the query-counter clock). Called by
+  /// the meeting protocol before fulfilment, so the fulfilling meeting is
+  /// included in every fulfilled request's counter.
+  void note_server_meeting() noexcept { ++server_meetings_; }
+  /// Running count of this node's meetings with servers.
+  long server_meetings() const noexcept { return server_meetings_; }
+
   /// True if this node holds a replica of the item (servers only).
   bool holds(ItemId item) const noexcept {
     return cache_ && cache_->contains(item);
@@ -89,6 +102,7 @@ class Node {
   MandateBag mandates_;
   std::vector<PendingRequest> pending_;
   std::vector<std::uint32_t> pending_count_;  // outstanding requests per item
+  long server_meetings_ = 0;  // query-counter clock (see PendingRequest)
 };
 
 }  // namespace impatience::core

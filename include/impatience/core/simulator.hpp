@@ -30,8 +30,33 @@ struct Population {
   static Population dedicated(NodeId num_servers, NodeId num_clients);
 };
 
+/// Which time-advance loop drives the run.
+enum class SimKernel {
+  /// Step every slot of the trace (the reference loop of Section 6.1).
+  /// Bit-locked: identical seeds give identical results release to
+  /// release, and it is the only kernel the fault model is defined on.
+  slot_stepped,
+  /// Classical next-event time advance: jump between "interesting" slots
+  /// (meetings, metrics sample ticks, demand_schedule switches) and batch
+  /// the demand of each empty gap as one Poisson(gap * rate) draw with
+  /// alias-sampled (item, node) pairs and uniform creation slots.
+  /// Distribution-identical to slot_stepped (empty-slot requests only age
+  /// until the next meeting) but a different use of the RNG stream, so
+  /// results match statistically, not bit for bit. Fault-active runs
+  /// (`faults.engaged()`) fall back to slot_stepped, because the fault
+  /// model (per-slot crash hazards, per-meeting decisions) is defined on
+  /// the per-slot loop.
+  event_driven,
+};
+
+/// Display name ("slot" / "event"), e.g. for manifests and --kernel.
+const char* kernel_name(SimKernel kernel) noexcept;
+
 struct SimOptions {
   int cache_capacity = 5;  ///< rho
+  /// Time-advance kernel; see SimKernel. The slot-stepped loop stays the
+  /// default and the bit-locked reference (the repo's *_naive tradition).
+  SimKernel kernel = SimKernel::slot_stepped;
   /// Pin one immortal replica of item i on server (i mod |S|) — the
   /// paper's anti-absorption measure, used by replication policies.
   bool sticky_replicas = true;

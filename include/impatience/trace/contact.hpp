@@ -54,6 +54,17 @@ class ContactTrace {
   /// Events of one slot (contiguous range; empty if none).
   std::span<const ContactEvent> slot_events(Slot slot) const;
 
+  /// Index into events() of the first event at or after `slot`
+  /// (== size() when none). O(1) through the slot index; the event-driven
+  /// simulation kernel uses it to seed its meeting cursor.
+  std::size_t first_event_at_or_after(Slot slot) const;
+
+  /// Largest number of events sharing one slot (0 for an empty trace).
+  /// Precomputed at construction; bounds per-slot staging buffers (the
+  /// fault path's delivery vector) so they reserve once instead of
+  /// growing inside the loop.
+  std::size_t max_slot_events() const noexcept { return max_slot_events_; }
+
   /// Sub-trace covering slots [from, to) re-based to start at slot 0.
   ContactTrace slice(Slot from, Slot to) const;
 
@@ -75,6 +86,7 @@ class ContactTrace {
   /// slot_begin_[s] = index of the first event with slot >= s.
   std::vector<std::size_t> slot_begin_;
   std::vector<PairContacts> pair_counts_;
+  std::size_t max_slot_events_ = 0;
 };
 
 }  // namespace impatience::trace

@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
 # Perf snapshot for the greedy/simulator hot paths (see docs/perf.md).
 #
-# Runs the oracle-vs-naive micro-benchmarks — marginal-gain evaluation,
-# the fig5-like end-to-end greedy (98 nodes, 500 items) and the transform
-# memo — and writes the google-benchmark JSON to BENCH_PR2.json so the
-# perf trajectory is tracked in-repo. The naive benches ARE the "before"
-# numbers: they run the pre-oracle evaluation paths on the same instance.
+# Runs the before/after micro-benchmark pairs — marginal-gain evaluation,
+# the fig5-like end-to-end greedy (98 nodes, 500 items), the transform
+# memo, demand sampling (linear scan vs alias tables) and the fig6-like
+# simulation kernels (slot-stepped vs event-driven) — and writes the
+# google-benchmark JSON to BENCH_PR<current>.json so the perf trajectory
+# accrues in-repo. The *Naive/*Linear/*Slot benches ARE the "before"
+# numbers: they run the reference paths on the same instances.
+#
+# The PR number defaults to the highest "PR N" entry in CHANGES.md plus
+# one (i.e. the PR currently being built); a fresh checkout therefore
+# never silently overwrites an older PR's committed snapshot.
 #
 # Usage:
-#   scripts/bench_snapshot.sh                 # full snapshot -> BENCH_PR2.json
+#   scripts/bench_snapshot.sh                 # full snapshot -> BENCH_PR<current>.json
 #   scripts/bench_snapshot.sh --check         # ~2 s smoke, no JSON written
+#   scripts/bench_snapshot.sh --pr N          # snapshot for a specific PR number
 #   scripts/bench_snapshot.sh --bin PATH      # use an existing binary
-#   scripts/bench_snapshot.sh --out FILE      # JSON destination
+#   scripts/bench_snapshot.sh --out FILE      # JSON destination (overrides --pr)
 #
 # Without --bin the script configures and builds a Release tree in
 # build-bench/ (benchmarks from unoptimized trees are not comparable).
@@ -19,7 +26,8 @@ set -euo pipefail
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BIN=""
-OUT="$ROOT/BENCH_PR2.json"
+OUT=""
+PR=""
 CHECK=0
 
 while [[ $# -gt 0 ]]; do
@@ -27,10 +35,20 @@ while [[ $# -gt 0 ]]; do
     --check) CHECK=1 ;;
     --bin) BIN="$2"; shift ;;
     --out) OUT="$2"; shift ;;
+    --pr) PR="$2"; shift ;;
     *) echo "bench_snapshot.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [[ -z "$PR" ]]; then
+  LAST=$(grep -oE '^PR [0-9]+' "$ROOT/CHANGES.md" 2>/dev/null |
+         awk '{print $2}' | sort -n | tail -1)
+  PR=$(( ${LAST:-1} + 1 ))
+fi
+if [[ -z "$OUT" ]]; then
+  OUT="$ROOT/BENCH_PR${PR}.json"
+fi
 
 if [[ -z "$BIN" ]]; then
   cmake -S "$ROOT" -B "$ROOT/build-bench" -DCMAKE_BUILD_TYPE=Release
@@ -38,16 +56,18 @@ if [[ -z "$BIN" ]]; then
   BIN="$ROOT/build-bench/bench/micro_benchmarks"
 fi
 
-FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached)$'
+FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|SimulateFig6Slot|SimulateFig6Event)'
 
 if [[ "$CHECK" == 1 ]]; then
   # Smoke subset: skip the end-to-end greedy benches (the naive baseline
-  # alone takes ~1 s per iteration) and cap the per-bench time so the
-  # whole run stays around two seconds. Exercises the shared fig5
-  # instance setup, both marginal paths and the placement identity check
-  # is covered by ctest -L perf instead.
+  # alone takes ~1 s per iteration) and the fig6 kernel benches (their
+  # shared instance builds a week-long trace), and cap the per-bench time
+  # so the whole run stays around two seconds. Exercises the shared fig5
+  # instance setup, both marginal paths and both demand samplers; the
+  # placement identity check is covered by ctest -L perf and the kernel
+  # equivalence by ctest -L sim instead.
   exec "$BIN" \
-    --benchmark_filter='BM_(MarginalGainNaive|MarginalOracle|LossTransformTabulated|LossTransformCached)$' \
+    --benchmark_filter='BM_(MarginalGainNaive|MarginalOracle|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias)' \
     --benchmark_min_time=0.05
 fi
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Builds the engine's concurrency tests and the fault-injection suite
-# under ThreadSanitizer and runs them (`ctest -L "(engine|fault)"`).
-# Part of the verify routine for any change that touches src/engine/,
-# src/fault/, or the simulator's thread-safety assumptions.
+# Builds the engine's concurrency tests, the fault-injection suite and
+# the simulation-kernel equivalence suite under ThreadSanitizer and runs
+# them (`ctest -L "(engine|fault|sim)"`). Part of the verify routine for
+# any change that touches src/engine/, src/fault/, the simulator kernels
+# or their thread-safety assumptions.
 #
 # Equivalent presets flow (CMake >= 3.21):
 #   cmake --preset tsan && cmake --build --preset tsan -j \
@@ -18,7 +19,7 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
   engine_seeding_test engine_thread_pool_test engine_runner_test \
   engine_artifacts_test engine_sim_parallel_test engine_retry_test \
-  fault_plan_test fault_sim_test
-ctest --test-dir "$BUILD_DIR" -L "(engine|fault)" --output-on-failure \
+  fault_plan_test fault_sim_test core_kernel_equivalence_test
+ctest --test-dir "$BUILD_DIR" -L "(engine|fault|sim)" --output-on-failure \
   -j"$(nproc)"
-echo "engine + fault tests clean under ThreadSanitizer"
+echo "engine + fault + sim tests clean under ThreadSanitizer"

@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "impatience/core/demand.hpp"
@@ -8,7 +10,8 @@ DemandProcess::DemandProcess(const Catalog& catalog,
                              std::vector<NodeId> clients)
     : clients_(std::move(clients)),
       item_weights_(catalog.demands()),
-      total_rate_(catalog.total_demand()) {
+      total_rate_(catalog.total_demand()),
+      item_alias_(item_weights_) {
   if (clients_.empty()) {
     throw std::invalid_argument("DemandProcess: empty client set");
   }
@@ -27,6 +30,10 @@ DemandProcess::DemandProcess(const Catalog& catalog,
     }
   }
   node_weights_ = std::move(weights);
+  node_alias_.reserve(node_weights_.size());
+  for (const auto& row : node_weights_) {
+    node_alias_.emplace_back(row);
+  }
 }
 
 std::vector<NewRequest> DemandProcess::sample_slot(util::Rng& rng) const {
@@ -41,14 +48,63 @@ void DemandProcess::sample_slot(util::Rng& rng,
   const auto count = rng.poisson(total_rate_);
   out.reserve(count);
   for (std::uint64_t k = 0; k < count; ++k) {
-    const auto item = static_cast<ItemId>(rng.weighted_index(item_weights_));
-    NodeId node;
-    if (node_weights_.empty()) {
-      node = clients_[rng.uniform_index(clients_.size())];
-    } else {
-      node = clients_[rng.weighted_index(node_weights_[item])];
-    }
-    out.push_back({item, node});
+    out.push_back(sample_request_linear(rng));
+  }
+}
+
+NewRequest DemandProcess::sample_request_linear(util::Rng& rng) const {
+  const auto item = static_cast<ItemId>(rng.weighted_index(item_weights_));
+  NodeId node;
+  if (node_weights_.empty()) {
+    node = clients_[rng.uniform_index(clients_.size())];
+  } else {
+    node = clients_[rng.weighted_index(node_weights_[item])];
+  }
+  return {item, node};
+}
+
+NewRequest DemandProcess::sample_request(util::Rng& rng) const {
+  const auto item = static_cast<ItemId>(item_alias_.sample(rng));
+  NodeId node;
+  if (node_alias_.empty()) {
+    node = clients_[rng.uniform_index(clients_.size())];
+  } else {
+    node = clients_[node_alias_[item].sample(rng)];
+  }
+  return {item, node};
+}
+
+void DemandProcess::sample_gap(util::Rng& rng, Slot first_slot,
+                               Slot num_slots,
+                               std::vector<BatchedRequest>& out) const {
+  out.clear();
+  if (num_slots <= 0) return;
+  const auto count =
+      rng.poisson(static_cast<double>(num_slots) * total_rate_);
+  out.resize(count);
+  if (count == 0) return;
+  // Generate the creation slots already sorted, via the order statistics
+  // of iid uniforms: with E_1..E_{n+1} iid Exp(1) and S_k their prefix
+  // sums, U_(k) = S_k / S_{n+1} are exactly n sorted Uniform[0,1) draws,
+  // so floor(U_(k) * num_slots) are n sorted iid uniform slots. This
+  // replaces the O(n log n) sort a draw-then-sort batch would need, and
+  // keeps same-slot requests in draw order (prefix sums are increasing),
+  // matching the slot-stepped convention. The prefix sums are staged
+  // bit-cast into the 64-bit slot field, so no scratch allocation.
+  double sum = 0.0;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    sum += rng.exponential(1.0);
+    out[k].slot = std::bit_cast<Slot>(sum);
+  }
+  sum += rng.exponential(1.0);
+  const double scale = static_cast<double>(num_slots) / sum;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const double u = std::bit_cast<double>(out[k].slot) * scale;
+    // Guard the k == count-1 edge where u can round to num_slots.
+    Slot offset = static_cast<Slot>(u);
+    if (offset >= num_slots) offset = num_slots - 1;
+    const NewRequest req = sample_request(rng);
+    out[k] = {req.item, req.node, first_slot + offset};
   }
 }
 

@@ -9,14 +9,19 @@ namespace {
 /// Queries the partner (query-counter increments), then fulfils every
 /// pending request the partner can serve. Returns the gains recorded.
 void fulfil_from(SimState& state, Node& requester, Node& provider) {
-  if (!requester.is_client() || requester.pending().empty()) return;
+  if (!requester.is_client()) return;
   // A non-server partner can neither be queried nor fulfil anything.
   if (!provider.is_server()) return;
 
-  auto& pending = requester.pending();
   // Every pending request queries the met server; the counter includes
-  // the fulfilling meeting, so E[counter] = |S| / x_i.
-  for (auto& req : pending) ++req.queries;
+  // the fulfilling meeting, so E[counter] = |S| / x_i. One O(1) tick of
+  // the node's server-meeting clock updates the whole pending list (each
+  // request holds the clock value from its creation); ticking with an
+  // empty pending list is invisible, since later requests snapshot the
+  // clock at creation.
+  requester.note_server_meeting();
+  if (requester.pending().empty()) return;
+  auto& pending = requester.pending();
 
   // O(rho) prefilter: scan the provider's cache against the requester's
   // per-item pending counters before walking the pending list. Most
@@ -38,6 +43,8 @@ void fulfil_from(SimState& state, Node& requester, Node& provider) {
       const double delay =
           static_cast<double>(state.now - req.created) + 1.0;
       const double gain = (*state.utilities)[req.item].value(delay);
+      const long queries =
+          requester.server_meetings() - req.queries_at_creation;
       state.total_gain += gain;
       state.observed->add(static_cast<double>(state.now), gain);
       if (state.on_fulfillment && *state.on_fulfillment) {
@@ -45,10 +52,10 @@ void fulfil_from(SimState& state, Node& requester, Node& provider) {
       }
       ++state.fulfillments;
       state.delay_sum += delay;
-      state.query_sum += static_cast<double>(req.queries);
+      state.query_sum += static_cast<double>(queries);
       requester.note_fulfilled(req.item);
-      state.policy->on_fulfillment(requester, provider, req.item,
-                                   req.queries, *state.rng);
+      state.policy->on_fulfillment(requester, provider, req.item, queries,
+                                   *state.rng);
     } else {
       pending[kept++] = req;
     }

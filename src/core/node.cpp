@@ -47,7 +47,7 @@ void Node::create_request(ItemId item, Slot now) {
   if (!is_client_) {
     throw std::logic_error("Node::create_request: node is not a client");
   }
-  pending_.push_back({item, now, 0});
+  pending_.push_back({item, now, server_meetings_});
   ++pending_count_[item];
 }
 

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -6,6 +7,10 @@
 #include "sim_internal.hpp"
 
 namespace impatience::core {
+
+const char* kernel_name(SimKernel kernel) noexcept {
+  return kernel == SimKernel::event_driven ? "event" : "slot";
+}
 
 Population Population::pure_p2p(NodeId num_nodes) {
   Population p;
@@ -95,11 +100,16 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   // placement / sticky seeding / random fill are counted too; from then
   // on every insert, eviction and erase (including the ones policies
   // perform during meetings) updates `counts` in O(1) instead of the
-  // per-sample full rescan of all server caches.
+  // per-sample full rescan of all server caches. The listener is a plain
+  // function pointer + context (no std::function dispatch on the cache
+  // mutation hot path).
   std::vector<int> counts(num_items, 0);
   for (NodeId s : population.servers) {
     state.nodes[s].cache().set_change_listener(
-        [&counts](ItemId item, int delta) { counts[item] += delta; });
+        [](void* context, ItemId item, int delta) {
+          (*static_cast<std::vector<int>*>(context))[item] += delta;
+        },
+        &counts);
   }
 
   // Initial cache contents.
@@ -157,12 +167,11 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   std::size_t next_demand_change = 0;
   stats::BinnedSeries observed(options.metrics.bin_width,
                                static_cast<double>(trace.duration()));
-  stats::BinnedSeries* observed_ptr = &observed;
 
   state.utilities = &utilities;
   state.policy = &policy;
   state.rng = &rng;
-  state.observed = observed_ptr;
+  state.observed = &observed;
   state.on_fulfillment = &options.on_fulfillment;
 
   SimulationResult result;
@@ -183,131 +192,235 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   std::vector<trace::ContactEvent> delivery;
   if (fault_plan.active()) {
     down_until.assign(trace.num_nodes(), 0);
+    // A slot's delivered sequence is at most every surviving meeting plus
+    // one duplicate each; reserving here keeps the staging buffer from
+    // reallocating inside the slot loop.
+    delivery.reserve(2 * trace.max_slot_events());
   }
 
   // Policies that track global state seed themselves from the initial
   // allocation (e.g. HillClimbPolicy).
   policy.on_initialized(std::span<const int>(counts));
 
-  std::vector<NewRequest> new_requests;
-  for (Slot slot = 0; slot < trace.duration(); ++slot) {
-    state.now = slot;
+  // The fault model (per-slot crash hazards, per-meeting drop decisions)
+  // is defined on the slot-stepped loop, so fault-active runs always
+  // take it regardless of the requested kernel.
+  const bool event_kernel =
+      options.kernel == SimKernel::event_driven && !fault_plan.active();
 
-    // Cooperative cancellation (the engine's deadline watchdog).
-    if (options.cancel && options.cancel->cancelled()) {
-      throw util::CancelledError("simulate: cancelled at slot " +
-                                 std::to_string(slot));
-    }
-
-    // Node churn: crash checks before demand, so a node that dies in
-    // this slot neither requests nor meets anyone until it rejoins.
-    if (fault_plan.active()) {
-      auto& counters = fault_plan.counters();
-      for (NodeId n = 0; n < trace.num_nodes(); ++n) {
-        if (down_until[n] > slot) continue;  // still down
-        if (!fault_plan.crash_now()) continue;
-        const bool persist = fault_plan.crash_persists_cache();
-        const Node::CrashLosses losses = state.nodes[n].crash(persist);
-        if (persist) ++counters.cold_restarts;
-        counters.replicas_lost += losses.replicas;
-        counters.mandates_lost += losses.mandates;
-        counters.requests_lost += losses.requests;
-        down_until[n] = slot + 1 + fault_plan.downtime();
+  // Shared per-request handling: resolve an own-cache hit at the creation
+  // slot, otherwise enqueue the request.
+  auto admit_request = [&](ItemId item, NodeId node_id, Slot slot) {
+    ++result.requests_created;
+    Node& node = state.nodes[node_id];
+    if (node.holds(item)) {
+      // Immediate own-cache hit.
+      if (!utilities[item].bounded_at_zero()) {
+        throw std::logic_error(
+            "simulate: immediate fulfilment with unbounded h(0+); use "
+            "the dedicated-node population for this utility");
       }
-    }
-
-    // Scheduled popularity changes.
-    while (next_demand_change < options.demand_schedule.size() &&
-           options.demand_schedule[next_demand_change].first <= slot) {
-      demand =
-          make_demand(options.demand_schedule[next_demand_change].second);
-      ++next_demand_change;
-    }
-
-    // New demand.
-    demand.sample_slot(rng, new_requests);
-    for (const NewRequest& req : new_requests) {
-      if (fault_plan.active() && down_until[req.node] > slot) {
-        // A crashed node generates no demand while down.
-        ++fault_plan.counters().requests_suppressed;
-        continue;
+      const double gain = utilities[item].value_at_zero();
+      state.total_gain += gain;
+      observed.add(static_cast<double>(slot), gain);
+      if (options.on_fulfillment) {
+        options.on_fulfillment(item, node_id, 0.0, gain);
       }
-      ++result.requests_created;
-      Node& node = state.nodes[req.node];
-      if (node.holds(req.item)) {
-        // Immediate own-cache hit.
-        if (!utilities[req.item].bounded_at_zero()) {
-          throw std::logic_error(
-              "simulate: immediate fulfilment with unbounded h(0+); use "
-              "the dedicated-node population for this utility");
-        }
-        const double gain = utilities[req.item].value_at_zero();
-        state.total_gain += gain;
-        observed.add(static_cast<double>(slot), gain);
-        if (options.on_fulfillment) {
-          options.on_fulfillment(req.item, req.node, 0.0, gain);
-        }
-        ++result.immediate_fulfillments;
-      } else {
-        node.create_request(req.item, slot);
-      }
-    }
-
-    // Meetings.
-    if (!fault_plan.active()) {
-      for (const trace::ContactEvent& e : trace.slot_events(slot)) {
-        detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
-      }
+      ++result.immediate_fulfillments;
     } else {
-      auto& counters = fault_plan.counters();
-      // Stage the slot's surviving meetings so reordering and duplication
-      // act on the delivered sequence, not the trace.
-      delivery.clear();
-      for (const trace::ContactEvent& e : trace.slot_events(slot)) {
-        if (down_until[e.a] > slot || down_until[e.b] > slot) {
-          ++counters.meetings_skipped_down;
+      node.create_request(item, slot);
+    }
+  };
+
+  // Periodic metrics sampling at `slot` (after the slot's meetings).
+  auto sample_metrics = [&](Slot slot) {
+    if (options.expected_welfare || !options.metrics.tracked_items.empty()) {
+      if (options.expected_welfare) {
+        result.expected_series.push_back(
+            {static_cast<double>(slot),
+             options.expected_welfare(std::span<const int>(counts))});
+      }
+      for (std::size_t k = 0; k < options.metrics.tracked_items.size();
+           ++k) {
+        const ItemId item = options.metrics.tracked_items[k];
+        result.replica_series[k].push_back(
+            {static_cast<double>(slot), static_cast<double>(counts[item])});
+      }
+    }
+  };
+
+  if (event_kernel) {
+    // ---- event-driven kernel (next-event time advance) ----
+    //
+    // Nothing observable happens in a slot without a meeting, a metrics
+    // sample tick, or a demand switch: caches, pending lists and replica
+    // counts only change at meetings, and a request created in an empty
+    // slot just ages until the next one. So the loop jumps straight
+    // between those slots and draws each empty gap's demand as a single
+    // batch — Poisson(gap * rate) arrivals with uniform slots in the gap
+    // (distribution-identical to per-slot draws by Poisson splitting),
+    // alias-sampled (item, node) pairs, own-cache hits resolved at the
+    // batched creation slot in order.
+    constexpr Slot kNever = std::numeric_limits<Slot>::max();
+    const Slot duration = trace.duration();
+    const Slot sample_every = options.metrics.sample_every;
+    const bool sampling_active = options.expected_welfare ||
+                                 !options.metrics.tracked_items.empty();
+    const auto& events = trace.events();
+    std::size_t ev_idx = trace.first_event_at_or_after(0);
+    std::vector<BatchedRequest> batch;
+    Slot cur = 0;
+    while (cur < duration) {
+      // Cooperative cancellation (the engine's deadline watchdog),
+      // checked once per event step.
+      if (options.cancel && options.cancel->cancelled()) {
+        throw util::CancelledError("simulate: cancelled at slot " +
+                                   std::to_string(cur));
+      }
+
+      // Scheduled popularity changes due now; each switch rebuilds the
+      // demand process and with it the alias tables.
+      while (next_demand_change < options.demand_schedule.size() &&
+             options.demand_schedule[next_demand_change].first <= cur) {
+        demand =
+            make_demand(options.demand_schedule[next_demand_change].second);
+        ++next_demand_change;
+      }
+      const Slot next_switch =
+          next_demand_change < options.demand_schedule.size()
+              ? options.demand_schedule[next_demand_change].first
+              : kNever;
+      const Slot next_meeting =
+          ev_idx < events.size() ? events[ev_idx].slot : kNever;
+      const Slot next_sample =
+          sampling_active ? ((cur + sample_every - 1) / sample_every) *
+                                sample_every
+                          : kNever;
+
+      // The next slot where work happens *at* the slot itself, and the
+      // last slot this demand batch may cover: a switch applies before
+      // its own slot's demand, so the batch stops strictly before it.
+      const Slot event_slot = std::min(next_meeting, next_sample);
+      Slot batch_end = std::min(event_slot, duration - 1);
+      if (next_switch != kNever) {
+        batch_end = std::min(batch_end, next_switch - 1);
+      }
+
+      // Batched demand over [cur, batch_end] (>= 1 slot by construction:
+      // switches due now were applied above, so next_switch > cur).
+      demand.sample_gap(rng, cur, batch_end - cur + 1, batch);
+      for (const BatchedRequest& req : batch) {
+        admit_request(req.item, req.node, req.slot);
+      }
+
+      if (event_slot <= batch_end) {
+        // Meetings of this slot, then the sample tick — the slot-stepped
+        // intra-slot order.
+        state.now = event_slot;
+        while (ev_idx < events.size() &&
+               events[ev_idx].slot == event_slot) {
+          const trace::ContactEvent& e = events[ev_idx++];
+          detail::process_meeting(state, state.nodes[e.a],
+                                  state.nodes[e.b]);
+        }
+        if (next_sample == event_slot) sample_metrics(event_slot);
+        cur = event_slot + 1;
+      } else {
+        cur = batch_end + 1;
+      }
+    }
+  } else {
+    // ---- slot-stepped kernel (the bit-locked Section-6.1 reference) ----
+    std::vector<NewRequest> new_requests;
+    for (Slot slot = 0; slot < trace.duration(); ++slot) {
+      state.now = slot;
+
+      // Cooperative cancellation (the engine's deadline watchdog).
+      if (options.cancel && options.cancel->cancelled()) {
+        throw util::CancelledError("simulate: cancelled at slot " +
+                                   std::to_string(slot));
+      }
+
+      // Node churn: crash checks before demand, so a node that dies in
+      // this slot neither requests nor meets anyone until it rejoins.
+      if (fault_plan.active()) {
+        auto& counters = fault_plan.counters();
+        for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+          if (down_until[n] > slot) continue;  // still down
+          if (!fault_plan.crash_now()) continue;
+          const bool persist = fault_plan.crash_persists_cache();
+          const Node::CrashLosses losses = state.nodes[n].crash(persist);
+          if (persist) ++counters.cold_restarts;
+          counters.replicas_lost += losses.replicas;
+          counters.mandates_lost += losses.mandates;
+          counters.requests_lost += losses.requests;
+          down_until[n] = slot + 1 + fault_plan.downtime();
+        }
+      }
+
+      // Scheduled popularity changes.
+      while (next_demand_change < options.demand_schedule.size() &&
+             options.demand_schedule[next_demand_change].first <= slot) {
+        demand =
+            make_demand(options.demand_schedule[next_demand_change].second);
+        ++next_demand_change;
+      }
+
+      // New demand.
+      demand.sample_slot(rng, new_requests);
+      for (const NewRequest& req : new_requests) {
+        if (fault_plan.active() && down_until[req.node] > slot) {
+          // A crashed node generates no demand while down.
+          ++fault_plan.counters().requests_suppressed;
           continue;
         }
-        if (fault_plan.drop_meeting()) continue;
-        delivery.push_back(e);
-        if (fault_plan.duplicate_meeting()) delivery.push_back(e);
+        admit_request(req.item, req.node, slot);
       }
-      if (delivery.size() >= 2 && fault_plan.reorder_slot()) {
-        fault_plan.shuffle_delivery(delivery);
-      }
-      for (const trace::ContactEvent& e : delivery) {
-        if (fault_plan.should_truncate()) {
-          // Cut the exchange after a seeded prefix of the negotiated
-          // (fulfillable) items; the rest stay pending. The policy's
-          // mandate-execution step still runs — truncation models a
-          // cut data transfer, not a lost control channel.
-          const long negotiated = detail::count_fulfillable(
-              state.nodes[e.a], state.nodes[e.b]);
-          if (negotiated > 0) {
-            state.transfer_budget = fault_plan.truncation_prefix(negotiated);
-            counters.fulfilments_deferred += static_cast<std::uint64_t>(
-                negotiated - state.transfer_budget);
-          }
-        }
-        detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
-        state.transfer_budget = -1;
-      }
-    }
 
-    // Periodic sampling.
-    if (slot % options.metrics.sample_every == 0) {
-      if (options.expected_welfare || !options.metrics.tracked_items.empty()) {
-        if (options.expected_welfare) {
-          result.expected_series.push_back(
-              {static_cast<double>(slot),
-               options.expected_welfare(std::span<const int>(counts))});
+      // Meetings.
+      if (!fault_plan.active()) {
+        for (const trace::ContactEvent& e : trace.slot_events(slot)) {
+          detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
         }
-        for (std::size_t k = 0; k < options.metrics.tracked_items.size();
-             ++k) {
-          const ItemId item = options.metrics.tracked_items[k];
-          result.replica_series[k].push_back(
-              {static_cast<double>(slot), static_cast<double>(counts[item])});
+      } else {
+        auto& counters = fault_plan.counters();
+        // Stage the slot's surviving meetings so reordering and duplication
+        // act on the delivered sequence, not the trace.
+        delivery.clear();
+        for (const trace::ContactEvent& e : trace.slot_events(slot)) {
+          if (down_until[e.a] > slot || down_until[e.b] > slot) {
+            ++counters.meetings_skipped_down;
+            continue;
+          }
+          if (fault_plan.drop_meeting()) continue;
+          delivery.push_back(e);
+          if (fault_plan.duplicate_meeting()) delivery.push_back(e);
         }
+        if (delivery.size() >= 2 && fault_plan.reorder_slot()) {
+          fault_plan.shuffle_delivery(delivery);
+        }
+        for (const trace::ContactEvent& e : delivery) {
+          if (fault_plan.should_truncate()) {
+            // Cut the exchange after a seeded prefix of the negotiated
+            // (fulfillable) items; the rest stay pending. The policy's
+            // mandate-execution step still runs — truncation models a
+            // cut data transfer, not a lost control channel.
+            const long negotiated = detail::count_fulfillable(
+                state.nodes[e.a], state.nodes[e.b]);
+            if (negotiated > 0) {
+              state.transfer_budget = fault_plan.truncation_prefix(negotiated);
+              counters.fulfilments_deferred += static_cast<std::uint64_t>(
+                  negotiated - state.transfer_budget);
+            }
+          }
+          detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
+          state.transfer_budget = -1;
+        }
+      }
+
+      // Periodic sampling.
+      if (slot % options.metrics.sample_every == 0) {
+        sample_metrics(slot);
       }
     }
   }

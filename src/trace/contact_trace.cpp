@@ -43,6 +43,13 @@ ContactTrace::ContactTrace(NodeId num_nodes, Slot duration,
   }
   slot_begin_.back() = events_.size();
 
+  // Longest same-slot run (events are slot-sorted, so one linear pass).
+  std::size_t run = 0;
+  for (std::size_t k = 0; k < events_.size(); ++k) {
+    run = (k > 0 && events_[k].slot == events_[k - 1].slot) ? run + 1 : 1;
+    max_slot_events_ = std::max(max_slot_events_, run);
+  }
+
   // Per-pair totals: one hash-map pass over the events, then sorted by
   // (a, b) so lookups can binary-search.
   std::unordered_map<std::uint64_t, std::size_t> totals;
@@ -59,6 +66,12 @@ ContactTrace::ContactTrace(NodeId num_nodes, Slot duration,
             [](const PairContacts& x, const PairContacts& y) {
               return std::tie(x.a, x.b) < std::tie(y.a, y.b);
             });
+}
+
+std::size_t ContactTrace::first_event_at_or_after(Slot slot) const {
+  if (slot <= 0) return 0;
+  if (slot >= duration_) return events_.size();
+  return slot_begin_[static_cast<std::size_t>(slot)];
 }
 
 std::span<const ContactEvent> ContactTrace::slot_events(Slot slot) const {

@@ -1,0 +1,57 @@
+#include <limits>
+#include <stdexcept>
+
+#include "impatience/util/alias.hpp"
+
+namespace impatience::util {
+
+void AliasTable::rebuild(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) {
+    throw std::invalid_argument("AliasTable: empty weight vector");
+  }
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("AliasTable: too many weights");
+  }
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (!(total > 0.0)) {
+    throw std::invalid_argument("AliasTable: weights sum to zero");
+  }
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Vose's method: scale weights to mean 1, split columns into under- and
+  // over-full worklists, and pair each under-full column with an
+  // over-full donor.
+  std::vector<double> scaled(n);
+  const double scale = static_cast<double>(n) / total;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = (weights[i] > 0.0 ? weights[i] : 0.0) * scale;
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Leftovers hold (up to rounding) exactly their own mass.
+  for (const std::uint32_t i : large) prob_[i] = 1.0;
+  for (const std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+}  // namespace impatience::util

@@ -1,0 +1,248 @@
+// Statistical equivalence of the event-driven kernel with the
+// slot-stepped reference, plus the bit-identity locks that pin the
+// slot-stepped path (and the fault-active fallback) to the pre-PR
+// outputs. Runs under `ctest -L sim`.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "impatience/core/experiment.hpp"
+#include "impatience/trace/generators.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::core {
+namespace {
+
+constexpr int kSeeds = 32;  // per config and kernel
+
+/// 95% confidence interval of a sample mean.
+struct Interval {
+  double lo;
+  double hi;
+};
+
+Interval confidence_interval(const std::vector<double>& samples) {
+  const double n = static_cast<double>(samples.size());
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= n;
+  double var = 0.0;
+  for (double s : samples) var += (s - mean) * (s - mean);
+  var /= (n - 1.0);
+  const double half = 1.96 * std::sqrt(var / n);
+  return {mean - half, mean + half};
+}
+
+void expect_overlap(const std::vector<double>& slot,
+                    const std::vector<double>& event, const char* metric) {
+  const Interval a = confidence_interval(slot);
+  const Interval b = confidence_interval(event);
+  EXPECT_TRUE(a.lo <= b.hi && b.lo <= a.hi)
+      << metric << ": slot CI [" << a.lo << ", " << a.hi << "] vs event CI ["
+      << b.lo << ", " << b.hi << "]";
+}
+
+void check_conservation(const SimulationResult& r) {
+  ASSERT_EQ(r.requests_created, r.fulfillments + r.immediate_fulfillments +
+                                    r.censored_requests);
+  // Mandate conservation (trivially 0 == 0 for fixed placements).
+  ASSERT_EQ(r.mandates_created, r.replicas_written + r.outstanding_mandates +
+                                    static_cast<long>(
+                                        r.faults.mandates_lost));
+}
+
+struct KernelSamples {
+  std::vector<double> gain, fulfillments, delay;
+};
+
+/// Runs `trial` for kSeeds seeds under each kernel and asserts the 95%
+/// CIs of total_gain / fulfillments / mean_delay overlap, with exact
+/// conservation on every run.
+template <typename Trial>
+void expect_kernels_equivalent(Trial&& trial) {
+  KernelSamples per_kernel[2];
+  const SimKernel kernels[2] = {SimKernel::slot_stepped,
+                                SimKernel::event_driven};
+  for (int k = 0; k < 2; ++k) {
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const SimulationResult r = trial(kernels[k], 1000 + seed);
+      check_conservation(r);
+      per_kernel[k].gain.push_back(r.total_gain);
+      per_kernel[k].fulfillments.push_back(
+          static_cast<double>(r.fulfillments));
+      per_kernel[k].delay.push_back(r.mean_delay);
+    }
+  }
+  expect_overlap(per_kernel[0].gain, per_kernel[1].gain, "total_gain");
+  expect_overlap(per_kernel[0].fulfillments, per_kernel[1].fulfillments,
+                 "fulfillments");
+  expect_overlap(per_kernel[0].delay, per_kernel[1].delay, "mean_delay");
+}
+
+TEST(KernelEquivalence, Fig4HomogeneousQcr) {
+  util::Rng gen(11);
+  auto tr = trace::generate_poisson({20, 1000, 0.05}, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(20, 1.0, 1.0), 4);
+  utility::StepUtility u(10.0);
+  expect_kernels_equivalent([&](SimKernel kernel, std::uint64_t seed) {
+    SimOptions options;
+    options.kernel = kernel;
+    util::Rng rng(seed);
+    return run_qcr(scenario, u, QcrOptions{}, options, rng);
+  });
+}
+
+TEST(KernelEquivalence, Fig5InfocomFixedPlacement) {
+  util::Rng gen(22);
+  trace::InfocomLikeParams params;
+  params.num_nodes = 20;
+  params.days = 1;
+  auto tr = trace::generate_infocom_like(params, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(20, 1.0, 1.0), 4);
+  utility::StepUtility u(30.0);
+  util::Rng prng(23);
+  const auto competitors =
+      build_competitors(scenario, u, OptMode::kHomogeneous, prng);
+  const auto& uni = competitors[1];
+  expect_kernels_equivalent([&](SimKernel kernel, std::uint64_t seed) {
+    SimOptions options;
+    options.kernel = kernel;
+    util::Rng rng(seed);
+    return run_fixed(scenario, u, uni.name, uni.placement, options, rng);
+  });
+}
+
+TEST(KernelEquivalence, Fig6SparseCabspottingFixedPlacement) {
+  util::Rng gen(33);
+  trace::CabspottingLikeParams params;
+  params.mobility.num_nodes = 20;
+  params.duration = 1500;
+  auto tr = trace::generate_cabspotting_like(params, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(25, 1.0, 1.0), 4);
+  utility::ExponentialUtility u(0.05);
+  util::Rng prng(34);
+  const auto competitors =
+      build_competitors(scenario, u, OptMode::kHomogeneous, prng);
+  const auto& uni = competitors[1];
+  expect_kernels_equivalent([&](SimKernel kernel, std::uint64_t seed) {
+    SimOptions options;
+    options.kernel = kernel;
+    util::Rng rng(seed);
+    return run_fixed(scenario, u, uni.name, uni.placement, options, rng);
+  });
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity locks. The expected values were captured from the tree
+// immediately before the event-kernel change landed (slot-stepped is the
+// bit-locked reference; see SimKernel docs). Any drift here is a
+// reproducibility regression, not a tolerance issue: compare exactly.
+
+SimulationResult run_config_a(SimKernel kernel) {
+  util::Rng gen(101);
+  auto tr = trace::generate_poisson({30, 1500, 0.05}, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(30, 1.0, 1.0), 4);
+  utility::StepUtility u(10.0);
+  SimOptions options;
+  options.kernel = kernel;
+  util::Rng rng(777);
+  return run_qcr(scenario, u, QcrOptions{}, options, rng);
+}
+
+SimulationResult run_config_b(SimKernel kernel) {
+  util::Rng gen(202);
+  trace::CabspottingLikeParams params;
+  params.mobility.num_nodes = 25;
+  params.duration = 2000;
+  auto tr = trace::generate_cabspotting_like(params, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(25, 1.0, 1.0), 4);
+  utility::ExponentialUtility u(0.05);
+  util::Rng prng(303);
+  const auto competitors =
+      build_competitors(scenario, u, OptMode::kHomogeneous, prng);
+  SimOptions options;
+  options.kernel = kernel;
+  util::Rng rng(404);
+  return run_fixed(scenario, u, competitors[1].name,
+                   competitors[1].placement, options, rng);
+}
+
+SimulationResult run_config_c(SimKernel kernel) {
+  util::Rng gen(505);
+  auto tr = trace::generate_poisson({20, 1200, 0.04}, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(20, 1.0, 1.0), 4);
+  utility::StepUtility u(20.0);
+  SimOptions options;
+  options.kernel = kernel;
+  options.faults.p_drop = 0.05;
+  options.faults.p_truncate = 0.05;
+  options.faults.p_duplicate = 0.02;
+  options.faults.p_reorder = 0.1;
+  options.faults.p_crash = 0.0005;
+  options.faults.seed = 909;
+  util::Rng rng(606);
+  return run_qcr(scenario, u, QcrOptions{}, options, rng);
+}
+
+TEST(KernelGolden, SlotSteppedQcrMatchesPrePrCapture) {
+  const auto r = run_config_a(SimKernel::slot_stepped);
+  EXPECT_DOUBLE_EQ(r.total_gain, 1344.0);
+  EXPECT_EQ(r.fulfillments, 1189u);
+  EXPECT_EQ(r.immediate_fulfillments, 294u);
+  EXPECT_EQ(r.censored_requests, 5u);
+  EXPECT_EQ(r.requests_created, 1488u);
+  EXPECT_DOUBLE_EQ(r.mean_delay, 5.0647603027754418);
+  EXPECT_DOUBLE_EQ(r.mean_query_count, 6.6627417998317915);
+}
+
+TEST(KernelGolden, SlotSteppedFixedMatchesPrePrCapture) {
+  const auto r = run_config_b(SimKernel::slot_stepped);
+  EXPECT_DOUBLE_EQ(r.total_gain, 607.35286051271407);
+  EXPECT_EQ(r.fulfillments, 1644u);
+  EXPECT_EQ(r.immediate_fulfillments, 310u);
+  EXPECT_EQ(r.censored_requests, 89u);
+  EXPECT_EQ(r.requests_created, 2043u);
+  EXPECT_DOUBLE_EQ(r.mean_delay, 92.50121654501217);
+  EXPECT_DOUBLE_EQ(r.mean_query_count, 5.5504866180048662);
+}
+
+TEST(KernelGolden, FaultySlotSteppedMatchesPr3Capture) {
+  const auto r = run_config_c(SimKernel::slot_stepped);
+  EXPECT_DOUBLE_EQ(r.total_gain, 1138.0);
+  EXPECT_EQ(r.fulfillments, 885u);
+  EXPECT_EQ(r.immediate_fulfillments, 313u);
+  EXPECT_EQ(r.censored_requests, 3u);
+  EXPECT_EQ(r.requests_created, 1202u);
+  EXPECT_DOUBLE_EQ(r.mean_delay, 7.5683615819209038);
+  EXPECT_DOUBLE_EQ(r.mean_query_count, 5.1276836158192092);
+  EXPECT_EQ(r.faults.meetings_dropped, 446u);
+  EXPECT_EQ(r.faults.crashes, 7u);
+}
+
+// Fault-active runs must route through the slot-stepped loop regardless
+// of the requested kernel: asking for event_driven on config C has to
+// reproduce the PR 3 outputs bit for bit.
+TEST(KernelGolden, FaultActiveEventRequestFallsBackToSlotStepped) {
+  const auto slot = run_config_c(SimKernel::slot_stepped);
+  const auto event = run_config_c(SimKernel::event_driven);
+  EXPECT_DOUBLE_EQ(event.total_gain, slot.total_gain);
+  EXPECT_EQ(event.fulfillments, slot.fulfillments);
+  EXPECT_EQ(event.immediate_fulfillments, slot.immediate_fulfillments);
+  EXPECT_EQ(event.censored_requests, slot.censored_requests);
+  EXPECT_EQ(event.requests_created, slot.requests_created);
+  EXPECT_DOUBLE_EQ(event.mean_delay, slot.mean_delay);
+  EXPECT_DOUBLE_EQ(event.mean_query_count, slot.mean_query_count);
+  EXPECT_EQ(event.final_counts, slot.final_counts);
+  EXPECT_EQ(event.faults.meetings_dropped, slot.faults.meetings_dropped);
+  EXPECT_EQ(event.faults.crashes, slot.faults.crashes);
+}
+
+}  // namespace
+}  // namespace impatience::core

@@ -71,7 +71,9 @@ TEST(Node, RolesAndAccess) {
   ASSERT_EQ(client.pending().size(), 1u);
   EXPECT_EQ(client.pending()[0].item, 2u);
   EXPECT_EQ(client.pending()[0].created, 7);
-  EXPECT_EQ(client.pending()[0].queries, 0);
+  // Fresh request: its live query counter (clock minus snapshot) is zero.
+  EXPECT_EQ(client.server_meetings() - client.pending()[0].queries_at_creation,
+            0);
 }
 
 TEST(Node, HoldsChecksCache) {

@@ -1,0 +1,203 @@
+#include "impatience/util/alias.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "impatience/core/demand.hpp"
+#include "impatience/core/simulator.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::util {
+namespace {
+
+// Upper chi-square critical value by the Wilson-Hilferty approximation,
+// at z = 3.72 (upper tail ~1e-4): generous enough that a correct sampler
+// with a fixed seed never trips it, tight enough that a mis-built table
+// (wrong column mass) fails by orders of magnitude.
+double chi_square_critical(std::size_t df) {
+  const double d = static_cast<double>(df);
+  const double t = 1.0 - 2.0 / (9.0 * d) + 3.72 * std::sqrt(2.0 / (9.0 * d));
+  return d * t * t * t;
+}
+
+double chi_square_stat(const std::vector<std::size_t>& observed,
+                       const std::vector<double>& weights,
+                       std::size_t draws) {
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  double stat = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected =
+        static_cast<double>(draws) * weights[i] / total;
+    if (expected == 0.0) {
+      EXPECT_EQ(observed[i], 0u) << "draws from a zero-weight column";
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+TEST(AliasTable, RejectsDegenerateWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{-1.0}), std::invalid_argument);
+}
+
+TEST(AliasTable, SingleColumnAlwaysSampled) {
+  AliasTable table(std::vector<double>{3.5});
+  Rng rng(1);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(table.sample(rng), 0u);
+}
+
+// The table encodes the distribution exactly: column i's total mass is
+// prob(i)/n plus the overflow (1 - prob(j))/n of every column j aliased
+// to i. Checking that reconstruction against the normalized weights is a
+// deterministic exactness test -- no sampling noise involved.
+TEST(AliasTable, ReconstructsExactWeights) {
+  const std::vector<double> weights{5.0, 0.25, 1.75, 0.0, 3.0, 2.0};
+  AliasTable table(weights);
+  ASSERT_EQ(table.size(), weights.size());
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double n = static_cast<double>(weights.size());
+  std::vector<double> mass(weights.size(), 0.0);
+  for (std::size_t c = 0; c < table.size(); ++c) {
+    ASSERT_GE(table.prob(c), 0.0);
+    ASSERT_LE(table.prob(c), 1.0);
+    ASSERT_LT(table.alias(c), table.size());
+    mass[c] += table.prob(c) / n;
+    mass[table.alias(c)] += (1.0 - table.prob(c)) / n;
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(mass[i], weights[i] / total, 1e-12) << "column " << i;
+  }
+}
+
+TEST(AliasTable, ChiSquareAgainstSkewedWeights) {
+  // Weights spanning three orders of magnitude, including a zero.
+  const std::vector<double> weights{100.0, 10.0, 1.0, 0.1, 0.0,
+                                    40.0,  25.0, 3.0, 7.0, 0.5};
+  AliasTable table(weights);
+  Rng rng(20260805);
+  const std::size_t draws = 200000;
+  std::vector<std::size_t> observed(weights.size(), 0);
+  for (std::size_t k = 0; k < draws; ++k) ++observed[table.sample(rng)];
+  // df = (#nonzero categories) - 1.
+  const double stat = chi_square_stat(observed, weights, draws);
+  EXPECT_LT(stat, chi_square_critical(8));
+}
+
+TEST(AliasTable, RebuildReplacesDistribution) {
+  AliasTable table(std::vector<double>{1.0, 0.0});
+  table.rebuild(std::vector<double>{0.0, 1.0});
+  Rng rng(7);
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(table.sample(rng), 1u);
+}
+
+// DemandProcess's alias path must agree with the catalog's exact d_i.
+TEST(DemandAlias, ItemChiSquareAgainstCatalog) {
+  const auto catalog = core::Catalog::pareto(50, 1.0, 2.0);
+  core::DemandProcess demand(catalog, {0, 1, 2, 3});
+  Rng rng(99);
+  const std::size_t draws = 300000;
+  std::vector<std::size_t> observed(catalog.num_items(), 0);
+  for (std::size_t k = 0; k < draws; ++k) {
+    ++observed[demand.sample_request(rng).item];
+  }
+  const double stat = chi_square_stat(observed, catalog.demands(), draws);
+  EXPECT_LT(stat, chi_square_critical(catalog.num_items() - 1));
+}
+
+// Under a non-uniform PopularityProfile the per-item node alias tables
+// must reproduce pi_{i,n} exactly (per item, over the client indices).
+TEST(DemandAlias, NodeChiSquareAgainstPopularityProfile) {
+  core::Catalog catalog({1.0, 3.0});
+  // pi rows (item x client-index), deliberately different per item.
+  const std::vector<std::vector<double>> pi{{0.7, 0.2, 0.1},
+                                            {0.05, 0.15, 0.8}};
+  core::DemandProcess demand(catalog, {10, 11, 12}, pi);
+  Rng rng(42);
+  const std::size_t draws = 300000;
+  std::vector<std::vector<std::size_t>> observed(
+      2, std::vector<std::size_t>(3, 0));
+  std::vector<std::size_t> per_item(2, 0);
+  for (std::size_t k = 0; k < draws; ++k) {
+    const auto request = demand.sample_request(rng);
+    ASSERT_GE(request.node, 10u);
+    ASSERT_LE(request.node, 12u);
+    ++observed[request.item][request.node - 10];
+    ++per_item[request.item];
+  }
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double stat = chi_square_stat(observed[i], pi[i], per_item[i]);
+    EXPECT_LT(stat, chi_square_critical(2)) << "item " << i;
+  }
+}
+
+// The linear reference and the alias path sample the same distribution
+// (they are different RNG-stream mappings of identical weights).
+TEST(DemandAlias, MatchesLinearReferenceDistribution) {
+  const auto catalog = core::Catalog::pareto(20, 1.0, 1.0);
+  core::DemandProcess demand(catalog, {0, 1});
+  Rng rng_a(5), rng_b(6);
+  const std::size_t draws = 200000;
+  std::vector<std::size_t> alias_counts(20, 0), linear_counts(20, 0);
+  for (std::size_t k = 0; k < draws; ++k) {
+    ++alias_counts[demand.sample_request(rng_a).item];
+    ++linear_counts[demand.sample_request_linear(rng_b).item];
+  }
+  const double stat_alias =
+      chi_square_stat(alias_counts, catalog.demands(), draws);
+  const double stat_linear =
+      chi_square_stat(linear_counts, catalog.demands(), draws);
+  EXPECT_LT(stat_alias, chi_square_critical(19));
+  EXPECT_LT(stat_linear, chi_square_critical(19));
+}
+
+// A demand_schedule switch rebuilds the alias tables: run the event
+// kernel (the only consumer of the alias path inside simulate) on a
+// meeting-free trace where one node holds both items, with nearly all
+// catalog mass on item 0 before the switch and on item 1 after it. Every
+// request resolves as an immediate own-cache hit, so the per-item
+// fulfilment counts read back which table was live in each half.
+TEST(DemandAlias, SimulatorRebuildsTablesOnScheduleSwitch) {
+  trace::ContactTrace no_meetings(1, 4000, {});
+  core::Catalog before({0.5, 0.0000005});
+  core::Catalog after({0.0000005, 0.5});
+
+  alloc::Placement placement(2, 1, 2);
+  placement.add(0, 0);
+  placement.add(1, 0);
+
+  core::SimOptions options;
+  options.cache_capacity = 2;
+  options.kernel = core::SimKernel::event_driven;
+  options.sticky_replicas = false;
+  options.initial_placement = placement;
+  options.demand_schedule.emplace_back(2000, after);
+  std::vector<std::uint64_t> hits(2, 0);
+  options.on_fulfillment = [&](core::ItemId item, trace::NodeId, double,
+                               double) { ++hits[item]; };
+
+  utility::StepUtility u(10.0);
+  core::StaticPolicy policy;
+  Rng rng(314);
+  const auto result =
+      core::simulate(no_meetings, before, u, policy, options, rng);
+
+  // ~1000 requests per half; a stale table would leave one side at ~0.
+  EXPECT_GT(hits[0], 800u);
+  EXPECT_GT(hits[1], 800u);
+  EXPECT_EQ(result.requests_created,
+            result.immediate_fulfillments + result.fulfillments +
+                result.censored_requests);
+}
+
+}  // namespace
+}  // namespace impatience::util
