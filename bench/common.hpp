@@ -99,9 +99,10 @@ void maybe_write_manifest(
 /// Reads the standard engine flags (--threads, --progress, --job-deadline
 /// seconds, --max-attempts, --kernel slot|event) into a ComparisonConfig
 /// and announces the engine setup on stderr. `--kernel event` selects the
-/// event-driven simulation kernel for every job (fault-active jobs still
-/// fall back to the slot-stepped loop inside `simulate`); the default
-/// `slot` keeps harness stdout byte-identical to previous releases.
+/// event-driven simulation kernel for every job, fault-active ones
+/// included (crashes ride the jump loop via geometric-skip draws); the
+/// default `slot` keeps harness stdout byte-identical to previous
+/// releases.
 void apply_engine_flags(const util::Flags& flags, ComparisonConfig& config,
                         std::uint64_t root_seed);
 

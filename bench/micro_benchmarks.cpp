@@ -456,6 +456,127 @@ void BM_SimulateFig6Event(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateFig6Event)->Unit(benchmark::kMillisecond);
 
+// Fig3-like faulty scenario on a sparse trace: 30 nodes meeting rarely
+// (mu = 1e-4, ~0.04 meetings per slot) over 20000 slots with the full
+// fault cocktail engaged. Before this PR a fault-active run silently
+// fell back to slot stepping; this pair measures what riding the jump
+// loop buys — geometric-skip crash scheduling replaces 30 Bernoulli
+// draws per slot, and batched demand/metrics skip the >95% of slots
+// where nothing happens.
+const core::Scenario& fig3_faulty_scenario() {
+  static const core::Scenario scenario = [] {
+    util::Rng rng(2028);
+    auto contact_trace = trace::generate_poisson({30, 20000, 0.0001}, rng);
+    return core::make_scenario(std::move(contact_trace),
+                               core::Catalog::pareto(100, 1.0, 0.1), 4);
+  }();
+  return scenario;
+}
+
+core::SimOptions fig3_fault_options(core::SimKernel kernel) {
+  core::SimOptions sim;
+  sim.kernel = kernel;
+  sim.faults.p_drop = 0.05;
+  sim.faults.p_truncate = 0.05;
+  sim.faults.p_duplicate = 0.02;
+  sim.faults.p_reorder = 0.1;
+  sim.faults.p_crash = 0.0005;
+  sim.faults.mean_downtime = 30.0;
+  sim.faults.seed = 909;
+  return sim;
+}
+
+void run_fig3_faulty_bench(benchmark::State& state, core::SimKernel kernel) {
+  const auto& scenario = fig3_faulty_scenario();
+  const utility::StepUtility u(200.0);
+  util::Rng rng(10);
+  for (auto _ : state) {
+    util::Rng r = rng.split();
+    benchmark::DoNotOptimize(core::run_qcr(
+        scenario, u, core::QcrOptions{}, fig3_fault_options(kernel), r));
+  }
+  state.SetItemsProcessed(state.iterations() * scenario.trace.duration());
+}
+
+void BM_SimulateFig3FaultySlot(benchmark::State& state) {
+  run_fig3_faulty_bench(state, core::SimKernel::slot_stepped);
+}
+BENCHMARK(BM_SimulateFig3FaultySlot)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateFig3FaultyEvent(benchmark::State& state) {
+  run_fig3_faulty_bench(state, core::SimKernel::event_driven);
+  // Acceptance check (untimed): the kernels agree in distribution, so
+  // fulfilments and injected faults must land close across a few seeds.
+  const auto& scenario = fig3_faulty_scenario();
+  const utility::StepUtility u(200.0);
+  double fulfilled[2] = {0.0, 0.0};
+  double injected[2] = {0.0, 0.0};
+  for (int k = 0; k < 2; ++k) {
+    const auto kernel =
+        k == 0 ? core::SimKernel::slot_stepped : core::SimKernel::event_driven;
+    for (int s = 0; s < 3; ++s) {
+      auto sim = fig3_fault_options(kernel);
+      sim.faults.seed = static_cast<std::uint64_t>(7000 + s);
+      util::Rng r(200 + s);
+      const auto result =
+          core::run_qcr(scenario, u, core::QcrOptions{}, sim, r);
+      fulfilled[k] += static_cast<double>(result.fulfillments);
+      injected[k] += static_cast<double>(result.faults.injected_events());
+    }
+  }
+  if (fulfilled[1] < 0.7 * fulfilled[0] || fulfilled[1] > 1.3 * fulfilled[0]) {
+    state.SkipWithError("faulty event kernel fulfilments diverge from slot");
+  }
+  if (injected[1] < 0.7 * injected[0] || injected[1] > 1.3 * injected[0]) {
+    state.SkipWithError("faulty event kernel fault counts diverge from slot");
+  }
+}
+BENCHMARK(BM_SimulateFig3FaultyEvent)->Unit(benchmark::kMillisecond);
+
+// QCR expected-welfare probe at fig5 scale (98 nodes x 500 items): each
+// iteration applies one metrics tick's worth of cache churn and then
+// reads the probe. Scratch pays the O(items x clients) welfare() fold
+// every tick; Incremental re-folds only the rows the churn dirtied
+// (welfare_cached), which is what SimOptions::welfare_probe samples.
+void run_welfare_probe_bench(benchmark::State& state, bool incremental) {
+  const auto& g = fig5_instance();
+  const utility::StepUtility u(10.0);
+  alloc::MarginalOracle oracle(g.rates, g.demand, u, g.servers, g.clients,
+                               kFig5Items);
+  oracle.reset(fig5_partial_placement());
+  util::Rng rng(33);
+  for (auto _ : state) {
+    for (int m = 0; m < 4; ++m) {
+      const auto item =
+          static_cast<alloc::ItemId>(rng.uniform_index(kFig5Items));
+      const auto server =
+          static_cast<trace::NodeId>(rng.uniform_index(kFig5Nodes));
+      if (oracle.has(item, server)) {
+        oracle.remove(item, server);
+      } else {
+        oracle.add(item, server);
+      }
+    }
+    benchmark::DoNotOptimize(incremental ? oracle.welfare_cached()
+                                         : oracle.welfare());
+  }
+  // Acceptance check (untimed): the incremental probe must match the
+  // from-scratch evaluator on the final tracked state.
+  if (oracle.welfare_cached() != oracle.welfare()) {
+    state.SkipWithError("welfare_cached diverged from welfare()");
+  }
+}
+
+void BM_QcrWelfareProbeScratch(benchmark::State& state) {
+  run_welfare_probe_bench(state, false);
+}
+BENCHMARK(BM_QcrWelfareProbeScratch);
+
+void BM_QcrWelfareProbeIncremental(benchmark::State& state) {
+  run_welfare_probe_bench(state, true);
+}
+BENCHMARK(BM_QcrWelfareProbeIncremental);
+
 void BM_SimulatorStatic(benchmark::State& state) {
   util::Rng rng(7);
   auto trace = trace::generate_poisson({50, 2000, 0.05}, rng);
@@ -476,4 +597,19 @@ BENCHMARK(BM_SimulatorStatic)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// google-benchmark's own `library_build_type` context reflects how the
+// *benchmark library* was compiled (always debug for the distro package);
+// scripts/bench_snapshot.sh gates snapshots on how THIS binary was built,
+// which CMake passes through as IMPATIENCE_BUILD_TYPE.
+#ifndef IMPATIENCE_BUILD_TYPE
+#define IMPATIENCE_BUILD_TYPE "unspecified"
+#endif
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("impatience_build_type", IMPATIENCE_BUILD_TYPE);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,14 +9,18 @@
 //   M[i][n]     = sum over holders m of item i of mu_{m,n}   (self excluded)
 //   holds[i][n] = number of holders of i co-located with client n
 //
-// updated in O(|holders| * |clients|) on each add/remove — placements are
-// rare next to marginal evaluations, which become two utility lookups per
-// client with no holder loop. The "before" gain per (item, client) is
-// cached and refreshed lazily on the first evaluation after the item's
-// holder set changes, and transform evaluations are memoized exactly
-// (keyed on the bit pattern of M, shared across items with identical
-// utilities), in the spirit of CELF-style lazy submodular maximization
-// (Leskovec et al., see PAPERS.md).
+// refreshed lazily: add/remove just update the holder list and mark the
+// item's row dirty (O(log |holders|)), and the first read after a change
+// pays the O(|holders| * |clients|) exact recompute. Placements are rare
+// next to marginal evaluations, which become two utility lookups per
+// client with no holder loop; conversely a burst of cache-listener
+// deltas between two welfare probes costs one row refresh per *changed*
+// item, not per delta. The "before" gain per (item, client) is cached
+// and refreshed lazily on the first evaluation after the item's holder
+// set changes, and transform evaluations are memoized exactly (keyed on
+// the bit pattern of M, shared across items with identical utilities),
+// in the spirit of CELF-style lazy submodular maximization (Leskovec et
+// al., see PAPERS.md).
 //
 // Bit-identity: M rows are refreshed by folding holder rates in ascending
 // server order — the exact summation order of Placement::holders() — and
@@ -71,8 +75,10 @@ class MarginalOracle {
   /// std::logic_error if the replica is already present.
   double marginal(ItemId item, NodeId server) const;
 
-  /// Registers / removes a replica (O(|holders| * |clients|) exact row
-  /// refresh). Throws std::logic_error on duplicate add / absent remove.
+  /// Registers / removes a replica: O(log |holders|) holder-list update
+  /// plus a dirty mark; the exact O(|holders| * |clients|) row refresh is
+  /// deferred to the next read of the item. Throws std::logic_error on
+  /// duplicate add / absent remove.
   void add(ItemId item, NodeId server);
   void remove(ItemId item, NodeId server);
 
@@ -80,9 +86,22 @@ class MarginalOracle {
   /// server counts required).
   void reset(const Placement& placement);
 
-  /// Welfare of the tracked placement; bit-identical to
-  /// welfare_heterogeneous.
+  /// Welfare of the tracked placement, recomputed from scratch over all
+  /// items; bit-identical to welfare_heterogeneous. The from-scratch
+  /// reference for welfare_cached().
   double welfare() const;
+
+  /// Welfare of the tracked placement from cached per-item contributions:
+  /// only items whose holder set changed since the last call are
+  /// recomputed, then all contributions are folded in ascending item
+  /// order — the exact summation order of welfare(), with each recomputed
+  /// term produced by the same inner loop, so the result is bitwise
+  /// identical to welfare() (not merely within tolerance; the 1e-12
+  /// bound in the tests is a safety net on top of an exact-equality
+  /// check, see docs/perf.md). O(changed rows * |clients| + items) per
+  /// call instead of O(items * |clients|) — this is the simulator's
+  /// incremental expected-welfare probe (SimOptions::welfare_probe).
+  double welfare_cached() const;
 
  private:
   void validate_and_index(const trace::RateMatrix& rates,
@@ -90,8 +109,11 @@ class MarginalOracle {
                           const std::vector<NodeId>& clients,
                           const std::optional<PopularityProfile>& popularity);
   void check_ids(ItemId item, NodeId server) const;
-  void refresh_item(ItemId item);
+  void mark_dirty(ItemId item);
+  void sync_item(ItemId item) const;  // refresh the M/holds row if dirty
+  void refresh_row(ItemId item) const;
   void refresh_gain0(ItemId item) const;
+  double item_welfare_term(ItemId item) const;
   double memoized_gain(std::size_t memo, const utility::DelayUtility& u,
                        double M) const;
   const double* pi_row(ItemId item) const {
@@ -116,15 +138,21 @@ class MarginalOracle {
   std::vector<double> pi_;
   double uniform_pi_ = 0.0;
 
-  // Tracked placement state.
+  // Tracked placement state. M/holds rows are refreshed lazily from the
+  // holder lists (mutable: reads are logically const).
   std::vector<std::vector<NodeId>> holders_;  // per item, ascending
-  std::vector<double> M_;                     // [i * C + n]
-  std::vector<std::uint16_t> holds_;          // [i * C + n]
+  mutable std::vector<double> M_;             // [i * C + n]
+  mutable std::vector<std::uint16_t> holds_;  // [i * C + n]
+  mutable std::vector<std::uint8_t> row_dirty_;  // per item
 
   // Cached "before" gains, refreshed lazily per item (mutable: marginal()
   // is logically const).
   mutable std::vector<double> gain0_;        // [i * C + n]
   mutable std::vector<std::uint8_t> gain0_dirty_;  // per item
+
+  // Cached per-item welfare contributions for welfare_cached().
+  mutable std::vector<double> item_welfare_;           // per item
+  mutable std::vector<std::uint8_t> welfare_dirty_;    // per item
 
   // Exact transform memo: bit pattern of M -> request gain (holds=false).
   mutable std::vector<std::unordered_map<std::uint64_t, double>> memos_;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -14,6 +15,7 @@
 #include "impatience/alloc/solvers.hpp"
 #include "impatience/core/simulator.hpp"
 #include "impatience/trace/generators.hpp"
+#include "impatience/trace/stats.hpp"
 #include "impatience/utility/reaction.hpp"
 
 namespace impatience::core {
@@ -123,5 +125,23 @@ double normalized_loss_percent(double utility_value, double opt_value);
 std::function<double(std::span<const int>)> homogeneous_welfare_probe(
     Catalog catalog, const utility::DelayUtility& utility,
     alloc::HomogeneousModel model);
+
+/// Owns the inputs of the *incremental* expected-welfare probe
+/// (SimOptions::welfare_probe): a trace-estimated rate matrix plus a
+/// MarginalOracle over the scenario's pure-P2P population, fed by the
+/// simulator's cache change listeners and sampled via welfare_cached().
+/// The scenario and utilities must outlive this object (the oracle
+/// references the catalog's demand vector and the utilities).
+class WelfareProbe {
+ public:
+  WelfareProbe(const Scenario& scenario, const utility::UtilitySet& utilities);
+
+  /// Pass this as SimOptions::welfare_probe.
+  alloc::MarginalOracle* oracle() noexcept { return oracle_.get(); }
+
+ private:
+  trace::RateMatrix rates_;
+  std::unique_ptr<alloc::MarginalOracle> oracle_;
+};
 
 }  // namespace impatience::core

@@ -8,6 +8,7 @@
 #include <span>
 
 #include "impatience/alloc/allocation.hpp"
+#include "impatience/alloc/oracle.hpp"
 #include "impatience/alloc/welfare.hpp"
 #include "impatience/core/demand.hpp"
 #include "impatience/core/metrics.hpp"
@@ -34,23 +35,42 @@ struct Population {
 enum class SimKernel {
   /// Step every slot of the trace (the reference loop of Section 6.1).
   /// Bit-locked: identical seeds give identical results release to
-  /// release, and it is the only kernel the fault model is defined on.
+  /// release; the fault model's per-slot formulation is defined on it.
   slot_stepped,
   /// Classical next-event time advance: jump between "interesting" slots
-  /// (meetings, metrics sample ticks, demand_schedule switches) and batch
-  /// the demand of each empty gap as one Poisson(gap * rate) draw with
-  /// alias-sampled (item, node) pairs and uniform creation slots.
-  /// Distribution-identical to slot_stepped (empty-slot requests only age
-  /// until the next meeting) but a different use of the RNG stream, so
-  /// results match statistically, not bit for bit. Fault-active runs
-  /// (`faults.engaged()`) fall back to slot_stepped, because the fault
-  /// model (per-slot crash hazards, per-meeting decisions) is defined on
-  /// the per-slot loop.
+  /// (meetings, metrics sample ticks, demand_schedule switches, scheduled
+  /// node crashes) and batch the demand of each empty gap as one
+  /// Poisson(gap * rate) draw with alias-sampled (item, node) pairs and
+  /// uniform creation slots. Fault-active runs ride the same jump loop:
+  /// per-slot crash hazards become per-node geometric-skip draws
+  /// (fault::FaultPlan::next_node_crash) and per-meeting fault decisions
+  /// are only drawn at slots that actually have meetings, which is all
+  /// the slot-stepped loop does anyway. Distribution-identical to
+  /// slot_stepped (empty-slot requests only age until the next meeting;
+  /// the geometric gap is exactly the waiting time of the per-slot
+  /// Bernoulli hazard) but a different use of the RNG streams, so
+  /// results match statistically, not bit for bit.
   event_driven,
 };
 
 /// Display name ("slot" / "event"), e.g. for manifests and --kernel.
 const char* kernel_name(SimKernel kernel) noexcept;
+
+/// How sticky seeding and the random cache fill draw items when no
+/// initial placement is given.
+enum class InitSampling {
+  /// Draw a uniform item, retry on duplicates (and a uniform eviction
+  /// victim for sticky seeding). The bit-locked reference: the golden
+  /// locks pin this stream use.
+  rejection,
+  /// Draw from util::AliasTable tables over the eligible items — the
+  /// remaining absent items for the fill (no retries, so the per-slot
+  /// cost no longer decays with cache occupancy), the cached items for
+  /// the sticky eviction victim. Same uniform law as `rejection`, but a
+  /// different use of the RNG stream, so runs are not bit-comparable
+  /// across the two modes.
+  alias,
+};
 
 struct SimOptions {
   int cache_capacity = 5;  ///< rho
@@ -64,10 +84,25 @@ struct SimOptions {
   /// placement (e.g. the sticky pins) are inserted on top. When absent,
   /// caches are filled with distinct uniformly random items.
   std::optional<alloc::Placement> initial_placement;
+  /// Item-draw scheme for sticky seeding and the random fill; the
+  /// rejection default is the bit-locked reference.
+  InitSampling init_sampling = InitSampling::rejection;
   MetricsConfig metrics{};
   /// Evaluated on sampled per-item replica counts to produce the
   /// expected-welfare series (Fig. 3a); leave empty to skip.
   std::function<double(std::span<const int>)> expected_welfare;
+  /// Incremental expected-welfare probe (Section 5.1 / Fig. 3a under
+  /// heterogeneous rates): when set, the simulator clears the oracle's
+  /// tracked placement, feeds it every cache change through the change
+  /// listeners, and samples oracle->welfare_cached() into
+  /// expected_series at each metrics tick — O(changed rows) per tick
+  /// instead of the O(items x clients) from-scratch recompute an
+  /// `expected_welfare` functor pays. The oracle must be built over this
+  /// run's servers and clients (same order, e.g. via
+  /// core::WelfareProbe) and the scenario's item count; it must outlive
+  /// the call and is left tracking the final cache state. Mutually
+  /// exclusive with expected_welfare.
+  alloc::MarginalOracle* welfare_probe = nullptr;
   /// Requests still pending when the trace ends contribute h(final age)
   /// to total_gain ("censoring"); without this, allocations that starve
   /// an item (e.g. DOM under a cost utility) would look spuriously good.

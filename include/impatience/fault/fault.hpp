@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "impatience/trace/contact.hpp"
@@ -129,16 +130,60 @@ class FaultPlan {
   /// Seeded downtime in slots, >= 1.
   Slot downtime();
 
+  // -- event-kernel support: geometric-skip crash scheduling -----------
+  //
+  // The slot-stepped loop above flips one Bernoulli(p_crash) coin per
+  // (slot, alive node) from the shared plan stream; that formulation
+  // stays the bit-locked reference. The event-driven kernel instead
+  // samples each node's *next* crash slot directly: the gap to the next
+  // success of an i.i.d. Bernoulli(p) hazard is Geometric,
+  //   P(G = k) = (1 - p)^k p,  k >= 0,  G = floor(ln(1-U) / ln(1-p)),
+  // so one inverse-CDF draw replaces the per-slot coins. Each node draws
+  // from its own private stream (seeded from the fault seed and the node
+  // id), making the schedule independent of processing order. The two
+  // formulations are identical in distribution — per-slot coins are
+  // independent across nodes and slots, so splitting them into per-node
+  // geometric renewal processes changes nothing — but they use the
+  // stream differently, so they are not bit-identical to each other
+  // (docs/robustness.md §"Faults on the event kernel").
+
+  /// Sentinel "never crashes" slot.
+  static constexpr Slot kNoCrash = std::numeric_limits<Slot>::max();
+
+  /// One scheduled crash, fully drawn from the node's private stream.
+  struct NodeCrash {
+    Slot slot = kNoCrash;  ///< crash slot; kNoCrash when p_crash == 0
+    bool persist_cache = false;
+    Slot downtime = 1;  ///< node is down during [slot + 1, slot + 1 + downtime)
+  };
+
+  /// Seeds one private crash stream per node; required before
+  /// next_node_crash. Idempotent per plan (re-seeds from scratch).
+  void prepare_node_streams(trace::NodeId num_nodes);
+
+  /// Next crash of node `n` at or after slot `from` via geometric skip
+  /// (see above), with the crash's persist/downtime decisions drawn from
+  /// the same node stream. Returns slot == kNoCrash when p_crash == 0 or
+  /// the geometric gap saturates.
+  NodeCrash next_node_crash(trace::NodeId n, Slot from);
+
+  /// Counter/budget bookkeeping for a scheduled crash that actually
+  /// fired (the slot-stepped path counts inside crash_now() instead).
+  void record_crash();
+
   FaultCounters& counters() noexcept { return counters_; }
   const FaultCounters& counters() const noexcept { return counters_; }
 
  private:
   /// Budget check after recording an injected event.
   void charge_budget() const;
+  /// Shared downtime law of both crash formulations.
+  static Slot downtime_from(util::Rng& rng, double mean_downtime);
 
   bool active_ = false;
   FaultConfig config_{};
   util::Rng rng_{0};
+  std::vector<util::Rng> node_rng_;  // geometric-skip crash streams
   FaultCounters counters_{};
 };
 

@@ -24,6 +24,57 @@ class BinnedSeries {
 
   void add(double time, double value) noexcept;
 
+  /// Index of the bin add(time, ...) would hit (clamped at both ends).
+  std::size_t bin_index(double time) const noexcept;
+
+  /// Folds a pre-aggregated batch (the sum of `count` values that all
+  /// fall into `bin`) into the series. Equivalent to `count` add() calls
+  /// up to the floating-point association of the batch sum.
+  void add_batch(std::size_t bin, double sum, std::uint64_t count) noexcept {
+    sums_[bin] += sum;
+    counts_[bin] += count;
+    total_ += sum;
+  }
+
+  /// Accumulates a run of events that mostly share a bin and folds each
+  /// completed bin into the series with one add_batch. The event-driven
+  /// simulation kernel records per-fulfilment gains through a Batcher so
+  /// a demand gap costs one flush per bin touched instead of three
+  /// read-modify-writes per request (docs/perf.md §3). Events may arrive
+  /// in any time order; a bin change just costs one extra flush. Call
+  /// flush() before reading the series.
+  class Batcher {
+   public:
+    explicit Batcher(BinnedSeries& series) noexcept : series_(&series) {}
+
+    void add(double time, double value) noexcept {
+      const std::size_t bin = series_->bin_index(time);
+      if (count_ > 0 && bin == bin_) {
+        sum_ += value;
+        ++count_;
+        return;
+      }
+      flush();
+      bin_ = bin;
+      sum_ = value;
+      count_ = 1;
+    }
+
+    /// Folds the open batch (if any) into the series.
+    void flush() noexcept {
+      if (count_ == 0) return;
+      series_->add_batch(bin_, sum_, count_);
+      sum_ = 0.0;
+      count_ = 0;
+    }
+
+   private:
+    BinnedSeries* series_;
+    std::size_t bin_ = 0;
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+  };
+
   std::size_t bin_count() const noexcept { return sums_.size(); }
   double bin_width() const noexcept { return bin_width_; }
 

@@ -3,11 +3,20 @@
 #
 # Runs the before/after micro-benchmark pairs — marginal-gain evaluation,
 # the fig5-like end-to-end greedy (98 nodes, 500 items), the transform
-# memo, demand sampling (linear scan vs alias tables) and the fig6-like
-# simulation kernels (slot-stepped vs event-driven) — and writes the
-# google-benchmark JSON to BENCH_PR<current>.json so the perf trajectory
-# accrues in-repo. The *Naive/*Linear/*Slot benches ARE the "before"
-# numbers: they run the reference paths on the same instances.
+# memo, demand sampling (linear scan vs alias tables), the fig6-like
+# simulation kernels (slot-stepped vs event-driven), the fig3-like faulty
+# kernels and the QCR welfare probe (from-scratch vs incremental) — and
+# writes the google-benchmark JSON to BENCH_PR<current>.json so the perf
+# trajectory accrues in-repo. The *Naive/*Linear/*Slot/*Scratch benches
+# ARE the "before" numbers: they run the reference paths on the same
+# instances.
+#
+# Snapshots refuse to run unless the binary reports
+# impatience_build_type == Release (the custom context micro_benchmarks
+# registers; google-benchmark's own library_build_type describes the
+# distro benchmark library, which is always debug). BENCH_PR4.json was
+# captured from an unoptimized binary because only library_build_type was
+# checked by eye — --allow-debug keeps that mistake possible but loud.
 #
 # The PR number defaults to the highest "PR N" entry in CHANGES.md plus
 # one (i.e. the PR currently being built); a fresh checkout therefore
@@ -15,10 +24,16 @@
 #
 # Usage:
 #   scripts/bench_snapshot.sh                 # full snapshot -> BENCH_PR<current>.json
-#   scripts/bench_snapshot.sh --check         # ~2 s smoke, no JSON written
+#   scripts/bench_snapshot.sh --check         # ~2 s smoke + regression diff, no JSON
 #   scripts/bench_snapshot.sh --pr N          # snapshot for a specific PR number
 #   scripts/bench_snapshot.sh --bin PATH      # use an existing binary
 #   scripts/bench_snapshot.sh --out FILE      # JSON destination (overrides --pr)
+#   scripts/bench_snapshot.sh --allow-debug   # snapshot a non-Release binary anyway
+#
+# --check also diffs the two newest committed BENCH_PR*.json: shared
+# *_mean entries that regressed by more than 20% fail the check. The two
+# snapshots are only comparable when both were captured from Release
+# binaries; otherwise the diff is skipped with a note.
 #
 # Without --bin the script configures and builds a Release tree in
 # build-bench/ (benchmarks from unoptimized trees are not comparable).
@@ -29,6 +44,7 @@ BIN=""
 OUT=""
 PR=""
 CHECK=0
+ALLOW_DEBUG=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -36,6 +52,7 @@ while [[ $# -gt 0 ]]; do
     --bin) BIN="$2"; shift ;;
     --out) OUT="$2"; shift ;;
     --pr) PR="$2"; shift ;;
+    --allow-debug) ALLOW_DEBUG=1 ;;
     *) echo "bench_snapshot.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
   shift
@@ -56,19 +73,89 @@ if [[ -z "$BIN" ]]; then
   BIN="$ROOT/build-bench/bench/micro_benchmarks"
 fi
 
-FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|SimulateFig6Slot|SimulateFig6Event)'
+# Build type of the binary itself, from the custom benchmark context (a
+# sub-millisecond run of the cheapest benchmark prints the context block).
+bin_build_type() {
+  "$1" --benchmark_filter='^BM_RngUniform$' --benchmark_min_time=0.001 \
+       --benchmark_format=json 2>/dev/null |
+    python3 -c 'import json, sys
+print(json.load(sys.stdin)["context"].get("impatience_build_type", "unknown"))'
+}
+
+FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|SimulateFig6Slot|SimulateFig6Event|SimulateFig3FaultySlot|SimulateFig3FaultyEvent|QcrWelfareProbeScratch|QcrWelfareProbeIncremental)'
 
 if [[ "$CHECK" == 1 ]]; then
   # Smoke subset: skip the end-to-end greedy benches (the naive baseline
-  # alone takes ~1 s per iteration) and the fig6 kernel benches (their
-  # shared instance builds a week-long trace), and cap the per-bench time
-  # so the whole run stays around two seconds. Exercises the shared fig5
-  # instance setup, both marginal paths and both demand samplers; the
-  # placement identity check is covered by ctest -L perf and the kernel
-  # equivalence by ctest -L sim instead.
-  exec "$BIN" \
-    --benchmark_filter='BM_(MarginalGainNaive|MarginalOracle|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias)' \
+  # alone takes ~1 s per iteration) and the fig6/fig3 kernel benches
+  # (their shared instances build week-long traces), and cap the
+  # per-bench time so the whole run stays around two seconds. Exercises
+  # the shared fig5 instance setup, both marginal paths, both demand
+  # samplers and both welfare-probe paths; the placement identity check
+  # is covered by ctest -L perf and the kernel equivalence by ctest -L
+  # sim instead.
+  "$BIN" \
+    --benchmark_filter='BM_(MarginalGainNaive|MarginalOracle|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|QcrWelfareProbeScratch|QcrWelfareProbeIncremental)' \
     --benchmark_min_time=0.05
+
+  # Regression diff of the two newest committed snapshots: shared *_mean
+  # entries must not be >20% slower in the newer one.
+  python3 - "$ROOT" <<'EOF'
+import glob, json, os, re, sys
+
+root = sys.argv[1]
+snaps = []
+for path in glob.glob(os.path.join(root, "BENCH_PR*.json")):
+    m = re.match(r"BENCH_PR(\d+)\.json$", os.path.basename(path))
+    if m:
+        snaps.append((int(m.group(1)), path))
+snaps.sort()
+if len(snaps) < 2:
+    print("bench check: <2 committed snapshots, regression diff skipped")
+    sys.exit(0)
+
+(old_pr, old_path), (new_pr, new_path) = snaps[-2], snaps[-1]
+with open(old_path) as f:
+    old = json.load(f)
+with open(new_path) as f:
+    new = json.load(f)
+
+def build_type(snapshot):
+    return snapshot["context"].get("impatience_build_type", "unknown")
+
+if build_type(old) != "Release" or build_type(new) != "Release":
+    print(f"bench check: PR{old_pr} ({build_type(old)}) vs PR{new_pr} "
+          f"({build_type(new)}) are not both Release snapshots, "
+          "regression diff skipped")
+    sys.exit(0)
+
+def means(snapshot):
+    return {b["name"]: b["real_time"] for b in snapshot["benchmarks"]
+            if b["name"].endswith("_mean")}
+
+old_means, new_means = means(old), means(new)
+shared = sorted(set(old_means) & set(new_means))
+regressions = []
+for name in shared:
+    ratio = new_means[name] / old_means[name]
+    if ratio > 1.20:
+        regressions.append(f"  {name}: {old_means[name]:.1f} -> "
+                           f"{new_means[name]:.1f} ns ({ratio:.2f}x)")
+print(f"bench check: PR{new_pr} vs PR{old_pr}, "
+      f"{len(shared)} shared *_mean entries")
+if regressions:
+    print(f"bench check: >20% regressions vs BENCH_PR{old_pr}.json:")
+    print("\n".join(regressions))
+    sys.exit(1)
+print("bench check: no >20% regressions")
+EOF
+  exit 0
+fi
+
+BUILD_TYPE=$(bin_build_type "$BIN")
+if [[ "$BUILD_TYPE" != "Release" && "$ALLOW_DEBUG" != 1 ]]; then
+  echo "bench_snapshot.sh: refusing to snapshot a '$BUILD_TYPE' binary;" >&2
+  echo "  build with -DCMAKE_BUILD_TYPE=Release or pass --allow-debug" >&2
+  exit 3
 fi
 
 "$BIN" \

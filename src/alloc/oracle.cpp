@@ -121,8 +121,11 @@ void MarginalOracle::validate_and_index(
   holders_.resize(num_items_);
   M_.assign(static_cast<std::size_t>(num_items_) * C, 0.0);
   holds_.assign(static_cast<std::size_t>(num_items_) * C, 0);
+  row_dirty_.assign(num_items_, 0);  // empty holder lists match the zero rows
   gain0_.assign(static_cast<std::size_t>(num_items_) * C, 0.0);
   gain0_dirty_.assign(num_items_, 1);
+  item_welfare_.assign(num_items_, 0.0);
+  welfare_dirty_.assign(num_items_, 1);
 }
 
 void MarginalOracle::check_ids(ItemId item, NodeId server) const {
@@ -140,10 +143,22 @@ bool MarginalOracle::has(ItemId item, NodeId server) const {
   return std::binary_search(h.begin(), h.end(), server);
 }
 
-void MarginalOracle::refresh_item(ItemId item) {
+void MarginalOracle::mark_dirty(ItemId item) {
+  row_dirty_[item] = 1;
+  gain0_dirty_[item] = 1;
+  welfare_dirty_[item] = 1;
+}
+
+void MarginalOracle::sync_item(ItemId item) const {
+  if (row_dirty_[item]) refresh_row(item);
+}
+
+void MarginalOracle::refresh_row(ItemId item) const {
   // Fold holder rates in ascending server order — the exact summation
   // order of the naive client_gain over Placement::holders() — so M is
-  // bit-identical to what the naive evaluators compute.
+  // bit-identical to what the naive evaluators compute. The recompute is
+  // from scratch off the holder list, so any number of deferred
+  // add/remove calls collapse into this one refresh.
   const std::size_t C = num_clients_;
   double* M = M_.data() + static_cast<std::size_t>(item) * C;
   std::uint16_t* holds = holds_.data() + static_cast<std::size_t>(item) * C;
@@ -161,6 +176,7 @@ void MarginalOracle::refresh_item(ItemId item) {
     M[n] = m;
     holds[n] = h;
   }
+  row_dirty_[item] = 0;
   gain0_dirty_[item] = 1;
 }
 
@@ -231,9 +247,12 @@ double MarginalOracle::marginal(ItemId item, NodeId server) const {
     throw std::logic_error("MarginalOracle::marginal: replica already present");
   }
   if (holders_[item].empty() && pi_.empty()) {
+    // Never reads the (possibly stale) M row: with no holders the delta
+    // depends only on the rate submatrix and the utility.
     return (*demand_)[item] *
            empty_delta(memo_index_[item], *utility_[item], server);
   }
+  sync_item(item);
   if (gain0_dirty_[item]) refresh_gain0(item);
   const std::size_t C = num_clients_;
   const utility::DelayUtility& u = *utility_[item];
@@ -269,7 +288,7 @@ void MarginalOracle::add(ItemId item, NodeId server) {
     throw std::logic_error("MarginalOracle::add: replica already present");
   }
   h.insert(pos, server);
-  refresh_item(item);
+  mark_dirty(item);
 }
 
 void MarginalOracle::remove(ItemId item, NodeId server) {
@@ -280,7 +299,7 @@ void MarginalOracle::remove(ItemId item, NodeId server) {
     throw std::logic_error("MarginalOracle::remove: replica absent");
   }
   h.erase(pos);
-  refresh_item(item);
+  mark_dirty(item);
 }
 
 void MarginalOracle::reset(const Placement& placement) {
@@ -291,27 +310,50 @@ void MarginalOracle::reset(const Placement& placement) {
   }
   for (ItemId i = 0; i < num_items_; ++i) {
     holders_[i] = placement.holders(i);  // ascending by construction
-    refresh_item(i);
+    mark_dirty(i);
   }
 }
 
-double MarginalOracle::welfare() const {
+double MarginalOracle::item_welfare_term(ItemId i) const {
+  // The shared inner loop of welfare() and welfare_cached(): both fold
+  // the exact same terms in the exact same client order, which is what
+  // makes the cached total bitwise identical to the from-scratch one.
   const std::size_t C = num_clients_;
+  const utility::DelayUtility& u = *utility_[i];
+  const std::size_t base = static_cast<std::size_t>(i) * C;
+  const double* pi = pi_row(i);
+  double item_total = 0.0;
+  for (std::size_t n = 0; n < C; ++n) {
+    const double p = pi ? pi[n] : uniform_pi_;
+    if (p == 0.0) continue;
+    item_total +=
+        p * detail::request_gain(u, M_[base + n], holds_[base + n] > 0);
+  }
+  return item_total;
+}
+
+double MarginalOracle::welfare() const {
   double total = 0.0;
   for (ItemId i = 0; i < num_items_; ++i) {
     const double d = (*demand_)[i];
     if (d == 0.0) continue;
-    const utility::DelayUtility& u = *utility_[i];
-    const std::size_t base = static_cast<std::size_t>(i) * C;
-    const double* pi = pi_row(i);
-    double item_total = 0.0;
-    for (std::size_t n = 0; n < C; ++n) {
-      const double p = pi ? pi[n] : uniform_pi_;
-      if (p == 0.0) continue;
-      item_total +=
-          p * detail::request_gain(u, M_[base + n], holds_[base + n] > 0);
+    sync_item(i);
+    total += d * item_welfare_term(i);
+  }
+  return total;
+}
+
+double MarginalOracle::welfare_cached() const {
+  double total = 0.0;
+  for (ItemId i = 0; i < num_items_; ++i) {
+    const double d = (*demand_)[i];
+    if (d == 0.0) continue;
+    if (welfare_dirty_[i]) {
+      sync_item(i);
+      item_welfare_[i] = item_welfare_term(i);
+      welfare_dirty_[i] = 0;
     }
-    total += d * item_total;
+    total += d * item_welfare_[i];
   }
   return total;
 }

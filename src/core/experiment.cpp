@@ -216,4 +216,12 @@ std::function<double(std::span<const int>)> homogeneous_welfare_probe(
   };
 }
 
+WelfareProbe::WelfareProbe(const Scenario& scenario,
+                           const utility::UtilitySet& utilities)
+    : rates_(trace::estimate_rates(scenario.trace)) {
+  const Population pop = Population::pure_p2p(scenario.num_nodes());
+  oracle_ = std::make_unique<alloc::MarginalOracle>(
+      rates_, scenario.catalog.demands(), utilities, pop.servers, pop.clients);
+}
+
 }  // namespace impatience::core

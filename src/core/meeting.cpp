@@ -46,7 +46,7 @@ void fulfil_from(SimState& state, Node& requester, Node& provider) {
       const long queries =
           requester.server_meetings() - req.queries_at_creation;
       state.total_gain += gain;
-      state.observed->add(static_cast<double>(state.now), gain);
+      record_gain(state, static_cast<double>(state.now), gain);
       if (state.on_fulfillment && *state.on_fulfillment) {
         (*state.on_fulfillment)(req.item, requester.id(), delay, gain);
       }

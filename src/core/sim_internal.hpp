@@ -21,6 +21,11 @@ struct SimState {
 
   double total_gain = 0.0;
   stats::BinnedSeries* observed = nullptr;
+  /// When set (event kernel), gains are accumulated per bin and folded
+  /// into `observed` one batch at a time instead of per fulfilment; the
+  /// kernel flushes it before reading the series. The slot-stepped
+  /// kernel leaves it null so its per-fulfilment adds stay bit-locked.
+  stats::BinnedSeries::Batcher* observed_batch = nullptr;
   const std::function<void(ItemId, NodeId, double, double)>* on_fulfillment =
       nullptr;
   std::uint64_t fulfillments = 0;
@@ -41,5 +46,14 @@ void process_meeting(SimState& state, Node& a, Node& b);
 /// Matched (fulfillable) requests of this meeting across both directions
 /// — the "negotiated items" a truncated exchange cuts a prefix of.
 long count_fulfillable(const Node& a, const Node& b);
+
+/// Records one observed gain, through the batcher when one is installed.
+inline void record_gain(SimState& state, double time, double value) noexcept {
+  if (state.observed_batch) {
+    state.observed_batch->add(time, value);
+  } else {
+    state.observed->add(time, value);
+  }
+}
 
 }  // namespace impatience::core::detail

@@ -1,9 +1,12 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <queue>
+#include <span>
 #include <stdexcept>
 
 #include "impatience/core/simulator.hpp"
+#include "impatience/util/alias.hpp"
 #include "sim_internal.hpp"
 
 namespace impatience::core {
@@ -52,6 +55,54 @@ void fill_random(Cache& cache, ItemId num_items, util::Rng& rng) {
   }
 }
 
+/// InitSampling::alias counterpart of force_pin_sticky: the eviction
+/// victim comes from a uniform alias table over the cached items. Same
+/// uniform law, different stream use.
+void force_pin_sticky_alias(Cache& cache, ItemId item, util::Rng& rng,
+                            std::vector<double>& weights,
+                            util::AliasTable& table) {
+  if (!cache.contains(item) && cache.full()) {
+    const auto& items = cache.items();
+    weights.assign(items.size(), 1.0);
+    table.rebuild(weights);
+    cache.erase(items[table.sample(rng)]);
+  }
+  cache.pin_sticky(item);
+}
+
+/// InitSampling::alias counterpart of fill_random: each slot draws from
+/// an alias table over the still-absent items, so the fill needs exactly
+/// one draw per slot instead of a rejection loop whose acceptance rate
+/// decays as the cache approaches the catalog size. The drawn item is
+/// swap-removed and the table rebuilt (O(|absent|) per slot — the fill
+/// runs once per trial, so predictable cost beats the rebuild).
+void fill_random_alias(Cache& cache, ItemId num_items, util::Rng& rng,
+                       std::vector<double>& weights,
+                       util::AliasTable& table) {
+  std::vector<ItemId> absent;
+  absent.reserve(num_items);
+  for (ItemId i = 0; i < num_items; ++i) {
+    if (!cache.contains(i)) absent.push_back(i);
+  }
+  while (!cache.full() && !absent.empty()) {
+    weights.assign(absent.size(), 1.0);
+    table.rebuild(weights);
+    const std::size_t k = table.sample(rng);
+    cache.insert_random_replace(absent[k], rng);
+    absent[k] = absent.back();
+    absent.pop_back();
+  }
+}
+
+/// Change-listener context of one server cache: updates the global
+/// replica counts and, when the incremental welfare probe is on, mirrors
+/// the delta into the oracle's tracked placement.
+struct CacheSubscriber {
+  std::vector<int>* counts = nullptr;
+  alloc::MarginalOracle* probe = nullptr;  // may be null
+  NodeId server_index = 0;                 // oracle server row
+};
+
 }  // namespace
 
 SimulationResult simulate(const trace::ContactTrace& trace,
@@ -95,6 +146,23 @@ SimulationResult simulate(const trace::ContactTrace& trace,
                              is_server[n] != 0, is_client[n] != 0);
   }
 
+  // Incremental expected-welfare probe: validated and cleared before the
+  // listeners attach, so every cache change of the run — initial fill
+  // included — flows into the oracle exactly once.
+  if (options.welfare_probe && options.expected_welfare) {
+    throw std::invalid_argument(
+        "simulate: welfare_probe and expected_welfare are mutually exclusive");
+  }
+  alloc::MarginalOracle* probe = options.welfare_probe;
+  if (probe) {
+    if (probe->num_items() != num_items || probe->num_servers() != num_servers) {
+      throw std::invalid_argument(
+          "simulate: welfare_probe dimensions do not match the scenario");
+    }
+    probe->reset(
+        alloc::Placement(num_items, num_servers, options.cache_capacity));
+  }
+
   // Global replica counts, maintained incrementally by cache change
   // listeners. Attached before any content is placed so the initial
   // placement / sticky seeding / random fill are counted too; from then
@@ -102,14 +170,25 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   // perform during meetings) updates `counts` in O(1) instead of the
   // per-sample full rescan of all server caches. The listener is a plain
   // function pointer + context (no std::function dispatch on the cache
-  // mutation hot path).
+  // mutation hot path); each server gets its own context so the welfare
+  // probe learns which oracle row a delta belongs to.
   std::vector<int> counts(num_items, 0);
-  for (NodeId s : population.servers) {
-    state.nodes[s].cache().set_change_listener(
+  std::vector<CacheSubscriber> subscribers(num_servers);
+  for (NodeId s = 0; s < num_servers; ++s) {
+    subscribers[s] = {&counts, probe, s};
+    state.nodes[population.servers[s]].cache().set_change_listener(
         [](void* context, ItemId item, int delta) {
-          (*static_cast<std::vector<int>*>(context))[item] += delta;
+          auto* sub = static_cast<CacheSubscriber*>(context);
+          (*sub->counts)[item] += delta;
+          if (sub->probe) {
+            if (delta > 0) {
+              sub->probe->add(item, sub->server_index);
+            } else {
+              sub->probe->remove(item, sub->server_index);
+            }
+          }
         },
-        &counts);
+        &subscribers[s]);
   }
 
   // Initial cache contents.
@@ -127,6 +206,9 @@ SimulationResult simulate(const trace::ContactTrace& trace,
       }
     }
   }
+  const bool alias_init = options.init_sampling == InitSampling::alias;
+  std::vector<double> init_weights;
+  util::AliasTable init_table;
   if (options.sticky_replicas) {
     // Item i is seeded at server index (i mod |S|); at most one sticky
     // per node, so with more items than servers the surplus items go
@@ -135,12 +217,21 @@ SimulationResult simulate(const trace::ContactTrace& trace,
       const NodeId seeder = population.servers[i % num_servers];
       Cache& cache = state.nodes[seeder].cache();
       if (cache.sticky()) continue;
-      force_pin_sticky(cache, i, rng);
+      if (alias_init) {
+        force_pin_sticky_alias(cache, i, rng, init_weights, init_table);
+      } else {
+        force_pin_sticky(cache, i, rng);
+      }
     }
   }
   if (!options.initial_placement) {
     for (NodeId s : population.servers) {
-      fill_random(state.nodes[s].cache(), num_items, rng);
+      if (alias_init) {
+        fill_random_alias(state.nodes[s].cache(), num_items, rng,
+                          init_weights, init_table);
+      } else {
+        fill_random(state.nodes[s].cache(), num_items, rng);
+      }
     }
   }
 
@@ -202,11 +293,7 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   // allocation (e.g. HillClimbPolicy).
   policy.on_initialized(std::span<const int>(counts));
 
-  // The fault model (per-slot crash hazards, per-meeting drop decisions)
-  // is defined on the slot-stepped loop, so fault-active runs always
-  // take it regardless of the requested kernel.
-  const bool event_kernel =
-      options.kernel == SimKernel::event_driven && !fault_plan.active();
+  const bool event_kernel = options.kernel == SimKernel::event_driven;
 
   // Shared per-request handling: resolve an own-cache hit at the creation
   // slot, otherwise enqueue the request.
@@ -222,7 +309,7 @@ SimulationResult simulate(const trace::ContactTrace& trace,
       }
       const double gain = utilities[item].value_at_zero();
       state.total_gain += gain;
-      observed.add(static_cast<double>(slot), gain);
+      detail::record_gain(state, static_cast<double>(slot), gain);
       if (options.on_fulfillment) {
         options.on_fulfillment(item, node_id, 0.0, gain);
       }
@@ -234,11 +321,16 @@ SimulationResult simulate(const trace::ContactTrace& trace,
 
   // Periodic metrics sampling at `slot` (after the slot's meetings).
   auto sample_metrics = [&](Slot slot) {
-    if (options.expected_welfare || !options.metrics.tracked_items.empty()) {
+    if (options.expected_welfare || probe ||
+        !options.metrics.tracked_items.empty()) {
       if (options.expected_welfare) {
         result.expected_series.push_back(
             {static_cast<double>(slot),
              options.expected_welfare(std::span<const int>(counts))});
+      }
+      if (probe) {
+        result.expected_series.push_back(
+            {static_cast<double>(slot), probe->welfare_cached()});
       }
       for (std::size_t k = 0; k < options.metrics.tracked_items.size();
            ++k) {
@@ -249,26 +341,103 @@ SimulationResult simulate(const trace::ContactTrace& trace,
     }
   };
 
+  // Faulty delivery of one slot's meetings, shared by both kernels: stage
+  // the slot's surviving meetings so reordering and duplication act on
+  // the delivered sequence, not the trace. The body is the slot-stepped
+  // fault block verbatim, so that kernel stays bit-locked.
+  auto process_faulty_meetings =
+      [&](Slot slot, std::span<const trace::ContactEvent> slot_events) {
+        auto& counters = fault_plan.counters();
+        delivery.clear();
+        for (const trace::ContactEvent& e : slot_events) {
+          if (down_until[e.a] > slot || down_until[e.b] > slot) {
+            ++counters.meetings_skipped_down;
+            continue;
+          }
+          if (fault_plan.drop_meeting()) continue;
+          delivery.push_back(e);
+          if (fault_plan.duplicate_meeting()) delivery.push_back(e);
+        }
+        if (delivery.size() >= 2 && fault_plan.reorder_slot()) {
+          fault_plan.shuffle_delivery(delivery);
+        }
+        for (const trace::ContactEvent& e : delivery) {
+          if (fault_plan.should_truncate()) {
+            // Cut the exchange after a seeded prefix of the negotiated
+            // (fulfillable) items; the rest stay pending. The policy's
+            // mandate-execution step still runs — truncation models a
+            // cut data transfer, not a lost control channel.
+            const long negotiated = detail::count_fulfillable(
+                state.nodes[e.a], state.nodes[e.b]);
+            if (negotiated > 0) {
+              state.transfer_budget = fault_plan.truncation_prefix(negotiated);
+              counters.fulfilments_deferred += static_cast<std::uint64_t>(
+                  negotiated - state.transfer_budget);
+            }
+          }
+          detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
+          state.transfer_budget = -1;
+        }
+      };
+
   if (event_kernel) {
     // ---- event-driven kernel (next-event time advance) ----
     //
     // Nothing observable happens in a slot without a meeting, a metrics
-    // sample tick, or a demand switch: caches, pending lists and replica
-    // counts only change at meetings, and a request created in an empty
-    // slot just ages until the next one. So the loop jumps straight
-    // between those slots and draws each empty gap's demand as a single
-    // batch — Poisson(gap * rate) arrivals with uniform slots in the gap
-    // (distribution-identical to per-slot draws by Poisson splitting),
-    // alias-sampled (item, node) pairs, own-cache hits resolved at the
-    // batched creation slot in order.
+    // sample tick, a demand switch, or a scheduled node crash: caches,
+    // pending lists and replica counts only change at meetings and
+    // crashes, and a request created in an empty slot just ages until
+    // the next one. So the loop jumps straight between those slots and
+    // draws each empty gap's demand as a single batch — Poisson(gap *
+    // rate) arrivals with uniform slots in the gap (distribution-
+    // identical to per-slot draws by Poisson splitting), alias-sampled
+    // (item, node) pairs, own-cache hits resolved at the batched
+    // creation slot in order. Fault-active runs ride the same loop: each
+    // node's crash slots come from its own geometric-skip stream
+    // (FaultPlan::next_node_crash) through a min-heap of scheduled
+    // crashes, and per-meeting fault decisions are drawn only at slots
+    // that have meetings — exactly the draws the slot-stepped loop
+    // makes, minus the per-(slot, node) crash coins.
     constexpr Slot kNever = std::numeric_limits<Slot>::max();
     const Slot duration = trace.duration();
     const Slot sample_every = options.metrics.sample_every;
-    const bool sampling_active = options.expected_welfare ||
+    const bool sampling_active = options.expected_welfare || probe ||
                                  !options.metrics.tracked_items.empty();
+    const bool faults_on = fault_plan.active();
     const auto& events = trace.events();
     std::size_t ev_idx = trace.first_event_at_or_after(0);
     std::vector<BatchedRequest> batch;
+
+    // Observed gains are folded into the series one bin-batch at a time
+    // (detail::record_gain); flushed after the loop, before rate_series.
+    stats::BinnedSeries::Batcher observed_batch(observed);
+    state.observed_batch = &observed_batch;
+
+    // Scheduled crashes, ordered by (slot, node). Each node draws its
+    // next crash from its private stream when the previous one fires, so
+    // the heap holds at most one entry per node.
+    struct ScheduledCrash {
+      Slot slot;
+      NodeId node;
+      bool persist;
+      Slot down;
+    };
+    auto crash_later = [](const ScheduledCrash& x, const ScheduledCrash& y) {
+      return x.slot != y.slot ? x.slot > y.slot : x.node > y.node;
+    };
+    std::priority_queue<ScheduledCrash, std::vector<ScheduledCrash>,
+                        decltype(crash_later)>
+        crashes(crash_later);
+    if (faults_on && options.faults.p_crash > 0.0) {
+      fault_plan.prepare_node_streams(trace.num_nodes());
+      for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+        const auto c = fault_plan.next_node_crash(n, 0);
+        if (c.slot < duration) {
+          crashes.push({c.slot, n, c.persist_cache, c.downtime});
+        }
+      }
+    }
+
     Slot cur = 0;
     while (cur < duration) {
       // Cooperative cancellation (the engine's deadline watchdog),
@@ -296,39 +465,89 @@ SimulationResult simulate(const trace::ContactTrace& trace,
           sampling_active ? ((cur + sample_every - 1) / sample_every) *
                                 sample_every
                           : kNever;
+      const Slot next_crash = crashes.empty() ? kNever : crashes.top().slot;
 
       // The next slot where work happens *at* the slot itself, and the
       // last slot this demand batch may cover: a switch applies before
       // its own slot's demand, so the batch stops strictly before it.
-      const Slot event_slot = std::min(next_meeting, next_sample);
+      const Slot event_slot =
+          std::min({next_meeting, next_sample, next_crash});
       Slot batch_end = std::min(event_slot, duration - 1);
       if (next_switch != kNever) {
         batch_end = std::min(batch_end, next_switch - 1);
       }
 
       // Batched demand over [cur, batch_end] (>= 1 slot by construction:
-      // switches due now were applied above, so next_switch > cur).
+      // switches due now were applied above, so next_switch > cur). The
+      // batch is admitted in two halves around the event slot's crashes
+      // so the slot-stepped intra-slot order (crashes, then demand, then
+      // meetings, then the sample tick) is preserved: requests created
+      // before the crash slot must exist — the crash wipes them — while
+      // the crash slot's own demand is suppressed at a just-downed node.
       demand.sample_gap(rng, cur, batch_end - cur + 1, batch);
-      for (const BatchedRequest& req : batch) {
-        admit_request(req.item, req.node, req.slot);
-      }
+      std::size_t bi = 0;
+      auto admit_before = [&](Slot limit) {  // batch slots < limit
+        for (; bi < batch.size() && batch[bi].slot < limit; ++bi) {
+          const BatchedRequest& req = batch[bi];
+          if (faults_on && down_until[req.node] > req.slot) {
+            // A crashed node generates no demand while down.
+            ++fault_plan.counters().requests_suppressed;
+            continue;
+          }
+          admit_request(req.item, req.node, req.slot);
+        }
+      };
 
       if (event_slot <= batch_end) {
+        admit_before(event_slot);
+        while (!crashes.empty() && crashes.top().slot == event_slot) {
+          const ScheduledCrash c = crashes.top();
+          crashes.pop();
+          auto& counters = fault_plan.counters();
+          fault_plan.record_crash();
+          const Node::CrashLosses losses = state.nodes[c.node].crash(c.persist);
+          if (c.persist) ++counters.cold_restarts;
+          counters.replicas_lost += losses.replicas;
+          counters.mandates_lost += losses.mandates;
+          counters.requests_lost += losses.requests;
+          down_until[c.node] = event_slot + 1 + c.down;
+          // The hazard resumes at the rejoin slot, matching the
+          // slot-stepped loop's "no crash checks while down".
+          const auto next =
+              fault_plan.next_node_crash(c.node, down_until[c.node]);
+          if (next.slot < duration) {
+            crashes.push({next.slot, c.node, next.persist_cache,
+                          next.downtime});
+          }
+        }
+        admit_before(event_slot + 1);
+
         // Meetings of this slot, then the sample tick — the slot-stepped
         // intra-slot order.
         state.now = event_slot;
-        while (ev_idx < events.size() &&
-               events[ev_idx].slot == event_slot) {
-          const trace::ContactEvent& e = events[ev_idx++];
-          detail::process_meeting(state, state.nodes[e.a],
-                                  state.nodes[e.b]);
+        std::size_t end = ev_idx;
+        while (end < events.size() && events[end].slot == event_slot) ++end;
+        if (!faults_on) {
+          for (; ev_idx < end; ++ev_idx) {
+            const trace::ContactEvent& e = events[ev_idx];
+            detail::process_meeting(state, state.nodes[e.a],
+                                    state.nodes[e.b]);
+          }
+        } else if (end > ev_idx) {
+          process_faulty_meetings(
+              event_slot, std::span<const trace::ContactEvent>(
+                              events.data() + ev_idx, end - ev_idx));
         }
+        ev_idx = end;
         if (next_sample == event_slot) sample_metrics(event_slot);
         cur = event_slot + 1;
       } else {
+        admit_before(batch_end + 1);
         cur = batch_end + 1;
       }
     }
+    observed_batch.flush();
+    state.observed_batch = nullptr;
   } else {
     // ---- slot-stepped kernel (the bit-locked Section-6.1 reference) ----
     std::vector<NewRequest> new_requests;
@@ -383,39 +602,7 @@ SimulationResult simulate(const trace::ContactTrace& trace,
           detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
         }
       } else {
-        auto& counters = fault_plan.counters();
-        // Stage the slot's surviving meetings so reordering and duplication
-        // act on the delivered sequence, not the trace.
-        delivery.clear();
-        for (const trace::ContactEvent& e : trace.slot_events(slot)) {
-          if (down_until[e.a] > slot || down_until[e.b] > slot) {
-            ++counters.meetings_skipped_down;
-            continue;
-          }
-          if (fault_plan.drop_meeting()) continue;
-          delivery.push_back(e);
-          if (fault_plan.duplicate_meeting()) delivery.push_back(e);
-        }
-        if (delivery.size() >= 2 && fault_plan.reorder_slot()) {
-          fault_plan.shuffle_delivery(delivery);
-        }
-        for (const trace::ContactEvent& e : delivery) {
-          if (fault_plan.should_truncate()) {
-            // Cut the exchange after a seeded prefix of the negotiated
-            // (fulfillable) items; the rest stay pending. The policy's
-            // mandate-execution step still runs — truncation models a
-            // cut data transfer, not a lost control channel.
-            const long negotiated = detail::count_fulfillable(
-                state.nodes[e.a], state.nodes[e.b]);
-            if (negotiated > 0) {
-              state.transfer_budget = fault_plan.truncation_prefix(negotiated);
-              counters.fulfilments_deferred += static_cast<std::uint64_t>(
-                  negotiated - state.transfer_budget);
-            }
-          }
-          detail::process_meeting(state, state.nodes[e.a], state.nodes[e.b]);
-          state.transfer_budget = -1;
-        }
+        process_faulty_meetings(slot, trace.slot_events(slot));
       }
 
       // Periodic sampling.

@@ -1,5 +1,6 @@
 #include <cmath>
 #include <stdexcept>
+#include <string_view>
 
 #include "impatience/fault/fault.hpp"
 
@@ -13,6 +14,27 @@ void check_probability(double p, const char* name) {
                                 " must be in [0, 1]");
   }
 }
+
+/// SplitMix64 finalizer (the same fixed constants as engine::mix64,
+/// inlined because fault sits below engine in the module layering). Used
+/// to derive one independent crash stream per node from the fault seed.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a of "crash-node": a fixed stream tag separating the per-node
+/// crash streams from any other child stream of the same fault seed.
+constexpr std::uint64_t kCrashStreamTag = [] {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : std::string_view("crash-node")) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}();
 
 }  // namespace
 
@@ -101,12 +123,57 @@ bool FaultPlan::crash_persists_cache() {
   return rng_.bernoulli(config_.p_persist_cache);
 }
 
-Slot FaultPlan::downtime() {
-  if (!(config_.mean_downtime > 1.0)) return 1;
+Slot FaultPlan::downtime_from(util::Rng& rng, double mean_downtime) {
+  if (!(mean_downtime > 1.0)) return 1;
   // Geometric-like: 1 + Exp(1 / (mean - 1)) rounded down, so the mean is
   // about mean_downtime and every crash costs at least one slot.
-  const double extra = rng_.exponential(1.0 / (config_.mean_downtime - 1.0));
+  const double extra = rng.exponential(1.0 / (mean_downtime - 1.0));
   return 1 + static_cast<Slot>(std::floor(extra));
+}
+
+Slot FaultPlan::downtime() {
+  return downtime_from(rng_, config_.mean_downtime);
+}
+
+void FaultPlan::prepare_node_streams(trace::NodeId num_nodes) {
+  node_rng_.clear();
+  node_rng_.reserve(num_nodes);
+  for (trace::NodeId n = 0; n < num_nodes; ++n) {
+    // Child seed = two mixing rounds over (fault seed, stream tag, node),
+    // the engine::child_seed chaining scheme: a pure function of its
+    // inputs, so the schedule is independent of processing order and
+    // thread count.
+    node_rng_.emplace_back(mix64(mix64(config_.seed ^ kCrashStreamTag) + n));
+  }
+}
+
+FaultPlan::NodeCrash FaultPlan::next_node_crash(trace::NodeId n, Slot from) {
+  NodeCrash crash;
+  if (!(config_.p_crash > 0.0)) return crash;
+  if (n >= node_rng_.size()) {
+    throw std::logic_error(
+        "FaultPlan::next_node_crash: prepare_node_streams not called");
+  }
+  util::Rng& rng = node_rng_[n];
+  // Inverse-CDF geometric skip: G = floor(ln(1-U) / ln(1-p)) counts the
+  // failures before the first success of a Bernoulli(p) hazard. U in
+  // [0, 1) keeps log1p(-U) finite and <= 0; p == 1 gives an infinite
+  // denominator and hence G == 0, the per-slot certainty.
+  const double u = rng.uniform();
+  const bool persist = rng.bernoulli(config_.p_persist_cache);
+  const Slot down = downtime_from(rng, config_.mean_downtime);
+  const double gap = std::floor(std::log1p(-u) / std::log1p(-config_.p_crash));
+  // Saturate huge gaps (tiny p, U near 1) instead of overflowing Slot.
+  if (gap >= static_cast<double>(kNoCrash - from)) return crash;
+  crash.slot = from + static_cast<Slot>(gap);
+  crash.persist_cache = persist;
+  crash.downtime = down;
+  return crash;
+}
+
+void FaultPlan::record_crash() {
+  ++counters_.crashes;
+  charge_budget();
 }
 
 }  // namespace impatience::fault

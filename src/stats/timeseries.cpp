@@ -17,10 +17,14 @@ BinnedSeries::BinnedSeries(double bin_width, double horizon)
   counts_.assign(sums_.size(), 0);
 }
 
-void BinnedSeries::add(double time, double value) noexcept {
+std::size_t BinnedSeries::bin_index(double time) const noexcept {
   auto idx = static_cast<std::size_t>(
       std::max(0.0, std::floor(time / bin_width_)));
-  if (idx >= sums_.size()) idx = sums_.size() - 1;
+  return idx >= sums_.size() ? sums_.size() - 1 : idx;
+}
+
+void BinnedSeries::add(double time, double value) noexcept {
+  const std::size_t idx = bin_index(time);
   sums_[idx] += value;
   ++counts_[idx];
   total_ += value;

@@ -270,6 +270,50 @@ TEST(MarginalOracleTest, WelfareMatchesMarginalTelescoping) {
   EXPECT_NEAR(oracle.welfare(), expected, 1e-9);
 }
 
+TEST(MarginalOracleTest, WelfareCachedBitIdenticalUnderRandomChurn) {
+  // The incremental probe (welfare_cached) recomputes only the items
+  // whose holder lists changed since the last sample; because clean
+  // items replay their cached per-item term and dirty items re-fold in
+  // the exact same order as welfare(), the two must agree bitwise — the
+  // 1e-12 acceptance tolerance is a safety net, not an error budget.
+  for (std::uint64_t seed = 60; seed < 63; ++seed) {
+    util::Rng rng(seed);
+    const Instance inst = random_instance(rng, 14, 8, 12);
+    const utility::ExponentialUtility u(0.06);
+    Placement placement = random_placement(inst, 3, rng);
+    MarginalOracle oracle(inst.rates, inst.demand, u, inst.servers,
+                          inst.clients, inst.num_items);
+    oracle.reset(placement);
+    EXPECT_DOUBLE_EQ(oracle.welfare_cached(), oracle.welfare());
+    for (int step = 0; step < 60; ++step) {
+      const auto item = static_cast<ItemId>(rng.uniform_index(inst.num_items));
+      const auto server = static_cast<NodeId>(rng.uniform_index(8));
+      if (oracle.has(item, server)) {
+        oracle.remove(item, server);
+      } else {
+        oracle.add(item, server);
+      }
+      // Sample only every few mutations, as the simulator does, so the
+      // probe accumulates multi-row dirt between reads.
+      if (step % 5 == 4) {
+        const double cached = oracle.welfare_cached();
+        const double scratch = oracle.welfare();
+        EXPECT_DOUBLE_EQ(cached, scratch);
+        EXPECT_NEAR(cached, scratch, 1e-12);  // the documented bound
+      }
+    }
+    // Interleaving marginal() reads (which sync rows on their own) must
+    // not desynchronize the cached welfare terms.
+    for (ItemId i = 0; i < inst.num_items; ++i) {
+      if (!oracle.has(i, 0)) {
+        (void)oracle.marginal(i, 0);
+        break;
+      }
+    }
+    EXPECT_DOUBLE_EQ(oracle.welfare_cached(), oracle.welfare());
+  }
+}
+
 TEST(MarginalOracleTest, UnboundedUtilityThrowsLikeNaiveWhenClientHolds) {
   // Power alpha in (1, 2): h(0+) = inf. A client co-located with a holder
   // makes the request gain undefined; both evaluators must throw.

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 
 #include "impatience/alloc/welfare.hpp"
+#include "impatience/core/experiment.hpp"
 #include "impatience/trace/generators.hpp"
 #include "impatience/utility/families.hpp"
 #include "impatience/utility/reaction.hpp"
@@ -167,6 +169,60 @@ TEST(Simulator, ExpectedWelfareProbeSampled) {
   }
 }
 
+TEST(Simulator, IncrementalWelfareProbeTracksCachesEndToEnd) {
+  // SimOptions::welfare_probe: the oracle is fed by the cache change
+  // listeners and sampled via welfare_cached() at each metrics tick. It
+  // is left tracking the final cache state, so welfare() — the
+  // from-scratch evaluator on that same state — must agree with the
+  // incremental value bitwise after thousands of listener deltas, on
+  // both kernels.
+  const auto make = [] {
+    util::Rng gen(31);
+    auto tr = trace::generate_poisson({12, 800, 0.08}, gen);
+    return make_scenario(std::move(tr), Catalog::pareto(10, 1.0, 0.5), 3);
+  };
+  const Scenario scenario = make();
+  const utility::UtilitySet utilities(StepUtility(5.0),
+                                      scenario.catalog.num_items());
+  for (SimKernel kernel : {SimKernel::slot_stepped, SimKernel::event_driven}) {
+    WelfareProbe probe(scenario, utilities);
+    SimOptions options;
+    options.kernel = kernel;
+    options.metrics.sample_every = 100;
+    options.welfare_probe = probe.oracle();
+    util::Rng rng(32);
+    const auto result =
+        run_qcr(scenario, utilities, QcrOptions{}, options, rng);
+    ASSERT_EQ(result.expected_series.size(), 8u);
+    for (const auto& pt : result.expected_series) {
+      EXPECT_TRUE(std::isfinite(pt.value));
+      EXPECT_GT(pt.value, 0.0);
+    }
+    EXPECT_DOUBLE_EQ(probe.oracle()->welfare_cached(),
+                     probe.oracle()->welfare());
+  }
+}
+
+TEST(Simulator, WelfareProbeMutuallyExclusiveWithExpectedWelfare) {
+  const auto trace = small_trace(8);
+  const auto catalog = Catalog::pareto(8, 1.0, 0.5);
+  StepUtility u(5.0);
+  StaticPolicy policy;
+  const utility::UtilitySet utilities(u, catalog.num_items());
+  util::Rng gen(33);
+  auto tr = small_trace(8);
+  const Scenario scenario =
+      make_scenario(std::move(tr), Catalog::pareto(8, 1.0, 0.5), 3);
+  WelfareProbe probe(scenario, utilities);
+  SimOptions options = basic_options();
+  options.metrics.sample_every = 100;
+  options.welfare_probe = probe.oracle();
+  options.expected_welfare = [](std::span<const int>) { return 0.0; };
+  util::Rng rng(34);
+  EXPECT_THROW(simulate(trace, catalog, u, policy, options, rng),
+               std::invalid_argument);
+}
+
 TEST(Simulator, TrackedReplicaSeries) {
   const auto trace = small_trace(9);
   const auto catalog = Catalog::pareto(8, 1.0, 0.5);
@@ -208,6 +264,99 @@ TEST(Simulator, CensoringTogglesAccounting) {
   // impossible; so the uncensored total is exactly 0.
   EXPECT_DOUBLE_EQ(uncensored.total_gain, 0.0);
   EXPECT_GT(uncensored.censored_requests, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Cache-init sampling (InitSampling). The rejection path is the seeded
+// bit-locked default; the alias path replaces the rejection loop with
+// one alias-table draw per slot. Same law, different stream use. The
+// no-contact trace freezes the run at its initial fill (StaticPolicy,
+// nothing can move), so final_counts IS the fill.
+
+SimulationResult run_fill_only(std::uint64_t seed, InitSampling sampling) {
+  trace::ContactTrace no_contacts(6, 2, {});
+  const auto catalog = Catalog::pareto(6, 1.0, 0.5);
+  StepUtility u(5.0);
+  StaticPolicy policy;
+  SimOptions options = basic_options();
+  options.sticky_replicas = true;
+  options.init_sampling = sampling;
+  util::Rng rng(seed);
+  return simulate(no_contacts, catalog, u, policy, options, rng);
+}
+
+TEST(Simulator, AliasInitFillsFullDistinctCaches) {
+  const auto r = run_fill_only(3, InitSampling::alias);
+  // 6 servers x capacity 3, all items distinct within a cache.
+  EXPECT_EQ(std::accumulate(r.final_counts.begin(), r.final_counts.end(), 0),
+            18);
+  // Item i is sticky-seeded at server i: every item has >= 1 replica.
+  for (int c : r.final_counts) EXPECT_GE(c, 1);
+}
+
+TEST(Simulator, RejectionInitIsTheSeededDefault) {
+  // The enum default must stay `rejection` (the bit-locked reference):
+  // an explicit rejection run reproduces the default-options run
+  // exactly, and the same seed is reproducible.
+  trace::ContactTrace no_contacts(6, 2, {});
+  const auto catalog = Catalog::pareto(6, 1.0, 0.5);
+  StepUtility u(5.0);
+  StaticPolicy policy;
+  SimOptions options = basic_options();
+  options.sticky_replicas = true;
+  util::Rng rng(9);
+  const auto default_run = simulate(no_contacts, catalog, u, policy,
+                                    options, rng);
+  const auto explicit_run = run_fill_only(9, InitSampling::rejection);
+  EXPECT_EQ(default_run.final_counts, explicit_run.final_counts);
+  const auto again = run_fill_only(9, InitSampling::rejection);
+  EXPECT_EQ(again.final_counts, explicit_run.final_counts);
+}
+
+TEST(Simulator, AliasInitMatchesRejectionInLaw) {
+  // Both samplers fill the 2 non-sticky slots of each cache with
+  // distinct uniform items; by symmetry every item's expected non-sticky
+  // count per run is 2. Chi-square each sampler's aggregate against that
+  // flat law (df = 5; 3.72-sigma Wilson-Hilferty critical ~ 27).
+  constexpr int kRuns = 300;
+  auto aggregate = [&](InitSampling sampling) {
+    std::vector<double> totals(6, 0.0);
+    for (int run = 0; run < kRuns; ++run) {
+      const auto r = run_fill_only(1000 + run, sampling);
+      for (std::size_t i = 0; i < totals.size(); ++i) {
+        // Subtract the deterministic sticky seed (item i at server i).
+        totals[i] += static_cast<double>(r.final_counts[i]) - 1.0;
+      }
+    }
+    return totals;
+  };
+  auto chi_square = [](const std::vector<double>& totals) {
+    const double expected = 2.0 * kRuns;
+    double stat = 0.0;
+    for (double t : totals) {
+      stat += (t - expected) * (t - expected) / expected;
+    }
+    return stat;
+  };
+  EXPECT_LT(chi_square(aggregate(InitSampling::rejection)), 27.0);
+  EXPECT_LT(chi_square(aggregate(InitSampling::alias)), 27.0);
+}
+
+TEST(Simulator, AliasInitWorksWithQcrAndKeepsConservation) {
+  // End-to-end: alias-init QCR behaves like a normal run (replica total
+  // conserved at capacity, requests balance).
+  const auto trace = small_trace(21);
+  const auto catalog = Catalog::pareto(10, 1.0, 0.5);
+  StepUtility u(5.0);
+  auto policy = make_qcr(u, 0.08, 12);
+  SimOptions options = basic_options();
+  options.init_sampling = InitSampling::alias;
+  util::Rng rng(22);
+  const auto r = simulate(trace, catalog, u, policy, options, rng);
+  EXPECT_EQ(std::accumulate(r.final_counts.begin(), r.final_counts.end(), 0),
+            3 * 12);
+  EXPECT_EQ(r.requests_created, r.fulfillments + r.immediate_fulfillments +
+                                    r.censored_requests);
 }
 
 TEST(Simulator, DedicatedPopulationSeparatesRoles) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstddef>
 #include <stdexcept>
 #include <vector>
 
@@ -129,6 +131,160 @@ TEST(FaultPlan, ShuffleIsSeededAndCountersAccumulate) {
     EXPECT_EQ(once[i].a, twice[i].a);
     EXPECT_EQ(once[i].b, twice[i].b);
   }
+}
+
+// ---------------------------------------------------------------------
+// Geometric-skip crash scheduling (event-kernel support). The identity
+// claimed in fault.hpp — per-slot Bernoulli(p) coins and per-node
+// geometric gap draws are the same process in distribution — is checked
+// the same way PR 4 checked alias-table demand gaps: chi-square both
+// formulations' gap histograms against the Geometric(p) pmf.
+
+// Upper chi-square critical value via Wilson-Hilferty at z = 3.72 (upper
+// tail ~1e-4): loose enough that the fixed seeds below never trip it,
+// tight enough that an off-by-one in the gap formula fails hugely.
+double chi_square_critical(std::size_t df) {
+  const double d = static_cast<double>(df);
+  const double t = 1.0 - 2.0 / (9.0 * d) + 3.72 * std::sqrt(2.0 / (9.0 * d));
+  return d * t * t * t;
+}
+
+/// Chi-square statistic of observed gap counts against Geometric(p):
+/// buckets 0..K-1 hold P(G = k) = (1-p)^k p, the last holds P(G >= K).
+double geometric_chi_square(const std::vector<std::size_t>& observed,
+                            double p) {
+  const std::size_t tail = observed.size() - 1;
+  std::size_t draws = 0;
+  for (std::size_t c : observed) draws += c;
+  double stat = 0.0;
+  for (std::size_t k = 0; k <= tail; ++k) {
+    const double prob = k < tail ? std::pow(1.0 - p, static_cast<double>(k)) * p
+                                 : std::pow(1.0 - p, static_cast<double>(tail));
+    const double expected = static_cast<double>(draws) * prob;
+    const double diff = static_cast<double>(observed[k]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+TEST(FaultPlan, GeometricSkipGapsMatchThePerSlotHazard) {
+  constexpr double kP = 0.05;
+  constexpr std::size_t kBuckets = 21;  // gaps 0..19 plus a >= 20 tail
+  constexpr std::size_t kDraws = 20000;
+
+  FaultConfig config;
+  config.p_crash = kP;
+  config.seed = 314;
+
+  // Event-kernel formulation: direct geometric gaps from a node stream.
+  std::vector<std::size_t> skip_gaps(kBuckets, 0);
+  {
+    FaultPlan plan(config);
+    plan.prepare_node_streams(1);
+    Slot from = 0;
+    for (std::size_t i = 0; i < kDraws; ++i) {
+      const auto crash = plan.next_node_crash(0, from);
+      ASSERT_NE(crash.slot, FaultPlan::kNoCrash);
+      const Slot gap = crash.slot - from;
+      ++skip_gaps[std::min<Slot>(gap, kBuckets - 1)];
+      from = crash.slot + 1;
+    }
+  }
+
+  // Slot-stepped formulation: count slots between crash_now() successes.
+  std::vector<std::size_t> coin_gaps(kBuckets, 0);
+  {
+    FaultPlan plan(config);
+    std::size_t collected = 0;
+    Slot gap = 0;
+    while (collected < kDraws) {
+      if (plan.crash_now()) {
+        ++coin_gaps[std::min<Slot>(gap, kBuckets - 1)];
+        gap = 0;
+        ++collected;
+      } else {
+        ++gap;
+      }
+    }
+  }
+
+  EXPECT_LT(geometric_chi_square(skip_gaps, kP),
+            chi_square_critical(kBuckets - 1));
+  EXPECT_LT(geometric_chi_square(coin_gaps, kP),
+            chi_square_critical(kBuckets - 1));
+}
+
+TEST(FaultPlan, NodeStreamsAreSeededPerNodeAndReproducible) {
+  FaultConfig config;
+  config.p_crash = 0.1;
+  config.p_persist_cache = 0.5;
+  config.mean_downtime = 8.0;
+  config.seed = 27;
+  FaultPlan a(config);
+  FaultPlan b(config);
+  a.prepare_node_streams(3);
+  b.prepare_node_streams(3);
+  bool nodes_differ = false;
+  for (int i = 0; i < 200; ++i) {
+    for (trace::NodeId n = 0; n < 3; ++n) {
+      const auto ca = a.next_node_crash(n, 0);
+      const auto cb = b.next_node_crash(n, 0);
+      EXPECT_EQ(ca.slot, cb.slot);
+      EXPECT_EQ(ca.persist_cache, cb.persist_cache);
+      EXPECT_EQ(ca.downtime, cb.downtime);
+      EXPECT_GE(ca.downtime, 1);
+    }
+    const auto c0 = a.next_node_crash(0, 0);
+    const auto c1 = a.next_node_crash(1, 0);
+    b.next_node_crash(0, 0);  // keep the twin in lockstep
+    b.next_node_crash(1, 0);
+    if (c0.slot != c1.slot) nodes_differ = true;
+  }
+  EXPECT_TRUE(nodes_differ);
+}
+
+TEST(FaultPlan, NextNodeCrashRequiresPreparedStreams) {
+  FaultConfig config;
+  config.p_crash = 0.2;
+  config.seed = 5;
+  FaultPlan plan(config);
+  EXPECT_THROW(plan.next_node_crash(0, 0), std::logic_error);
+}
+
+TEST(FaultPlan, NextNodeCrashZeroHazardNeverSchedules) {
+  FaultConfig config;
+  config.engage_when_zero = true;
+  config.seed = 6;
+  FaultPlan plan(config);
+  plan.prepare_node_streams(2);
+  const auto crash = plan.next_node_crash(1, 100);
+  EXPECT_EQ(crash.slot, FaultPlan::kNoCrash);
+  EXPECT_FALSE(plan.counters().any());
+}
+
+TEST(FaultPlan, NextNodeCrashCertainHazardFiresImmediately) {
+  FaultConfig config;
+  config.p_crash = 1.0;
+  config.seed = 8;
+  FaultPlan plan(config);
+  plan.prepare_node_streams(1);
+  for (Slot from : {Slot{0}, Slot{17}, Slot{500}}) {
+    const auto crash = plan.next_node_crash(0, from);
+    EXPECT_EQ(crash.slot, from);
+    EXPECT_GE(crash.downtime, 1);
+  }
+}
+
+TEST(FaultPlan, RecordCrashCountsAndChargesTheBudget) {
+  FaultConfig config;
+  config.p_crash = 0.5;
+  config.max_fault_events = 2;
+  config.seed = 9;
+  FaultPlan plan(config);
+  plan.record_crash();
+  plan.record_crash();
+  EXPECT_EQ(plan.counters().crashes, 2u);
+  EXPECT_THROW(plan.record_crash(), util::FaultBudgetError);
 }
 
 }  // namespace

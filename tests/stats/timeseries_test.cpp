@@ -59,5 +59,67 @@ TEST(BinnedSeries, ThrowsOnBadParams) {
   EXPECT_THROW(BinnedSeries(1.0, 0.0), std::invalid_argument);
 }
 
+TEST(BinnedSeries, BinIndexMatchesAdd) {
+  BinnedSeries s(10.0, 30.0);
+  EXPECT_EQ(s.bin_index(0.0), 0u);
+  EXPECT_EQ(s.bin_index(9.999), 0u);
+  EXPECT_EQ(s.bin_index(10.0), 1u);
+  EXPECT_EQ(s.bin_index(-5.0), 0u);     // clamp below
+  EXPECT_EQ(s.bin_index(1000.0), 2u);   // clamp to last bin
+}
+
+TEST(BinnedSeries, AddBatchEqualsRepeatedAdds) {
+  BinnedSeries direct(10.0, 30.0);
+  BinnedSeries batched(10.0, 30.0);
+  direct.add(12.0, 1.5);
+  direct.add(13.0, 2.5);
+  direct.add(14.0, 3.0);
+  batched.add_batch(batched.bin_index(12.0), 1.5 + 2.5 + 3.0, 3);
+  const auto d_rate = direct.rate_series();
+  const auto b_rate = batched.rate_series();
+  const auto d_mean = direct.mean_series();
+  const auto b_mean = batched.mean_series();
+  for (std::size_t i = 0; i < d_rate.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b_rate[i].value, d_rate[i].value);
+    EXPECT_DOUBLE_EQ(b_mean[i].value, d_mean[i].value);
+  }
+  EXPECT_DOUBLE_EQ(batched.total(), direct.total());
+}
+
+TEST(BinnedSeriesBatcher, MatchesDirectAddsAcrossBinChanges) {
+  // Runs of same-bin events separated by bin changes — including a jump
+  // backwards in time, which the batcher must handle with a plain flush.
+  const double events[][2] = {{1.0, 2.0},  {2.0, 3.0},  {3.0, 1.0},
+                              {15.0, 4.0}, {16.0, 0.5}, {5.0, 7.0},
+                              {25.0, 1.0}, {29.0, 2.0}};
+  BinnedSeries direct(10.0, 30.0);
+  BinnedSeries batched(10.0, 30.0);
+  BinnedSeries::Batcher batcher(batched);
+  for (const auto& e : events) {
+    direct.add(e[0], e[1]);
+    batcher.add(e[0], e[1]);
+  }
+  batcher.flush();
+  const auto d = direct.rate_series();
+  const auto b = batched.rate_series();
+  ASSERT_EQ(b.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b[i].value, d[i].value) << "bin " << i;
+  }
+  EXPECT_DOUBLE_EQ(batched.total(), direct.total());
+}
+
+TEST(BinnedSeriesBatcher, FlushIsIdempotentAndEmptyFlushIsInvisible) {
+  BinnedSeries series(10.0, 20.0);
+  BinnedSeries::Batcher batcher(series);
+  batcher.flush();  // nothing buffered: no-op
+  EXPECT_DOUBLE_EQ(series.total(), 0.0);
+  batcher.add(5.0, 3.0);
+  batcher.flush();
+  batcher.flush();  // second flush must not double-count
+  EXPECT_DOUBLE_EQ(series.total(), 3.0);
+  EXPECT_DOUBLE_EQ(series.mean_series()[0].value, 3.0);
+}
+
 }  // namespace
 }  // namespace impatience::stats
