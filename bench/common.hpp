@@ -97,7 +97,8 @@ void maybe_write_manifest(
     std::vector<std::pair<std::string, std::string>> config = {});
 
 /// Reads the standard engine flags (--threads, --progress, --job-deadline
-/// seconds, --max-attempts, --kernel slot|event) into a ComparisonConfig
+/// duration ("90", "250ms", "5m"), --max-attempts, --kernel slot|event)
+/// into a ComparisonConfig
 /// and announces the engine setup on stderr. `--kernel event` selects the
 /// event-driven simulation kernel for every job, fault-active ones
 /// included (crashes ride the jump loop via geometric-skip draws); the
@@ -320,7 +321,8 @@ inline void apply_engine_flags(const util::Flags& flags,
                                std::uint64_t root_seed) {
   config.threads = flags.get_int("threads", 0);
   config.progress = flags.get_bool("progress", false);
-  config.job_deadline_seconds = flags.get_double("job-deadline", 0.0);
+  // Duration-valued: "--job-deadline 90", "--job-deadline 5m", "250ms".
+  config.job_deadline_seconds = flags.get_duration("job-deadline", 0.0);
   config.max_attempts = flags.get_int("max-attempts", 1);
   const std::string kernel = flags.get_string("kernel", "slot");
   if (kernel == "event") {

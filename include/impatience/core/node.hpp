@@ -75,6 +75,13 @@ class Node {
   void note_server_meeting() noexcept { ++server_meetings_; }
   /// Running count of this node's meetings with servers.
   long server_meetings() const noexcept { return server_meetings_; }
+  /// Warm-restart support (service::StateStore): sets the query-counter
+  /// clock directly when rebuilding a node from a persisted snapshot.
+  /// Must run before the pending list is restored, since create_request
+  /// snapshots the clock.
+  void restore_server_meetings(long meetings) noexcept {
+    server_meetings_ = meetings;
+  }
 
   /// True if this node holds a replica of the item (servers only).
   bool holds(ItemId item) const noexcept {

@@ -7,6 +7,8 @@
 #include <exception>
 #include <string_view>
 
+#include "impatience/util/errors.hpp"
+
 namespace impatience::engine {
 
 enum class ErrorKind {
@@ -15,6 +17,7 @@ enum class ErrorKind {
   timeout,                ///< deadline watchdog cancelled the attempt
   fault_budget_exceeded,  ///< fault plan blew its max_fault_events budget
   io,                     ///< artifact/manifest filesystem failure
+  shutdown,               ///< graceful stop cancelled a service-mode job
 };
 
 /// Stable wire name of a kind (what the manifest stores).
@@ -26,6 +29,15 @@ ErrorKind error_kind_from_string(std::string_view name) noexcept;
 
 /// Maps a caught exception to its kind via the typed errors in
 /// util/errors.hpp (the engine never sees core/fault types directly).
+/// A CancelledError carries its CancelReason: deadline cancellations
+/// (the watchdog) classify as `timeout`, graceful service-mode stops as
+/// `shutdown` — so a manifest distinguishes an operator-requested stop
+/// from a blown budget.
 ErrorKind classify_exception(const std::exception& e) noexcept;
+
+/// ErrorKind of a fired cancellation reason (deadline -> timeout,
+/// shutdown -> shutdown). `none` maps to timeout: a cancellation whose
+/// reason was never recorded keeps the historical watchdog semantics.
+ErrorKind error_kind_from_cancel(util::CancelReason reason) noexcept;
 
 }  // namespace impatience::engine

@@ -1,0 +1,71 @@
+// One background thread arming per-attempt deadlines: a worker arms a
+// slot before running an attempt and disarms it after; expired slots get
+// their CancellationToken fired. Slots are recycled, so the concurrent
+// worker count bounds the slot vector for a whole batch.
+//
+// Shared by the experiment runner (per-job deadlines, the classic use)
+// and service mode (replicationd arms one slot for its whole lifetime to
+// implement `--deadline`). The reason a fired slot cancels with is
+// configurable per arm: the runner keeps the default `deadline` (manifest
+// error_kind "timeout"); a service-mode supervisor that wants an expiry
+// to read as a graceful stop arms with `shutdown`.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "impatience/util/errors.hpp"
+
+namespace impatience::engine {
+
+class DeadlineWatchdog {
+ public:
+  /// Starts the watch thread. `deadline_seconds` is the default deadline
+  /// applied by arm() calls that do not override it; must be > 0.
+  explicit DeadlineWatchdog(double deadline_seconds);
+  /// Stops and joins the watch thread; armed slots are forgotten
+  /// (their tokens are NOT fired).
+  ~DeadlineWatchdog();
+
+  DeadlineWatchdog(const DeadlineWatchdog&) = delete;
+  DeadlineWatchdog& operator=(const DeadlineWatchdog&) = delete;
+
+  /// Arms a deadline on `token`: after the given (or default) number of
+  /// seconds the token is cancelled with `reason`, once. Returns the slot
+  /// handle to pass to disarm(). The token must outlive the slot's armed
+  /// window.
+  std::size_t arm(util::CancellationToken* token,
+                  util::CancelReason reason = util::CancelReason::deadline);
+  std::size_t arm(util::CancellationToken* token, double deadline_seconds,
+                  util::CancelReason reason = util::CancelReason::deadline);
+
+  /// Releases a slot returned by arm(). Safe whether or not the slot has
+  /// already fired.
+  void disarm(std::size_t slot);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Slot {
+    util::CancellationToken* token = nullptr;
+    Clock::time_point expires{};
+    util::CancelReason reason = util::CancelReason::deadline;
+  };
+
+  std::size_t arm_locked(util::CancellationToken* token,
+                         Clock::duration deadline, util::CancelReason reason);
+  void watch();
+
+  Clock::duration default_deadline_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace impatience::engine

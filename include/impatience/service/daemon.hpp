@@ -1,0 +1,142 @@
+// replicationd: the long-running replication service (docs/service.md).
+//
+// One daemon owns one StateStore and three concerns:
+//  * ingest  — the calling thread (run()) tails a file, reads stdin, or
+//              accepts feeders on a Unix-domain socket, applying protocol
+//              frames to the store;
+//  * monitor — an HttpServer thread serving GET /metrics, /healthz and
+//              /snapshot on 127.0.0.1;
+//  * persist — a background thread writing crash-safe snapshots every
+//              --snapshot-interval, plus deterministic by-sequence
+//              snapshots every --snapshot-every events (the replayable
+//              kind the warm-restart tests pin down), plus one final
+//              snapshot on graceful shutdown.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "impatience/service/metrics.hpp"
+#include "impatience/service/state_store.hpp"
+#include "impatience/util/errors.hpp"
+
+namespace impatience::service {
+
+/// A blocking source of protocol lines that honours a stop flag.
+class LineSource {
+ public:
+  virtual ~LineSource() = default;
+  /// Next line, without its trailing newline. std::nullopt = end of
+  /// stream or stop requested; callers distinguish via `stop`.
+  virtual std::optional<std::string> next_line(
+      const std::atomic<bool>& stop) = 0;
+};
+
+/// Reads a file (or stdin for path "-"). With `follow`, EOF waits for
+/// growth instead of ending the stream (tail -f semantics).
+std::unique_ptr<LineSource> make_file_source(const std::string& path,
+                                             bool follow);
+
+/// Accepts feeders sequentially on a Unix-domain socket; each connection
+/// streams frames until it closes, then the next feeder can connect.
+/// Binds (and unlinks any stale socket file) at construction.
+std::unique_ptr<LineSource> make_socket_source(const std::string& path);
+
+struct DaemonConfig {
+  StoreConfig store;
+  std::uint64_t seed = 1;
+
+  /// Event source: a Unix-domain socket path takes precedence; otherwise
+  /// `input_path` ("-" = stdin) is read, tailed when `follow`.
+  std::string socket_path;
+  std::string input_path = "-";
+  bool follow = false;
+
+  /// Metrics endpoint port (0 = ephemeral; read back via http_port()).
+  /// -1 disables the endpoint.
+  int http_port = 0;
+
+  /// Snapshot file; empty disables persistence.
+  std::string snapshot_path;
+  /// Wall-clock snapshot period in seconds; 0 disables the timer.
+  double snapshot_interval_s = 0.0;
+  /// Deterministic snapshot cadence: persist after every N applied
+  /// events; 0 disables. This is the cadence warm-restart equivalence
+  /// tests rely on (by-sequence, so independent of wall time).
+  std::uint64_t snapshot_every = 0;
+  /// Warm restart: load snapshot_path before ingesting. A missing file
+  /// degrades to a fresh start; a corrupt one throws util::IoError (a
+  /// torn write never half-loads thanks to the checksummed format, and
+  /// the previous consistent file survives thanks to atomic rename).
+  bool restore = false;
+
+  /// When set, a small "key value" file announcing the bound HTTP port
+  /// and socket path is written (crash-safely) once serving — how test
+  /// harnesses discover an ephemeral port.
+  std::string announce_path;
+};
+
+class ReplicationDaemon {
+ public:
+  /// Builds (or restores) the store and starts monitor + persist
+  /// threads. Throws util::IoError / std::invalid_argument on bad
+  /// config, unusable socket, or corrupt snapshot.
+  explicit ReplicationDaemon(const DaemonConfig& config);
+  ~ReplicationDaemon();
+
+  ReplicationDaemon(const ReplicationDaemon&) = delete;
+  ReplicationDaemon& operator=(const ReplicationDaemon&) = delete;
+
+  /// Ingests until end of stream, a Q frame, stop(), or `token` fires.
+  /// Runs on the calling thread. On graceful exit writes a final
+  /// snapshot. Throws util::CancelledError when the token fired (reason
+  /// preserved, so the engine classifies deadline vs shutdown).
+  void run(const util::CancellationToken* token);
+
+  /// Requests run() to unwind; safe from any thread / signal context
+  /// consumers (only touches atomics and condition variables).
+  void stop();
+
+  /// True after a restore-mode construction actually loaded a snapshot.
+  bool restored() const noexcept { return restored_; }
+
+  /// Bound metrics port; 0 when the endpoint is disabled.
+  std::uint16_t http_port() const noexcept;
+
+  const StateStore& store() const noexcept { return *store_; }
+  StateStore& store() noexcept { return *store_; }
+  const ServiceMetrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  void snapshot_now();
+  void snapshot_loop();
+  std::string render() const;
+  void write_announce_file() const;
+
+  DaemonConfig config_;
+  std::unique_ptr<StateStore> store_;
+  bool restored_ = false;
+  ServiceMetrics metrics_;
+  std::unique_ptr<LineSource> source_;
+  std::unique_ptr<class HttpServer> http_;
+
+  std::atomic<bool> stop_{false};
+  std::mutex snapshot_mu_;  // serializes snapshot writers (timer vs HTTP)
+  std::condition_variable snapshot_cv_;
+  std::thread snapshot_thread_;
+
+  std::chrono::steady_clock::time_point start_time_;
+  /// Rate window for versions/sec (guarded by rate_mu_).
+  mutable std::mutex rate_mu_;
+  mutable std::chrono::steady_clock::time_point rate_time_;
+  mutable std::uint64_t rate_version_ = 0;
+};
+
+}  // namespace impatience::service

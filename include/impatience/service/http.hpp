@@ -1,0 +1,59 @@
+// A deliberately tiny HTTP/1.0 server for replicationd's observability
+// endpoints. Scope: GET only, loopback only, one short-lived connection
+// per request, plain-text responses — a scrape target, not a web server.
+// No external dependency: plain POSIX sockets behind one accept thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace impatience::service {
+
+/// Response of one handled request.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Maps a request path (e.g. "/metrics") to a response. Invoked on the
+/// server thread; must be thread-safe with respect to the daemon.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = kernel-chosen ephemeral port, read back
+  /// via port()) and starts the accept thread. Throws util::IoError when
+  /// the socket cannot be bound.
+  HttpServer(HttpHandler handler, std::uint16_t port);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (the ephemeral one when constructed with port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting and joins the server thread. Idempotent.
+  void stop();
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+/// Minimal HTTP GET against 127.0.0.1:`port` (test/bench client; also
+/// documents the wire format the server speaks). Returns the response
+/// body; throws util::IoError on connect/protocol failure or non-200.
+std::string http_get(std::uint16_t port, const std::string& path);
+
+}  // namespace impatience::service

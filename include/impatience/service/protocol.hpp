@@ -1,0 +1,82 @@
+// replicationd's framed line protocol (docs/service.md): the event
+// stream a running daemon ingests from a file tail or a Unix-domain
+// socket. One frame = one LF-terminated ASCII line:
+//
+//   T <slot>          advance the logical clock (monotonic; stale ignored)
+//   C <a> <b>         contact: nodes a and b meet at the current slot
+//   R <node> <item>   request: node asks for item at the current slot
+//   K <node>          crash: node churns out, losing volatile state
+//   Q                 quit: graceful end of stream
+//
+// Blank lines and '#' comments are ignored; malformed lines are counted
+// and skipped (same lenient discipline as the trace parsers — a live feed
+// must never take the daemon down).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "impatience/core/catalog.hpp"
+#include "impatience/trace/contact.hpp"
+
+namespace impatience::service {
+
+using core::ItemId;
+using trace::NodeId;
+using trace::Slot;
+
+/// One protocol frame.
+struct Event {
+  enum class Kind { clock, contact, request, crash, quit };
+
+  Kind kind = Kind::clock;
+  Slot slot = 0;      ///< clock
+  NodeId a = 0;       ///< contact: first node; request/crash: the node
+  NodeId b = 0;       ///< contact: second node
+  ItemId item = 0;    ///< request
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Parses one frame. Returns std::nullopt for blank/comment lines AND for
+/// malformed ones — callers that care about the distinction check
+/// is_noise_line first.
+std::optional<Event> parse_event(std::string_view line);
+
+/// True for lines the protocol defines as ignorable (blank / comment).
+bool is_noise_line(std::string_view line);
+
+/// Serializes a frame as its protocol line (no trailing newline).
+std::string format_event(const Event& event);
+
+/// Synthetic stream generation, shared by the bench harness, the tests
+/// and `replicationd --gen-stream`.
+struct StreamConfig {
+  std::uint64_t events = 1000;  ///< frames to emit (excluding T frames)
+  NodeId num_nodes = 50;
+  ItemId num_items = 50;
+  /// Zipf exponent of the request item law (1.0 = the paper's default).
+  double zipf = 1.0;
+  /// Fraction of frames that are requests (the rest are contacts).
+  double request_fraction = 0.5;
+  /// Per-frame probability of an extra crash frame (node churn).
+  double crash_fraction = 0.0;
+  /// Logical slots advanced per emitted frame (fractional OK): the clock
+  /// frame cadence. 0.5 means one T frame every two events.
+  double slots_per_event = 0.5;
+  /// Append a final Q frame.
+  bool quit = true;
+};
+
+/// Deterministic synthetic workload: same (config, seed) -> same frames.
+std::vector<Event> generate_stream(const StreamConfig& config,
+                                   std::uint64_t seed);
+
+/// Writes frames as protocol lines, one per line.
+void write_stream(std::ostream& out, const std::vector<Event>& events);
+
+}  // namespace impatience::service

@@ -1,0 +1,229 @@
+// replicationd's versioned state store: the live global-cache state of a
+// long-running QCR deployment, behind one mutex, with a monotonic version
+// per mutation and copy-on-read snapshots.
+//
+// Design (docs/service.md):
+//  * The store owns the core machinery — per-node `core::Cache` +
+//    `core::MandateBag` + pending-request lists, driven online by a
+//    `core::QcrPolicy` — and applies protocol events (contacts, requests,
+//    crashes, clock advances) one at a time under the store mutex.
+//  * `version()` increments on every state mutation (event application,
+//    plus one tick per cache replica written or evicted, via the cache
+//    change listeners). Monitors read it lock-free via the atomic
+//    mirror, so "versions/sec" is a cheap liveness gauge.
+//  * `image()` is the copy-on-read snapshot: a plain-data copy of the
+//    entire logical state taken under the lock; serialization and disk
+//    I/O then run outside it, so a snapshot never stalls ingest for
+//    longer than the copy.
+//  * Determinism contract: every event draws from an RNG seeded as
+//    child_seed(seed, "service-apply", seq) — a pure function of the
+//    store seed and the event's sequence number. Hence a run interrupted
+//    at any point and resumed from a snapshot (which records seq) applies
+//    the identical stream identically: warm restart is state-identical
+//    to an uninterrupted run, byte for byte in the serialized image.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "impatience/core/node.hpp"
+#include "impatience/core/policy.hpp"
+#include "impatience/fault/fault.hpp"
+#include "impatience/service/protocol.hpp"
+#include "impatience/utility/delay_utility.hpp"
+
+namespace impatience::service {
+
+/// Scenario parameters of a store; persisted into snapshots and verified
+/// on restore (a snapshot from a different scenario is refused).
+struct StoreConfig {
+  NodeId num_nodes = 50;
+  ItemId num_items = 50;
+  int cache_capacity = 5;
+  /// Pin item i sticky on server i for i < min(nodes, items) — the
+  /// paper's anti-absorption measure (Section 6.1).
+  bool sticky_replicas = true;
+  /// Delay-utility spec (utility::make_utility grammar), the basis of
+  /// both the QCR reaction psi and the recorded gains.
+  std::string utility_spec = "step:tau=10";
+  /// Assumed per-pair meeting rate for psi (the paper's mu).
+  double mu = 0.05;
+  /// Reaction scale (Property 2 fixes psi up to a constant).
+  double reaction_scale = 1.0;
+  /// Route mandates toward replica holders (Section 5.3).
+  bool mandate_routing = true;
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+};
+
+/// Monotonic service counters (the logical part of /metrics). All derive
+/// from applied events only, so they survive warm restart exactly.
+struct StoreCounters {
+  std::uint64_t events_applied = 0;      ///< seq
+  std::uint64_t events_malformed = 0;    ///< skipped frames (ingest-side)
+  std::uint64_t contacts = 0;
+  std::uint64_t requests_created = 0;
+  std::uint64_t immediate_fulfillments = 0;  ///< own-cache hits
+  std::uint64_t fulfillments = 0;            ///< served at meetings
+  std::uint64_t requests_pending = 0;        ///< open requests right now
+  long mandates_created = 0;
+  long replicas_written = 0;
+  long mandates_outstanding = 0;
+  double total_gain = 0.0;
+  double delay_sum = 0.0;  ///< slots, over meeting fulfilments
+
+  /// Requests served, the /metrics headline.
+  std::uint64_t requests_served() const noexcept {
+    return immediate_fulfillments + fulfillments;
+  }
+};
+
+/// Copy-on-read snapshot of the full logical state. Plain data: taking
+/// one never blocks on I/O, serializing one never needs the store lock.
+struct StateImage {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  StoreConfig config;
+  std::uint64_t seed = 0;
+  std::uint64_t version = 0;
+  std::uint64_t seq = 0;
+  Slot clock = 0;
+  StoreCounters counters;
+  fault::FaultCounters faults;
+
+  struct NodeImage {
+    long server_meetings = 0;
+    /// Sticky item or -1.
+    std::int64_t sticky = -1;
+    /// Cache contents in slot order (order matters: random replacement
+    /// picks victims by slot index).
+    std::vector<ItemId> cache;
+    /// (item, count) pairs with count > 0.
+    std::vector<std::pair<ItemId, long>> mandates;
+    std::vector<core::PendingRequest> pending;
+  };
+  std::vector<NodeImage> nodes;
+
+  /// Recent fulfilment delays (slots), oldest first — the p50/p99 service
+  /// latency window.
+  std::vector<double> recent_delays;
+};
+
+/// Serializes an image as the versioned snapshot format
+/// ("impatience.replicationd_snapshot/1", docs/service.md): ASCII lines,
+/// deterministic float round-trip, FNV-1a checksum line, `end` trailer.
+void write_image(std::ostream& out, const StateImage& image);
+
+/// Parses a snapshot; throws util::IoError on syntax, checksum or
+/// truncation damage (a torn file never half-loads).
+StateImage read_image(std::istream& in);
+
+/// Crash-safe snapshot write via engine::atomic_write_file: temp + fsync
+/// + rename, so a crash mid-snapshot leaves the previous file intact.
+void save_image(const std::string& path, const StateImage& image);
+
+/// Loads a snapshot file; throws util::IoError when missing or damaged.
+StateImage load_image(const std::string& path);
+
+class StateStore {
+ public:
+  /// Fresh store: seeded sticky pins + random cache fill, version 0.
+  StateStore(const StoreConfig& config, std::uint64_t seed);
+  /// Warm restart: rebuilds the exact state of `image` (config must
+  /// match `config`; throws std::invalid_argument otherwise).
+  StateStore(const StoreConfig& config, std::uint64_t seed,
+             const StateImage& image);
+  ~StateStore();
+
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  const StoreConfig& config() const noexcept { return config_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Lock-free monotonic version (mutation counter) — monitor-friendly.
+  std::uint64_t version() const noexcept {
+    return version_mirror_.load(std::memory_order_acquire);
+  }
+
+  /// Applies one protocol event. Kind::quit is a no-op here (stream
+  /// control is the ingest loop's business). Returns the store version
+  /// after the event.
+  std::uint64_t apply(const Event& event);
+
+  /// Counts a malformed ingest frame (for /metrics).
+  void note_malformed() noexcept;
+
+  /// Copy-on-read snapshot of the whole logical state.
+  StateImage image() const;
+  /// image() + crash-safe write (engine::atomic_write_file).
+  void save_snapshot(const std::string& path) const;
+
+  StoreCounters counters() const;
+  fault::FaultCounters faults() const;
+  Slot clock() const;
+  std::uint64_t seq() const;
+
+  /// Per-item global replica counts (copy).
+  std::vector<long> replica_counts() const;
+
+  /// p-th percentile of the recent-fulfilment-delay window (slots);
+  /// 0 when no fulfilment happened yet.
+  double delay_percentile(double p) const;
+
+  /// The conservation invariant, graceful under churn:
+  ///   mandates_created == replicas_written + outstanding + lost
+  bool mandate_conservation_ok() const;
+
+  /// Builds a store from a snapshot file (load_image + restore).
+  static std::unique_ptr<StateStore> restore(const StoreConfig& config,
+                                             std::uint64_t seed,
+                                             const std::string& path);
+
+ private:
+  void init_fresh();
+  void init_from_image(const StateImage& image);
+  void attach_listeners();
+  void bump_locked(std::uint64_t n = 1);
+  void apply_clock(Slot slot);
+  void apply_contact(NodeId a, NodeId b, util::Rng& rng);
+  void apply_request(NodeId node, ItemId item, util::Rng& rng);
+  void apply_crash(NodeId node);
+  void fulfil_from(core::Node& requester, core::Node& provider,
+                   util::Rng& rng);
+  void sync_policy_counters_locked();
+  void record_delay_locked(double delay);
+
+  static void cache_listener(void* context, ItemId item, int delta);
+
+  const StoreConfig config_;
+  const std::uint64_t seed_;
+  std::unique_ptr<utility::DelayUtility> utility_;
+  std::unique_ptr<core::QcrPolicy> policy_;
+
+  mutable std::mutex mu_;
+  std::vector<core::Node> nodes_;
+  std::vector<long> replica_counts_;
+  std::uint64_t version_ = 0;
+  std::atomic<std::uint64_t> version_mirror_{0};
+  std::uint64_t seq_ = 0;
+  Slot clock_ = 0;
+  StoreCounters counters_;
+  fault::FaultCounters faults_;
+  /// Offsets folding the (process-local, monotone) QcrPolicy counters
+  /// into restart-surviving totals: total = base + policy.counter().
+  long mandates_created_base_ = 0;
+  long replicas_written_base_ = 0;
+
+  /// Ring of recent fulfilment delays (slots) for p50/p99.
+  static constexpr std::size_t kDelayWindow = 4096;
+  std::vector<double> recent_delays_;  // chronological, <= kDelayWindow
+};
+
+}  // namespace impatience::service

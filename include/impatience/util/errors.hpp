@@ -10,27 +10,64 @@
 
 namespace impatience::util {
 
+/// Why a CancellationToken fired. The engine's deadline watchdog cancels
+/// with `deadline` (manifest error_kind "timeout"); a service-mode
+/// graceful stop (SIGTERM, `GET /quit`-style admin action) cancels with
+/// `shutdown` (manifest error_kind "shutdown") so an operator-requested
+/// stop is distinguishable from a blown budget.
+enum class CancelReason { none = 0, deadline, shutdown };
+
+/// Stable wire name of a reason ("none", "deadline", "shutdown").
+const char* to_string(CancelReason reason) noexcept;
+
 /// A one-way flag for cooperative cancellation. The engine's deadline
 /// watchdog sets it; long-running loops (the simulator checks once per
 /// slot) poll `cancelled()` and unwind with CancelledError. Relaxed
-/// atomics suffice — the flag carries no data, only "stop soon".
+/// atomics suffice — the flag carries no data beyond the reason, only
+/// "stop soon"; the first cancel's reason wins.
 class CancellationToken {
  public:
-  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  void cancel(CancelReason reason = CancelReason::deadline) noexcept {
+    int expected = static_cast<int>(CancelReason::none);
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_relaxed);
+    flag_.store(true, std::memory_order_relaxed);
+  }
   bool cancelled() const noexcept {
     return flag_.load(std::memory_order_relaxed);
+  }
+  /// Reason of the first cancel(); none while not cancelled.
+  CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
   }
 
  private:
   std::atomic<bool> flag_{false};
+  std::atomic<int> reason_{static_cast<int>(CancelReason::none)};
 };
 
 /// Thrown by cooperative code when its CancellationToken fires; the
-/// engine maps it to ErrorKind::timeout.
+/// engine maps it to ErrorKind::timeout (deadline) or ErrorKind::shutdown
+/// (graceful stop), keyed on the carried reason.
 class CancelledError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit CancelledError(const std::string& what,
+                          CancelReason reason = CancelReason::deadline)
+      : std::runtime_error(what), reason_(reason) {}
+  explicit CancelledError(const char* what,
+                          CancelReason reason = CancelReason::deadline)
+      : std::runtime_error(what), reason_(reason) {}
+
+  CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_;
 };
+
+/// CancelledError carrying the token's reason, for cooperative loops:
+///   if (cancel && cancel->cancelled()) throw cancelled_error(*cancel, "...");
+CancelledError cancelled_error(const CancellationToken& token,
+                               const std::string& what);
 
 /// Filesystem/stream failure (manifest writes, resume reads); the engine
 /// maps it to ErrorKind::io.

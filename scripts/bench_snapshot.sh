@@ -82,7 +82,7 @@ bin_build_type() {
 print(json.load(sys.stdin)["context"].get("impatience_build_type", "unknown"))'
 }
 
-FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|SimulateFig6Slot|SimulateFig6Event|SimulateFig3FaultySlot|SimulateFig3FaultyEvent|QcrWelfareProbeScratch|QcrWelfareProbeIncremental)'
+FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|SimulateFig6Slot|SimulateFig6Event|SimulateFig3FaultySlot|SimulateFig3FaultyEvent|QcrWelfareProbeScratch|QcrWelfareProbeIncremental|ServiceThroughput|ServiceSnapshot|ServiceMetricsScrape)'
 
 if [[ "$CHECK" == 1 ]]; then
   # Smoke subset: skip the end-to-end greedy benches (the naive baseline
@@ -90,11 +90,11 @@ if [[ "$CHECK" == 1 ]]; then
   # (their shared instances build week-long traces), and cap the
   # per-bench time so the whole run stays around two seconds. Exercises
   # the shared fig5 instance setup, both marginal paths, both demand
-  # samplers and both welfare-probe paths; the placement identity check
-  # is covered by ctest -L perf and the kernel equivalence by ctest -L
-  # sim instead.
+  # samplers, both welfare-probe paths and the small service-throughput
+  # instance; the placement identity check is covered by ctest -L perf
+  # and the kernel equivalence by ctest -L sim instead.
   "$BIN" \
-    --benchmark_filter='BM_(MarginalGainNaive|MarginalOracle|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|QcrWelfareProbeScratch|QcrWelfareProbeIncremental)' \
+    --benchmark_filter='BM_(MarginalGainNaive|MarginalOracle|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|QcrWelfareProbeScratch|QcrWelfareProbeIncremental|ServiceThroughput/50$)' \
     --benchmark_min_time=0.05
 
   # Regression diff of the two newest committed snapshots: shared *_mean

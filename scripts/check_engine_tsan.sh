@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Builds the engine's concurrency tests, the fault-injection suite, the
 # simulation-kernel equivalence suite (including the fault-active
-# event-kernel tests) and the incremental-oracle suite under
-# ThreadSanitizer and runs them (`ctest -L "(engine|fault|sim|perf)"`
-# plus the simulator gtest group). Part of the verify routine for any
-# change that touches src/engine/, src/fault/, the simulator kernels or
-# their thread-safety assumptions — the lazy-refresh MarginalOracle and
-# the welfare-probe listeners run inside engine-parallel trials, so they
-# belong in this sweep too.
+# event-kernel tests), the incremental-oracle suite and the replicationd
+# service suite under ThreadSanitizer and runs them
+# (`ctest -L "(engine|fault|sim|perf|service)"` plus the simulator and
+# daemon gtest groups). Part of the verify routine for any change that
+# touches src/engine/, src/fault/, src/service/, the simulator kernels
+# or their thread-safety assumptions — the lazy-refresh MarginalOracle
+# and the welfare-probe listeners run inside engine-parallel trials, and
+# the daemon's ingest/monitor/snapshot threads share the versioned state
+# store, so they belong in this sweep too.
 #
 # Equivalent presets flow (CMake >= 3.21):
 #   cmake --preset tsan && cmake --build --preset tsan -j \
@@ -24,11 +26,15 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
   engine_seeding_test engine_thread_pool_test engine_runner_test \
   engine_artifacts_test engine_sim_parallel_test engine_retry_test \
   fault_plan_test fault_sim_test core_kernel_equivalence_test \
-  alloc_oracle_test utility_cached_transform_test core_simulator_test
-ctest --test-dir "$BUILD_DIR" -L "(engine|fault|sim|perf)" \
+  alloc_oracle_test utility_cached_transform_test core_simulator_test \
+  service_protocol_test service_state_store_test service_daemon_test \
+  replicationd
+ctest --test-dir "$BUILD_DIR" -L "(engine|fault|sim|perf|service)" \
   --output-on-failure -j"$(nproc)"
 # core_simulator_test carries no label; select its gtest group by name
 # (alias-init sampling, welfare-probe listeners, event-kernel entry).
-ctest --test-dir "$BUILD_DIR" -R "^Simulator\." --output-on-failure \
-  -j"$(nproc)"
-echo "engine + fault + sim + oracle tests clean under ThreadSanitizer"
+# Replicationd.* re-runs the daemon suite so its ingest/monitor/snapshot
+# thread interleavings get a second look under TSan.
+ctest --test-dir "$BUILD_DIR" -R "^(Simulator|Replicationd)\." \
+  --output-on-failure -j"$(nproc)"
+echo "engine + fault + sim + oracle + service tests clean under ThreadSanitizer"

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# End-to-end replicationd smoke (registered as ctest `replicationd_smoke`,
+# label `service`):
+#
+#   Phase 1 — boot the daemon on a Unix socket with an ephemeral metrics
+#   port, stream 1k+ events through the socket, scrape /metrics, and shut
+#   down via SIGTERM (graceful: exit 0, final snapshot written).
+#
+#   Phase 2 — crash-safety + warm restart: run with --snapshot-every, kill
+#   the daemon with SIGKILL mid-stream, restart with --restore, feed the
+#   tail of the stream, and require the final snapshot to be byte-identical
+#   to an uninterrupted reference run (docs/service.md).
+#
+# Environment: REPLICATIOND points at the built binary (the ctest wrapper
+# sets it); defaults to build/apps/replicationd for manual runs.
+set -euo pipefail
+
+BIN="${REPLICATIOND:-build/apps/replicationd}"
+if [[ ! -x "$BIN" ]]; then
+  echo "replicationd_smoke: binary not found: $BIN" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/replicationd_smoke.XXXXXX")"
+DAEMON_PID=""
+cleanup() {
+  [[ -n "$DAEMON_PID" ]] && kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SCENARIO=(--nodes 20 --items 20 --capacity 4 --seed 7)
+
+wait_for_file() {
+  local path="$1"
+  for _ in $(seq 100); do
+    [[ -s "$path" ]] && return 0
+    sleep 0.1
+  done
+  echo "replicationd_smoke: timed out waiting for $path" >&2
+  return 1
+}
+
+wait_for_exit() {
+  local pid="$1"
+  for _ in $(seq 100); do
+    kill -0 "$pid" 2>/dev/null || return 0
+    sleep 0.1
+  done
+  echo "replicationd_smoke: pid $pid did not exit" >&2
+  return 1
+}
+
+# Deterministic workload, shared by both phases. The generator emits a
+# trailing Q frame; phases that must keep the daemon alive strip it.
+"$BIN" --gen-stream 1000 "${SCENARIO[@]}" --out "$WORK/stream.txt"
+grep -v '^Q$' "$WORK/stream.txt" > "$WORK/stream_noquit.txt"
+
+feed_socket() {
+  local socket="$1" file="$2"
+  python3 - "$socket" "$file" <<'PY'
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+with open(sys.argv[2], "rb") as f:
+    s.sendall(f.read())
+s.close()
+PY
+}
+
+http_get() {
+  local port="$1" path="$2"
+  python3 - "$port" "$path" <<'PY'
+import sys, urllib.request
+url = f"http://127.0.0.1:{sys.argv[1]}{sys.argv[2]}"
+with urllib.request.urlopen(url, timeout=10) as r:
+    sys.stdout.write(r.read().decode())
+PY
+}
+
+metric() {  # metric <file> <key>
+  awk -v key="$2" '$1 == key { print $2 }' "$1"
+}
+
+echo "== phase 1: boot, stream via socket, scrape /metrics, SIGTERM =="
+"$BIN" "${SCENARIO[@]}" \
+    --socket "$WORK/repl.sock" --port 0 --announce "$WORK/announce.txt" \
+    --snapshot "$WORK/phase1.snap" \
+    2> "$WORK/phase1.log" &
+DAEMON_PID=$!
+wait_for_file "$WORK/announce.txt"
+PORT="$(metric "$WORK/announce.txt" http_port)"
+
+feed_socket "$WORK/repl.sock" "$WORK/stream_noquit.txt"
+
+# Wait until every frame of the stream has been applied, then scrape.
+TOTAL_FRAMES="$(grep -cv '^\s*\(#\|$\)' "$WORK/stream_noquit.txt")"
+for _ in $(seq 100); do
+  http_get "$PORT" /metrics > "$WORK/metrics.txt" || true
+  [[ "$(metric "$WORK/metrics.txt" replicationd_events_total)" == "$TOTAL_FRAMES" ]] && break
+  sleep 0.1
+done
+
+[[ "$(metric "$WORK/metrics.txt" replicationd_events_total)" == "$TOTAL_FRAMES" ]] \
+  || { echo "FAIL: /metrics events_total != $TOTAL_FRAMES"; cat "$WORK/metrics.txt"; exit 1; }
+[[ "$(metric "$WORK/metrics.txt" replicationd_mandate_conservation_ok)" == "1" ]] \
+  || { echo "FAIL: mandate conservation violated"; exit 1; }
+SERVED="$(metric "$WORK/metrics.txt" replicationd_requests_served_total)"
+[[ "$SERVED" -gt 0 ]] || { echo "FAIL: no requests served"; exit 1; }
+[[ "$(http_get "$PORT" /healthz)" == "ok" ]] || { echo "FAIL: /healthz"; exit 1; }
+
+kill -TERM "$DAEMON_PID"
+wait_for_exit "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "FAIL: SIGTERM exit status $?"; exit 1; }
+DAEMON_PID=""
+[[ -s "$WORK/phase1.snap" ]] || { echo "FAIL: no final snapshot"; exit 1; }
+echo "phase 1 OK: $TOTAL_FRAMES events, $SERVED served, graceful SIGTERM"
+
+echo "== phase 2: SIGKILL mid-run, --restore warm-restart equivalence =="
+# Reference: uninterrupted run over the whole stream.
+"$BIN" "${SCENARIO[@]}" --input "$WORK/stream.txt" --port -1 \
+    --snapshot "$WORK/reference.snap" 2> "$WORK/reference.log"
+
+# Interrupted run: snapshot every 200 events, SIGKILL after the snapshot
+# at seq 600 exists, restore, feed exactly the not-yet-applied tail.
+split -l 700 "$WORK/stream_noquit.txt" "$WORK/part_"
+"$BIN" "${SCENARIO[@]}" \
+    --socket "$WORK/repl2.sock" --port -1 \
+    --snapshot "$WORK/phase2.snap" --snapshot-every 200 \
+    2> "$WORK/phase2.log" &
+DAEMON_PID=$!
+for _ in $(seq 100); do
+  [[ -S "$WORK/repl2.sock" ]] && break
+  sleep 0.1
+done
+feed_socket "$WORK/repl2.sock" "$WORK/part_aa"
+wait_for_file "$WORK/phase2.snap"
+# Let it reach the last multiple-of-200 snapshot covered by part_aa.
+for _ in $(seq 100); do
+  SEQ="$(awk '/^state /{ print $3 }' "$WORK/phase2.snap" 2>/dev/null || true)"
+  [[ "${SEQ:-0}" -ge 600 ]] && break
+  sleep 0.1
+done
+kill -KILL "$DAEMON_PID"   # no graceful path: the snapshot is all we keep
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+SEQ="$(awk '/^state /{ print $3 }' "$WORK/phase2.snap")"
+[[ "$SEQ" -ge 200 ]] || { echo "FAIL: no usable snapshot (seq=$SEQ)"; exit 1; }
+echo "killed at snapshot seq=$SEQ; restoring and replaying the tail"
+
+# Feed exactly the frames the snapshot has not seen (frames are applied in
+# order, so the snapshot's seq is a cursor into the noise-free stream).
+grep -v '^\s*\(#\|$\)' "$WORK/stream_noquit.txt" | tail -n "+$((SEQ + 1))" \
+  > "$WORK/tail.txt"
+"$BIN" "${SCENARIO[@]}" --input "$WORK/tail.txt" --port -1 \
+    --snapshot "$WORK/phase2.snap" --restore 2> "$WORK/restore.log"
+grep -q "(restored)" "$WORK/restore.log" \
+  || { echo "FAIL: daemon did not restore"; cat "$WORK/restore.log"; exit 1; }
+
+cmp "$WORK/reference.snap" "$WORK/phase2.snap" \
+  || { echo "FAIL: warm restart diverged from uninterrupted run"; exit 1; }
+echo "phase 2 OK: SIGKILL + --restore is byte-identical to the reference"
+
+echo "replicationd_smoke: all phases passed"

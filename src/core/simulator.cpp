@@ -443,8 +443,9 @@ SimulationResult simulate(const trace::ContactTrace& trace,
       // Cooperative cancellation (the engine's deadline watchdog),
       // checked once per event step.
       if (options.cancel && options.cancel->cancelled()) {
-        throw util::CancelledError("simulate: cancelled at slot " +
-                                   std::to_string(cur));
+        throw util::cancelled_error(*options.cancel,
+                                    "simulate: cancelled at slot " +
+                                        std::to_string(cur));
       }
 
       // Scheduled popularity changes due now; each switch rebuilds the
@@ -556,8 +557,9 @@ SimulationResult simulate(const trace::ContactTrace& trace,
 
       // Cooperative cancellation (the engine's deadline watchdog).
       if (options.cancel && options.cancel->cancelled()) {
-        throw util::CancelledError("simulate: cancelled at slot " +
-                                   std::to_string(slot));
+        throw util::cancelled_error(*options.cancel,
+                                    "simulate: cancelled at slot " +
+                                        std::to_string(slot));
       }
 
       // Node churn: crash checks before demand, so a node that dies in

@@ -11,6 +11,7 @@ const char* to_string(ErrorKind kind) noexcept {
     case ErrorKind::timeout: return "timeout";
     case ErrorKind::fault_budget_exceeded: return "fault_budget_exceeded";
     case ErrorKind::io: return "io";
+    case ErrorKind::shutdown: return "shutdown";
   }
   return "job_exception";
 }
@@ -20,12 +21,13 @@ ErrorKind error_kind_from_string(std::string_view name) noexcept {
   if (name == "timeout") return ErrorKind::timeout;
   if (name == "fault_budget_exceeded") return ErrorKind::fault_budget_exceeded;
   if (name == "io") return ErrorKind::io;
+  if (name == "shutdown") return ErrorKind::shutdown;
   return ErrorKind::job_exception;
 }
 
 ErrorKind classify_exception(const std::exception& e) noexcept {
-  if (dynamic_cast<const util::CancelledError*>(&e)) {
-    return ErrorKind::timeout;
+  if (const auto* cancelled = dynamic_cast<const util::CancelledError*>(&e)) {
+    return error_kind_from_cancel(cancelled->reason());
   }
   if (dynamic_cast<const util::FaultBudgetError*>(&e)) {
     return ErrorKind::fault_budget_exceeded;
@@ -34,6 +36,11 @@ ErrorKind classify_exception(const std::exception& e) noexcept {
     return ErrorKind::io;
   }
   return ErrorKind::job_exception;
+}
+
+ErrorKind error_kind_from_cancel(util::CancelReason reason) noexcept {
+  return reason == util::CancelReason::shutdown ? ErrorKind::shutdown
+                                                : ErrorKind::timeout;
 }
 
 }  // namespace impatience::engine

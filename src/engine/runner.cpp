@@ -15,6 +15,7 @@
 
 #include "impatience/engine/seeding.hpp"
 #include "impatience/engine/thread_pool.hpp"
+#include "impatience/engine/watchdog.hpp"
 
 namespace impatience::engine {
 
@@ -25,82 +26,6 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
-
-/// One background thread arming per-attempt deadlines: a worker arms a
-/// slot before running an attempt and disarms it after; expired slots get
-/// their CancellationToken fired. Slots are recycled, so the thread count
-/// bounds the vector size for the whole batch.
-class DeadlineWatchdog {
- public:
-  explicit DeadlineWatchdog(double deadline_seconds)
-      : deadline_(std::chrono::duration_cast<Clock::duration>(
-            std::chrono::duration<double>(deadline_seconds))) {
-    thread_ = std::thread([this] { watch(); });
-  }
-
-  ~DeadlineWatchdog() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    thread_.join();
-  }
-
-  std::size_t arm(util::CancellationToken* token) {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto expires = Clock::now() + deadline_;
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-      if (!slots_[i].token) {
-        slots_[i] = {token, expires};
-        cv_.notify_all();
-        return i;
-      }
-    }
-    slots_.push_back({token, expires});
-    cv_.notify_all();
-    return slots_.size() - 1;
-  }
-
-  void disarm(std::size_t slot) {
-    std::lock_guard<std::mutex> lock(mu_);
-    slots_[slot].token = nullptr;
-  }
-
- private:
-  struct Slot {
-    util::CancellationToken* token = nullptr;
-    Clock::time_point expires{};
-  };
-
-  void watch() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_) {
-      auto next = Clock::time_point::max();
-      for (Slot& slot : slots_) {
-        if (!slot.token) continue;
-        if (slot.expires <= Clock::now()) {
-          slot.token->cancel();
-          slot.token = nullptr;  // fire once; the worker still disarms
-        } else {
-          next = std::min(next, slot.expires);
-        }
-      }
-      if (next == Clock::time_point::max()) {
-        cv_.wait(lock);  // nothing armed; woken by arm() or shutdown
-      } else {
-        cv_.wait_until(lock, next);
-      }
-    }
-  }
-
-  const Clock::duration deadline_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Slot> slots_;
-  bool stop_ = false;
-  std::thread thread_;
-};
 
 /// Deterministic exponential backoff: base * 2^(attempt-1), capped, with
 /// +/-50% jitter drawn from a (job seed, attempt) stream — reproducible,
@@ -152,11 +77,14 @@ JobResult execute(const JobSpec& spec, const RunnerOptions& options,
     if (watchdog) watchdog->disarm(slot);
 
     if (ok && token.cancelled()) {
-      // The deadline fired while the attempt limped home: honor the
-      // budget and count it as a timeout anyway.
+      // The cancellation fired while the attempt limped home: honor it
+      // anyway, with the token's reason deciding the kind (deadline ->
+      // timeout, graceful service-mode stop -> shutdown).
       ok = false;
-      result.error = "job deadline exceeded";
-      result.error_kind = ErrorKind::timeout;
+      result.error_kind = error_kind_from_cancel(token.reason());
+      result.error = result.error_kind == ErrorKind::shutdown
+                         ? "job cancelled by shutdown"
+                         : "job deadline exceeded";
     }
     if (ok) {
       result.ok = true;

@@ -1,0 +1,85 @@
+#include "impatience/engine/watchdog.hpp"
+
+#include <algorithm>
+
+namespace impatience::engine {
+
+namespace {
+
+std::chrono::steady_clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+DeadlineWatchdog::DeadlineWatchdog(double deadline_seconds)
+    : default_deadline_(to_duration(deadline_seconds)) {
+  thread_ = std::thread([this] { watch(); });
+}
+
+DeadlineWatchdog::~DeadlineWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+std::size_t DeadlineWatchdog::arm(util::CancellationToken* token,
+                                  util::CancelReason reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arm_locked(token, default_deadline_, reason);
+}
+
+std::size_t DeadlineWatchdog::arm(util::CancellationToken* token,
+                                  double deadline_seconds,
+                                  util::CancelReason reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arm_locked(token, to_duration(deadline_seconds), reason);
+}
+
+std::size_t DeadlineWatchdog::arm_locked(util::CancellationToken* token,
+                                         Clock::duration deadline,
+                                         util::CancelReason reason) {
+  const auto expires = Clock::now() + deadline;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].token) {
+      slots_[i] = {token, expires, reason};
+      cv_.notify_all();
+      return i;
+    }
+  }
+  slots_.push_back({token, expires, reason});
+  cv_.notify_all();
+  return slots_.size() - 1;
+}
+
+void DeadlineWatchdog::disarm(std::size_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_[slot].token = nullptr;
+}
+
+void DeadlineWatchdog::watch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    auto next = Clock::time_point::max();
+    for (Slot& slot : slots_) {
+      if (!slot.token) continue;
+      if (slot.expires <= Clock::now()) {
+        slot.token->cancel(slot.reason);
+        slot.token = nullptr;  // fire once; the worker still disarms
+      } else {
+        next = std::min(next, slot.expires);
+      }
+    }
+    if (next == Clock::time_point::max()) {
+      cv_.wait(lock);  // nothing armed; woken by arm() or shutdown
+    } else {
+      cv_.wait_until(lock, next);
+    }
+  }
+}
+
+}  // namespace impatience::engine

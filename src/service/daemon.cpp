@@ -1,0 +1,331 @@
+#include "impatience/service/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "impatience/engine/artifacts.hpp"
+#include "impatience/service/http.hpp"
+#include "impatience/service/protocol.hpp"
+
+namespace impatience::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+class FileSource final : public LineSource {
+ public:
+  FileSource(const std::string& path, bool follow) : follow_(follow) {
+    if (path == "-") {
+      stream_ = &std::cin;
+    } else {
+      file_.open(path);
+      if (!file_) {
+        throw util::IoError("replicationd: cannot open input " + path);
+      }
+      stream_ = &file_;
+    }
+  }
+
+  std::optional<std::string> next_line(
+      const std::atomic<bool>& stop) override {
+    std::string line;
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed)) return std::nullopt;
+      if (std::getline(*stream_, line)) return line;
+      if (!follow_ || stream_ == &std::cin) return std::nullopt;
+      // tail -f: clear the EOF condition and wait for the file to grow.
+      stream_->clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+ private:
+  bool follow_;
+  std::ifstream file_;
+  std::istream* stream_ = nullptr;
+};
+
+class SocketSource final : public LineSource {
+ public:
+  explicit SocketSource(std::string path) : path_(std::move(path)) {
+    sockaddr_un addr{};
+    if (path_.size() >= sizeof(addr.sun_path)) {
+      throw util::IoError("replicationd: socket path too long: " + path_);
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw util::IoError("replicationd: socket() failed: " +
+                          std::string(std::strerror(errno)));
+    }
+    ::unlink(path_.c_str());  // stale socket from a previous run
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) < 0 ||
+        ::listen(listen_fd_, 4) < 0) {
+      const std::string what = std::strerror(errno);
+      ::close(listen_fd_);
+      throw util::IoError("replicationd: cannot listen on " + path_ + ": " +
+                          what);
+    }
+  }
+
+  ~SocketSource() override {
+    if (conn_fd_ >= 0) ::close(conn_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+
+  std::optional<std::string> next_line(
+      const std::atomic<bool>& stop) override {
+    for (;;) {
+      // Serve a buffered complete line first.
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      if (stop.load(std::memory_order_relaxed)) return std::nullopt;
+      if (conn_fd_ < 0) {
+        // Feeders connect sequentially: accept the next one.
+        struct pollfd pfd{listen_fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 100);
+        if (ready < 0 && errno != EINTR) return std::nullopt;
+        if (ready <= 0) continue;
+        conn_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+        continue;
+      }
+      struct pollfd pfd{conn_fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 100);
+      if (ready < 0 && errno != EINTR) return std::nullopt;
+      if (ready <= 0) continue;
+      char buf[4096];
+      const ssize_t n = ::recv(conn_fd_, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(conn_fd_);
+        conn_fd_ = -1;
+        continue;
+      }
+      if (n == 0) {
+        // Feeder hung up; flush any unterminated trailing line.
+        ::close(conn_fd_);
+        conn_fd_ = -1;
+        if (!buffer_.empty()) {
+          std::string line = std::move(buffer_);
+          buffer_.clear();
+          return line;
+        }
+        continue;
+      }
+      buffer_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  std::string path_;
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  std::string buffer_;
+};
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+}  // namespace
+
+std::unique_ptr<LineSource> make_file_source(const std::string& path,
+                                             bool follow) {
+  return std::make_unique<FileSource>(path, follow);
+}
+
+std::unique_ptr<LineSource> make_socket_source(const std::string& path) {
+  return std::make_unique<SocketSource>(path);
+}
+
+ReplicationDaemon::ReplicationDaemon(const DaemonConfig& config)
+    : config_(config) {
+  if (config_.restore && !config_.snapshot_path.empty() &&
+      file_exists(config_.snapshot_path)) {
+    // A SIGKILL mid-snapshot leaves a stale `<path>.tmp`; the atomic
+    // rename discipline means `<path>` itself is always the last
+    // consistent snapshot, so the temp file is simply ignored.
+    store_ = std::make_unique<StateStore>(config_.store, config_.seed,
+                                          load_image(config_.snapshot_path));
+    restored_ = true;
+  } else {
+    store_ = std::make_unique<StateStore>(config_.store, config_.seed);
+  }
+
+  source_ = config_.socket_path.empty()
+                ? make_file_source(config_.input_path, config_.follow)
+                : make_socket_source(config_.socket_path);
+
+  start_time_ = Clock::now();
+  rate_time_ = start_time_;
+  rate_version_ = store_->version();
+
+  if (config_.http_port >= 0) {
+    http_ = std::make_unique<HttpServer>(
+        [this](const std::string& path) -> HttpResponse {
+          if (path == "/metrics") {
+            return {200, "text/plain; charset=utf-8", render()};
+          }
+          if (path == "/healthz") {
+            return {200, "text/plain; charset=utf-8", "ok\n"};
+          }
+          if (path == "/snapshot") {
+            if (config_.snapshot_path.empty()) {
+              return {400, "text/plain; charset=utf-8",
+                      "no --snapshot path configured\n"};
+            }
+            snapshot_now();
+            return {200, "text/plain; charset=utf-8",
+                    "ok version " +
+                        std::to_string(metrics_.snapshot_last_version()) +
+                        "\n"};
+          }
+          return {404, "text/plain; charset=utf-8", "not found\n"};
+        },
+        static_cast<std::uint16_t>(config_.http_port));
+  }
+
+  if (!config_.announce_path.empty()) write_announce_file();
+
+  if (!config_.snapshot_path.empty() && config_.snapshot_interval_s > 0.0) {
+    snapshot_thread_ = std::thread([this] { snapshot_loop(); });
+  }
+}
+
+ReplicationDaemon::~ReplicationDaemon() {
+  stop();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+  if (http_) http_->stop();
+}
+
+std::uint16_t ReplicationDaemon::http_port() const noexcept {
+  return http_ ? http_->port() : 0;
+}
+
+void ReplicationDaemon::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  snapshot_cv_.notify_all();
+}
+
+void ReplicationDaemon::run(const util::CancellationToken* token) {
+  // Bridge the token into the stop flag so a cancel unblocks the source
+  // polls promptly even when no frames are arriving.
+  std::atomic<bool> run_done{false};
+  std::thread token_watch;
+  if (token) {
+    token_watch = std::thread([this, token, &run_done] {
+      while (!run_done.load(std::memory_order_relaxed)) {
+        if (token->cancelled()) {
+          stop();
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    });
+  }
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const auto line = source_->next_line(stop_);
+    if (!line) break;  // end of stream or stop
+    if (is_noise_line(*line)) continue;
+    const auto event = parse_event(*line);
+    if (!event) {
+      store_->note_malformed();
+      continue;
+    }
+    if (event->kind == Event::Kind::quit) break;
+    const auto t0 = Clock::now();
+    store_->apply(*event);
+    metrics_.record_apply_latency(1e6 * seconds_since(t0, Clock::now()));
+    if (config_.snapshot_every > 0 &&
+        store_->seq() % config_.snapshot_every == 0) {
+      snapshot_now();
+    }
+  }
+
+  stop();
+  run_done.store(true, std::memory_order_relaxed);
+  if (token_watch.joinable()) token_watch.join();
+
+  // Graceful exit always persists a final snapshot — including the
+  // deadline path, where the state is still consistent (events are
+  // applied atomically) and worth keeping.
+  if (!config_.snapshot_path.empty()) snapshot_now();
+
+  if (token && token->cancelled() &&
+      token->reason() == util::CancelReason::deadline) {
+    throw util::cancelled_error(*token, "replicationd: deadline exceeded");
+  }
+}
+
+void ReplicationDaemon::snapshot_now() {
+  if (config_.snapshot_path.empty()) return;
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  // Record the version the image actually carries, not the store's
+  // (possibly newer) live version.
+  const StateImage image = store_->image();
+  save_image(config_.snapshot_path, image);
+  metrics_.record_snapshot(image.version);
+}
+
+void ReplicationDaemon::snapshot_loop() {
+  const auto interval = std::chrono::duration<double>(
+      config_.snapshot_interval_s);
+  std::mutex wait_mu;
+  std::unique_lock<std::mutex> lock(wait_mu);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (snapshot_cv_.wait_for(lock, interval) == std::cv_status::timeout &&
+        !stop_.load(std::memory_order_relaxed)) {
+      snapshot_now();
+    }
+  }
+}
+
+std::string ReplicationDaemon::render() const {
+  const auto now = Clock::now();
+  double rate = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(rate_mu_);
+    const std::uint64_t version = store_->version();
+    const double dt = seconds_since(rate_time_, now);
+    if (dt > 0.0) rate = static_cast<double>(version - rate_version_) / dt;
+    rate_time_ = now;
+    rate_version_ = version;
+  }
+  return render_metrics(*store_, metrics_, seconds_since(start_time_, now),
+                        rate);
+}
+
+void ReplicationDaemon::write_announce_file() const {
+  const std::uint16_t port = http_port();
+  engine::atomic_write_file(
+      config_.announce_path, [this, port](std::ostream& out) {
+        out << "http_port " << port << '\n'
+            << "socket " << config_.socket_path << '\n'
+            << "pid " << ::getpid() << '\n';
+      });
+}
+
+}  // namespace impatience::service

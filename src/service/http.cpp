@@ -1,0 +1,223 @@
+#include "impatience/service/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "impatience/util/errors.hpp"
+
+namespace impatience::service {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const HttpResponse& response) {
+  std::ostringstream out;
+  out << "HTTP/1.0 " << response.status << ' ' << status_text(response.status)
+      << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << response.body;
+  send_all(fd, out.str());
+}
+
+/// Reads until the header terminator or a small limit; a scrape request
+/// is one line plus a few headers, so 8 KiB is generous.
+std::string read_request(int fd) {
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 2000);
+    if (ready <= 0) break;  // slowloris or dead peer: give up quietly
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  return request;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpHandler handler, std::uint16_t port)
+    : handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw util::IoError("HttpServer: socket() failed: " +
+                        std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw util::IoError("HttpServer: cannot listen on 127.0.0.1:" +
+                        std::to_string(port) + ": " + what);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    const std::string what = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw util::IoError("HttpServer: getsockname() failed: " + what);
+  }
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (!stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  } else if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void HttpServer::serve() {
+  // Poll with a short timeout instead of blocking in accept(), so stop()
+  // never needs to interrupt a syscall.
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  const std::string request = read_request(fd);
+  std::istringstream line(request.substr(0, request.find('\n')));
+  std::string method, path, proto;
+  line >> method >> path >> proto;
+  if (method.empty() || path.empty()) {
+    send_response(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  if (method != "GET") {
+    send_response(fd,
+                  {405, "text/plain; charset=utf-8", "GET only\n"});
+    return;
+  }
+  HttpResponse response;
+  try {
+    response = handler_(path);
+  } catch (const std::exception& e) {
+    response = {500, "text/plain; charset=utf-8",
+                std::string("internal error: ") + e.what() + "\n"};
+  }
+  send_response(fd, response);
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw util::IoError("http_get: socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    throw util::IoError("http_get: cannot connect to 127.0.0.1:" +
+                        std::to_string(port) + ": " + what);
+  }
+  send_all(fd, "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n");
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t line_end = response.find("\r\n");
+  if (line_end == std::string::npos) {
+    throw util::IoError("http_get: malformed response");
+  }
+  std::istringstream status_line(response.substr(0, line_end));
+  std::string proto;
+  int status = 0;
+  status_line >> proto >> status;
+  if (status != 200) {
+    throw util::IoError("http_get: " + path + " returned status " +
+                        std::to_string(status));
+  }
+  const std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos) {
+    throw util::IoError("http_get: missing header terminator");
+  }
+  return response.substr(body_at + 4);
+}
+
+}  // namespace impatience::service

@@ -1,0 +1,165 @@
+#include "impatience/service/protocol.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <string>
+
+#include "impatience/engine/seeding.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::service {
+
+namespace {
+
+std::string_view strip(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses the next whitespace-delimited unsigned field; advances `s`.
+template <typename T>
+bool parse_field(std::string_view& s, T& out) {
+  s = strip(s);
+  if (s.empty()) return false;
+  std::size_t end = 0;
+  while (end < s.size() &&
+         !std::isspace(static_cast<unsigned char>(s[end]))) {
+    ++end;
+  }
+  const auto* first = s.data();
+  const auto* last = s.data() + end;
+  const auto result = std::from_chars(first, last, out);
+  if (result.ec != std::errc{} || result.ptr != last) return false;
+  s.remove_prefix(end);
+  return true;
+}
+
+bool at_end(std::string_view s) { return strip(s).empty(); }
+
+}  // namespace
+
+bool is_noise_line(std::string_view line) {
+  const std::string_view s = strip(line);
+  return s.empty() || s.front() == '#';
+}
+
+std::optional<Event> parse_event(std::string_view line) {
+  std::string_view s = strip(line);
+  if (s.empty() || s.front() == '#') return std::nullopt;
+  const char tag = s.front();
+  s.remove_prefix(1);
+
+  Event event;
+  switch (tag) {
+    case 'T': {
+      event.kind = Event::Kind::clock;
+      if (!parse_field(s, event.slot) || event.slot < 0 || !at_end(s)) {
+        return std::nullopt;
+      }
+      return event;
+    }
+    case 'C': {
+      event.kind = Event::Kind::contact;
+      if (!parse_field(s, event.a) || !parse_field(s, event.b) ||
+          event.a == event.b || !at_end(s)) {
+        return std::nullopt;
+      }
+      return event;
+    }
+    case 'R': {
+      event.kind = Event::Kind::request;
+      if (!parse_field(s, event.a) || !parse_field(s, event.item) ||
+          !at_end(s)) {
+        return std::nullopt;
+      }
+      return event;
+    }
+    case 'K': {
+      event.kind = Event::Kind::crash;
+      if (!parse_field(s, event.a) || !at_end(s)) return std::nullopt;
+      return event;
+    }
+    case 'Q': {
+      event.kind = Event::Kind::quit;
+      if (!at_end(s)) return std::nullopt;
+      return event;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::string format_event(const Event& event) {
+  switch (event.kind) {
+    case Event::Kind::clock:
+      return "T " + std::to_string(event.slot);
+    case Event::Kind::contact:
+      return "C " + std::to_string(event.a) + " " + std::to_string(event.b);
+    case Event::Kind::request:
+      return "R " + std::to_string(event.a) + " " +
+             std::to_string(event.item);
+    case Event::Kind::crash:
+      return "K " + std::to_string(event.a);
+    case Event::Kind::quit:
+      return "Q";
+  }
+  return "#";
+}
+
+std::vector<Event> generate_stream(const StreamConfig& config,
+                                   std::uint64_t seed) {
+  util::Rng rng(engine::child_seed(seed, "service-stream"));
+  std::vector<Event> events;
+  events.reserve(config.events + 16);
+
+  // Zipf item weights for the request law.
+  std::vector<double> weights(config.num_items, 1.0);
+  for (ItemId i = 0; i < config.num_items; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), config.zipf);
+  }
+
+  double clock = 0.0;
+  Slot emitted_clock = 0;
+  for (std::uint64_t n = 0; n < config.events; ++n) {
+    clock += config.slots_per_event;
+    const Slot now = static_cast<Slot>(clock);
+    if (now > emitted_clock) {
+      emitted_clock = now;
+      events.push_back({Event::Kind::clock, now, 0, 0, 0});
+    }
+    Event event;
+    if (rng.uniform() < config.request_fraction) {
+      event.kind = Event::Kind::request;
+      event.a = static_cast<NodeId>(rng.uniform_index(config.num_nodes));
+      event.item = static_cast<ItemId>(rng.weighted_index(weights));
+    } else {
+      event.kind = Event::Kind::contact;
+      event.a = static_cast<NodeId>(rng.uniform_index(config.num_nodes));
+      event.b = static_cast<NodeId>(rng.uniform_index(config.num_nodes - 1));
+      if (event.b >= event.a) ++event.b;  // uniform over b != a
+    }
+    events.push_back(event);
+    if (config.crash_fraction > 0.0 &&
+        rng.uniform() < config.crash_fraction) {
+      Event crash;
+      crash.kind = Event::Kind::crash;
+      crash.a = static_cast<NodeId>(rng.uniform_index(config.num_nodes));
+      events.push_back(crash);
+    }
+  }
+  if (config.quit) events.push_back({Event::Kind::quit, 0, 0, 0, 0});
+  return events;
+}
+
+void write_stream(std::ostream& out, const std::vector<Event>& events) {
+  for (const Event& event : events) out << format_event(event) << '\n';
+}
+
+}  // namespace impatience::service

@@ -1,0 +1,733 @@
+#include "impatience/service/state_store.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "impatience/engine/artifacts.hpp"
+#include "impatience/engine/seeding.hpp"
+#include "impatience/stats/percentile.hpp"
+#include "impatience/util/errors.hpp"
+#include "impatience/utility/factory.hpp"
+#include "impatience/utility/reaction.hpp"
+
+namespace impatience::service {
+
+namespace {
+
+/// %.17g round-trips every finite double through text exactly.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool config_equal(const StoreConfig& a, const StoreConfig& b) {
+  return a.num_nodes == b.num_nodes && a.num_items == b.num_items &&
+         a.cache_capacity == b.cache_capacity &&
+         a.sticky_replicas == b.sticky_replicas &&
+         a.utility_spec == b.utility_spec && a.mu == b.mu &&
+         a.reaction_scale == b.reaction_scale &&
+         a.mandate_routing == b.mandate_routing;
+}
+
+}  // namespace
+
+void StoreConfig::validate() const {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("StoreConfig: num_nodes must be > 0");
+  }
+  if (num_items == 0) {
+    throw std::invalid_argument("StoreConfig: num_items must be > 0");
+  }
+  if (cache_capacity <= 0) {
+    throw std::invalid_argument("StoreConfig: cache_capacity must be > 0");
+  }
+  if (!(mu > 0.0)) {
+    throw std::invalid_argument("StoreConfig: mu must be > 0");
+  }
+  if (!(reaction_scale > 0.0)) {
+    throw std::invalid_argument("StoreConfig: reaction_scale must be > 0");
+  }
+  if (utility_spec.empty() ||
+      utility_spec.find_first_of(" \t\n") != std::string::npos) {
+    throw std::invalid_argument(
+        "StoreConfig: utility_spec must be a non-empty token");
+  }
+}
+
+StateStore::StateStore(const StoreConfig& config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  config_.validate();
+  utility_ = utility::make_utility(config_.utility_spec);
+  // Same stabilizers as core::run_qcr: clamp the counter at |S|, cap one
+  // fulfilment's burst at rho, bound any node's backlog by the global
+  // cache volume.
+  const double servers = static_cast<double>(config_.num_nodes);
+  const double burst_cap = static_cast<double>(config_.cache_capacity);
+  auto reaction = std::make_shared<utility::ReactionFunction>(
+      *utility_, config_.mu, servers, config_.reaction_scale);
+  policy_ = std::make_unique<core::QcrPolicy>(
+      "QCR-service",
+      std::function<double(double)>([reaction, servers, burst_cap](double y) {
+        return std::min((*reaction)(std::min(y, servers)), burst_cap);
+      }),
+      config_.mandate_routing ? core::QcrPolicy::MandateRouting::kOn
+                              : core::QcrPolicy::MandateRouting::kOff,
+      static_cast<long>(config_.cache_capacity) * config_.num_nodes);
+  init_fresh();
+}
+
+StateStore::StateStore(const StoreConfig& config, std::uint64_t seed,
+                       const StateImage& image)
+    : StateStore(config, seed) {
+  if (!config_equal(config_, image.config)) {
+    throw std::invalid_argument(
+        "StateStore: snapshot config does not match this scenario");
+  }
+  if (image.seed != seed_) {
+    throw std::invalid_argument(
+        "StateStore: snapshot seed " + std::to_string(image.seed) +
+        " does not match --seed " + std::to_string(seed_) +
+        " (replay determinism would break)");
+  }
+  init_from_image(image);
+}
+
+StateStore::~StateStore() {
+  // Detach listeners: the nodes die with us, but be explicit about the
+  // context pointer's lifetime.
+  for (core::Node& node : nodes_) {
+    node.cache().set_change_listener(nullptr, nullptr);
+  }
+}
+
+void StateStore::init_fresh() {
+  nodes_.clear();
+  nodes_.reserve(config_.num_nodes);
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    // Pure P2P (paper Section 3.1): every node both serves and requests.
+    nodes_.emplace_back(n, config_.num_items, config_.cache_capacity,
+                        /*is_server=*/true, /*is_client=*/true);
+  }
+  // Sticky seeders first (slot 0 of seeder i is item i), then a seeded
+  // distinct-uniform fill per node. Each node gets its own child stream,
+  // so the initial placement is a pure function of (config, seed).
+  if (config_.sticky_replicas) {
+    const NodeId seeders = std::min<NodeId>(config_.num_nodes,
+                                            static_cast<NodeId>(config_.num_items));
+    for (NodeId n = 0; n < seeders; ++n) {
+      nodes_[n].cache().pin_sticky(static_cast<ItemId>(n));
+    }
+  }
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    util::Rng rng(engine::child_seed(seed_, "service-init", n));
+    core::Cache& cache = nodes_[n].cache();
+    // Rejection fill is fine: the catalog is small and draws are cheap.
+    while (!cache.full() && cache.size() < static_cast<int>(config_.num_items)) {
+      const auto item = static_cast<ItemId>(rng.uniform_index(config_.num_items));
+      if (!cache.contains(item)) cache.insert_random_replace(item, rng);
+    }
+  }
+
+  replica_counts_.assign(config_.num_items, 0);
+  for (const core::Node& node : nodes_) {
+    for (ItemId item : node.cache().items()) ++replica_counts_[item];
+  }
+  version_ = 0;
+  version_mirror_.store(0, std::memory_order_release);
+  seq_ = 0;
+  clock_ = 0;
+  counters_ = StoreCounters{};
+  faults_ = fault::FaultCounters{};
+  mandates_created_base_ = 0;
+  replicas_written_base_ = 0;
+  recent_delays_.clear();
+  attach_listeners();
+}
+
+void StateStore::init_from_image(const StateImage& image) {
+  if (image.nodes.size() != config_.num_nodes) {
+    throw util::IoError("StateStore: snapshot node count mismatch");
+  }
+  // Rebuild every node exactly. Cache slot order is state (random
+  // replacement evicts by slot index), so items are re-inserted in the
+  // stored order — appends consume no RNG while the cache is not full —
+  // and the sticky pin is applied afterwards, which for an already
+  // present item only sets the flag without reordering.
+  nodes_.clear();
+  nodes_.reserve(config_.num_nodes);
+  util::Rng dummy(0);  // never consumed: inserts below never evict
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    const StateImage::NodeImage& ni = image.nodes[n];
+    core::Node& node = nodes_.emplace_back(
+        n, config_.num_items, config_.cache_capacity,
+        /*is_server=*/true, /*is_client=*/true);
+    node.restore_server_meetings(ni.server_meetings);
+    if (static_cast<int>(ni.cache.size()) > config_.cache_capacity) {
+      throw util::IoError("StateStore: snapshot cache exceeds capacity");
+    }
+    for (ItemId item : ni.cache) {
+      if (item >= config_.num_items || node.cache().contains(item)) {
+        throw util::IoError("StateStore: snapshot cache is not a valid set");
+      }
+      node.cache().insert_random_replace(item, dummy);
+    }
+    if (ni.sticky >= 0) {
+      if (ni.sticky >= static_cast<std::int64_t>(config_.num_items) ||
+          !node.cache().contains(static_cast<ItemId>(ni.sticky))) {
+        throw util::IoError("StateStore: snapshot sticky item not cached");
+      }
+      node.cache().pin_sticky(static_cast<ItemId>(ni.sticky));
+    }
+    for (const auto& [item, count] : ni.mandates) {
+      if (item >= config_.num_items || count <= 0) {
+        throw util::IoError("StateStore: snapshot mandate entry invalid");
+      }
+      node.mandates().add(item, count);
+    }
+    for (const core::PendingRequest& req : ni.pending) {
+      if (req.item >= config_.num_items) {
+        throw util::IoError("StateStore: snapshot pending item out of range");
+      }
+      // create_request snapshots the (already restored) meeting clock;
+      // overwrite with the persisted creation-time values.
+      node.create_request(req.item, req.created);
+      node.pending().back() = req;
+    }
+  }
+
+  replica_counts_.assign(config_.num_items, 0);
+  for (const core::Node& node : nodes_) {
+    for (ItemId item : node.cache().items()) ++replica_counts_[item];
+  }
+  version_ = image.version;
+  version_mirror_.store(version_, std::memory_order_release);
+  seq_ = image.seq;
+  clock_ = image.clock;
+  counters_ = image.counters;
+  faults_ = image.faults;
+  // The policy object is freshly constructed (its counters read 0), so
+  // fold the persisted totals in as base offsets: total = base + policy.
+  mandates_created_base_ = image.counters.mandates_created;
+  replicas_written_base_ = image.counters.replicas_written;
+  recent_delays_ = image.recent_delays;
+  if (recent_delays_.size() > kDelayWindow) {
+    throw util::IoError("StateStore: snapshot delay window too large");
+  }
+  attach_listeners();
+}
+
+void StateStore::attach_listeners() {
+  for (core::Node& node : nodes_) {
+    node.cache().set_change_listener(&StateStore::cache_listener, this);
+  }
+}
+
+void StateStore::cache_listener(void* context, ItemId item, int delta) {
+  // Always invoked with mu_ held: every cache mutation happens inside
+  // apply() (policy execution, crashes) after construction.
+  auto* store = static_cast<StateStore*>(context);
+  store->replica_counts_[item] += delta;
+  ++store->version_;
+  store->version_mirror_.store(store->version_, std::memory_order_release);
+}
+
+void StateStore::bump_locked(std::uint64_t n) {
+  version_ += n;
+  version_mirror_.store(version_, std::memory_order_release);
+}
+
+std::uint64_t StateStore::apply(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++seq_;
+  // Every event draws from its own child stream, a pure function of
+  // (seed, seq): replaying the stream tail after a warm restart consumes
+  // identical randomness, making restore + replay bit-equal to an
+  // uninterrupted run.
+  util::Rng rng(engine::child_seed(seed_, "service-apply", seq_));
+  switch (event.kind) {
+    case Event::Kind::clock:
+      apply_clock(event.slot);
+      break;
+    case Event::Kind::contact:
+      if (event.a >= config_.num_nodes || event.b >= config_.num_nodes ||
+          event.a == event.b) {
+        ++counters_.events_malformed;
+      } else {
+        apply_contact(event.a, event.b, rng);
+      }
+      break;
+    case Event::Kind::request:
+      if (event.a >= config_.num_nodes || event.item >= config_.num_items) {
+        ++counters_.events_malformed;
+      } else {
+        apply_request(event.a, event.item, rng);
+      }
+      break;
+    case Event::Kind::crash:
+      if (event.a >= config_.num_nodes) {
+        ++counters_.events_malformed;
+      } else {
+        apply_crash(event.a);
+      }
+      break;
+    case Event::Kind::quit:
+      break;  // stream control; the ingest loop reacts, the state doesn't
+  }
+  counters_.events_applied = seq_;
+  sync_policy_counters_locked();
+  bump_locked();
+  return version_;
+}
+
+void StateStore::apply_clock(Slot slot) {
+  // Monotonic: a stale or repeated T frame never rewinds time.
+  clock_ = std::max(clock_, slot);
+}
+
+void StateStore::apply_contact(NodeId a, NodeId b, util::Rng& rng) {
+  ++counters_.contacts;
+  core::Node& na = nodes_[a];
+  core::Node& nb = nodes_[b];
+  fulfil_from(na, nb, rng);
+  fulfil_from(nb, na, rng);
+  policy_->on_meeting_complete(na, nb, rng);
+}
+
+void StateStore::apply_request(NodeId node_id, ItemId item, util::Rng& rng) {
+  (void)rng;
+  ++counters_.requests_created;
+  core::Node& node = nodes_[node_id];
+  if (node.holds(item)) {
+    // Own-cache hit: fulfilled at zero delay, no query counter, no
+    // reaction (QCR only reacts to fulfilments that cost meetings).
+    const double gain = utility_->bounded_at_zero()
+                            ? utility_->value_at_zero()
+                            : utility_->value(1.0);
+    ++counters_.immediate_fulfillments;
+    counters_.total_gain += gain;
+    record_delay_locked(0.0);
+    return;
+  }
+  node.create_request(item, clock_);
+  ++counters_.requests_pending;
+}
+
+void StateStore::apply_crash(NodeId node_id) {
+  const core::Node::CrashLosses losses = nodes_[node_id].crash(false);
+  ++faults_.crashes;
+  faults_.replicas_lost += losses.replicas;
+  faults_.mandates_lost += losses.mandates;
+  faults_.requests_lost += losses.requests;
+  counters_.requests_pending -= losses.requests;
+}
+
+void StateStore::fulfil_from(core::Node& requester, core::Node& provider,
+                             util::Rng& rng) {
+  // Service twin of the simulator's meeting protocol (src/core/meeting.cpp),
+  // kept step-identical so the daemon's online QCR matches the offline
+  // kernel: query tick first (clock semantics — the fulfilling meeting
+  // counts), O(rho) prefilter, then one compaction pass.
+  requester.note_server_meeting();
+  if (requester.pending().empty()) return;
+  auto& pending = requester.pending();
+
+  bool any_match = false;
+  for (ItemId item : provider.cache().items()) {
+    if (requester.has_pending(item)) {
+      any_match = true;
+      break;
+    }
+  }
+  if (!any_match) return;
+
+  std::size_t kept = 0;
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    core::PendingRequest& req = pending[k];
+    if (provider.holds(req.item)) {
+      const double delay = static_cast<double>(clock_ - req.created) + 1.0;
+      const double gain = utility_->value(delay);
+      const long queries =
+          requester.server_meetings() - req.queries_at_creation;
+      ++counters_.fulfillments;
+      --counters_.requests_pending;
+      counters_.total_gain += gain;
+      counters_.delay_sum += delay;
+      record_delay_locked(delay);
+      requester.note_fulfilled(req.item);
+      policy_->on_fulfillment(requester, provider, req.item, queries, rng);
+    } else {
+      pending[kept++] = req;
+    }
+  }
+  pending.resize(kept);
+}
+
+void StateStore::sync_policy_counters_locked() {
+  counters_.mandates_created =
+      mandates_created_base_ + policy_->mandates_created();
+  counters_.replicas_written =
+      replicas_written_base_ + policy_->replicas_written();
+  long outstanding = 0;
+  for (const core::Node& node : nodes_) outstanding += node.mandates().total();
+  counters_.mandates_outstanding = outstanding;
+}
+
+void StateStore::record_delay_locked(double delay) {
+  if (recent_delays_.size() >= kDelayWindow) {
+    // Chronological window: drop the oldest half in one move instead of
+    // shifting per insert (amortized O(1), order preserved).
+    recent_delays_.erase(recent_delays_.begin(),
+                         recent_delays_.begin() + kDelayWindow / 2);
+  }
+  recent_delays_.push_back(delay);
+}
+
+void StateStore::note_malformed() noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.events_malformed;
+  bump_locked();
+}
+
+StateImage StateStore::image() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StateImage image;
+  image.config = config_;
+  image.seed = seed_;
+  image.version = version_;
+  image.seq = seq_;
+  image.clock = clock_;
+  image.counters = counters_;
+  image.faults = faults_;
+  image.nodes.reserve(nodes_.size());
+  for (const core::Node& node : nodes_) {
+    StateImage::NodeImage ni;
+    ni.server_meetings = node.server_meetings();
+    const auto sticky = node.cache().sticky();
+    ni.sticky = sticky ? static_cast<std::int64_t>(*sticky) : -1;
+    ni.cache = node.cache().items();
+    for (ItemId item : node.mandates().active_items()) {
+      ni.mandates.emplace_back(item, node.mandates().count(item));
+    }
+    ni.pending = node.pending();
+    image.nodes.push_back(std::move(ni));
+  }
+  image.recent_delays = recent_delays_;
+  return image;
+}
+
+void StateStore::save_snapshot(const std::string& path) const {
+  // Copy-on-read, then serialize outside the lock: the ingest path only
+  // stalls for the in-memory copy, never for disk I/O.
+  const StateImage snapshot = image();
+  save_image(path, snapshot);
+}
+
+StoreCounters StateStore::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+fault::FaultCounters StateStore::faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+Slot StateStore::clock() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_;
+}
+
+std::uint64_t StateStore::seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+std::vector<long> StateStore::replica_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return replica_counts_;
+}
+
+double StateStore::delay_percentile(double p) const {
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window = recent_delays_;
+  }
+  if (window.empty()) return 0.0;
+  return stats::percentile(window, p);
+}
+
+bool StateStore::mandate_conservation_ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.mandates_created ==
+         counters_.replicas_written + counters_.mandates_outstanding +
+             faults_.mandates_lost;
+}
+
+std::unique_ptr<StateStore> StateStore::restore(const StoreConfig& config,
+                                                std::uint64_t seed,
+                                                const std::string& path) {
+  return std::make_unique<StateStore>(config, seed, load_image(path));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization: versioned header, ASCII lines, FNV-1a checksum
+// line plus `end` trailer so truncation and torn writes are detectable.
+
+namespace {
+
+constexpr std::string_view kMagic = "impatience.replicationd_snapshot/1";
+
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Next line; throws on EOF (snapshots end with an explicit trailer).
+  std::string next() {
+    std::string line;
+    if (!std::getline(in_, line)) {
+      throw util::IoError("snapshot: truncated (unexpected end of file)");
+    }
+    return line;
+  }
+
+ private:
+  std::istream& in_;
+};
+
+/// Tokenizing reader for one expected record line: "key v1 v2 ...".
+class Record {
+ public:
+  Record(std::string line, std::string_view key) : stream_(std::move(line)) {
+    std::string got;
+    if (!(stream_ >> got) || got != key) {
+      throw util::IoError("snapshot: expected '" + std::string(key) +
+                          "' record, got '" + got + "'");
+    }
+  }
+
+  template <typename T>
+  T get(const char* what) {
+    T value{};
+    if (!(stream_ >> value)) {
+      throw util::IoError(std::string("snapshot: bad or missing field: ") +
+                          what);
+    }
+    return value;
+  }
+
+  /// Remainder of the line, stripped of one leading space.
+  std::string rest() {
+    std::string tail;
+    std::getline(stream_, tail);
+    if (!tail.empty() && tail.front() == ' ') tail.erase(0, 1);
+    return tail;
+  }
+
+ private:
+  std::istringstream stream_;
+};
+
+}  // namespace
+
+void write_image(std::ostream& out, const StateImage& image) {
+  std::ostringstream body;
+  body << kMagic << '\n';
+  const StoreConfig& c = image.config;
+  body << "config " << c.num_nodes << ' ' << c.num_items << ' '
+       << c.cache_capacity << ' ' << (c.sticky_replicas ? 1 : 0) << ' '
+       << fmt_double(c.mu) << ' ' << fmt_double(c.reaction_scale) << ' '
+       << (c.mandate_routing ? 1 : 0) << ' ' << c.utility_spec << '\n';
+  body << "seed " << image.seed << '\n';
+  body << "state " << image.version << ' ' << image.seq << ' ' << image.clock
+       << '\n';
+  const StoreCounters& k = image.counters;
+  body << "counters " << k.events_applied << ' ' << k.events_malformed << ' '
+       << k.contacts << ' ' << k.requests_created << ' '
+       << k.immediate_fulfillments << ' ' << k.fulfillments << ' '
+       << k.requests_pending << ' ' << k.mandates_created << ' '
+       << k.replicas_written << ' ' << k.mandates_outstanding << ' '
+       << fmt_double(k.total_gain) << ' ' << fmt_double(k.delay_sum) << '\n';
+  const fault::FaultCounters& f = image.faults;
+  body << "faults " << f.crashes << ' ' << f.replicas_lost << ' '
+       << f.mandates_lost << ' ' << f.requests_lost << '\n';
+  body << "nodes " << image.nodes.size() << '\n';
+  for (std::size_t n = 0; n < image.nodes.size(); ++n) {
+    const StateImage::NodeImage& ni = image.nodes[n];
+    body << "node " << n << ' ' << ni.server_meetings << ' ' << ni.sticky
+         << '\n';
+    body << "cache " << ni.cache.size();
+    for (ItemId item : ni.cache) body << ' ' << item;
+    body << '\n';
+    body << "mandates " << ni.mandates.size();
+    for (const auto& [item, count] : ni.mandates) {
+      body << ' ' << item << ' ' << count;
+    }
+    body << '\n';
+    body << "pending " << ni.pending.size();
+    for (const core::PendingRequest& req : ni.pending) {
+      body << ' ' << req.item << ' ' << req.created << ' '
+           << req.queries_at_creation;
+    }
+    body << '\n';
+  }
+  body << "delays " << image.recent_delays.size();
+  for (double d : image.recent_delays) body << ' ' << fmt_double(d);
+  body << '\n';
+
+  const std::string text = body.str();
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%016" PRIx64,
+                engine::fnv1a64(text));
+  out << text << "checksum " << checksum << '\n' << "end\n";
+}
+
+StateImage read_image(std::istream& in) {
+  // Pass 1: collect the body and verify the checksum + trailer, so any
+  // torn or bit-flipped file is rejected before a single field is used.
+  std::string body;
+  std::string line;
+  bool have_checksum = false;
+  std::uint64_t stored_checksum = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("checksum ", 0) == 0) {
+      stored_checksum = std::stoull(line.substr(9), nullptr, 16);
+      have_checksum = true;
+      break;
+    }
+    body += line;
+    body += '\n';
+  }
+  if (!have_checksum) {
+    throw util::IoError("snapshot: missing checksum line (torn file?)");
+  }
+  if (engine::fnv1a64(body) != stored_checksum) {
+    throw util::IoError("snapshot: checksum mismatch (corrupt file)");
+  }
+  if (!std::getline(in, line) || line != "end") {
+    throw util::IoError("snapshot: missing end trailer");
+  }
+
+  std::istringstream text(body);
+  LineReader lines(text);
+  if (lines.next() != kMagic) {
+    throw util::IoError("snapshot: bad magic (not a replicationd snapshot)");
+  }
+
+  StateImage image;
+  {
+    Record r(lines.next(), "config");
+    image.config.num_nodes = r.get<NodeId>("num_nodes");
+    image.config.num_items = r.get<ItemId>("num_items");
+    image.config.cache_capacity = r.get<int>("cache_capacity");
+    image.config.sticky_replicas = r.get<int>("sticky_replicas") != 0;
+    image.config.mu = r.get<double>("mu");
+    image.config.reaction_scale = r.get<double>("reaction_scale");
+    image.config.mandate_routing = r.get<int>("mandate_routing") != 0;
+    image.config.utility_spec = r.rest();
+    image.config.validate();
+  }
+  {
+    Record r(lines.next(), "seed");
+    image.seed = r.get<std::uint64_t>("seed");
+  }
+  {
+    Record r(lines.next(), "state");
+    image.version = r.get<std::uint64_t>("version");
+    image.seq = r.get<std::uint64_t>("seq");
+    image.clock = r.get<Slot>("clock");
+  }
+  {
+    Record r(lines.next(), "counters");
+    StoreCounters& k = image.counters;
+    k.events_applied = r.get<std::uint64_t>("events_applied");
+    k.events_malformed = r.get<std::uint64_t>("events_malformed");
+    k.contacts = r.get<std::uint64_t>("contacts");
+    k.requests_created = r.get<std::uint64_t>("requests_created");
+    k.immediate_fulfillments = r.get<std::uint64_t>("immediate_fulfillments");
+    k.fulfillments = r.get<std::uint64_t>("fulfillments");
+    k.requests_pending = r.get<std::uint64_t>("requests_pending");
+    k.mandates_created = r.get<long>("mandates_created");
+    k.replicas_written = r.get<long>("replicas_written");
+    k.mandates_outstanding = r.get<long>("mandates_outstanding");
+    k.total_gain = r.get<double>("total_gain");
+    k.delay_sum = r.get<double>("delay_sum");
+  }
+  {
+    Record r(lines.next(), "faults");
+    image.faults.crashes = r.get<std::uint64_t>("crashes");
+    image.faults.replicas_lost = r.get<std::uint64_t>("replicas_lost");
+    image.faults.mandates_lost = r.get<long>("mandates_lost");
+    image.faults.requests_lost = r.get<std::uint64_t>("requests_lost");
+  }
+  std::size_t num_nodes = 0;
+  {
+    Record r(lines.next(), "nodes");
+    num_nodes = r.get<std::size_t>("nodes");
+  }
+  image.nodes.resize(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    StateImage::NodeImage& ni = image.nodes[n];
+    {
+      Record r(lines.next(), "node");
+      if (r.get<std::size_t>("node index") != n) {
+        throw util::IoError("snapshot: node records out of order");
+      }
+      ni.server_meetings = r.get<long>("server_meetings");
+      ni.sticky = r.get<std::int64_t>("sticky");
+    }
+    {
+      Record r(lines.next(), "cache");
+      const auto count = r.get<std::size_t>("cache size");
+      ni.cache.resize(count);
+      for (auto& item : ni.cache) item = r.get<ItemId>("cache item");
+    }
+    {
+      Record r(lines.next(), "mandates");
+      const auto count = r.get<std::size_t>("mandate entries");
+      ni.mandates.resize(count);
+      for (auto& [item, cnt] : ni.mandates) {
+        item = r.get<ItemId>("mandate item");
+        cnt = r.get<long>("mandate count");
+      }
+    }
+    {
+      Record r(lines.next(), "pending");
+      const auto count = r.get<std::size_t>("pending entries");
+      ni.pending.resize(count);
+      for (auto& req : ni.pending) {
+        req.item = r.get<ItemId>("pending item");
+        req.created = r.get<Slot>("pending created");
+        req.queries_at_creation = r.get<long>("pending queries");
+      }
+    }
+  }
+  {
+    Record r(lines.next(), "delays");
+    const auto count = r.get<std::size_t>("delay count");
+    image.recent_delays.resize(count);
+    for (auto& d : image.recent_delays) d = r.get<double>("delay");
+  }
+  return image;
+}
+
+void save_image(const std::string& path, const StateImage& image) {
+  engine::atomic_write_file(
+      path, [&image](std::ostream& out) { write_image(out, image); });
+}
+
+StateImage load_image(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw util::IoError("snapshot: cannot open " + path);
+  }
+  return read_image(in);
+}
+
+}  // namespace impatience::service

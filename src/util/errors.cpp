@@ -1,0 +1,25 @@
+#include "impatience/util/errors.hpp"
+
+namespace impatience::util {
+
+const char* to_string(CancelReason reason) noexcept {
+  switch (reason) {
+    case CancelReason::none: return "none";
+    case CancelReason::deadline: return "deadline";
+    case CancelReason::shutdown: return "shutdown";
+  }
+  return "none";
+}
+
+CancelledError cancelled_error(const CancellationToken& token,
+                               const std::string& what) {
+  // A not-yet-cancelled token (defensive call) reads as a deadline: that
+  // is what every pre-reason caller assumed, and classify_exception maps
+  // it to the historical ErrorKind::timeout.
+  const CancelReason reason = token.reason() == CancelReason::none
+                                  ? CancelReason::deadline
+                                  : token.reason();
+  return CancelledError(what, reason);
+}
+
+}  // namespace impatience::util

@@ -1,5 +1,7 @@
 #include "impatience/util/flags.hpp"
 
+#include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -12,6 +14,47 @@ bool looks_like_flag(const std::string& s) {
 }
 
 }  // namespace
+
+std::optional<double> parse_duration(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  // Split into number prefix and unit suffix at the first alpha char.
+  std::size_t unit_at = text.size();
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (std::isalpha(static_cast<unsigned char>(text[i]))) {
+      unit_at = i;
+      break;
+    }
+  }
+  const std::string number = text.substr(0, unit_at);
+  const std::string unit = text.substr(unit_at);
+  if (number.empty()) return std::nullopt;
+
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(number, &consumed);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (consumed != number.size()) return std::nullopt;
+  if (!std::isfinite(value) || value < 0.0) return std::nullopt;
+
+  double scale = 1.0;
+  if (unit == "ms") {
+    scale = 1e-3;
+  } else if (unit.empty() || unit == "s") {
+    scale = 1.0;
+  } else if (unit == "m") {
+    scale = 60.0;
+  } else if (unit == "h") {
+    scale = 3600.0;
+  } else if (unit == "d") {
+    scale = 86400.0;
+  } else {
+    return std::nullopt;
+  }
+  return value * scale;
+}
 
 Flags::Flags(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
@@ -52,6 +95,18 @@ long Flags::get_long(const std::string& key, long fallback) const {
 double Flags::get_double(const std::string& key, double fallback) const {
   auto it = values_.find(key);
   return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+double Flags::get_duration(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const auto seconds = parse_duration(it->second);
+  if (!seconds) {
+    throw std::invalid_argument("Flags: bad duration for --" + key + ": '" +
+                                it->second +
+                                "' (want e.g. 90, 250ms, 30s, 5m, 2h)");
+  }
+  return *seconds;
 }
 
 bool Flags::get_bool(const std::string& key, bool fallback) const {

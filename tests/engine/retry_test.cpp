@@ -12,6 +12,7 @@
 #include "impatience/engine/resume.hpp"
 #include "impatience/engine/runner.hpp"
 #include "impatience/engine/seeding.hpp"
+#include "impatience/engine/watchdog.hpp"
 #include "impatience/util/errors.hpp"
 
 namespace impatience::engine {
@@ -97,6 +98,50 @@ TEST(Retry, WatchdogCancelsOverrunningJob) {
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(r.error_kind, ErrorKind::timeout);
   EXPECT_EQ(report.failed, 1u);
+}
+
+TEST(Retry, ShutdownCancellationClassifiesAsShutdownNotTimeout) {
+  // Service-mode jobs unwind with a shutdown-reason CancelledError when
+  // the operator stops them (SIGTERM); the manifest must say "shutdown",
+  // not the generic deadline kind — an operator stop is not a blown
+  // budget. Regression for the reason-blind classification.
+  JobSpec job = seeded_job("service", 0);
+  job.run = [](util::Rng&) -> double {
+    throw util::CancelledError("stopped by operator",
+                               util::CancelReason::shutdown);
+  };
+
+  const Runner runner({.threads = 1, .backoff_base_seconds = 0.0});
+  const auto report = runner.run({job});
+
+  const auto& r = report.jobs[0].result;
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_kind, ErrorKind::shutdown);
+  EXPECT_EQ(to_string(ErrorKind::shutdown), std::string("shutdown"));
+  EXPECT_EQ(error_kind_from_string("shutdown"), ErrorKind::shutdown);
+}
+
+TEST(Retry, WatchdogReasonPropagatesIntoCancelledError) {
+  // The hoisted watchdog can arm with a configurable reason; the token
+  // carries the first cancel's reason and cancelled_error() preserves it.
+  util::CancellationToken token;
+  {
+    DeadlineWatchdog watchdog(10.0);
+    watchdog.arm(&token, 0.01, util::CancelReason::shutdown);
+    while (!token.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_EQ(token.reason(), util::CancelReason::shutdown);
+  const auto error = util::cancelled_error(token, "stop");
+  EXPECT_EQ(error.reason(), util::CancelReason::shutdown);
+  EXPECT_EQ(error_kind_from_cancel(token.reason()), ErrorKind::shutdown);
+  EXPECT_EQ(error_kind_from_cancel(util::CancelReason::deadline),
+            ErrorKind::timeout);
+
+  // First reason wins: a later deadline cancel cannot flip it.
+  token.cancel(util::CancelReason::deadline);
+  EXPECT_EQ(token.reason(), util::CancelReason::shutdown);
 }
 
 TEST(Retry, TypedExceptionsClassifyIntoErrorKinds) {

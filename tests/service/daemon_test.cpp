@@ -1,0 +1,286 @@
+// Daemon integration tests. The suite name (Replicationd) is load-bearing:
+// scripts/check_engine_tsan.sh sweeps `-R "^(Simulator|Replicationd)\."`
+// so the ingest/monitor/snapshot threads run under ThreadSanitizer.
+#include "impatience/service/daemon.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "impatience/service/http.hpp"
+#include "impatience/service/protocol.hpp"
+#include "impatience/util/errors.hpp"
+
+namespace impatience::service {
+namespace {
+
+StoreConfig small_config() {
+  StoreConfig config;
+  config.num_nodes = 16;
+  config.num_items = 12;
+  config.cache_capacity = 3;
+  return config;
+}
+
+std::string stream_text(std::uint64_t events, std::uint64_t seed,
+                        bool quit) {
+  StreamConfig config;
+  config.events = events;
+  config.num_nodes = 16;
+  config.num_items = 12;
+  config.quit = quit;
+  std::ostringstream out;
+  write_stream(out, generate_stream(config, seed));
+  return out.str();
+}
+
+class TempPath {
+ public:
+  explicit TempPath(const char* stem) {
+    path_ = ::testing::TempDir() + stem + "_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  }
+  ~TempPath() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Feeds raw bytes into a Unix-domain socket, like a live event source.
+void feed_socket(const std::string& socket_path, const std::string& data) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  // The daemon binds the socket in its constructor, so connect() succeeds
+  // immediately; retry briefly anyway to absorb scheduler noise.
+  int connected = -1;
+  for (int i = 0; i < 100 && connected < 0; ++i) {
+    connected =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (connected < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_EQ(connected, 0) << "cannot connect to " << socket_path;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
+TEST(Replicationd, IngestsSocketStreamAndServesMetrics) {
+  TempPath socket("repl_sock");
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = 21;
+  config.socket_path = socket.path();
+  config.http_port = 0;  // ephemeral
+
+  ReplicationDaemon daemon(config);
+  ASSERT_NE(daemon.http_port(), 0);
+
+  std::thread feeder([&] {
+    feed_socket(socket.path(), stream_text(1000, 31, /*quit=*/true));
+  });
+  daemon.run(nullptr);  // Q frame ends the stream
+  feeder.join();
+
+  const StoreCounters k = daemon.store().counters();
+  EXPECT_GT(k.events_applied, 1000u);  // T frames ride along
+  EXPECT_GT(k.requests_served(), 0u);
+  EXPECT_TRUE(daemon.store().mandate_conservation_ok());
+
+  // Scrape while the monitor thread is still up.
+  const std::string metrics = http_get(daemon.http_port(), "/metrics");
+  EXPECT_NE(metrics.find("replicationd_events_total " +
+                         std::to_string(k.events_applied)),
+            std::string::npos);
+  EXPECT_NE(metrics.find("replicationd_mandate_conservation_ok 1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("replicationd_apply_latency_us_p99"),
+            std::string::npos);
+  EXPECT_EQ(http_get(daemon.http_port(), "/healthz"), "ok\n");
+  EXPECT_THROW(http_get(daemon.http_port(), "/nope"), util::IoError);
+}
+
+TEST(Replicationd, ConcurrentScrapesDuringIngestAreClean) {
+  TempPath socket("repl_scrape");
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = 22;
+  config.socket_path = socket.path();
+  config.http_port = 0;
+
+  ReplicationDaemon daemon(config);
+  std::thread feeder([&] {
+    feed_socket(socket.path(), stream_text(3000, 32, /*quit=*/true));
+  });
+  // Hammer /metrics from two clients while the ingest thread applies
+  // events — the TSan sweep turns any store/metrics race into a failure.
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    while (!done.load()) {
+      const std::string body = http_get(daemon.http_port(), "/metrics");
+      EXPECT_NE(body.find("replicationd_version"), std::string::npos);
+    }
+  });
+  daemon.run(nullptr);
+  done.store(true);
+  scraper.join();
+  feeder.join();
+  EXPECT_TRUE(daemon.store().mandate_conservation_ok());
+}
+
+TEST(Replicationd, ShutdownTokenStopsGracefullyWithFinalSnapshot) {
+  TempPath socket("repl_shutdown");
+  TempPath snap("repl_shutdown_snap");
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = 23;
+  config.socket_path = socket.path();
+  config.http_port = -1;
+  config.snapshot_path = snap.path();
+
+  ReplicationDaemon daemon(config);
+  util::CancellationToken token;
+  std::thread runner([&] {
+    // SIGTERM path: shutdown reason, run() returns normally.
+    EXPECT_NO_THROW(daemon.run(&token));
+  });
+  feed_socket(socket.path(), stream_text(500, 33, /*quit=*/false));
+  while (daemon.store().counters().events_applied == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  token.cancel(util::CancelReason::shutdown);
+  runner.join();
+
+  // The graceful stop persisted a final snapshot matching the store.
+  const StateImage image = load_image(snap.path());
+  EXPECT_EQ(image.seq, daemon.store().seq());
+  EXPECT_EQ(image.version, daemon.store().version());
+}
+
+TEST(Replicationd, DeadlineTokenSurfacesAsCancelledError) {
+  TempPath socket("repl_deadline");
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = 24;
+  config.socket_path = socket.path();
+  config.http_port = -1;
+
+  ReplicationDaemon daemon(config);
+  util::CancellationToken token;
+  token.cancel(util::CancelReason::deadline);
+  try {
+    daemon.run(&token);
+    FAIL() << "expected CancelledError";
+  } catch (const util::CancelledError& e) {
+    EXPECT_EQ(e.reason(), util::CancelReason::deadline);
+  }
+}
+
+TEST(Replicationd, SnapshotEveryNEventsIsDeterministicallyReplayable) {
+  const std::string text = stream_text(600, 34, /*quit=*/false);
+
+  // Uninterrupted reference over a file source.
+  TempPath input("repl_input");
+  {
+    std::ofstream out(input.path());
+    out << text;
+  }
+  TempPath ref_snap("repl_ref_snap");
+  DaemonConfig ref;
+  ref.store = small_config();
+  ref.seed = 25;
+  ref.socket_path.clear();
+  ref.input_path = input.path();
+  ref.http_port = -1;
+  ref.snapshot_path = ref_snap.path();
+  ReplicationDaemon ref_daemon(ref);
+  ref_daemon.run(nullptr);
+  const std::uint64_t total_events = ref_daemon.store().seq();
+
+  // Same stream with --snapshot-every; the last by-seq snapshot plus the
+  // final graceful one must both exist; the final must match the
+  // reference byte-for-byte.
+  TempPath every_snap("repl_every_snap");
+  DaemonConfig every = ref;
+  every.snapshot_path = every_snap.path();
+  every.snapshot_every = 250;
+  ReplicationDaemon every_daemon(every);
+  every_daemon.run(nullptr);
+  EXPECT_EQ(every_daemon.store().seq(), total_events);
+  EXPECT_GE(every_daemon.metrics().snapshots_total(), 3u);  // 2 by-seq + final
+
+  std::ostringstream a, b;
+  write_image(a, load_image(ref_snap.path()));
+  write_image(b, load_image(every_snap.path()));
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Replicationd, MalformedLinesAreCountedNotFatal) {
+  TempPath input("repl_bad_input");
+  {
+    std::ofstream out(input.path());
+    out << "# comment\n\nC 1 2\nnonsense here\nC 1 1\nR 3 5\nQ\n";
+  }
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = 26;
+  config.input_path = input.path();
+  config.http_port = -1;
+  ReplicationDaemon daemon(config);
+  daemon.run(nullptr);
+  const StoreCounters k = daemon.store().counters();
+  // "nonsense here" and the self-contact "C 1 1" are malformed (counted,
+  // skipped); comments/blanks are noise; Q ends the stream unapplied.
+  EXPECT_EQ(k.events_malformed, 2u);
+  EXPECT_EQ(k.events_applied, 2u);  // C 1 2 and R 3 5
+}
+
+TEST(Replicationd, HttpSnapshotEndpointTriggersPersistence) {
+  TempPath socket("repl_httpsnap");
+  TempPath snap("repl_httpsnap_file");
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = 27;
+  config.socket_path = socket.path();
+  config.http_port = 0;
+  config.snapshot_path = snap.path();
+
+  ReplicationDaemon daemon(config);
+  std::thread runner([&] { daemon.run(nullptr); });
+  feed_socket(socket.path(), stream_text(200, 35, /*quit=*/false));
+  while (daemon.store().counters().events_applied == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const std::string body = http_get(daemon.http_port(), "/snapshot");
+  EXPECT_EQ(body.rfind("ok version ", 0), 0u) << body;
+  EXPECT_GE(daemon.metrics().snapshots_total(), 1u);
+  const StateImage image = load_image(snap.path());
+  EXPECT_GT(image.seq, 0u);
+  daemon.stop();
+  runner.join();
+}
+
+}  // namespace
+}  // namespace impatience::service

@@ -1,0 +1,133 @@
+#include "impatience/service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace impatience::service {
+namespace {
+
+TEST(ServiceProtocol, ParsesEveryFrameKind) {
+  auto clock = parse_event("T 42");
+  ASSERT_TRUE(clock.has_value());
+  EXPECT_EQ(clock->kind, Event::Kind::clock);
+  EXPECT_EQ(clock->slot, 42);
+
+  auto contact = parse_event("C 3 9");
+  ASSERT_TRUE(contact.has_value());
+  EXPECT_EQ(contact->kind, Event::Kind::contact);
+  EXPECT_EQ(contact->a, 3u);
+  EXPECT_EQ(contact->b, 9u);
+
+  auto request = parse_event("R 5 17");
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->kind, Event::Kind::request);
+  EXPECT_EQ(request->a, 5u);
+  EXPECT_EQ(request->item, 17u);
+
+  auto crash = parse_event("K 7");
+  ASSERT_TRUE(crash.has_value());
+  EXPECT_EQ(crash->kind, Event::Kind::crash);
+  EXPECT_EQ(crash->a, 7u);
+
+  auto quit = parse_event("Q");
+  ASSERT_TRUE(quit.has_value());
+  EXPECT_EQ(quit->kind, Event::Kind::quit);
+}
+
+TEST(ServiceProtocol, ToleratesSurroundingWhitespace) {
+  EXPECT_TRUE(parse_event("  C 1 2  ").has_value());
+  EXPECT_TRUE(parse_event("\tT 5").has_value());
+}
+
+TEST(ServiceProtocol, RejectsMalformedFrames) {
+  // Wrong tag, missing fields, trailing junk, negative/overflow values,
+  // self-contacts: all rejected, never crash.
+  for (const char* line :
+       {"X 1 2", "C 1", "C 1 2 3", "R 1", "T", "T -4", "T 1x", "C 1 1",
+        "R a b", "Q extra", "C 1 99999999999999999999", "", "   ", "# hi"}) {
+    EXPECT_FALSE(parse_event(line).has_value()) << "line: '" << line << "'";
+  }
+}
+
+TEST(ServiceProtocol, NoiseLinesAreDistinguishable) {
+  EXPECT_TRUE(is_noise_line(""));
+  EXPECT_TRUE(is_noise_line("   "));
+  EXPECT_TRUE(is_noise_line("# comment"));
+  EXPECT_FALSE(is_noise_line("C 1 2"));
+  EXPECT_FALSE(is_noise_line("garbage"));
+}
+
+TEST(ServiceProtocol, FormatParseRoundTrip) {
+  StreamConfig config;
+  config.events = 200;
+  config.num_nodes = 12;
+  config.num_items = 8;
+  config.crash_fraction = 0.05;
+  const auto events = generate_stream(config, 99);
+  for (const Event& event : events) {
+    const auto parsed = parse_event(format_event(event));
+    ASSERT_TRUE(parsed.has_value()) << format_event(event);
+    EXPECT_EQ(*parsed, event);
+  }
+}
+
+TEST(ServiceProtocol, GeneratorIsDeterministicAndSeedSensitive) {
+  StreamConfig config;
+  config.events = 500;
+  const auto a = generate_stream(config, 7);
+  const auto b = generate_stream(config, 7);
+  const auto c = generate_stream(config, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ServiceProtocol, GeneratorRespectsConfig) {
+  StreamConfig config;
+  config.events = 400;
+  config.num_nodes = 6;
+  config.num_items = 4;
+  config.quit = true;
+  const auto events = generate_stream(config, 3);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().kind, Event::Kind::quit);
+  Slot last_clock = 0;
+  for (const Event& event : events) {
+    switch (event.kind) {
+      case Event::Kind::clock:
+        EXPECT_GT(event.slot, last_clock);  // strictly advancing T frames
+        last_clock = event.slot;
+        break;
+      case Event::Kind::contact:
+        EXPECT_LT(event.a, 6u);
+        EXPECT_LT(event.b, 6u);
+        EXPECT_NE(event.a, event.b);
+        break;
+      case Event::Kind::request:
+        EXPECT_LT(event.a, 6u);
+        EXPECT_LT(event.item, 4u);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(ServiceProtocol, WriteStreamEmitsOneLinePerFrame) {
+  StreamConfig config;
+  config.events = 50;
+  const auto events = generate_stream(config, 1);
+  std::ostringstream out;
+  write_stream(out, events);
+  std::istringstream in(out.str());
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(parse_event(line).has_value()) << line;
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, events.size());
+}
+
+}  // namespace
+}  // namespace impatience::service

@@ -72,5 +72,42 @@ TEST(Flags, ProgramName) {
   EXPECT_EQ(f.program(), "prog");
 }
 
+TEST(ParseDuration, UnitsAndBareSeconds) {
+  EXPECT_DOUBLE_EQ(parse_duration("90").value(), 90.0);  // bare = seconds
+  EXPECT_DOUBLE_EQ(parse_duration("250ms").value(), 0.25);
+  EXPECT_DOUBLE_EQ(parse_duration("30s").value(), 30.0);
+  EXPECT_DOUBLE_EQ(parse_duration("5m").value(), 300.0);
+  EXPECT_DOUBLE_EQ(parse_duration("2h").value(), 7200.0);
+  EXPECT_DOUBLE_EQ(parse_duration("1d").value(), 86400.0);
+  EXPECT_DOUBLE_EQ(parse_duration("1.5m").value(), 90.0);  // fractional
+  EXPECT_DOUBLE_EQ(parse_duration("0").value(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_duration("0.5").value(), 0.5);
+}
+
+TEST(ParseDuration, RejectsMalformedInput) {
+  for (const char* text : {"", "abc", "10x", "-3s", "5 m", "m", "1e", "nan",
+                           "inf", "1.5ss", "ms"}) {
+    EXPECT_FALSE(parse_duration(text).has_value()) << "text: " << text;
+  }
+}
+
+TEST(Flags, GetDurationParsesAndFallsBack) {
+  auto f = make({"--snapshot-interval=30s", "--deadline", "5m",
+                 "--grace=250ms", "--legacy=90"});
+  EXPECT_DOUBLE_EQ(f.get_duration("snapshot-interval", 0.0), 30.0);
+  EXPECT_DOUBLE_EQ(f.get_duration("deadline", 0.0), 300.0);
+  EXPECT_DOUBLE_EQ(f.get_duration("grace", 0.0), 0.25);
+  // Back-compat: the old integer-seconds spelling still works.
+  EXPECT_DOUBLE_EQ(f.get_duration("legacy", 0.0), 90.0);
+  EXPECT_DOUBLE_EQ(f.get_duration("absent", 7.5), 7.5);
+}
+
+TEST(Flags, GetDurationThrowsOnBadValue) {
+  EXPECT_THROW(make({"--deadline=soon"}).get_duration("deadline", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make({"--deadline=-5s"}).get_duration("deadline", 0.0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace impatience::util
