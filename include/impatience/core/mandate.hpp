@@ -4,6 +4,7 @@
 // pathology described in the paper.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "impatience/core/catalog.hpp"
@@ -11,7 +12,11 @@
 namespace impatience::core {
 
 /// A multiset of mandates per item, stored densely (the item universe is
-/// known and small relative to node count).
+/// known and small relative to node count), plus an incrementally
+/// maintained list of the items with a non-zero count: the QCR meeting
+/// hooks enumerate active items 4x per meeting (execute + route, both
+/// sides), and most bags are sparse, so an O(active) enumeration beats
+/// the former O(num_items) scan on the simulator's commit path.
 class MandateBag {
  public:
   explicit MandateBag(ItemId num_items);
@@ -26,11 +31,25 @@ class MandateBag {
   /// Drops every mandate (node crash); returns how many were lost.
   long drain();
 
-  /// Items with at least one mandate.
+  /// Items with at least one mandate, in ascending item order.
   std::vector<ItemId> active_items() const;
 
+  /// Appends the active items to `out` in unspecified order — the
+  /// allocation-free form for callers that merge and sort anyway
+  /// (QcrPolicy's per-meeting item unions).
+  void append_active_items(std::vector<ItemId>& out) const {
+    out.insert(out.end(), active_.begin(), active_.end());
+  }
+
  private:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  void activate(ItemId item);
+  void deactivate(ItemId item);
+
   std::vector<long> count_;
+  std::vector<ItemId> active_;        // items with count > 0, unordered
+  std::vector<std::uint32_t> pos_;    // item -> index in active_, or kAbsent
   long total_ = 0;
 };
 

@@ -109,6 +109,7 @@ class QcrPolicy final : public ReplicationPolicy {
   MandateRouting routing_;
   long mandate_cap_;
   Rewriting rewriting_;
+  std::vector<ItemId> items_scratch_;  // per-meeting union, reused
   long mandates_created_ = 0;
   long replicas_written_ = 0;
   long mandates_rewritten_ = 0;

@@ -1,0 +1,92 @@
+// Conflict scheduling of meeting batches: assign each meeting of a
+// slot's (or an event-gap's) contact sequence to a *wave* such that no
+// node appears twice within a wave, and interleave the waves with
+// *commit runs* that walk the batch in exact trace order. The schedule
+// is the whole bit-identity argument of core::simulate's parallel
+// meeting path (docs/perf.md §5):
+//
+//   plan wave 0   (parallel, read-only)
+//   commit run 0  (sequential, trace order: [0, commit_ends[0]))
+//   plan wave 1
+//   commit run 1  ([commit_ends[0], commit_ends[1]))
+//   ...
+//
+// A meeting is assigned to the first wave whose preceding commit runs
+// cover *all of its earlier conflicting meetings* — so when its plan
+// executes, every meeting that could have changed its two nodes' state
+// has already committed, and the plan reads exactly the state the
+// sequential fused walk would have seen. Commits perform every RNG draw
+// in trace order, so the draws land in the sequential order too.
+//
+// Unlike a contiguous-prefix partition, waves here are *antichains*: a
+// wave may reach far past the commit cursor and pick up every meeting
+// whose conflicts are already committed. That matters because
+// ContactTrace sorts each slot's events by node id, which makes a
+// node's meetings adjacent — contiguous prefix waves degenerate to
+// width ~2 on dense slots, while antichain waves stay as wide as the
+// slot's conflict graph allows (its maximal independent prefix sets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "impatience/trace/contact.hpp"
+
+namespace impatience::trace {
+
+/// Reusable conflict scheduler. Scratch (one epoch stamp plus a last-
+/// seen index per node, and the per-meeting wave numbers) lives across
+/// calls, so per-batch cost is O(batch) with no allocation after the
+/// first schedule of comparable size.
+class WavePartitioner {
+ public:
+  explicit WavePartitioner(NodeId num_nodes);
+
+  /// Computes the wave/commit schedule of `events` (all outputs cleared
+  /// first):
+  ///   - `order` is a permutation of [0, events.size()): the meetings
+  ///     grouped by wave, ascending within each wave;
+  ///   - wave k is order[k == 0 ? 0 : wave_ends[k-1], wave_ends[k]),
+  ///     and is node-disjoint;
+  ///   - commit run k is the trace-order index range
+  ///     [k == 0 ? 0 : commit_ends[k-1], commit_ends[k]); runs are
+  ///     non-empty and commit_ends.back() == events.size().
+  /// The schedule contract: every meeting of wave k has all of its
+  /// earlier conflicting meetings inside commit runs < k, and every
+  /// meeting of commit run k is in a wave <= k. Deterministic: the wave
+  /// of a meeting is exactly one more than the commit run of its latest
+  /// earlier conflicting meeting (wave 0 if it has none).
+  void schedule(std::span<const ContactEvent> events,
+                std::vector<std::uint32_t>& order,
+                std::vector<std::size_t>& wave_ends,
+                std::vector<std::size_t>& commit_ends);
+
+  NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(stamp_.size());
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;       // epoch a node was last seen in
+  std::vector<std::uint32_t> last_index_;  // last meeting index, if stamped
+  std::vector<std::uint32_t> wave_of_;     // per-meeting wave number
+  std::vector<std::uint32_t> run_of_;      // running max of wave_of_
+  std::vector<std::size_t> bucket_;        // counting-sort scratch
+  std::uint32_t epoch_ = 0;
+};
+
+/// Available intra-slot parallelism of a trace, measured with the same
+/// antichain schedule the simulator's parallel meeting path uses
+/// (ContactTrace::slot_conflict_stats). All "per slot" figures are over
+/// *active* slots (slots with at least one meeting).
+struct SlotConflictStats {
+  std::size_t active_slots = 0;       ///< slots with >= 1 meeting
+  std::size_t max_slot_meetings = 0;  ///< densest slot's meeting count
+  double mean_slot_meetings = 0.0;    ///< meetings per active slot
+  std::size_t max_distinct_nodes = 0; ///< most distinct nodes in one slot
+  std::size_t max_wave_depth = 0;     ///< most waves needed by one slot
+  double mean_wave_depth = 0.0;       ///< waves per active slot
+  double mean_wave_width = 0.0;       ///< meetings per wave (all slots)
+};
+
+}  // namespace impatience::trace

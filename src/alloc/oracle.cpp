@@ -322,12 +322,15 @@ double MarginalOracle::item_welfare_term(ItemId i) const {
   const utility::DelayUtility& u = *utility_[i];
   const std::size_t base = static_cast<std::size_t>(i) * C;
   const double* pi = pi_row(i);
+  // Row pointers hoisted out of the fold: the SoA rows are contiguous,
+  // so the indexing below is a plain unit-stride walk.
+  const double* M_row = M_.data() + base;
+  const auto* holds_row = holds_.data() + base;
   double item_total = 0.0;
   for (std::size_t n = 0; n < C; ++n) {
     const double p = pi ? pi[n] : uniform_pi_;
     if (p == 0.0) continue;
-    item_total +=
-        p * detail::request_gain(u, M_[base + n], holds_[base + n] > 0);
+    item_total += p * detail::request_gain(u, M_row[n], holds_row[n] > 0);
   }
   return item_total;
 }

@@ -10,6 +10,7 @@ MandateBag::MandateBag(ItemId num_items) {
     throw std::invalid_argument("MandateBag: need at least one item");
   }
   count_.assign(num_items, 0);
+  pos_.assign(num_items, kAbsent);
 }
 
 long MandateBag::count(ItemId item) const {
@@ -19,6 +20,21 @@ long MandateBag::count(ItemId item) const {
   return count_[item];
 }
 
+void MandateBag::activate(ItemId item) {
+  pos_[item] = static_cast<std::uint32_t>(active_.size());
+  active_.push_back(item);
+}
+
+void MandateBag::deactivate(ItemId item) {
+  // Swap-remove from the active list, fixing the moved item's index.
+  const std::uint32_t at = pos_[item];
+  const ItemId moved = active_.back();
+  active_[at] = moved;
+  pos_[moved] = at;
+  active_.pop_back();
+  pos_[item] = kAbsent;
+}
+
 void MandateBag::add(ItemId item, long n) {
   if (item >= count_.size()) {
     throw std::out_of_range("MandateBag::add: bad item");
@@ -26,6 +42,7 @@ void MandateBag::add(ItemId item, long n) {
   if (n < 0) {
     throw std::invalid_argument("MandateBag::add: negative count");
   }
+  if (n > 0 && count_[item] == 0) activate(item);
   count_[item] += n;
   total_ += n;
 }
@@ -40,21 +57,24 @@ long MandateBag::take(ItemId item, long n) {
   const long taken = std::min(n, count_[item]);
   count_[item] -= taken;
   total_ -= taken;
+  if (taken > 0 && count_[item] == 0) deactivate(item);
   return taken;
 }
 
 long MandateBag::drain() {
   const long lost = total_;
-  count_.assign(count_.size(), 0);
+  for (ItemId item : active_) {
+    count_[item] = 0;
+    pos_[item] = kAbsent;
+  }
+  active_.clear();
   total_ = 0;
   return lost;
 }
 
 std::vector<ItemId> MandateBag::active_items() const {
-  std::vector<ItemId> out;
-  for (ItemId i = 0; i < count_.size(); ++i) {
-    if (count_[i] > 0) out.push_back(i);
-  }
+  std::vector<ItemId> out = active_;
+  std::sort(out.begin(), out.end());
   return out;
 }
 

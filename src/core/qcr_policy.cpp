@@ -49,6 +49,10 @@ void QcrPolicy::on_fulfillment(Node& requester, Node& /*provider*/,
 }
 
 void QcrPolicy::on_meeting_complete(Node& a, Node& b, util::Rng& rng) {
+  // Both bags empty means both phases iterate an empty union and draw
+  // nothing — skip the scratch work entirely (the common case: mandates
+  // concentrate on few nodes).
+  if (a.mandates().empty() && b.mandates().empty()) return;
   execute_mandates(a, b, rng);
   if (routing_ == MandateRouting::kOn) {
     route_mandates(a, b, rng);
@@ -56,9 +60,13 @@ void QcrPolicy::on_meeting_complete(Node& a, Node& b, util::Rng& rng) {
 }
 
 void QcrPolicy::execute_mandates(Node& a, Node& b, util::Rng& rng) {
-  // Union of items with mandates on either side.
-  auto items = a.mandates().active_items();
-  for (ItemId i : b.mandates().active_items()) items.push_back(i);
+  // Union of items with mandates on either side. Sorting keeps the
+  // execution order (and hence the RNG draw order) identical to the
+  // former sorted active_items() walk.
+  auto& items = items_scratch_;
+  items.clear();
+  a.mandates().append_active_items(items);
+  b.mandates().append_active_items(items);
   std::sort(items.begin(), items.end());
   items.erase(std::unique(items.begin(), items.end()), items.end());
 
@@ -92,8 +100,10 @@ void QcrPolicy::execute_mandates(Node& a, Node& b, util::Rng& rng) {
 }
 
 void QcrPolicy::route_mandates(Node& a, Node& b, util::Rng& rng) {
-  auto items = a.mandates().active_items();
-  for (ItemId i : b.mandates().active_items()) items.push_back(i);
+  auto& items = items_scratch_;
+  items.clear();
+  a.mandates().append_active_items(items);
+  b.mandates().append_active_items(items);
   std::sort(items.begin(), items.end());
   items.erase(std::unique(items.begin(), items.end()), items.end());
 

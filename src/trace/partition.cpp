@@ -1,0 +1,88 @@
+#include <limits>
+#include <stdexcept>
+
+#include "impatience/trace/partition.hpp"
+
+namespace impatience::trace {
+
+WavePartitioner::WavePartitioner(NodeId num_nodes) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("WavePartitioner: need at least one node");
+  }
+  stamp_.assign(num_nodes, 0);
+  last_index_.assign(num_nodes, 0);
+}
+
+void WavePartitioner::schedule(std::span<const ContactEvent> events,
+                               std::vector<std::uint32_t>& order,
+                               std::vector<std::size_t>& wave_ends,
+                               std::vector<std::size_t>& commit_ends) {
+  order.clear();
+  wave_ends.clear();
+  commit_ends.clear();
+  const std::size_t n = events.size();
+  if (n == 0) return;
+
+  // Epoch stamps avoid clearing the per-node arrays between batches;
+  // the wrap resets them once per ~2^32 calls.
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    stamp_.assign(stamp_.size(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+
+  // Pass 1 — waves and commit runs in one trace-order sweep.
+  //
+  // run_of_[j] is the commit run meeting j lands in. Commit runs walk
+  // the batch in index order, stalling exactly at the first meeting
+  // whose wave has not been planned yet, so run_of_[j] is the running
+  // maximum of the wave numbers up to j. A meeting's plan is safe as
+  // soon as its latest earlier conflicting meeting (lcp) has committed,
+  // which happens at the end of run run_of_[lcp] — hence
+  //   wave_of_[i] = run_of_[lcp(i)] + 1   (0 with no conflict).
+  wave_of_.resize(n);
+  run_of_.resize(n);
+  std::uint32_t depth = 0;  // number of waves == number of runs
+  for (std::size_t i = 0; i < n; ++i) {
+    const ContactEvent& e = events[i];
+    std::uint32_t wave = 0;
+    if (stamp_[e.a] == epoch_) {
+      wave = run_of_[last_index_[e.a]] + 1;
+    }
+    if (stamp_[e.b] == epoch_) {
+      wave = std::max(wave, run_of_[last_index_[e.b]] + 1);
+    }
+    wave_of_[i] = wave;
+    run_of_[i] = i == 0 ? wave : std::max(run_of_[i - 1], wave);
+    depth = std::max(depth, wave + 1);
+    stamp_[e.a] = epoch_;
+    stamp_[e.b] = epoch_;
+    last_index_[e.a] = static_cast<std::uint32_t>(i);
+    last_index_[e.b] = static_cast<std::uint32_t>(i);
+  }
+
+  // Pass 2 — counting sort by wave: `order` lists each wave's meetings
+  // ascending (the stable order of the sweep).
+  bucket_.assign(depth + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++bucket_[wave_of_[i] + 1];
+  for (std::uint32_t w = 0; w < depth; ++w) bucket_[w + 1] += bucket_[w];
+  wave_ends.reserve(depth);
+  for (std::uint32_t w = 0; w < depth; ++w) {
+    wave_ends.push_back(bucket_[w + 1]);
+  }
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[bucket_[wave_of_[i]]++] = static_cast<std::uint32_t>(i);
+  }
+
+  // Pass 3 — commit boundaries: run k ends at the first meeting of a
+  // later wave (run_of_ is non-decreasing, so one forward scan).
+  commit_ends.reserve(depth);
+  std::size_t idx = 0;
+  for (std::uint32_t k = 0; k < depth; ++k) {
+    while (idx < n && run_of_[idx] <= k) ++idx;
+    commit_ends.push_back(idx);
+  }
+}
+
+}  // namespace impatience::trace

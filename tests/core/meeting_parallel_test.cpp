@@ -1,0 +1,434 @@
+// Bit-identity of the parallel meeting path: for any thread count,
+// core::simulate with meeting_parallelism N must produce the exact
+// SimulationResult of the sequential fused walk (meeting_parallelism 0)
+// — same RNG draws, same floating-point sums, same pending compaction —
+// across both kernels and fault-active runs. Plus property tests of the
+// conflict-scheduling WavePartitioner the parallel path relies on, and a
+// dense-slot stress that doubles as the ThreadSanitizer target
+// (scripts/check_engine_tsan.sh). Runs under `ctest -L sim`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "impatience/core/experiment.hpp"
+#include "impatience/engine/seeding.hpp"
+#include "impatience/trace/generators.hpp"
+#include "impatience/trace/partition.hpp"
+#include "impatience/util/rng.hpp"
+#include "impatience/utility/families.hpp"
+
+namespace impatience::core {
+namespace {
+
+/// Exact equality of every result field — doubles with EXPECT_DOUBLE_EQ
+/// (bitwise for finite values), vectors element for element. Any
+/// divergence is a determinism regression in the plan/commit split, not
+/// a tolerance issue.
+void expect_bit_identical(const SimulationResult& ref,
+                          const SimulationResult& got, const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_DOUBLE_EQ(got.total_gain, ref.total_gain);
+  EXPECT_EQ(got.requests_created, ref.requests_created);
+  EXPECT_EQ(got.fulfillments, ref.fulfillments);
+  EXPECT_EQ(got.immediate_fulfillments, ref.immediate_fulfillments);
+  EXPECT_EQ(got.censored_requests, ref.censored_requests);
+  EXPECT_DOUBLE_EQ(got.mean_delay, ref.mean_delay);
+  EXPECT_DOUBLE_EQ(got.mean_query_count, ref.mean_query_count);
+  EXPECT_EQ(got.final_counts, ref.final_counts);
+  EXPECT_EQ(got.outstanding_mandates, ref.outstanding_mandates);
+  EXPECT_EQ(got.mandates_created, ref.mandates_created);
+  EXPECT_EQ(got.replicas_written, ref.replicas_written);
+  EXPECT_EQ(got.faults.meetings_dropped, ref.faults.meetings_dropped);
+  EXPECT_EQ(got.faults.exchanges_truncated, ref.faults.exchanges_truncated);
+  EXPECT_EQ(got.faults.fulfilments_deferred,
+            ref.faults.fulfilments_deferred);
+  EXPECT_EQ(got.faults.crashes, ref.faults.crashes);
+  ASSERT_EQ(got.observed_series.size(), ref.observed_series.size());
+  for (std::size_t i = 0; i < ref.observed_series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got.observed_series[i].value,
+                     ref.observed_series[i].value);
+  }
+}
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+/// Runs `trial` with meeting_parallelism 0 (the bit-locked sequential
+/// reference) and each parallel thread count, for both kernels, and
+/// asserts exact equality throughout.
+template <typename Trial>
+void expect_parallel_bit_identical(Trial&& trial) {
+  const SimKernel kernels[2] = {SimKernel::slot_stepped,
+                                SimKernel::event_driven};
+  for (SimKernel kernel : kernels) {
+    const SimulationResult ref = trial(kernel, 0);
+    for (int threads : kThreadCounts) {
+      const SimulationResult got = trial(kernel, threads);
+      const std::string what =
+          std::string(kernel == SimKernel::slot_stepped ? "slot" : "event") +
+          " threads=" + std::to_string(threads);
+      expect_bit_identical(ref, got, what.c_str());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Simulation bit-identity across thread counts.
+
+TEST(MeetingParallel, InfocomFixedPlacementBitIdentical) {
+  util::Rng gen(71);
+  trace::InfocomLikeParams params;
+  params.num_nodes = 24;
+  params.days = 1;
+  auto tr = trace::generate_infocom_like(params, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(25, 1.0, 2.0), 4);
+  utility::StepUtility u(30.0);
+  util::Rng prng(72);
+  const auto competitors =
+      build_competitors(scenario, u, OptMode::kHomogeneous, prng);
+  const auto& uni = competitors[1];
+  expect_parallel_bit_identical([&](SimKernel kernel, int threads) {
+    SimOptions options;
+    options.kernel = kernel;
+    options.meeting_parallelism = threads;
+    util::Rng rng(4242);
+    return run_fixed(scenario, u, uni.name, uni.placement, options, rng);
+  });
+}
+
+TEST(MeetingParallel, PoissonQcrBitIdentical) {
+  // QCR is the RNG-heavy policy: on_meeting_complete draws on every
+  // meeting, so any out-of-order commit shifts every later draw.
+  util::Rng gen(81);
+  auto tr = trace::generate_poisson({24, 1200, 0.06}, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(20, 1.0, 2.0), 4);
+  utility::StepUtility u(15.0);
+  expect_parallel_bit_identical([&](SimKernel kernel, int threads) {
+    SimOptions options;
+    options.kernel = kernel;
+    options.meeting_parallelism = threads;
+    util::Rng rng(9001);
+    return run_qcr(scenario, u, QcrOptions{}, options, rng);
+  });
+}
+
+TEST(MeetingParallel, FaultCocktailQcrBitIdentical) {
+  // Full fault cocktail: drops, truncation (budgeted commits), dups,
+  // reordering and crashes. The parallel path shares the staging pass
+  // with the sequential walk and must consume the fault streams — and
+  // the simulation RNG — draw for draw.
+  util::Rng gen(91);
+  auto tr = trace::generate_poisson({20, 1200, 0.05}, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(20, 1.0, 2.0), 4);
+  utility::StepUtility u(20.0);
+  expect_parallel_bit_identical([&](SimKernel kernel, int threads) {
+    SimOptions options;
+    options.kernel = kernel;
+    options.meeting_parallelism = threads;
+    options.faults.p_drop = 0.05;
+    options.faults.p_truncate = 0.15;
+    options.faults.p_duplicate = 0.03;
+    options.faults.p_reorder = 0.1;
+    options.faults.p_crash = 0.001;
+    options.faults.mean_downtime = 20.0;
+    options.faults.seed = 3131;
+    util::Rng rng(515);
+    const auto r = run_qcr(scenario, u, QcrOptions{}, options, rng);
+    if (threads == 0) {
+      EXPECT_GT(r.faults.injected_events(), 0u);
+      EXPECT_GT(r.faults.exchanges_truncated, 0u);
+    }
+    return r;
+  });
+}
+
+TEST(MeetingParallel, SparseCabspottingExponentialBitIdentical) {
+  // Sparse vehicular trace: mostly singleton waves, exercising the
+  // inline-planning path (batches below the fan-out threshold).
+  util::Rng gen(61);
+  trace::CabspottingLikeParams params;
+  params.mobility.num_nodes = 20;
+  params.duration = 1200;
+  auto tr = trace::generate_cabspotting_like(params, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(25, 1.0, 2.0), 4);
+  utility::ExponentialUtility u(0.05);
+  util::Rng prng(62);
+  const auto competitors =
+      build_competitors(scenario, u, OptMode::kHomogeneous, prng);
+  const auto& uni = competitors[1];
+  expect_parallel_bit_identical([&](SimKernel kernel, int threads) {
+    SimOptions options;
+    options.kernel = kernel;
+    options.meeting_parallelism = threads;
+    util::Rng rng(303);
+    return run_fixed(scenario, u, uni.name, uni.placement, options, rng);
+  });
+}
+
+TEST(MeetingParallel, AutoParallelismMatchesSequential) {
+  // meeting_parallelism = -1 resolves against the machine's core count;
+  // whatever it resolves to must still be bit-identical.
+  util::Rng gen(51);
+  auto tr = trace::generate_poisson({20, 800, 0.05}, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(20, 1.0, 2.0), 4);
+  utility::StepUtility u(15.0);
+  auto run = [&](int threads) {
+    SimOptions options;
+    options.meeting_parallelism = threads;
+    util::Rng rng(707);
+    return run_qcr(scenario, u, QcrOptions{}, options, rng);
+  };
+  expect_bit_identical(run(0), run(-1), "auto");
+}
+
+// ---------------------------------------------------------------------
+// Dense-slot stress: a large conference-style slot load with QCR and
+// maximum fan-out. Primarily a ThreadSanitizer target — plan waves race
+// only if the conflict partition or the plan/commit barrier is wrong —
+// but the bit-identity check keeps it honest in plain builds too.
+
+TEST(MeetingParallel, DenseSlotStress) {
+  util::Rng gen(41);
+  trace::InfocomLikeParams params;
+  params.num_nodes = 60;
+  params.days = 1;
+  auto tr = trace::generate_infocom_like(params, gen);
+  auto scenario =
+      make_scenario(std::move(tr), Catalog::pareto(40, 1.0, 8.0), 4);
+  utility::StepUtility u(60.0);
+  auto run = [&](int threads) {
+    SimOptions options;
+    options.meeting_parallelism = threads;
+    util::Rng rng(1117);
+    return run_qcr(scenario, u, QcrOptions{}, options, rng);
+  };
+  expect_bit_identical(run(0), run(8), "dense threads=8");
+}
+
+// ---------------------------------------------------------------------
+// WavePartitioner properties. The schedule contract (partition.hpp):
+// `order` is a wave-grouped permutation of the batch, each wave is node-
+// disjoint, commit runs are non-empty trace-order ranges covering the
+// batch, every meeting's earlier conflicts commit before its wave is
+// planned, and every meeting commits no earlier than its wave.
+
+std::vector<trace::ContactEvent> random_batch(util::Rng& rng,
+                                              trace::NodeId num_nodes,
+                                              std::size_t size) {
+  std::vector<trace::ContactEvent> events;
+  events.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const auto a = static_cast<trace::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_nodes) - 1));
+    auto b = static_cast<trace::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_nodes) - 1));
+    if (b == a) b = static_cast<trace::NodeId>((b + 1) % num_nodes);
+    events.push_back({0, a, b});
+  }
+  return events;
+}
+
+bool conflicts(const trace::ContactEvent& x, const trace::ContactEvent& y) {
+  return x.a == y.a || x.a == y.b || x.b == y.a || x.b == y.b;
+}
+
+void check_schedule(const std::vector<trace::ContactEvent>& events,
+                    const std::vector<std::uint32_t>& order,
+                    const std::vector<std::size_t>& wave_ends,
+                    const std::vector<std::size_t>& commit_ends,
+                    trace::NodeId num_nodes) {
+  const std::size_t n = events.size();
+  if (n == 0) {
+    EXPECT_TRUE(order.empty());
+    EXPECT_TRUE(wave_ends.empty());
+    EXPECT_TRUE(commit_ends.empty());
+    return;
+  }
+  // One commit run per wave; runs are non-empty, increasing, and end at
+  // the batch size.
+  ASSERT_EQ(wave_ends.size(), commit_ends.size());
+  ASSERT_FALSE(wave_ends.empty());
+  ASSERT_EQ(order.size(), n);
+  std::size_t prev = 0;
+  for (std::size_t end : commit_ends) {
+    ASSERT_GT(end, prev);
+    ASSERT_LE(end, n);
+    prev = end;
+  }
+  ASSERT_EQ(commit_ends.back(), n);
+  ASSERT_EQ(wave_ends.back(), n);
+
+  // order is a permutation; reconstruct each meeting's wave.
+  std::vector<std::size_t> wave_of(n, SIZE_MAX);
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < wave_ends.size(); ++w) {
+    ASSERT_GE(wave_ends[w], begin);
+    for (std::size_t k = begin; k < wave_ends[w]; ++k) {
+      ASSERT_LT(order[k], n);
+      EXPECT_EQ(wave_of[order[k]], SIZE_MAX)
+          << "meeting " << order[k] << " scheduled twice";
+      wave_of[order[k]] = w;
+    }
+    begin = wave_ends[w];
+  }
+  // run_of: the commit run each trace index falls into.
+  std::vector<std::size_t> run_of(n);
+  for (std::size_t i = 0, run = 0; i < n; ++i) {
+    while (i >= commit_ends[run]) ++run;
+    run_of[i] = run;
+  }
+  // Node-disjointness within each wave.
+  std::vector<std::size_t> seen(static_cast<std::size_t>(num_nodes),
+                                SIZE_MAX);
+  begin = 0;
+  for (std::size_t w = 0; w < wave_ends.size(); ++w) {
+    for (std::size_t k = begin; k < wave_ends[w]; ++k) {
+      const trace::ContactEvent& e = events[order[k]];
+      EXPECT_NE(seen[e.a], w) << "node " << e.a << " twice in wave " << w;
+      EXPECT_NE(seen[e.b], w) << "node " << e.b << " twice in wave " << w;
+      seen[e.a] = w;
+      seen[e.b] = w;
+    }
+    begin = wave_ends[w];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // A meeting may only commit once its wave has been planned.
+    EXPECT_GE(run_of[i], wave_of[i]) << "meeting " << i;
+    // Plan safety + tightness: every earlier conflicting meeting commits
+    // in a run before this meeting's wave, and the wave is exactly one
+    // past the latest such run (wave 0 iff no earlier conflict).
+    std::size_t latest_run = 0;
+    bool has_conflict = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (conflicts(events[j], events[i])) {
+        has_conflict = true;
+        EXPECT_LT(run_of[j], wave_of[i])
+            << "meeting " << i << " planned before conflict " << j
+            << " committed";
+        latest_run = std::max(latest_run, run_of[j]);
+      }
+    }
+    EXPECT_EQ(wave_of[i], has_conflict ? latest_run + 1 : 0)
+        << "meeting " << i << " not scheduled greedily";
+  }
+}
+
+void schedule_and_check(trace::WavePartitioner& partitioner,
+                        const std::vector<trace::ContactEvent>& events,
+                        trace::NodeId num_nodes) {
+  std::vector<std::uint32_t> order;
+  std::vector<std::size_t> wave_ends;
+  std::vector<std::size_t> commit_ends;
+  partitioner.schedule(events, order, wave_ends, commit_ends);
+  check_schedule(events, order, wave_ends, commit_ends, num_nodes);
+}
+
+TEST(WavePartitioner, RandomBatchesSatisfyContract) {
+  constexpr trace::NodeId kNodes = 16;
+  trace::WavePartitioner partitioner(kNodes);
+  util::Rng rng(2718);
+  for (int round = 0; round < 200; ++round) {
+    const auto size = static_cast<std::size_t>(rng.uniform_int(0, 40));
+    schedule_and_check(partitioner, random_batch(rng, kNodes, size),
+                       kNodes);
+  }
+}
+
+TEST(WavePartitioner, DisjointBatchIsOneWave) {
+  trace::WavePartitioner partitioner(8);
+  std::vector<std::uint32_t> order;
+  std::vector<std::size_t> wave_ends;
+  std::vector<std::size_t> commit_ends;
+  const std::vector<trace::ContactEvent> events{
+      {0, 0, 1}, {0, 2, 3}, {0, 4, 5}, {0, 6, 7}};
+  partitioner.schedule(events, order, wave_ends, commit_ends);
+  ASSERT_EQ(wave_ends.size(), 1u);
+  EXPECT_EQ(wave_ends[0], 4u);
+  ASSERT_EQ(commit_ends.size(), 1u);
+  EXPECT_EQ(commit_ends[0], 4u);
+}
+
+TEST(WavePartitioner, RepeatedPairIsOneWavePerMeeting) {
+  trace::WavePartitioner partitioner(4);
+  std::vector<std::uint32_t> order;
+  std::vector<std::size_t> wave_ends;
+  std::vector<std::size_t> commit_ends;
+  const std::vector<trace::ContactEvent> events{
+      {0, 0, 1}, {0, 0, 1}, {0, 1, 0}};
+  partitioner.schedule(events, order, wave_ends, commit_ends);
+  ASSERT_EQ(wave_ends.size(), 3u);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(commit_ends, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(WavePartitioner, AntichainReachesPastTheCommitCursor) {
+  // Node-sorted slot, the shape ContactTrace produces: (0,1) (0,2) then
+  // two independent meetings. A contiguous-prefix cut would end the
+  // first wave at (0,2); the antichain schedule reaches past it and
+  // plans (4,5) and (6,7) in wave 0 too.
+  trace::WavePartitioner partitioner(8);
+  std::vector<std::uint32_t> order;
+  std::vector<std::size_t> wave_ends;
+  std::vector<std::size_t> commit_ends;
+  const std::vector<trace::ContactEvent> events{
+      {0, 0, 1}, {0, 0, 2}, {0, 4, 5}, {0, 6, 7}};
+  partitioner.schedule(events, order, wave_ends, commit_ends);
+  ASSERT_EQ(wave_ends.size(), 2u);
+  // Wave 0 = {0, 2, 3}: everything but the dependent (0,2).
+  EXPECT_EQ(wave_ends[0], 3u);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 2, 3, 1}));
+  // Run 0 commits only meeting 0 (stalls at the unplanned (0,2)); run 1
+  // commits the rest.
+  EXPECT_EQ(commit_ends, (std::vector<std::size_t>{1, 4}));
+  check_schedule(events, order, wave_ends, commit_ends, 8);
+}
+
+TEST(WavePartitioner, PlanWaitsForCommitNotJustPlan) {
+  // (3,5) conflicts only with (3,4), which is *planned* in wave 0 but
+  // cannot *commit* until run 1 (the cursor stalls at (0,2)). (3,5)
+  // must therefore wait for wave 2 — planning it in wave 1 would read
+  // (3,4)'s pre-commit state.
+  trace::WavePartitioner partitioner(8);
+  std::vector<std::uint32_t> order;
+  std::vector<std::size_t> wave_ends;
+  std::vector<std::size_t> commit_ends;
+  const std::vector<trace::ContactEvent> events{
+      {0, 0, 1}, {0, 0, 2}, {0, 3, 4}, {0, 3, 5}};
+  partitioner.schedule(events, order, wave_ends, commit_ends);
+  ASSERT_EQ(wave_ends.size(), 3u);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 2, 1, 3}));
+  EXPECT_EQ(commit_ends, (std::vector<std::size_t>{1, 3, 4}));
+  check_schedule(events, order, wave_ends, commit_ends, 8);
+}
+
+TEST(WavePartitioner, EmptyBatchYieldsNoWaves) {
+  trace::WavePartitioner partitioner(4);
+  std::vector<std::uint32_t> order{7};       // must all be cleared
+  std::vector<std::size_t> wave_ends{99};
+  std::vector<std::size_t> commit_ends{99};
+  partitioner.schedule({}, order, wave_ends, commit_ends);
+  EXPECT_TRUE(order.empty());
+  EXPECT_TRUE(wave_ends.empty());
+  EXPECT_TRUE(commit_ends.empty());
+}
+
+TEST(WavePartitioner, ReusableAcrossManyBatches) {
+  // The epoch-stamp scratch must not leak state between batches, even
+  // across thousands of calls.
+  constexpr trace::NodeId kNodes = 6;
+  trace::WavePartitioner partitioner(kNodes);
+  util::Rng rng(31415);
+  for (int round = 0; round < 2000; ++round) {
+    schedule_and_check(partitioner, random_batch(rng, kNodes, 8), kNodes);
+  }
+}
+
+}  // namespace
+}  // namespace impatience::core
