@@ -1,0 +1,129 @@
+// replfeed — resilient stream feeder for replicationd
+// (docs/robustness.md §7).
+//
+// Streams an event file to the daemon's Unix-domain socket with the
+// H/S seq-cursor handshake: on any disconnect it backs off (seeded
+// exponential + jitter), reconnects, asks the daemon where it stopped,
+// and resumes from there — so the run completes with every frame applied
+// exactly once no matter how often the connection (or the daemon) dies.
+//
+//   replfeed --socket /tmp/repl.sock --input events.txt --seed 7
+//   replfeed ... --chaos-reset 0.01 --chaos-partial 0.01
+//       --chaos-garbage 0.005 --chaos-stall 0.02 --chaos-seed 42
+//
+// The --chaos-* flags drive the deterministic network-fault shim; its
+// injection counters are printed at exit and served at GET /metrics when
+// --port is given.
+#include <csignal>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "impatience/service/feeder.hpp"
+#include "impatience/service/http.hpp"
+#include "impatience/util/errors.hpp"
+#include "impatience/util/flags.hpp"
+
+namespace {
+
+using namespace impatience;
+
+util::CancellationToken* g_token = nullptr;
+
+void handle_signal(int) {
+  if (g_token) g_token->cancel(util::CancelReason::shutdown);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  if (flags.get_bool("help", false)) {
+    std::cout <<
+        "replfeed --socket PATH --input FILE [flags]\n"
+        "\n"
+        "Retry:      --seed N --backoff-base DUR --backoff-max DUR\n"
+        "            --max-attempts N (0 = retry forever)\n"
+        "            --reply-timeout DUR --quit BOOL\n"
+        "Chaos:      --chaos-reset P --chaos-partial P --chaos-garbage P\n"
+        "            --chaos-stall P --chaos-stall-max DUR\n"
+        "            --chaos-garbage-max BYTES --chaos-seed N\n"
+        "Monitor:    --port N (0 = ephemeral, -1 = off; serves /metrics)\n";
+    return 0;
+  }
+
+  try {
+    service::FeederConfig config;
+    config.socket_path = flags.get_string("socket", "");
+    config.input_path = flags.get_string("input", "");
+    if (config.socket_path.empty() || config.input_path.empty()) {
+      std::cerr << "replfeed: --socket and --input are required\n";
+      return 2;
+    }
+    config.seed = static_cast<std::uint64_t>(flags.get_long("seed", 1));
+    config.backoff.base_seconds = flags.get_duration("backoff-base", 0.05);
+    config.backoff.max_seconds = flags.get_duration("backoff-max", 2.0);
+    config.max_attempts = flags.get_int("max-attempts", 0);
+    config.reply_timeout_s = flags.get_duration("reply-timeout", 10.0);
+    config.send_quit = flags.get_bool("quit", false);
+    config.chaos.p_reset = flags.get_double("chaos-reset", 0.0);
+    config.chaos.p_partial = flags.get_double("chaos-partial", 0.0);
+    config.chaos.p_garbage = flags.get_double("chaos-garbage", 0.0);
+    config.chaos.p_stall = flags.get_double("chaos-stall", 0.0);
+    config.chaos.stall_max_seconds =
+        flags.get_duration("chaos-stall-max", 0.005);
+    config.chaos.garbage_max_bytes = static_cast<std::size_t>(
+        flags.get_long("chaos-garbage-max", 64));
+    config.chaos.seed =
+        static_cast<std::uint64_t>(flags.get_long("chaos-seed", 1));
+    const int port = flags.get_int("port", -1);
+
+    service::StreamFeeder feeder(config);
+
+    util::CancellationToken token;
+    g_token = &token;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::unique_ptr<service::HttpServer> http;
+    if (port >= 0) {
+      http = std::make_unique<service::HttpServer>(
+          [&feeder](const std::string& path) -> service::HttpResponse {
+            if (path == "/metrics") {
+              return {200, "text/plain; charset=utf-8",
+                      render_feeder_metrics(feeder.snapshot_report())};
+            }
+            if (path == "/healthz") {
+              return {200, "text/plain; charset=utf-8", "ok\n"};
+            }
+            return {404, "text/plain; charset=utf-8", "not found\n"};
+          },
+          static_cast<std::uint16_t>(port));
+      std::cerr << "replfeed: http=127.0.0.1:" << http->port() << '\n';
+    }
+
+    std::cerr << "replfeed: streaming " << feeder.frames_total()
+              << " frames to " << config.socket_path
+              << (config.chaos.any() ? " (chaos on)" : "") << '\n';
+
+    const service::FeederReport report = feeder.run(&token);
+    g_token = nullptr;
+    if (http) http->stop();
+
+    std::cerr << "replfeed: " << (report.complete ? "complete" : "INCOMPLETE")
+              << ", sent " << report.frames_sent << "/"
+              << report.frames_total << " frames over "
+              << report.connections << " connections, "
+              << report.handshakes << " handshakes, "
+              << report.reconnect_backoffs << " backoffs; chaos: "
+              << report.chaos.resets << " resets, "
+              << report.chaos.partial_writes << " partial, "
+              << report.chaos.garbage_bursts << " garbage, "
+              << report.chaos.stalls << " stalls\n";
+    return report.complete ? 0 : 4;
+  } catch (const std::exception& e) {
+    std::cerr << "replfeed: " << e.what() << '\n';
+    return 1;
+  }
+}

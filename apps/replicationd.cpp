@@ -86,6 +86,9 @@ int run_daemon(const util::Flags& flags) {
   config.socket_path = flags.get_string("socket", "");
   config.input_path = flags.get_string("input", "-");
   config.follow = flags.get_bool("follow", false);
+  config.follow_poll_s = flags.get_duration("follow-poll", 0.05);
+  config.ingest_buffer_bytes = static_cast<std::size_t>(
+      flags.get_long("ingest-buffer", 256 * 1024));
   config.http_port = flags.get_int("port", 0);
   config.snapshot_path = flags.get_string("snapshot", "");
   config.snapshot_interval_s = flags.get_duration("snapshot-interval", 0.0);
@@ -153,6 +156,8 @@ int main(int argc, char** argv) {
         "            --mu X --scale X --sticky BOOL --mandate-routing BOOL\n"
         "            --seed N\n"
         "Ingest:     --socket PATH | --input FILE|- [--follow]\n"
+        "            --follow-poll DUR (EOF poll period, default 50ms)\n"
+        "            --ingest-buffer BYTES (socket buffer cap)\n"
         "Monitor:    --port N (0 = ephemeral, -1 = off) --announce FILE\n"
         "Snapshots:  --snapshot FILE --snapshot-interval DUR\n"
         "            --snapshot-every N --restore\n"

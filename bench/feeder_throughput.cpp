@@ -1,0 +1,159 @@
+// Feeder throughput: end-to-end frames/sec of service::StreamFeeder
+// against a minimal handshake-speaking Unix-socket sink, with the chaos
+// shim off vs. engaged at a fixed low fault rate (the overhead of seeded
+// resets/partial-writes/garbage plus the reconnect + re-handshake +
+// re-seek cycle). Backoff base is zero so the numbers measure protocol
+// work, not sleeps. Compiled into micro_benchmarks so
+// scripts/bench_snapshot.sh snapshots the *_mean numbers per PR.
+#include <benchmark/benchmark.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "impatience/service/feeder.hpp"
+#include "impatience/service/protocol.hpp"
+
+namespace {
+
+using namespace impatience;
+
+std::string bench_path(const char* stem) {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp ? tmp : "/tmp") + "/" + stem + "_" +
+         std::to_string(::getpid());
+}
+
+/// Minimal stand-in for replicationd's ingest side: accepts one
+/// connection at a time, counts complete countable lines (the seq
+/// cursor), answers H frames with the S reply, and discards any torn
+/// fragment at disconnect — exactly the framing the feeder relies on,
+/// with none of the state-store apply cost.
+class HandshakeSink {
+ public:
+  explicit HandshakeSink(std::string path) : path_(std::move(path)) {
+    ::unlink(path_.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+    ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    ::listen(listen_fd_, 8);
+    thread_ = std::thread([this] { serve(); });
+  }
+
+  ~HandshakeSink() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+
+  const std::string& path() const { return path_; }
+  void reset() { count_.store(0, std::memory_order_relaxed); }
+
+ private:
+  bool stopped() const { return stop_.load(std::memory_order_relaxed); }
+
+  void serve() {
+    while (!stopped()) {
+      pollfd lp{listen_fd_, POLLIN, 0};
+      if (::poll(&lp, 1, 20) <= 0) continue;
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) continue;
+      std::string buffer;
+      char buf[4096];
+      while (!stopped()) {
+        pollfd cp{conn, POLLIN, 0};
+        if (::poll(&cp, 1, 20) <= 0) continue;
+        const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        buffer.append(buf, static_cast<std::size_t>(n));
+        std::size_t pos = 0;
+        for (std::size_t nl; (nl = buffer.find('\n', pos)) !=
+                             std::string::npos;
+             pos = nl + 1) {
+          const std::string line = buffer.substr(pos, nl - pos);
+          if (service::classify_line(line) == service::LineClass::hello) {
+            const std::string reply =
+                service::format_seq_reply(
+                    count_.load(std::memory_order_relaxed)) +
+                "\n";
+            ::send(conn, reply.data(), reply.size(), MSG_NOSIGNAL);
+          } else {
+            count_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        buffer.erase(0, pos);
+      }
+      ::close(conn);  // torn fragment in `buffer` is dropped, as the
+                      // daemon does after the next handshake
+    }
+  }
+
+  std::string path_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> count_{0};
+  std::thread thread_;
+};
+
+/// arg 0: chaos off; arg 1: chaos engaged at a fixed low seeded rate.
+void BM_FeederThroughput(benchmark::State& state) {
+  const bool chaos = state.range(0) != 0;
+
+  const std::string input = bench_path("feeder_bench_stream");
+  service::StreamConfig stream;
+  stream.events = 2000;
+  stream.num_nodes = 32;
+  stream.num_items = 24;
+  stream.quit = false;
+  {
+    std::ofstream out(input);
+    service::write_stream(out, service::generate_stream(stream, 23));
+  }
+
+  HandshakeSink sink(bench_path("feeder_bench_sock"));
+
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sink.reset();
+    state.ResumeTiming();
+
+    service::FeederConfig config;
+    config.socket_path = sink.path();
+    config.input_path = input;
+    config.seed = 21;
+    config.backoff = {0.0, 0.0};  // no sleeps: measure protocol work
+    config.reply_timeout_s = 5.0;
+    if (chaos) {
+      config.chaos.p_reset = 0.002;
+      config.chaos.p_partial = 0.002;
+      config.chaos.p_garbage = 0.001;
+      config.chaos.seed = 77;
+    }
+    service::StreamFeeder feeder(config);
+    const service::FeederReport report = feeder.run();
+    if (!report.complete) {
+      state.SkipWithError("feeder did not complete");
+      break;
+    }
+    frames = report.frames_total;
+    benchmark::DoNotOptimize(report.frames_sent);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frames));
+  std::remove(input.c_str());
+}
+BENCHMARK(BM_FeederThroughput)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -29,6 +29,27 @@
 
 namespace impatience::service {
 
+/// Ingest-side transport counters (docs/service.md "Handshake and
+/// backpressure"). Atomics: the ingest thread writes, the monitor thread
+/// renders. All are transport state, deliberately *not* persisted into
+/// snapshots — a warm restart starts them at zero.
+struct IngestCounters {
+  /// Feeder connections accepted on the socket source.
+  std::atomic<std::uint64_t> connections{0};
+  /// H frames answered with an S reply.
+  std::atomic<std::uint64_t> hellos{0};
+  /// Disconnects that left an unterminated trailing line buffered.
+  std::atomic<std::uint64_t> frames_partial{0};
+  /// Held fragments discarded because the next connection opened with a
+  /// hello (a resuming feeder re-sends the whole cut frame itself).
+  std::atomic<std::uint64_t> frames_partial_discarded{0};
+  /// Complete lines served while the ingest buffer sat at or above its
+  /// cap — each one is an event the transport deferred reading more for.
+  std::atomic<std::uint64_t> events_deferred{0};
+  /// High-water mark of buffered ingest bytes.
+  std::atomic<std::uint64_t> buffer_high_water{0};
+};
+
 /// A blocking source of protocol lines that honours a stop flag.
 class LineSource {
  public:
@@ -37,17 +58,34 @@ class LineSource {
   /// stream or stop requested; callers distinguish via `stop`.
   virtual std::optional<std::string> next_line(
       const std::atomic<bool>& stop) = 0;
+  /// Best-effort reply on the channel the last line arrived from (the
+  /// hello handshake's S frame). Default: no channel, dropped. Must
+  /// never block the ingest loop.
+  virtual void reply(const std::string& /*line*/) {}
 };
 
-/// Reads a file (or stdin for path "-"). With `follow`, EOF waits for
-/// growth instead of ending the stream (tail -f semantics).
+/// Reads a file (or stdin for path "-"). With `follow`, EOF waits
+/// `poll_seconds` for growth instead of ending the stream (tail -f
+/// semantics); the wait polls `stop` so shutdown stays prompt.
 std::unique_ptr<LineSource> make_file_source(const std::string& path,
-                                             bool follow);
+                                             bool follow,
+                                             double poll_seconds = 0.05);
 
 /// Accepts feeders sequentially on a Unix-domain socket; each connection
 /// streams frames until it closes, then the next feeder can connect.
 /// Binds (and unlinks any stale socket file) at construction.
-std::unique_ptr<LineSource> make_socket_source(const std::string& path);
+///
+/// Framing across disconnects: an unterminated trailing line is *held*
+/// (counted in `counters->frames_partial`) and completed by the next
+/// connection's bytes — unless that connection opens with a hello frame,
+/// which marks a new/resuming feeder that will re-send the cut frame
+/// itself; then the fragment is discarded (`frames_partial_discarded`).
+/// Ingest buffering is bounded at `buffer_bytes`: at or above the cap the
+/// source serves buffered lines without reading more (the kernel socket
+/// buffer then backpressures the feeder), counting `events_deferred`.
+std::unique_ptr<LineSource> make_socket_source(const std::string& path,
+                                               IngestCounters* counters,
+                                               std::size_t buffer_bytes);
 
 struct DaemonConfig {
   StoreConfig store;
@@ -58,6 +96,14 @@ struct DaemonConfig {
   std::string socket_path;
   std::string input_path = "-";
   bool follow = false;
+  /// --follow EOF poll period in seconds (duration-suffixed flag
+  /// --follow-poll); clamped to >= 1 ms.
+  double follow_poll_s = 0.05;
+  /// Ingest buffer cap in bytes for the socket source: at or above it
+  /// the daemon stops reading and lets the kernel socket buffer
+  /// backpressure the feeder (events_deferred counts lines served while
+  /// capped). Clamped to >= 4096.
+  std::size_t ingest_buffer_bytes = 256 * 1024;
 
   /// Metrics endpoint port (0 = ephemeral; read back via http_port()).
   /// -1 disables the endpoint.
@@ -113,6 +159,7 @@ class ReplicationDaemon {
   const StateStore& store() const noexcept { return *store_; }
   StateStore& store() noexcept { return *store_; }
   const ServiceMetrics& metrics() const noexcept { return metrics_; }
+  const IngestCounters& ingest() const noexcept { return ingest_; }
 
  private:
   void snapshot_now();
@@ -124,6 +171,7 @@ class ReplicationDaemon {
   std::unique_ptr<StateStore> store_;
   bool restored_ = false;
   ServiceMetrics metrics_;
+  IngestCounters ingest_;
   std::unique_ptr<LineSource> source_;
   std::unique_ptr<class HttpServer> http_;
 

@@ -1,0 +1,164 @@
+// The resilient replication feeder (docs/robustness.md §7): streams an
+// event file to replicationd's Unix-domain socket and survives anything
+// the network (or the daemon) does to it.
+//
+// Delivery contract:
+//  * at-least-once on the wire — any send failure, disconnect or timeout
+//    triggers seeded exponential backoff (util::backoff_delay, the
+//    engine's retry idiom), reconnect, an H/S handshake, and a resume
+//    from the acked seq cursor;
+//  * exactly-once in the store — the daemon's seq counts every countable
+//    line it applied, so seeking to frame index == acked seq re-sends
+//    only what the daemon never counted. The final store state is
+//    byte-identical to an unbroken run.
+//
+// The socket shim optionally injects deterministic network chaos
+// (ChaosNetConfig): per-frame connection resets, mid-frame partial
+// writes, newline-free garbage bursts and bounded stalls, drawn from the
+// shim's own seeded RNG stream. Injected faults are *recoverable by
+// construction*: garbage and partial writes never complete a countable
+// line (no '\n') and are always followed by a reset, so the daemon holds
+// them as a fragment and discards it at the next handshake — chaos can
+// delay the stream but never corrupt it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "impatience/util/backoff.hpp"
+#include "impatience/util/errors.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::service {
+
+/// Deterministic network-fault plan for the feeder's socket shim.
+/// Mirrors fault::FaultConfig's contract: all draws come from one RNG
+/// stream seeded as child_seed(seed, "chaos-net"), so the same seed
+/// yields the identical injection schedule and ChaosCounters; all-zero
+/// probabilities draw nothing and the shim is bit-identical to no shim.
+struct ChaosNetConfig {
+  /// Per-frame probability of resetting the connection before the frame.
+  double p_reset = 0.0;
+  /// Per-frame probability of sending a strict prefix, then resetting.
+  double p_partial = 0.0;
+  /// Per-frame probability of a newline-free garbage burst, then a reset.
+  double p_garbage = 0.0;
+  /// Per-frame probability of a bounded stall before sending.
+  double p_stall = 0.0;
+
+  /// Stall duration is uniform in (0, stall_max_seconds].
+  double stall_max_seconds = 0.005;
+  /// Garbage burst length is uniform in [1, garbage_max_bytes].
+  std::size_t garbage_max_bytes = 64;
+
+  std::uint64_t seed = 1;
+  /// Engage the shim even when every probability is zero (plumbing
+  /// coverage: the pass-through path must be bit-identical to no shim).
+  bool engage_when_zero = false;
+
+  /// Any probability nonzero?
+  bool any() const noexcept {
+    return p_reset > 0.0 || p_partial > 0.0 || p_garbage > 0.0 ||
+           p_stall > 0.0;
+  }
+  bool engaged() const noexcept { return any() || engage_when_zero; }
+  /// Throws std::invalid_argument on probabilities outside [0, 1] or
+  /// nonpositive bounds.
+  void validate() const;
+};
+
+/// What the shim actually injected (exported via replfeed's /metrics).
+struct ChaosCounters {
+  std::uint64_t resets = 0;
+  std::uint64_t partial_writes = 0;
+  std::uint64_t garbage_bursts = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t bytes_garbage = 0;
+};
+
+struct FeederConfig {
+  /// Daemon's Unix-domain socket path.
+  std::string socket_path;
+  /// Event file to stream. Noise lines (blank / '#') are dropped at load:
+  /// only countable lines occupy frame slots, so frame index i
+  /// corresponds exactly to the daemon's seq cursor value i.
+  std::string input_path;
+
+  /// Seed of the backoff jitter stream (frames carry no randomness).
+  std::uint64_t seed = 1;
+  /// Reconnect backoff: delay k is backoff_delay(backoff, seed, k) — a
+  /// pure function of (policy, seed, attempt), no wall-clock randomness.
+  util::BackoffPolicy backoff{0.05, 2.0};
+  /// Give up after this many consecutive failed attempts; 0 = retry
+  /// forever (until the token cancels).
+  int max_attempts = 0;
+  /// How long to wait for the daemon's S reply to an H frame.
+  double reply_timeout_s = 10.0;
+  /// Send a Q frame once the daemon has acked every frame.
+  bool send_quit = false;
+
+  ChaosNetConfig chaos;
+};
+
+/// Outcome of a feeder run; snapshot_report() serves it live.
+struct FeederReport {
+  /// Countable lines in the input file.
+  std::uint64_t frames_total = 0;
+  /// Wire sends, including re-sends (at-least-once: >= frames acked).
+  std::uint64_t frames_sent = 0;
+  std::uint64_t connections = 0;
+  /// Successful H -> S round trips.
+  std::uint64_t handshakes = 0;
+  std::uint64_t reconnect_backoffs = 0;
+  /// Last seq cursor the daemon acked.
+  std::uint64_t last_acked_seq = 0;
+  /// The daemon acked frames_total (every frame applied exactly once).
+  bool complete = false;
+  ChaosCounters chaos;
+  /// Backoff delays in order (seconds) — the determinism lock: replays
+  /// identically from (backoff policy, seed).
+  std::vector<double> backoff_delays;
+};
+
+/// Renders a feeder report in the /metrics text format (replfeed_* keys).
+std::string render_feeder_metrics(const FeederReport& report);
+
+class StreamFeeder {
+ public:
+  /// Loads and indexes the input file (throws util::IoError when
+  /// unreadable; std::invalid_argument on a bad chaos config).
+  explicit StreamFeeder(const FeederConfig& config);
+
+  /// Streams every frame until the daemon acks them all (complete), the
+  /// attempt budget runs out, or `token` fires. Safe to call once.
+  FeederReport run(const util::CancellationToken* token = nullptr);
+
+  /// Thread-safe copy of the live report (replfeed's /metrics thread
+  /// reads while run() streams).
+  FeederReport snapshot_report() const;
+
+  std::uint64_t frames_total() const noexcept { return frames_.size(); }
+
+ private:
+  bool connect_once();
+  void disconnect();
+  /// Sends H, waits for S; returns false on failure (caller reconnects).
+  bool handshake(std::uint64_t* acked);
+  /// Sends frame `index` through the chaos shim; false = connection must
+  /// be considered dead.
+  bool send_frame(std::size_t index);
+  bool send_all(const char* data, std::size_t size);
+  void backoff_wait(int attempt, const util::CancellationToken* token);
+
+  FeederConfig config_;
+  std::vector<std::string> frames_;  ///< countable lines, newline-less
+  int fd_ = -1;
+  util::Rng chaos_rng_;
+
+  mutable std::mutex report_mu_;
+  FeederReport report_;
+};
+
+}  // namespace impatience::service

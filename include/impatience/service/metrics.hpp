@@ -14,6 +14,8 @@
 
 namespace impatience::service {
 
+struct IngestCounters;  // daemon.hpp (metrics.hpp must not include it back)
+
 /// Wall-clock monitor state owned by the daemon: apply-latency window and
 /// snapshot bookkeeping. Thread-safe (own mutex; the ingest thread
 /// records, the HTTP thread renders).
@@ -42,10 +44,12 @@ class ServiceMetrics {
 
 /// Renders the full /metrics document from a store + monitor state.
 /// `uptime_seconds` and `versions_per_second` are computed by the caller
-/// (the daemon owns the wall clock and the rate window).
+/// (the daemon owns the wall clock and the rate window). `ingest`, when
+/// non-null, contributes the transport-side handshake/backpressure block.
 std::string render_metrics(const StateStore& store,
                            const ServiceMetrics& metrics,
                            double uptime_seconds,
-                           double versions_per_second);
+                           double versions_per_second,
+                           const IngestCounters* ingest = nullptr);
 
 }  // namespace impatience::service

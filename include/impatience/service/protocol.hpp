@@ -6,11 +6,19 @@
 //   C <a> <b>         contact: nodes a and b meet at the current slot
 //   R <node> <item>   request: node asks for item at the current slot
 //   K <node>          crash: node churns out, losing volatile state
+//   H                 hello: feeder handshake; daemon replies "S <seq>"
 //   Q                 quit: graceful end of stream
 //
 // Blank lines and '#' comments are ignored; malformed lines are counted
 // and skipped (same lenient discipline as the trace parsers — a live feed
 // must never take the daemon down).
+//
+// Seq-cursor contract (docs/service.md): every *countable* line — any
+// non-noise line that is not an H/Q control frame, malformed lines
+// included — advances the daemon's event sequence number by exactly one.
+// The seq a hello reply carries is therefore an exact cursor into the
+// countable lines of the source stream, which is what lets a
+// reconnecting feeder resume at seq+1 with exactly-once application.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +39,7 @@ using trace::Slot;
 
 /// One protocol frame.
 struct Event {
-  enum class Kind { clock, contact, request, crash, quit };
+  enum class Kind { clock, contact, request, crash, hello, quit };
 
   Kind kind = Kind::clock;
   Slot slot = 0;      ///< clock
@@ -52,6 +60,28 @@ bool is_noise_line(std::string_view line);
 
 /// Serializes a frame as its protocol line (no trailing newline).
 std::string format_event(const Event& event);
+
+/// How one raw line counts against the seq cursor. `event` and
+/// `malformed` are the countable classes; `noise`, `hello` and `quit`
+/// never advance seq. The daemon's ingest loop and the feeder's source
+/// indexer both classify through this function, so both sides of the
+/// resume protocol agree on what a stream position means.
+enum class LineClass { noise, hello, quit, event, malformed };
+
+/// Classifies a raw line; when it is `event`, `*event` (if non-null)
+/// receives the parsed frame.
+LineClass classify_line(std::string_view line, Event* event = nullptr);
+
+/// True when the class counts against the seq cursor.
+constexpr bool is_countable(LineClass c) noexcept {
+  return c == LineClass::event || c == LineClass::malformed;
+}
+
+/// The daemon's hello reply ("S <seq>", no trailing newline).
+std::string format_seq_reply(std::uint64_t seq);
+
+/// Parses an "S <seq>" reply line; std::nullopt on anything else.
+std::optional<std::uint64_t> parse_seq_reply(std::string_view line);
 
 /// Synthetic stream generation, shared by the bench harness, the tests
 /// and `replicationd --gen-stream`.

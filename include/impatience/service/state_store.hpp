@@ -152,13 +152,16 @@ class StateStore {
     return version_mirror_.load(std::memory_order_acquire);
   }
 
-  /// Applies one protocol event. Kind::quit is a no-op here (stream
-  /// control is the ingest loop's business). Returns the store version
-  /// after the event.
+  /// Applies one protocol event. Kind::hello and Kind::quit are no-ops
+  /// here (stream control is the ingest loop's business). Returns the
+  /// store version after the event.
   std::uint64_t apply(const Event& event);
 
-  /// Counts a malformed ingest frame (for /metrics).
-  void note_malformed() noexcept;
+  /// Consumes one unparseable countable line: advances the seq cursor
+  /// (a stream position must mean the same thing on every replay, so
+  /// malformed lines occupy a sequence number too) and counts it in
+  /// events_malformed. Returns the store version after the line.
+  std::uint64_t apply_malformed();
 
   /// Copy-on-read snapshot of the whole logical state.
   StateImage image() const;

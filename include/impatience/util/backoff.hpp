@@ -1,0 +1,34 @@
+// Deterministic exponential backoff, shared by the experiment engine's
+// retry loop (engine::Runner) and the service-layer stream feeder
+// (service::StreamFeeder). One idiom, one implementation:
+//
+//   delay(attempt) = min(base * 2^(attempt-1), max) * (0.5 + u)
+//
+// where u in [0,1) is drawn from a stream seeded purely by
+// (seed, attempt). The +/-50% jitter decorrelates concurrent retriers
+// without wall-clock randomness: the whole schedule replays identically
+// from the seed, which is what lets the feeder tests assert a reconnect
+// schedule bit-for-bit (docs/robustness.md).
+#pragma once
+
+#include <cstdint>
+
+namespace impatience::util {
+
+/// Base/cap pair of one exponential-backoff schedule (seconds).
+struct BackoffPolicy {
+  /// Delay before retry 1; doubled per further retry. <= 0 disables
+  /// backoff entirely (every delay is 0).
+  double base_seconds = 0.01;
+  /// Cap on a single delay.
+  double max_seconds = 1.0;
+};
+
+/// Deterministic delay in seconds before retry `attempt` (1-based):
+/// base * 2^(attempt-1) capped at max, with +/-50% jitter drawn from a
+/// (seed, attempt) stream. Pure function of its arguments; the exponent
+/// saturates at 2^20 so huge attempt counts cannot overflow.
+double backoff_delay(const BackoffPolicy& policy, std::uint64_t seed,
+                     int attempt) noexcept;
+
+}  // namespace impatience::util

@@ -82,7 +82,7 @@ bin_build_type() {
 print(json.load(sys.stdin)["context"].get("impatience_build_type", "unknown"))'
 }
 
-FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|SimulateFig6Slot|SimulateFig6Event|SimulateFig3FaultySlot|SimulateFig3FaultyEvent|SimulateFig5Intra1|SimulateFig5Intra4|SimulateFig5Intra8|PartitionSlot|QcrWelfareProbeScratch|QcrWelfareProbeIncremental|ServiceThroughput|ServiceSnapshot|ServiceMetricsScrape)'
+FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|SimulateFig6Slot|SimulateFig6Event|SimulateFig3FaultySlot|SimulateFig3FaultyEvent|SimulateFig5Intra1|SimulateFig5Intra4|SimulateFig5Intra8|PartitionSlot|QcrWelfareProbeScratch|QcrWelfareProbeIncremental|ServiceThroughput|ServiceSnapshot|ServiceMetricsScrape|FeederThroughput)'
 
 if [[ "$CHECK" == 1 ]]; then
   # Smoke subset: skip the end-to-end greedy benches (the naive baseline
@@ -128,20 +128,24 @@ if build_type(old) != "Release" or build_type(new) != "Release":
           "regression diff skipped")
     sys.exit(0)
 
-def means(snapshot):
+# Medians, not means: the capture container's throughput swings by tens
+# of percent between repetitions (single shared CPU; see the num_cpus:1
+# caveat in docs/perf.md §5), and one slow repetition drags a mean past
+# any sane threshold while the median shrugs it off.
+def medians(snapshot):
     return {b["name"]: b["real_time"] for b in snapshot["benchmarks"]
-            if b["name"].endswith("_mean")}
+            if b["name"].endswith("_median")}
 
-old_means, new_means = means(old), means(new)
-shared = sorted(set(old_means) & set(new_means))
+old_med, new_med = medians(old), medians(new)
+shared = sorted(set(old_med) & set(new_med))
 regressions = []
 for name in shared:
-    ratio = new_means[name] / old_means[name]
+    ratio = new_med[name] / old_med[name]
     if ratio > 1.20:
-        regressions.append(f"  {name}: {old_means[name]:.1f} -> "
-                           f"{new_means[name]:.1f} ns ({ratio:.2f}x)")
+        regressions.append(f"  {name}: {old_med[name]:.1f} -> "
+                           f"{new_med[name]:.1f} ns ({ratio:.2f}x)")
 print(f"bench check: PR{new_pr} vs PR{old_pr}, "
-      f"{len(shared)} shared *_mean entries")
+      f"{len(shared)} shared *_median entries")
 if regressions:
     print(f"bench check: >20% regressions vs BENCH_PR{old_pr}.json:")
     print("\n".join(regressions))
@@ -158,10 +162,46 @@ if [[ "$BUILD_TYPE" != "Release" && "$ALLOW_DEBUG" != 1 ]]; then
   exit 3
 fi
 
-"$BIN" \
-  --benchmark_filter="$FILTER" \
-  --benchmark_out="$OUT" \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=3 \
-  --benchmark_report_aggregates_only=true
+# Best-of-N capture: the container's effective CPU speed drifts by tens
+# of percent over minutes (shared host), and a slow phase poisons every
+# repetition of whichever benchmarks run inside it. Running the whole
+# suite BENCH_RUNS times and keeping, per benchmark, the aggregates from
+# its fastest run (lowest median) estimates unloaded speed — the only
+# number comparable across snapshots taken on different days.
+RUNS="${BENCH_RUNS:-3}"
+for r in $(seq "$RUNS"); do
+  "$BIN" \
+    --benchmark_filter="$FILTER" \
+    --benchmark_out="$OUT.run$r" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true
+done
+python3 - "$OUT" "$RUNS" <<'EOF'
+import json, sys
+
+out, runs = sys.argv[1], int(sys.argv[2])
+snaps = [json.load(open(f"{out}.run{r}")) for r in range(1, runs + 1)]
+
+def family_median(snapshot):
+    return {b["run_name"]: b["real_time"] for b in snapshot["benchmarks"]
+            if b["name"].endswith("_median")}
+
+medians = [family_median(s) for s in snaps]
+merged = dict(snaps[0])
+merged["benchmarks"] = []
+for bench in snaps[0]["benchmarks"]:
+    family = bench["run_name"]
+    best = min(range(runs), key=lambda r: medians[r].get(family,
+                                                        float("inf")))
+    for candidate in snaps[best]["benchmarks"]:
+        if (candidate["run_name"] == family and
+                candidate["name"] == bench["name"]):
+            merged["benchmarks"].append(candidate)
+            break
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+print(f"merged best-of-{runs} aggregates into {out}")
+EOF
+rm -f "$OUT".run*
 echo "wrote $OUT"

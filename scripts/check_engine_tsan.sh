@@ -32,13 +32,17 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
   core_meeting_parallel_test \
   alloc_oracle_test utility_cached_transform_test core_simulator_test \
   service_protocol_test service_state_store_test service_daemon_test \
-  replicationd
+  service_feeder_test service_ingest_fuzz_test \
+  replicationd replfeed
 ctest --test-dir "$BUILD_DIR" -L "(engine|fault|sim|perf|service)" \
   --output-on-failure -j"$(nproc)"
 # core_simulator_test carries no label; select its gtest group by name
 # (alias-init sampling, welfare-probe listeners, event-kernel entry).
 # Replicationd.* re-runs the daemon suite so its ingest/monitor/snapshot
-# thread interleavings get a second look under TSan.
-ctest --test-dir "$BUILD_DIR" -R "^(Simulator|Replicationd)\." \
+# thread interleavings get a second look under TSan; Replfeed.* covers
+# the feeder's run-thread vs snapshot_report() reader plus the in-process
+# chaos identity lock, and ReplicationdFuzz.* the byte-level ingest
+# fuzzing (feeder thread vs daemon ingest thread).
+ctest --test-dir "$BUILD_DIR" -R "^(Simulator|Replicationd|Replfeed|ReplicationdFuzz)\." \
   --output-on-failure -j"$(nproc)"
 echo "engine + fault + sim + oracle + service tests clean under ThreadSanitizer"

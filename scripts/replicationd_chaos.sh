@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# End-to-end chaos drill for replicationd + replfeed (registered as ctest
+# `replicationd_chaos`, label `service`; docs/robustness.md §7):
+#
+#   A replfeed with network chaos enabled (seeded connection resets,
+#   mid-frame partial writes, garbage bursts) streams an event file to the
+#   daemon while this script SIGKILLs the daemon on a seeded schedule and
+#   restarts it with --restore. The feeder's H/S handshake re-seeks after
+#   every kill; when it reports completion, the daemon's final snapshot
+#   must be byte-identical (cmp) to a clean single-process run over the
+#   same stream — crashes and chaos must leave no trace in the state.
+#
+# Environment:
+#   REPLICATIOND / REPLFEED — binaries (ctest sets them; default build/apps)
+#   CHAOS_EVENTS            — stream length (default 3000; ctest smoke 1200)
+#   CHAOS_KILLS             — SIGKILL cycles (default 3; ctest smoke 2)
+#   CHAOS_SEED              — seed of the kill schedule + chaos shim
+set -euo pipefail
+
+DAEMON_BIN="${REPLICATIOND:-build/apps/replicationd}"
+FEEDER_BIN="${REPLFEED:-build/apps/replfeed}"
+for bin in "$DAEMON_BIN" "$FEEDER_BIN"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "replicationd_chaos: binary not found: $bin" >&2
+    exit 1
+  fi
+done
+
+EVENTS="${CHAOS_EVENTS:-3000}"
+KILLS="${CHAOS_KILLS:-3}"
+SEED="${CHAOS_SEED:-4242}"
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/replicationd_chaos.XXXXXX")"
+DAEMON_PID=""
+FEEDER_PID=""
+cleanup() {
+  [[ -n "$FEEDER_PID" ]] && kill -KILL "$FEEDER_PID" 2>/dev/null || true
+  [[ -n "$DAEMON_PID" ]] && kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SCENARIO=(--nodes 20 --items 20 --capacity 4 --seed 11)
+
+# Deterministic workload including K (crash) frames; no Q — the feeder
+# confirms completion via the handshake instead.
+"$DAEMON_BIN" --gen-stream "$EVENTS" "${SCENARIO[@]}" --seed 11 \
+    --crash-fraction 0.01 --quit false --out "$WORK/stream.txt"
+TOTAL_FRAMES="$(grep -cv '^\s*\(#\|$\)' "$WORK/stream.txt")"
+
+echo "== reference: clean single-process run ($TOTAL_FRAMES frames) =="
+"$DAEMON_BIN" "${SCENARIO[@]}" --input "$WORK/stream.txt" --port -1 \
+    --snapshot "$WORK/reference.snap" 2> "$WORK/reference.log"
+
+start_daemon() {
+  local restore_flag="$1"
+  "$DAEMON_BIN" "${SCENARIO[@]}" \
+      --socket "$WORK/repl.sock" --port -1 \
+      --snapshot "$WORK/chaos.snap" --snapshot-every 101 \
+      $restore_flag 2>> "$WORK/daemon.log" &
+  DAEMON_PID=$!
+  for _ in $(seq 100); do
+    [[ -S "$WORK/repl.sock" ]] && break
+    sleep 0.1
+  done
+}
+
+echo "== chaos run: replfeed with faults, $KILLS seeded SIGKILL cycles =="
+start_daemon ""
+
+"$FEEDER_BIN" --socket "$WORK/repl.sock" --input "$WORK/stream.txt" \
+    --seed "$SEED" --chaos-seed "$SEED" \
+    --chaos-reset 0.005 --chaos-partial 0.005 --chaos-garbage 0.003 \
+    --backoff-base 5ms --backoff-max 100ms --reply-timeout 5s \
+    2> "$WORK/feeder.log" &
+FEEDER_PID=$!
+
+# Seeded kill schedule: derive the dwell time before each SIGKILL from
+# (SEED, cycle) so reruns are reproducible.
+for cycle in $(seq "$KILLS"); do
+  DWELL_MS=$(( 150 + (SEED * 2654435761 + cycle * 40503) % 350 ))
+  sleep "$(awk -v ms="$DWELL_MS" 'BEGIN { printf "%.3f", ms / 1000 }')"
+  kill -0 "$FEEDER_PID" 2>/dev/null || break  # feeder already done
+  kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+  echo "cycle $cycle: SIGKILL after ${DWELL_MS}ms; restarting with --restore"
+  start_daemon "--restore"
+done
+
+# The feeder retries through every kill; it exits 0 only when the daemon
+# acked all frames.
+FEEDER_STATUS=0
+wait "$FEEDER_PID" || FEEDER_STATUS=$?
+FEEDER_PID=""
+if [[ "$FEEDER_STATUS" -ne 0 ]]; then
+  echo "FAIL: replfeed exited $FEEDER_STATUS" >&2
+  cat "$WORK/feeder.log" >&2
+  exit 1
+fi
+grep -q "complete" "$WORK/feeder.log" \
+  || { echo "FAIL: feeder did not report completion"; cat "$WORK/feeder.log"; exit 1; }
+
+# Close the harness race: a SIGKILL can land between the feeder's final
+# completion ack and its exit, restoring the replacement daemon from a
+# stale periodic snapshot that nobody re-feeds. A chaos-free top-up pass
+# re-handshakes and resends whatever the live daemon is missing — a
+# no-op (zero frames sent) when it is already current.
+"$FEEDER_BIN" --socket "$WORK/repl.sock" --input "$WORK/stream.txt" \
+    --seed "$SEED" --backoff-base 5ms --backoff-max 100ms \
+    --reply-timeout 5s 2>> "$WORK/feeder.log" \
+  || { echo "FAIL: top-up feeder pass failed"; cat "$WORK/feeder.log"; exit 1; }
+
+# Graceful stop writes the final snapshot.
+kill -TERM "$DAEMON_PID"
+for _ in $(seq 100); do
+  kill -0 "$DAEMON_PID" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$DAEMON_PID" || { echo "FAIL: daemon SIGTERM exit status $?"; exit 1; }
+DAEMON_PID=""
+
+cmp "$WORK/reference.snap" "$WORK/chaos.snap" \
+  || { echo "FAIL: chaos run diverged from the clean reference"; exit 1; }
+
+echo "replicationd_chaos: $TOTAL_FRAMES frames through $KILLS kills + chaos,"
+echo "final snapshot byte-identical to the clean run"
+grep -E "^replfeed: (complete|INCOMPLETE)" "$WORK/feeder.log" || true

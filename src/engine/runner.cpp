@@ -16,6 +16,7 @@
 #include "impatience/engine/seeding.hpp"
 #include "impatience/engine/thread_pool.hpp"
 #include "impatience/engine/watchdog.hpp"
+#include "impatience/util/backoff.hpp"
 
 namespace impatience::engine {
 
@@ -29,17 +30,14 @@ double seconds_since(Clock::time_point start) {
 
 /// Deterministic exponential backoff: base * 2^(attempt-1), capped, with
 /// +/-50% jitter drawn from a (job seed, attempt) stream — reproducible,
-/// yet decorrelated across the jobs of a batch.
+/// yet decorrelated across the jobs of a batch. The delay computation is
+/// the shared util::backoff_delay helper (the service-layer feeder uses
+/// the same schedule); extracting it changed no engine schedule.
 void backoff_sleep(const JobSpec& spec, int attempt,
                    const RunnerOptions& options) {
-  if (options.backoff_base_seconds <= 0.0) return;
-  const double base = options.backoff_base_seconds *
-                      std::ldexp(1.0, std::min(attempt - 1, 20));
-  const double capped =
-      std::min(base, std::max(options.backoff_max_seconds, 0.0));
-  util::Rng rng(mix64(spec.seed ^ (0xB0FFULL + static_cast<std::uint64_t>(
-                                                   attempt))));
-  const double delay = capped * (0.5 + rng.uniform());
+  const double delay = util::backoff_delay(
+      {options.backoff_base_seconds, options.backoff_max_seconds}, spec.seed,
+      attempt);
   if (delay > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double>(delay));
   }

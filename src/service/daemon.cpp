@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -29,7 +30,8 @@ double seconds_since(Clock::time_point t0, Clock::time_point t1) {
 
 class FileSource final : public LineSource {
  public:
-  FileSource(const std::string& path, bool follow) : follow_(follow) {
+  FileSource(const std::string& path, bool follow, double poll_seconds)
+      : follow_(follow), poll_seconds_(std::max(poll_seconds, 0.001)) {
     if (path == "-") {
       stream_ = &std::cin;
     } else {
@@ -49,20 +51,32 @@ class FileSource final : public LineSource {
       if (std::getline(*stream_, line)) return line;
       if (!follow_ || stream_ == &std::cin) return std::nullopt;
       // tail -f: clear the EOF condition and wait for the file to grow.
+      // The wait is sliced so a stop request (SIGTERM under --follow)
+      // unblocks within ~10 ms instead of a full poll period.
       stream_->clear();
-      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      const auto deadline =
+          Clock::now() + std::chrono::duration<double>(poll_seconds_);
+      while (Clock::now() < deadline) {
+        if (stop.load(std::memory_order_relaxed)) return std::nullopt;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
     }
   }
 
  private:
   bool follow_;
+  double poll_seconds_;
   std::ifstream file_;
   std::istream* stream_ = nullptr;
 };
 
 class SocketSource final : public LineSource {
  public:
-  explicit SocketSource(std::string path) : path_(std::move(path)) {
+  SocketSource(std::string path, IngestCounters* counters,
+               std::size_t buffer_bytes)
+      : path_(std::move(path)),
+        counters_(counters),
+        cap_(std::max<std::size_t>(buffer_bytes, 4096)) {
     sockaddr_un addr{};
     if (path_.size() >= sizeof(addr.sun_path)) {
       throw util::IoError("replicationd: socket path too long: " + path_);
@@ -94,12 +108,26 @@ class SocketSource final : public LineSource {
   std::optional<std::string> next_line(
       const std::atomic<bool>& stop) override {
     for (;;) {
-      // Serve a buffered complete line first.
-      const std::size_t nl = buffer_.find('\n');
-      if (nl != std::string::npos) {
-        std::string line = buffer_.substr(0, nl);
-        buffer_.erase(0, nl + 1);
-        return line;
+      // A fresh connection while a fragment is held: the first complete
+      // line decides whether the fragment glues or drops (see resolve),
+      // so nothing is served until that line exists.
+      if (deciding_ && buffer_.find('\n') != std::string::npos) {
+        resolve_fragment();
+        continue;
+      }
+      if (!deciding_) {
+        const std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+          // Backpressure accounting: lines served while the buffer sits
+          // at/above its cap are events the transport deferred reads for.
+          if (counters_ && buffer_.size() >= cap_) {
+            counters_->events_deferred.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          }
+          std::string line = buffer_.substr(0, nl);
+          buffer_.erase(0, nl + 1);
+          return line;
+        }
       }
       if (stop.load(std::memory_order_relaxed)) return std::nullopt;
       if (conn_fd_ < 0) {
@@ -109,40 +137,128 @@ class SocketSource final : public LineSource {
         if (ready < 0 && errno != EINTR) return std::nullopt;
         if (ready <= 0) continue;
         conn_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+        if (conn_fd_ < 0) continue;
+        if (counters_) {
+          counters_->connections.fetch_add(1, std::memory_order_relaxed);
+        }
+        deciding_ = !fragment_.empty();
         continue;
       }
       struct pollfd pfd{conn_fd_, POLLIN, 0};
       const int ready = ::poll(&pfd, 1, 100);
       if (ready < 0 && errno != EINTR) return std::nullopt;
       if (ready <= 0) continue;
-      char buf[4096];
-      const ssize_t n = ::recv(conn_fd_, buf, sizeof(buf), 0);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        ::close(conn_fd_);
-        conn_fd_ = -1;
-        continue;
-      }
-      if (n == 0) {
-        // Feeder hung up; flush any unterminated trailing line.
-        ::close(conn_fd_);
-        conn_fd_ = -1;
-        if (!buffer_.empty()) {
-          std::string line = std::move(buffer_);
-          buffer_.clear();
-          return line;
+      // Drain greedily up to the cap so the buffer is what holds queued
+      // frames and the cap is meaningful. The cap bounds multi-line
+      // queueing only: a single unterminated line keeps reading past it
+      // (else ingest would deadlock — the same unboundedness the file
+      // source's getline has).
+      bool have_line = buffer_.find('\n') != std::string::npos;
+      while (!have_line || buffer_.size() < cap_) {
+        char buf[4096];
+        const ssize_t n = ::recv(conn_fd_, buf, sizeof(buf), MSG_DONTWAIT);
+        if (n < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+            break;
+          }
+          close_conn();
+          break;
         }
-        continue;
+        if (n == 0) {
+          close_conn();
+          break;
+        }
+        if (std::memchr(buf, '\n', static_cast<std::size_t>(n)) != nullptr) {
+          have_line = true;
+        }
+        buffer_.append(buf, static_cast<std::size_t>(n));
       }
-      buffer_.append(buf, static_cast<std::size_t>(n));
+      if (counters_) {
+        std::uint64_t hw =
+            counters_->buffer_high_water.load(std::memory_order_relaxed);
+        while (hw < buffer_.size() &&
+               !counters_->buffer_high_water.compare_exchange_weak(
+                   hw, buffer_.size(), std::memory_order_relaxed)) {
+        }
+      }
     }
   }
 
+  void reply(const std::string& line) override {
+    if (conn_fd_ < 0) return;
+    // Non-blocking, SIGPIPE-free: a feeder that never reads its S
+    // replies must not be able to stall ingest.
+    (void)::send(conn_fd_, line.data(), line.size(),
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+  }
+
  private:
+  void close_conn() {
+    ::close(conn_fd_);
+    conn_fd_ = -1;
+    // A dying connection that did deliver its first complete line still
+    // gets its fragment decision (the greedy drain can learn of the
+    // close with complete lines already buffered).
+    if (deciding_ && buffer_.find('\n') != std::string::npos) {
+      resolve_fragment();
+    }
+    if (deciding_) {
+      // Died before its first complete line: its bytes chain onto the
+      // held fragment (arrival order) and the decision passes to the
+      // next connection (accept re-derives deciding_ from fragment_).
+      if (!buffer_.empty()) {
+        fragment_ += buffer_;
+        buffer_.clear();
+        if (counters_) {
+          counters_->frames_partial.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      deciding_ = false;
+      return;
+    }
+    // Hold (never flush) the unterminated trailing line: the next
+    // connection decides its fate. Complete lines stay buffered and
+    // keep being served.
+    const std::size_t last = buffer_.rfind('\n');
+    const std::size_t tail = last == std::string::npos ? 0 : last + 1;
+    if (tail < buffer_.size()) {
+      fragment_ += buffer_.substr(tail);
+      buffer_.erase(tail);
+      if (counters_) {
+        counters_->frames_partial.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void resolve_fragment() {
+    const std::size_t nl = buffer_.find('\n');
+    const std::string_view first(buffer_.data(), nl);
+    if (classify_line(first) == LineClass::hello) {
+      // A new/resuming feeder opens with a hello and will re-send the
+      // cut frame itself after seeking to the acked cursor — gluing its
+      // bytes onto the fragment would corrupt the stream. Drop it.
+      fragment_.clear();
+      if (counters_) {
+        counters_->frames_partial_discarded.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    } else {
+      // A continuation feeder (no handshake): its bytes complete the
+      // cut frame exactly where it left off.
+      buffer_.insert(0, fragment_);
+      fragment_.clear();
+    }
+    deciding_ = false;
+  }
+
   std::string path_;
   int listen_fd_ = -1;
   int conn_fd_ = -1;
-  std::string buffer_;
+  std::string buffer_;    ///< bytes from the current connection
+  std::string fragment_;  ///< unterminated tail of previous connection(s)
+  bool deciding_ = false;
+  IngestCounters* counters_ = nullptr;
+  std::size_t cap_;
 };
 
 bool file_exists(const std::string& path) {
@@ -152,12 +268,15 @@ bool file_exists(const std::string& path) {
 }  // namespace
 
 std::unique_ptr<LineSource> make_file_source(const std::string& path,
-                                             bool follow) {
-  return std::make_unique<FileSource>(path, follow);
+                                             bool follow,
+                                             double poll_seconds) {
+  return std::make_unique<FileSource>(path, follow, poll_seconds);
 }
 
-std::unique_ptr<LineSource> make_socket_source(const std::string& path) {
-  return std::make_unique<SocketSource>(path);
+std::unique_ptr<LineSource> make_socket_source(const std::string& path,
+                                               IngestCounters* counters,
+                                               std::size_t buffer_bytes) {
+  return std::make_unique<SocketSource>(path, counters, buffer_bytes);
 }
 
 ReplicationDaemon::ReplicationDaemon(const DaemonConfig& config)
@@ -175,8 +294,10 @@ ReplicationDaemon::ReplicationDaemon(const DaemonConfig& config)
   }
 
   source_ = config_.socket_path.empty()
-                ? make_file_source(config_.input_path, config_.follow)
-                : make_socket_source(config_.socket_path);
+                ? make_file_source(config_.input_path, config_.follow,
+                                   config_.follow_poll_s)
+                : make_socket_source(config_.socket_path, &ingest_,
+                                     config_.ingest_buffer_bytes);
 
   start_time_ = Clock::now();
   rate_time_ = start_time_;
@@ -249,16 +370,26 @@ void ReplicationDaemon::run(const util::CancellationToken* token) {
   while (!stop_.load(std::memory_order_relaxed)) {
     const auto line = source_->next_line(stop_);
     if (!line) break;  // end of stream or stop
-    if (is_noise_line(*line)) continue;
-    const auto event = parse_event(*line);
-    if (!event) {
-      store_->note_malformed();
+    Event event;
+    const LineClass cls = classify_line(*line, &event);
+    if (cls == LineClass::noise) continue;
+    if (cls == LineClass::hello) {
+      // Handshake: answer with the seq cursor (the count of countable
+      // lines applied so far) so a resuming feeder can seek to seq + 1.
+      ingest_.hellos.fetch_add(1, std::memory_order_relaxed);
+      source_->reply(format_seq_reply(store_->seq()) + "\n");
       continue;
     }
-    if (event->kind == Event::Kind::quit) break;
-    const auto t0 = Clock::now();
-    store_->apply(*event);
-    metrics_.record_apply_latency(1e6 * seconds_since(t0, Clock::now()));
+    if (cls == LineClass::quit) break;
+    if (cls == LineClass::malformed) {
+      store_->apply_malformed();
+    } else {
+      const auto t0 = Clock::now();
+      store_->apply(event);
+      metrics_.record_apply_latency(1e6 * seconds_since(t0, Clock::now()));
+    }
+    // Cadence keys on seq, which malformed lines advance too — the
+    // by-sequence snapshot schedule must replay identically.
     if (config_.snapshot_every > 0 &&
         store_->seq() % config_.snapshot_every == 0) {
       snapshot_now();
@@ -315,7 +446,7 @@ std::string ReplicationDaemon::render() const {
     rate_version_ = version;
   }
   return render_metrics(*store_, metrics_, seconds_since(start_time_, now),
-                        rate);
+                        rate, &ingest_);
 }
 
 void ReplicationDaemon::write_announce_file() const {

@@ -1,0 +1,327 @@
+#include "impatience/service/feeder.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "impatience/engine/seeding.hpp"
+#include "impatience/service/protocol.hpp"
+
+namespace impatience::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Printable, newline-free garbage alphabet. Garbage must never contain
+/// '\n': an injected newline would complete a countable line and advance
+/// the daemon's seq cursor, breaking the byte-identity guarantee.
+constexpr char kGarbageAlphabet[] =
+    "!$%&*+,-./0123456789:;<=>?@ABCDEFabcdef^_~";
+
+void sliced_sleep(double seconds, const util::CancellationToken* token) {
+  const auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+  while (Clock::now() < deadline) {
+    if (token && token->cancelled()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void check_probability(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("ChaosNetConfig: ") + name +
+                                " must be in [0, 1]");
+  }
+}
+
+}  // namespace
+
+void ChaosNetConfig::validate() const {
+  check_probability(p_reset, "p_reset");
+  check_probability(p_partial, "p_partial");
+  check_probability(p_garbage, "p_garbage");
+  check_probability(p_stall, "p_stall");
+  if (p_stall > 0.0 && stall_max_seconds <= 0.0) {
+    throw std::invalid_argument(
+        "ChaosNetConfig: stall_max_seconds must be positive");
+  }
+  if (p_garbage > 0.0 && garbage_max_bytes == 0) {
+    throw std::invalid_argument(
+        "ChaosNetConfig: garbage_max_bytes must be positive");
+  }
+}
+
+std::string render_feeder_metrics(const FeederReport& report) {
+  std::ostringstream out;
+  out << "replfeed_frames_total " << report.frames_total << '\n';
+  out << "replfeed_frames_sent_total " << report.frames_sent << '\n';
+  out << "replfeed_connections_total " << report.connections << '\n';
+  out << "replfeed_handshakes_total " << report.handshakes << '\n';
+  out << "replfeed_reconnect_backoffs_total " << report.reconnect_backoffs
+      << '\n';
+  out << "replfeed_last_acked_seq " << report.last_acked_seq << '\n';
+  out << "replfeed_complete " << (report.complete ? 1 : 0) << '\n';
+  out << "replfeed_chaos_resets_total " << report.chaos.resets << '\n';
+  out << "replfeed_chaos_partial_writes_total "
+      << report.chaos.partial_writes << '\n';
+  out << "replfeed_chaos_garbage_bursts_total "
+      << report.chaos.garbage_bursts << '\n';
+  out << "replfeed_chaos_garbage_bytes_total " << report.chaos.bytes_garbage
+      << '\n';
+  out << "replfeed_chaos_stalls_total " << report.chaos.stalls << '\n';
+  return out.str();
+}
+
+StreamFeeder::StreamFeeder(const FeederConfig& config)
+    : config_(config),
+      chaos_rng_(engine::child_seed(config.chaos.seed, "chaos-net")) {
+  config_.chaos.validate();
+  std::ifstream in(config_.input_path);
+  if (!in) {
+    throw util::IoError("replfeed: cannot open input " + config_.input_path);
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const LineClass cls = classify_line(line);
+    // Only countable lines occupy frame slots (frame i <-> seq i + 1);
+    // noise never reaches the wire, and any H/Q in the file is dropped —
+    // the feeder owns stream control itself.
+    if (is_countable(cls)) frames_.push_back(line);
+  }
+  report_.frames_total = frames_.size();
+}
+
+FeederReport StreamFeeder::snapshot_report() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return report_;
+}
+
+bool StreamFeeder::connect_once() {
+  sockaddr_un addr{};
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw util::IoError("replfeed: socket path too long: " +
+                        config_.socket_path);
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    disconnect();
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(report_mu_);
+  ++report_.connections;
+  return true;
+}
+
+void StreamFeeder::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool StreamFeeder::send_all(const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool StreamFeeder::handshake(std::uint64_t* acked) {
+  // The handshake is chaos-exempt: H/S frames are the recovery channel,
+  // and a shim that could garble them would turn every injected fault
+  // into a livelock instead of a retry.
+  static constexpr char kHello[] = "H\n";
+  if (!send_all(kHello, 2)) return false;
+  std::string buffer;
+  const auto deadline =
+      Clock::now() + std::chrono::duration<double>(config_.reply_timeout_s);
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      const auto seq = parse_seq_reply(std::string_view(buffer.data(), nl));
+      if (!seq) return false;
+      *acked = *seq;
+      std::lock_guard<std::mutex> lock(report_mu_);
+      ++report_.handshakes;
+      report_.last_acked_seq = *seq;
+      return true;
+    }
+    const auto left = deadline - Clock::now();
+    if (left <= std::chrono::seconds(0)) return false;
+    const int wait_ms = static_cast<int>(std::min<std::int64_t>(
+        100, std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                 .count() +
+                 1));
+    struct pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0 && errno != EINTR) return false;
+    if (ready <= 0) continue;
+    char buf[256];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // daemon hung up mid-handshake
+    buffer.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool StreamFeeder::send_frame(std::size_t index) {
+  const std::string frame = frames_[index] + "\n";
+
+  if (config_.chaos.engaged()) {
+    // Fixed draw order per frame — the injection schedule is a pure
+    // function of the chaos seed, independent of what fires.
+    const bool stall = chaos_rng_.bernoulli(config_.chaos.p_stall);
+    const bool reset = chaos_rng_.bernoulli(config_.chaos.p_reset);
+    const bool partial = chaos_rng_.bernoulli(config_.chaos.p_partial);
+    const bool garbage = chaos_rng_.bernoulli(config_.chaos.p_garbage);
+
+    if (stall) {
+      const double s =
+          config_.chaos.stall_max_seconds * chaos_rng_.uniform();
+      {
+        std::lock_guard<std::mutex> lock(report_mu_);
+        ++report_.chaos.stalls;
+      }
+      sliced_sleep(s, nullptr);
+    }
+    // At most one destructive fault per frame, priority reset > partial
+    // > garbage. Each ends with a reset so the daemon sees a clean
+    // disconnect and the handshake path recovers.
+    if (reset) {
+      std::lock_guard<std::mutex> lock(report_mu_);
+      ++report_.chaos.resets;
+      return false;
+    }
+    if (partial) {
+      // A strict prefix of the frame: at least 1 byte, never the
+      // terminating '\n' — the daemon must hold it as a fragment.
+      const std::size_t len =
+          1 + chaos_rng_.uniform_index(frame.size() - 1);
+      (void)send_all(frame.data(), std::min(len, frame.size() - 1));
+      std::lock_guard<std::mutex> lock(report_mu_);
+      ++report_.chaos.partial_writes;
+      return false;
+    }
+    if (garbage) {
+      const std::size_t len =
+          1 + chaos_rng_.uniform_index(config_.chaos.garbage_max_bytes);
+      std::string burst(len, '\0');
+      for (char& c : burst) {
+        c = kGarbageAlphabet[chaos_rng_.uniform_index(
+            sizeof(kGarbageAlphabet) - 1)];
+      }
+      (void)send_all(burst.data(), burst.size());
+      std::lock_guard<std::mutex> lock(report_mu_);
+      ++report_.chaos.garbage_bursts;
+      report_.chaos.bytes_garbage += len;
+      return false;
+    }
+  }
+
+  if (!send_all(frame.data(), frame.size())) return false;
+  std::lock_guard<std::mutex> lock(report_mu_);
+  ++report_.frames_sent;
+  return true;
+}
+
+void StreamFeeder::backoff_wait(int attempt,
+                                const util::CancellationToken* token) {
+  const double delay =
+      util::backoff_delay(config_.backoff, config_.seed, attempt);
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    ++report_.reconnect_backoffs;
+    report_.backoff_delays.push_back(delay);
+  }
+  if (delay > 0.0) sliced_sleep(delay, token);
+}
+
+FeederReport StreamFeeder::run(const util::CancellationToken* token) {
+  const std::uint64_t total = frames_.size();
+  std::uint64_t next = 0;  // frame index == seq cursor value to resume at
+  int attempt = 0;
+  bool connected = false;
+
+  while (!(token && token->cancelled())) {
+    if (!connected) {
+      if (config_.max_attempts > 0 && attempt >= config_.max_attempts) {
+        break;
+      }
+      if (attempt > 0) backoff_wait(attempt, token);
+      if (token && token->cancelled()) break;
+      if (!connect_once()) {
+        ++attempt;
+        continue;
+      }
+      std::uint64_t acked = 0;
+      if (!handshake(&acked)) {
+        disconnect();
+        ++attempt;
+        continue;
+      }
+      // The cursor is authoritative: resume exactly past what the
+      // daemon counted (a restore from an older snapshot can move it
+      // backwards — re-send, the store applies by seq exactly once).
+      next = std::min(acked, total);
+      attempt = 0;
+      connected = true;
+      continue;
+    }
+
+    if (next < total) {
+      if (send_frame(next)) {
+        ++next;
+      } else {
+        disconnect();
+        connected = false;
+        ++attempt;
+      }
+      continue;
+    }
+
+    // Every frame is in flight; confirm the daemon counted them all
+    // before declaring success — tail bytes sitting in a kernel buffer
+    // when the daemon dies would otherwise be silently lost.
+    std::uint64_t acked = 0;
+    if (!handshake(&acked)) {
+      disconnect();
+      connected = false;
+      ++attempt;
+      continue;
+    }
+    if (acked >= total) {
+      if (config_.send_quit) (void)send_all("Q\n", 2);
+      std::lock_guard<std::mutex> lock(report_mu_);
+      report_.complete = true;
+      break;
+    }
+    next = acked;  // daemon lost the tail (crash + restore) — re-send
+  }
+
+  disconnect();
+  return snapshot_report();
+}
+
+}  // namespace impatience::service

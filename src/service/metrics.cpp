@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "impatience/service/daemon.hpp"
 #include "impatience/stats/percentile.hpp"
 
 namespace impatience::service {
@@ -44,7 +45,8 @@ double ServiceMetrics::apply_latency_percentile(double p) const {
 std::string render_metrics(const StateStore& store,
                            const ServiceMetrics& metrics,
                            double uptime_seconds,
-                           double versions_per_second) {
+                           double versions_per_second,
+                           const IngestCounters* ingest) {
   // One consistent read of the logical counters; the gauges derived from
   // the delay window use their own locked reads.
   const StoreCounters k = store.counters();
@@ -88,6 +90,23 @@ std::string render_metrics(const StateStore& store,
   out << "replicationd_snapshots_total " << metrics.snapshots_total() << '\n';
   out << "replicationd_snapshot_last_version "
       << metrics.snapshot_last_version() << '\n';
+  if (ingest != nullptr) {
+    const auto load = [](const std::atomic<std::uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    out << "replicationd_ingest_connections_total "
+        << load(ingest->connections) << '\n';
+    out << "replicationd_ingest_hellos_total " << load(ingest->hellos)
+        << '\n';
+    out << "replicationd_ingest_frames_partial_total "
+        << load(ingest->frames_partial) << '\n';
+    out << "replicationd_ingest_frames_partial_discarded_total "
+        << load(ingest->frames_partial_discarded) << '\n';
+    out << "replicationd_ingest_events_deferred_total "
+        << load(ingest->events_deferred) << '\n';
+    out << "replicationd_ingest_buffer_high_water_bytes "
+        << load(ingest->buffer_high_water) << '\n';
+  }
   return out.str();
 }
 

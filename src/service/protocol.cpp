@@ -86,6 +86,11 @@ std::optional<Event> parse_event(std::string_view line) {
       if (!parse_field(s, event.a) || !at_end(s)) return std::nullopt;
       return event;
     }
+    case 'H': {
+      event.kind = Event::Kind::hello;
+      if (!at_end(s)) return std::nullopt;
+      return event;
+    }
     case 'Q': {
       event.kind = Event::Kind::quit;
       if (!at_end(s)) return std::nullopt;
@@ -107,10 +112,35 @@ std::string format_event(const Event& event) {
              std::to_string(event.item);
     case Event::Kind::crash:
       return "K " + std::to_string(event.a);
+    case Event::Kind::hello:
+      return "H";
     case Event::Kind::quit:
       return "Q";
   }
   return "#";
+}
+
+LineClass classify_line(std::string_view line, Event* event) {
+  if (is_noise_line(line)) return LineClass::noise;
+  const std::optional<Event> parsed = parse_event(line);
+  if (!parsed) return LineClass::malformed;
+  if (parsed->kind == Event::Kind::hello) return LineClass::hello;
+  if (parsed->kind == Event::Kind::quit) return LineClass::quit;
+  if (event) *event = *parsed;
+  return LineClass::event;
+}
+
+std::string format_seq_reply(std::uint64_t seq) {
+  return "S " + std::to_string(seq);
+}
+
+std::optional<std::uint64_t> parse_seq_reply(std::string_view line) {
+  std::string_view s = strip(line);
+  if (s.empty() || s.front() != 'S') return std::nullopt;
+  s.remove_prefix(1);
+  std::uint64_t seq = 0;
+  if (!parse_field(s, seq) || !at_end(s)) return std::nullopt;
+  return seq;
 }
 
 std::vector<Event> generate_stream(const StreamConfig& config,

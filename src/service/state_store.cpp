@@ -276,6 +276,7 @@ std::uint64_t StateStore::apply(const Event& event) {
         apply_crash(event.a);
       }
       break;
+    case Event::Kind::hello:
     case Event::Kind::quit:
       break;  // stream control; the ingest loop reacts, the state doesn't
   }
@@ -388,10 +389,16 @@ void StateStore::record_delay_locked(double delay) {
   recent_delays_.push_back(delay);
 }
 
-void StateStore::note_malformed() noexcept {
+std::uint64_t StateStore::apply_malformed() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Malformed countable lines advance seq like any other: the seq cursor
+  // must be an exact position into the stream's countable lines, or a
+  // reconnecting feeder could not resume from it (docs/service.md).
+  ++seq_;
   ++counters_.events_malformed;
+  counters_.events_applied = seq_;
   bump_locked();
+  return version_;
 }
 
 StateImage StateStore::image() const {

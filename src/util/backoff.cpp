@@ -1,0 +1,24 @@
+#include "impatience/util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "impatience/util/rng.hpp"
+
+namespace impatience::util {
+
+double backoff_delay(const BackoffPolicy& policy, std::uint64_t seed,
+                     int attempt) noexcept {
+  if (policy.base_seconds <= 0.0) return 0.0;
+  const double base =
+      policy.base_seconds * std::ldexp(1.0, std::min(attempt - 1, 20));
+  const double capped = std::min(base, std::max(policy.max_seconds, 0.0));
+  // One SplitMix64 finalization round over (seed, attempt) seeds the
+  // jitter stream — the exact derivation engine::Runner has always used,
+  // so extracting the helper changed no engine schedule.
+  SplitMix64 mix(seed ^ (0xB0FFULL + static_cast<std::uint64_t>(attempt)));
+  Rng rng(mix.next());
+  return capped * (0.5 + rng.uniform());
+}
+
+}  // namespace impatience::util

@@ -87,6 +87,175 @@ void feed_socket(const std::string& socket_path, const std::string& data) {
   ::close(fd);
 }
 
+/// Opens a raw connection to the daemon's socket (retrying connect).
+int connect_socket(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  int connected = -1;
+  for (int i = 0; i < 100 && connected < 0; ++i) {
+    connected =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (connected < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_EQ(connected, 0) << "cannot connect to " << socket_path;
+  return fd;
+}
+
+void send_raw(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads one newline-terminated line (without the newline), with timeout.
+std::string recv_line(int fd, double timeout_s = 5.0) {
+  std::string buffer;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) return buffer.substr(0, nl);
+    char buf[256];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      buffer.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      break;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  return buffer;
+}
+
+void wait_for_seq(const ReplicationDaemon& daemon, std::uint64_t seq) {
+  for (int i = 0; i < 1000 && daemon.store().seq() < seq; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(daemon.store().seq(), seq);
+}
+
+TEST(Replicationd, HelloHandshakeAnswersSeqCursor) {
+  TempPath socket("repl_hello");
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = 31;
+  config.socket_path = socket.path();
+  config.http_port = 0;
+  ReplicationDaemon daemon(config);
+  std::thread runner([&] { daemon.run(nullptr); });
+
+  const int fd = connect_socket(socket.path());
+  send_raw(fd, "H\n");
+  EXPECT_EQ(recv_line(fd), "S 0");  // fresh store: cursor at zero
+  send_raw(fd, "C 1 2\nnonsense\nR 3 5\nH\n");
+  // Malformed lines occupy a seq slot too — the cursor is a count of
+  // countable lines, exactly what a resuming feeder must skip.
+  EXPECT_EQ(recv_line(fd), "S 3");
+  ::close(fd);
+
+  wait_for_seq(daemon, 3);
+  EXPECT_EQ(daemon.ingest().hellos.load(), 2u);
+  EXPECT_EQ(daemon.ingest().connections.load(), 1u);
+  const std::string metrics = http_get(daemon.http_port(), "/metrics");
+  EXPECT_NE(metrics.find("replicationd_ingest_hellos_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("replicationd_ingest_connections_total 1\n"),
+            std::string::npos);
+  daemon.stop();
+  runner.join();
+}
+
+TEST(Replicationd, PartialLineIsHeldAndCompletedByNextConnection) {
+  TempPath socket("repl_partial_hold");
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = 32;
+  config.socket_path = socket.path();
+  config.http_port = -1;
+  ReplicationDaemon daemon(config);
+  std::thread runner([&] { daemon.run(nullptr); });
+
+  // Connection 1 dies mid-frame: "R 3" is an unterminated fragment. The
+  // old behavior flushed it as a line (a spurious malformed event); now
+  // it must be held.
+  feed_socket(socket.path(), "C 1 2\nR 3");
+  wait_for_seq(daemon, 1);
+  EXPECT_EQ(daemon.store().seq(), 1u);
+  EXPECT_EQ(daemon.ingest().frames_partial.load(), 1u);
+
+  // Connection 2 (a dumb continuation feeder, no handshake) completes
+  // the cut frame exactly where it left off.
+  feed_socket(socket.path(), " 5\nQ\n");
+  runner.join();
+  const StoreCounters k = daemon.store().counters();
+  EXPECT_EQ(daemon.store().seq(), 2u);
+  EXPECT_EQ(k.events_malformed, 0u);
+  EXPECT_EQ(k.requests_created, 1u);  // "R 3 5" was reassembled
+  EXPECT_EQ(daemon.ingest().frames_partial_discarded.load(), 0u);
+}
+
+TEST(Replicationd, HeldFragmentIsDiscardedWhenNextConnectionHandshakes) {
+  TempPath socket("repl_partial_drop");
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = 33;
+  config.socket_path = socket.path();
+  config.http_port = -1;
+  ReplicationDaemon daemon(config);
+  std::thread runner([&] { daemon.run(nullptr); });
+
+  feed_socket(socket.path(), "C 1 2\nR 3");
+  wait_for_seq(daemon, 1);
+
+  // A resuming feeder opens with H: it will re-send the cut frame
+  // itself, so gluing its bytes onto the fragment would corrupt the
+  // stream — the fragment must be dropped instead.
+  const int fd = connect_socket(socket.path());
+  send_raw(fd, "H\n");
+  EXPECT_EQ(recv_line(fd), "S 1");
+  send_raw(fd, "R 3 5\nQ\n");
+  ::close(fd);
+  runner.join();
+
+  const StoreCounters k = daemon.store().counters();
+  EXPECT_EQ(daemon.store().seq(), 2u);
+  EXPECT_EQ(k.events_malformed, 0u);
+  EXPECT_EQ(k.requests_created, 1u);
+  EXPECT_EQ(daemon.ingest().frames_partial.load(), 1u);
+  EXPECT_EQ(daemon.ingest().frames_partial_discarded.load(), 1u);
+}
+
+TEST(Replicationd, BoundedIngestBufferCountsBackpressure) {
+  TempPath socket("repl_backpressure");
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = 34;
+  config.socket_path = socket.path();
+  config.http_port = -1;
+  config.ingest_buffer_bytes = 1;  // clamped up to the 4096 floor
+  ReplicationDaemon daemon(config);
+
+  // Queue well over the buffer cap in the kernel socket buffer *before*
+  // the ingest loop starts reading: the first greedy drain must stop at
+  // the cap and the lines served while capped count as deferred.
+  feed_socket(socket.path(), stream_text(2000, 35, /*quit=*/true));
+  daemon.run(nullptr);
+
+  EXPECT_GE(daemon.ingest().buffer_high_water.load(), 4096u);
+  EXPECT_GT(daemon.ingest().events_deferred.load(), 0u);
+  EXPECT_GT(daemon.store().seq(), 1000u);  // the stream still all applied
+}
+
 TEST(Replicationd, IngestsSocketStreamAndServesMetrics) {
   TempPath socket("repl_sock");
   DaemonConfig config;
@@ -252,9 +421,12 @@ TEST(Replicationd, MalformedLinesAreCountedNotFatal) {
   daemon.run(nullptr);
   const StoreCounters k = daemon.store().counters();
   // "nonsense here" and the self-contact "C 1 1" are malformed (counted,
-  // skipped); comments/blanks are noise; Q ends the stream unapplied.
+  // state untouched) but still occupy a seq slot each — the seq cursor
+  // counts every countable line so the H/S resume protocol is exact.
+  // Comments/blanks are noise; Q ends the stream unapplied.
   EXPECT_EQ(k.events_malformed, 2u);
-  EXPECT_EQ(k.events_applied, 2u);  // C 1 2 and R 3 5
+  EXPECT_EQ(k.events_applied, 4u);  // C 1 2, nonsense, C 1 1, R 3 5
+  EXPECT_EQ(daemon.store().seq(), 4u);
 }
 
 TEST(Replicationd, HttpSnapshotEndpointTriggersPersistence) {

@@ -1,0 +1,270 @@
+// Byte-level protocol fuzzing for replicationd's socket ingest (suite
+// ReplicationdFuzz; swept under ThreadSanitizer by
+// scripts/check_engine_tsan.sh). Seeded mutations — truncations, splices,
+// duplicated chunks, interleaved garbage (newlines included) — are
+// streamed at the daemon, which must never throw, never double-apply,
+// and account for every rejected frame: its seq / malformed / hello /
+// fragment counters are checked against an independent reference
+// tokenizer that models the framing rules directly.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "impatience/service/daemon.hpp"
+#include "impatience/service/protocol.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::service {
+namespace {
+
+StoreConfig small_config() {
+  StoreConfig config;
+  config.num_nodes = 16;
+  config.num_items = 12;
+  config.cache_capacity = 3;
+  return config;
+}
+
+class TempPath {
+ public:
+  explicit TempPath(const char* stem) {
+    path_ = ::testing::TempDir() + stem + "_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  }
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Best-effort raw send: the daemon may quit (a fuzzed 'Q' line) while
+/// bytes are still in flight, so EPIPE just ends the feed.
+void feed_bytes(const std::string& socket_path, const std::string& data) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  int connected = -1;
+  for (int i = 0; i < 100 && connected < 0; ++i) {
+    connected =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (connected < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  if (connected < 0) {
+    ::close(fd);
+    return;
+  }
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
+/// What the daemon must account for a byte stream fed over a sequence of
+/// connections.
+struct ExpectedIngest {
+  std::uint64_t seq = 0;        ///< countable lines applied
+  std::uint64_t malformed = 0;  ///< of which unparseable
+  std::uint64_t hellos = 0;
+  std::uint64_t frames_partial = 0;
+  std::uint64_t frames_partial_discarded = 0;
+  bool quit = false;         ///< a Q line ended the stream
+  std::size_t quit_conn = 0; ///< index of the connection carrying the Q
+};
+
+/// Independent reference tokenizer: replays the daemon's framing rules
+/// (hold fragment at disconnect; next connection's first complete line
+/// decides glue-vs-discard; processing stops at the first Q) over the
+/// exact bytes of each connection.
+ExpectedIngest reference_ingest(const std::vector<std::string>& conns) {
+  ExpectedIngest expected;
+  std::string fragment;
+  for (std::size_t ci = 0; ci < conns.size(); ++ci) {
+    if (expected.quit) break;
+    expected.quit_conn = ci;
+    std::string buffer = conns[ci];
+    bool deciding = !fragment.empty();
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', pos);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (deciding) {
+        deciding = false;
+        if (classify_line(line) == LineClass::hello) {
+          fragment.clear();
+          ++expected.frames_partial_discarded;
+        } else {
+          line = fragment + line;
+          fragment.clear();
+        }
+      }
+      const LineClass cls = classify_line(line);
+      if (cls == LineClass::noise) continue;
+      if (cls == LineClass::hello) {
+        ++expected.hellos;
+        continue;
+      }
+      if (cls == LineClass::quit) {
+        expected.quit = true;
+        break;
+      }
+      ++expected.seq;
+      if (cls == LineClass::malformed) ++expected.malformed;
+    }
+    if (expected.quit) break;
+    if (pos < buffer.size()) {
+      fragment += buffer.substr(pos);
+      ++expected.frames_partial;
+    }
+  }
+  return expected;
+}
+
+/// Runs the daemon over the connection blobs and checks every counter
+/// against the reference tokenizer.
+void run_and_check(const std::vector<std::string>& conns,
+                   std::uint64_t seed, const char* what) {
+  const ExpectedIngest expected = reference_ingest(conns);
+  TempPath socket("repl_fuzz_sock");
+  DaemonConfig config;
+  config.store = small_config();
+  config.seed = seed;
+  config.socket_path = socket.path();
+  config.http_port = -1;
+  ReplicationDaemon daemon(config);
+  std::thread runner([&] {
+    // The contract under fuzz: ingest never throws.
+    EXPECT_NO_THROW(daemon.run(nullptr)) << what;
+  });
+  for (std::size_t ci = 0; ci < conns.size(); ++ci) {
+    feed_bytes(socket.path(), conns[ci]);
+    // Connections past the quit-carrying one may never be accepted.
+    if (expected.quit && ci >= expected.quit_conn) break;
+  }
+  if (!expected.quit) {
+    // No Q reached the daemon: wait (bounded) for the stream to be fully
+    // accounted, then stop the run.
+    for (int i = 0; i < 2500 && daemon.store().seq() < expected.seq; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    daemon.stop();
+  }
+  runner.join();
+
+  const StoreCounters k = daemon.store().counters();
+  EXPECT_EQ(daemon.store().seq(), expected.seq) << what;
+  EXPECT_EQ(k.events_applied, expected.seq) << what;  // never double-applied
+  EXPECT_EQ(k.events_malformed, expected.malformed) << what;
+  EXPECT_EQ(daemon.ingest().hellos.load(), expected.hellos) << what;
+  // The quit on the final connection means every disconnect-held
+  // fragment was already accounted when the run ended.
+  EXPECT_EQ(daemon.ingest().frames_partial.load(), expected.frames_partial)
+      << what;
+  EXPECT_EQ(daemon.ingest().frames_partial_discarded.load(),
+            expected.frames_partial_discarded)
+      << what;
+}
+
+std::string clean_stream(std::uint64_t events, std::uint64_t seed) {
+  StreamConfig config;
+  config.events = events;
+  config.num_nodes = 16;
+  config.num_items = 12;
+  config.quit = false;
+  std::ostringstream out;
+  write_stream(out, generate_stream(config, seed));
+  return out.str();
+}
+
+TEST(ReplicationdFuzz, TruncatedStreamsNeverThrowAndAccountExactly) {
+  util::Rng rng(2024);
+  const std::string base = clean_stream(120, 7);
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t cut = rng.uniform_index(base.size());
+    // Truncated stream, then a terminating Q on the same connection.
+    run_and_check({base.substr(0, cut) + "\nQ\n"}, 100 + round,
+                  "truncation");
+  }
+}
+
+TEST(ReplicationdFuzz, SplicedAndGarbledStreamsAccountExactly) {
+  util::Rng rng(4048);
+  const std::string a = clean_stream(100, 11);
+  const std::string b = clean_stream(100, 13);
+  const char garbage_alphabet[] = "\nQX \t#HC R0123456789\x01\x7f;";
+  for (int round = 0; round < 8; ++round) {
+    // Splice two streams at random byte offsets (tearing lines), then
+    // interleave a burst of garbage that may itself contain newlines,
+    // 'Q' and 'H' bytes — the oracle models whatever lines result.
+    std::string mutated = a.substr(0, rng.uniform_index(a.size())) +
+                          b.substr(rng.uniform_index(b.size()));
+    std::string burst;
+    const std::size_t len = 1 + rng.uniform_index(40);
+    for (std::size_t i = 0; i < len; ++i) {
+      burst += garbage_alphabet[rng.uniform_index(
+          sizeof(garbage_alphabet) - 1)];
+    }
+    mutated.insert(rng.uniform_index(mutated.size()), burst);
+    run_and_check({mutated + "\nQ\n"}, 200 + round, "splice+garbage");
+  }
+}
+
+TEST(ReplicationdFuzz, MultiConnectionCutsWithAndWithoutHandshake) {
+  util::Rng rng(9090);
+  const std::string base = clean_stream(150, 17);
+  for (int round = 0; round < 6; ++round) {
+    // Cut the stream at two random bytes into three connections; the
+    // middle one may open with a handshake (discarding the held cut
+    // fragment) or not (gluing it).
+    std::size_t c1 = rng.uniform_index(base.size());
+    std::size_t c2 = rng.uniform_index(base.size());
+    if (c1 > c2) std::swap(c1, c2);
+    const bool handshake = rng.bernoulli(0.5);
+    std::vector<std::string> conns;
+    conns.push_back(base.substr(0, c1));
+    conns.push_back((handshake ? std::string("H\n") : std::string()) +
+                    base.substr(c1, c2 - c1));
+    conns.push_back(base.substr(c2) + "\nQ\n");
+    run_and_check(conns, 300 + round,
+                  handshake ? "3-way cut + handshake" : "3-way cut");
+  }
+}
+
+TEST(ReplicationdFuzz, DuplicatedChunksAreAppliedAsSent) {
+  util::Rng rng(5150);
+  const std::string base = clean_stream(80, 19);
+  for (int round = 0; round < 4; ++round) {
+    // A duplicated byte range models a feeder resending too much: the
+    // daemon applies what arrives (duplicate frames are the feeder's
+    // cursor bug, not the daemon's) but must still account exactly.
+    std::size_t from = rng.uniform_index(base.size());
+    std::size_t to = rng.uniform_index(base.size());
+    if (from > to) std::swap(from, to);
+    std::string mutated = base;
+    mutated.insert(to, base.substr(from, to - from));
+    run_and_check({mutated + "\nQ\n"}, 400 + round, "duplicated chunk");
+  }
+}
+
+}  // namespace
+}  // namespace impatience::service

@@ -113,6 +113,54 @@ TEST(ServiceProtocol, GeneratorRespectsConfig) {
   }
 }
 
+TEST(ServiceProtocol, HelloFrameParsesStrictly) {
+  auto hello = parse_event("H");
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->kind, Event::Kind::hello);
+  EXPECT_TRUE(parse_event("  H  ").has_value());
+  EXPECT_FALSE(parse_event("H 1").has_value());
+  EXPECT_FALSE(parse_event("Hx").has_value());
+  EXPECT_EQ(format_event(*hello), "H");
+}
+
+TEST(ServiceProtocol, ClassifyLineCoversEveryClass) {
+  EXPECT_EQ(classify_line(""), LineClass::noise);
+  EXPECT_EQ(classify_line("# note"), LineClass::noise);
+  EXPECT_EQ(classify_line("H"), LineClass::hello);
+  EXPECT_EQ(classify_line("Q"), LineClass::quit);
+  EXPECT_EQ(classify_line("garbage"), LineClass::malformed);
+  EXPECT_EQ(classify_line("C 1 1"), LineClass::malformed);
+
+  Event event;
+  EXPECT_EQ(classify_line("C 1 2", &event), LineClass::event);
+  EXPECT_EQ(event.kind, Event::Kind::contact);
+  EXPECT_EQ(event.a, 1u);
+  EXPECT_EQ(event.b, 2u);
+
+  // Countability is what the seq cursor counts: events and malformed
+  // lines occupy a sequence slot; noise and stream control do not.
+  EXPECT_TRUE(is_countable(LineClass::event));
+  EXPECT_TRUE(is_countable(LineClass::malformed));
+  EXPECT_FALSE(is_countable(LineClass::noise));
+  EXPECT_FALSE(is_countable(LineClass::hello));
+  EXPECT_FALSE(is_countable(LineClass::quit));
+}
+
+TEST(ServiceProtocol, SeqReplyRoundTrips) {
+  EXPECT_EQ(format_seq_reply(0), "S 0");
+  EXPECT_EQ(format_seq_reply(12345), "S 12345");
+  for (const std::uint64_t seq : {0ull, 1ull, 987654321ull}) {
+    const auto parsed = parse_seq_reply(format_seq_reply(seq));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, seq);
+  }
+  EXPECT_EQ(parse_seq_reply("  S 7 \r"), 7u);
+  for (const char* bad :
+       {"S", "S x", "S -1", "S 1 2", "X 1", "", "S 99999999999999999999"}) {
+    EXPECT_FALSE(parse_seq_reply(bad).has_value()) << bad;
+  }
+}
+
 TEST(ServiceProtocol, WriteStreamEmitsOneLinePerFrame) {
   StreamConfig config;
   config.events = 50;

@@ -1,0 +1,61 @@
+#include "impatience/util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "impatience/engine/seeding.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::util {
+namespace {
+
+TEST(Backoff, IsAPureFunctionOfPolicySeedAttempt) {
+  const BackoffPolicy policy{0.01, 1.0};
+  for (int attempt = 1; attempt <= 12; ++attempt) {
+    const double a = backoff_delay(policy, 42, attempt);
+    const double b = backoff_delay(policy, 42, attempt);
+    EXPECT_EQ(a, b);  // bitwise: no wall-clock randomness anywhere
+  }
+  EXPECT_NE(backoff_delay(policy, 42, 3), backoff_delay(policy, 43, 3));
+  EXPECT_NE(backoff_delay(policy, 42, 3), backoff_delay(policy, 42, 4));
+}
+
+TEST(Backoff, GrowsExponentiallyWithinJitterBandAndCaps) {
+  const BackoffPolicy policy{0.01, 1.0};
+  for (int attempt = 1; attempt <= 30; ++attempt) {
+    const double nominal =
+        std::min(policy.base_seconds * std::ldexp(1.0, attempt - 1),
+                 policy.max_seconds);
+    const double d = backoff_delay(policy, 7, attempt);
+    EXPECT_GE(d, 0.5 * nominal);
+    EXPECT_LE(d, 1.5 * nominal);
+    EXPECT_LE(d, 1.5 * policy.max_seconds);  // cap holds past attempt 7
+  }
+}
+
+TEST(Backoff, ZeroBaseDisablesDelays) {
+  EXPECT_EQ(backoff_delay({0.0, 1.0}, 9, 5), 0.0);
+  EXPECT_EQ(backoff_delay({-1.0, 1.0}, 9, 5), 0.0);
+}
+
+TEST(Backoff, MatchesTheEngineRetryDerivation) {
+  // The helper was extracted from engine::Runner's retry loop; the
+  // jitter stream must stay bit-identical to the original inline code
+  // (SplitMix64's single mix round == engine::mix64).
+  const BackoffPolicy policy{0.25, 8.0};
+  const std::uint64_t seed = 91;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double nominal =
+        std::min(policy.base_seconds * std::ldexp(1.0, attempt - 1),
+                 policy.max_seconds);
+    Rng rng(engine::mix64(seed ^
+                          (0xB0FFULL + static_cast<std::uint64_t>(attempt))));
+    const double expected = nominal * (0.5 + rng.uniform());
+    EXPECT_EQ(backoff_delay(policy, seed, attempt), expected);
+  }
+}
+
+}  // namespace
+}  // namespace impatience::util
