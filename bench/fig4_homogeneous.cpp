@@ -3,17 +3,117 @@
 //   (right) step delay-utility, sweeping tau in [1, 1000] (log grid)
 // Setting from Section 6.2: 50 nodes, 50 items, rho = 5, mu = 0.05, pure
 // P2P, Pareto(1) demand. The y values are 100*(U - U_OPT)/|U_OPT|.
+//
+// `--eval mf` swaps the trace-driven simulations for the mean-field
+// evaluator (core/mean_field.hpp): the same competitor set and loss
+// tables, computed in replica-count space with no trace and no per-node
+// state, so `--nodes 1000000` finishes in seconds in O(N + T) memory
+// (docs/perf.md §6). The default `--eval sim` path is byte-identical to
+// previous releases.
+#include <sys/resource.h>
+
 #include <iostream>
 
 #include "common.hpp"
+#include "impatience/core/mean_field.hpp"
 #include "impatience/utility/families.hpp"
 
 using namespace impatience;
+
+namespace {
+
+constexpr double kPowerAlphas[] = {-2.0, -1.5, -1.0, -0.5, 0.0, 0.5, 0.9};
+constexpr double kStepTaus[] = {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0};
+
+/// One mean-field sweep point: OPT/UNI/SQRT/PROP/DOM welfare rates from
+/// the count-space competitor set, QCR from the replica-fraction ODE.
+/// Deterministic — no trials, no seeds, no trace.
+bench::ComparisonPoint mean_field_point(const std::vector<double>& demand,
+                                        const utility::DelayUtility& u,
+                                        const core::MeanFieldModel& model,
+                                        int rho, double x) {
+  bench::ComparisonPoint point;
+  point.x = x;
+  for (const auto& [name, counts] :
+       core::mean_field_competitors(demand, u, model, rho)) {
+    const double w = core::mean_field_welfare(counts, demand, u, model);
+    if (name == "OPT") {
+      point.opt_utility = w;
+    } else {
+      point.utility[name] = w;
+    }
+  }
+  point.utility["QCR"] =
+      core::mean_field_qcr(demand, u, model, rho).mean_welfare_rate;
+  for (const auto& [name, w] : point.utility) {
+    point.loss_percent[name] =
+        core::normalized_loss_percent(w, point.opt_utility);
+  }
+  return point;
+}
+
+int run_mean_field(const util::Flags& flags, trace::NodeId nodes,
+                   core::ItemId items, trace::Slot slots, double mu, int rho,
+                   double total_demand) {
+  bench::banner("fig4",
+                "QCR vs fixed allocations, mean-field evaluator (no trace)");
+  std::cout << "mean-field: N=" << nodes << " items=" << items
+            << " T=" << slots << " mu=" << mu << " rho=" << rho << '\n';
+  core::MeanFieldModel model;
+  model.mu = mu;
+  model.num_nodes = static_cast<double>(nodes);
+  model.horizon = slots;
+  const auto catalog = core::Catalog::pareto(items, 1.0, total_demand);
+  const auto& demand = catalog.demands();
+
+  {
+    std::vector<bench::ComparisonPoint> points;
+    for (double alpha : kPowerAlphas) {
+      utility::PowerUtility u(alpha);
+      points.push_back(mean_field_point(demand, u, model, rho, alpha));
+    }
+    bench::print_loss_table(
+        "Figure 4 (left): power delay-utility, mean-field loss vs OPT (%) "
+        "by alpha",
+        "alpha", points);
+    bench::maybe_write_csv(flags, "fig4_power_mf.csv", "alpha", points);
+  }
+  {
+    std::vector<bench::ComparisonPoint> points;
+    for (double tau : kStepTaus) {
+      utility::StepUtility u(tau);
+      points.push_back(mean_field_point(demand, u, model, rho, tau));
+    }
+    bench::print_loss_table(
+        "Figure 4 (right): step delay-utility, mean-field loss vs OPT (%) "
+        "by tau",
+        "tau", points);
+    bench::maybe_write_csv(flags, "fig4_step_mf.csv", "tau", points);
+  }
+
+  // The point of the mf path is the memory profile: no trace, no per-node
+  // state. ru_maxrss (KiB on Linux) goes to stdout so
+  // scripts/bench_snapshot.sh can record it in the snapshot context.
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  std::cout << "[mem] peak_rss_kb=" << usage.ru_maxrss << '\n';
+  std::cout << "expected shape (paper): same ordering as --eval sim; the "
+               "discrete gain model is exact\nfor the frozen allocations, "
+               "the QCR row is the fluid-limit ODE approximation.\n";
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const trace::NodeId nodes =
       static_cast<trace::NodeId>(flags.get_int("nodes", 50));
+  // Catalog size defaults to the node count (the paper's 50x50 setting);
+  // --items decouples them so million-node mean-field runs keep the
+  // paper's catalog.
+  const core::ItemId items =
+      static_cast<core::ItemId>(flags.get_int("items", nodes));
   const trace::Slot slots = flags.get_long("slots", 5000);
   const double mu = flags.get_double("mu", 0.05);
   const int rho = flags.get_int("rho", 5);
@@ -21,6 +121,14 @@ int main(int argc, char** argv) {
   const double total_demand = flags.get_double("demand", 1.0);
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.get_long("seed", 42));
+  const std::string eval = flags.get_string("eval", "sim");
+  if (eval == "mf") {
+    return run_mean_field(flags, nodes, items, slots, mu, rho, total_demand);
+  }
+  if (eval != "sim") {
+    std::cerr << "fig4: --eval must be 'sim' or 'mf', got '" << eval << "'\n";
+    return 2;
+  }
 
   bench::banner("fig4", "QCR vs fixed allocations, homogeneous contacts");
 
@@ -40,9 +148,7 @@ int main(int argc, char** argv) {
     auto trace = trace::generate_poisson({nodes, slots, mu}, r);
     return core::make_scenario(
         std::move(trace),
-        core::Catalog::pareto(static_cast<core::ItemId>(nodes), 1.0,
-                              total_demand),
-        rho);
+        core::Catalog::pareto(items, 1.0, total_demand), rho);
   };
 
   // Left panel: power utility, alpha sweep.
@@ -50,7 +156,7 @@ int main(int argc, char** argv) {
     config.label = "fig4-power";
     std::vector<bench::ComparisonPoint> points;
     std::uint64_t index = 0;
-    for (double alpha : {-2.0, -1.5, -1.0, -0.5, 0.0, 0.5, 0.9}) {
+    for (double alpha : kPowerAlphas) {
       utility::PowerUtility u(alpha);
       const std::uint64_t point_seed =
           engine::child_seed(seed, "fig4-power", index++);
@@ -70,7 +176,7 @@ int main(int argc, char** argv) {
     config.label = "fig4-step";
     std::vector<bench::ComparisonPoint> points;
     std::uint64_t index = 0;
-    for (double tau : {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0}) {
+    for (double tau : kStepTaus) {
       utility::StepUtility u(tau);
       const std::uint64_t point_seed =
           engine::child_seed(seed, "fig4-step", index++);

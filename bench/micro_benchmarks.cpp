@@ -10,6 +10,8 @@
 #include "impatience/alloc/rounding.hpp"
 #include "impatience/alloc/solvers.hpp"
 #include "impatience/core/experiment.hpp"
+#include "impatience/core/mean_field.hpp"
+#include "impatience/trace/event_source.hpp"
 #include "impatience/trace/generators.hpp"
 #include "impatience/trace/partition.hpp"
 #include "impatience/util/math.hpp"
@@ -691,6 +693,167 @@ void BM_PartitionSlot(benchmark::State& state) {
                           static_cast<std::int64_t>(densest.size()));
 }
 BENCHMARK(BM_PartitionSlot);
+
+// Fig4-at-scale pair (docs/perf.md §6): one welfare evaluation of the
+// same N = 500 homogeneous scenario, as a full event-kernel trial vs the
+// mean-field discrete gain model. The mean-field number includes the
+// whole per-evaluation cost — DiscreteGainTable build (O(N + T)) plus
+// the O(I) welfare fold — i.e. everything that replaces one simulation
+// trial in `fig4_homogeneous --eval mf`. The acceptance target is a
+// >= 100x gap in favor of the mean field at this scale.
+constexpr trace::NodeId kMfNodes = 500;
+constexpr core::ItemId kMfItems = 50;
+constexpr trace::Slot kMfSlots = 2000;
+constexpr double kMfMu = 0.01;
+constexpr int kMfCapacity = 4;
+
+struct MeanFieldFig4Instance {
+  core::Scenario scenario;
+  alloc::Placement placement;   // UNI, utility-independent
+  alloc::ItemCounts counts;     // the same UNI allocation in count space
+};
+
+const MeanFieldFig4Instance& mean_field_fig4_instance() {
+  static const MeanFieldFig4Instance inst = [] {
+    util::Rng rng(2030);
+    auto contact_trace =
+        trace::generate_poisson({kMfNodes, kMfSlots, kMfMu}, rng);
+    auto scenario = core::make_scenario(
+        std::move(contact_trace), core::Catalog::pareto(kMfItems, 1.0, 1.0),
+        kMfCapacity);
+    const auto counts = alloc::round_counts(
+        alloc::uniform_allocation(kMfItems,
+                                  kMfCapacity * static_cast<double>(kMfNodes),
+                                  kMfNodes),
+        static_cast<int>(kMfNodes));
+    util::Rng prng = rng.split();
+    auto placement =
+        alloc::place_counts(counts, kMfNodes, kMfCapacity, prng);
+    return MeanFieldFig4Instance{std::move(scenario), std::move(placement),
+                                 counts};
+  }();
+  return inst;
+}
+
+void BM_SimulateFig4Event500(benchmark::State& state) {
+  const auto& g = mean_field_fig4_instance();
+  const utility::StepUtility u(10.0);
+  util::Rng rng(13);
+  core::SimOptions sim;
+  sim.kernel = core::SimKernel::event_driven;
+  for (auto _ : state) {
+    util::Rng r = rng.split();
+    benchmark::DoNotOptimize(
+        core::run_fixed(g.scenario, u, "UNI", g.placement, sim, r));
+  }
+  state.SetItemsProcessed(state.iterations() * kMfSlots);
+}
+BENCHMARK(BM_SimulateFig4Event500)->Unit(benchmark::kMillisecond);
+
+void BM_MeanFieldFig4(benchmark::State& state) {
+  const auto& g = mean_field_fig4_instance();
+  const utility::StepUtility u(10.0);
+  core::MeanFieldModel model;
+  model.mu = kMfMu;
+  model.num_nodes = static_cast<double>(kMfNodes);
+  model.horizon = kMfSlots;
+  const auto& demand = g.scenario.catalog.demands();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::mean_field_welfare(g.counts, demand, u, model));
+  }
+  // Acceptance check (untimed): the mean-field value must land near the
+  // event kernel's observed utility for the same frozen allocation (the
+  // rigorous CI validation lives in tests/core/mean_field_test.cpp).
+  const double mf = core::mean_field_welfare(g.counts, demand, u, model);
+  core::SimOptions sim;
+  sim.kernel = core::SimKernel::event_driven;
+  double simulated = 0.0;
+  for (int s = 0; s < 3; ++s) {
+    util::Rng r(300 + s);
+    simulated +=
+        core::run_fixed(g.scenario, u, "UNI", g.placement, sim, r)
+            .observed_utility() /
+        3.0;
+  }
+  if (mf < 0.7 * simulated || mf > 1.3 * simulated) {
+    state.SkipWithError("mean-field welfare diverges from event kernel");
+  }
+}
+BENCHMARK(BM_MeanFieldFig4);
+
+// Streaming-trace pair (docs/perf.md §6): a full STATIC trial including
+// trace acquisition — materialize the whole ContactTrace first vs pull
+// slot batches from the O(1)-memory GeneratedSource while simulating.
+// Same generator draws, bit-identical results (checked untimed).
+constexpr trace::PoissonTraceParams kStreamParams{100, 2000, 0.05};
+
+const alloc::Placement& stream_placement() {
+  static const alloc::Placement placement = [] {
+    const auto counts = alloc::round_counts(
+        alloc::uniform_allocation(
+            kMfItems,
+            kMfCapacity * static_cast<double>(kStreamParams.num_nodes),
+            kStreamParams.num_nodes),
+        static_cast<int>(kStreamParams.num_nodes));
+    util::Rng prng(2031);
+    return alloc::place_counts(counts, kStreamParams.num_nodes, kMfCapacity,
+                               prng);
+  }();
+  return placement;
+}
+
+core::SimOptions stream_options() {
+  core::SimOptions sim;
+  sim.cache_capacity = kMfCapacity;
+  sim.sticky_replicas = false;
+  sim.initial_placement = stream_placement();
+  return sim;
+}
+
+void BM_MaterializedTrace(benchmark::State& state) {
+  const auto catalog = core::Catalog::pareto(kMfItems, 1.0, 1.0);
+  const utility::StepUtility u(10.0);
+  const auto sim = stream_options();
+  core::StaticPolicy policy;
+  for (auto _ : state) {
+    util::Rng gen(4040);
+    const auto tr = trace::generate_poisson(kStreamParams, gen);
+    util::Rng r(14);
+    benchmark::DoNotOptimize(core::simulate(tr, catalog, u, policy, sim, r));
+  }
+  state.SetItemsProcessed(state.iterations() * kStreamParams.duration);
+}
+BENCHMARK(BM_MaterializedTrace)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingTrace(benchmark::State& state) {
+  const auto catalog = core::Catalog::pareto(kMfItems, 1.0, 1.0);
+  const utility::StepUtility u(10.0);
+  const auto sim = stream_options();
+  core::StaticPolicy policy;
+  for (auto _ : state) {
+    trace::GeneratedSource source(kStreamParams, util::Rng(4040));
+    util::Rng r(14);
+    benchmark::DoNotOptimize(
+        core::simulate(source, catalog, u, policy, sim, r));
+  }
+  state.SetItemsProcessed(state.iterations() * kStreamParams.duration);
+  // Acceptance check (untimed): the streamed run must be bit-identical
+  // to the materialized one for the same generator seed.
+  util::Rng gen(4040);
+  const auto tr = trace::generate_poisson(kStreamParams, gen);
+  util::Rng r1(14);
+  const auto a = core::simulate(tr, catalog, u, policy, sim, r1);
+  trace::GeneratedSource source(kStreamParams, util::Rng(4040));
+  util::Rng r2(14);
+  const auto b = core::simulate(source, catalog, u, policy, sim, r2);
+  if (a.total_gain != b.total_gain || a.fulfillments != b.fulfillments ||
+      a.requests_created != b.requests_created ||
+      a.final_counts != b.final_counts) {
+    state.SkipWithError("streamed run diverged from materialized trace");
+  }
+}
+BENCHMARK(BM_StreamingTrace)->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorStatic(benchmark::State& state) {
   util::Rng rng(7);

@@ -15,6 +15,7 @@
 #include "impatience/core/policy.hpp"
 #include "impatience/fault/fault.hpp"
 #include "impatience/trace/contact.hpp"
+#include "impatience/trace/event_source.hpp"
 #include "impatience/util/errors.hpp"
 #include "impatience/utility/delay_utility.hpp"
 #include "impatience/utility/utility_set.hpp"
@@ -180,6 +181,37 @@ SimulationResult simulate(const trace::ContactTrace& trace,
                           const SimOptions& options, util::Rng& rng);
 SimulationResult simulate(const trace::ContactTrace& trace,
                           const Catalog& catalog,
+                          const utility::DelayUtility& utility,
+                          ReplicationPolicy& policy,
+                          const SimOptions& options, util::Rng& rng);
+
+/// Streaming overloads: drive the run from a trace::EventSource instead
+/// of a materialized ContactTrace. Both kernels consume the feed one
+/// slot batch at a time, so peak memory is O(largest slot batch) rather
+/// than O(total events). The source is single-pass and is left drained.
+/// Bit-identity: a GeneratedSource seeded like the generator run (or a
+/// MaterializedSource over the generated trace, or a PagedTraceReader
+/// over its file) produces results bit-identical to the materialized
+/// overloads for the same simulation rng, kernel, fault config and
+/// meeting_parallelism.
+SimulationResult simulate(trace::EventSource& source, const Catalog& catalog,
+                          const utility::UtilitySet& utilities,
+                          ReplicationPolicy& policy,
+                          const Population& population,
+                          const SimOptions& options, util::Rng& rng);
+
+SimulationResult simulate(trace::EventSource& source, const Catalog& catalog,
+                          const utility::DelayUtility& utility,
+                          ReplicationPolicy& policy,
+                          const Population& population,
+                          const SimOptions& options, util::Rng& rng);
+
+/// Pure-P2P convenience overloads covering all source nodes.
+SimulationResult simulate(trace::EventSource& source, const Catalog& catalog,
+                          const utility::UtilitySet& utilities,
+                          ReplicationPolicy& policy,
+                          const SimOptions& options, util::Rng& rng);
+SimulationResult simulate(trace::EventSource& source, const Catalog& catalog,
                           const utility::DelayUtility& utility,
                           ReplicationPolicy& policy,
                           const SimOptions& options, util::Rng& rng);

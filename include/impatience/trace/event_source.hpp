@@ -1,0 +1,128 @@
+// Streaming contact feeds: the pull interface the simulation kernels
+// consume instead of a fully materialized ContactTrace.
+//
+// An EventSource hands out meeting batches one slot at a time, in slot
+// order. The kernels only ever need the current slot's batch (a bounded
+// look-ahead window of one nonempty slot), so a source backed by a
+// generator or an on-disk pager keeps O(window) events in memory where
+// the materialized path keeps O(trace).
+//
+// Contract shared by every implementation:
+//  * next_slot() is idempotent: it reports the slot of the next pending
+//    (not yet taken) batch, generating ahead as needed, and
+//    kNoMoreEvents once the source is drained.
+//  * take_batch() returns the batch at next_slot() — nonempty, slot-
+//    sorted with canonical a < b within the slot — and advances the
+//    source. The span is valid until the next call on the source.
+//  * Batches are exactly the nonempty slot_events() runs of the
+//    equivalent materialized trace, in the same order: a kernel driven
+//    from a GeneratedSource seeded like the generator run is
+//    bit-identical to one driven from the generated ContactTrace.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "impatience/trace/contact.hpp"
+#include "impatience/trace/generators.hpp"
+#include "impatience/trace/stats.hpp"
+#include "impatience/util/rng.hpp"
+
+namespace impatience::trace {
+
+class EventSource {
+ public:
+  /// Sentinel returned by next_slot() on a drained source. Matches the
+  /// event kernel's "no more meetings" slot so the kernel can use the
+  /// value directly in its next-wakeup minimum.
+  static constexpr Slot kNoMoreEvents = std::numeric_limits<Slot>::max();
+
+  virtual ~EventSource() = default;
+
+  virtual NodeId num_nodes() const = 0;
+  /// Number of slots; batches have slots in [0, duration()).
+  virtual Slot duration() const = 0;
+
+  /// Slot of the next pending batch, kNoMoreEvents when drained.
+  virtual Slot next_slot() = 0;
+
+  /// The pending batch (all events of next_slot()). Must not be called
+  /// on a drained source. Invalidated by the next call on the source.
+  virtual std::span<const ContactEvent> take_batch() = 0;
+
+  /// Upper bound on any batch size when cheaply known, 0 for "unknown".
+  /// The fault path uses it to pre-reserve its per-slot staging buffer;
+  /// sources that cannot know cheaply return 0 and the buffer grows on
+  /// demand instead.
+  virtual std::size_t max_slot_events_hint() const { return 0; }
+};
+
+/// Adapter exposing an existing ContactTrace as a stream. Non-owning:
+/// the trace must outlive the source.
+class MaterializedSource final : public EventSource {
+ public:
+  explicit MaterializedSource(const ContactTrace& trace) noexcept
+      : trace_(&trace) {}
+
+  NodeId num_nodes() const override { return trace_->num_nodes(); }
+  Slot duration() const override { return trace_->duration(); }
+  Slot next_slot() override;
+  std::span<const ContactEvent> take_batch() override;
+  std::size_t max_slot_events_hint() const override {
+    return trace_->max_slot_events();
+  }
+
+ private:
+  const ContactTrace* trace_;
+  std::size_t cursor_ = 0;
+};
+
+/// Lazy memoryless generator: draws the same Bernoulli sequence as
+/// generate_heterogeneous / generate_poisson / generate_community_trace
+/// but one slot at a time, buffering only the current nonempty slot.
+/// Seed it with a copy of the Rng the materializing call would consume
+/// and the emitted batches — and any simulation driven from them — are
+/// bit-identical to the materialized run.
+class GeneratedSource final : public EventSource {
+ public:
+  /// Heterogeneous rates, mirroring generate_heterogeneous (pair list in
+  /// (a, b) order, zero-rate pairs draw nothing). O(pairs) memory.
+  GeneratedSource(const RateMatrix& rates, Slot duration, util::Rng rng);
+
+  /// Homogeneous contacts, mirroring generate_poisson. O(1) memory: the
+  /// implicit all-pairs list is iterated, never stored, so this is the
+  /// constructor for million-node streaming.
+  GeneratedSource(const PoissonTraceParams& params, util::Rng rng);
+
+  /// Community-structured contacts, mirroring generate_community_trace.
+  static GeneratedSource community(const CommunityTraceParams& params,
+                                   util::Rng rng);
+
+  NodeId num_nodes() const override { return num_nodes_; }
+  Slot duration() const override { return duration_; }
+  Slot next_slot() override;
+  std::span<const ContactEvent> take_batch() override;
+
+ private:
+  GeneratedSource(NodeId num_nodes, Slot duration, double homogeneous_mu,
+                  util::Rng rng);
+  void generate_slot(Slot slot);  // fills batch_ with slot's events
+
+  struct Pair {
+    NodeId a, b;
+    double p;
+  };
+  std::vector<Pair> pairs_;      // empty in the homogeneous fast path
+  double homogeneous_mu_ = -1.0; // >= 0 selects the pair-free fast path
+  NodeId num_nodes_;
+  Slot duration_;
+  util::Rng rng_;
+  Slot generated_to_ = 0;  // slots [0, generated_to_) have been drawn
+  Slot buffered_slot_ = kNoMoreEvents;
+  bool buffer_pending_ = false;
+  std::vector<ContactEvent> batch_;
+};
+
+}  // namespace impatience::trace

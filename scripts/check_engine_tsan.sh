@@ -12,7 +12,9 @@
 # store, so they belong in this sweep too. core_meeting_parallel_test's
 # dense-slot stress is the dedicated TSan target for the intra-run
 # parallel meeting path (plan waves on the pool, commits on the main
-# thread; docs/perf.md §5).
+# thread; docs/perf.md §5). trace_streaming_test drives that parallel
+# walk from streaming EventSources (the bounded look-ahead window), and
+# core_mean_field_test rides along under the same `sim` label.
 #
 # Equivalent presets flow (CMake >= 3.21):
 #   cmake --preset tsan && cmake --build --preset tsan -j \
@@ -29,7 +31,7 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target \
   engine_seeding_test engine_thread_pool_test engine_runner_test \
   engine_artifacts_test engine_sim_parallel_test engine_retry_test \
   fault_plan_test fault_sim_test core_kernel_equivalence_test \
-  core_meeting_parallel_test \
+  core_meeting_parallel_test core_mean_field_test trace_streaming_test \
   alloc_oracle_test utility_cached_transform_test core_simulator_test \
   service_protocol_test service_state_store_test service_daemon_test \
   service_feeder_test service_ingest_fuzz_test \

@@ -237,14 +237,19 @@ class MeetingBatchRunner {
   std::exception_ptr error_;  // first planner failure, rethrown on main
 };
 
-}  // namespace
-
-SimulationResult simulate(const trace::ContactTrace& trace,
-                          const Catalog& catalog,
-                          const utility::UtilitySet& utilities,
-                          ReplicationPolicy& policy,
-                          const Population& population,
-                          const SimOptions& options, util::Rng& rng) {
+/// Kernel body shared by the materialized and streaming entry points.
+/// Both kernels pull meeting batches from `feed` one slot at a time —
+/// the bounded look-ahead window — so the materialized ContactTrace
+/// overloads (a MaterializedSource view) and the streaming overloads
+/// run the exact same code, operation for operation.
+SimulationResult simulate_impl(trace::EventSource& feed,
+                               const Catalog& catalog,
+                               const utility::UtilitySet& utilities,
+                               ReplicationPolicy& policy,
+                               const Population& population,
+                               const SimOptions& options, util::Rng& rng) {
+  const NodeId num_nodes = feed.num_nodes();
+  const Slot duration = feed.duration();
   if (utilities.size() != catalog.num_items()) {
     throw std::invalid_argument("simulate: utility set size != item count");
   }
@@ -257,29 +262,29 @@ SimulationResult simulate(const trace::ContactTrace& trace,
     throw std::invalid_argument("simulate: empty population");
   }
   for (NodeId n : population.servers) {
-    if (n >= trace.num_nodes()) {
+    if (n >= num_nodes) {
       throw std::invalid_argument("simulate: server id outside trace");
     }
   }
   for (NodeId n : population.clients) {
-    if (n >= trace.num_nodes()) {
+    if (n >= num_nodes) {
       throw std::invalid_argument("simulate: client id outside trace");
     }
   }
 
   // Build nodes.
-  std::vector<char> is_server(trace.num_nodes(), 0);
-  std::vector<char> is_client(trace.num_nodes(), 0);
+  std::vector<char> is_server(num_nodes, 0);
+  std::vector<char> is_client(num_nodes, 0);
   for (NodeId n : population.servers) is_server[n] = 1;
   for (NodeId n : population.clients) is_client[n] = 1;
 
   // Hot per-node state (pending counters, query-counter clocks) and the
   // global replica counts live in SimulationState's flat arrays; nodes
   // are thin views into them (the SoA constructor).
-  SimulationState soa(trace.num_nodes(), num_items);
+  SimulationState soa(num_nodes, num_items);
   detail::SimState state;
-  state.nodes.reserve(trace.num_nodes());
-  for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+  state.nodes.reserve(num_nodes);
+  for (NodeId n = 0; n < num_nodes; ++n) {
     state.nodes.emplace_back(soa, n, num_items, options.cache_capacity,
                              is_server[n] != 0, is_client[n] != 0);
   }
@@ -395,7 +400,7 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   }
   std::size_t next_demand_change = 0;
   stats::BinnedSeries observed(options.metrics.bin_width,
-                               static_cast<double>(trace.duration()));
+                               static_cast<double>(duration));
 
   state.utilities = &utilities;
   state.policy = &policy;
@@ -405,7 +410,7 @@ SimulationResult simulate(const trace::ContactTrace& trace,
 
   SimulationResult result;
   result.policy = policy.name();
-  result.duration = trace.duration();
+  result.duration = duration;
   result.replica_series.resize(options.metrics.tracked_items.size());
 
   auto* qcr = dynamic_cast<QcrPolicy*>(&policy);
@@ -420,11 +425,12 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   std::vector<Slot> down_until;
   std::vector<trace::ContactEvent> delivery;
   if (fault_plan.active()) {
-    down_until.assign(trace.num_nodes(), 0);
+    down_until.assign(num_nodes, 0);
     // A slot's delivered sequence is at most every surviving meeting plus
     // one duplicate each; reserving here keeps the staging buffer from
-    // reallocating inside the slot loop.
-    delivery.reserve(2 * trace.max_slot_events());
+    // reallocating inside the slot loop. Sources without a cheap bound
+    // report 0 and the buffer grows on first use instead.
+    delivery.reserve(2 * feed.max_slot_events_hint());
   }
 
   // Intra-run meeting-level parallelism (docs/perf.md §5): >= 1 switches
@@ -435,7 +441,7 @@ SimulationResult simulate(const trace::ContactTrace& trace,
       engine::resolve_intra_threads(options.meeting_parallelism, 1);
   std::optional<MeetingBatchRunner> meeting_runner;
   if (intra_threads >= 1) {
-    meeting_runner.emplace(state, trace.num_nodes(), intra_threads);
+    meeting_runner.emplace(state, num_nodes, intra_threads);
   }
 
   // Policies that track global state seed themselves from the initial
@@ -553,13 +559,11 @@ SimulationResult simulate(const trace::ContactTrace& trace,
     // that have meetings — exactly the draws the slot-stepped loop
     // makes, minus the per-(slot, node) crash coins.
     constexpr Slot kNever = std::numeric_limits<Slot>::max();
-    const Slot duration = trace.duration();
+    static_assert(trace::EventSource::kNoMoreEvents == kNever);
     const Slot sample_every = options.metrics.sample_every;
     const bool sampling_active = options.expected_welfare || probe ||
                                  !options.metrics.tracked_items.empty();
     const bool faults_on = fault_plan.active();
-    const auto& events = trace.events();
-    std::size_t ev_idx = trace.first_event_at_or_after(0);
     std::vector<BatchedRequest> batch;
 
     // Observed gains are folded into the series one bin-batch at a time
@@ -583,8 +587,8 @@ SimulationResult simulate(const trace::ContactTrace& trace,
                         decltype(crash_later)>
         crashes(crash_later);
     if (faults_on && options.faults.p_crash > 0.0) {
-      fault_plan.prepare_node_streams(trace.num_nodes());
-      for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+      fault_plan.prepare_node_streams(num_nodes);
+      for (NodeId n = 0; n < num_nodes; ++n) {
         const auto c = fault_plan.next_node_crash(n, 0);
         if (c.slot < duration) {
           crashes.push({c.slot, n, c.persist_cache, c.downtime});
@@ -614,8 +618,10 @@ SimulationResult simulate(const trace::ContactTrace& trace,
           next_demand_change < options.demand_schedule.size()
               ? options.demand_schedule[next_demand_change].first
               : kNever;
-      const Slot next_meeting =
-          ev_idx < events.size() ? events[ev_idx].slot : kNever;
+      // Peek the feed: idempotent, and on a generating source it draws
+      // ahead only as far as the next nonempty slot (the look-ahead
+      // window) using the source's own rng, never the simulation rng.
+      const Slot next_meeting = feed.next_slot();
       const Slot next_sample =
           sampling_active ? ((cur + sample_every - 1) / sample_every) *
                                 sample_every
@@ -680,27 +686,20 @@ SimulationResult simulate(const trace::ContactTrace& trace,
         // Meetings of this slot, then the sample tick — the slot-stepped
         // intra-slot order.
         state.now = event_slot;
-        std::size_t end = ev_idx;
-        while (end < events.size() && events[end].slot == event_slot) ++end;
+        std::span<const trace::ContactEvent> meetings;
+        if (next_meeting == event_slot) meetings = feed.take_batch();
         if (!faults_on) {
-          if (meeting_runner && end > ev_idx) {
-            meeting_runner->run(
-                std::span<const trace::ContactEvent>(events.data() + ev_idx,
-                                                     end - ev_idx),
-                nullptr);
+          if (meeting_runner && !meetings.empty()) {
+            meeting_runner->run(meetings, nullptr);
           } else {
-            for (std::size_t k = ev_idx; k < end; ++k) {
-              const trace::ContactEvent& e = events[k];
+            for (const trace::ContactEvent& e : meetings) {
               detail::process_meeting(state, state.nodes[e.a],
                                       state.nodes[e.b]);
             }
           }
-        } else if (end > ev_idx) {
-          process_faulty_meetings(
-              event_slot, std::span<const trace::ContactEvent>(
-                              events.data() + ev_idx, end - ev_idx));
+        } else if (!meetings.empty()) {
+          process_faulty_meetings(event_slot, meetings);
         }
-        ev_idx = end;
         if (next_sample == event_slot) sample_metrics(event_slot);
         cur = event_slot + 1;
       } else {
@@ -713,7 +712,7 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   } else {
     // ---- slot-stepped kernel (the bit-locked Section-6.1 reference) ----
     std::vector<NewRequest> new_requests;
-    for (Slot slot = 0; slot < trace.duration(); ++slot) {
+    for (Slot slot = 0; slot < duration; ++slot) {
       state.now = slot;
 
       // Cooperative cancellation (the engine's deadline watchdog).
@@ -727,7 +726,7 @@ SimulationResult simulate(const trace::ContactTrace& trace,
       // this slot neither requests nor meets anyone until it rejoins.
       if (fault_plan.active()) {
         auto& counters = fault_plan.counters();
-        for (NodeId n = 0; n < trace.num_nodes(); ++n) {
+        for (NodeId n = 0; n < num_nodes; ++n) {
           if (down_until[n] > slot) continue;  // still down
           if (!fault_plan.crash_now()) continue;
           const bool persist = fault_plan.crash_persists_cache();
@@ -759,18 +758,22 @@ SimulationResult simulate(const trace::ContactTrace& trace,
         admit_request(req.item, req.node, slot);
       }
 
-      // Meetings.
+      // Meetings. The feed hands out exactly the nonempty slot_events()
+      // runs of the materialized trace, so an empty span here is the
+      // same empty span trace.slot_events(slot) returned before.
+      std::span<const trace::ContactEvent> meetings;
+      if (feed.next_slot() == slot) meetings = feed.take_batch();
       if (!fault_plan.active()) {
         if (meeting_runner) {
-          meeting_runner->run(trace.slot_events(slot), nullptr);
+          meeting_runner->run(meetings, nullptr);
         } else {
-          for (const trace::ContactEvent& e : trace.slot_events(slot)) {
+          for (const trace::ContactEvent& e : meetings) {
             detail::process_meeting(state, state.nodes[e.a],
                                     state.nodes[e.b]);
           }
         }
       } else {
-        process_faulty_meetings(slot, trace.slot_events(slot));
+        process_faulty_meetings(slot, meetings);
       }
 
       // Periodic sampling.
@@ -785,7 +788,7 @@ SimulationResult simulate(const trace::ContactTrace& trace,
     for (const Node& node : state.nodes) {
       for (const PendingRequest& req : node.pending()) {
         const double age =
-            static_cast<double>(trace.duration() - req.created) + 1.0;
+            static_cast<double>(duration - req.created) + 1.0;
         state.total_gain += utilities[req.item].value(age);
         ++result.censored_requests;
       }
@@ -820,6 +823,19 @@ SimulationResult simulate(const trace::ContactTrace& trace,
   return result;
 }
 
+}  // namespace
+
+SimulationResult simulate(const trace::ContactTrace& trace,
+                          const Catalog& catalog,
+                          const utility::UtilitySet& utilities,
+                          ReplicationPolicy& policy,
+                          const Population& population,
+                          const SimOptions& options, util::Rng& rng) {
+  trace::MaterializedSource feed(trace);
+  return simulate_impl(feed, catalog, utilities, policy, population, options,
+                       rng);
+}
+
 SimulationResult simulate(const trace::ContactTrace& trace,
                           const Catalog& catalog,
                           const utility::DelayUtility& utility,
@@ -847,6 +863,41 @@ SimulationResult simulate(const trace::ContactTrace& trace,
                           const SimOptions& options, util::Rng& rng) {
   return simulate(trace, catalog, utility, policy,
                   Population::pure_p2p(trace.num_nodes()), options, rng);
+}
+
+SimulationResult simulate(trace::EventSource& source, const Catalog& catalog,
+                          const utility::UtilitySet& utilities,
+                          ReplicationPolicy& policy,
+                          const Population& population,
+                          const SimOptions& options, util::Rng& rng) {
+  return simulate_impl(source, catalog, utilities, policy, population,
+                       options, rng);
+}
+
+SimulationResult simulate(trace::EventSource& source, const Catalog& catalog,
+                          const utility::DelayUtility& utility,
+                          ReplicationPolicy& policy,
+                          const Population& population,
+                          const SimOptions& options, util::Rng& rng) {
+  const utility::UtilitySet utilities(utility, catalog.num_items());
+  return simulate_impl(source, catalog, utilities, policy, population,
+                       options, rng);
+}
+
+SimulationResult simulate(trace::EventSource& source, const Catalog& catalog,
+                          const utility::UtilitySet& utilities,
+                          ReplicationPolicy& policy,
+                          const SimOptions& options, util::Rng& rng) {
+  return simulate(source, catalog, utilities, policy,
+                  Population::pure_p2p(source.num_nodes()), options, rng);
+}
+
+SimulationResult simulate(trace::EventSource& source, const Catalog& catalog,
+                          const utility::DelayUtility& utility,
+                          ReplicationPolicy& policy,
+                          const SimOptions& options, util::Rng& rng) {
+  return simulate(source, catalog, utility, policy,
+                  Population::pure_p2p(source.num_nodes()), options, rng);
 }
 
 }  // namespace impatience::core

@@ -1,0 +1,121 @@
+#include "impatience/trace/event_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace impatience::trace {
+
+Slot MaterializedSource::next_slot() {
+  const auto& events = trace_->events();
+  if (cursor_ >= events.size()) return kNoMoreEvents;
+  return events[cursor_].slot;
+}
+
+std::span<const ContactEvent> MaterializedSource::take_batch() {
+  const auto& events = trace_->events();
+  if (cursor_ >= events.size()) {
+    throw std::logic_error("MaterializedSource: take_batch on drained source");
+  }
+  const Slot slot = events[cursor_].slot;
+  std::size_t end = cursor_;
+  while (end < events.size() && events[end].slot == slot) ++end;
+  const std::span<const ContactEvent> batch(events.data() + cursor_,
+                                            end - cursor_);
+  cursor_ = end;
+  return batch;
+}
+
+GeneratedSource::GeneratedSource(NodeId num_nodes, Slot duration,
+                                 double homogeneous_mu, util::Rng rng)
+    : homogeneous_mu_(homogeneous_mu),
+      num_nodes_(num_nodes),
+      duration_(duration),
+      rng_(rng) {
+  if (duration_ <= 0) {
+    throw std::invalid_argument("GeneratedSource: duration must be > 0");
+  }
+}
+
+GeneratedSource::GeneratedSource(const RateMatrix& rates, Slot duration,
+                                 util::Rng rng)
+    : GeneratedSource(rates.num_nodes(), duration, -1.0, rng) {
+  // Flatten the upper triangle exactly as generate_heterogeneous does,
+  // so the Bernoulli draw order (and therefore the Rng stream) matches.
+  const NodeId n = rates.num_nodes();
+  pairs_.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < n; ++b) {
+      const double p = std::min(rates.at(a, b), 1.0);
+      if (p > 0.0) pairs_.push_back({a, b, p});
+    }
+  }
+}
+
+GeneratedSource::GeneratedSource(const PoissonTraceParams& params,
+                                 util::Rng rng)
+    : GeneratedSource(params.num_nodes, params.duration,
+                      std::min(params.mu, 1.0), rng) {
+  if (params.mu < 0.0 || params.mu > 1.0) {
+    throw std::invalid_argument("GeneratedSource: mu must be in [0,1]");
+  }
+}
+
+GeneratedSource GeneratedSource::community(const CommunityTraceParams& params,
+                                           util::Rng rng) {
+  if (params.num_nodes < 2 || params.num_communities <= 0 ||
+      params.intra_rate < 0.0 || params.inter_rate < 0.0) {
+    throw std::invalid_argument("GeneratedSource: bad community parameters");
+  }
+  RateMatrix rates(params.num_nodes);
+  for (NodeId a = 0; a < params.num_nodes; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < params.num_nodes; ++b) {
+      const bool same = community_of(a, params.num_communities) ==
+                        community_of(b, params.num_communities);
+      rates.set(a, b, same ? params.intra_rate : params.inter_rate);
+    }
+  }
+  return GeneratedSource(rates, params.duration, rng);
+}
+
+void GeneratedSource::generate_slot(Slot slot) {
+  batch_.clear();
+  if (homogeneous_mu_ >= 0.0) {
+    // Pair-free fast path: iterate the canonical a < b order directly.
+    // Zero-rate pairs draw nothing in the materialized generator (they
+    // are dropped from its pair list), so mirror that here.
+    if (homogeneous_mu_ <= 0.0) return;
+    for (NodeId a = 0; a < num_nodes_; ++a) {
+      for (NodeId b = static_cast<NodeId>(a + 1); b < num_nodes_; ++b) {
+        if (rng_.bernoulli(homogeneous_mu_)) batch_.push_back({slot, a, b});
+      }
+    }
+    return;
+  }
+  for (const auto& pr : pairs_) {
+    if (rng_.bernoulli(pr.p)) batch_.push_back({slot, pr.a, pr.b});
+  }
+}
+
+Slot GeneratedSource::next_slot() {
+  if (buffer_pending_) return buffered_slot_;
+  while (generated_to_ < duration_) {
+    generate_slot(generated_to_);
+    ++generated_to_;
+    if (!batch_.empty()) {
+      buffered_slot_ = batch_.front().slot;
+      buffer_pending_ = true;
+      return buffered_slot_;
+    }
+  }
+  return kNoMoreEvents;
+}
+
+std::span<const ContactEvent> GeneratedSource::take_batch() {
+  if (next_slot() == kNoMoreEvents) {
+    throw std::logic_error("GeneratedSource: take_batch on drained source");
+  }
+  buffer_pending_ = false;
+  return {batch_.data(), batch_.size()};
+}
+
+}  // namespace impatience::trace

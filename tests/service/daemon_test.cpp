@@ -144,6 +144,17 @@ void wait_for_seq(const ReplicationDaemon& daemon, std::uint64_t seq) {
   ASSERT_GE(daemon.store().seq(), seq);
 }
 
+// Ingest counters lag the store seq: a fragment is registered when the
+// ingest thread processes the connection EOF, which can land after the
+// last complete line was applied. Poll instead of asserting instantly.
+void wait_for_counter(const std::atomic<std::uint64_t>& counter,
+                      std::uint64_t expected) {
+  for (int i = 0; i < 1000 && counter.load() < expected; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(counter.load(), expected);
+}
+
 TEST(Replicationd, HelloHandshakeAnswersSeqCursor) {
   TempPath socket("repl_hello");
   DaemonConfig config;
@@ -191,7 +202,7 @@ TEST(Replicationd, PartialLineIsHeldAndCompletedByNextConnection) {
   feed_socket(socket.path(), "C 1 2\nR 3");
   wait_for_seq(daemon, 1);
   EXPECT_EQ(daemon.store().seq(), 1u);
-  EXPECT_EQ(daemon.ingest().frames_partial.load(), 1u);
+  wait_for_counter(daemon.ingest().frames_partial, 1u);
 
   // Connection 2 (a dumb continuation feeder, no handshake) completes
   // the cut frame exactly where it left off.

@@ -116,6 +116,44 @@ TEST(ContactTrace, PairCountsAreSorted) {
   EXPECT_EQ(pc[2], (PairContacts{2, 3, 2}));
 }
 
+TEST(ContactTrace, FirstEventAtOrAfterBoundaries) {
+  // Empty trace: every query lands at size() == 0.
+  ContactTrace empty(3, 100, {});
+  EXPECT_EQ(empty.first_event_at_or_after(0), 0u);
+  EXPECT_EQ(empty.first_event_at_or_after(50), 0u);
+  EXPECT_EQ(empty.first_event_at_or_after(99), 0u);
+
+  ContactTrace t(4, 20, {{5, 0, 1}, {5, 1, 2}, {9, 2, 3}, {15, 0, 3}});
+  // Slot before the first event: index 0.
+  EXPECT_EQ(t.first_event_at_or_after(0), 0u);
+  EXPECT_EQ(t.first_event_at_or_after(4), 0u);
+  // Exact hits and gaps between events.
+  EXPECT_EQ(t.first_event_at_or_after(5), 0u);
+  EXPECT_EQ(t.first_event_at_or_after(6), 2u);
+  EXPECT_EQ(t.first_event_at_or_after(9), 2u);
+  EXPECT_EQ(t.first_event_at_or_after(10), 3u);
+  EXPECT_EQ(t.first_event_at_or_after(15), 3u);
+  // Slot past the last event (still inside the trace): size().
+  EXPECT_EQ(t.first_event_at_or_after(16), t.size());
+  EXPECT_EQ(t.first_event_at_or_after(19), t.size());
+}
+
+TEST(ContactTrace, FirstEventAtOrAfterMatchesLinearScan) {
+  util::Rng rng(99);
+  std::vector<ContactEvent> events;
+  for (int k = 0; k < 250; ++k) {
+    events.push_back({static_cast<Slot>(rng.uniform_index(60)),
+                      static_cast<NodeId>(rng.uniform_index(7)),
+                      static_cast<NodeId>(rng.uniform_index(7))});
+  }
+  ContactTrace t(7, 60, std::move(events));
+  for (Slot s = 0; s < t.duration(); ++s) {
+    std::size_t brute = 0;
+    while (brute < t.size() && t.events()[brute].slot < s) ++brute;
+    EXPECT_EQ(t.first_event_at_or_after(s), brute) << "slot " << s;
+  }
+}
+
 TEST(ContactTrace, SliceMatchesEventFilter) {
   // The slot-index slice must equal filtering the event list by slot.
   util::Rng rng(7);
