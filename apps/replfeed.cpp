@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   if (flags.get_bool("help", false)) {
     std::cout <<
-        "replfeed --socket PATH --input FILE [flags]\n"
+        "replfeed (--socket PATH | --tcp PORT [--tcp-host H]) --input FILE\n"
         "\n"
         "Retry:      --seed N --backoff-base DUR --backoff-max DUR\n"
         "            --max-attempts N (0 = retry forever)\n"
@@ -55,9 +55,12 @@ int main(int argc, char** argv) {
   try {
     service::FeederConfig config;
     config.socket_path = flags.get_string("socket", "");
+    config.tcp_port = flags.get_int("tcp", -1);
+    config.tcp_host = flags.get_string("tcp-host", "127.0.0.1");
     config.input_path = flags.get_string("input", "");
-    if (config.socket_path.empty() || config.input_path.empty()) {
-      std::cerr << "replfeed: --socket and --input are required\n";
+    if ((config.socket_path.empty() && config.tcp_port < 0) ||
+        config.input_path.empty()) {
+      std::cerr << "replfeed: --socket or --tcp, and --input, are required\n";
       return 2;
     }
     config.seed = static_cast<std::uint64_t>(flags.get_long("seed", 1));
@@ -104,7 +107,11 @@ int main(int argc, char** argv) {
     }
 
     std::cerr << "replfeed: streaming " << feeder.frames_total()
-              << " frames to " << config.socket_path
+              << " frames to "
+              << (config.socket_path.empty()
+                      ? config.tcp_host + ":" +
+                            std::to_string(config.tcp_port)
+                      : config.socket_path)
               << (config.chaos.any() ? " (chaos on)" : "") << '\n';
 
     const service::FeederReport report = feeder.run(&token);

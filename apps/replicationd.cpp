@@ -84,6 +84,7 @@ int run_daemon(const util::Flags& flags) {
   config.store.mandate_routing = flags.get_bool("mandate-routing", true);
   config.seed = static_cast<std::uint64_t>(flags.get_long("seed", 1));
   config.socket_path = flags.get_string("socket", "");
+  config.tcp_port = flags.get_int("tcp", -1);
   config.input_path = flags.get_string("input", "-");
   config.follow = flags.get_bool("follow", false);
   config.follow_poll_s = flags.get_duration("follow-poll", 0.05);
@@ -95,6 +96,15 @@ int run_daemon(const util::Flags& flags) {
   config.snapshot_every =
       static_cast<std::uint64_t>(flags.get_long("snapshot-every", 0));
   config.restore = flags.get_bool("restore", false);
+  config.snapshot_deltas = flags.get_bool("snapshot-deltas", false);
+  config.snapshot_delta_limit = static_cast<std::size_t>(
+      flags.get_long("snapshot-delta-limit", 16));
+  config.apply.shards =
+      static_cast<unsigned>(flags.get_int("shards", 1));
+  config.apply.threads =
+      static_cast<unsigned>(flags.get_int("apply-threads", 1));
+  config.apply.window = static_cast<std::size_t>(
+      flags.get_long("apply-window", 256));
   config.announce_path = flags.get_string("announce", "");
   const double deadline_s = flags.get_duration("deadline", 0.0);
 
@@ -124,6 +134,9 @@ int run_daemon(const util::Flags& flags) {
                     : "")
             << (config.socket_path.empty() ? "" : " socket=" +
                                                       config.socket_path)
+            << (daemon.tcp_port() != 0
+                    ? " tcp=127.0.0.1:" + std::to_string(daemon.tcp_port())
+                    : "")
             << '\n';
 
   int status = 0;
@@ -155,12 +168,15 @@ int main(int argc, char** argv) {
         "Scenario:   --nodes N --items N --capacity N --utility SPEC\n"
         "            --mu X --scale X --sticky BOOL --mandate-routing BOOL\n"
         "            --seed N\n"
-        "Ingest:     --socket PATH | --input FILE|- [--follow]\n"
+        "Ingest:     --socket PATH | --tcp PORT | --input FILE|- [--follow]\n"
         "            --follow-poll DUR (EOF poll period, default 50ms)\n"
         "            --ingest-buffer BYTES (socket buffer cap)\n"
+        "Apply:      --shards N --apply-threads N --apply-window N\n"
+        "            (sharded parallel pipeline; byte-identical output)\n"
         "Monitor:    --port N (0 = ephemeral, -1 = off) --announce FILE\n"
         "Snapshots:  --snapshot FILE --snapshot-interval DUR\n"
         "            --snapshot-every N --restore\n"
+        "            --snapshot-deltas BOOL --snapshot-delta-limit N\n"
         "Lifecycle:  --deadline DUR (cancel reason: deadline)\n"
         "Generator:  --gen-stream N --out FILE|- [--zipf X]\n"
         "            [--request-fraction X] [--crash-fraction X]\n"

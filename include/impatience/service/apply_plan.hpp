@@ -1,0 +1,109 @@
+// Conflict-aware scheduling for replicationd's sharded apply pipeline
+// (docs/service.md "Sharded parallel apply").
+//
+// The live store state is partitioned into `shards` contiguous node
+// ranges; each shard is a conflict resource. A countable ingest line
+// claims the shards of the nodes it can touch:
+//
+//   contact a b   -> { shard(a), shard(b) }   (one entry when equal)
+//   request n i   -> { shard(n) }
+//   crash n       -> { shard(n) }
+//   clock / malformed / out-of-range / hello / quit -> {}  (commit-only)
+//
+// ShardWaveScheduler is the service twin of trace::WavePartitioner
+// (PR 7), generalized from two-node meetings to 0/1/2-resource lines:
+// it assigns every line of a window to the earliest *plan wave* whose
+// predecessors cover all earlier conflicting lines, and derives the
+// matching in-order *commit runs*. The apply pipeline plans wave k's
+// lines concurrently (read-only against live state), then commits the
+// window prefix run k covers in strict seq order — so shard-disjoint
+// lines plan in parallel while the commit order, and therefore the
+// Rng(child_seed(seed, "service-apply", seq)) randomness, is identical
+// to the sequential single-mutex walk for every shard/thread count.
+//
+// Clock frames are deliberately *not* a resource: generated streams
+// carry a T frame every ~2 events, and serializing on them would
+// collapse every wave to depth one. Plans never read the clock (they
+// record match indices only; delay and gain are computed at commit
+// against the live clock), so a T frame committing between a line's
+// plan and its commit cannot skew anything.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "impatience/service/protocol.hpp"
+
+namespace impatience::service {
+
+/// Knobs of the sharded parallel apply pipeline. The default (one
+/// shard, one thread) is the sequential single-mutex path; any
+/// combination produces byte-identical store state.
+struct ApplyOptions {
+  /// Contiguous node-range partitions acting as conflict resources.
+  unsigned shards = 1;
+  /// Plan-phase width: 1 = plan inline on the ingest thread; k > 1
+  /// fans plan work across a ForkJoinTeam of k - 1 workers + caller.
+  unsigned threads = 1;
+  /// Countable lines planned ahead per window. Bounds both plan-phase
+  /// memory and how long one apply_batch holds the store lock.
+  std::size_t window = 256;
+
+  /// True when the parallel pipeline engages (otherwise apply_batch
+  /// degrades to the sequential per-line loop).
+  bool parallel() const noexcept { return shards > 1 && threads > 1; }
+
+  /// Throws std::invalid_argument on zero shards/threads/window.
+  void validate() const;
+};
+
+/// One classified countable line of the ingest stream. Malformed lines
+/// occupy a sequence slot (the seq-cursor contract) but carry no event.
+struct IngestLine {
+  bool malformed = false;
+  Event event;
+};
+
+/// Wave/commit scheduler over shard resources. Epoch-stamped like
+/// trace::WavePartitioner so per-shard arrays are not cleared between
+/// windows; one instance serves one store (not thread-safe).
+class ShardWaveScheduler {
+ public:
+  /// Partitions [0, num_nodes) into `shards` near-equal contiguous
+  /// ranges. Shard counts above num_nodes are clamped.
+  ShardWaveScheduler(NodeId num_nodes, unsigned shards);
+
+  unsigned num_shards() const noexcept {
+    return static_cast<unsigned>(stamp_.size());
+  }
+
+  /// Shard owning `node` (node must be < num_nodes).
+  unsigned shard_of(NodeId node) const noexcept {
+    return static_cast<unsigned>((static_cast<std::uint64_t>(node) *
+                                  stamp_.size()) /
+                                 num_nodes_);
+  }
+
+  /// Schedules one window. `order` lists line indices wave by wave
+  /// (stable within a wave); `wave_ends[k]` is the end of wave k in
+  /// `order`; `commit_ends[k]` is how far into the *original* window
+  /// order commits may proceed once wave k's plans are done (run_of is
+  /// a running maximum, so the committable prefix only grows).
+  void schedule(std::span<const IngestLine> lines, NodeId num_nodes,
+                std::vector<std::uint32_t>& order,
+                std::vector<std::size_t>& wave_ends,
+                std::vector<std::size_t>& commit_ends);
+
+ private:
+  std::uint64_t num_nodes_;
+  std::vector<std::uint32_t> stamp_;       ///< per-shard epoch stamp
+  std::vector<std::uint32_t> last_index_;  ///< latest line using the shard
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> wave_of_;
+  std::vector<std::uint32_t> run_of_;
+  std::vector<std::size_t> bucket_;
+};
+
+}  // namespace impatience::service

@@ -62,6 +62,11 @@ class LineSource {
   /// hello handshake's S frame). Default: no channel, dropped. Must
   /// never block the ingest loop.
   virtual void reply(const std::string& /*line*/) {}
+  /// True when another complete line can very likely be served without
+  /// blocking — the ingest loop's batching hint (a batch flushes when
+  /// the source runs dry, so idle streams never sit on latency). Must
+  /// not block. Default: pessimistic.
+  virtual bool has_buffered_line() { return false; }
 };
 
 /// Reads a file (or stdin for path "-"). With `follow`, EOF waits
@@ -87,13 +92,25 @@ std::unique_ptr<LineSource> make_socket_source(const std::string& path,
                                                IngestCounters* counters,
                                                std::size_t buffer_bytes);
 
+/// TCP twin of make_socket_source: listens on 127.0.0.1:`port` (0 =
+/// ephemeral; the bound port is written to `*bound_port`) with identical
+/// framing, handshake, fragment, and backpressure semantics — the
+/// transport differs only in the listening socket's address family.
+std::unique_ptr<LineSource> make_tcp_source(int port,
+                                            IngestCounters* counters,
+                                            std::size_t buffer_bytes,
+                                            std::uint16_t* bound_port);
+
 struct DaemonConfig {
   StoreConfig store;
   std::uint64_t seed = 1;
 
-  /// Event source: a Unix-domain socket path takes precedence; otherwise
-  /// `input_path` ("-" = stdin) is read, tailed when `follow`.
+  /// Event source precedence: a Unix-domain socket path first, then a
+  /// TCP listen port (`tcp_port` >= 0; 0 = ephemeral, read back via
+  /// tcp_port()); otherwise `input_path` ("-" = stdin) is read, tailed
+  /// when `follow`.
   std::string socket_path;
+  int tcp_port = -1;
   std::string input_path = "-";
   bool follow = false;
   /// --follow EOF poll period in seconds (duration-suffixed flag
@@ -122,6 +139,17 @@ struct DaemonConfig {
   /// torn write never half-loads thanks to the checksummed format, and
   /// the previous consistent file survives thanks to atomic rename).
   bool restore = false;
+
+  /// Apply-pipeline knobs (docs/service.md "Sharded parallel apply").
+  /// The default is the sequential path; any setting is byte-identical.
+  ApplyOptions apply;
+
+  /// Persist incremental snapshot chains (base + delta files + manifest,
+  /// docs/service.md "Delta snapshots") instead of rewriting the full
+  /// image at `snapshot_path` on every checkpoint.
+  bool snapshot_deltas = false;
+  /// Deltas between full bases when snapshot_deltas is on.
+  std::size_t snapshot_delta_limit = 16;
 
   /// When set, a small "key value" file announcing the bound HTTP port
   /// and socket path is written (crash-safely) once serving — how test
@@ -156,6 +184,9 @@ class ReplicationDaemon {
   /// Bound metrics port; 0 when the endpoint is disabled.
   std::uint16_t http_port() const noexcept;
 
+  /// Bound ingest TCP port; 0 when the TCP transport is not in use.
+  std::uint16_t tcp_port() const noexcept { return tcp_port_; }
+
   const StateStore& store() const noexcept { return *store_; }
   StateStore& store() noexcept { return *store_; }
   const ServiceMetrics& metrics() const noexcept { return metrics_; }
@@ -174,6 +205,8 @@ class ReplicationDaemon {
   IngestCounters ingest_;
   std::unique_ptr<LineSource> source_;
   std::unique_ptr<class HttpServer> http_;
+  std::unique_ptr<class SnapshotChain> chain_;  // snapshot_deltas mode
+  std::uint16_t tcp_port_ = 0;
 
   std::atomic<bool> stop_{false};
   std::mutex snapshot_mu_;  // serializes snapshot writers (timer vs HTTP)

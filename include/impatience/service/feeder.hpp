@@ -79,8 +79,14 @@ struct ChaosCounters {
 };
 
 struct FeederConfig {
-  /// Daemon's Unix-domain socket path.
+  /// Daemon's Unix-domain socket path. When empty and `tcp_port` >= 0,
+  /// the feeder connects over TCP instead — everything above the
+  /// connect (handshake, resume, chaos shim) is transport-agnostic.
   std::string socket_path;
+  /// Daemon's ingest TCP port (used when socket_path is empty).
+  int tcp_port = -1;
+  /// TCP connect address.
+  std::string tcp_host = "127.0.0.1";
   /// Event file to stream. Noise lines (blank / '#') are dropped at load:
   /// only countable lines occupy frame slots, so frame index i
   /// corresponds exactly to the daemon's seq cursor value i.

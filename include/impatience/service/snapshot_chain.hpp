@@ -1,0 +1,98 @@
+// Incremental snapshot chains for replicationd (docs/service.md "Delta
+// snapshots"): a full base image plus a bounded run of delta files, with
+// a manifest as the single atomic commit point.
+//
+// On-disk layout for a chain rooted at `<path>`:
+//
+//   <path>.manifest          the commit point (atomic_write_file)
+//   <path>.base.<seq>        full image at seq (snapshot format)
+//   <path>.delta.<seq>       dirty-node delta at seq (delta format)
+//
+// Write protocol: the data file (base or delta) is written first — also
+// atomically — and only then is the manifest rewritten to reference it.
+// A SIGKILL between the two leaves an orphaned data file and a manifest
+// that still describes the previous, complete chain; a SIGKILL inside
+// either atomic write leaves the previous file intact. Restore therefore
+// always recovers exactly the chain the newest manifest commits to — the
+// last complete prefix of the run.
+//
+// Link discipline: every delta records the body checksum of its parent
+// (base or previous delta) inside its own checksummed body, and the
+// manifest records every element's checksum. Restore verifies both, so
+// a spliced, torn, or missing chain element is rejected loudly — never
+// half-loaded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "impatience/service/state_store.hpp"
+
+namespace impatience::service {
+
+/// Writer side of a snapshot chain. One instance per daemon; not
+/// thread-safe (the daemon's snapshot path is single-threaded).
+class SnapshotChain {
+ public:
+  struct Options {
+    /// Chain root: files are `<path>.manifest`, `<path>.base.<seq>`,
+    /// `<path>.delta.<seq>` next to the classic full-snapshot path.
+    std::string path;
+    /// Deltas allowed between full bases; the next checkpoint past the
+    /// limit collapses the chain into a fresh base.
+    std::size_t delta_limit = 16;
+  };
+
+  explicit SnapshotChain(Options options);
+
+  /// Periodic checkpoint: emits a delta of the nodes dirtied since the
+  /// last checkpoint — or a full base when the chain is empty or
+  /// delta_limit is reached — then commits the manifest. A checkpoint at
+  /// an unchanged seq is skipped (nothing to persist). Returns the seq
+  /// the chain now ends at.
+  std::uint64_t snapshot(StateStore& store);
+
+  /// Graceful-exit collapse: writes a fresh full base, commits a
+  /// one-element manifest, and removes the superseded chain files.
+  void finalize(StateStore& store);
+
+  /// Elements (base + deltas) in the committed chain.
+  std::size_t chain_length() const noexcept { return elements_.size(); }
+  /// Deltas since the last full base.
+  std::size_t deltas_since_base() const noexcept {
+    return elements_.empty() ? 0 : elements_.size() - 1;
+  }
+
+  /// True when `<path>.manifest` exists (restore would use the chain
+  /// rather than the plain `<path>` snapshot).
+  static bool chain_available(const std::string& path);
+
+  /// Restores the image a chain rooted at `path` commits to: loads the
+  /// base, verifies and replays each delta. Falls back to plain
+  /// load_image(path) when no manifest exists. Throws util::IoError on
+  /// any checksum, link, or ordering damage.
+  static StateImage restore_image(const std::string& path);
+
+ private:
+  struct Element {
+    bool is_base = false;
+    std::string file;  ///< basename, resolved against the chain dir
+    std::uint64_t checksum = 0;
+    std::uint64_t seq = 0;
+  };
+
+  void write_base(StateStore& store);
+  void commit_manifest();
+  void remove_stale(const std::vector<std::string>& old_files);
+  std::string full_path(const std::string& basename) const;
+
+  Options options_;
+  std::string dir_;       ///< directory part of path (with trailing '/')
+  std::string basename_;  ///< filename part of path
+  std::vector<Element> elements_;
+  std::uint64_t last_seq_ = 0;
+  bool have_chain_ = false;
+};
+
+}  // namespace impatience::service

@@ -28,14 +28,21 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "impatience/core/node.hpp"
 #include "impatience/core/policy.hpp"
 #include "impatience/fault/fault.hpp"
+#include "impatience/service/apply_plan.hpp"
 #include "impatience/service/protocol.hpp"
 #include "impatience/utility/delay_utility.hpp"
+
+namespace impatience::engine {
+class ForkJoinTeam;  // thread_pool.hpp
+}
 
 namespace impatience::service {
 
@@ -115,30 +122,73 @@ struct StateImage {
   std::vector<double> recent_delays;
 };
 
+/// Incremental snapshot (docs/service.md "Delta snapshots"): the store
+/// scalars — version/seq/clock, counters, faults, the delay window —
+/// plus full NodeImages of exactly the nodes dirtied since the previous
+/// checkpoint. `parent_checksum` is the body checksum of the chain
+/// element this delta extends (base snapshot or previous delta); the
+/// restore path verifies the link before applying.
+struct StateDelta {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  StoreConfig config;
+  std::uint64_t seed = 0;
+  std::uint64_t parent_checksum = 0;  ///< filled in by the chain writer
+  std::uint64_t version = 0;
+  std::uint64_t seq = 0;
+  Slot clock = 0;
+  StoreCounters counters;
+  fault::FaultCounters faults;
+  /// (node id, full image) for each dirty node, ascending by id.
+  std::vector<std::pair<NodeId, StateImage::NodeImage>> nodes;
+  std::vector<double> recent_delays;
+};
+
 /// Serializes an image as the versioned snapshot format
 /// ("impatience.replicationd_snapshot/1", docs/service.md): ASCII lines,
 /// deterministic float round-trip, FNV-1a checksum line, `end` trailer.
-void write_image(std::ostream& out, const StateImage& image);
+/// Returns the body checksum (the chain manifest records it).
+std::uint64_t write_image(std::ostream& out, const StateImage& image);
 
 /// Parses a snapshot; throws util::IoError on syntax, checksum or
-/// truncation damage (a torn file never half-loads).
-StateImage read_image(std::istream& in);
+/// truncation damage (a torn file never half-loads). When `checksum` is
+/// non-null it receives the verified body checksum.
+StateImage read_image(std::istream& in, std::uint64_t* checksum = nullptr);
 
 /// Crash-safe snapshot write via engine::atomic_write_file: temp + fsync
 /// + rename, so a crash mid-snapshot leaves the previous file intact.
-void save_image(const std::string& path, const StateImage& image);
+/// Returns the body checksum.
+std::uint64_t save_image(const std::string& path, const StateImage& image);
 
 /// Loads a snapshot file; throws util::IoError when missing or damaged.
-StateImage load_image(const std::string& path);
+StateImage load_image(const std::string& path,
+                      std::uint64_t* checksum = nullptr);
+
+/// Delta-file serialization ("impatience.replicationd_delta/1"): same
+/// ASCII + checksum + trailer discipline as full snapshots. Returns the
+/// body checksum (the next delta's parent link).
+std::uint64_t write_delta(std::ostream& out, const StateDelta& delta);
+StateDelta read_delta(std::istream& in, std::uint64_t* checksum = nullptr);
+std::uint64_t save_delta(const std::string& path, const StateDelta& delta);
+StateDelta load_delta(const std::string& path,
+                      std::uint64_t* checksum = nullptr);
+
+/// Replays `delta` on top of `image` in place: scalars are overwritten,
+/// dirty nodes replaced. Throws util::IoError when the delta does not
+/// extend this image (config/seed mismatch, seq regression, node id out
+/// of range) — a spliced chain never half-applies.
+void apply_delta(StateImage& image, const StateDelta& delta);
 
 class StateStore {
  public:
   /// Fresh store: seeded sticky pins + random cache fill, version 0.
-  StateStore(const StoreConfig& config, std::uint64_t seed);
+  /// `options` selects the apply pipeline (default: sequential).
+  StateStore(const StoreConfig& config, std::uint64_t seed,
+             const ApplyOptions& options = {});
   /// Warm restart: rebuilds the exact state of `image` (config must
   /// match `config`; throws std::invalid_argument otherwise).
   StateStore(const StoreConfig& config, std::uint64_t seed,
-             const StateImage& image);
+             const StateImage& image, const ApplyOptions& options = {});
   ~StateStore();
 
   StateStore(const StateStore&) = delete;
@@ -163,10 +213,32 @@ class StateStore {
   /// events_malformed. Returns the store version after the line.
   std::uint64_t apply_malformed();
 
+  /// Applies a window of countable lines through the conflict-aware
+  /// pipeline (docs/service.md "Sharded parallel apply"): the window is
+  /// scheduled into shard-disjoint plan waves, contact matches are
+  /// planned concurrently across the ForkJoinTeam, and every line
+  /// commits in strict seq order — byte-identical to calling apply /
+  /// apply_malformed per line, for any shards/threads/window setting.
+  /// Returns the store version after the last line.
+  std::uint64_t apply_batch(std::span<const IngestLine> lines);
+
+  const ApplyOptions& apply_options() const noexcept { return options_; }
+
   /// Copy-on-read snapshot of the whole logical state.
   StateImage image() const;
   /// image() + crash-safe write (engine::atomic_write_file).
   void save_snapshot(const std::string& path) const;
+
+  /// Full image that also resets per-node dirty tracking, atomically —
+  /// the snapshot chain's base checkpoints go through this so the next
+  /// delta is relative to exactly this image.
+  StateImage checkpoint_image();
+  /// Dirty-node incremental image since the last checkpoint_image /
+  /// take_delta (or construction); resets the dirty set. The caller
+  /// must persist the delta or the change information is lost.
+  StateDelta take_delta();
+  /// Nodes currently dirty (monitoring/test hook).
+  std::size_t dirty_node_count() const;
 
   StoreCounters counters() const;
   fault::FaultCounters faults() const;
@@ -190,25 +262,56 @@ class StateStore {
                                              const std::string& path);
 
  private:
+  /// Per-contact plan: matched pending indices for each fulfil
+  /// direction, recorded read-only during the plan phase. Delay, gain
+  /// and query counts are deliberately NOT planned — they depend on the
+  /// live clock and meeting counters at commit time.
+  struct ContactPlan {
+    bool planned = false;
+    std::vector<std::uint32_t> ab;  ///< a's pending indices b fulfils
+    std::vector<std::uint32_t> ba;  ///< b's pending indices a fulfils
+  };
+
   void init_fresh();
   void init_from_image(const StateImage& image);
   void attach_listeners();
   void bump_locked(std::uint64_t n = 1);
+  void apply_line_locked(const IngestLine& line);
+  void apply_event_locked(const Event& event, util::Rng& rng);
+  void apply_window_locked(std::span<const IngestLine> lines);
+  void plan_line(const IngestLine& line, ContactPlan& plan) const;
+  void plan_direction(const core::Node& requester,
+                      const core::Node& provider,
+                      std::vector<std::uint32_t>& matches) const;
+  void commit_line_locked(const IngestLine& line, const ContactPlan& plan);
   void apply_clock(Slot slot);
   void apply_contact(NodeId a, NodeId b, util::Rng& rng);
   void apply_request(NodeId node, ItemId item, util::Rng& rng);
   void apply_crash(NodeId node);
   void fulfil_from(core::Node& requester, core::Node& provider,
                    util::Rng& rng);
+  void fulfil_planned(core::Node& requester, core::Node& provider,
+                      const std::vector<std::uint32_t>& matches,
+                      util::Rng& rng);
+  void fulfil_one(core::Node& requester, core::Node& provider,
+                  core::PendingRequest& req, util::Rng& rng);
   void sync_policy_counters_locked();
+  void refresh_outstanding_locked() const;
   void record_delay_locked(double delay);
+  void mark_dirty_locked(NodeId node);
+  StateImage::NodeImage node_image_locked(NodeId node) const;
 
   static void cache_listener(void* context, ItemId item, int delta);
 
   const StoreConfig config_;
   const std::uint64_t seed_;
+  const ApplyOptions options_;
   std::unique_ptr<utility::DelayUtility> utility_;
   std::unique_ptr<core::QcrPolicy> policy_;
+  /// Plan-phase team (threads - 1 workers; job(0) runs on the ingest
+  /// thread). Null when the pipeline is sequential.
+  std::unique_ptr<engine::ForkJoinTeam> team_;
+  std::unique_ptr<ShardWaveScheduler> scheduler_;
 
   mutable std::mutex mu_;
   std::vector<core::Node> nodes_;
@@ -217,7 +320,10 @@ class StateStore {
   std::atomic<std::uint64_t> version_mirror_{0};
   std::uint64_t seq_ = 0;
   Slot clock_ = 0;
-  StoreCounters counters_;
+  /// counters_.mandates_outstanding is refreshed lazily (an O(nodes)
+  /// sweep) on the read paths instead of per event — mutable so const
+  /// getters can refresh under the lock they already hold.
+  mutable StoreCounters counters_;
   fault::FaultCounters faults_;
   /// Offsets folding the (process-local, monotone) QcrPolicy counters
   /// into restart-surviving totals: total = base + policy.counter().
@@ -227,6 +333,16 @@ class StateStore {
   /// Ring of recent fulfilment delays (slots) for p50/p99.
   static constexpr std::size_t kDelayWindow = 4096;
   std::vector<double> recent_delays_;  // chronological, <= kDelayWindow
+
+  /// Dirty-since-last-checkpoint tracking for delta snapshots.
+  std::vector<std::uint8_t> dirty_;
+  std::vector<NodeId> dirty_list_;
+
+  /// Scheduler/plan scratch reused across windows.
+  std::vector<std::uint32_t> order_;
+  std::vector<std::size_t> wave_ends_;
+  std::vector<std::size_t> commit_ends_;
+  std::vector<ContactPlan> plans_;
 };
 
 }  // namespace impatience::service

@@ -84,7 +84,7 @@ bin_build_type() {
 print(json.load(sys.stdin)["context"].get("impatience_build_type", "unknown"))'
 }
 
-FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|SimulateFig6Slot|SimulateFig6Event|SimulateFig3FaultySlot|SimulateFig3FaultyEvent|SimulateFig5Intra1|SimulateFig5Intra4|SimulateFig5Intra8|PartitionSlot|QcrWelfareProbeScratch|QcrWelfareProbeIncremental|SimulateFig4Event500|MeanFieldFig4|MaterializedTrace|StreamingTrace|ServiceThroughput|ServiceSnapshot|ServiceMetricsScrape|FeederThroughput)'
+FILTER='BM_(MarginalGainNaive|MarginalOracle|LazyGreedyFig5Oracle|LazyGreedyFig5Naive|LossTransformTabulated|LossTransformCached|DemandSampleLinear|DemandSampleAlias|SimulateFig6Slot|SimulateFig6Event|SimulateFig3FaultySlot|SimulateFig3FaultyEvent|SimulateFig5Intra1|SimulateFig5Intra4|SimulateFig5Intra8|PartitionSlot|QcrWelfareProbeScratch|QcrWelfareProbeIncremental|SimulateFig4Event500|MeanFieldFig4|MaterializedTrace|StreamingTrace|ServiceThroughput|ServiceSnapshot|SnapshotDelta|ServiceMetricsScrape|FeederThroughput)'
 
 if [[ "$CHECK" == 1 ]]; then
   # Smoke subset: skip the end-to-end greedy benches (the naive baseline
@@ -118,11 +118,29 @@ for path in glob.glob(os.path.join(root, "BENCH_PR*.json")):
     if m:
         snaps.append((int(m.group(1)), path))
 snaps.sort()
+
+# Two files that parse to the same PR number (BENCH_PR9.json next to
+# BENCH_PR09.json) make "the two newest snapshots" ambiguous — there is
+# no right answer for which is the baseline, so refuse loudly instead of
+# diffing against an arbitrary one.
+by_pr = {}
+for pr, path in snaps:
+    by_pr.setdefault(pr, []).append(os.path.basename(path))
+ties = {pr: paths for pr, paths in by_pr.items() if len(paths) > 1}
+if ties:
+    for pr, paths in sorted(ties.items()):
+        print(f"bench check: ERROR: PR{pr} has {len(paths)} snapshot "
+              f"files ({', '.join(sorted(paths))}); remove all but one")
+    sys.exit(1)
+
 if len(snaps) < 2:
     print("bench check: <2 committed snapshots, regression diff skipped")
     sys.exit(0)
 
 (old_pr, old_path), (new_pr, new_path) = snaps[-2], snaps[-1]
+print(f"bench check: rolling baseline is "
+      f"{os.path.basename(old_path)} (newest snapshot: "
+      f"{os.path.basename(new_path)})")
 with open(old_path) as f:
     old = json.load(f)
 with open(new_path) as f:

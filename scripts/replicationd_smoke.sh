@@ -11,6 +11,13 @@
 #   tail of the stream, and require the final snapshot to be byte-identical
 #   to an uninterrupted reference run (docs/service.md).
 #
+#   Phase 3 — the PR 10 surfaces end to end: TCP ingest, the sharded
+#   parallel apply pipeline, and the incremental delta chain. Boot with
+#   --tcp/--shards/--snapshot-deltas, SIGKILL mid-run at a delta
+#   checkpoint, --restore from the base+delta chain, feed the tail, and
+#   require the finalized base to be byte-identical to the same
+#   uninterrupted reference run as phase 2.
+#
 # Environment: REPLICATIOND points at the built binary (the ctest wrapper
 # sets it); defaults to build/apps/replicationd for manual runs.
 set -euo pipefail
@@ -62,6 +69,18 @@ feed_socket() {
 import socket, sys
 s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
 s.connect(sys.argv[1])
+with open(sys.argv[2], "rb") as f:
+    s.sendall(f.read())
+s.close()
+PY
+}
+
+feed_tcp() {
+  local port="$1" file="$2"
+  python3 - "$port" "$file" <<'PY'
+import socket, sys
+s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+s.connect(("127.0.0.1", int(sys.argv[1])))
 with open(sys.argv[2], "rb") as f:
     s.sendall(f.read())
 s.close()
@@ -161,5 +180,59 @@ grep -q "(restored)" "$WORK/restore.log" \
 cmp "$WORK/reference.snap" "$WORK/phase2.snap" \
   || { echo "FAIL: warm restart diverged from uninterrupted run"; exit 1; }
 echo "phase 2 OK: SIGKILL + --restore is byte-identical to the reference"
+
+echo "== phase 3: TCP + sharded apply + delta chain, SIGKILL, --restore =="
+chain_seq() {  # seq the committed manifest's last element ends at
+  awk '$1 == "base" || $1 == "delta" { seq = $4 } END { print seq + 0 }' \
+      "$WORK/phase3.snap.manifest" 2>/dev/null || echo 0
+}
+"$BIN" "${SCENARIO[@]}" \
+    --tcp 0 --port -1 --announce "$WORK/announce3.txt" \
+    --shards 8 --apply-threads 2 --apply-window 64 \
+    --snapshot "$WORK/phase3.snap" --snapshot-every 200 \
+    --snapshot-deltas true --snapshot-delta-limit 16 \
+    2> "$WORK/phase3.log" &
+DAEMON_PID=$!
+wait_for_file "$WORK/announce3.txt"
+TCP_PORT="$(metric "$WORK/announce3.txt" tcp_port)"
+[[ -n "$TCP_PORT" ]] || { echo "FAIL: no tcp_port announced"; exit 1; }
+
+feed_tcp "$TCP_PORT" "$WORK/part_aa"
+wait_for_file "$WORK/phase3.snap.manifest"
+# Let the chain reach the last multiple-of-200 checkpoint in part_aa:
+# base at seq 200, deltas at 400 and 600.
+for _ in $(seq 100); do
+  [[ "$(chain_seq)" -ge 600 ]] && break
+  sleep 0.1
+done
+kill -KILL "$DAEMON_PID"   # the committed chain is all we keep
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+SEQ="$(chain_seq)"
+[[ "$SEQ" -ge 200 ]] || { echo "FAIL: no usable chain (seq=$SEQ)"; exit 1; }
+DELTA_COUNT="$(awk '$1 == "delta"' "$WORK/phase3.snap.manifest" | wc -l)"
+[[ "$DELTA_COUNT" -ge 1 ]] \
+  || { echo "FAIL: chain has no deltas (the phase must exercise them)"; exit 1; }
+echo "killed at chain seq=$SEQ ($DELTA_COUNT deltas); restoring from the chain"
+
+grep -v '^\s*\(#\|$\)' "$WORK/stream_noquit.txt" | tail -n "+$((SEQ + 1))" \
+  > "$WORK/tail3.txt"
+"$BIN" "${SCENARIO[@]}" --input "$WORK/tail3.txt" --port -1 \
+    --shards 8 --apply-threads 2 --apply-window 64 \
+    --snapshot "$WORK/phase3.snap" --snapshot-deltas true --restore \
+    2> "$WORK/restore3.log"
+grep -q "(restored)" "$WORK/restore3.log" \
+  || { echo "FAIL: daemon did not restore from the chain"; cat "$WORK/restore3.log"; exit 1; }
+
+# Graceful exit finalizes the chain into a single full base; that base
+# must be byte-identical to the plain uninterrupted reference snapshot.
+FINAL_SEQ="$(chain_seq)"
+FINAL_DELTAS="$(awk '$1 == "delta"' "$WORK/phase3.snap.manifest" | wc -l)"
+[[ "$FINAL_DELTAS" -eq 0 ]] \
+  || { echo "FAIL: finalize left $FINAL_DELTAS deltas in the chain"; exit 1; }
+cmp "$WORK/reference.snap" "$WORK/phase3.snap.base.$FINAL_SEQ" \
+  || { echo "FAIL: chain restore diverged from uninterrupted run"; exit 1; }
+echo "phase 3 OK: TCP + shards + delta chain is byte-identical to the reference"
 
 echo "replicationd_smoke: all phases passed"

@@ -1,0 +1,137 @@
+#include "impatience/service/apply_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace impatience::service {
+
+void ApplyOptions::validate() const {
+  if (shards == 0) {
+    throw std::invalid_argument("ApplyOptions: shards must be > 0");
+  }
+  if (threads == 0) {
+    throw std::invalid_argument("ApplyOptions: threads must be > 0");
+  }
+  if (window == 0) {
+    throw std::invalid_argument("ApplyOptions: window must be > 0");
+  }
+}
+
+ShardWaveScheduler::ShardWaveScheduler(NodeId num_nodes, unsigned shards)
+    : num_nodes_(num_nodes) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("ShardWaveScheduler: need at least one node");
+  }
+  if (shards == 0) {
+    throw std::invalid_argument("ShardWaveScheduler: need at least one shard");
+  }
+  const unsigned clamped =
+      std::min<unsigned>(shards, static_cast<unsigned>(num_nodes));
+  stamp_.assign(clamped, 0);
+  last_index_.assign(clamped, 0);
+}
+
+void ShardWaveScheduler::schedule(std::span<const IngestLine> lines,
+                                  NodeId num_nodes,
+                                  std::vector<std::uint32_t>& order,
+                                  std::vector<std::size_t>& wave_ends,
+                                  std::vector<std::size_t>& commit_ends) {
+  order.clear();
+  wave_ends.clear();
+  commit_ends.clear();
+  const std::size_t n = lines.size();
+  if (n == 0) return;
+
+  if (epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    stamp_.assign(stamp_.size(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+
+  // Pass 1 — waves and commit runs, exactly WavePartitioner's sweep but
+  // over the 0/1/2 shard resources a line claims. Resource-free lines
+  // (clock, malformed, out-of-range) land in wave 0: they need no plan,
+  // and making them barriers would serialize every window.
+  wave_of_.resize(n);
+  run_of_.resize(n);
+  std::uint32_t depth = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const IngestLine& line = lines[i];
+    unsigned r0 = 0, r1 = 0;
+    int resources = 0;
+    if (!line.malformed) {
+      const Event& e = line.event;
+      switch (e.kind) {
+        case Event::Kind::contact:
+          if (e.a < num_nodes && e.b < num_nodes && e.a != e.b) {
+            r0 = shard_of(e.a);
+            r1 = shard_of(e.b);
+            resources = r0 == r1 ? 1 : 2;
+          }
+          break;
+        case Event::Kind::request:
+          // Claimed even when the item is out of range (the commit just
+          // counts it malformed): over-claiming a shard is always safe,
+          // and the scheduler stays ignorant of the item catalog.
+          if (e.a < num_nodes) {
+            r0 = shard_of(e.a);
+            resources = 1;
+          }
+          break;
+        case Event::Kind::crash:
+          if (e.a < num_nodes) {
+            r0 = shard_of(e.a);
+            resources = 1;
+          }
+          break;
+        case Event::Kind::clock:
+        case Event::Kind::hello:
+        case Event::Kind::quit:
+          break;
+      }
+    }
+    std::uint32_t wave = 0;
+    if (resources >= 1 && stamp_[r0] == epoch_) {
+      wave = run_of_[last_index_[r0]] + 1;
+    }
+    if (resources == 2 && stamp_[r1] == epoch_) {
+      wave = std::max(wave, run_of_[last_index_[r1]] + 1);
+    }
+    wave_of_[i] = wave;
+    run_of_[i] = i == 0 ? wave : std::max(run_of_[i - 1], wave);
+    depth = std::max(depth, wave + 1);
+    if (resources >= 1) {
+      stamp_[r0] = epoch_;
+      last_index_[r0] = static_cast<std::uint32_t>(i);
+    }
+    if (resources == 2) {
+      stamp_[r1] = epoch_;
+      last_index_[r1] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  // Pass 2 — counting sort by wave (stable, so each wave lists lines in
+  // window order).
+  bucket_.assign(depth + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++bucket_[wave_of_[i] + 1];
+  for (std::uint32_t w = 0; w < depth; ++w) bucket_[w + 1] += bucket_[w];
+  wave_ends.reserve(depth);
+  for (std::uint32_t w = 0; w < depth; ++w) {
+    wave_ends.push_back(bucket_[w + 1]);
+  }
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    order[bucket_[wave_of_[i]]++] = static_cast<std::uint32_t>(i);
+  }
+
+  // Pass 3 — commit boundaries: run k covers the window prefix whose
+  // running-max wave is <= k (run_of_ is non-decreasing).
+  commit_ends.reserve(depth);
+  std::size_t idx = 0;
+  for (std::uint32_t k = 0; k < depth; ++k) {
+    while (idx < n && run_of_[idx] <= k) ++idx;
+    commit_ends.push_back(idx);
+  }
+}
+
+}  // namespace impatience::service

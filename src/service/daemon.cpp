@@ -1,5 +1,7 @@
 #include "impatience/service/daemon.hpp"
 
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -17,6 +19,7 @@
 #include "impatience/engine/artifacts.hpp"
 #include "impatience/service/http.hpp"
 #include "impatience/service/protocol.hpp"
+#include "impatience/service/snapshot_chain.hpp"
 
 namespace impatience::service {
 
@@ -63,6 +66,14 @@ class FileSource final : public LineSource {
     }
   }
 
+  bool has_buffered_line() override {
+    // in_avail() never blocks: it reports bytes already sitting in the
+    // stream buffer. An approximation (the buffered bytes may lack a
+    // newline), but getline on a regular file refills cheaply and a
+    // half-line on stdin only delays the flush, never correctness.
+    return stream_->good() && stream_->rdbuf()->in_avail() > 0;
+  }
+
  private:
   bool follow_;
   double poll_seconds_;
@@ -70,39 +81,25 @@ class FileSource final : public LineSource {
   std::istream* stream_ = nullptr;
 };
 
+/// Stream-socket line source over an already-listening fd. Everything
+/// past accept() is address-family agnostic: the Unix-domain and TCP
+/// factories below differ only in how they produce the listening socket.
 class SocketSource final : public LineSource {
  public:
-  SocketSource(std::string path, IngestCounters* counters,
-               std::size_t buffer_bytes)
-      : path_(std::move(path)),
+  /// Takes ownership of `listen_fd` (already bound + listening).
+  /// `unlink_path`, when non-empty, is removed at destruction (the
+  /// Unix-domain socket file).
+  SocketSource(int listen_fd, std::string unlink_path,
+               IngestCounters* counters, std::size_t buffer_bytes)
+      : unlink_path_(std::move(unlink_path)),
+        listen_fd_(listen_fd),
         counters_(counters),
-        cap_(std::max<std::size_t>(buffer_bytes, 4096)) {
-    sockaddr_un addr{};
-    if (path_.size() >= sizeof(addr.sun_path)) {
-      throw util::IoError("replicationd: socket path too long: " + path_);
-    }
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) {
-      throw util::IoError("replicationd: socket() failed: " +
-                          std::string(std::strerror(errno)));
-    }
-    ::unlink(path_.c_str());  // stale socket from a previous run
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) < 0 ||
-        ::listen(listen_fd_, 4) < 0) {
-      const std::string what = std::strerror(errno);
-      ::close(listen_fd_);
-      throw util::IoError("replicationd: cannot listen on " + path_ + ": " +
-                          what);
-    }
-  }
+        cap_(std::max<std::size_t>(buffer_bytes, 4096)) {}
 
   ~SocketSource() override {
     if (conn_fd_ >= 0) ::close(conn_fd_);
     if (listen_fd_ >= 0) ::close(listen_fd_);
-    ::unlink(path_.c_str());
+    if (!unlink_path_.empty()) ::unlink(unlink_path_.c_str());
   }
 
   std::optional<std::string> next_line(
@@ -192,6 +189,12 @@ class SocketSource final : public LineSource {
                  MSG_NOSIGNAL | MSG_DONTWAIT);
   }
 
+  bool has_buffered_line() override {
+    // Exact for sockets: a complete line is already drained into the
+    // buffer (a fragment under decision is not servable yet).
+    return !deciding_ && buffer_.find('\n') != std::string::npos;
+  }
+
  private:
   void close_conn() {
     ::close(conn_fd_);
@@ -251,7 +254,7 @@ class SocketSource final : public LineSource {
     deciding_ = false;
   }
 
-  std::string path_;
+  std::string unlink_path_;
   int listen_fd_ = -1;
   int conn_fd_ = -1;
   std::string buffer_;    ///< bytes from the current connection
@@ -276,28 +279,106 @@ std::unique_ptr<LineSource> make_file_source(const std::string& path,
 std::unique_ptr<LineSource> make_socket_source(const std::string& path,
                                                IngestCounters* counters,
                                                std::size_t buffer_bytes) {
-  return std::make_unique<SocketSource>(path, counters, buffer_bytes);
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw util::IoError("replicationd: socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw util::IoError("replicationd: socket() failed: " +
+                        std::string(std::strerror(errno)));
+  }
+  ::unlink(path.c_str());  // stale socket from a previous run
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 4) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    throw util::IoError("replicationd: cannot listen on " + path + ": " +
+                        what);
+  }
+  return std::make_unique<SocketSource>(fd, path, counters, buffer_bytes);
+}
+
+std::unique_ptr<LineSource> make_tcp_source(int port,
+                                            IngestCounters* counters,
+                                            std::size_t buffer_bytes,
+                                            std::uint16_t* bound_port) {
+  if (port < 0 || port > 65535) {
+    throw util::IoError("replicationd: invalid TCP port " +
+                        std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw util::IoError("replicationd: socket() failed: " +
+                        std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: replicationd has no authentication; exposing the
+  // ingest stream beyond the host is an operator decision (a tunnel),
+  // not a default.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 4) < 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    throw util::IoError("replicationd: cannot listen on 127.0.0.1:" +
+                        std::to_string(port) + ": " + what);
+  }
+  if (bound_port) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      const std::string what = std::strerror(errno);
+      ::close(fd);
+      throw util::IoError("replicationd: getsockname failed: " + what);
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return std::make_unique<SocketSource>(fd, std::string(), counters,
+                                        buffer_bytes);
 }
 
 ReplicationDaemon::ReplicationDaemon(const DaemonConfig& config)
     : config_(config) {
+  const bool chain_avail =
+      !config_.snapshot_path.empty() &&
+      SnapshotChain::chain_available(config_.snapshot_path);
   if (config_.restore && !config_.snapshot_path.empty() &&
-      file_exists(config_.snapshot_path)) {
+      (chain_avail || file_exists(config_.snapshot_path))) {
     // A SIGKILL mid-snapshot leaves a stale `<path>.tmp`; the atomic
-    // rename discipline means `<path>` itself is always the last
-    // consistent snapshot, so the temp file is simply ignored.
-    store_ = std::make_unique<StateStore>(config_.store, config_.seed,
-                                          load_image(config_.snapshot_path));
+    // rename discipline means `<path>` itself — or the chain manifest —
+    // is always the last consistent snapshot, so the temp file is simply
+    // ignored. restore_image prefers the chain, falls back to the plain
+    // file.
+    store_ = std::make_unique<StateStore>(
+        config_.store, config_.seed,
+        SnapshotChain::restore_image(config_.snapshot_path), config_.apply);
     restored_ = true;
   } else {
-    store_ = std::make_unique<StateStore>(config_.store, config_.seed);
+    store_ = std::make_unique<StateStore>(config_.store, config_.seed,
+                                          config_.apply);
+  }
+  if (config_.snapshot_deltas && !config_.snapshot_path.empty()) {
+    chain_ = std::make_unique<SnapshotChain>(SnapshotChain::Options{
+        config_.snapshot_path, config_.snapshot_delta_limit});
   }
 
-  source_ = config_.socket_path.empty()
-                ? make_file_source(config_.input_path, config_.follow,
-                                   config_.follow_poll_s)
-                : make_socket_source(config_.socket_path, &ingest_,
-                                     config_.ingest_buffer_bytes);
+  if (!config_.socket_path.empty()) {
+    source_ = make_socket_source(config_.socket_path, &ingest_,
+                                 config_.ingest_buffer_bytes);
+  } else if (config_.tcp_port >= 0) {
+    source_ = make_tcp_source(config_.tcp_port, &ingest_,
+                              config_.ingest_buffer_bytes, &tcp_port_);
+  } else {
+    source_ = make_file_source(config_.input_path, config_.follow,
+                               config_.follow_poll_s);
+  }
 
   start_time_ = Clock::now();
   rate_time_ = start_time_;
@@ -367,6 +448,26 @@ void ReplicationDaemon::run(const util::CancellationToken* token) {
     });
   }
 
+  // Countable lines are batched so the sharded pipeline sees windows
+  // worth planning: the batch grows while the source has more buffered
+  // (never waiting for input), flushes through apply_batch — which is
+  // byte-identical to per-line apply for any batch split — and is forced
+  // down at every point the per-line loop would observe the store:
+  // hello replies (the seq cursor), by-sequence snapshot boundaries, and
+  // end of stream.
+  std::vector<IngestLine> batch;
+  const std::size_t batch_cap = std::max<std::size_t>(config_.apply.window, 1);
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    const auto t0 = Clock::now();
+    store_->apply_batch(batch);
+    // One sample per line, so latency percentiles stay comparable with
+    // the per-line path: the batch's wall time amortized over its lines.
+    metrics_.record_apply_latency(1e6 * seconds_since(t0, Clock::now()) /
+                                  static_cast<double>(batch.size()));
+    batch.clear();
+  };
+
   while (!stop_.load(std::memory_order_relaxed)) {
     const auto line = source_->next_line(stop_);
     if (!line) break;  // end of stream or stop
@@ -376,25 +477,31 @@ void ReplicationDaemon::run(const util::CancellationToken* token) {
     if (cls == LineClass::hello) {
       // Handshake: answer with the seq cursor (the count of countable
       // lines applied so far) so a resuming feeder can seek to seq + 1.
+      // Pending lines flush first — they precede the hello in the stream
+      // and must be inside the acked cursor.
+      flush();
       ingest_.hellos.fetch_add(1, std::memory_order_relaxed);
       source_->reply(format_seq_reply(store_->seq()) + "\n");
       continue;
     }
     if (cls == LineClass::quit) break;
-    if (cls == LineClass::malformed) {
-      store_->apply_malformed();
-    } else {
-      const auto t0 = Clock::now();
-      store_->apply(event);
-      metrics_.record_apply_latency(1e6 * seconds_since(t0, Clock::now()));
-    }
+    IngestLine ingest_line;
+    ingest_line.malformed = cls == LineClass::malformed;
+    if (!ingest_line.malformed) ingest_line.event = event;
+    batch.push_back(ingest_line);
     // Cadence keys on seq, which malformed lines advance too — the
-    // by-sequence snapshot schedule must replay identically.
-    if (config_.snapshot_every > 0 &&
-        store_->seq() % config_.snapshot_every == 0) {
-      snapshot_now();
+    // by-sequence snapshot schedule must replay identically, so the
+    // batch is cut exactly at the boundary.
+    const bool boundary =
+        config_.snapshot_every > 0 &&
+        (store_->seq() + batch.size()) % config_.snapshot_every == 0;
+    if (boundary || batch.size() >= batch_cap ||
+        !source_->has_buffered_line()) {
+      flush();
+      if (boundary) snapshot_now();
     }
   }
+  flush();
 
   stop();
   run_done.store(true, std::memory_order_relaxed);
@@ -402,8 +509,17 @@ void ReplicationDaemon::run(const util::CancellationToken* token) {
 
   // Graceful exit always persists a final snapshot — including the
   // deadline path, where the state is still consistent (events are
-  // applied atomically) and worth keeping.
-  if (!config_.snapshot_path.empty()) snapshot_now();
+  // applied atomically) and worth keeping. In delta mode the chain is
+  // collapsed into a single fresh base.
+  if (!config_.snapshot_path.empty()) {
+    if (chain_) {
+      std::lock_guard<std::mutex> lock(snapshot_mu_);
+      chain_->finalize(*store_);
+      metrics_.record_snapshot(store_->version());
+    } else {
+      snapshot_now();
+    }
+  }
 
   if (token && token->cancelled() &&
       token->reason() == util::CancelReason::deadline) {
@@ -414,6 +530,13 @@ void ReplicationDaemon::run(const util::CancellationToken* token) {
 void ReplicationDaemon::snapshot_now() {
   if (config_.snapshot_path.empty()) return;
   std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (chain_) {
+    // Incremental checkpoint: delta of the dirty nodes (or a fresh base
+    // at the delta limit); the manifest write is the commit point.
+    chain_->snapshot(*store_);
+    metrics_.record_snapshot(store_->version());
+    return;
+  }
   // Record the version the image actually carries, not the store's
   // (possibly newer) live version.
   const StateImage image = store_->image();
@@ -455,6 +578,7 @@ void ReplicationDaemon::write_announce_file() const {
       config_.announce_path, [this, port](std::ostream& out) {
         out << "http_port " << port << '\n'
             << "socket " << config_.socket_path << '\n'
+            << "tcp_port " << tcp_port_ << '\n'
             << "pid " << ::getpid() << '\n';
       });
 }

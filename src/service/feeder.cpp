@@ -1,5 +1,7 @@
 #include "impatience/service/feeder.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -86,6 +88,13 @@ StreamFeeder::StreamFeeder(const FeederConfig& config)
     : config_(config),
       chaos_rng_(engine::child_seed(config.chaos.seed, "chaos-net")) {
   config_.chaos.validate();
+  if (config_.socket_path.empty() && config_.tcp_port < 0) {
+    throw std::invalid_argument(
+        "replfeed: need a socket path or a TCP port");
+  }
+  if (config_.tcp_port > 65535) {
+    throw std::invalid_argument("replfeed: TCP port out of range");
+  }
   std::ifstream in(config_.input_path);
   if (!in) {
     throw util::IoError("replfeed: cannot open input " + config_.input_path);
@@ -107,19 +116,38 @@ FeederReport StreamFeeder::snapshot_report() const {
 }
 
 bool StreamFeeder::connect_once() {
-  sockaddr_un addr{};
-  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
-    throw util::IoError("replfeed: socket path too long: " +
-                        config_.socket_path);
-  }
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) return false;
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
-               sizeof(addr.sun_path) - 1);
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    disconnect();
-    return false;
+  if (config_.socket_path.empty() && config_.tcp_port >= 0) {
+    // TCP transport: identical protocol, different address family.
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::inet_pton(AF_INET, config_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      disconnect();
+      throw util::IoError("replfeed: bad TCP host " + config_.tcp_host);
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      disconnect();
+      return false;
+    }
+  } else {
+    sockaddr_un addr{};
+    if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw util::IoError("replfeed: socket path too long: " +
+                          config_.socket_path);
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      disconnect();
+      return false;
+    }
   }
   std::lock_guard<std::mutex> lock(report_mu_);
   ++report_.connections;

@@ -1,0 +1,217 @@
+#include "impatience/service/snapshot_chain.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "impatience/engine/artifacts.hpp"
+#include "impatience/util/errors.hpp"
+
+namespace impatience::service {
+
+namespace {
+
+constexpr std::string_view kManifestMagic =
+    "impatience.replicationd_manifest/1";
+
+std::string chain_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+std::string chain_basename(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+SnapshotChain::SnapshotChain(Options options)
+    : options_(std::move(options)),
+      dir_(chain_dir(options_.path)),
+      basename_(chain_basename(options_.path)) {
+  if (options_.path.empty()) {
+    throw std::invalid_argument("SnapshotChain: path must not be empty");
+  }
+  if (options_.delta_limit == 0) {
+    throw std::invalid_argument("SnapshotChain: delta_limit must be > 0");
+  }
+}
+
+std::string SnapshotChain::full_path(const std::string& basename) const {
+  return dir_ + basename;
+}
+
+std::uint64_t SnapshotChain::snapshot(StateStore& store) {
+  if (have_chain_ && store.seq() == last_seq_) {
+    // Nothing countable happened since the last element. Skipping keeps
+    // file names unique per chain: re-emitting `<...>.delta.<seq>` would
+    // overwrite a file whose checksum the manifest already records.
+    return last_seq_;
+  }
+  if (!have_chain_ || deltas_since_base() >= options_.delta_limit) {
+    write_base(store);
+    return last_seq_;
+  }
+  StateDelta delta = store.take_delta();
+  delta.parent_checksum = elements_.back().checksum;
+  Element element;
+  element.is_base = false;
+  element.seq = delta.seq;
+  element.file = basename_ + ".delta." + std::to_string(delta.seq);
+  element.checksum = save_delta(full_path(element.file), delta);
+  elements_.push_back(std::move(element));
+  last_seq_ = delta.seq;
+  commit_manifest();
+  return last_seq_;
+}
+
+void SnapshotChain::write_base(StateStore& store) {
+  std::vector<std::string> old_files;
+  for (const Element& e : elements_) old_files.push_back(e.file);
+
+  const StateImage image = store.checkpoint_image();
+  Element element;
+  element.is_base = true;
+  element.seq = image.seq;
+  element.file = basename_ + ".base." + std::to_string(image.seq);
+  element.checksum = save_image(full_path(element.file), image);
+  elements_.clear();
+  elements_.push_back(std::move(element));
+  last_seq_ = image.seq;
+  have_chain_ = true;
+  commit_manifest();
+  // Only after the manifest points at the new base is the old chain
+  // garbage; a crash before this line leaves both chains on disk and
+  // the manifest decides.
+  remove_stale(old_files);
+}
+
+void SnapshotChain::finalize(StateStore& store) {
+  // Force a fresh base even when the last element already sits at this
+  // seq: the collapsed chain must be a single file. The base file name
+  // can collide with an existing `<...>.base.<seq>`; the content is a
+  // deterministic function of the state, so the atomic overwrite is
+  // byte-identical and the recorded checksum stays valid.
+  std::vector<std::string> old_files;
+  for (const Element& e : elements_) old_files.push_back(e.file);
+
+  const StateImage image = store.checkpoint_image();
+  Element element;
+  element.is_base = true;
+  element.seq = image.seq;
+  element.file = basename_ + ".base." + std::to_string(image.seq);
+  element.checksum = save_image(full_path(element.file), image);
+  elements_.clear();
+  elements_.push_back(std::move(element));
+  last_seq_ = image.seq;
+  have_chain_ = true;
+  commit_manifest();
+  remove_stale(old_files);
+}
+
+void SnapshotChain::commit_manifest() {
+  engine::atomic_write_file(options_.path + ".manifest",
+                            [this](std::ostream& out) {
+                              out << kManifestMagic << '\n';
+                              for (const Element& e : elements_) {
+                                out << (e.is_base ? "base " : "delta ")
+                                    << e.file << ' ' << e.checksum << ' '
+                                    << e.seq << '\n';
+                              }
+                              out << "end\n";
+                            });
+}
+
+void SnapshotChain::remove_stale(const std::vector<std::string>& old_files) {
+  for (const std::string& file : old_files) {
+    bool live = false;
+    for (const Element& e : elements_) {
+      if (e.file == file) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) std::remove(full_path(file).c_str());
+  }
+}
+
+bool SnapshotChain::chain_available(const std::string& path) {
+  std::ifstream in(path + ".manifest");
+  return in.good();
+}
+
+StateImage SnapshotChain::restore_image(const std::string& path) {
+  std::ifstream manifest(path + ".manifest");
+  if (!manifest) {
+    // Pre-chain snapshot layout: one full image at the plain path.
+    return load_image(path);
+  }
+  const std::string dir = chain_dir(path);
+
+  std::string line;
+  if (!std::getline(manifest, line) || line != kManifestMagic) {
+    throw util::IoError("snapshot chain: bad manifest magic: " + path +
+                        ".manifest");
+  }
+  struct Entry {
+    bool is_base;
+    std::string file;
+    std::uint64_t checksum;
+    std::uint64_t seq;
+  };
+  std::vector<Entry> entries;
+  bool sealed = false;
+  while (std::getline(manifest, line)) {
+    if (line == "end") {
+      sealed = true;
+      break;
+    }
+    std::istringstream fields(line);
+    std::string kind;
+    Entry entry;
+    if (!(fields >> kind >> entry.file >> entry.checksum >> entry.seq) ||
+        (kind != "base" && kind != "delta")) {
+      throw util::IoError("snapshot chain: malformed manifest line: " + line);
+    }
+    entry.is_base = kind == "base";
+    entries.push_back(std::move(entry));
+  }
+  if (!sealed) {
+    throw util::IoError("snapshot chain: manifest missing end trailer (torn?)");
+  }
+  if (entries.empty() || !entries.front().is_base) {
+    throw util::IoError("snapshot chain: manifest must start with a base");
+  }
+
+  std::uint64_t checksum = 0;
+  StateImage image = load_image(dir + entries.front().file, &checksum);
+  if (checksum != entries.front().checksum) {
+    throw util::IoError("snapshot chain: base checksum does not match " +
+                        std::string("manifest: ") + entries.front().file);
+  }
+  std::uint64_t parent = checksum;
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const Entry& entry = entries[i];
+    if (entry.is_base) {
+      throw util::IoError("snapshot chain: manifest has a second base");
+    }
+    const StateDelta delta = load_delta(dir + entry.file, &checksum);
+    if (checksum != entry.checksum) {
+      throw util::IoError("snapshot chain: delta checksum does not match " +
+                          std::string("manifest: ") + entry.file);
+    }
+    if (delta.parent_checksum != parent) {
+      throw util::IoError("snapshot chain: broken parent link at " +
+                          entry.file + " (spliced chain?)");
+    }
+    apply_delta(image, delta);
+    parent = checksum;
+  }
+  return image;
+}
+
+}  // namespace impatience::service

@@ -10,6 +10,7 @@
 
 #include "impatience/engine/artifacts.hpp"
 #include "impatience/engine/seeding.hpp"
+#include "impatience/engine/thread_pool.hpp"
 #include "impatience/stats/percentile.hpp"
 #include "impatience/util/errors.hpp"
 #include "impatience/utility/factory.hpp"
@@ -60,9 +61,18 @@ void StoreConfig::validate() const {
   }
 }
 
-StateStore::StateStore(const StoreConfig& config, std::uint64_t seed)
-    : config_(config), seed_(seed) {
+StateStore::StateStore(const StoreConfig& config, std::uint64_t seed,
+                       const ApplyOptions& options)
+    : config_(config), seed_(seed), options_(options) {
   config_.validate();
+  options_.validate();
+  if (options_.parallel()) {
+    // The scheduler and team exist only when the pipeline engages; the
+    // sequential path never pays for them.
+    scheduler_ = std::make_unique<ShardWaveScheduler>(config_.num_nodes,
+                                                      options_.shards);
+    team_ = std::make_unique<engine::ForkJoinTeam>(options_.threads - 1);
+  }
   utility_ = utility::make_utility(config_.utility_spec);
   // Same stabilizers as core::run_qcr: clamp the counter at |S|, cap one
   // fulfilment's burst at rho, bound any node's backlog by the global
@@ -83,8 +93,8 @@ StateStore::StateStore(const StoreConfig& config, std::uint64_t seed)
 }
 
 StateStore::StateStore(const StoreConfig& config, std::uint64_t seed,
-                       const StateImage& image)
-    : StateStore(config, seed) {
+                       const StateImage& image, const ApplyOptions& options)
+    : StateStore(config, seed, options) {
   if (!config_equal(config_, image.config)) {
     throw std::invalid_argument(
         "StateStore: snapshot config does not match this scenario");
@@ -147,6 +157,8 @@ void StateStore::init_fresh() {
   mandates_created_base_ = 0;
   replicas_written_base_ = 0;
   recent_delays_.clear();
+  dirty_.assign(config_.num_nodes, 0);
+  dirty_list_.clear();
   attach_listeners();
 }
 
@@ -219,6 +231,8 @@ void StateStore::init_from_image(const StateImage& image) {
   if (recent_delays_.size() > kDelayWindow) {
     throw util::IoError("StateStore: snapshot delay window too large");
   }
+  dirty_.assign(config_.num_nodes, 0);
+  dirty_list_.clear();
   attach_listeners();
 }
 
@@ -250,6 +264,14 @@ std::uint64_t StateStore::apply(const Event& event) {
   // identical randomness, making restore + replay bit-equal to an
   // uninterrupted run.
   util::Rng rng(engine::child_seed(seed_, "service-apply", seq_));
+  apply_event_locked(event, rng);
+  counters_.events_applied = seq_;
+  sync_policy_counters_locked();
+  bump_locked();
+  return version_;
+}
+
+void StateStore::apply_event_locked(const Event& event, util::Rng& rng) {
   switch (event.kind) {
     case Event::Kind::clock:
       apply_clock(event.slot);
@@ -280,10 +302,133 @@ std::uint64_t StateStore::apply(const Event& event) {
     case Event::Kind::quit:
       break;  // stream control; the ingest loop reacts, the state doesn't
   }
+}
+
+void StateStore::apply_line_locked(const IngestLine& line) {
+  ++seq_;
+  if (line.malformed) {
+    ++counters_.events_malformed;
+  } else {
+    util::Rng rng(engine::child_seed(seed_, "service-apply", seq_));
+    apply_event_locked(line.event, rng);
+  }
   counters_.events_applied = seq_;
   sync_policy_counters_locked();
   bump_locked();
+}
+
+std::uint64_t StateStore::apply_batch(std::span<const IngestLine> lines) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!options_.parallel() || lines.size() < 2) {
+    for (const IngestLine& line : lines) apply_line_locked(line);
+    return version_;
+  }
+  for (std::size_t begin = 0; begin < lines.size();
+       begin += options_.window) {
+    apply_window_locked(lines.subspan(
+        begin, std::min(options_.window, lines.size() - begin)));
+  }
   return version_;
+}
+
+void StateStore::apply_window_locked(std::span<const IngestLine> lines) {
+  // Schedule the window into shard-disjoint plan waves; commits walk
+  // the window in original order, advancing exactly as far as the
+  // planned waves cover (trace::WavePartitioner's run protocol — see
+  // apply_plan.hpp for the correctness argument).
+  scheduler_->schedule(lines, config_.num_nodes, order_, wave_ends_,
+                       commit_ends_);
+  plans_.resize(std::max(plans_.size(), lines.size()));
+  const unsigned width = team_->num_workers() + 1;
+  std::size_t wave_begin = 0;
+  std::size_t committed = 0;
+  for (std::size_t k = 0; k < wave_ends_.size(); ++k) {
+    const std::size_t wave_end = wave_ends_[k];
+    const std::size_t count = wave_end - wave_begin;
+    if (count > 1) {
+      // Strided fan-out: worker t plans order_[wave_begin + t, +width,
+      // ...]. Plans only read node state; the barrier inside run()
+      // orders them against the commits below.
+      team_->run([&, wave_begin, wave_end](unsigned tid) {
+        for (std::size_t j = wave_begin + tid; j < wave_end; j += width) {
+          const std::uint32_t i = order_[j];
+          plan_line(lines[i], plans_[i]);
+        }
+      });
+    } else if (count == 1) {
+      const std::uint32_t i = order_[wave_begin];
+      plan_line(lines[i], plans_[i]);
+    }
+    for (; committed < commit_ends_[k]; ++committed) {
+      commit_line_locked(lines[committed], plans_[committed]);
+    }
+    wave_begin = wave_end;
+  }
+}
+
+void StateStore::plan_line(const IngestLine& line, ContactPlan& plan) const {
+  plan.planned = false;
+  if (line.malformed) return;
+  const Event& e = line.event;
+  if (e.kind != Event::Kind::contact || e.a >= config_.num_nodes ||
+      e.b >= config_.num_nodes || e.a == e.b) {
+    // Only contacts carry plannable work (the O(rho * pending) match
+    // scan); requests and crashes are O(capacity) at commit.
+    return;
+  }
+  plan.planned = true;
+  plan_direction(nodes_[e.a], nodes_[e.b], plan.ab);
+  plan_direction(nodes_[e.b], nodes_[e.a], plan.ba);
+}
+
+void StateStore::plan_direction(const core::Node& requester,
+                                const core::Node& provider,
+                                std::vector<std::uint32_t>& matches) const {
+  // Read-only twin of fulfil_from's match scan: same O(rho) prefilter,
+  // then the pending indices the provider can serve. Valid at commit
+  // time because no line between plan and commit touches these shards
+  // (direction 1's commit mutates only the requester's mandates and
+  // pending — never the provider cache or the other direction's list).
+  matches.clear();
+  if (requester.pending().empty()) return;
+  bool any_match = false;
+  for (ItemId item : provider.cache().items()) {
+    if (requester.has_pending(item)) {
+      any_match = true;
+      break;
+    }
+  }
+  if (!any_match) return;
+  const auto& pending = requester.pending();
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    if (provider.holds(pending[k].item)) {
+      matches.push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+}
+
+void StateStore::commit_line_locked(const IngestLine& line,
+                                    const ContactPlan& plan) {
+  ++seq_;
+  if (line.malformed) {
+    ++counters_.events_malformed;
+  } else if (plan.planned) {
+    util::Rng rng(engine::child_seed(seed_, "service-apply", seq_));
+    ++counters_.contacts;
+    core::Node& na = nodes_[line.event.a];
+    core::Node& nb = nodes_[line.event.b];
+    mark_dirty_locked(line.event.a);
+    mark_dirty_locked(line.event.b);
+    fulfil_planned(na, nb, plan.ab, rng);
+    fulfil_planned(nb, na, plan.ba, rng);
+    policy_->on_meeting_complete(na, nb, rng);
+  } else {
+    util::Rng rng(engine::child_seed(seed_, "service-apply", seq_));
+    apply_event_locked(line.event, rng);
+  }
+  counters_.events_applied = seq_;
+  sync_policy_counters_locked();
+  bump_locked();
 }
 
 void StateStore::apply_clock(Slot slot) {
@@ -295,6 +440,10 @@ void StateStore::apply_contact(NodeId a, NodeId b, util::Rng& rng) {
   ++counters_.contacts;
   core::Node& na = nodes_[a];
   core::Node& nb = nodes_[b];
+  // Both sides mutate unconditionally (note_server_meeting ticks the
+  // query counter even on a dry meeting).
+  mark_dirty_locked(a);
+  mark_dirty_locked(b);
   fulfil_from(na, nb, rng);
   fulfil_from(nb, na, rng);
   policy_->on_meeting_complete(na, nb, rng);
@@ -316,10 +465,12 @@ void StateStore::apply_request(NodeId node_id, ItemId item, util::Rng& rng) {
     return;
   }
   node.create_request(item, clock_);
+  mark_dirty_locked(node_id);
   ++counters_.requests_pending;
 }
 
 void StateStore::apply_crash(NodeId node_id) {
+  mark_dirty_locked(node_id);
   const core::Node::CrashLosses losses = nodes_[node_id].crash(false);
   ++faults_.crashes;
   faults_.replicas_lost += losses.replicas;
@@ -351,17 +502,7 @@ void StateStore::fulfil_from(core::Node& requester, core::Node& provider,
   for (std::size_t k = 0; k < pending.size(); ++k) {
     core::PendingRequest& req = pending[k];
     if (provider.holds(req.item)) {
-      const double delay = static_cast<double>(clock_ - req.created) + 1.0;
-      const double gain = utility_->value(delay);
-      const long queries =
-          requester.server_meetings() - req.queries_at_creation;
-      ++counters_.fulfillments;
-      --counters_.requests_pending;
-      counters_.total_gain += gain;
-      counters_.delay_sum += delay;
-      record_delay_locked(delay);
-      requester.note_fulfilled(req.item);
-      policy_->on_fulfillment(requester, provider, req.item, queries, rng);
+      fulfil_one(requester, provider, req, rng);
     } else {
       pending[kept++] = req;
     }
@@ -369,14 +510,66 @@ void StateStore::fulfil_from(core::Node& requester, core::Node& provider,
   pending.resize(kept);
 }
 
+void StateStore::fulfil_planned(core::Node& requester, core::Node& provider,
+                                const std::vector<std::uint32_t>& matches,
+                                util::Rng& rng) {
+  // Commit half of the planned direction: the plan already decided
+  // *which* pending indices the provider serves (bit-equal to
+  // fulfil_from's holds() scan, since no committed line since the plan
+  // touched either shard); delay/gain/queries are evaluated here against
+  // the live clock and meeting counters, like the sequential path.
+  requester.note_server_meeting();
+  if (matches.empty()) return;
+  auto& pending = requester.pending();
+  std::size_t m = 0;
+  std::size_t kept = 0;
+  for (std::size_t k = 0; k < pending.size(); ++k) {
+    if (m < matches.size() && matches[m] == k) {
+      ++m;
+      fulfil_one(requester, provider, pending[k], rng);
+    } else {
+      pending[kept++] = pending[k];
+    }
+  }
+  pending.resize(kept);
+}
+
+void StateStore::fulfil_one(core::Node& requester, core::Node& provider,
+                            core::PendingRequest& req, util::Rng& rng) {
+  const double delay = static_cast<double>(clock_ - req.created) + 1.0;
+  const double gain = utility_->value(delay);
+  const long queries = requester.server_meetings() - req.queries_at_creation;
+  ++counters_.fulfillments;
+  --counters_.requests_pending;
+  counters_.total_gain += gain;
+  counters_.delay_sum += delay;
+  record_delay_locked(delay);
+  requester.note_fulfilled(req.item);
+  policy_->on_fulfillment(requester, provider, req.item, queries, rng);
+}
+
 void StateStore::sync_policy_counters_locked() {
   counters_.mandates_created =
       mandates_created_base_ + policy_->mandates_created();
   counters_.replicas_written =
       replicas_written_base_ + policy_->replicas_written();
+  // mandates_outstanding is NOT summed here: the O(nodes) sweep per
+  // event would dominate the sharded pipeline. Read paths call
+  // refresh_outstanding_locked() instead — externally observable
+  // counters are unchanged.
+}
+
+void StateStore::refresh_outstanding_locked() const {
   long outstanding = 0;
   for (const core::Node& node : nodes_) outstanding += node.mandates().total();
   counters_.mandates_outstanding = outstanding;
+}
+
+void StateStore::mark_dirty_locked(NodeId node) {
+  if (!dirty_[node]) {
+    dirty_[node] = 1;
+    dirty_list_.push_back(node);
+  }
 }
 
 void StateStore::record_delay_locked(double delay) {
@@ -401,8 +594,23 @@ std::uint64_t StateStore::apply_malformed() {
   return version_;
 }
 
+StateImage::NodeImage StateStore::node_image_locked(NodeId n) const {
+  const core::Node& node = nodes_[n];
+  StateImage::NodeImage ni;
+  ni.server_meetings = node.server_meetings();
+  const auto sticky = node.cache().sticky();
+  ni.sticky = sticky ? static_cast<std::int64_t>(*sticky) : -1;
+  ni.cache = node.cache().items();
+  for (ItemId item : node.mandates().active_items()) {
+    ni.mandates.emplace_back(item, node.mandates().count(item));
+  }
+  ni.pending = node.pending();
+  return ni;
+}
+
 StateImage StateStore::image() const {
   std::lock_guard<std::mutex> lock(mu_);
+  refresh_outstanding_locked();
   StateImage image;
   image.config = config_;
   image.seed = seed_;
@@ -412,20 +620,61 @@ StateImage StateStore::image() const {
   image.counters = counters_;
   image.faults = faults_;
   image.nodes.reserve(nodes_.size());
-  for (const core::Node& node : nodes_) {
-    StateImage::NodeImage ni;
-    ni.server_meetings = node.server_meetings();
-    const auto sticky = node.cache().sticky();
-    ni.sticky = sticky ? static_cast<std::int64_t>(*sticky) : -1;
-    ni.cache = node.cache().items();
-    for (ItemId item : node.mandates().active_items()) {
-      ni.mandates.emplace_back(item, node.mandates().count(item));
-    }
-    ni.pending = node.pending();
-    image.nodes.push_back(std::move(ni));
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    image.nodes.push_back(node_image_locked(n));
   }
   image.recent_delays = recent_delays_;
   return image;
+}
+
+StateImage StateStore::checkpoint_image() {
+  std::lock_guard<std::mutex> lock(mu_);
+  refresh_outstanding_locked();
+  StateImage image;
+  image.config = config_;
+  image.seed = seed_;
+  image.version = version_;
+  image.seq = seq_;
+  image.clock = clock_;
+  image.counters = counters_;
+  image.faults = faults_;
+  image.nodes.reserve(nodes_.size());
+  for (NodeId n = 0; n < config_.num_nodes; ++n) {
+    image.nodes.push_back(node_image_locked(n));
+  }
+  image.recent_delays = recent_delays_;
+  // Image + dirty reset under one lock: the next delta is relative to
+  // exactly this image, with no apply slipping in between.
+  for (NodeId n : dirty_list_) dirty_[n] = 0;
+  dirty_list_.clear();
+  return image;
+}
+
+StateDelta StateStore::take_delta() {
+  std::lock_guard<std::mutex> lock(mu_);
+  refresh_outstanding_locked();
+  StateDelta delta;
+  delta.config = config_;
+  delta.seed = seed_;
+  delta.version = version_;
+  delta.seq = seq_;
+  delta.clock = clock_;
+  delta.counters = counters_;
+  delta.faults = faults_;
+  std::sort(dirty_list_.begin(), dirty_list_.end());
+  delta.nodes.reserve(dirty_list_.size());
+  for (NodeId n : dirty_list_) {
+    delta.nodes.emplace_back(n, node_image_locked(n));
+    dirty_[n] = 0;
+  }
+  dirty_list_.clear();
+  delta.recent_delays = recent_delays_;
+  return delta;
+}
+
+std::size_t StateStore::dirty_node_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_list_.size();
 }
 
 void StateStore::save_snapshot(const std::string& path) const {
@@ -437,6 +686,7 @@ void StateStore::save_snapshot(const std::string& path) const {
 
 StoreCounters StateStore::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
+  refresh_outstanding_locked();
   return counters_;
 }
 
@@ -472,6 +722,7 @@ double StateStore::delay_percentile(double p) const {
 
 bool StateStore::mandate_conservation_ok() const {
   std::lock_guard<std::mutex> lock(mu_);
+  refresh_outstanding_locked();
   return counters_.mandates_created ==
          counters_.replicas_written + counters_.mandates_outstanding +
              faults_.mandates_lost;
@@ -543,61 +794,69 @@ class Record {
 
 }  // namespace
 
-void write_image(std::ostream& out, const StateImage& image) {
-  std::ostringstream body;
-  body << kMagic << '\n';
-  const StoreConfig& c = image.config;
+namespace {
+
+constexpr std::string_view kDeltaMagic = "impatience.replicationd_delta/1";
+
+void write_config_record(std::ostream& body, const StoreConfig& c) {
   body << "config " << c.num_nodes << ' ' << c.num_items << ' '
        << c.cache_capacity << ' ' << (c.sticky_replicas ? 1 : 0) << ' '
        << fmt_double(c.mu) << ' ' << fmt_double(c.reaction_scale) << ' '
        << (c.mandate_routing ? 1 : 0) << ' ' << c.utility_spec << '\n';
-  body << "seed " << image.seed << '\n';
-  body << "state " << image.version << ' ' << image.seq << ' ' << image.clock
-       << '\n';
-  const StoreCounters& k = image.counters;
+}
+
+void write_counters_record(std::ostream& body, const StoreCounters& k) {
   body << "counters " << k.events_applied << ' ' << k.events_malformed << ' '
        << k.contacts << ' ' << k.requests_created << ' '
        << k.immediate_fulfillments << ' ' << k.fulfillments << ' '
        << k.requests_pending << ' ' << k.mandates_created << ' '
        << k.replicas_written << ' ' << k.mandates_outstanding << ' '
        << fmt_double(k.total_gain) << ' ' << fmt_double(k.delay_sum) << '\n';
-  const fault::FaultCounters& f = image.faults;
-  body << "faults " << f.crashes << ' ' << f.replicas_lost << ' '
-       << f.mandates_lost << ' ' << f.requests_lost << '\n';
-  body << "nodes " << image.nodes.size() << '\n';
-  for (std::size_t n = 0; n < image.nodes.size(); ++n) {
-    const StateImage::NodeImage& ni = image.nodes[n];
-    body << "node " << n << ' ' << ni.server_meetings << ' ' << ni.sticky
-         << '\n';
-    body << "cache " << ni.cache.size();
-    for (ItemId item : ni.cache) body << ' ' << item;
-    body << '\n';
-    body << "mandates " << ni.mandates.size();
-    for (const auto& [item, count] : ni.mandates) {
-      body << ' ' << item << ' ' << count;
-    }
-    body << '\n';
-    body << "pending " << ni.pending.size();
-    for (const core::PendingRequest& req : ni.pending) {
-      body << ' ' << req.item << ' ' << req.created << ' '
-           << req.queries_at_creation;
-    }
-    body << '\n';
-  }
-  body << "delays " << image.recent_delays.size();
-  for (double d : image.recent_delays) body << ' ' << fmt_double(d);
-  body << '\n';
-
-  const std::string text = body.str();
-  char checksum[32];
-  std::snprintf(checksum, sizeof(checksum), "%016" PRIx64,
-                engine::fnv1a64(text));
-  out << text << "checksum " << checksum << '\n' << "end\n";
 }
 
-StateImage read_image(std::istream& in) {
-  // Pass 1: collect the body and verify the checksum + trailer, so any
-  // torn or bit-flipped file is rejected before a single field is used.
+void write_faults_record(std::ostream& body, const fault::FaultCounters& f) {
+  body << "faults " << f.crashes << ' ' << f.replicas_lost << ' '
+       << f.mandates_lost << ' ' << f.requests_lost << '\n';
+}
+
+void write_node_records(std::ostream& body, std::uint64_t id,
+                        const StateImage::NodeImage& ni) {
+  body << "node " << id << ' ' << ni.server_meetings << ' ' << ni.sticky
+       << '\n';
+  body << "cache " << ni.cache.size();
+  for (ItemId item : ni.cache) body << ' ' << item;
+  body << '\n';
+  body << "mandates " << ni.mandates.size();
+  for (const auto& [item, count] : ni.mandates) {
+    body << ' ' << item << ' ' << count;
+  }
+  body << '\n';
+  body << "pending " << ni.pending.size();
+  for (const core::PendingRequest& req : ni.pending) {
+    body << ' ' << req.item << ' ' << req.created << ' '
+         << req.queries_at_creation;
+  }
+  body << '\n';
+}
+
+void write_delays_record(std::ostream& body, const std::vector<double>& d) {
+  body << "delays " << d.size();
+  for (double v : d) body << ' ' << fmt_double(v);
+  body << '\n';
+}
+
+/// Appends "checksum <hex>\nend\n" and returns the body checksum.
+std::uint64_t seal_body(std::ostream& out, const std::string& text) {
+  const std::uint64_t sum = engine::fnv1a64(text);
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%016" PRIx64, sum);
+  out << text << "checksum " << checksum << '\n' << "end\n";
+  return sum;
+}
+
+/// Pass 1 of every reader: collect the body, verify checksum + trailer.
+/// Any torn or bit-flipped file is rejected before a field is parsed.
+std::string read_checked_body(std::istream& in, std::uint64_t* checksum) {
   std::string body;
   std::string line;
   bool have_checksum = false;
@@ -620,26 +879,120 @@ StateImage read_image(std::istream& in) {
   if (!std::getline(in, line) || line != "end") {
     throw util::IoError("snapshot: missing end trailer");
   }
+  if (checksum) *checksum = stored_checksum;
+  return body;
+}
 
-  std::istringstream text(body);
+void read_config_record(LineReader& lines, StoreConfig& config) {
+  Record r(lines.next(), "config");
+  config.num_nodes = r.get<NodeId>("num_nodes");
+  config.num_items = r.get<ItemId>("num_items");
+  config.cache_capacity = r.get<int>("cache_capacity");
+  config.sticky_replicas = r.get<int>("sticky_replicas") != 0;
+  config.mu = r.get<double>("mu");
+  config.reaction_scale = r.get<double>("reaction_scale");
+  config.mandate_routing = r.get<int>("mandate_routing") != 0;
+  config.utility_spec = r.rest();
+  config.validate();
+}
+
+void read_counters_record(LineReader& lines, StoreCounters& k) {
+  Record r(lines.next(), "counters");
+  k.events_applied = r.get<std::uint64_t>("events_applied");
+  k.events_malformed = r.get<std::uint64_t>("events_malformed");
+  k.contacts = r.get<std::uint64_t>("contacts");
+  k.requests_created = r.get<std::uint64_t>("requests_created");
+  k.immediate_fulfillments = r.get<std::uint64_t>("immediate_fulfillments");
+  k.fulfillments = r.get<std::uint64_t>("fulfillments");
+  k.requests_pending = r.get<std::uint64_t>("requests_pending");
+  k.mandates_created = r.get<long>("mandates_created");
+  k.replicas_written = r.get<long>("replicas_written");
+  k.mandates_outstanding = r.get<long>("mandates_outstanding");
+  k.total_gain = r.get<double>("total_gain");
+  k.delay_sum = r.get<double>("delay_sum");
+}
+
+void read_faults_record(LineReader& lines, fault::FaultCounters& f) {
+  Record r(lines.next(), "faults");
+  f.crashes = r.get<std::uint64_t>("crashes");
+  f.replicas_lost = r.get<std::uint64_t>("replicas_lost");
+  f.mandates_lost = r.get<long>("mandates_lost");
+  f.requests_lost = r.get<std::uint64_t>("requests_lost");
+}
+
+/// Reads one node/cache/mandates/pending block; returns the node id.
+std::uint64_t read_node_records(LineReader& lines,
+                                StateImage::NodeImage& ni) {
+  std::uint64_t id = 0;
+  {
+    Record r(lines.next(), "node");
+    id = r.get<std::uint64_t>("node id");
+    ni.server_meetings = r.get<long>("server_meetings");
+    ni.sticky = r.get<std::int64_t>("sticky");
+  }
+  {
+    Record r(lines.next(), "cache");
+    const auto count = r.get<std::size_t>("cache size");
+    ni.cache.resize(count);
+    for (auto& item : ni.cache) item = r.get<ItemId>("cache item");
+  }
+  {
+    Record r(lines.next(), "mandates");
+    const auto count = r.get<std::size_t>("mandate entries");
+    ni.mandates.resize(count);
+    for (auto& [item, cnt] : ni.mandates) {
+      item = r.get<ItemId>("mandate item");
+      cnt = r.get<long>("mandate count");
+    }
+  }
+  {
+    Record r(lines.next(), "pending");
+    const auto count = r.get<std::size_t>("pending entries");
+    ni.pending.resize(count);
+    for (auto& req : ni.pending) {
+      req.item = r.get<ItemId>("pending item");
+      req.created = r.get<Slot>("pending created");
+      req.queries_at_creation = r.get<long>("pending queries");
+    }
+  }
+  return id;
+}
+
+void read_delays_record(LineReader& lines, std::vector<double>& delays) {
+  Record r(lines.next(), "delays");
+  const auto count = r.get<std::size_t>("delay count");
+  delays.resize(count);
+  for (auto& d : delays) d = r.get<double>("delay");
+}
+
+}  // namespace
+
+std::uint64_t write_image(std::ostream& out, const StateImage& image) {
+  std::ostringstream body;
+  body << kMagic << '\n';
+  write_config_record(body, image.config);
+  body << "seed " << image.seed << '\n';
+  body << "state " << image.version << ' ' << image.seq << ' ' << image.clock
+       << '\n';
+  write_counters_record(body, image.counters);
+  write_faults_record(body, image.faults);
+  body << "nodes " << image.nodes.size() << '\n';
+  for (std::size_t n = 0; n < image.nodes.size(); ++n) {
+    write_node_records(body, n, image.nodes[n]);
+  }
+  write_delays_record(body, image.recent_delays);
+  return seal_body(out, body.str());
+}
+
+StateImage read_image(std::istream& in, std::uint64_t* checksum) {
+  std::istringstream text(read_checked_body(in, checksum));
   LineReader lines(text);
   if (lines.next() != kMagic) {
     throw util::IoError("snapshot: bad magic (not a replicationd snapshot)");
   }
 
   StateImage image;
-  {
-    Record r(lines.next(), "config");
-    image.config.num_nodes = r.get<NodeId>("num_nodes");
-    image.config.num_items = r.get<ItemId>("num_items");
-    image.config.cache_capacity = r.get<int>("cache_capacity");
-    image.config.sticky_replicas = r.get<int>("sticky_replicas") != 0;
-    image.config.mu = r.get<double>("mu");
-    image.config.reaction_scale = r.get<double>("reaction_scale");
-    image.config.mandate_routing = r.get<int>("mandate_routing") != 0;
-    image.config.utility_spec = r.rest();
-    image.config.validate();
-  }
+  read_config_record(lines, image.config);
   {
     Record r(lines.next(), "seed");
     image.seed = r.get<std::uint64_t>("seed");
@@ -650,29 +1003,8 @@ StateImage read_image(std::istream& in) {
     image.seq = r.get<std::uint64_t>("seq");
     image.clock = r.get<Slot>("clock");
   }
-  {
-    Record r(lines.next(), "counters");
-    StoreCounters& k = image.counters;
-    k.events_applied = r.get<std::uint64_t>("events_applied");
-    k.events_malformed = r.get<std::uint64_t>("events_malformed");
-    k.contacts = r.get<std::uint64_t>("contacts");
-    k.requests_created = r.get<std::uint64_t>("requests_created");
-    k.immediate_fulfillments = r.get<std::uint64_t>("immediate_fulfillments");
-    k.fulfillments = r.get<std::uint64_t>("fulfillments");
-    k.requests_pending = r.get<std::uint64_t>("requests_pending");
-    k.mandates_created = r.get<long>("mandates_created");
-    k.replicas_written = r.get<long>("replicas_written");
-    k.mandates_outstanding = r.get<long>("mandates_outstanding");
-    k.total_gain = r.get<double>("total_gain");
-    k.delay_sum = r.get<double>("delay_sum");
-  }
-  {
-    Record r(lines.next(), "faults");
-    image.faults.crashes = r.get<std::uint64_t>("crashes");
-    image.faults.replicas_lost = r.get<std::uint64_t>("replicas_lost");
-    image.faults.mandates_lost = r.get<long>("mandates_lost");
-    image.faults.requests_lost = r.get<std::uint64_t>("requests_lost");
-  }
+  read_counters_record(lines, image.counters);
+  read_faults_record(lines, image.faults);
   std::size_t num_nodes = 0;
   {
     Record r(lines.next(), "nodes");
@@ -680,61 +1012,133 @@ StateImage read_image(std::istream& in) {
   }
   image.nodes.resize(num_nodes);
   for (std::size_t n = 0; n < num_nodes; ++n) {
-    StateImage::NodeImage& ni = image.nodes[n];
-    {
-      Record r(lines.next(), "node");
-      if (r.get<std::size_t>("node index") != n) {
-        throw util::IoError("snapshot: node records out of order");
-      }
-      ni.server_meetings = r.get<long>("server_meetings");
-      ni.sticky = r.get<std::int64_t>("sticky");
-    }
-    {
-      Record r(lines.next(), "cache");
-      const auto count = r.get<std::size_t>("cache size");
-      ni.cache.resize(count);
-      for (auto& item : ni.cache) item = r.get<ItemId>("cache item");
-    }
-    {
-      Record r(lines.next(), "mandates");
-      const auto count = r.get<std::size_t>("mandate entries");
-      ni.mandates.resize(count);
-      for (auto& [item, cnt] : ni.mandates) {
-        item = r.get<ItemId>("mandate item");
-        cnt = r.get<long>("mandate count");
-      }
-    }
-    {
-      Record r(lines.next(), "pending");
-      const auto count = r.get<std::size_t>("pending entries");
-      ni.pending.resize(count);
-      for (auto& req : ni.pending) {
-        req.item = r.get<ItemId>("pending item");
-        req.created = r.get<Slot>("pending created");
-        req.queries_at_creation = r.get<long>("pending queries");
-      }
+    if (read_node_records(lines, image.nodes[n]) != n) {
+      throw util::IoError("snapshot: node records out of order");
     }
   }
-  {
-    Record r(lines.next(), "delays");
-    const auto count = r.get<std::size_t>("delay count");
-    image.recent_delays.resize(count);
-    for (auto& d : image.recent_delays) d = r.get<double>("delay");
-  }
+  read_delays_record(lines, image.recent_delays);
   return image;
 }
 
-void save_image(const std::string& path, const StateImage& image) {
-  engine::atomic_write_file(
-      path, [&image](std::ostream& out) { write_image(out, image); });
+std::uint64_t save_image(const std::string& path, const StateImage& image) {
+  std::uint64_t checksum = 0;
+  engine::atomic_write_file(path, [&](std::ostream& out) {
+    checksum = write_image(out, image);
+  });
+  return checksum;
 }
 
-StateImage load_image(const std::string& path) {
+StateImage load_image(const std::string& path, std::uint64_t* checksum) {
   std::ifstream in(path);
   if (!in) {
     throw util::IoError("snapshot: cannot open " + path);
   }
-  return read_image(in);
+  return read_image(in, checksum);
+}
+
+std::uint64_t write_delta(std::ostream& out, const StateDelta& delta) {
+  std::ostringstream body;
+  body << kDeltaMagic << '\n';
+  body << "parent " << delta.parent_checksum << '\n';
+  write_config_record(body, delta.config);
+  body << "seed " << delta.seed << '\n';
+  body << "state " << delta.version << ' ' << delta.seq << ' ' << delta.clock
+       << '\n';
+  write_counters_record(body, delta.counters);
+  write_faults_record(body, delta.faults);
+  body << "nodes " << delta.nodes.size() << '\n';
+  for (const auto& [id, ni] : delta.nodes) {
+    write_node_records(body, id, ni);
+  }
+  write_delays_record(body, delta.recent_delays);
+  return seal_body(out, body.str());
+}
+
+StateDelta read_delta(std::istream& in, std::uint64_t* checksum) {
+  std::istringstream text(read_checked_body(in, checksum));
+  LineReader lines(text);
+  if (lines.next() != kDeltaMagic) {
+    throw util::IoError("snapshot: bad magic (not a replicationd delta)");
+  }
+
+  StateDelta delta;
+  {
+    Record r(lines.next(), "parent");
+    delta.parent_checksum = r.get<std::uint64_t>("parent checksum");
+  }
+  read_config_record(lines, delta.config);
+  {
+    Record r(lines.next(), "seed");
+    delta.seed = r.get<std::uint64_t>("seed");
+  }
+  {
+    Record r(lines.next(), "state");
+    delta.version = r.get<std::uint64_t>("version");
+    delta.seq = r.get<std::uint64_t>("seq");
+    delta.clock = r.get<Slot>("clock");
+  }
+  read_counters_record(lines, delta.counters);
+  read_faults_record(lines, delta.faults);
+  std::size_t num_nodes = 0;
+  {
+    Record r(lines.next(), "nodes");
+    num_nodes = r.get<std::size_t>("nodes");
+  }
+  delta.nodes.resize(num_nodes);
+  std::uint64_t prev_id = 0;
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    auto& [id, ni] = delta.nodes[n];
+    const std::uint64_t got = read_node_records(lines, ni);
+    if (n > 0 && got <= prev_id) {
+      throw util::IoError("snapshot: delta node records not ascending");
+    }
+    id = static_cast<NodeId>(got);
+    prev_id = got;
+  }
+  read_delays_record(lines, delta.recent_delays);
+  return delta;
+}
+
+std::uint64_t save_delta(const std::string& path, const StateDelta& delta) {
+  std::uint64_t checksum = 0;
+  engine::atomic_write_file(path, [&](std::ostream& out) {
+    checksum = write_delta(out, delta);
+  });
+  return checksum;
+}
+
+StateDelta load_delta(const std::string& path, std::uint64_t* checksum) {
+  std::ifstream in(path);
+  if (!in) {
+    throw util::IoError("snapshot: cannot open " + path);
+  }
+  return read_delta(in, checksum);
+}
+
+void apply_delta(StateImage& image, const StateDelta& delta) {
+  if (!config_equal(image.config, delta.config)) {
+    throw util::IoError("snapshot: delta config does not match base");
+  }
+  if (image.seed != delta.seed) {
+    throw util::IoError("snapshot: delta seed does not match base");
+  }
+  if (delta.seq < image.seq) {
+    throw util::IoError("snapshot: delta seq regresses past base");
+  }
+  for (const auto& [id, ni] : delta.nodes) {
+    if (id >= image.nodes.size()) {
+      throw util::IoError("snapshot: delta node id out of range");
+    }
+  }
+  image.version = delta.version;
+  image.seq = delta.seq;
+  image.clock = delta.clock;
+  image.counters = delta.counters;
+  image.faults = delta.faults;
+  for (const auto& [id, ni] : delta.nodes) {
+    image.nodes[id] = ni;
+  }
+  image.recent_delays = delta.recent_delays;
 }
 
 }  // namespace impatience::service

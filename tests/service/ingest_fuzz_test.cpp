@@ -1,4 +1,5 @@
-// Byte-level protocol fuzzing for replicationd's socket ingest (suite
+// Byte-level protocol fuzzing for replicationd's socket ingest — both
+// Unix-domain and TCP transports share the framing rules (suite
 // ReplicationdFuzz; swept under ThreadSanitizer by
 // scripts/check_engine_tsan.sh). Seeded mutations — truncations, splices,
 // duplicated chunks, interleaved garbage (newlines included) — are
@@ -7,6 +8,8 @@
 // fragment counters are checked against an independent reference
 // tokenizer that models the framing rules directly.
 #include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -47,8 +50,20 @@ class TempPath {
   std::string path_;
 };
 
-/// Best-effort raw send: the daemon may quit (a fuzzed 'Q' line) while
-/// bytes are still in flight, so EPIPE just ends the feed.
+/// Best-effort raw send over a connected fd: the daemon may quit (a
+/// fuzzed 'Q' line) while bytes are still in flight, so EPIPE just ends
+/// the feed.
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
 void feed_bytes(const std::string& socket_path, const std::string& data) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
@@ -68,14 +83,30 @@ void feed_bytes(const std::string& socket_path, const std::string& data) {
     ::close(fd);
     return;
   }
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
-                             MSG_NOSIGNAL);
-    if (n <= 0) break;
-    off += static_cast<std::size_t>(n);
+  send_all(fd, data);
+}
+
+/// TCP twin of feed_bytes, for the --tcp ingest endpoint.
+void feed_bytes_tcp(std::uint16_t port, const std::string& data) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  int connected = -1;
+  for (int i = 0; i < 100 && connected < 0; ++i) {
+    connected =
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (connected < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
   }
-  ::close(fd);
+  if (connected < 0) {
+    ::close(fd);
+    return;
+  }
+  send_all(fd, data);
 }
 
 /// What the daemon must account for a byte stream fed over a sequence of
@@ -140,16 +171,28 @@ ExpectedIngest reference_ingest(const std::vector<std::string>& conns) {
   return expected;
 }
 
+/// Transport under fuzz: the framing rules (and hence the reference
+/// tokenizer) are transport-agnostic, so the same checks run over both.
+enum class Transport { unix_socket, tcp };
+
 /// Runs the daemon over the connection blobs and checks every counter
 /// against the reference tokenizer.
 void run_and_check(const std::vector<std::string>& conns,
-                   std::uint64_t seed, const char* what) {
+                   std::uint64_t seed, const char* what,
+                   Transport transport = Transport::unix_socket) {
   const ExpectedIngest expected = reference_ingest(conns);
   TempPath socket("repl_fuzz_sock");
   DaemonConfig config;
   config.store = small_config();
   config.seed = seed;
-  config.socket_path = socket.path();
+  if (transport == Transport::unix_socket) {
+    config.socket_path = socket.path();
+  } else {
+    config.tcp_port = 0;  // ephemeral; exercise the sharded pipeline too
+    config.apply.shards = 4;
+    config.apply.threads = 2;
+    config.apply.window = 16;
+  }
   config.http_port = -1;
   ReplicationDaemon daemon(config);
   std::thread runner([&] {
@@ -157,7 +200,11 @@ void run_and_check(const std::vector<std::string>& conns,
     EXPECT_NO_THROW(daemon.run(nullptr)) << what;
   });
   for (std::size_t ci = 0; ci < conns.size(); ++ci) {
-    feed_bytes(socket.path(), conns[ci]);
+    if (transport == Transport::unix_socket) {
+      feed_bytes(socket.path(), conns[ci]);
+    } else {
+      feed_bytes_tcp(daemon.tcp_port(), conns[ci]);
+    }
     // Connections past the quit-carrying one may never be accepted.
     if (expected.quit && ci >= expected.quit_conn) break;
   }
@@ -263,6 +310,33 @@ TEST(ReplicationdFuzz, DuplicatedChunksAreAppliedAsSent) {
     std::string mutated = base;
     mutated.insert(to, base.substr(from, to - from));
     run_and_check({mutated + "\nQ\n"}, 400 + round, "duplicated chunk");
+  }
+}
+
+TEST(ReplicationdFuzz, TcpTruncatedStreamsAccountExactly) {
+  util::Rng rng(6006);
+  const std::string base = clean_stream(120, 23);
+  for (int round = 0; round < 6; ++round) {
+    const std::size_t cut = rng.uniform_index(base.size());
+    run_and_check({base.substr(0, cut) + "\nQ\n"}, 500 + round,
+                  "tcp truncation", Transport::tcp);
+  }
+}
+
+TEST(ReplicationdFuzz, TcpMultiConnectionCutsAccountExactly) {
+  util::Rng rng(7007);
+  const std::string base = clean_stream(150, 29);
+  for (int round = 0; round < 4; ++round) {
+    std::size_t c1 = rng.uniform_index(base.size());
+    std::size_t c2 = rng.uniform_index(base.size());
+    if (c1 > c2) std::swap(c1, c2);
+    const bool handshake = rng.bernoulli(0.5);
+    std::vector<std::string> conns;
+    conns.push_back(base.substr(0, c1));
+    conns.push_back((handshake ? std::string("H\n") : std::string()) +
+                    base.substr(c1, c2 - c1));
+    conns.push_back(base.substr(c2) + "\nQ\n");
+    run_and_check(conns, 600 + round, "tcp 3-way cut", Transport::tcp);
   }
 }
 

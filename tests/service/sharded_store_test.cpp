@@ -1,0 +1,295 @@
+// Bitwise-identity lock for the sharded parallel apply pipeline (suite
+// ServiceShardedStore; scripts/check_engine_tsan.sh sweeps it under
+// ThreadSanitizer). The contract under test is absolute: for ANY shard
+// count, thread count, and window size, apply_batch must leave the store
+// byte-identical — serialized image for serialized image — to the
+// sequential apply/apply_malformed path, malformed and out-of-range
+// lines included, across snapshot/restore cuts at arbitrary points, and
+// through the chaos-shimmed feeder over both transports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "impatience/service/daemon.hpp"
+#include "impatience/service/feeder.hpp"
+#include "impatience/service/protocol.hpp"
+#include "impatience/service/state_store.hpp"
+
+namespace impatience::service {
+namespace {
+
+StoreConfig small_config() {
+  StoreConfig config;
+  config.num_nodes = 16;
+  config.num_items = 12;
+  config.cache_capacity = 3;
+  return config;
+}
+
+class TempPath {
+ public:
+  explicit TempPath(const char* stem) {
+    path_ = ::testing::TempDir() + stem + "_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  }
+  ~TempPath() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".tmp").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Ingest lines from a generated workload, with every `malformed_every`-th
+/// position occupied by an unparseable line (they hold a seq slot too,
+/// so the pipeline must commit them in order like any other line).
+std::vector<IngestLine> workload_lines(std::uint64_t events,
+                                       std::uint64_t seed,
+                                       double crash_fraction = 0.0,
+                                       std::size_t malformed_every = 0) {
+  StreamConfig config;
+  config.events = events;
+  config.num_nodes = 16;
+  config.num_items = 12;
+  config.crash_fraction = crash_fraction;
+  config.quit = false;
+  std::vector<IngestLine> lines;
+  for (const Event& event : generate_stream(config, seed)) {
+    lines.push_back({false, event});
+    if (malformed_every > 0 && lines.size() % malformed_every == 0) {
+      lines.push_back({true, Event{}});
+    }
+  }
+  return lines;
+}
+
+std::string serialized(const StateStore& store) {
+  std::ostringstream out;
+  write_image(out, store.image());
+  return out.str();
+}
+
+/// The reference semantics: one line at a time, no pipeline.
+void apply_per_line(StateStore& store, std::span<const IngestLine> lines) {
+  for (const IngestLine& line : lines) {
+    if (line.malformed) {
+      store.apply_malformed();
+    } else {
+      store.apply(line.event);
+    }
+  }
+}
+
+TEST(ServiceShardedStore, ApplyOptionsValidate) {
+  ApplyOptions options;
+  EXPECT_NO_THROW(options.validate());
+  EXPECT_FALSE(options.parallel());
+  options.shards = 8;
+  options.threads = 4;
+  EXPECT_TRUE(options.parallel());
+  options.window = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.window = 256;
+  options.shards = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options.shards = 8;
+  options.threads = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+}
+
+TEST(ServiceShardedStore, BatchIsByteIdenticalToPerLineApply) {
+  const auto lines = workload_lines(1500, 21, 0.01, 17);
+  StateStore reference(small_config(), 21);
+  apply_per_line(reference, lines);
+  const std::string want = serialized(reference);
+
+  for (unsigned shards : {1u, 2u, 8u}) {
+    for (unsigned threads : {1u, 2u, 4u}) {
+      for (std::size_t window : {std::size_t{1}, std::size_t{7},
+                                 std::size_t{256}}) {
+        ApplyOptions options;
+        options.shards = shards;
+        options.threads = threads;
+        options.window = window;
+        StateStore store(small_config(), 21, options);
+        store.apply_batch(lines);
+        EXPECT_EQ(serialized(store), want)
+            << "shards=" << shards << " threads=" << threads
+            << " window=" << window;
+      }
+    }
+  }
+}
+
+TEST(ServiceShardedStore, ChunkBoundariesDoNotAffectState) {
+  const auto lines = workload_lines(900, 33, 0.02, 23);
+  ApplyOptions options;
+  options.shards = 4;
+  options.threads = 2;
+  options.window = 16;
+
+  StateStore whole(small_config(), 33, options);
+  whole.apply_batch(lines);
+
+  // The same pipeline fed in ragged chunks (sizes that never align with
+  // the window) must land on the same bytes: a batch boundary is not a
+  // semantic boundary.
+  StateStore chunked(small_config(), 33, options);
+  std::span<const IngestLine> rest(lines);
+  std::size_t chunk = 1;
+  while (!rest.empty()) {
+    const std::size_t take = std::min(chunk, rest.size());
+    chunked.apply_batch(rest.subspan(0, take));
+    rest = rest.subspan(take);
+    chunk = chunk * 2 + 1;
+  }
+  EXPECT_EQ(serialized(chunked), serialized(whole));
+}
+
+TEST(ServiceShardedStore, OutOfRangeEventsCommitAsMalformedInOrder) {
+  auto lines = workload_lines(300, 44);
+  // Splice in events the apply path must refuse (node/item out of range)
+  // at positions that land mid-window; the scheduler over-claims their
+  // shard where it can, and the commit must count them malformed exactly
+  // where the sequential path does.
+  lines.insert(lines.begin() + 5, {false, {Event::Kind::contact, 0, 99, 1, 0}});
+  lines.insert(lines.begin() + 60, {false, {Event::Kind::request, 0, 1, 0, 99}});
+  lines.insert(lines.begin() + 61, {false, {Event::Kind::crash, 0, 99, 0, 0}});
+  lines.insert(lines.begin() + 200, {false, {Event::Kind::contact, 0, 3, 3, 0}});
+
+  StateStore reference(small_config(), 44);
+  apply_per_line(reference, lines);
+
+  ApplyOptions options;
+  options.shards = 8;
+  options.threads = 4;
+  options.window = 32;
+  StateStore store(small_config(), 44, options);
+  store.apply_batch(lines);
+
+  EXPECT_EQ(serialized(store), serialized(reference));
+  EXPECT_GT(store.counters().events_malformed, 0u);
+}
+
+TEST(ServiceShardedStore, SnapshotCutMidStreamRestoresByteIdentically) {
+  const auto lines = workload_lines(1200, 55, 0.01, 31);
+  StateStore reference(small_config(), 55);
+  apply_per_line(reference, lines);
+  const std::string want = serialized(reference);
+
+  for (const std::size_t cut : {std::size_t{1}, lines.size() / 3,
+                                lines.size() - 1}) {
+    // First leg runs sharded, then the image round-trips through the
+    // serializer (a snapshot + SIGKILL + --restore in miniature) into a
+    // store with DIFFERENT pipeline geometry for the second leg.
+    ApplyOptions first;
+    first.shards = 8;
+    first.threads = 4;
+    first.window = 64;
+    StateStore store(small_config(), 55, first);
+    store.apply_batch(std::span<const IngestLine>(lines).subspan(0, cut));
+
+    std::ostringstream snap;
+    write_image(snap, store.image());
+    std::istringstream in(snap.str());
+    const StateImage restored = read_image(in);
+
+    ApplyOptions second;
+    second.shards = 2;
+    second.threads = 2;
+    second.window = 5;
+    StateStore resumed(small_config(), 55, restored, second);
+    resumed.apply_batch(std::span<const IngestLine>(lines).subspan(cut));
+    EXPECT_EQ(serialized(resumed), want) << "cut=" << cut;
+  }
+}
+
+TEST(ServiceShardedStore, ShardsClampToNodeCountAndSingleThreadStaysInline) {
+  // More shards than nodes, and a parallel() == false geometry, are both
+  // legal; both must match the reference bytes.
+  const auto lines = workload_lines(400, 66);
+  StateStore reference(small_config(), 66);
+  apply_per_line(reference, lines);
+
+  ApplyOptions wide;
+  wide.shards = 64;  // > num_nodes: scheduler clamps
+  wide.threads = 3;
+  wide.window = 50;
+  StateStore clamped(small_config(), 66, wide);
+  clamped.apply_batch(lines);
+  EXPECT_EQ(serialized(clamped), serialized(reference));
+
+  ApplyOptions inline_only;
+  inline_only.shards = 8;
+  inline_only.threads = 1;  // plan inline, no team
+  StateStore single(small_config(), 66, inline_only);
+  single.apply_batch(lines);
+  EXPECT_EQ(serialized(single), serialized(reference));
+}
+
+TEST(ServiceShardedStore, ChaosFeederOverTcpMatchesSequentialUnixRun) {
+  // End-to-end transport × pipeline lock: the same stream through (a) a
+  // sequential daemon on a Unix socket with no chaos and (b) a sharded
+  // daemon on TCP behind the chaos shim must serialize identically.
+  TempPath stream("sharded_chaos_stream");
+  {
+    StreamConfig config;
+    config.events = 600;
+    config.num_nodes = 16;
+    config.num_items = 12;
+    config.crash_fraction = 0.01;
+    config.quit = false;
+    std::ofstream out(stream.path());
+    write_stream(out, generate_stream(config, 77));
+  }
+
+  std::string images[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    TempPath socket("sharded_chaos_sock");
+    DaemonConfig dconfig;
+    dconfig.store = small_config();
+    dconfig.seed = 77;
+    dconfig.http_port = -1;
+    if (variant == 0) {
+      dconfig.socket_path = socket.path();
+    } else {
+      dconfig.tcp_port = 0;  // ephemeral
+      dconfig.apply.shards = 8;
+      dconfig.apply.threads = 4;
+      dconfig.apply.window = 32;
+    }
+    ReplicationDaemon daemon(dconfig);
+    std::thread runner([&] { daemon.run(nullptr); });
+
+    FeederConfig fconfig;
+    if (variant == 0) {
+      fconfig.socket_path = socket.path();
+    } else {
+      fconfig.tcp_port = static_cast<int>(daemon.tcp_port());
+      fconfig.chaos.p_reset = 0.02;
+      fconfig.chaos.p_partial = 0.02;
+      fconfig.chaos.p_garbage = 0.01;
+      fconfig.chaos.seed = 5;
+    }
+    fconfig.input_path = stream.path();
+    fconfig.seed = 9;
+    const FeederReport report = StreamFeeder(fconfig).run();
+    EXPECT_TRUE(report.complete);
+    daemon.stop();
+    runner.join();
+    images[variant] = serialized(daemon.store());
+  }
+  EXPECT_EQ(images[0], images[1]);
+}
+
+}  // namespace
+}  // namespace impatience::service
